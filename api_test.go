@@ -1,0 +1,138 @@
+package sccpipe_test
+
+// Integration tests exercising the library exactly as a downstream user
+// would: through the public sccpipe package only.
+
+import (
+	"testing"
+
+	"sccpipe"
+)
+
+func TestPublicSimulateEndToEnd(t *testing.T) {
+	wl := sccpipe.DefaultWorkload(30, 256, 256)
+	spec := sccpipe.Spec{
+		Frames: 30, Width: 256, Height: 256,
+		Pipelines: 3, Renderer: sccpipe.HostRenderer, Arrangement: sccpipe.Ordered,
+	}
+	res, err := sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.SCCEnergyJ <= 0 || len(res.Power) == 0 {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+}
+
+func TestPublicExecEndToEnd(t *testing.T) {
+	cfg := sccpipe.DefaultSceneConfig()
+	cfg.BlocksX, cfg.BlocksZ = 6, 6
+	tree := sccpipe.BuildOctree(sccpipe.City(cfg))
+	cams := sccpipe.Walkthrough(5, tree.Bounds())
+	spec := sccpipe.ExecSpec{Frames: 5, Width: 96, Height: 64, Pipelines: 2, Seed: 7}
+	frames := 0
+	res, err := sccpipe.Exec(spec, tree, cams, func(f int, img *sccpipe.Image) {
+		if img.W != 96 || img.H != 64 {
+			t.Errorf("frame %d has size %dx%d", f, img.W, img.H)
+		}
+		frames++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 5 || res.Frames != 5 {
+		t.Fatalf("frames = %d, result %+v", frames, res)
+	}
+}
+
+func TestPublicBaselineAndSpeedup(t *testing.T) {
+	wl := sccpipe.DefaultWorkload(30, 256, 256)
+	spec := sccpipe.Spec{Frames: 30, Width: 256, Height: 256, Pipelines: 1}
+	single, err := sccpipe.SimulateSingleCore(spec, wl, sccpipe.SingleCoreStages, sccpipe.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Pipelines = 5
+	spec.Renderer = sccpipe.NRenderers
+	multi, err := sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Seconds >= single.Seconds {
+		t.Fatalf("no speedup: %g vs %g", multi.Seconds, single.Seconds)
+	}
+}
+
+func TestPublicClusterAndHosts(t *testing.T) {
+	wl := sccpipe.DefaultWorkload(20, 256, 256)
+	spec := sccpipe.Spec{Frames: 20, Width: 256, Height: 256, Pipelines: 4, Renderer: sccpipe.OneRenderer}
+	res, err := sccpipe.SimulateCluster(spec, wl, sccpipe.DefaultCluster(), sccpipe.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatal("cluster run produced no time")
+	}
+	if sccpipe.DefaultMCPC().RenderPerFrame <= 0 {
+		t.Fatal("MCPC model incomplete")
+	}
+}
+
+func TestPublicPlacementAndDVFS(t *testing.T) {
+	spec := sccpipe.DefaultSpec()
+	spec.Renderer = sccpipe.HostRenderer
+	spec.IsolateBlur = true
+	spec.BlurFreq = sccpipe.Freq800
+	pl, err := sccpipe.Place(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.BlurCores()) != 1 {
+		t.Fatalf("blur cores = %d", len(pl.BlurCores()))
+	}
+	if sccpipe.MaxPipelines(sccpipe.NRenderers) != 7 {
+		t.Fatal("NRenderers capacity should be 7")
+	}
+}
+
+func TestPublicExperimentDrivers(t *testing.T) {
+	s := sccpipe.DefaultExpSetup()
+	s.Frames = 40
+	fig8, err := sccpipe.RunFig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig8.Total <= 0 || len(fig8.String()) == 0 {
+		t.Fatal("fig8 incomplete")
+	}
+	energy, err := sccpipe.RunEnergy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if energy.HybridJ >= energy.AllSCCJ {
+		t.Fatal("hybrid should use less energy")
+	}
+}
+
+func TestPublicImageHelpers(t *testing.T) {
+	img := sccpipe.NewImage(10, 8)
+	strips := sccpipe.SplitRows(img, 3)
+	if len(strips) != 3 {
+		t.Fatalf("strips = %d", len(strips))
+	}
+	back := sccpipe.Assemble(10, 8, strips)
+	if !back.Equal(img) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestPublicCostModelExposed(t *testing.T) {
+	m := sccpipe.DefaultCostModel()
+	if m.FilterCompute[sccpipe.StageBlur] <= m.FilterCompute[sccpipe.StageSepia] {
+		t.Fatal("blur should cost more than sepia")
+	}
+	cfg := sccpipe.DefaultChipConfig()
+	if cfg.MemBandwidth <= 0 || cfg.PowerIdle != 22 {
+		t.Fatalf("chip config: %+v", cfg)
+	}
+}

@@ -1,0 +1,411 @@
+package sccpipe
+
+// One benchmark per table and figure of the paper's evaluation: each
+// iteration regenerates the corresponding experiment's data on a shortened
+// (64-frame) walkthrough. Shapes and relative numbers are identical to the
+// full 400-frame runs (everything scales linearly in frames); run
+// cmd/paperrepro for full-length output.
+//
+// Substrate micro-benchmarks (mesh transfers, filters, renderer, DES
+// engine) and design-ablation benchmarks follow the figure benchmarks.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sccpipe/internal/codec"
+	"sccpipe/internal/core"
+	"sccpipe/internal/des"
+	"sccpipe/internal/experiments"
+	"sccpipe/internal/filters"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/pipe"
+	"sccpipe/internal/rcce"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scc"
+	"sccpipe/internal/scene"
+	"sccpipe/internal/viz"
+)
+
+// benchSetup is the shortened walkthrough shared by the figure benchmarks.
+func benchSetup() experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.Frames = 64
+	return s
+}
+
+// warm pre-builds the cached workload so iterations measure simulation
+// only.
+func warm(b *testing.B, s experiments.Setup) {
+	b.Helper()
+	experiments.Workload(s)
+	b.ResetTimer()
+}
+
+func BenchmarkFig8StageProfile(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9OneRenderer(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10NRenderers(b *testing.B) {
+	s := benchSetup()
+	experiments.Workload(s).StripStats(7)
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11MCPCRenderer(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12ImageSizes(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Cluster(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig13(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14PowerTrace(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig14(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15IdleTimes(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig15(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16FastBlur(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig16(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17DVFSPower(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig17(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnergyComparison(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEnergy(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLocalMemory(b *testing.B) {
+	s := benchSetup()
+	warm(b, s)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+
+func BenchmarkSimulateBestConfig(b *testing.B) {
+	s := benchSetup()
+	wl := experiments.Workload(s)
+	spec := core.Spec{Frames: s.Frames, Width: s.Width, Height: s.Height,
+		Pipelines: 5, Renderer: core.HostRenderer}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(spec, wl, core.SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDESEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := des.NewEngine()
+		q := des.NewQueue(eng, 1)
+		eng.Spawn("producer", func(p *des.Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Wait(1)
+				q.Put(p, j)
+			}
+		})
+		eng.Spawn("consumer", func(p *des.Proc) {
+			for j := 0; j < 1000; j++ {
+				q.Get(p)
+			}
+		})
+		eng.Run()
+	}
+	b.ReportMetric(float64(b.N)*2000, "events/op")
+}
+
+func BenchmarkRCCESendRecv(b *testing.B) {
+	eng := des.NewEngine()
+	chip := scc.New(eng, scc.DefaultConfig())
+	comm := rcce.NewComm(chip, 1)
+	n := b.N
+	eng.Spawn("sender", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			comm.Send(p, 0, 24, nil, 256*1024)
+		}
+	})
+	eng.Spawn("receiver", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			comm.Recv(p, 24, 0)
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+}
+
+func BenchmarkMeshMemAccess(b *testing.B) {
+	eng := des.NewEngine()
+	chip := scc.New(eng, scc.DefaultConfig())
+	n := b.N
+	eng.Spawn("reader", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			chip.MemRead(p, 47, 64*1024)
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+}
+
+func benchImage(w, h int) *frame.Image {
+	img := frame.New(w, h)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(img.Pix)
+	return img
+}
+
+func BenchmarkFilterSepia(b *testing.B) {
+	img := benchImage(512, 512)
+	b.SetBytes(int64(img.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filters.Sepia(img)
+	}
+}
+
+func BenchmarkFilterBlur(b *testing.B) {
+	img := benchImage(512, 512)
+	b.SetBytes(int64(img.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filters.Blur(img)
+	}
+}
+
+func BenchmarkFilterSwap(b *testing.B) {
+	img := benchImage(512, 512)
+	b.SetBytes(int64(img.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filters.Swap(img)
+	}
+}
+
+func BenchmarkRenderFrame(b *testing.B) {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	cams := render.Walkthrough(16, tree.Bounds())
+	r := render.NewRenderer(tree)
+	img := frame.New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RenderFrame(cams[i%len(cams)], img)
+	}
+}
+
+func BenchmarkExecPipelineReal(b *testing.B) {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	spec := core.ExecSpec{Frames: 8, Width: 320, Height: 240, Pipelines: 4,
+		Renderer: core.NRenderers, Seed: 1}
+	cams := render.Walkthrough(spec.Frames, tree.Bounds())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Exec(spec, tree, cams, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheSimulator(b *testing.B) {
+	h := scc.NewHierarchy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i*64) % (1 << 22))
+	}
+}
+
+func BenchmarkOctreeCull(b *testing.B) {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	cams := render.Walkthrough(16, tree.Bounds())
+	var buf []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = tree.Cull(cams[i%len(cams)].Frustum(512, 512), buf[:0])
+	}
+}
+
+func BenchmarkCodecHuffman(b *testing.B) {
+	data := make([]byte, 64*1024)
+	rng := rand.New(rand.NewSource(1))
+	v := byte(0)
+	for i := range data {
+		if rng.Intn(6) == 0 {
+			v += byte(rng.Intn(3))
+		}
+		data[i] = v
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := codec.HuffmanEncode(data)
+		if _, err := codec.HuffmanDecode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenericPipelineSim(b *testing.B) {
+	mkChain := func() *pipe.Chain {
+		return &pipe.Chain{
+			Stages: []pipe.Stage{
+				{Name: "a", CostRef: func(pipe.Item) float64 { return 0.002 }},
+				{Name: "b", CostRef: func(pipe.Item) float64 { return 0.008 }},
+				{Name: "c", CostRef: func(pipe.Item) float64 { return 0.003 }},
+			},
+			Feed: func(pl, seq int) (pipe.Item, bool) { return pipe.Item{Bytes: 32 * 1024}, true },
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mkChain().Simulate(pipe.SimSpec{Pipelines: 4, Items: 100, ItemBytes: 32 * 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVizSplitAssemble(b *testing.B) {
+	img := frame.New(512, 512)
+	rand.New(rand.NewSource(1)).Read(img.Pix)
+	b.SetBytes(int64(img.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := viz.NewAssembler(nil)
+		for _, p := range viz.Split(img, uint32(i), 32*1024, nil) {
+			if err := a.Feed(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRCCECollectiveBcast(b *testing.B) {
+	eng := des.NewEngine()
+	chip := scc.New(eng, scc.DefaultConfig())
+	comm := rcce.NewComm(chip, 0)
+	cores := make([]scc.CoreID, 16)
+	for i := range cores {
+		cores[i] = scc.CoreID(i * 3)
+	}
+	g := rcce.NewGroup(comm, cores)
+	n := b.N
+	for rank := range cores {
+		rank := rank
+		eng.Spawn("m", func(p *des.Proc) {
+			for i := 0; i < n; i++ {
+				var v any
+				if rank == 0 {
+					v = i
+				}
+				g.Bcast(p, rank, 0, v, 8192)
+			}
+		})
+	}
+	b.ResetTimer()
+	eng.Run()
+}
+
+func BenchmarkTraceRecording(b *testing.B) {
+	s := benchSetup()
+	wl := experiments.Workload(s)
+	spec := core.Spec{Frames: s.Frames, Width: s.Width, Height: s.Height,
+		Pipelines: 3, Renderer: core.HostRenderer}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(spec, wl, core.SimOptions{Trace: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

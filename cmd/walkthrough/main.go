@@ -1,0 +1,180 @@
+// Command walkthrough simulates one macro-pipeline configuration on the
+// SCC model (or the Mogon cluster model) and reports walkthrough time,
+// per-stage idle times, memory-controller utilization, power and energy.
+//
+// Examples:
+//
+//	walkthrough -renderer mcpc -pipelines 5
+//	walkthrough -renderer n -pipelines 7 -arrangement flipped
+//	walkthrough -renderer one -pipelines 4 -cluster
+//	walkthrough -renderer mcpc -pipelines 1 -blur 800 -tail 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/host"
+	"sccpipe/internal/scc"
+	"sccpipe/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("walkthrough: ")
+	var (
+		frames      = flag.Int("frames", 400, "walkthrough length in frames")
+		width       = flag.Int("width", 512, "image width")
+		height      = flag.Int("height", 512, "image height")
+		pipelines   = flag.Int("pipelines", 1, "number of parallel pipelines")
+		renderer    = flag.String("renderer", "one", "renderer configuration: one, n, mcpc")
+		arrangement = flag.String("arrangement", "unordered", "pipeline arrangement: unordered, ordered, flipped")
+		cluster     = flag.Bool("cluster", false, "run on the Mogon cluster model instead of the SCC")
+		blur        = flag.Int("blur", 0, "blur stage frequency in MHz (400, 533, 800; 0 = default)")
+		tail        = flag.Int("tail", 0, "post-blur stage frequency in MHz (0 = default)")
+		baseline    = flag.Bool("single-core", false, "run the one-core sequential baseline instead")
+		jitter      = flag.Float64("jitter", 0, "relative stage-time noise (e.g. 0.1 = ±10%)")
+		ganttSecs   = flag.Float64("gantt", 0, "print an ASCII stage timeline of the first N simulated seconds")
+		traceCSV    = flag.String("trace-csv", "", "write the full stage timeline to this CSV file")
+		powerCSV    = flag.String("power-csv", "", "write the 1 Hz power trace to this CSV file")
+	)
+	flag.Parse()
+
+	spec := core.Spec{
+		Frames:    *frames,
+		Width:     *width,
+		Height:    *height,
+		Pipelines: *pipelines,
+	}
+	switch *renderer {
+	case "one":
+		spec.Renderer = core.OneRenderer
+	case "n":
+		spec.Renderer = core.NRenderers
+	case "mcpc":
+		spec.Renderer = core.HostRenderer
+	default:
+		log.Fatalf("unknown renderer %q", *renderer)
+	}
+	switch *arrangement {
+	case "unordered":
+		spec.Arrangement = core.Unordered
+	case "ordered":
+		spec.Arrangement = core.Ordered
+	case "flipped":
+		spec.Arrangement = core.Flipped
+	default:
+		log.Fatalf("unknown arrangement %q", *arrangement)
+	}
+	if *blur != 0 {
+		spec.BlurFreq = freqLevel(*blur)
+		spec.IsolateBlur = true
+	}
+	if *tail != 0 {
+		spec.TailFreq = freqLevel(*tail)
+		spec.IsolateBlur = true
+	}
+
+	wl := core.DefaultWorkload(spec.Frames, spec.Width, spec.Height)
+
+	if *baseline {
+		res, err := core.SimulateSingleCore(spec, wl, core.SingleCoreStages, core.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("single SCC core, all stages sequentially: %.1f s\n", res.Seconds)
+		for _, k := range core.SingleCoreStages {
+			fmt.Printf("  %-9v %8.1f s\n", k, res.StageSeconds[k])
+		}
+		return
+	}
+
+	if *cluster {
+		res, err := core.SimulateCluster(spec, wl, host.DefaultCluster(), core.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cluster walkthrough: %.2f s (%d frames, %d pipelines, %v)\n",
+			res.Seconds, spec.Frames, spec.Pipelines, spec.Renderer)
+		return
+	}
+
+	opts := core.SimOptions{
+		JitterCV: *jitter,
+		Trace:    *ganttSecs > 0 || *traceCSV != "",
+	}
+	res, err := core.Simulate(spec, wl, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SCC walkthrough: %.1f s (%d frames, %d pipelines, %v, %v)\n",
+		res.Seconds, spec.Frames, spec.Pipelines, spec.Renderer, spec.Arrangement)
+	fmt.Printf("cores in use: %d   energy: %.0f J", len(res.Placement.Cores()), res.SCCEnergyJ)
+	if res.HostExtraEnergyJ > 0 {
+		fmt.Printf(" (+%.0f J MCPC render)", res.HostExtraEnergyJ)
+	}
+	fmt.Println()
+	fmt.Printf("mean power: %.1f W\n", res.SCCEnergyJ/res.Seconds)
+	fmt.Printf("memory controller utilization: ")
+	for i, u := range res.MemUtil {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("MC%d %.0f%%", i, u*100)
+	}
+	fmt.Println()
+	if len(res.StageIdle) > 0 {
+		fmt.Println("per-stage idle time (median ms/frame):")
+		for _, k := range core.FilterOrder {
+			if samples := res.StageIdle[k]; len(samples) > 0 {
+				fmt.Printf("  %-9v %7.1f ms\n", k, stats.Median(samples)*1e3)
+			}
+		}
+	}
+	if *powerCSV != "" {
+		f, err := os.Create(*powerCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "t,watts")
+		for _, s := range res.Power {
+			fmt.Fprintf(f, "%g,%g\n", s.T, s.Watts)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("power trace written to %s (%d samples)\n", *powerCSV, len(res.Power))
+	}
+	if res.Trace != nil {
+		fmt.Printf("steady-state frame period: %.1f ms\n", res.Trace.Throughput()*1e3)
+		if *ganttSecs > 0 {
+			fmt.Print(res.Trace.Gantt(0, *ganttSecs, 100))
+		}
+		if *traceCSV != "" {
+			f, err := os.Create(*traceCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := res.Trace.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("stage timeline written to %s (%d spans)\n", *traceCSV, len(res.Trace.Spans))
+		}
+	}
+}
+
+func freqLevel(mhz int) scc.FreqLevel {
+	for _, f := range scc.FreqLevels {
+		if int(f.Hz/1e6) == mhz {
+			return f
+		}
+	}
+	log.Fatalf("unsupported frequency %d MHz (use 400, 533 or 800)", mhz)
+	return scc.FreqLevel{}
+}

@@ -1,0 +1,93 @@
+package sccpipe_test
+
+// Runnable godoc examples for the public API. Output lines are verified by
+// `go test`, so they double as integration tests. The examples use short
+// walkthroughs; deterministic simulation makes the printed values stable.
+
+import (
+	"fmt"
+
+	"sccpipe"
+)
+
+// ExampleSimulate runs the paper's heterogeneous sweet spot and shows the
+// derived quantities every SimResult carries.
+func ExampleSimulate() {
+	wl := sccpipe.DefaultWorkload(40, 256, 256)
+	spec := sccpipe.Spec{
+		Frames: 40, Width: 256, Height: 256,
+		Pipelines: 3, Renderer: sccpipe.HostRenderer,
+	}
+	res, err := sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cores in use: %d\n", len(res.Placement.Cores()))
+	fmt.Printf("finished: %v\n", res.Seconds > 0)
+	fmt.Printf("power samples: %v\n", len(res.Power) > 0)
+	// Output:
+	// cores in use: 17
+	// finished: true
+	// power samples: true
+}
+
+// ExamplePlace shows how specs map onto the 48-core chip.
+func ExamplePlace() {
+	spec := sccpipe.DefaultSpec()
+	spec.Renderer = sccpipe.NRenderers
+	spec.Pipelines = 2
+	spec.Arrangement = sccpipe.Ordered
+	pl, err := sccpipe.Place(spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("renderers: %d\n", len(pl.Renderers))
+	fmt.Printf("filter stages per pipeline: %d\n", len(pl.Filters[0]))
+	fmt.Printf("total cores: %d\n", len(pl.Cores()))
+	// Output:
+	// renderers: 2
+	// filter stages per pipeline: 5
+	// total cores: 13
+}
+
+// ExampleExec processes real pixels through the parallel pipelines.
+func ExampleExec() {
+	cfg := sccpipe.DefaultSceneConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	tree := sccpipe.BuildOctree(sccpipe.City(cfg))
+	cams := sccpipe.Walkthrough(3, tree.Bounds())
+
+	spec := sccpipe.ExecSpec{Frames: 3, Width: 64, Height: 48, Pipelines: 2, Seed: 1}
+	frames := 0
+	_, err := sccpipe.Exec(spec, tree, cams, func(f int, img *sccpipe.Image) {
+		frames++
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("frames produced: %d\n", frames)
+	// Output:
+	// frames produced: 3
+}
+
+// ExampleMaxPipelines shows the chip capacity per renderer configuration.
+func ExampleMaxPipelines() {
+	fmt.Println(sccpipe.MaxPipelines(sccpipe.OneRenderer))
+	fmt.Println(sccpipe.MaxPipelines(sccpipe.NRenderers))
+	fmt.Println(sccpipe.MaxPipelines(sccpipe.HostRenderer))
+	// Output:
+	// 8
+	// 7
+	// 8
+}
+
+// ExampleSpec_Validate demonstrates spec checking.
+func ExampleSpec_Validate() {
+	spec := sccpipe.Spec{Frames: 10, Width: 64, Height: 64, Pipelines: 9, Renderer: sccpipe.NRenderers}
+	fmt.Println(spec.Validate())
+	// Output:
+	// core: n-renderers supports at most 7 pipelines, got 9
+}

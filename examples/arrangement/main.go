@@ -1,0 +1,42 @@
+// Arrangement reproduces the paper's negative result: laying pipelines out
+// unordered, ordered along mesh rows, or flipped makes no measurable
+// difference, because without per-core local memory every hand-off goes
+// through the four memory controllers anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sccpipe"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const frames = 200
+	wl := sccpipe.DefaultWorkload(frames, 512, 512)
+
+	fmt.Printf("%-12s", "pipelines")
+	for k := 1; k <= 7; k++ {
+		fmt.Printf(" %7d", k)
+	}
+	fmt.Println()
+	for _, ar := range sccpipe.AllArrangements {
+		fmt.Printf("%-12v", ar)
+		for k := 1; k <= 7; k++ {
+			spec := sccpipe.DefaultSpec()
+			spec.Frames = frames
+			spec.Renderer = sccpipe.NRenderers
+			spec.Pipelines = k
+			spec.Arrangement = ar
+			res, err := sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %7.1f", res.Seconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(seconds per walkthrough; rows should be nearly identical)")
+}

@@ -1,0 +1,58 @@
+// Quickstart: simulate the paper's headline configurations and print the
+// walkthrough times — single core, best all-SCC, and the heterogeneous
+// MCPC+SCC setup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sccpipe"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Profile the 3D walkthrough once; all simulations share it. (The
+	// paper uses 400 frames; 200 keeps the quickstart snappy.)
+	const frames = 200
+	wl := sccpipe.DefaultWorkload(frames, 512, 512)
+
+	spec := sccpipe.DefaultSpec()
+	spec.Frames = frames
+
+	// Baseline: everything on one SCC core.
+	single, err := sccpipe.SimulateSingleCore(spec, wl, sccpipe.SingleCoreStages, sccpipe.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one SCC core, sequential:        %6.1f s\n", single.Seconds)
+
+	// One full macro pipeline.
+	res, err := sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one macro pipeline:              %6.1f s  (%.2fx)\n",
+		res.Seconds, single.Seconds/res.Seconds)
+
+	// Best all-SCC configuration: seven pipelines, one renderer each.
+	spec.Renderer = sccpipe.NRenderers
+	spec.Pipelines = 7
+	res, err = sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("7 pipelines, 7 renderers:        %6.1f s  (%.2fx)\n",
+		res.Seconds, single.Seconds/res.Seconds)
+
+	// Heterogeneous: the MCPC renders, the SCC filters (the paper's best).
+	spec.Renderer = sccpipe.HostRenderer
+	spec.Pipelines = 5
+	res, err = sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MCPC renderer + 5 pipelines:     %6.1f s  (%.2fx, %.0f J)\n",
+		res.Seconds, single.Seconds/res.Seconds, res.SCCEnergyJ+res.HostExtraEnergyJ)
+}

@@ -1,0 +1,83 @@
+// Viewer wires the real pipeline to the paper's UDP visualization path: a
+// viewer process listens on a UDP socket, the pipeline's transfer stage
+// ships every finished frame as sub-image datagrams (frames exceed the
+// socket buffers, exactly as on the SCC kit), and the viewer reassembles
+// and checks them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"sccpipe"
+	"sccpipe/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("viewer: ")
+	frames := flag.Int("frames", 24, "frames to stream")
+	pipelines := flag.Int("pipelines", 3, "parallel pipelines")
+	flag.Parse()
+
+	// The visualization client (would live on the MCPC).
+	var mu sync.Mutex
+	received := 0
+	var last *sccpipe.Image
+	srv, err := viz.Serve("127.0.0.1:0", func(no uint32, img *sccpipe.Image) {
+		mu.Lock()
+		received++
+		last = img
+		mu.Unlock()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("visualization client listening on %s\n", srv.Addr())
+
+	// The transfer stage's uplink.
+	client, err := viz.Dial(srv.Addr(), 16*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// The pipeline itself, streaming every assembled frame to the viewer.
+	tree := sccpipe.BuildOctree(sccpipe.City(sccpipe.DefaultSceneConfig()))
+	cams := sccpipe.Walkthrough(*frames, tree.Bounds())
+	spec := sccpipe.ExecSpec{
+		Frames: *frames, Width: 320, Height: 240,
+		Pipelines: *pipelines, Renderer: sccpipe.NRenderers, Seed: 3,
+	}
+	res, err := sccpipe.Exec(spec, tree, cams, func(f int, img *sccpipe.Image) {
+		if err := client.SendFrame(uint32(f), img); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// UDP on loopback is reliable in practice; give the reader a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := received >= *frames
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("pipeline produced %d frames in %v; viewer reassembled %d (dropped %d)\n",
+		res.Frames, res.Elapsed.Round(1e6), received, srv.Dropped())
+	if last != nil {
+		fmt.Printf("last frame: %dx%d\n", last.W, last.H)
+	}
+}

@@ -1,0 +1,3 @@
+module sccpipe
+
+go 1.22

@@ -1,0 +1,340 @@
+// Package codec implements the real data-transformation stages of the
+// compression macro pipeline (examples/compress): delta coding, run-length
+// encoding, and a canonical Huffman entropy coder, all with exact inverse
+// transforms. These are genuine codecs — the pipeline compresses and
+// verifies real bytes — kept dependency-free on the standard library.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ---------------------------------------------------------------------------
+// Delta coding
+
+// DeltaEncode replaces each byte with its difference to the previous one
+// (modulo 256), turning smooth signals into small values for the RLE and
+// entropy stages.
+func DeltaEncode(data []byte) []byte {
+	out := make([]byte, len(data))
+	prev := byte(0)
+	for i, b := range data {
+		out[i] = b - prev
+		prev = b
+	}
+	return out
+}
+
+// DeltaDecode inverts DeltaEncode.
+func DeltaDecode(data []byte) []byte {
+	out := make([]byte, len(data))
+	prev := byte(0)
+	for i, d := range data {
+		prev += d
+		out[i] = prev
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Run-length encoding
+
+// RLEEncode emits (count, byte) pairs with counts 1..255.
+func RLEEncode(data []byte) []byte {
+	out := make([]byte, 0, len(data)/2+8)
+	for i := 0; i < len(data); {
+		b := data[i]
+		n := 1
+		for i+n < len(data) && data[i+n] == b && n < 255 {
+			n++
+		}
+		out = append(out, byte(n), b)
+		i += n
+	}
+	return out
+}
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("codec: corrupt stream")
+
+// RLEDecode inverts RLEEncode.
+func RLEDecode(data []byte) ([]byte, error) {
+	if len(data)%2 != 0 {
+		return nil, ErrCorrupt
+	}
+	var out []byte
+	for i := 0; i < len(data); i += 2 {
+		n := int(data[i])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		b := data[i+1]
+		for j := 0; j < n; j++ {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Canonical Huffman coding
+
+// huffCode is a canonical code: length in bits and the code value.
+type huffCode struct {
+	len  uint8
+	code uint32
+}
+
+const maxCodeLen = 24
+
+// buildLengths computes code lengths from byte frequencies via a standard
+// Huffman tree, then canonicalizes.
+func buildLengths(freq *[256]int) (lengths [256]uint8, symbols int) {
+	type node struct {
+		weight      int
+		sym         int // -1 for internal
+		left, right int // indices into nodes
+	}
+	var nodes []node
+	var heap []int // indices, min-heap by (weight, index)
+	push := func(i int) {
+		heap = append(heap, i)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if nodes[heap[p]].weight <= nodes[heap[c]].weight {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for p := 0; ; {
+			l, r := 2*p+1, 2*p+2
+			s := p
+			if l < len(heap) && nodes[heap[l]].weight < nodes[heap[s]].weight {
+				s = l
+			}
+			if r < len(heap) && nodes[heap[r]].weight < nodes[heap[s]].weight {
+				s = r
+			}
+			if s == p {
+				break
+			}
+			heap[p], heap[s] = heap[s], heap[p]
+			p = s
+		}
+		return top
+	}
+	for b := 0; b < 256; b++ {
+		if freq[b] > 0 {
+			nodes = append(nodes, node{weight: freq[b], sym: b, left: -1, right: -1})
+			push(len(nodes) - 1)
+			symbols++
+		}
+	}
+	if symbols == 0 {
+		return
+	}
+	if symbols == 1 {
+		lengths[nodes[0].sym] = 1
+		return
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
+		push(len(nodes) - 1)
+	}
+	// Depth-first assignment of lengths.
+	root := heap[0]
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	tooDeep := false
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[f.idx]
+		if n.sym >= 0 {
+			if f.depth > maxCodeLen {
+				tooDeep = true
+			}
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.sym] = uint8(min(d, 255))
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	if tooDeep {
+		// Pathologically skewed input: clamping lengths would break the
+		// prefix property, so fall back to flat 8-bit codes (canonical
+		// codes of equal length are always prefix-free for ≤256 symbols).
+		for b := 0; b < 256; b++ {
+			if freq[b] > 0 {
+				lengths[b] = 8
+			}
+		}
+	}
+	return
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// canonicalCodes assigns canonical code values from lengths.
+func canonicalCodes(lengths *[256]uint8) [256]huffCode {
+	type symLen struct {
+		sym int
+		l   uint8
+	}
+	var order []symLen
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			order = append(order, symLen{s, lengths[s]})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	var codes [256]huffCode
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, sl := range order {
+		code <<= (sl.l - prevLen)
+		codes[sl.sym] = huffCode{len: sl.l, code: code}
+		code++
+		prevLen = sl.l
+	}
+	return codes
+}
+
+// HuffmanEncode compresses data with a canonical Huffman code. The stream
+// is self-describing: original length, 256 code lengths, then the bits.
+// Incompressible data may grow slightly (by the 260-byte header).
+func HuffmanEncode(data []byte) []byte {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	lengths, _ := buildLengths(&freq)
+	codes := canonicalCodes(&lengths)
+
+	out := make([]byte, 0, len(data)/2+260)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	out = append(out, hdr[:]...)
+	out = append(out, lengths[:]...)
+
+	var acc uint64
+	var nbits uint
+	for _, b := range data {
+		c := codes[b]
+		acc = acc<<uint(c.len) | uint64(c.code)
+		nbits += uint(c.len)
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out
+}
+
+// HuffmanDecode inverts HuffmanEncode.
+func HuffmanDecode(data []byte) ([]byte, error) {
+	if len(data) < 4+256 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	var lengths [256]uint8
+	copy(lengths[:], data[4:4+256])
+	body := data[4+256:]
+	if n == 0 {
+		return []byte{}, nil
+	}
+	// Canonical table decode: for each code length, the first code value
+	// and the index of its first symbol in the canonical symbol order.
+	// A prefix of length L is a valid code iff
+	// firstCode[L] ≤ acc < firstCode[L] + count[L].
+	var count [maxCodeLen + 1]int
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			if int(l) > maxCodeLen {
+				return nil, ErrCorrupt
+			}
+			count[l]++
+		}
+	}
+	// Symbols in canonical order: by (length, symbol).
+	var symbols []byte
+	for l := 1; l <= maxCodeLen; l++ {
+		for s := 0; s < 256; s++ {
+			if int(lengths[s]) == l {
+				symbols = append(symbols, byte(s))
+			}
+		}
+	}
+	if len(symbols) == 0 {
+		return nil, ErrCorrupt
+	}
+	var firstCode [maxCodeLen + 1]uint32
+	var firstSym [maxCodeLen + 1]int
+	code := uint32(0)
+	symIdx := 0
+	maxLen := uint8(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		firstCode[l] = code
+		firstSym[l] = symIdx
+		code = (code + uint32(count[l])) << 1
+		symIdx += count[l]
+		if count[l] > 0 {
+			maxLen = uint8(l)
+		}
+	}
+
+	out := make([]byte, 0, n)
+	var acc uint32
+	var accLen uint8
+	bi := 0
+	total := len(body) * 8
+	for len(out) < n {
+		// Extend the accumulator bit by bit; codes are prefix-free, so the
+		// first in-range prefix is the symbol.
+		for {
+			if accLen >= maxLen {
+				return nil, ErrCorrupt
+			}
+			if bi >= total {
+				return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+			}
+			bit := (body[bi>>3] >> (7 - uint(bi&7))) & 1
+			bi++
+			acc = acc<<1 | uint32(bit)
+			accLen++
+			if count[accLen] > 0 && acc >= firstCode[accLen] && acc-firstCode[accLen] < uint32(count[accLen]) {
+				out = append(out, symbols[firstSym[accLen]+int(acc-firstCode[accLen])])
+				acc, accLen = 0, 0
+				break
+			}
+		}
+	}
+	return out, nil
+}

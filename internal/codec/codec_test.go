@@ -1,0 +1,196 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaKnown(t *testing.T) {
+	in := []byte{10, 12, 12, 11, 255, 0}
+	enc := DeltaEncode(in)
+	want := []byte{10, 2, 0, 255, 244, 1}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("delta = %v, want %v", enc, want)
+	}
+	if !bytes.Equal(DeltaDecode(enc), in) {
+		t.Fatal("delta round trip failed")
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(DeltaDecode(DeltaEncode(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEKnown(t *testing.T) {
+	in := []byte{7, 7, 7, 0, 9, 9}
+	enc := RLEEncode(in)
+	want := []byte{3, 7, 1, 0, 2, 9}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("rle = %v, want %v", enc, want)
+	}
+	dec, err := RLEDecode(enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatalf("rle round trip: %v, %v", dec, err)
+	}
+}
+
+func TestRLELongRuns(t *testing.T) {
+	in := bytes.Repeat([]byte{42}, 1000) // forces count wrapping at 255
+	enc := RLEEncode(in)
+	if len(enc) != 8 { // 255×3 + 235 → 4 pairs
+		t.Fatalf("encoded length = %d, want 8", len(enc))
+	}
+	dec, err := RLEDecode(enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatal("long run round trip failed")
+	}
+}
+
+func TestRLEDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := RLEDecode([]byte{1}); err == nil {
+		t.Fatal("odd-length stream accepted")
+	}
+	if _, err := RLEDecode([]byte{0, 5}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestQuickRLERoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := RLEDecode(RLEEncode(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	in := bytes.Repeat([]byte{1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2}, 32)
+	if enc := RLEEncode(in); len(enc) >= len(in)/2 {
+		t.Fatalf("runs not compressed: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestHuffmanKnownRoundTrips(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{7, 7, 7, 7},           // single symbol
+		[]byte("hello, world"), // small text
+		bytes.Repeat([]byte("abracadabra "), 100),
+	}
+	for i, in := range cases {
+		enc := HuffmanEncode(in)
+		dec, err := HuffmanDecode(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, in) && !(len(in) == 0 && len(dec) == 0) {
+			t.Fatalf("case %d: round trip failed", i)
+		}
+	}
+}
+
+func TestHuffmanCompressesSkewedData(t *testing.T) {
+	// Mostly zeros: entropy far below 8 bits/symbol.
+	rng := rand.New(rand.NewSource(1))
+	in := make([]byte, 8192)
+	for i := range in {
+		if rng.Intn(10) == 0 {
+			in[i] = byte(rng.Intn(4))
+		}
+	}
+	enc := HuffmanEncode(in)
+	if len(enc) > len(in)/2 {
+		t.Fatalf("skewed data not compressed: %d -> %d", len(in), len(enc))
+	}
+}
+
+func TestHuffmanRandomDataOverheadBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]byte, 4096)
+	rng.Read(in)
+	enc := HuffmanEncode(in)
+	// Incompressible: output ≈ input + 260-byte header, never much more.
+	if len(enc) > len(in)+300 {
+		t.Fatalf("random data blew up: %d -> %d", len(in), len(enc))
+	}
+	dec, err := HuffmanDecode(enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatal("random round trip failed")
+	}
+}
+
+func TestHuffmanDecodeRejectsGarbage(t *testing.T) {
+	if _, err := HuffmanDecode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	// Valid header claiming data but an empty body.
+	enc := HuffmanEncode([]byte("xyz"))
+	if _, err := HuffmanDecode(enc[:4+256]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestQuickHuffmanRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := HuffmanDecode(HuffmanEncode(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data) || (len(data) == 0 && len(dec) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFullChainRoundTrip(t *testing.T) {
+	// The compression pipeline's full transform: delta → rle → huffman and
+	// back.
+	f := func(data []byte) bool {
+		enc := HuffmanEncode(RLEEncode(DeltaEncode(data)))
+		h, err := HuffmanDecode(enc)
+		if err != nil {
+			return false
+		}
+		r, err := RLEDecode(h)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(DeltaDecode(r), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanPathologicalSkew(t *testing.T) {
+	// Fibonacci-like frequencies drive tree depth up; the flat-code
+	// fallback must keep the stream decodable.
+	var in []byte
+	count := 1
+	for sym := 0; sym < 30 && len(in) < 200000; sym++ {
+		for i := 0; i < count; i++ {
+			in = append(in, byte(sym))
+		}
+		count = count*17/10 + 1
+	}
+	enc := HuffmanEncode(in)
+	dec, err := HuffmanDecode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, in) {
+		t.Fatal("pathological round trip failed")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sccpipe/internal/render"
+	"sccpipe/internal/scc"
+)
+
+// CostModel converts stage work into 533 MHz-reference compute seconds and
+// memory-traffic byte counts. The constants are calibrated so that the
+// single-core stage profile reproduces the paper's Fig. 8 decomposition
+// (render ≈ 94 s, render+transfer ≈ 104 s, all stages ≈ 382 s over the
+// 400-frame walkthrough at 512×512) and so the pipeline sweeps land on the
+// paper's Table I shapes. See EXPERIMENTS.md for the calibration trail.
+type CostModel struct {
+	// RefPixels is the full-frame pixel count the per-frame constants are
+	// expressed against; costs scale linearly with actual pixels.
+	RefPixels float64
+
+	// Render stage: compute = CullPerNode·nodes + TriSetup·tris +
+	// FillPerPixel·pixels.
+	CullPerNode  float64
+	TriSetup     float64
+	FillPerPixel float64
+	// FrustumAdjust is the extra per-frame computation each renderer pays
+	// in the n-renderer configuration (§V: "additional computation is
+	// necessary to adjust the viewing frustum").
+	FrustumAdjust float64
+
+	// FilterCompute is each filter's full-frame compute seconds.
+	FilterCompute [numStageKinds]float64
+
+	// AssembleCompute is the transfer stage's per-full-frame compute.
+	AssembleCompute float64
+	// ConnectCompute is the connect stage's per-full-frame compute.
+	ConnectCompute float64
+	// HostRenderPerFrame is the MCPC's per-frame render time (the paper:
+	// 400 frames in ≈3.3 s on the Xeon).
+	HostRenderPerFrame float64
+}
+
+// DefaultCostModel returns the calibrated model.
+func DefaultCostModel() CostModel {
+	m := CostModel{
+		RefPixels:          512 * 512,
+		CullPerNode:        18e-6, // recursive octree traversal, cache hostile
+		TriSetup:           2e-6,  // per-triangle transform/setup
+		FillPerPixel:       0.82e-6,
+		FrustumAdjust:      0.100,
+		AssembleCompute:    0.002,
+		ConnectCompute:     0.002,
+		HostRenderPerFrame: 3.3 / 400,
+	}
+	m.FilterCompute[StageSepia] = 0.030
+	m.FilterCompute[StageBlur] = 0.380
+	m.FilterCompute[StageScratch] = 0.023
+	m.FilterCompute[StageFlicker] = 0.022
+	m.FilterCompute[StageSwap] = 0.028
+	return m
+}
+
+// RenderCompute returns the reference compute seconds for a render pass
+// with the given culling stats over the given pixel area.
+func (m CostModel) RenderCompute(st render.CullStats, pixels int) float64 {
+	return m.CullPerNode*float64(st.NodesVisited) +
+		m.TriSetup*float64(st.TrisAccepted) +
+		m.FillPerPixel*float64(pixels)
+}
+
+// FilterComputeFor returns the reference compute seconds of a filter stage
+// over the given pixel area.
+func (m CostModel) FilterComputeFor(kind StageKind, pixels int) float64 {
+	return m.FilterCompute[kind] * float64(pixels) / m.RefPixels
+}
+
+// FilterExtraBytes returns a filter stage's memory traffic beyond the
+// receive-read and send-write of its strip. Only blur needs a second
+// buffer (§IV): it writes a working copy and, if the strip exceeds the
+// 256 KiB L2, must stream it back from memory.
+func (m CostModel) FilterExtraBytes(kind StageKind, stripBytes int) int {
+	if kind != StageBlur {
+		return 0
+	}
+	return stripBytes + residentPenalty(stripBytes)
+}
+
+// residentPenalty returns stripBytes if the strip no longer fits in L2.
+func residentPenalty(stripBytes int) int {
+	if stripBytes > scc.L2Size {
+		return stripBytes
+	}
+	return 0
+}

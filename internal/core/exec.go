@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sccpipe/internal/filters"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+// ExecSpec configures a real (pixel-producing) pipeline run. It mirrors
+// Spec but executes with goroutines and channels instead of the simulated
+// SCC: the examples and the functional tests use it.
+type ExecSpec struct {
+	Frames    int
+	Width     int
+	Height    int
+	Pipelines int
+	// Renderer selects OneRenderer (one goroutine renders full frames and
+	// splits them) or NRenderers (one renderer per pipeline, sort-first).
+	// HostRenderer behaves like OneRenderer here: there is no separate
+	// host when running natively.
+	Renderer RendererConfig
+	// Seed drives the scratch and flicker stages deterministically: the
+	// RNG of stage s on strip i of frame f depends only on (Seed, f, i, s),
+	// so parallel and sequential executions produce identical pixels.
+	Seed int64
+	// OrientedScratches replaces the paper's vertical-only scratch filter
+	// with the arbitrary-orientation extension it suggests (§IV).
+	OrientedScratches bool
+}
+
+// Validate reports whether the exec spec is runnable.
+func (s ExecSpec) Validate() error {
+	if s.Frames <= 0 || s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("core: bad exec spec %+v", s)
+	}
+	if s.Pipelines < 1 || s.Pipelines > s.Height {
+		return fmt.Errorf("core: exec pipelines %d out of range", s.Pipelines)
+	}
+	return nil
+}
+
+// ExecResult reports a real run.
+type ExecResult struct {
+	Frames  int
+	Elapsed time.Duration
+}
+
+// stageSeed derives a deterministic RNG seed for one stage application.
+func stageSeed(seed int64, f, strip int, kind StageKind) int64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [3]uint64{uint64(f), uint64(strip), uint64(kind)} {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+	}
+	return int64(x >> 1)
+}
+
+// applyFilter runs one filter stage on a strip image.
+func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int) {
+	seed := spec.Seed
+	switch kind {
+	case StageSepia:
+		filters.Sepia(img)
+	case StageBlur:
+		filters.Blur(img)
+	case StageScratch:
+		rng := rand.New(rand.NewSource(stageSeed(seed, f, strip, kind)))
+		if spec.OrientedScratches {
+			filters.ScratchOriented(img, rng, filters.DefaultOrientedScratchParams())
+		} else {
+			filters.Scratch(img, rng)
+		}
+	case StageFlicker:
+		filters.Flicker(img, rand.New(rand.NewSource(stageSeed(seed, f, strip, kind))))
+	case StageSwap:
+		filters.Swap(img)
+	default:
+		panic(fmt.Sprintf("core: %v is not a filter stage", kind))
+	}
+}
+
+type execMsg struct {
+	frame int
+	strip *frame.Strip
+}
+
+// Exec runs the macro pipeline for real: frames are rendered, filtered
+// strip-wise through the five stages, reassembled, and handed to sink in
+// frame order. Each stage of each pipeline is one goroutine connected by
+// capacity-1 channels, matching the paper's structure (and the natural
+// goroutine translation of the SCC design).
+func Exec(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (ExecResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ExecResult{}, err
+	}
+	if len(cams) < spec.Frames {
+		return ExecResult{}, fmt.Errorf("core: %d cameras for %d frames", len(cams), spec.Frames)
+	}
+	start := time.Now()
+	k := spec.Pipelines
+
+	heads := make([]chan execMsg, k)
+	for i := range heads {
+		heads[i] = make(chan execMsg, 1)
+	}
+
+	var wg sync.WaitGroup
+
+	// Producers.
+	switch spec.Renderer {
+	case NRenderers:
+		for i := 0; i < k; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(heads[i])
+				r := render.NewRenderer(tree)
+				y0, y1 := frame.StripBounds(spec.Height, k, i)
+				for f := 0; f < spec.Frames; f++ {
+					img := frame.New(spec.Width, y1-y0)
+					r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
+					heads[i] <- execMsg{frame: f, strip: &frame.Strip{Index: i, Y0: y0, Img: img}}
+				}
+			}()
+		}
+	default: // OneRenderer, HostRenderer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				for _, ch := range heads {
+					close(ch)
+				}
+			}()
+			r := render.NewRenderer(tree)
+			for f := 0; f < spec.Frames; f++ {
+				img := frame.New(spec.Width, spec.Height)
+				r.RenderFrame(cams[f], img)
+				for i, s := range frame.SplitRows(img, k) {
+					heads[i] <- execMsg{frame: f, strip: s}
+				}
+			}
+		}()
+	}
+
+	// Filter chains.
+	tails := make([]chan execMsg, k)
+	for i := 0; i < k; i++ {
+		in := heads[i]
+		for _, kind := range FilterOrder {
+			kind := kind
+			out := make(chan execMsg, 1)
+			src := in
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(out)
+				for msg := range src {
+					applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index)
+					out <- msg
+				}
+			}()
+			in = out
+		}
+		tails[i] = in
+	}
+
+	// Transfer: gather one strip per pipeline per frame, assemble, emit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for f := 0; f < spec.Frames; f++ {
+			strips := make([]*frame.Strip, 0, k)
+			for i := 0; i < k; i++ {
+				msg, ok := <-tails[i]
+				if !ok || msg.frame != f {
+					panic(fmt.Sprintf("core: pipeline %d out of sync at frame %d", i, f))
+				}
+				strips = append(strips, msg.strip)
+			}
+			if sink != nil {
+				sink(f, frame.Assemble(spec.Width, spec.Height, strips))
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-done
+	return ExecResult{Frames: spec.Frames, Elapsed: time.Since(start)}, nil
+}
+
+// ExecReference computes the same strip-wise result sequentially — the
+// oracle for testing that parallel pipelines do not change pixels.
+func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(cams) < spec.Frames {
+		return fmt.Errorf("core: %d cameras for %d frames", len(cams), spec.Frames)
+	}
+	r := render.NewRenderer(tree)
+	k := spec.Pipelines
+	for f := 0; f < spec.Frames; f++ {
+		var strips []*frame.Strip
+		for i := 0; i < k; i++ {
+			y0, y1 := frame.StripBounds(spec.Height, k, i)
+			img := frame.New(spec.Width, y1-y0)
+			r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
+			for _, kind := range FilterOrder {
+				applyFilter(kind, img, spec, f, i)
+			}
+			strips = append(strips, &frame.Strip{Index: i, Y0: y0, Img: img})
+		}
+		if sink != nil {
+			sink(f, frame.Assemble(spec.Width, spec.Height, strips))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"sccpipe/internal/scc"
+)
+
+// Placement maps the stages of a spec onto SCC cores.
+type Placement struct {
+	// Renderers holds one core (OneRenderer) or one per pipeline
+	// (NRenderers); it is empty for HostRenderer.
+	Renderers []scc.CoreID
+	// Connect is the MCPC-facing distribution core (HostRenderer only;
+	// -1 otherwise).
+	Connect scc.CoreID
+	// Filters[i][j] is pipeline i's j-th filter stage core (FilterOrder).
+	Filters [][]scc.CoreID
+	// Transfer collects strips and feeds the visualization client.
+	Transfer scc.CoreID
+}
+
+// Cores returns every core the placement uses, without duplicates.
+func (pl Placement) Cores() []scc.CoreID {
+	seen := make(map[scc.CoreID]bool)
+	var out []scc.CoreID
+	add := func(c scc.CoreID) {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range pl.Renderers {
+		add(c)
+	}
+	add(pl.Connect)
+	for _, p := range pl.Filters {
+		for _, c := range p {
+			add(c)
+		}
+	}
+	add(pl.Transfer)
+	return out
+}
+
+// BlurCores returns the cores running blur stages.
+func (pl Placement) BlurCores() []scc.CoreID {
+	var out []scc.CoreID
+	for _, p := range pl.Filters {
+		out = append(out, p[1]) // FilterOrder[1] == StageBlur
+	}
+	return out
+}
+
+// TailCores returns the cores of the stages after blur (scratch, flicker,
+// swap) plus the transfer core — the set the paper downclocks in §VI-D.
+func (pl Placement) TailCores() []scc.CoreID {
+	var out []scc.CoreID
+	for _, p := range pl.Filters {
+		out = append(out, p[2], p[3], p[4])
+	}
+	out = append(out, pl.Transfer)
+	return out
+}
+
+// Place computes the core assignment for a spec. It panics only on internal
+// inconsistency; impossible specs are rejected by Validate.
+func Place(s Spec) (Placement, error) {
+	if err := s.Validate(); err != nil {
+		return Placement{}, err
+	}
+	switch s.Arrangement {
+	case Unordered:
+		return placeUnordered(s)
+	case Ordered, Flipped:
+		return placeRows(s)
+	default:
+		return Placement{}, fmt.Errorf("core: unknown arrangement %v", s.Arrangement)
+	}
+}
+
+// placeUnordered assigns cores strictly in SCC ID order: sources first,
+// then each pipeline's filters back to back, then the transfer stage. As
+// the paper notes, pipelines may wrap mid-row on the mesh.
+func placeUnordered(s Spec) (Placement, error) {
+	next := scc.CoreID(0)
+	take := func() scc.CoreID {
+		c := next
+		next++
+		return c
+	}
+	pl := Placement{Connect: -1}
+	switch s.Renderer {
+	case OneRenderer:
+		pl.Renderers = []scc.CoreID{take()}
+	case HostRenderer:
+		pl.Connect = take()
+	case NRenderers:
+		for i := 0; i < s.Pipelines; i++ {
+			pl.Renderers = append(pl.Renderers, take())
+		}
+	}
+	for i := 0; i < s.Pipelines; i++ {
+		var stages []scc.CoreID
+		for range FilterOrder {
+			stages = append(stages, take())
+		}
+		pl.Filters = append(pl.Filters, stages)
+	}
+	pl.Transfer = take()
+	if !pl.Transfer.Valid() {
+		return Placement{}, fmt.Errorf("core: placement overflows the chip")
+	}
+	return relocateBlur(s, pl)
+}
+
+// placeRows lays each pipeline along a mesh row (Ordered), reversing every
+// second pipeline's direction for Flipped. Pipeline i occupies row i%4
+// using tile-core pair i/4; its five filters sit on mesh columns 1..5.
+// Sources (render stages or connect) sit on column 0 of the pipeline's row,
+// and the transfer stage on a remaining column-0 core.
+func placeRows(s Spec) (Placement, error) {
+	pl := Placement{Connect: -1}
+	coreAt := func(col, row, pair int) scc.CoreID {
+		return scc.CoreID(2*int(scc.TileAt(col, row)) + pair)
+	}
+	colUsed := make(map[scc.CoreID]bool)
+	// Per-pipeline filter stages.
+	for i := 0; i < s.Pipelines; i++ {
+		row, pair := i%scc.MeshRows, i/scc.MeshRows
+		flip := s.Arrangement == Flipped && i%2 == 1
+		var stages []scc.CoreID
+		for j := range FilterOrder {
+			col := j + 1
+			if flip {
+				col = scc.MeshCols - 1 - j
+			}
+			stages = append(stages, coreAt(col, row, pair))
+		}
+		pl.Filters = append(pl.Filters, stages)
+	}
+	// Sources on column 0.
+	takeCol0 := func(prefRow, prefPair int) scc.CoreID {
+		for _, cand := range col0Candidates(prefRow, prefPair) {
+			if !colUsed[cand] {
+				colUsed[cand] = true
+				return cand
+			}
+		}
+		return -1
+	}
+	switch s.Renderer {
+	case OneRenderer:
+		pl.Renderers = []scc.CoreID{takeCol0(0, 0)}
+	case HostRenderer:
+		pl.Connect = takeCol0(0, 0)
+	case NRenderers:
+		for i := 0; i < s.Pipelines; i++ {
+			pl.Renderers = append(pl.Renderers, takeCol0(i%scc.MeshRows, i/scc.MeshRows))
+		}
+	}
+	pl.Transfer = takeCol0(scc.MeshRows-1, 1)
+	if pl.Transfer < 0 {
+		return Placement{}, fmt.Errorf("core: no free column-0 core for transfer stage")
+	}
+	return relocateBlur(s, pl)
+}
+
+// col0Candidates enumerates column-0 cores starting from a preferred spot.
+func col0Candidates(prefRow, prefPair int) []scc.CoreID {
+	var out []scc.CoreID
+	for dp := 0; dp < 2; dp++ {
+		for dr := 0; dr < scc.MeshRows; dr++ {
+			row := (prefRow + dr) % scc.MeshRows
+			pair := (prefPair + dp) % 2
+			out = append(out, scc.CoreID(2*int(scc.TileAt(0, row))+pair))
+		}
+	}
+	return out
+}
+
+// relocateBlur moves blur stages to tiles in otherwise-unused voltage
+// islands when the spec demands isolation (Fig. 18: raising only blur's
+// frequency requires its tile to sit in a separate voltage domain).
+func relocateBlur(s Spec, pl Placement) (Placement, error) {
+	if !s.IsolateBlur {
+		return pl, nil
+	}
+	used := make(map[scc.CoreID]bool)
+	for _, c := range pl.Cores() {
+		used[c] = true
+	}
+	islandBusy := make(map[int]bool)
+	for c := range used {
+		islandBusy[c.Island()] = true
+	}
+	for i := range pl.Filters {
+		blur := pl.Filters[i][1]
+		// Already alone in its island (besides other blurs we moved)?
+		alone := true
+		for c := scc.CoreID(0); c < scc.NumCores; c++ {
+			if c != blur && used[c] && c.Island() == blur.Island() {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			continue
+		}
+		moved := false
+		for c := scc.CoreID(0); c < scc.NumCores; c++ {
+			if used[c] || islandBusy[c.Island()] {
+				continue
+			}
+			delete(used, blur)
+			used[c] = true
+			islandBusy[c.Island()] = true
+			pl.Filters[i][1] = c
+			moved = true
+			break
+		}
+		if !moved {
+			return Placement{}, fmt.Errorf("core: no free voltage island to isolate blur of pipeline %d", i)
+		}
+	}
+	return pl, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"sccpipe/internal/scc"
+)
+
+func allSpecs(t *testing.T) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, rc := range []RendererConfig{OneRenderer, NRenderers, HostRenderer} {
+		for _, ar := range Arrangements {
+			for k := 1; k <= MaxPipelines(rc); k++ {
+				s := DefaultSpec()
+				s.Renderer = rc
+				s.Arrangement = ar
+				s.Pipelines = k
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
+func TestPlaceNoDuplicatesAnywhere(t *testing.T) {
+	for _, s := range allSpecs(t) {
+		pl, err := Place(s)
+		if err != nil {
+			t.Fatalf("%v/%v/k=%d: %v", s.Renderer, s.Arrangement, s.Pipelines, err)
+		}
+		want := s.Pipelines * len(FilterOrder) // filters
+		switch s.Renderer {
+		case OneRenderer:
+			want += 2 // render + transfer
+		case NRenderers:
+			want += s.Pipelines + 1
+		case HostRenderer:
+			want += 2 // connect + transfer
+		}
+		cores := pl.Cores()
+		if len(cores) != want {
+			t.Fatalf("%v/%v/k=%d: %d distinct cores, want %d (collision?)",
+				s.Renderer, s.Arrangement, s.Pipelines, len(cores), want)
+		}
+		for _, c := range cores {
+			if !c.Valid() {
+				t.Fatalf("%v/%v/k=%d: invalid core %d", s.Renderer, s.Arrangement, s.Pipelines, c)
+			}
+		}
+	}
+}
+
+func TestOrderedPipelinesFollowRows(t *testing.T) {
+	s := DefaultSpec()
+	s.Arrangement = Ordered
+	s.Pipelines = 4
+	pl, err := Place(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, stages := range pl.Filters {
+		_, row0 := stages[0].XY()
+		for j, c := range stages {
+			x, y := c.XY()
+			if y != row0 {
+				t.Fatalf("pipeline %d stage %d leaves its row", i, j)
+			}
+			if x != j+1 {
+				t.Fatalf("pipeline %d stage %d at column %d, want %d", i, j, x, j+1)
+			}
+		}
+	}
+}
+
+func TestFlippedReversesOddPipelines(t *testing.T) {
+	s := DefaultSpec()
+	s.Arrangement = Flipped
+	s.Pipelines = 2
+	pl, err := Place(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, _ := pl.Filters[0][0].XY()
+	xLast0, _ := pl.Filters[0][len(FilterOrder)-1].XY()
+	if x0 >= xLast0 {
+		t.Fatalf("even pipeline should flow left to right: %d..%d", x0, xLast0)
+	}
+	x1, _ := pl.Filters[1][0].XY()
+	xLast1, _ := pl.Filters[1][len(FilterOrder)-1].XY()
+	if x1 <= xLast1 {
+		t.Fatalf("odd pipeline should flow right to left: %d..%d", x1, xLast1)
+	}
+}
+
+func TestUnorderedIsSequential(t *testing.T) {
+	s := DefaultSpec()
+	s.Arrangement = Unordered
+	s.Renderer = NRenderers
+	s.Pipelines = 3
+	pl, err := Place(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renderers first, then filters back to back, then transfer.
+	expect := scc.CoreID(0)
+	for _, c := range pl.Renderers {
+		if c != expect {
+			t.Fatalf("renderer at %d, want %d", c, expect)
+		}
+		expect++
+	}
+	for _, p := range pl.Filters {
+		for _, c := range p {
+			if c != expect {
+				t.Fatalf("filter at %d, want %d", c, expect)
+			}
+			expect++
+		}
+	}
+	if pl.Transfer != expect {
+		t.Fatalf("transfer at %d, want %d", pl.Transfer, expect)
+	}
+}
+
+func TestIsolateBlurGetsOwnIsland(t *testing.T) {
+	for _, ar := range Arrangements {
+		s := DefaultSpec()
+		s.Arrangement = ar
+		s.Renderer = HostRenderer
+		s.Pipelines = 1
+		s.IsolateBlur = true
+		pl, err := Place(s)
+		if err != nil {
+			t.Fatalf("%v: %v", ar, err)
+		}
+		blur := pl.Filters[0][1]
+		for _, c := range pl.Cores() {
+			if c != blur && c.Island() == blur.Island() {
+				t.Fatalf("%v: core %d shares island %d with blur core %d", ar, c, blur.Island(), blur)
+			}
+		}
+	}
+}
+
+func TestPlaceRejectsTooManyPipelines(t *testing.T) {
+	s := DefaultSpec()
+	s.Renderer = NRenderers
+	s.Pipelines = MaxPipelines(NRenderers) + 1
+	if _, err := Place(s); err == nil {
+		t.Fatal("oversized spec accepted")
+	}
+}
+
+func TestBlurAndTailCores(t *testing.T) {
+	s := DefaultSpec()
+	s.Pipelines = 3
+	s.Renderer = NRenderers
+	pl, err := Place(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pl.BlurCores()); got != 3 {
+		t.Fatalf("blur cores = %d, want 3", got)
+	}
+	// 3 pipelines × (scratch, flicker, swap) + transfer.
+	if got := len(pl.TailCores()); got != 10 {
+		t.Fatalf("tail cores = %d, want 10", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{Frames: 0, Width: 10, Height: 10, Pipelines: 1},
+		{Frames: 1, Width: 0, Height: 10, Pipelines: 1},
+		{Frames: 1, Width: 10, Height: 10, Pipelines: 0},
+		{Frames: 1, Width: 10, Height: 4, Pipelines: 5},
+		{Frames: 1, Width: 10, Height: 10, Pipelines: 9, Renderer: NRenderers},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}

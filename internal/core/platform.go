@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sccpipe/internal/des"
+	"sccpipe/internal/host"
+	"sccpipe/internal/rcce"
+	"sccpipe/internal/scc"
+)
+
+// Platform abstracts the machine the pipeline runs on, so the same stage
+// processes drive both the simulated SCC and the Mogon cluster model.
+// Slots are abstract stage locations; each platform maps them to its own
+// notion of a core.
+type Platform interface {
+	Eng() *des.Engine
+	// Compute runs refSeconds of 533 MHz-reference work of the given
+	// stage kind on a slot (kind lets platforms with stage-dependent
+	// speedups, like the cluster's SIMD rasterizer, scale correctly).
+	Compute(p *des.Proc, slot int, refSeconds float64, kind StageKind)
+	// Local charges stage-private memory traffic (framebuffer writes,
+	// blur's second buffer, ...) on a slot.
+	Local(p *des.Proc, slot int, bytes int)
+	// Send moves a payload to another slot's stage, blocking under
+	// backpressure.
+	Send(p *des.Proc, from, to int, payload any, bytes int)
+	// Recv blocks until a payload from `from` arrives at `at`; idle is the
+	// time spent waiting for it to appear (not fetching it).
+	Recv(p *des.Proc, at, from int) (payload any, bytes int, idle float64)
+	// HostFrameRecv charges the ingress of one host-rendered frame at the
+	// connect slot (link occupancy plus landing it in memory).
+	HostFrameRecv(p *des.Proc, slot int, bytes int)
+	// ViewerSend charges shipping a finished frame to the visualization
+	// client from the transfer slot.
+	ViewerSend(p *des.Proc, slot int, bytes int)
+}
+
+// ---------------------------------------------------------------------------
+// SCC platform
+
+// SCCPlatform runs stages on the simulated chip through the rcce layer.
+type SCCPlatform struct {
+	Chip *scc.Chip
+	Comm *rcce.Comm
+	MCPC host.MCPC
+
+	slotCore []scc.CoreID
+	toSCC    *des.Resource
+	fromSCC  *des.Resource
+}
+
+// NewSCCPlatform wires a chip, communicator and MCPC links. slotCore maps
+// abstract slots to cores.
+func NewSCCPlatform(chip *scc.Chip, comm *rcce.Comm, mcpc host.MCPC, slotCore []scc.CoreID) *SCCPlatform {
+	return &SCCPlatform{
+		Chip:     chip,
+		Comm:     comm,
+		MCPC:     mcpc,
+		slotCore: slotCore,
+		toSCC:    des.NewResource(1),
+		fromSCC:  des.NewResource(1),
+	}
+}
+
+// Core returns the chip core behind a slot.
+func (pf *SCCPlatform) Core(slot int) scc.CoreID { return pf.slotCore[slot] }
+
+// Eng returns the simulation engine.
+func (pf *SCCPlatform) Eng() *des.Engine { return pf.Chip.Eng }
+
+// Compute delegates to the chip at the slot core's current frequency; all
+// stage kinds run at the same per-cycle speed on a P54C.
+func (pf *SCCPlatform) Compute(p *des.Proc, slot int, refSeconds float64, _ StageKind) {
+	pf.Chip.ComputeSeconds(p, pf.slotCore[slot], refSeconds)
+}
+
+// Local charges traffic against the core's own memory partition.
+func (pf *SCCPlatform) Local(p *des.Proc, slot int, bytes int) {
+	pf.Chip.MemRead(p, pf.slotCore[slot], bytes)
+}
+
+// Send uses the rcce double-hop channel.
+func (pf *SCCPlatform) Send(p *des.Proc, from, to int, payload any, bytes int) {
+	pf.Comm.Send(p, pf.slotCore[from], pf.slotCore[to], payload, bytes)
+}
+
+// Recv uses the rcce channel; the payload fetch out of the receiver's
+// partition is charged inside.
+func (pf *SCCPlatform) Recv(p *des.Proc, at, from int) (any, int, float64) {
+	m, idle := pf.Comm.Recv(p, pf.slotCore[at], pf.slotCore[from])
+	return m.Payload, m.Bytes, idle
+}
+
+// HostFrameRecv charges the PCIe/UDP link plus landing the frame in the
+// connect core's partition.
+func (pf *SCCPlatform) HostFrameRecv(p *des.Proc, slot int, bytes int) {
+	p.WaitUntil(pf.toSCC.ReserveAt(p.Now(), pf.MCPC.ToSCC.TransferTime(bytes)))
+	pf.Chip.MemWrite(p, pf.slotCore[slot], bytes)
+}
+
+// ViewerSend charges the SCC→client link.
+func (pf *SCCPlatform) ViewerSend(p *des.Proc, slot int, bytes int) {
+	p.WaitUntil(pf.fromSCC.ReserveAt(p.Now(), pf.MCPC.FromSCC.TransferTime(bytes)))
+}
+
+// ---------------------------------------------------------------------------
+// Cluster platform
+
+// ClusterPlatform models the Mogon node: fast out-of-order cores and —
+// crucially — shared local memory, so stage hand-offs are a single copy and
+// receivers find their data locally (what the paper wishes the SCC had).
+type ClusterPlatform struct {
+	C   host.Cluster
+	eng *des.Engine
+	mem *des.Resource
+	ext *des.Resource
+	vw  *des.Resource
+	ch  map[[2]int]*des.Queue
+}
+
+// NewClusterPlatform returns a cluster platform over a fresh engine.
+func NewClusterPlatform(eng *des.Engine, c host.Cluster) *ClusterPlatform {
+	return &ClusterPlatform{
+		C:   c,
+		eng: eng,
+		mem: des.NewResource(1),
+		ext: des.NewResource(1),
+		vw:  des.NewResource(1),
+		ch:  make(map[[2]int]*des.Queue),
+	}
+}
+
+// Eng returns the simulation engine.
+func (pf *ClusterPlatform) Eng() *des.Engine { return pf.eng }
+
+func (pf *ClusterPlatform) queue(from, to int) *des.Queue {
+	k := [2]int{from, to}
+	q := pf.ch[k]
+	if q == nil {
+		q = des.NewQueue(pf.eng, 1)
+		pf.ch[k] = q
+	}
+	return q
+}
+
+// Compute scales reference work by the node's effective speed; the render
+// stage gains the larger, SIMD-backed factor.
+func (pf *ClusterPlatform) Compute(p *des.Proc, slot int, refSeconds float64, kind StageKind) {
+	f := pf.C.SpeedFactor
+	if kind == StageRender && pf.C.RenderSpeedFactor > 0 {
+		f = pf.C.RenderSpeedFactor
+	}
+	p.Wait(refSeconds / f)
+}
+
+// Local charges the shared memory system.
+func (pf *ClusterPlatform) Local(p *des.Proc, slot int, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	pf.mem.Use(p, float64(bytes)/pf.C.MemBandwidth)
+}
+
+type clusterMsg struct {
+	payload any
+	bytes   int
+}
+
+// Send copies the strip once through shared memory — no double hop.
+func (pf *ClusterPlatform) Send(p *des.Proc, from, to int, payload any, bytes int) {
+	p.Wait(pf.C.MsgOverhead)
+	pf.Local(p, from, bytes)
+	pf.queue(from, to).Put(p, clusterMsg{payload, bytes})
+}
+
+// Recv finds its data in shared memory: waiting is the only cost.
+func (pf *ClusterPlatform) Recv(p *des.Proc, at, from int) (any, int, float64) {
+	start := p.Now()
+	m := pf.queue(from, at).Get(p).(clusterMsg)
+	return m.payload, m.bytes, p.Now() - start
+}
+
+// HostFrameRecv charges the external render node's network link plus the
+// landing copy.
+func (pf *ClusterPlatform) HostFrameRecv(p *des.Proc, slot int, bytes int) {
+	p.WaitUntil(pf.ext.ReserveAt(p.Now(), pf.C.ExternalLink.TransferTime(bytes)))
+	pf.Local(p, slot, bytes)
+}
+
+// ViewerSend charges the viewer node's network link.
+func (pf *ClusterPlatform) ViewerSend(p *des.Proc, slot int, bytes int) {
+	p.WaitUntil(pf.vw.ReserveAt(p.Now(), pf.C.ViewerLink.TransferTime(bytes)))
+}

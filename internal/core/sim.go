@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sccpipe/internal/des"
+	"sccpipe/internal/host"
+	"sccpipe/internal/rcce"
+	"sccpipe/internal/scc"
+	"sccpipe/internal/trace"
+)
+
+// SimResult reports one simulated walkthrough.
+type SimResult struct {
+	// Seconds is the complete walkthrough time (the paper's headline
+	// metric, e.g. Table I).
+	Seconds float64
+	// StageIdle holds per-frame idle times by stage kind, pooled across
+	// pipelines (Fig. 15). The pipeline-fill frame is excluded.
+	StageIdle map[StageKind][]float64
+	// Power is the chip power trace sampled once per second (Fig. 14/17);
+	// nil on the cluster platform.
+	Power []scc.PowerSample
+	// SCCEnergyJ integrates chip power over the run.
+	SCCEnergyJ float64
+	// HostExtraEnergyJ is the MCPC's energy *above idle* spent rendering
+	// (the paper's 3.3 s × 28 W term); zero unless HostRenderer.
+	HostExtraEnergyJ float64
+	// MemUtil is the busy fraction of each memory controller.
+	MemUtil []float64
+	// Placement records where stages ran (SCC only).
+	Placement Placement
+	// Trace holds the per-stage activity timeline when SimOptions.Trace
+	// was set; nil otherwise.
+	Trace *trace.Trace
+}
+
+// SimOptions overrides simulation defaults; zero values select the
+// calibrated defaults.
+type SimOptions struct {
+	ChipConfig *scc.Config
+	Model      *CostModel
+	MCPC       *host.MCPC
+	// PowerDT is the power-trace sampling period (default 1 s).
+	PowerDT float64
+	// JitterCV adds uniform per-invocation noise of ±JitterCV (relative)
+	// to every stage's compute time, modelling the measurement variance of
+	// real runs (the paper's box plots); 0 keeps the simulation exactly
+	// deterministic against the calibration targets.
+	JitterCV float64
+	// JitterSeed seeds the jitter stream; runs with equal seeds are
+	// reproducible.
+	JitterSeed int64
+	// Trace records the per-stage activity timeline (spans for waiting,
+	// computing and communicating plus frame-completion marks) into
+	// SimResult.Trace. Off by default: a 400-frame run generates hundreds
+	// of thousands of spans.
+	Trace bool
+	// ChannelDepth sets how many messages may be in flight between two
+	// adjacent stages: 0 selects the default of 1 (the paper's
+	// rendezvous-with-one-slot behaviour); negative means unbounded.
+	ChannelDepth int
+}
+
+// channelDepth resolves the inter-stage channel capacity.
+func (o SimOptions) channelDepth() int {
+	switch {
+	case o.ChannelDepth < 0:
+		return 0 // unbounded in des.Queue terms
+	case o.ChannelDepth == 0:
+		return 1
+	default:
+		return o.ChannelDepth
+	}
+}
+
+// jitterFunc builds the per-call compute-time perturbation.
+func (o SimOptions) jitterFunc() func(float64) float64 {
+	if o.JitterCV <= 0 {
+		return func(v float64) float64 { return v }
+	}
+	rng := rand.New(rand.NewSource(o.JitterSeed + 1))
+	cv := o.JitterCV
+	return func(v float64) float64 {
+		f := 1 + cv*(2*rng.Float64()-1)
+		if f < 0.05 {
+			f = 0.05
+		}
+		return v * f
+	}
+}
+
+func (o SimOptions) chipConfig() scc.Config {
+	if o.ChipConfig != nil {
+		return *o.ChipConfig
+	}
+	return scc.DefaultConfig()
+}
+
+func (o SimOptions) model() CostModel {
+	if o.Model != nil {
+		return *o.Model
+	}
+	return DefaultCostModel()
+}
+
+func (o SimOptions) mcpc() host.MCPC {
+	if o.MCPC != nil {
+		return *o.MCPC
+	}
+	return host.DefaultMCPC()
+}
+
+// slotPlan assigns abstract platform slots to the spec's stages.
+type slotPlan struct {
+	renderers []int
+	connect   int
+	filters   [][]int
+	transfer  int
+	count     int
+}
+
+func planSlots(s Spec) slotPlan {
+	sp := slotPlan{connect: -1}
+	next := 0
+	take := func() int { n := next; next++; return n }
+	switch s.Renderer {
+	case OneRenderer:
+		sp.renderers = []int{take()}
+	case NRenderers:
+		for i := 0; i < s.Pipelines; i++ {
+			sp.renderers = append(sp.renderers, take())
+		}
+	case HostRenderer:
+		sp.connect = take()
+	}
+	for i := 0; i < s.Pipelines; i++ {
+		var f []int
+		for range FilterOrder {
+			f = append(f, take())
+		}
+		sp.filters = append(sp.filters, f)
+	}
+	sp.transfer = take()
+	sp.count = next
+	return sp
+}
+
+// frameToken travels the simulated pipelines in place of pixels.
+type frameToken struct {
+	frame int
+	strip int
+}
+
+// Simulate runs the spec on the simulated SCC.
+func Simulate(spec Spec, wl *Workload, opts SimOptions) (SimResult, error) {
+	if err := spec.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if wl.W != spec.Width || wl.H != spec.Height {
+		return SimResult{}, fmt.Errorf("core: workload is %dx%d but spec wants %dx%d", wl.W, wl.H, spec.Width, spec.Height)
+	}
+	pl, err := Place(spec)
+	if err != nil {
+		return SimResult{}, err
+	}
+
+	eng := des.NewEngine()
+	chip := scc.New(eng, opts.chipConfig())
+	comm := rcce.NewComm(chip, opts.channelDepth())
+
+	sp := planSlots(spec)
+	slotCore := make([]scc.CoreID, sp.count)
+	for i, s := range sp.renderers {
+		slotCore[s] = pl.Renderers[i]
+	}
+	if sp.connect >= 0 {
+		slotCore[sp.connect] = pl.Connect
+	}
+	for i, row := range sp.filters {
+		for j, s := range row {
+			slotCore[s] = pl.Filters[i][j]
+		}
+	}
+	slotCore[sp.transfer] = pl.Transfer
+
+	for _, c := range pl.Cores() {
+		chip.MarkUsed(c)
+	}
+	if spec.BlurFreq.Hz != 0 {
+		for _, c := range pl.BlurCores() {
+			chip.SetFreq(c, spec.BlurFreq)
+		}
+	}
+	if spec.TailFreq.Hz != 0 {
+		for _, c := range pl.TailCores() {
+			chip.SetFreq(c, spec.TailFreq)
+		}
+	}
+
+	pf := NewSCCPlatform(chip, comm, opts.mcpc(), slotCore)
+	var tr *trace.Trace
+	if opts.Trace {
+		tr = trace.New(spec.Frames)
+	}
+	idle := spawnStages(pf, spec, wl, sp, opts.model(), opts.jitterFunc(), tr)
+	eng.Run()
+
+	seconds := eng.Now()
+	dt := opts.PowerDT
+	if dt == 0 {
+		dt = 1
+	}
+	res := SimResult{
+		Seconds:    seconds,
+		StageIdle:  idle.byKind,
+		Power:      chip.PowerTrace(0, seconds, dt),
+		SCCEnergyJ: chip.Energy(0, seconds),
+		Placement:  pl,
+		Trace:      tr,
+	}
+	if spec.Renderer == HostRenderer {
+		m := opts.mcpc()
+		renderBusy := m.RenderPerFrame * float64(spec.Frames)
+		res.HostExtraEnergyJ = renderBusy * (m.BusyWatts - m.IdleWatts)
+	}
+	util := chip.MemUtilization(seconds)
+	res.MemUtil = util[:]
+	return res, nil
+}
+
+// SimulateCluster runs the spec's configuration on the Mogon cluster model
+// (Fig. 13): OneRenderer = "single rend.", NRenderers = "parallel rend.",
+// HostRenderer = "external rend.". Arrangement and DVFS fields are ignored
+// (the cluster has neither a mesh to arrange on nor SCC voltage islands).
+func SimulateCluster(spec Spec, wl *Workload, cluster host.Cluster, opts SimOptions) (SimResult, error) {
+	if err := spec.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	eng := des.NewEngine()
+	pf := NewClusterPlatform(eng, cluster)
+	sp := planSlots(spec)
+	var tr *trace.Trace
+	if opts.Trace {
+		tr = trace.New(spec.Frames)
+	}
+	idle := spawnStages(pf, spec, wl, sp, opts.model(), opts.jitterFunc(), tr)
+	eng.Run()
+	return SimResult{Seconds: eng.Now(), StageIdle: idle.byKind, Trace: tr}, nil
+}
+
+// idleCollector gathers per-frame stage idle samples.
+type idleCollector struct {
+	byKind map[StageKind][]float64
+}
+
+func (ic *idleCollector) add(kind StageKind, frame int, v float64) {
+	if frame == 0 {
+		return // pipeline fill, not steady state
+	}
+	ic.byKind[kind] = append(ic.byKind[kind], v)
+}
+
+// spawnStages creates all stage processes for the spec on a platform.
+func spawnStages(pf Platform, spec Spec, wl *Workload, sp slotPlan, m CostModel, jit func(float64) float64, tr *trace.Trace) *idleCollector {
+	eng := pf.Eng()
+	k := spec.Pipelines
+	frameBytes := wl.FrameBytes()
+	idle := &idleCollector{byKind: make(map[StageKind][]float64)}
+
+	// Sort-first decomposition: even strips as in the paper, or the
+	// cost-balanced extension (n-renderer configuration only — its render
+	// stages are the bottleneck the balance targets).
+	bounds := UniformBounds(wl.H, k)
+	if spec.AdaptiveStrips && spec.Renderer == NRenderers {
+		bounds = wl.BalancedBounds(k, m)
+	}
+	stripPx := make([]int, k)
+	stripBy := make([]int, k)
+	for i, b := range bounds {
+		stripPx[i] = b.Rows() * wl.W
+		stripBy[i] = stripPx[i] * 4
+	}
+
+	// --- producers ---------------------------------------------------------
+	switch spec.Renderer {
+	case OneRenderer:
+		slot := sp.renderers[0]
+		eng.Spawn("render", func(p *des.Proc) {
+			for f := 0; f < spec.Frames; f++ {
+				// RenderCompute is calibrated to the measured single-core
+				// render stage, which includes its framebuffer traffic.
+				pf.Compute(p, slot, jit(m.RenderCompute(wl.Full[f], wl.W*wl.H)), StageRender)
+				for i := 0; i < k; i++ {
+					pf.Send(p, slot, sp.filters[i][0], frameToken{f, i}, wl.StripBytes(k, i))
+				}
+			}
+		})
+	case NRenderers:
+		stripStats := wl.StatsFor(bounds)
+		for i := 0; i < k; i++ {
+			i := i
+			slot := sp.renderers[i]
+			label := fmt.Sprintf("render%d", i)
+			eng.Spawn(label, func(p *des.Proc) {
+				sb := stripBy[i]
+				px := stripPx[i]
+				for f := 0; f < spec.Frames; f++ {
+					t0 := p.Now()
+					pf.Compute(p, slot, jit(m.FrustumAdjust+m.RenderCompute(stripStats[f][i], px)), StageRender)
+					tr.Add(label, f, trace.PhaseCompute, t0, p.Now())
+					t1 := p.Now()
+					pf.Send(p, slot, sp.filters[i][0], frameToken{f, i}, sb)
+					tr.Add(label, f, trace.PhaseComm, t1, p.Now())
+				}
+			})
+		}
+	case HostRenderer:
+		hostQ := des.NewQueue(eng, 2)
+		eng.Spawn("mcpc-render", func(p *des.Proc) {
+			for f := 0; f < spec.Frames; f++ {
+				p.Wait(jit(m.HostRenderPerFrame))
+				hostQ.Put(p, f)
+			}
+		})
+		slot := sp.connect
+		eng.Spawn("connect", func(p *des.Proc) {
+			for f := 0; f < spec.Frames; f++ {
+				start := p.Now()
+				fr := hostQ.Get(p).(int)
+				idle.add(StageConnect, fr, p.Now()-start)
+				tr.Add("connect", fr, trace.PhaseWait, start, p.Now())
+				t0 := p.Now()
+				pf.HostFrameRecv(p, slot, frameBytes)
+				tr.Add("connect", fr, trace.PhaseComm, t0, p.Now())
+				t1 := p.Now()
+				pf.Compute(p, slot, jit(m.ConnectCompute), StageConnect)
+				tr.Add("connect", fr, trace.PhaseCompute, t1, p.Now())
+				t2 := p.Now()
+				for i := 0; i < k; i++ {
+					sb := stripBy[i]
+					pf.Local(p, slot, sb) // read the strip out of the frame
+					pf.Send(p, slot, sp.filters[i][0], frameToken{fr, i}, sb)
+				}
+				tr.Add("connect", fr, trace.PhaseComm, t2, p.Now())
+			}
+		})
+	}
+
+	// --- per-pipeline filter stages ----------------------------------------
+	for i := 0; i < k; i++ {
+		i := i
+		var prev int
+		switch spec.Renderer {
+		case OneRenderer:
+			prev = sp.renderers[0]
+		case NRenderers:
+			prev = sp.renderers[i]
+		case HostRenderer:
+			prev = sp.connect
+		}
+		for j, kind := range FilterOrder {
+			j, kind := j, kind
+			slot := sp.filters[i][j]
+			from := prev
+			to := sp.transfer
+			if j+1 < len(sp.filters[i]) {
+				to = sp.filters[i][j+1]
+			}
+			px := stripPx[i]
+			sb := stripBy[i]
+			label := fmt.Sprintf("%v%d", kind, i)
+			eng.Spawn(label, func(p *des.Proc) {
+				for f := 0; f < spec.Frames; f++ {
+					t0 := p.Now()
+					payload, _, wait := pf.Recv(p, slot, from)
+					idle.add(kind, f, wait)
+					tr.Add(label, f, trace.PhaseWait, t0, t0+wait)
+					tr.Add(label, f, trace.PhaseComm, t0+wait, p.Now())
+					t1 := p.Now()
+					pf.Compute(p, slot, jit(m.FilterComputeFor(kind, px)), kind)
+					tr.Add(label, f, trace.PhaseCompute, t1, p.Now())
+					t2 := p.Now()
+					pf.Local(p, slot, m.FilterExtraBytes(kind, sb))
+					pf.Send(p, slot, to, payload, sb)
+					tr.Add(label, f, trace.PhaseComm, t2, p.Now())
+				}
+			})
+			prev = slot
+		}
+	}
+
+	// --- transfer stage ------------------------------------------------------
+	eng.Spawn("transfer", func(p *des.Proc) {
+		for f := 0; f < spec.Frames; f++ {
+			t0 := p.Now()
+			waitTotal := 0.0
+			for i := 0; i < k; i++ {
+				_, _, wait := pf.Recv(p, sp.transfer, sp.filters[i][len(FilterOrder)-1])
+				idle.add(StageTransfer, f, wait)
+				waitTotal += wait
+			}
+			tr.Add("transfer", f, trace.PhaseWait, t0, t0+waitTotal)
+			tr.Add("transfer", f, trace.PhaseComm, t0+waitTotal, p.Now())
+			t1 := p.Now()
+			pf.Compute(p, sp.transfer, jit(m.AssembleCompute), StageTransfer)
+			tr.Add("transfer", f, trace.PhaseCompute, t1, p.Now())
+			t2 := p.Now()
+			pf.Local(p, sp.transfer, frameBytes) // write the assembled frame
+			pf.ViewerSend(p, sp.transfer, frameBytes)
+			tr.Add("transfer", f, trace.PhaseComm, t2, p.Now())
+			tr.MarkFrameDone(f, p.Now())
+		}
+	})
+
+	return idle
+}
+
+// residentPenalty2 charges a read-back of stripBytes when the buffer it
+// lives in (bufBytes) exceeds the L2 (always true for full frames).
+func residentPenalty2(bufBytes, stripBytes int) int {
+	if bufBytes > scc.L2Size {
+		return stripBytes
+	}
+	return 0
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sccpipe/internal/host"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scc"
+	"sccpipe/internal/scene"
+)
+
+// testWorkload is a small, shared walkthrough for simulation tests.
+var testWL = func() *Workload {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 8, 8
+	tree := render.BuildOctree(scene.City(cfg))
+	return BuildWorkload(tree, 40, 128, 128)
+}()
+
+func testSpec() Spec {
+	return Spec{Frames: 40, Width: 128, Height: 128, Pipelines: 1}
+}
+
+func simulate(t *testing.T, s Spec) SimResult {
+	t.Helper()
+	res, err := Simulate(s, testWL, SimOptions{})
+	if err != nil {
+		t.Fatalf("Simulate(%+v): %v", s, err)
+	}
+	return res
+}
+
+func TestSimulateProducesTime(t *testing.T) {
+	res := simulate(t, testSpec())
+	if res.Seconds <= 0 {
+		t.Fatalf("Seconds = %g", res.Seconds)
+	}
+	if len(res.MemUtil) != scc.NumMemCtl {
+		t.Fatalf("MemUtil size %d", len(res.MemUtil))
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := simulate(t, testSpec())
+	b := simulate(t, testSpec())
+	if a.Seconds != b.Seconds {
+		t.Fatalf("non-deterministic: %g vs %g", a.Seconds, b.Seconds)
+	}
+}
+
+func TestPipelineBeatsSingleCore(t *testing.T) {
+	single, err := SimulateSingleCore(testSpec(), testWL, SingleCoreStages, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := simulate(t, testSpec())
+	if piped.Seconds >= single.Seconds {
+		t.Fatalf("one pipeline (%g) not faster than one core (%g)", piped.Seconds, single.Seconds)
+	}
+	// The paper's initial speedup from pipelining alone is modest (≈1.66–1.85).
+	if sp := single.Seconds / piped.Seconds; sp > 4 {
+		t.Fatalf("pipelining speedup %g implausibly high", sp)
+	}
+}
+
+func TestMorePipelinesHelpNRenderers(t *testing.T) {
+	s := testSpec()
+	s.Renderer = NRenderers
+	prev := math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		s.Pipelines = k
+		sec := simulate(t, s).Seconds
+		if sec > prev*1.02 {
+			t.Fatalf("k=%d slower than k=%d: %g > %g", k, k-1, sec, prev)
+		}
+		prev = sec
+	}
+}
+
+func TestOneRendererSaturates(t *testing.T) {
+	// With one renderer the paper's curve flattens: k=6 barely improves
+	// over k=3.
+	s := testSpec()
+	s.Renderer = OneRenderer
+	s.Pipelines = 3
+	at3 := simulate(t, s).Seconds
+	s.Pipelines = 6
+	at6 := simulate(t, s).Seconds
+	if at6 < at3*0.85 {
+		t.Fatalf("one-renderer config kept scaling: k=3 %g → k=6 %g", at3, at6)
+	}
+}
+
+func TestArrangementHasNoSignificantEffect(t *testing.T) {
+	// The paper's striking finding: unordered/ordered/flipped perform the
+	// same. Allow a few percent.
+	for _, rc := range []RendererConfig{OneRenderer, NRenderers, HostRenderer} {
+		var times []float64
+		for _, ar := range Arrangements {
+			s := testSpec()
+			s.Renderer = rc
+			s.Arrangement = ar
+			s.Pipelines = 3
+			times = append(times, simulate(t, s).Seconds)
+		}
+		lo, hi := times[0], times[0]
+		for _, v := range times {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if (hi-lo)/lo > 0.08 {
+			t.Errorf("%v: arrangements differ by %.1f%% (%v)", rc, 100*(hi-lo)/lo, times)
+		}
+	}
+}
+
+func TestIdleTimesCollected(t *testing.T) {
+	s := testSpec()
+	s.Renderer = HostRenderer
+	s.Pipelines = 3
+	res := simulate(t, s)
+	for _, kind := range FilterOrder {
+		n := len(res.StageIdle[kind])
+		// 3 pipelines × (frames−1) samples.
+		if want := 3 * (s.Frames - 1); n != want {
+			t.Fatalf("%v idle samples = %d, want %d", kind, n, want)
+		}
+		for _, v := range res.StageIdle[kind] {
+			if v < 0 {
+				t.Fatalf("%v negative idle %g", kind, v)
+			}
+		}
+	}
+}
+
+func TestBlurHasLeastIdle(t *testing.T) {
+	// Fig. 15: blur, the slowest stage, waits the least; scratch waits the
+	// most among the early filters.
+	s := testSpec()
+	s.Renderer = HostRenderer
+	s.Pipelines = 4
+	res := simulate(t, s)
+	mean := func(kind StageKind) float64 {
+		vs := res.StageIdle[kind]
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		return sum / float64(len(vs))
+	}
+	if mean(StageBlur) >= mean(StageScratch) {
+		t.Fatalf("blur idle %g not below scratch idle %g", mean(StageBlur), mean(StageScratch))
+	}
+}
+
+func TestPowerTraceWithinPhysicalRange(t *testing.T) {
+	s := testSpec()
+	s.Renderer = NRenderers
+	s.Pipelines = 4
+	res := simulate(t, s)
+	if len(res.Power) == 0 {
+		t.Fatal("no power trace")
+	}
+	for _, p := range res.Power {
+		if p.Watts < 22 || p.Watts > 90 {
+			t.Fatalf("power sample %g W outside [22, 90]", p.Watts)
+		}
+	}
+	if res.SCCEnergyJ <= 0 {
+		t.Fatal("no energy")
+	}
+}
+
+func TestHostExtraEnergyOnlyForHostRenderer(t *testing.T) {
+	s := testSpec()
+	if res := simulate(t, s); res.HostExtraEnergyJ != 0 {
+		t.Fatal("SCC-only config reports host energy")
+	}
+	s.Renderer = HostRenderer
+	if res := simulate(t, s); res.HostExtraEnergyJ <= 0 {
+		t.Fatal("host-renderer config reports no host energy")
+	}
+}
+
+func TestFastBlurSpeedsWalkthrough(t *testing.T) {
+	// Fig. 16: raising only the blur cores to 800 MHz must cut the
+	// walkthrough time substantially (the paper: 236 s → 174 s, −26%).
+	s := testSpec()
+	s.Renderer = HostRenderer
+	s.IsolateBlur = true
+	base := simulate(t, s).Seconds
+	s.BlurFreq = scc.Freq800
+	fast := simulate(t, s).Seconds
+	if fast >= base {
+		t.Fatalf("fast blur run (%g) not faster than base (%g)", fast, base)
+	}
+	imp := (base - fast) / base
+	if imp < 0.10 || imp > 0.45 {
+		t.Fatalf("fast-blur improvement %.0f%%, want roughly 25±15%%", imp*100)
+	}
+}
+
+func TestSlowTailKeepsPerformance(t *testing.T) {
+	// Fig. 16/17: downclocking the post-blur stages to 400 MHz costs almost
+	// no time (paper: 174 s → 175 s) but saves power.
+	s := testSpec()
+	s.Renderer = HostRenderer
+	s.IsolateBlur = true
+	s.BlurFreq = scc.Freq800
+	fast := simulate(t, s)
+	s.TailFreq = scc.Freq400
+	eco := simulate(t, s)
+	if eco.Seconds > fast.Seconds*1.06 {
+		t.Fatalf("downclocked tail run %g much slower than %g", eco.Seconds, fast.Seconds)
+	}
+	if eco.SCCEnergyJ >= fast.SCCEnergyJ {
+		t.Fatalf("downclocked tail used more energy (%g ≥ %g)", eco.SCCEnergyJ, fast.SCCEnergyJ)
+	}
+}
+
+func TestClusterMuchFasterThanSCC(t *testing.T) {
+	s := testSpec()
+	s.Renderer = OneRenderer
+	s.Pipelines = 4
+	sccTime := simulate(t, s).Seconds
+	clu, err := SimulateCluster(s, testWL, host.DefaultCluster(), SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clu.Seconds >= sccTime/2 {
+		t.Fatalf("cluster (%g) not well ahead of SCC (%g)", clu.Seconds, sccTime)
+	}
+}
+
+func TestClusterScalesWithPipelines(t *testing.T) {
+	// Needs paper-sized frames: at tiny resolutions the constant culling
+	// cost dominates and masks the fill-rate scaling Fig. 13 shows.
+	wl := BuildWorkload(testWL.Tree(), 20, 512, 512)
+	s := Spec{Frames: 20, Width: 512, Height: 512, Pipelines: 1, Renderer: OneRenderer}
+	c1, err := SimulateCluster(s, wl, host.DefaultCluster(), SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pipelines = 6
+	c6, err := SimulateCluster(s, wl, host.DefaultCluster(), SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlike the SCC's one-renderer config, the cluster keeps scaling
+	// (Fig. 13 "single rend." goes 26 s → 5 s).
+	if c6.Seconds > c1.Seconds*0.55 {
+		t.Fatalf("cluster did not scale: k=1 %g → k=6 %g", c1.Seconds, c6.Seconds)
+	}
+}
+
+func TestSingleCoreStageDecomposition(t *testing.T) {
+	res, err := SimulateSingleCore(testSpec(), testWL, SingleCoreStages, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.StageSeconds {
+		sum += v
+	}
+	if math.Abs(sum-res.Seconds) > 1e-6*res.Seconds {
+		t.Fatalf("stage seconds sum %g != total %g", sum, res.Seconds)
+	}
+	// Blur must be the most expensive filter stage (Fig. 8).
+	blur := res.StageSeconds[StageBlur]
+	for _, k := range FilterOrder {
+		if k != StageBlur && res.StageSeconds[k] >= blur {
+			t.Fatalf("%v (%g) not below blur (%g)", k, res.StageSeconds[k], blur)
+		}
+	}
+}
+
+func TestSingleCoreSubsets(t *testing.T) {
+	renderOnly, err := SimulateSingleCore(testSpec(), testWL, []StageKind{StageRender}, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTransfer, err := SimulateSingleCore(testSpec(), testWL, []StageKind{StageRender, StageTransfer}, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SimulateSingleCore(testSpec(), testWL, SingleCoreStages, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(renderOnly.Seconds < withTransfer.Seconds && withTransfer.Seconds < full.Seconds) {
+		t.Fatalf("ordering violated: %g, %g, %g", renderOnly.Seconds, withTransfer.Seconds, full.Seconds)
+	}
+}
+
+func TestSimulateRejectsMismatchedWorkload(t *testing.T) {
+	s := testSpec()
+	s.Width = 999
+	if _, err := Simulate(s, testWL, SimOptions{}); err == nil {
+		t.Fatal("mismatched workload accepted")
+	}
+}
+
+func TestMemUtilNonTrivial(t *testing.T) {
+	s := testSpec()
+	s.Renderer = NRenderers
+	s.Pipelines = 6
+	res := simulate(t, s)
+	total := 0.0
+	for _, u := range res.MemUtil {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %g out of range", u)
+		}
+		total += u
+	}
+	if total == 0 {
+		t.Fatal("memory controllers unused")
+	}
+}
+
+func TestBalancedBoundsPartition(t *testing.T) {
+	m := DefaultCostModel()
+	for _, k := range []int{1, 2, 3, 5, 7} {
+		bounds := testWL.BalancedBounds(k, m)
+		if len(bounds) != k {
+			t.Fatalf("k=%d: %d bands", k, len(bounds))
+		}
+		prev := 0
+		for i, b := range bounds {
+			if b.Y0 != prev || b.Y1 <= b.Y0 {
+				t.Fatalf("k=%d band %d = %+v (prev end %d)", k, i, b, prev)
+			}
+			prev = b.Y1
+		}
+		if prev != testWL.H {
+			t.Fatalf("k=%d bands end at %d, want %d", k, prev, testWL.H)
+		}
+	}
+}
+
+func TestAdaptiveStripsNeverSlower(t *testing.T) {
+	s := testSpec()
+	s.Renderer = NRenderers
+	for _, k := range []int{3, 5} {
+		s.Pipelines = k
+		s.AdaptiveStrips = false
+		uniform := simulate(t, s).Seconds
+		s.AdaptiveStrips = true
+		adaptive := simulate(t, s).Seconds
+		if adaptive > uniform*1.03 {
+			t.Errorf("k=%d: adaptive %.3f worse than uniform %.3f", k, adaptive, uniform)
+		}
+	}
+}
+
+func TestAdaptiveOnlyAffectsNRenderers(t *testing.T) {
+	s := testSpec()
+	s.Renderer = OneRenderer
+	s.Pipelines = 3
+	s.AdaptiveStrips = false
+	a := simulate(t, s).Seconds
+	s.AdaptiveStrips = true
+	b := simulate(t, s).Seconds
+	if a != b {
+		t.Fatalf("adaptive flag changed one-renderer run: %g vs %g", a, b)
+	}
+}
+
+func TestStatsForMatchesStripStats(t *testing.T) {
+	k := 3
+	uniform := UniformBounds(testWL.H, k)
+	a := testWL.StatsFor(uniform)
+	b := testWL.StripStats(k)
+	for f := 0; f < 5; f++ {
+		for i := 0; i < k; i++ {
+			if a[f][i] != b[f][i] {
+				t.Fatalf("frame %d strip %d: %+v vs %+v", f, i, a[f][i], b[f][i])
+			}
+		}
+	}
+}
+
+func TestJitterSpreadsIdleTimes(t *testing.T) {
+	s := testSpec()
+	s.Renderer = HostRenderer
+	s.Pipelines = 3
+	base, err := Simulate(s, testWL, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Simulate(s, testWL, SimOptions{JitterCV: 0.15, JitterSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iqr := func(r SimResult, kind StageKind) float64 {
+		vs := append([]float64(nil), r.StageIdle[kind]...)
+		if len(vs) == 0 {
+			return 0
+		}
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	if iqr(noisy, StageScratch) <= iqr(base, StageScratch) {
+		t.Fatalf("jitter did not widen idle spread: %g vs %g",
+			iqr(noisy, StageScratch), iqr(base, StageScratch))
+	}
+	// Total time should move only mildly.
+	if math.Abs(noisy.Seconds-base.Seconds) > 0.2*base.Seconds {
+		t.Fatalf("jitter changed total time too much: %g vs %g", noisy.Seconds, base.Seconds)
+	}
+}
+
+func TestJitterReproducible(t *testing.T) {
+	s := testSpec()
+	opts := SimOptions{JitterCV: 0.1, JitterSeed: 7}
+	a, err := Simulate(s, testWL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s, testWL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds {
+		t.Fatalf("same seed, different results: %g vs %g", a.Seconds, b.Seconds)
+	}
+	c, err := Simulate(s, testWL, SimOptions{JitterCV: 0.1, JitterSeed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seconds == a.Seconds {
+		t.Fatal("different seeds gave identical jittered results")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	s := testSpec()
+	s.Renderer = HostRenderer
+	s.Pipelines = 2
+	res, err := Simulate(s, testWL, SimOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil || len(tr.Spans) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Every stage instance appears.
+	stages := tr.Stages()
+	want := 1 + 2*len(FilterOrder) + 1 // connect + filters + transfer
+	if len(stages) != want {
+		t.Fatalf("stages = %v (%d), want %d", stages, len(stages), want)
+	}
+	// Frame completions are monotone and end at the walkthrough time.
+	for f := 1; f < s.Frames; f++ {
+		if tr.FrameDone[f] <= tr.FrameDone[f-1] {
+			t.Fatalf("frame %d done at %g, before frame %d (%g)", f, tr.FrameDone[f], f-1, tr.FrameDone[f-1])
+		}
+	}
+	if last := tr.FrameDone[s.Frames-1]; math.Abs(last-res.Seconds) > 1e-9 {
+		t.Fatalf("last frame done %g != total %g", last, res.Seconds)
+	}
+	// Steady-state throughput × frames ≈ total time.
+	period := tr.Throughput()
+	if period <= 0 {
+		t.Fatal("no throughput")
+	}
+	if est := period * float64(s.Frames); est < res.Seconds*0.7 || est > res.Seconds*1.3 {
+		t.Fatalf("period %g × frames = %g, total %g", period, est, res.Seconds)
+	}
+	// Spans are well-formed and within the run.
+	for _, sp := range tr.Spans {
+		if sp.End <= sp.Start || sp.Start < 0 || sp.End > res.Seconds+1e-9 {
+			t.Fatalf("bad span %+v", sp)
+		}
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	res := simulate(t, testSpec())
+	if res.Trace != nil {
+		t.Fatal("trace recorded without opting in")
+	}
+}
+
+func TestChannelDepthEffects(t *testing.T) {
+	s := testSpec()
+	s.Renderer = NRenderers
+	s.Pipelines = 3
+	run := func(depth int) float64 {
+		res, err := Simulate(s, testWL, SimOptions{ChannelDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	def := run(0)  // default = 1 slot
+	one := run(1)  // explicit 1 slot
+	deep := run(4) // more slack
+	unb := run(-1) // unbounded
+	if def != one {
+		t.Fatalf("default depth (%g) differs from explicit 1 (%g)", def, one)
+	}
+	// Extra buffering must never slow the pipeline down...
+	if deep > def*1.01 || unb > deep*1.01 {
+		t.Fatalf("more buffering slower: 1=%g 4=%g unbounded=%g", def, deep, unb)
+	}
+	// ...and in steady state a single slot already suffices (throughput is
+	// bottleneck-bound), so the gain is small.
+	if unb < def*0.90 {
+		t.Fatalf("unbounded channels gained %.1f%%; queueing model suspect",
+			100*(def-unb)/def)
+	}
+}

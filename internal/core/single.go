@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sccpipe/internal/des"
+	"sccpipe/internal/rcce"
+	"sccpipe/internal/scc"
+)
+
+// SingleCoreResult reports the paper's baseline: the whole pipeline run
+// sequentially on one SCC core (≈382 s for the full 400-frame walkthrough;
+// ≈94 s render-only; ≈104 s render+transfer). Fig. 8's per-stage profile
+// comes from StageSeconds.
+type SingleCoreResult struct {
+	Seconds      float64
+	StageSeconds map[StageKind]float64
+}
+
+// SingleCoreStages is the full stage sequence of the baseline run.
+var SingleCoreStages = []StageKind{
+	StageRender, StageSepia, StageBlur, StageScratch, StageFlicker, StageSwap, StageTransfer,
+}
+
+// singleTouchBytes returns the memory traffic of a filter stage running
+// sequentially on one core, where its input is already in the core's own
+// partition: a streaming read and write of the frame for the pixel-sweeping
+// stages, a small fraction for scratch (it touches a few columns), plus
+// blur's second buffer.
+func singleTouchBytes(kind StageKind, frameBytes int) int {
+	switch kind {
+	case StageSepia, StageFlicker, StageSwap:
+		return 2 * frameBytes
+	case StageScratch:
+		return frameBytes / 10
+	case StageBlur:
+		// read src + write copy + stream copy back (frame > L2) + write dst
+		return 2*frameBytes + frameBytes + residentPenalty(frameBytes)
+	}
+	return 0
+}
+
+// SimulateSingleCore runs the listed stages back to back on SCC core 0.
+// Pass SingleCoreStages for the full baseline, or a prefix such as
+// {StageRender} / {StageRender, StageTransfer} for the paper's ablations.
+func SimulateSingleCore(spec Spec, wl *Workload, stages []StageKind, opts SimOptions) (SingleCoreResult, error) {
+	if err := spec.Validate(); err != nil {
+		return SingleCoreResult{}, err
+	}
+	m := opts.model()
+	eng := des.NewEngine()
+	chip := scc.New(eng, opts.chipConfig())
+	comm := rcce.NewComm(chip, 1)
+	pf := NewSCCPlatform(chip, comm, opts.mcpc(), []scc.CoreID{0})
+	chip.MarkUsed(0)
+
+	frameBytes := wl.FrameBytes()
+	pixels := wl.W * wl.H
+	perStage := make(map[StageKind]float64, len(stages))
+
+	eng.Spawn("single-core", func(p *des.Proc) {
+		for f := 0; f < spec.Frames; f++ {
+			for _, kind := range stages {
+				t0 := p.Now()
+				switch kind {
+				case StageRender:
+					// Framebuffer traffic is folded into the calibrated
+					// render compute (as in the pipelined mode).
+					pf.Compute(p, 0, m.RenderCompute(wl.Full[f], pixels), StageRender)
+				case StageTransfer:
+					pf.Local(p, 0, frameBytes) // read the finished frame
+					pf.Compute(p, 0, m.AssembleCompute, StageTransfer)
+					pf.ViewerSend(p, 0, frameBytes)
+				default:
+					pf.Local(p, 0, singleTouchBytes(kind, frameBytes))
+					pf.Compute(p, 0, m.FilterComputeFor(kind, pixels), kind)
+				}
+				perStage[kind] += p.Now() - t0
+			}
+		}
+	})
+	eng.Run()
+	return SingleCoreResult{Seconds: eng.Now(), StageSeconds: perStage}, nil
+}

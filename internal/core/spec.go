@@ -1,0 +1,172 @@
+// Package core implements the paper's contribution: parallel macro
+// pipelines. A pipeline is a chain of coarse-grained stages (render, five
+// image filters, transfer), several of which run side by side over
+// horizontal image strips (sort-first). The package provides
+//
+//   - the pipeline specification (renderer configuration, pipeline count,
+//     arrangement on the SCC mesh, per-stage frequency plan);
+//   - placement of stages onto simulated SCC cores in the paper's three
+//     arrangements (unordered / ordered / flipped);
+//   - a calibrated per-stage cost model;
+//   - Sim: a discrete-event execution on the simulated SCC (or an HPC
+//     cluster platform) that reports walkthrough time, per-stage idle
+//     times, power and energy — reproducing the paper's evaluation;
+//   - Exec: a real goroutine implementation processing actual pixels, used
+//     by the examples and to validate functional correctness.
+package core
+
+import (
+	"fmt"
+
+	"sccpipe/internal/scc"
+)
+
+// StageKind identifies a macro-pipeline stage (§IV of the paper).
+type StageKind int
+
+// The stages, in pipeline order. Connect replaces Render on the SCC when
+// the MCPC renders (§V, third scenario).
+const (
+	StageRender StageKind = iota
+	StageSepia
+	StageBlur
+	StageScratch
+	StageFlicker
+	StageSwap
+	StageTransfer
+	StageConnect
+	numStageKinds
+)
+
+var stageNames = [...]string{
+	"render", "sepia", "blur", "scratch", "flicker", "swap", "transfer", "connect",
+}
+
+func (s StageKind) String() string {
+	if s < 0 || int(s) >= len(stageNames) {
+		return fmt.Sprintf("StageKind(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// FilterOrder lists the five per-pipeline filter stages in execution order.
+var FilterOrder = [5]StageKind{StageSepia, StageBlur, StageScratch, StageFlicker, StageSwap}
+
+// Arrangement selects how pipelines map onto the SCC mesh (§IV-A).
+type Arrangement int
+
+const (
+	// Unordered assigns stages to cores in SCC core-ID order.
+	Unordered Arrangement = iota
+	// Ordered lays each pipeline along a mesh row.
+	Ordered
+	// Flipped lays pipelines along rows, reversing every second pipeline.
+	Flipped
+)
+
+var arrangementNames = [...]string{"unordered", "ordered", "flipped"}
+
+func (a Arrangement) String() string {
+	if a < 0 || int(a) >= len(arrangementNames) {
+		return fmt.Sprintf("Arrangement(%d)", int(a))
+	}
+	return arrangementNames[a]
+}
+
+// Arrangements lists all three for sweeps.
+var Arrangements = []Arrangement{Unordered, Ordered, Flipped}
+
+// RendererConfig selects the paper's three scenarios (§V).
+type RendererConfig int
+
+const (
+	// OneRenderer: a single SCC core renders full frames and splits them.
+	OneRenderer RendererConfig = iota
+	// NRenderers: one render stage per pipeline, each rendering its strip.
+	NRenderers
+	// HostRenderer: the MCPC renders; a Connect stage on the SCC receives
+	// frames and distributes strips.
+	HostRenderer
+)
+
+var rendererNames = [...]string{"1-renderer", "n-renderers", "mcpc-renderer"}
+
+func (r RendererConfig) String() string {
+	if r < 0 || int(r) >= len(rendererNames) {
+		return fmt.Sprintf("RendererConfig(%d)", int(r))
+	}
+	return rendererNames[r]
+}
+
+// Spec describes one walkthrough experiment.
+type Spec struct {
+	Frames      int
+	Width       int
+	Height      int
+	Pipelines   int
+	Arrangement Arrangement
+	Renderer    RendererConfig
+
+	// BlurFreq, if non-zero, overrides the blur cores' frequency (§VI-D).
+	BlurFreq scc.FreqLevel
+	// TailFreq, if non-zero, overrides the frequency of the stages after
+	// blur (scratch, flicker, swap, transfer).
+	TailFreq scc.FreqLevel
+	// IsolateBlur places the blur stage on a tile in its own voltage
+	// island (the paper's Fig. 18 constraint for per-stage DVFS).
+	IsolateBlur bool
+
+	// AdaptiveStrips balances the sort-first decomposition by measured
+	// render cost instead of splitting the frame into equal strips — an
+	// extension of the paper's n-renderer configuration (it only affects
+	// that configuration, whose renderers are the bottleneck).
+	AdaptiveStrips bool
+}
+
+// DefaultSpec is the paper's walkthrough: 400 frames, one pipeline.
+func DefaultSpec() Spec {
+	return Spec{
+		Frames:    400,
+		Width:     512,
+		Height:    512,
+		Pipelines: 1,
+	}
+}
+
+// MaxPipelines reports how many pipelines the 48-core SCC admits for a
+// renderer configuration (the paper reaches 7 with n renderers).
+func MaxPipelines(r RendererConfig) int {
+	switch r {
+	case OneRenderer:
+		// 1 render + 5k filters + 1 transfer ≤ 48, and placement uses
+		// rows×pairs ≤ 8 pipelines.
+		return 8
+	case NRenderers:
+		// k renderers + 5k filters + 1 transfer ≤ 48 → k ≤ 7.
+		return 7
+	case HostRenderer:
+		// 1 connect + 5k filters + 1 transfer ≤ 48, placement bound 8.
+		return 8
+	}
+	return 0
+}
+
+// Validate reports whether the spec is runnable.
+func (s Spec) Validate() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("core: frames must be positive, got %d", s.Frames)
+	}
+	if s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("core: bad image size %dx%d", s.Width, s.Height)
+	}
+	if s.Pipelines < 1 {
+		return fmt.Errorf("core: need at least one pipeline, got %d", s.Pipelines)
+	}
+	if m := MaxPipelines(s.Renderer); s.Pipelines > m {
+		return fmt.Errorf("core: %v supports at most %d pipelines, got %d", s.Renderer, m, s.Pipelines)
+	}
+	if s.Pipelines > s.Height {
+		return fmt.Errorf("core: more pipelines (%d) than image rows (%d)", s.Pipelines, s.Height)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scene"
+)
+
+// Workload is the measured per-frame render work of a walkthrough,
+// precomputed with the real renderer so the simulation charges realistic,
+// frame-varying costs without rasterizing during the simulation run.
+type Workload struct {
+	Frames  int
+	W, H    int
+	Cameras []render.Camera
+	// Full[f] is the full-frame culling work of frame f.
+	Full []render.CullStats
+	// Strips[k] is lazily built: Strips[k][f][i] is the culling work of
+	// strip i of frame f when the frame is split k ways.
+	strips map[int][][]render.CullStats
+	// custom caches culling work for non-uniform decompositions
+	// (BalancedBounds), keyed by the bounds.
+	custom map[string][][]render.CullStats
+	tree   *render.Octree
+}
+
+// BuildWorkload profiles a walkthrough of the given size over a scene.
+// The same Workload can be shared across specs with differing pipeline
+// counts and arrangements.
+func BuildWorkload(tree *render.Octree, frames, w, h int) *Workload {
+	wl := &Workload{
+		Frames:  frames,
+		W:       w,
+		H:       h,
+		Cameras: render.Walkthrough(frames, tree.Bounds()),
+		strips:  make(map[int][][]render.CullStats),
+		tree:    tree,
+	}
+	r := render.NewRenderer(tree)
+	wl.Full = make([]render.CullStats, frames)
+	for f := 0; f < frames; f++ {
+		wl.Full[f] = r.CullOnly(wl.Cameras[f], w, h, 0, h)
+	}
+	return wl
+}
+
+// DefaultWorkload builds the paper's walkthrough over the default
+// procedural city.
+func DefaultWorkload(frames, w, h int) *Workload {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	return BuildWorkload(tree, frames, w, h)
+}
+
+// Tree exposes the scene octree (for the Exec backend and examples).
+func (wl *Workload) Tree() *render.Octree { return wl.tree }
+
+// StripStats returns the per-frame per-strip culling work for k strips,
+// computing and caching it on first use.
+func (wl *Workload) StripStats(k int) [][]render.CullStats {
+	if st, ok := wl.strips[k]; ok {
+		return st
+	}
+	r := render.NewRenderer(wl.tree)
+	st := make([][]render.CullStats, wl.Frames)
+	for f := 0; f < wl.Frames; f++ {
+		st[f] = make([]render.CullStats, k)
+		for i := 0; i < k; i++ {
+			y0, y1 := frame.StripBounds(wl.H, k, i)
+			st[f][i] = r.CullOnly(wl.Cameras[f], wl.W, wl.H, y0, y1)
+		}
+	}
+	wl.strips[k] = st
+	return st
+}
+
+// StripPixels returns the pixel count of strip i of k.
+func (wl *Workload) StripPixels(k, i int) int {
+	y0, y1 := frame.StripBounds(wl.H, k, i)
+	return (y1 - y0) * wl.W
+}
+
+// StripBytes returns the payload size of strip i of k (4 B/pixel).
+func (wl *Workload) StripBytes(k, i int) int { return wl.StripPixels(k, i) * 4 }
+
+// FrameBytes returns the full-frame payload size.
+func (wl *Workload) FrameBytes() int { return wl.W * wl.H * 4 }

@@ -1,0 +1,196 @@
+// Package des implements a small deterministic discrete-event simulation
+// kernel in the style of SimPy: simulated processes are goroutines that run
+// one at a time under the control of an Engine, advancing a simulated clock.
+//
+// The kernel provides:
+//
+//   - Engine: the event loop and simulated clock.
+//   - Proc: a simulated process with Wait/WaitUntil blocking primitives.
+//   - Queue: a bounded or unbounded FIFO channel between processes.
+//   - Resource: a FIFO server with capacity, used to model bandwidth-limited
+//     devices such as mesh links and memory controllers.
+//
+// Determinism: exactly one process runs at any instant; simultaneous events
+// are ordered by schedule sequence number, so a simulation with a fixed seed
+// always produces identical results.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a scheduled occurrence: either the resumption of a parked process
+// (with an optional value handed to it) or a plain callback.
+type event struct {
+	t    float64
+	seq  uint64
+	proc *Proc
+	val  any
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() *event   { return h[0] }
+func (h eventHeap) empty() bool    { return len(h) == 0 }
+func (h eventHeap) String() string { return fmt.Sprintf("eventHeap(len=%d)", len(h)) }
+
+// Engine is the simulation kernel: an event queue plus the simulated clock.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	yielded chan struct{} // signalled by a proc when it parks or finishes
+	nprocs  int           // live (spawned, unfinished) processes
+	running bool
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yielded: make(chan struct{})}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// schedule enqueues an event at absolute time t.
+func (e *Engine) schedule(ev *event) {
+	if ev.t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past: %g < %g", ev.t, e.now))
+	}
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// At schedules fn to run at absolute simulated time t. fn runs in the
+// engine's context and must not block; to model a blocking activity, Spawn
+// a process instead.
+func (e *Engine) At(t float64, fn func()) {
+	e.schedule(&event{t: t, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulated process. Its methods may only be called from within
+// the process's own body function.
+type Proc struct {
+	Name   string
+	eng    *Engine
+	resume chan any
+	dead   bool
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn creates a process and schedules it to start at the current time.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt creates a process that starts at absolute time t.
+func (e *Engine) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
+	p := &Proc{Name: name, eng: e, resume: make(chan any)}
+	e.nprocs++
+	go func() {
+		<-p.resume // wait for the engine to start us
+		body(p)
+		p.dead = true
+		e.nprocs--
+		e.yielded <- struct{}{}
+	}()
+	e.schedule(&event{t: t, proc: p})
+	return p
+}
+
+// park transfers control back to the engine and blocks until the process is
+// resumed; it returns the value the resumption event carries.
+func (p *Proc) park() any {
+	p.eng.yielded <- struct{}{}
+	return <-p.resume
+}
+
+// Wait advances the process by d simulated seconds. Negative d is an error.
+func (p *Proc) Wait(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("des: Wait(%g)", d))
+	}
+	p.WaitUntil(p.eng.now + d)
+}
+
+// WaitUntil blocks the process until absolute simulated time t (which must
+// not be in the past).
+func (p *Proc) WaitUntil(t float64) {
+	p.eng.schedule(&event{t: t, proc: p})
+	p.park()
+}
+
+// step dispatches the earliest pending event. It reports false when the
+// event queue is empty.
+func (e *Engine) step() bool {
+	if e.events.empty() {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.t
+	switch {
+	case ev.fn != nil:
+		ev.fn()
+	case ev.proc != nil:
+		ev.proc.resume <- ev.val
+		<-e.yielded
+	}
+	return true
+}
+
+// Run executes events until none remain. Processes still parked on empty
+// Queues when the event horizon is reached are left parked (the simulation
+// has quiesced), mirroring SimPy semantics.
+func (e *Engine) Run() {
+	if e.running {
+		panic("des: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t and then sets the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	if e.running {
+		panic("des: RunUntil re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.events.empty() && e.events.peek().t <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs reports the number of spawned processes that have not finished.
+func (e *Engine) LiveProcs() int { return e.nprocs }

@@ -1,0 +1,453 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", e.Now())
+	}
+}
+
+func TestCallbackOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, d := range []float64{3, 1, 2, 1.5} {
+		d := d
+		e.At(d, func() { got = append(got, d) })
+	}
+	e.Run()
+	want := []float64{1, 1.5, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("callback order = %v, want %v", got, want)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final Now() = %g, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("simultaneous events ran out of schedule order: %v", got)
+	}
+}
+
+func TestProcWait(t *testing.T) {
+	e := NewEngine()
+	var trace []float64
+	e.Spawn("w", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Wait(2.5)
+			trace = append(trace, p.Now())
+		}
+	})
+	e.Run()
+	want := []float64{2.5, 5, 7.5, 10}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestInterleavedProcs(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	mk := func(name string, period float64, n int) {
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Wait(period)
+				got = append(got, name)
+			}
+		})
+	}
+	mk("a", 2, 3) // fires at 2,4,6
+	mk("b", 3, 2) // fires at 3,6
+	e.Run()
+	// At t=6 both fire; b's event was scheduled earlier (t=3 vs t=4) so it
+	// carries the lower sequence number and resumes first.
+	want := []string{"a", "b", "a", "b", "a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("interleaving = %v, want %v", got, want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %g, want 5", e.Now())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 10 {
+		t.Fatalf("after Run: fired=%d now=%g", fired, e.Now())
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait(-1) did not panic")
+			}
+		}()
+		p.Wait(-1)
+	})
+	e.Run()
+}
+
+func TestQueueUnboundedFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(1)
+			q.Put(p, i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	e.Run()
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	var when float64
+	e.Spawn("consumer", func(p *Proc) {
+		q.Get(p)
+		when = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Wait(7)
+		q.Put(p, "x")
+	})
+	e.Run()
+	if when != 7 {
+		t.Fatalf("consumer resumed at %g, want 7", when)
+	}
+}
+
+func TestQueueBoundedBackpressure(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 2)
+	var putTimes []float64
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			q.Put(p, i)
+			putTimes = append(putTimes, p.Now())
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Wait(10)
+			q.Get(p)
+		}
+	})
+	e.Run()
+	// Puts 0 and 1 fill the buffer at t=0; put 2 must wait for the first
+	// Get at t=10, put 3 for the second Get at t=20.
+	want := []float64{0, 0, 10, 20}
+	if !reflect.DeepEqual(putTimes, want) {
+		t.Fatalf("putTimes = %v, want %v", putTimes, want)
+	}
+}
+
+func TestQueueMultipleGettersFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	var got []string
+	spawnGetter := func(name string) {
+		e.Spawn(name, func(p *Proc) {
+			q.Get(p)
+			got = append(got, name)
+		})
+	}
+	spawnGetter("first")
+	spawnGetter("second")
+	e.Spawn("producer", func(p *Proc) {
+		p.Wait(1)
+		q.Put(p, 1)
+		q.Put(p, 2)
+	})
+	e.Run()
+	if !reflect.DeepEqual(got, []string{"first", "second"}) {
+		t.Fatalf("getter wake order = %v", got)
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	if !q.TryPut("a") {
+		t.Fatal("TryPut on empty bounded queue failed")
+	}
+	if q.TryPut("b") {
+		t.Fatal("TryPut on full queue succeeded")
+	}
+	v, ok := q.TryGet()
+	if !ok || v != "a" {
+		t.Fatalf("TryGet = %v,%v", v, ok)
+	}
+}
+
+func TestResourceSingleServerFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 4)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	want := []float64{4, 8, 12}
+	if !reflect.DeepEqual(done, want) {
+		t.Fatalf("completion times = %v, want %v", done, want)
+	}
+	if r.Served != 3 {
+		t.Fatalf("Served = %d", r.Served)
+	}
+	if got := r.Utilization(12); got != 1 {
+		t.Fatalf("utilization = %g, want 1", got)
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 6)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	want := []float64{6, 6, 12, 12}
+	if !reflect.DeepEqual(done, want) {
+		t.Fatalf("completion times = %v, want %v", done, want)
+	}
+}
+
+func TestResourceWaitedReported(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(1)
+	var waits []float64
+	for i := 0; i < 2; i++ {
+		e.Spawn("u", func(p *Proc) {
+			waits = append(waits, r.Use(p, 3))
+		})
+	}
+	e.Run()
+	if waits[0] != 0 || waits[1] != 3 {
+		t.Fatalf("waits = %v, want [0 3]", waits)
+	}
+}
+
+func TestResourceIdleGapNotCounted(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(1)
+	e.Spawn("u", func(p *Proc) {
+		p.Wait(10)
+		r.Use(p, 2)
+	})
+	e.Run()
+	if e.Now() != 12 {
+		t.Fatalf("Now = %g, want 12 (service starts at arrival, not 0)", e.Now())
+	}
+}
+
+// Property: for any set of non-negative delays, callbacks fire in
+// nondecreasing time order and the engine ends at the max delay.
+func TestQuickCallbackOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var times []float64
+		maxT := 0.0
+		for _, r := range raw {
+			d := float64(r) / 16.0
+			if d > maxT {
+				maxT = d
+			}
+			e.At(d, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-server resource serializes any workload, so total
+// makespan equals the sum of service times when all requests arrive at 0.
+func TestQuickResourceSerialization(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		r := NewResource(1)
+		total := 0.0
+		for _, d := range raw {
+			d := float64(d) / 8.0
+			total += d
+			e.Spawn("u", func(p *Proc) { r.Use(p, d) })
+		}
+		e.Run()
+		return almost(e.Now(), total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queue preserves FIFO order for any interleaving of producer
+// delays.
+func TestQuickQueueFIFO(t *testing.T) {
+	f := func(delays []uint8, capRaw uint8) bool {
+		e := NewEngine()
+		capacity := int(capRaw % 5) // 0..4; 0 = unbounded
+		q := NewQueue(e, capacity)
+		n := len(delays)
+		var got []int
+		e.Spawn("producer", func(p *Proc) {
+			for i, d := range delays {
+				p.Wait(float64(d) / 4.0)
+				q.Put(p, i)
+			}
+		})
+		e.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				got = append(got, q.Get(p).(int))
+			}
+		})
+		e.Run()
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return len(got) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a deterministic simulation run twice produces identical traces.
+func TestQuickDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		q := NewQueue(e, 3)
+		r := NewResource(2)
+		var trace []float64
+		for i := 0; i < 5; i++ {
+			period := 0.5 + rng.Float64()
+			e.Spawn("producer", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Wait(period)
+					r.Use(p, period/3)
+					q.Put(p, j)
+				}
+			})
+		}
+		e.Spawn("consumer", func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				q.Get(p)
+				trace = append(trace, p.Now())
+			}
+		})
+		e.Run()
+		return trace
+	}
+	f := func(seed int64) bool {
+		return reflect.DeepEqual(run(seed), run(seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveProcsAccounting(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("short", func(p *Proc) { p.Wait(1) })
+	e.Spawn("long", func(p *Proc) { p.Wait(5) })
+	if e.LiveProcs() != 2 {
+		t.Fatalf("LiveProcs = %d, want 2", e.LiveProcs())
+	}
+	e.Run()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after Run = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcParkedAtQuiescence(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	e.Spawn("starved", func(p *Proc) { q.Get(p) })
+	e.Run() // must terminate even though the proc is parked forever
+	if e.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1 (parked)", e.LiveProcs())
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9*(1+b)
+}

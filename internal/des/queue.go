@@ -1,0 +1,109 @@
+package des
+
+// Queue is a FIFO channel between simulated processes with an optional
+// capacity bound. Get blocks the calling process while the queue is empty;
+// Put blocks while the queue is full (for bounded queues). Waiting processes
+// are served in FIFO order, which keeps simulations deterministic.
+type Queue struct {
+	eng        *Engine
+	cap        int // 0 means unbounded
+	items      []any
+	getWaiters []*Proc
+	putWaiters []putWaiter
+
+	// PutCount and GetCount count completed operations, for instrumentation.
+	PutCount int
+	GetCount int
+}
+
+type putWaiter struct {
+	p    *Proc
+	item any
+}
+
+// NewQueue returns a queue with the given capacity; capacity 0 means
+// unbounded.
+func NewQueue(e *Engine, capacity int) *Queue {
+	if capacity < 0 {
+		panic("des: negative queue capacity")
+	}
+	return &Queue{eng: e, cap: capacity}
+}
+
+// Len reports the number of items currently buffered.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends an item, blocking the calling process while the queue is full.
+func (q *Queue) Put(p *Proc, item any) {
+	if q.cap != 0 && len(q.items) >= q.cap && len(q.getWaiters) == 0 {
+		q.putWaiters = append(q.putWaiters, putWaiter{p: p, item: item})
+		p.park() // woken by a Get that makes room
+		q.PutCount++
+		return
+	}
+	q.deliver(item)
+	q.PutCount++
+}
+
+// TryPut appends an item without blocking; it reports false if the queue is
+// full. It may be called from engine callbacks (no Proc required).
+func (q *Queue) TryPut(item any) bool {
+	if q.cap != 0 && len(q.items) >= q.cap && len(q.getWaiters) == 0 {
+		return false
+	}
+	q.deliver(item)
+	q.PutCount++
+	return true
+}
+
+// deliver hands the item to the oldest waiting getter, or buffers it.
+func (q *Queue) deliver(item any) {
+	if len(q.getWaiters) > 0 {
+		w := q.getWaiters[0]
+		q.getWaiters = q.getWaiters[1:]
+		// Resume the getter at the current instant, carrying the item.
+		q.eng.schedule(&event{t: q.eng.now, proc: w, val: item})
+		return
+	}
+	q.items = append(q.items, item)
+}
+
+// Get removes and returns the oldest item, blocking the calling process
+// while the queue is empty.
+func (q *Queue) Get(p *Proc) any {
+	if len(q.items) == 0 {
+		q.getWaiters = append(q.getWaiters, p)
+		v := p.park()
+		q.GetCount++
+		return v
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	// Make room: admit the oldest blocked putter, if any.
+	if len(q.putWaiters) > 0 {
+		pw := q.putWaiters[0]
+		q.putWaiters = q.putWaiters[1:]
+		q.items = append(q.items, pw.item)
+		q.eng.schedule(&event{t: q.eng.now, proc: pw.p})
+	}
+	q.GetCount++
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue) TryGet() (item any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	if len(q.putWaiters) > 0 {
+		pw := q.putWaiters[0]
+		q.putWaiters = q.putWaiters[1:]
+		q.items = append(q.items, pw.item)
+		q.eng.schedule(&event{t: q.eng.now, proc: pw.p})
+	}
+	q.GetCount++
+	return item, true
+}

@@ -1,0 +1,75 @@
+package des
+
+import "container/heap"
+
+// Resource models a FIFO service station with a fixed number of identical
+// servers, such as a mesh link (capacity 1) or a memory controller port.
+// Requests are serviced in arrival order and are non-preemptive: Use blocks
+// the calling process until its service of the given duration completes.
+//
+// The implementation keeps only the servers' next-free times, so a Use is
+// O(log capacity) and needs no waiter bookkeeping: because requests are
+// FIFO and non-preemptive, the finish time of a request is determined at
+// arrival.
+type Resource struct {
+	freeAt busyHeap
+
+	// Busy accumulates total busy server-seconds, for utilization reports.
+	Busy float64
+	// Served counts completed requests.
+	Served int
+}
+
+type busyHeap []float64
+
+func (h busyHeap) Len() int           { return len(h) }
+func (h busyHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h busyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *busyHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *busyHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// NewResource returns a resource with the given number of servers.
+func NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		panic("des: resource capacity must be ≥ 1")
+	}
+	r := &Resource{freeAt: make(busyHeap, capacity)}
+	return r
+}
+
+// ReserveAt computes and books the service interval for a request arriving
+// at time `at` with duration d, returning the completion time. It does not
+// block; pair it with Proc.WaitUntil, or use Use.
+func (r *Resource) ReserveAt(at, d float64) (done float64) {
+	start := r.freeAt[0]
+	if start < at {
+		start = at
+	}
+	done = start + d
+	r.freeAt[0] = done
+	heap.Fix(&r.freeAt, 0)
+	r.Busy += d
+	r.Served++
+	return done
+}
+
+// Use blocks the process until the resource has serviced a request of
+// duration d issued now, and returns the queueing delay experienced.
+func (r *Resource) Use(p *Proc, d float64) (waited float64) {
+	now := p.Now()
+	done := r.ReserveAt(now, d)
+	waited = done - d - now
+	p.WaitUntil(done)
+	return waited
+}
+
+// NextFree reports the earliest time at which some server is free.
+func (r *Resource) NextFree() float64 { return r.freeAt[0] }
+
+// Utilization reports busy server-seconds divided by capacity×elapsed.
+func (r *Resource) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.Busy / (float64(len(r.freeAt)) * elapsed)
+}

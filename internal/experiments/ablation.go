@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
+)
+
+// AblationResult explores design questions the paper raises but could not
+// test on real silicon:
+//
+//   - LocalMemory: the conclusion's wish — per-core local memory banks in
+//     the style of the Cell's SPEs, so stage hand-offs bypass the memory
+//     controllers entirely.
+//   - MemPorts1: a pessimistic controller that serializes concurrent
+//     streams, isolating how much DDR bank parallelism matters.
+//   - Striped: partitions remapped (via the SCC's LUTs) to stripe across
+//     all four controllers, removing quadrant hotspots at the cost of
+//     longer average routes.
+type AblationResult struct {
+	Pipelines   []int
+	Baseline    []float64 // stock SCC model
+	LocalMemory []float64 // hypothetical per-core local memory
+	MemPorts1   []float64 // controllers without stream overlap
+	Striped     []float64 // partitions LUT-striped over all controllers
+}
+
+func (r AblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablations, n-renderer configuration (walkthrough seconds)\n")
+	xs := make([]float64, len(r.Pipelines))
+	for i, k := range r.Pipelines {
+		xs[i] = float64(k)
+	}
+	b.WriteString(formatHeader("pipelines", xs))
+	b.WriteByte('\n')
+	for _, s := range []Series{
+		{Label: "SCC as built", X: xs, Y: r.Baseline},
+		{Label: "with local memory", X: xs, Y: r.LocalMemory},
+		{Label: "single-stream MCs", X: xs, Y: r.MemPorts1},
+		{Label: "striped partitions", X: xs, Y: r.Striped},
+	} {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunAblation sweeps the n-renderer configuration under the three chip
+// variants.
+func RunAblation(s Setup) (AblationResult, error) {
+	wl := Workload(s)
+	var out AblationResult
+	variants := []struct {
+		mutate func(*scc.Config)
+		sink   *[]float64
+	}{
+		{func(*scc.Config) {}, &out.Baseline},
+		{func(c *scc.Config) { c.LocalMemory = true }, &out.LocalMemory},
+		{func(c *scc.Config) { c.MemPorts = 1 }, &out.MemPorts1},
+		{func(c *scc.Config) { c.StripePartitions = true }, &out.Striped},
+	}
+	for k := 1; k <= core.MaxPipelines(core.NRenderers); k++ {
+		out.Pipelines = append(out.Pipelines, k)
+		for _, v := range variants {
+			cfg := scc.DefaultConfig()
+			v.mutate(&cfg)
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: k, Renderer: core.NRenderers,
+			}
+			res, err := core.Simulate(spec, wl, core.SimOptions{ChipConfig: &cfg})
+			if err != nil {
+				return AblationResult{}, err
+			}
+			*v.sink = append(*v.sink, res.Seconds)
+		}
+	}
+	return out, nil
+}

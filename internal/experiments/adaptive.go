@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+
+	"sccpipe/internal/core"
+)
+
+// AdaptiveResult compares the paper's even sort-first split against the
+// cost-balanced decomposition extension for the n-renderer configuration.
+type AdaptiveResult struct {
+	Pipelines []int
+	Uniform   []float64
+	Adaptive  []float64
+}
+
+func (r AdaptiveResult) String() string {
+	var b strings.Builder
+	b.WriteString("Even vs cost-balanced strips, n-renderer configuration (seconds)\n")
+	xs := make([]float64, len(r.Pipelines))
+	for i, k := range r.Pipelines {
+		xs[i] = float64(k)
+	}
+	b.WriteString(formatHeader("pipelines", xs))
+	b.WriteByte('\n')
+	for _, s := range []Series{
+		{Label: "even strips (paper)", X: xs, Y: r.Uniform},
+		{Label: "cost-balanced strips", X: xs, Y: r.Adaptive},
+	} {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunAdaptive sweeps pipeline counts under both decompositions.
+func RunAdaptive(s Setup) (AdaptiveResult, error) {
+	wl := Workload(s)
+	var out AdaptiveResult
+	for k := 2; k <= core.MaxPipelines(core.NRenderers); k++ {
+		out.Pipelines = append(out.Pipelines, k)
+		for _, adaptive := range []bool{false, true} {
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: k, Renderer: core.NRenderers, AdaptiveStrips: adaptive,
+			}
+			res, err := core.Simulate(spec, wl, core.SimOptions{})
+			if err != nil {
+				return AdaptiveResult{}, err
+			}
+			if adaptive {
+				out.Adaptive = append(out.Adaptive, res.Seconds)
+			} else {
+				out.Uniform = append(out.Uniform, res.Seconds)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/host"
+)
+
+// ClusterResult reproduces Fig. 13: the three renderer configurations on a
+// Mogon-style HPC node.
+type ClusterResult struct {
+	Curves []Series // external / single / parallel renderer, X = pipelines
+}
+
+func (r ClusterResult) String() string {
+	var b strings.Builder
+	b.WriteString("Walkthrough seconds vs pipelines on the Mogon cluster model\n")
+	b.WriteString(formatHeader("pipelines", r.Curves[0].X))
+	b.WriteByte('\n')
+	for _, c := range r.Curves {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// clusterConfigs maps the paper's Fig. 13 curve names to renderer configs.
+var clusterConfigs = []struct {
+	label string
+	rc    core.RendererConfig
+}{
+	{"HPC, external rend.", core.HostRenderer},
+	{"HPC, single rend.", core.OneRenderer},
+	{"HPC, parallel rend.", core.NRenderers},
+}
+
+// RunFig13 runs the cluster comparison.
+func RunFig13(s Setup) (ClusterResult, error) {
+	wl := Workload(s)
+	cluster := host.DefaultCluster()
+	var out ClusterResult
+	for _, c := range clusterConfigs {
+		series := Series{Label: c.label}
+		for k := 1; k <= 7; k++ {
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: k, Renderer: c.rc,
+			}
+			res, err := core.SimulateCluster(spec, wl, cluster, core.SimOptions{})
+			if err != nil {
+				return ClusterResult{}, err
+			}
+			series.X = append(series.X, float64(k))
+			series.Y = append(series.Y, res.Seconds)
+		}
+		out.Curves = append(out.Curves, series)
+	}
+	return out, nil
+}
+
+// runClusterRows renders the cluster curves as Table I rows.
+func runClusterRows(s Setup, wl *core.Workload) ([]Table1Row, error) {
+	cluster := host.DefaultCluster()
+	var rows []Table1Row
+	for _, c := range clusterConfigs {
+		row := Table1Row{Label: c.label, Renderer: c.rc, Cluster: true}
+		for k := 1; k <= 7; k++ {
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: k, Renderer: c.rc,
+			}
+			res, err := core.SimulateCluster(spec, wl, cluster, core.SimOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("cluster %s k=%d: %w", c.label, k, err)
+			}
+			row.Seconds = append(row.Seconds, res.Seconds)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

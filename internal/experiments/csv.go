@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"sccpipe/internal/core"
+)
+
+// CSV export for every experiment result, for plotting the figures outside
+// Go. Each WriteCSV emits a header row and one record per data point.
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// WriteCSV emits pipelines, arrangement, seconds rows.
+func (r SweepResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"renderer", "arrangement", "pipelines", "seconds"}}
+	for _, c := range r.Curves {
+		for i := range c.X {
+			rows = append(rows, []string{r.Renderer.String(), c.Label, ftoa(c.X[i]), ftoa(c.Y[i])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits configuration, pipelines, seconds, paper_seconds rows.
+func (t Table1Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"configuration", "pipelines", "seconds", "paper_seconds"}}
+	for _, row := range t.Rows {
+		paper := PaperTable1[row.Label]
+		for k := 0; k < len(row.Seconds); k++ {
+			if row.Seconds[k] == 0 {
+				continue
+			}
+			p := ""
+			if k < len(paper) {
+				p = ftoa(paper[k])
+			}
+			rows = append(rows, []string{row.Label, itoa(k + 1), ftoa(row.Seconds[k]), p})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits stage, seconds rows plus the ablation totals.
+func (r Fig8Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"stage", "seconds"}}
+	for _, k := range core.SingleCoreStages {
+		rows = append(rows, []string{k.String(), ftoa(r.StageSeconds[k])})
+	}
+	rows = append(rows,
+		[]string{"total", ftoa(r.Total)},
+		[]string{"render_only", ftoa(r.RenderOnly)},
+		[]string{"render_transfer", ftoa(r.RenderTransfer)},
+	)
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits side, kbytes, seconds rows.
+func (r Fig12Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"side", "kbytes", "seconds"}}
+	for i := range r.Sides {
+		rows = append(rows, []string{itoa(r.Sides[i]), ftoa(r.KBytes[i]), ftoa(r.Seconds[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits configuration, pipelines, seconds rows.
+func (r ClusterResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"configuration", "pipelines", "seconds"}}
+	for _, c := range r.Curves {
+		for i := range c.X {
+			rows = append(rows, []string{c.Label, ftoa(c.X[i]), ftoa(c.Y[i])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits one row per power sample of every curve.
+func (r Fig14Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"cpus", "pipelines", "arrangement", "t", "watts"}}
+	for _, c := range r.Curves {
+		for _, s := range c.Trace {
+			rows = append(rows, []string{
+				itoa(c.CPUs), itoa(c.Pipelines), c.Arr.String(), ftoa(s.T), ftoa(s.Watts),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits stage, q1, median, q3 rows (milliseconds).
+func (r Fig15Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"stage", "q1_ms", "median_ms", "q3_ms"}}
+	for _, k := range core.FilterOrder {
+		s := r.Idle[k]
+		rows = append(rows, []string{k.String(), ftoa(s.Q1 * 1e3), ftoa(s.Median * 1e3), ftoa(s.Q3 * 1e3)})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits plan, seconds, joules, watts rows.
+func (r Fig16Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"plan", "seconds", "joules", "mean_watts"}}
+	for _, run := range []DVFSRun{r.Base, r.FastBlur, r.Mixed} {
+		rows = append(rows, []string{run.Label, ftoa(run.Seconds), ftoa(run.SCCEnergyJ), ftoa(run.MeanWatts)})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits the two configurations' seconds and joules.
+func (r EnergyResult) WriteCSV(w io.Writer) error {
+	return writeAll(w, [][]string{
+		{"configuration", "seconds", "joules"},
+		{"hybrid_mcpc_5pl", ftoa(r.HybridSeconds), ftoa(r.HybridJ)},
+		{"all_scc_7pl", ftoa(r.AllSCCSeconds), ftoa(r.AllSCCJ)},
+	})
+}
+
+// WriteCSV emits variant, pipelines, seconds rows.
+func (r AblationResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"variant", "pipelines", "seconds"}}
+	emit := func(name string, ys []float64) {
+		for i, y := range ys {
+			rows = append(rows, []string{name, itoa(r.Pipelines[i]), ftoa(y)})
+		}
+	}
+	emit("baseline", r.Baseline)
+	emit("local_memory", r.LocalMemory)
+	emit("single_stream_mc", r.MemPorts1)
+	emit("striped_partitions", r.Striped)
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits decomposition, pipelines, seconds rows.
+func (r AdaptiveResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"decomposition", "pipelines", "seconds"}}
+	for i := range r.Pipelines {
+		rows = append(rows,
+			[]string{"uniform", itoa(r.Pipelines[i]), ftoa(r.Uniform[i])},
+			[]string{"balanced", itoa(r.Pipelines[i]), ftoa(r.Adaptive[i])},
+		)
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits blur_mhz, tail_mhz, seconds, joules, pareto rows.
+func (r ParetoResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"blur_mhz", "tail_mhz", "seconds", "joules", "pareto"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			itoa(p.BlurMHz), itoa(p.TailMHz), ftoa(p.Seconds), ftoa(p.Joules),
+			strconv.FormatBool(p.Pareto),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV emits side, bytes and per-pattern bytes/pixel rows.
+func (r CacheStudyResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"side", "bytes", "sequential_bpp", "neighbour_bpp", "double_sweep_bpp"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			itoa(p.Side), itoa(p.Bytes), ftoa(p.Sequential), ftoa(p.Neighbour), ftoa(p.DoubleSweep),
+		})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
+)
+
+// DVFSRun is one frequency plan of the §VI-D experiment.
+type DVFSRun struct {
+	Label      string
+	Seconds    float64
+	SCCEnergyJ float64
+	MeanWatts  float64
+	Power      []scc.PowerSample
+}
+
+// Fig16Result compares the three frequency plans of Figs. 16/17 on a
+// single MCPC-fed pipeline with the blur stage isolated in its own voltage
+// island (Fig. 18):
+//
+//	Base:     every stage at 533 MHz
+//	FastBlur: blur at 800 MHz / 1.3 V
+//	Mixed:    blur at 800 MHz, post-blur stages at 400 MHz / 0.7 V
+type Fig16Result struct {
+	Base, FastBlur, Mixed DVFSRun
+}
+
+func (r Fig16Result) String() string {
+	var b strings.Builder
+	b.WriteString("Per-stage DVFS, 1 pipeline, MCPC renderer\n")
+	for _, run := range []DVFSRun{r.Base, r.FastBlur, r.Mixed} {
+		fmt.Fprintf(&b, "  %-26s %8.1f s   %7.1f J   %5.1f W avg\n",
+			run.Label, run.Seconds, run.SCCEnergyJ, run.MeanWatts)
+	}
+	return b.String()
+}
+
+// PaperFig16 holds the §VI-D reference walkthrough durations (seconds).
+var PaperFig16 = struct {
+	Base, FastBlur, Mixed float64
+}{Base: 236, FastBlur: 174, Mixed: 175}
+
+// RunFig16 runs the three frequency plans and reports both the times
+// (Fig. 16) and the power/energy (Fig. 17).
+func RunFig16(s Setup) (Fig16Result, error) {
+	wl := Workload(s)
+	run := func(label string, blur, tail scc.FreqLevel) (DVFSRun, error) {
+		spec := core.Spec{
+			Frames: s.Frames, Width: s.Width, Height: s.Height,
+			Pipelines: 1, Renderer: core.HostRenderer,
+			BlurFreq: blur, TailFreq: tail, IsolateBlur: true,
+		}
+		res, err := core.Simulate(spec, wl, core.SimOptions{})
+		if err != nil {
+			return DVFSRun{}, err
+		}
+		return DVFSRun{
+			Label:      label,
+			Seconds:    res.Seconds,
+			SCCEnergyJ: res.SCCEnergyJ,
+			MeanWatts:  res.SCCEnergyJ / res.Seconds,
+			Power:      res.Power,
+		}, nil
+	}
+	var out Fig16Result
+	var err error
+	if out.Base, err = run("all stages at 533 MHz", scc.FreqLevel{}, scc.FreqLevel{}); err != nil {
+		return out, err
+	}
+	if out.FastBlur, err = run("blur at 800 MHz", scc.Freq800, scc.FreqLevel{}); err != nil {
+		return out, err
+	}
+	if out.Mixed, err = run("533/800/400 MHz", scc.Freq800, scc.Freq400); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// RunFig17 is the power view of the same experiment.
+func RunFig17(s Setup) (Fig16Result, error) { return RunFig16(s) }

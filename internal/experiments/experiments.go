@@ -1,0 +1,116 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI) on the simulated platform. Each RunXxx function executes
+// the corresponding experiment and returns a structured result whose
+// String method prints rows matching the paper's presentation; PaperXxx
+// variables hold the published values for comparison.
+//
+// All experiments accept a Setup so tests can run shortened walkthroughs;
+// DefaultSetup is the paper's 400-frame configuration.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scene"
+)
+
+// Setup fixes the walkthrough parameters shared by all experiments.
+type Setup struct {
+	Frames int
+	Width  int
+	Height int
+	// SceneConfig generates the city; zero value means the default city.
+	SceneConfig scene.Config
+}
+
+// DefaultSetup is the paper's walkthrough: 400 frames of a 512×512 image.
+func DefaultSetup() Setup {
+	return Setup{Frames: 400, Width: 512, Height: 512, SceneConfig: scene.DefaultConfig()}
+}
+
+// Scale converts a paper-reported duration (for 400 frames) to this
+// setup's frame count, so shortened test runs compare against
+// correspondingly shortened expectations.
+func (s Setup) Scale(paperSeconds float64) float64 {
+	return paperSeconds * float64(s.Frames) / 400.0
+}
+
+// lab builds workloads lazily and caches them per geometry; the octree is
+// shared.
+type lab struct {
+	mu   sync.Mutex
+	tree *render.Octree
+	wls  map[[3]int]*core.Workload
+	cfg  scene.Config
+}
+
+var labs sync.Map // scene.Config (comparable) -> *lab
+
+func labFor(s Setup) *lab {
+	cfg := s.SceneConfig
+	if cfg == (scene.Config{}) {
+		cfg = scene.DefaultConfig()
+	}
+	v, _ := labs.LoadOrStore(cfg, &lab{cfg: cfg, wls: make(map[[3]int]*core.Workload)})
+	return v.(*lab)
+}
+
+// Workload returns the (cached) profiled walkthrough for a setup.
+func Workload(s Setup) *core.Workload {
+	l := labFor(s)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tree == nil {
+		l.tree = render.BuildOctree(scene.City(l.cfg))
+	}
+	key := [3]int{s.Frames, s.Width, s.Height}
+	if wl, ok := l.wls[key]; ok {
+		return wl
+	}
+	wl := core.BuildWorkload(l.tree, s.Frames, s.Width, s.Height)
+	l.wls[key] = wl
+	return wl
+}
+
+// Series is a labelled sequence of (x, seconds) points, one figure curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+func (s Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", s.Label)
+	for i := range s.X {
+		fmt.Fprintf(&b, " %8.1f", s.Y[i])
+	}
+	return b.String()
+}
+
+// Min returns the smallest Y value and its X.
+func (s Series) Min() (x, y float64) {
+	y = s.Y[0]
+	x = s.X[0]
+	for i := range s.Y {
+		if s.Y[i] < y {
+			y = s.Y[i]
+			x = s.X[i]
+		}
+	}
+	return x, y
+}
+
+// formatHeader prints an x-axis header line for pipeline-count series.
+func formatHeader(label string, xs []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", label)
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %8g", x)
+	}
+	return b.String()
+}

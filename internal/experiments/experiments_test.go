@@ -1,0 +1,769 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
+)
+
+// testSetup shortens the walkthrough; paper expectations are rescaled with
+// Setup.Scale. 160 frames keeps the whole suite around a second while
+// leaving fill/drain effects negligible.
+func testSetup() Setup {
+	s := DefaultSetup()
+	s.Frames = 160
+	return s
+}
+
+// within reports |got−want|/want ≤ tol.
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestFig8Baselines(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(r.Total, s.Scale(PaperFig8.Total), 0.10) {
+		t.Errorf("single-core total %.1f, paper %.1f", r.Total, s.Scale(PaperFig8.Total))
+	}
+	if !within(r.RenderOnly, s.Scale(PaperFig8.RenderOnly), 0.10) {
+		t.Errorf("render-only %.1f, paper %.1f", r.RenderOnly, s.Scale(PaperFig8.RenderOnly))
+	}
+	if !within(r.RenderTransfer, s.Scale(PaperFig8.RenderTransfer), 0.10) {
+		t.Errorf("render+transfer %.1f, paper %.1f", r.RenderTransfer, s.Scale(PaperFig8.RenderTransfer))
+	}
+	// Blur is the most expensive filtering stage.
+	for _, k := range core.FilterOrder {
+		if k != core.StageBlur && r.StageSeconds[k] >= r.StageSeconds[core.StageBlur] {
+			t.Errorf("%v (%.1f s) not below blur (%.1f s)", k, r.StageSeconds[k], r.StageSeconds[core.StageBlur])
+		}
+	}
+	if !strings.Contains(r.String(), "render") {
+		t.Error("report missing stage rows")
+	}
+}
+
+func TestFig9OneRendererSaturates(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Curves {
+		// Big win from 1→2 pipelines...
+		if c.Y[1] > 0.65*c.Y[0] {
+			t.Errorf("%s: k=2 (%.1f) not well below k=1 (%.1f)", c.Label, c.Y[1], c.Y[0])
+		}
+		// ...then the renderer bottleneck: k=7 barely better than k=3.
+		if c.Y[6] < 0.90*c.Y[2] {
+			t.Errorf("%s: kept scaling past the render bottleneck: k=3 %.1f → k=7 %.1f", c.Label, c.Y[2], c.Y[6])
+		}
+		// Floor lands near the paper's ≈101 s.
+		if !within(c.Y[6], s.Scale(101), 0.15) {
+			t.Errorf("%s: floor %.1f, paper %.1f", c.Label, c.Y[6], s.Scale(101))
+		}
+	}
+}
+
+func TestFig10NRenderersKeepScaling(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Curves {
+		for k := 1; k < len(c.Y); k++ {
+			if c.Y[k] > c.Y[k-1]*1.03 {
+				t.Errorf("%s: regression at k=%d: %.1f → %.1f", c.Label, k+1, c.Y[k-1], c.Y[k])
+			}
+		}
+		// k=3..7 match the paper within 15%.
+		for k := 3; k <= 7; k++ {
+			if !within(c.Y[k-1], s.Scale(PaperTable1["n rend., ordered"][k-1]), 0.15) {
+				t.Errorf("%s k=%d: %.1f, paper %.1f", c.Label, k, c.Y[k-1], s.Scale(PaperTable1["n rend., ordered"][k-1]))
+			}
+		}
+	}
+}
+
+func TestFig11MCPCBestAndPlateaus(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Curves {
+		_, best := c.Min()
+		// Best time near the paper's ≈51–54 s.
+		if !within(best, s.Scale(53), 0.18) {
+			t.Errorf("%s: best %.1f, paper ≈%.1f", c.Label, best, s.Scale(53))
+		}
+		// Beyond ~4 pipelines the curve is flat or dips slightly: k=8 must
+		// not be much better than k=5.
+		if c.Y[7] < c.Y[4]*0.93 {
+			t.Errorf("%s: still scaling at k=8 (%.1f vs k=5 %.1f)", c.Label, c.Y[7], c.Y[4])
+		}
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	s := testSetup()
+	tbl, err := RunTable1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tbl.Rows))
+	}
+	get := func(label string, k int) float64 {
+		r := tbl.Row(label)
+		if r == nil {
+			t.Fatalf("missing row %q", label)
+		}
+		return r.Seconds[k-1]
+	}
+	// Who wins at 7 pipelines: MCPC < n rend. < 1 rend. on the SCC.
+	if !(get("MCPC, ordered", 7) < get("n rend., ordered", 7)) {
+		t.Error("MCPC config should win at 7 pipelines")
+	}
+	if !(get("n rend., ordered", 7) < get("1 rend., ordered", 7)) {
+		t.Error("n renderers should beat one renderer at 7 pipelines")
+	}
+	// Crossover: 1 renderer wins (or ties) at k=1–2, loses from k=3 on.
+	if get("n rend., ordered", 3) >= get("1 rend., ordered", 3) {
+		t.Error("n renderers should overtake by k=3")
+	}
+	// Cluster rows beat every SCC row everywhere.
+	for _, hpc := range []string{"HPC, single rend.", "HPC, parallel rend."} {
+		for k := 1; k <= 7; k++ {
+			if get(hpc, k) >= get("MCPC, ordered", k) {
+				t.Errorf("%s k=%d (%.1f) not faster than SCC best (%.1f)", hpc, k, get(hpc, k), get("MCPC, ordered", k))
+			}
+		}
+	}
+	// Headline: at 7 pipelines the cluster is an order of magnitude ahead
+	// (paper: 13.5×).
+	ratio := get("MCPC, ordered", 7) / get("HPC, single rend.", 7)
+	if ratio < 7 || ratio > 25 {
+		t.Errorf("cluster speedup at k=7 = %.1f×, paper ≈13.5×", ratio)
+	}
+	// External renderer is the slowest cluster config at high k.
+	if !(get("HPC, external rend.", 7) > get("HPC, single rend.", 7)) {
+		t.Error("external renderer should be the slowest cluster config at k=7")
+	}
+	// Arrangements agree within a few percent on every SCC config.
+	for _, base := range []string{"1 rend.", "n rend.", "MCPC"} {
+		for k := 1; k <= 7; k++ {
+			a := get(base+", unordered", k)
+			b := get(base+", ordered", k)
+			c := get(base+", flipped", k)
+			lo := math.Min(a, math.Min(b, c))
+			hi := math.Max(a, math.Max(b, c))
+			if (hi-lo)/lo > 0.08 {
+				t.Errorf("%s k=%d: arrangements differ by %.1f%%", base, k, 100*(hi-lo)/lo)
+			}
+		}
+	}
+	if !strings.Contains(tbl.String(), "MCPC, ordered") {
+		t.Error("table report incomplete")
+	}
+}
+
+func TestTable1AgainstPaperValues(t *testing.T) {
+	// Quantitative check for the cells the calibration targets: every SCC
+	// cell with k ≥ 2 within 20% of Table I, cluster single/parallel cells
+	// within 45% (coarser: the paper rounds to whole seconds there).
+	s := testSetup()
+	tbl, err := RunTable1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		paper, ok := PaperTable1[row.Label]
+		if !ok {
+			t.Fatalf("no paper row for %q", row.Label)
+		}
+		for k := 2; k <= 7; k++ {
+			got := row.Seconds[k-1]
+			want := s.Scale(paper[k-1])
+			tol := 0.20
+			if row.Cluster {
+				tol = 0.45
+			}
+			if !within(got, want, tol) {
+				t.Errorf("%s k=%d: %.1f vs paper %.1f (±%.0f%%)", row.Label, k, got, want, tol*100)
+			}
+		}
+	}
+}
+
+func TestFig12SmoothNoCacheJump(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Seconds) != len(Fig12Sides) {
+		t.Fatalf("points = %d", len(r.Seconds))
+	}
+	for i := 1; i < len(r.Seconds); i++ {
+		if r.Seconds[i] <= r.Seconds[i-1] {
+			t.Errorf("size %d not slower than %d (%.1f ≤ %.1f)", r.Sides[i], r.Sides[i-1], r.Seconds[i], r.Seconds[i-1])
+		}
+	}
+	// No jump where the image crosses the 256 KiB L2 (between side 250 and
+	// 300): that step's growth must not stand out against its neighbours.
+	grow := func(i int) float64 { return r.Seconds[i] / r.Seconds[i-1] }
+	l2Step := 0
+	for i, side := range Fig12Sides {
+		if side == 300 {
+			l2Step = i
+		}
+	}
+	if g, prev := grow(l2Step), grow(l2Step-1); g > prev*1.35 {
+		t.Errorf("jump at the L2 boundary: growth %.3f vs %.3f before", g, prev)
+	}
+}
+
+func TestFig13ClusterOrdering(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Series{}
+	for _, c := range r.Curves {
+		byLabel[c.Label] = c
+	}
+	ext := byLabel["HPC, external rend."]
+	single := byLabel["HPC, single rend."]
+	parallel := byLabel["HPC, parallel rend."]
+	// Single and parallel track each other (paper: nearly identical) and
+	// keep scaling; external flattens on its network link.
+	for k := 2; k <= 7; k++ {
+		if !within(single.Y[k-1], parallel.Y[k-1], 0.6) {
+			t.Errorf("k=%d: single %.2f vs parallel %.2f diverge", k, single.Y[k-1], parallel.Y[k-1])
+		}
+	}
+	if single.Y[6] > single.Y[0]*0.35 {
+		t.Errorf("single rend. did not keep scaling: %.2f → %.2f", single.Y[0], single.Y[6])
+	}
+	if ext.Y[6] < single.Y[6] {
+		t.Error("external rend. should be slowest at k=7")
+	}
+	if ext.Y[6] < ext.Y[0]*0.3 {
+		t.Errorf("external rend. should flatten on its link: %.2f → %.2f", ext.Y[0], ext.Y[6])
+	}
+}
+
+func TestFig14PowerLinearAndArrangementFree(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by arrangement.
+	byArr := map[core.Arrangement][]Fig14Curve{}
+	for _, c := range r.Curves {
+		byArr[c.Arr] = append(byArr[c.Arr], c)
+	}
+	for arr, curves := range byArr {
+		for i := 1; i < len(curves); i++ {
+			if curves[i].MeanWatts <= curves[i-1].MeanWatts {
+				t.Errorf("%v: power not increasing with pipelines: %d CPUs %.1f W, %d CPUs %.1f W",
+					arr, curves[i-1].CPUs, curves[i-1].MeanWatts, curves[i].CPUs, curves[i].MeanWatts)
+			}
+		}
+		// The paper's figure spans ≈35–65 W from 7 to 42 CPUs.
+		first, last := curves[0], curves[len(curves)-1]
+		if first.CPUs != 7 || last.CPUs != 42 {
+			t.Errorf("%v: CPU range %d..%d, want 7..42", arr, first.CPUs, last.CPUs)
+		}
+		if first.MeanWatts < 30 || first.MeanWatts > 45 {
+			t.Errorf("%v: 7-CPU power %.1f W outside [30, 45]", arr, first.MeanWatts)
+		}
+		if last.MeanWatts < 50 || last.MeanWatts > 70 {
+			t.Errorf("%v: 42-CPU power %.1f W outside [50, 70]", arr, last.MeanWatts)
+		}
+	}
+	// Arrangement has no influence on power (paper): compare at each k.
+	for i := range byArr[core.Unordered] {
+		a := byArr[core.Unordered][i].MeanWatts
+		b := byArr[core.Ordered][i].MeanWatts
+		c := byArr[core.Flipped][i].MeanWatts
+		lo := math.Min(a, math.Min(b, c))
+		hi := math.Max(a, math.Max(b, c))
+		if (hi-lo)/lo > 0.05 {
+			t.Errorf("power differs across arrangements at index %d: %.1f..%.1f", i, lo, hi)
+		}
+	}
+}
+
+func TestFig15IdleOrdering(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blur := r.Idle[core.StageBlur]
+	scratch := r.Idle[core.StageScratch]
+	if blur.Median >= scratch.Median {
+		t.Errorf("blur idle median %.1f ms not below scratch %.1f ms", blur.Median*1e3, scratch.Median*1e3)
+	}
+	// Every filter stage spends a nontrivial fraction of the frame period
+	// waiting (the paper's point: waits dominate the runtime).
+	for _, k := range core.FilterOrder {
+		if r.Idle[k].Median <= 0 {
+			t.Errorf("%v: idle median %.3f ms", k, r.Idle[k].Median*1e3)
+		}
+		if r.Idle[k].Q1 > r.Idle[k].Median || r.Idle[k].Median > r.Idle[k].Q3 {
+			t.Errorf("%v: quartiles unordered", k)
+		}
+	}
+}
+
+func TestFig16DVFSShapes(t *testing.T) {
+	s := testSetup()
+	r, err := RunFig16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast blur cuts the walkthrough substantially (paper: −26%).
+	imp := (r.Base.Seconds - r.FastBlur.Seconds) / r.Base.Seconds
+	if imp < 0.12 || imp > 0.40 {
+		t.Errorf("fast-blur improvement %.0f%%, paper ≈26%%", imp*100)
+	}
+	// Mixed keeps the speed (paper: 174 s vs 175 s)...
+	if !within(r.Mixed.Seconds, r.FastBlur.Seconds, 0.05) {
+		t.Errorf("mixed %.1f s vs fast blur %.1f s", r.Mixed.Seconds, r.FastBlur.Seconds)
+	}
+	// ...while the power ordering is fast > base ≥ mixed (Fig. 17).
+	if r.FastBlur.MeanWatts <= r.Base.MeanWatts {
+		t.Errorf("fast blur %.1f W not above base %.1f W", r.FastBlur.MeanWatts, r.Base.MeanWatts)
+	}
+	if r.Mixed.MeanWatts > r.Base.MeanWatts*1.02 {
+		t.Errorf("mixed %.1f W above base %.1f W", r.Mixed.MeanWatts, r.Base.MeanWatts)
+	}
+	// The fast-blur power premium is a handful of watts (paper: 4–5 W).
+	if d := r.FastBlur.MeanWatts - r.Base.MeanWatts; d < 1.5 || d > 8 {
+		t.Errorf("fast-blur power delta %.1f W, paper ≈4–5 W", d)
+	}
+}
+
+func TestEnergyHybridWins(t *testing.T) {
+	s := testSetup()
+	r, err := RunEnergy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HybridJ >= r.AllSCCJ {
+		t.Errorf("hybrid %.0f J not below all-SCC %.0f J", r.HybridJ, r.AllSCCJ)
+	}
+	// Ratio near the paper's 2642/3364 ≈ 0.785.
+	ratio := r.HybridJ / r.AllSCCJ
+	if ratio < 0.55 || ratio > 0.95 {
+		t.Errorf("energy ratio %.2f, paper ≈0.79", ratio)
+	}
+}
+
+func TestWorkloadCacheReuse(t *testing.T) {
+	s := testSetup()
+	a := Workload(s)
+	b := Workload(s)
+	if a != b {
+		t.Error("workload not cached")
+	}
+	s2 := s
+	s2.Width = 256
+	s2.Height = 256
+	if Workload(s2) == a {
+		t.Error("different geometry shares workload")
+	}
+}
+
+func TestScaleHelper(t *testing.T) {
+	s := DefaultSetup()
+	s.Frames = 200
+	if got := s.Scale(382); got != 191 {
+		t.Errorf("Scale(382) at 200 frames = %g, want 191", got)
+	}
+}
+
+var _ = scc.NumCores // keep the import for future assertions
+
+func TestAblationLocalMemoryHelps(t *testing.T) {
+	s := testSetup()
+	r, err := RunAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Pipelines {
+		// Local memory must never hurt, and must clearly help at scale
+		// (the paper's conclusion: the missing local banks are the chief
+		// obstacle).
+		if r.LocalMemory[i] > r.Baseline[i]*1.01 {
+			t.Errorf("k=%d: local memory slower (%.1f vs %.1f)", r.Pipelines[i], r.LocalMemory[i], r.Baseline[i])
+		}
+		// Serialized controllers must never help.
+		if r.MemPorts1[i] < r.Baseline[i]*0.99 {
+			t.Errorf("k=%d: single-stream MCs faster (%.1f vs %.1f)", r.Pipelines[i], r.MemPorts1[i], r.Baseline[i])
+		}
+	}
+	// Where the pipeline is communication-bound (k=1, blur moving whole
+	// frames), local banks must buy a clear win; at k=7 the renderer
+	// compute dominates and the gain shrinks — both are expected.
+	if r.LocalMemory[0] > r.Baseline[0]*0.95 {
+		t.Errorf("local memory gives <5%% at k=1 (%.1f vs %.1f)", r.LocalMemory[0], r.Baseline[0])
+	}
+}
+
+func TestAdaptiveStripsExperiment(t *testing.T) {
+	s := testSetup()
+	r, err := RunAdaptive(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Uniform) != len(r.Adaptive) || len(r.Uniform) == 0 {
+		t.Fatalf("series lengths %d/%d", len(r.Uniform), len(r.Adaptive))
+	}
+	for i := range r.Uniform {
+		if r.Adaptive[i] > r.Uniform[i]*1.03 {
+			t.Errorf("k=%d: adaptive %.1f worse than uniform %.1f",
+				r.Pipelines[i], r.Adaptive[i], r.Uniform[i])
+		}
+	}
+	if !strings.Contains(r.String(), "cost-balanced") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestDVFSPareto(t *testing.T) {
+	s := testSetup()
+	r, err := RunDVFSPareto(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 9 {
+		t.Fatalf("points = %d, want 9", len(r.Points))
+	}
+	front := r.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// The paper's mixed plan (blur 800, tail 400) must be on the front: it
+	// is both the fastest and among the cheapest.
+	foundMixed := false
+	for _, p := range front {
+		if p.BlurMHz == 800 && p.TailMHz == 400 {
+			foundMixed = true
+		}
+	}
+	if !foundMixed {
+		t.Errorf("mixed 800/400 plan not Pareto-optimal: %+v", front)
+	}
+	// The uniform 533 baseline must be dominated (the paper's point).
+	for _, p := range r.Points {
+		if p.BlurMHz == 533 && p.TailMHz == 533 && p.Pareto {
+			t.Error("uniform 533 MHz plan should be dominated")
+		}
+	}
+}
+
+func TestCacheStudyNoStreamingJump(t *testing.T) {
+	r, err := RunCacheStudy(testSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(Fig12Sides) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i, p := range r.Points {
+		// Streaming patterns fetch each line exactly once: 4 bytes/pixel
+		// regardless of strip size — the Fig. 12 explanation.
+		if !within(p.Sequential, 4.0, 0.01) {
+			t.Errorf("side %d: sequential %.2f B/px, want 4", p.Side, p.Sequential)
+		}
+		// Blur's neighbourhood reads hit cached lines: barely above 4.
+		if p.Neighbour > 4.6 {
+			t.Errorf("side %d: neighbourhood pattern %.2f B/px", p.Side, p.Neighbour)
+		}
+		// The double sweep is the only size-sensitive pattern: once the
+		// strip exceeds L2 it fetches everything twice.
+		if p.Bytes > 2*1024*1024/8 && i > 0 { // beyond 256 KiB
+			if p.Bytes > 300*1024 && !within(p.DoubleSweep, 8.0, 0.05) {
+				t.Errorf("side %d (%d B): double sweep %.2f B/px, want ≈8", p.Side, p.Bytes, p.DoubleSweep)
+			}
+		}
+	}
+	// Small strips keep the second sweep resident.
+	if first := r.Points[0]; !within(first.DoubleSweep, 4.0, 0.01) {
+		t.Errorf("side %d: double sweep %.2f B/px, want 4 (resident)", first.Side, first.DoubleSweep)
+	}
+}
+
+func TestShapesRobustAcrossScenes(t *testing.T) {
+	// The paper's qualitative findings should not hinge on our particular
+	// procedural city: rerun the key comparisons on a denser, differently
+	// seeded scene.
+	s := testSetup()
+	s.Frames = 100
+	s.SceneConfig.Seed = 99
+	s.SceneConfig.BlocksX = 30
+	s.SceneConfig.BlocksZ = 18
+	s.SceneConfig.Landmarks = 20
+
+	run := func(rc core.RendererConfig, k int) float64 {
+		spec := core.Spec{Frames: s.Frames, Width: s.Width, Height: s.Height,
+			Pipelines: k, Renderer: rc}
+		res, err := core.Simulate(spec, Workload(s), core.SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	oneK1, oneK7 := run(core.OneRenderer, 1), run(core.OneRenderer, 7)
+	nK3, nK7 := run(core.NRenderers, 3), run(core.NRenderers, 7)
+	mcpcK5 := run(core.HostRenderer, 5)
+
+	// Pipelining pays off.
+	if oneK7 >= oneK1 {
+		t.Error("no speedup from pipelines on alternate scene")
+	}
+	// n renderers overtake the single renderer by k=3 and keep the lead.
+	if nK3 >= oneK7*1.05 && nK7 >= oneK7 {
+		t.Errorf("n-renderer advantage lost: n(3)=%.1f n(7)=%.1f one(7)=%.1f", nK3, nK7, oneK7)
+	}
+	// The heterogeneous configuration still wins overall.
+	if mcpcK5 >= nK7 {
+		t.Errorf("MCPC config (%.1f) lost to n renderers (%.1f) on alternate scene", mcpcK5, nK7)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	s := testSetup()
+	s.Frames = 40
+	var buf strings.Builder
+	check := func(name string, w func(io.Writer) error, header string) {
+		buf.Reset()
+		if err := w(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, header) {
+			t.Errorf("%s: header %q, want %q", name, strings.SplitN(out, "\n", 2)[0], header)
+		}
+		if strings.Count(out, "\n") < 2 {
+			t.Errorf("%s: no data rows:\n%s", name, out)
+		}
+	}
+	fig8, err := RunFig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig8", fig8.WriteCSV, "stage,seconds")
+	sweep, err := RunFig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sweep", sweep.WriteCSV, "renderer,arrangement,pipelines,seconds")
+	f12, err := RunFig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig12", f12.WriteCSV, "side,kbytes,seconds")
+	f13, err := RunFig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig13", f13.WriteCSV, "configuration,pipelines,seconds")
+	f15, err := RunFig15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig15", f15.WriteCSV, "stage,q1_ms,median_ms,q3_ms")
+	f16, err := RunFig16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig16", f16.WriteCSV, "plan,seconds,joules,mean_watts")
+	en, err := RunEnergy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("energy", en.WriteCSV, "configuration,seconds,joules")
+	par, err := RunDVFSPareto(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("pareto", par.WriteCSV, "blur_mhz,tail_mhz,seconds,joules,pareto")
+	cs, err := RunCacheStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("cachestudy", cs.WriteCSV, "side,bytes,sequential_bpp")
+}
+
+func TestReportStringsComplete(t *testing.T) {
+	// Every result renders a non-trivial human-readable report; exercise
+	// the String methods the CLI relies on.
+	s := testSetup()
+	s.Frames = 40
+	sweep, err := RunFig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1-renderer", "unordered", "ordered", "flipped", "pipelines"} {
+		if !strings.Contains(sweep.String(), want) {
+			t.Errorf("sweep report missing %q", want)
+		}
+	}
+	f12, err := RunFig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f12.String(), "side 400") {
+		t.Error("fig12 report missing sizes")
+	}
+	f13, err := RunFig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f13.String(), "HPC, single rend.") {
+		t.Error("fig13 report missing curves")
+	}
+	f14, err := RunFig14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f14.String(), "CPUs") {
+		t.Error("fig14 report missing CPU labels")
+	}
+	f15, err := RunFig15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f15.String(), "blur") || !strings.Contains(f15.String(), "median") {
+		t.Error("fig15 report incomplete")
+	}
+	f16, err := RunFig16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f16.String(), "800 MHz") {
+		t.Error("fig16 report incomplete")
+	}
+	en, err := RunEnergy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(en.String(), "hybrid") {
+		t.Error("energy report incomplete")
+	}
+	ab, err := RunAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ab.String(), "local memory") || !strings.Contains(ab.String(), "striped") {
+		t.Error("ablation report incomplete")
+	}
+	par, err := RunDVFSPareto(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(par.String(), "Pareto-optimal") {
+		t.Error("pareto report incomplete")
+	}
+	cs, err := RunCacheStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cs.String(), "256 KiB") {
+		t.Error("cache study report incomplete")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	se := Series{Label: "x", X: []float64{1, 2, 3}, Y: []float64{5, 2, 9}}
+	x, y := se.Min()
+	if x != 2 || y != 2 {
+		t.Fatalf("Min = (%g, %g)", x, y)
+	}
+	if !strings.Contains(se.String(), "x") {
+		t.Fatal("series label missing")
+	}
+}
+
+func TestRunIdleCustomPipelines(t *testing.T) {
+	s := testSetup()
+	s.Frames = 40
+	r, err := RunIdle(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pipelines != 3 || len(r.Idle) == 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestTable1RowLookup(t *testing.T) {
+	tbl := Table1Result{Rows: []Table1Row{{Label: "a"}, {Label: "b"}}}
+	if tbl.Row("b") == nil || tbl.Row("nope") != nil {
+		t.Fatal("Row lookup broken")
+	}
+}
+
+func TestAblationCSVAndTable1CSV(t *testing.T) {
+	s := testSetup()
+	s.Frames = 40
+	ab, err := RunAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "striped_partitions") {
+		t.Error("ablation CSV missing variant")
+	}
+	tbl, err := RunTable1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MCPC, ordered") {
+		t.Error("table1 CSV missing rows")
+	}
+	ad, err := RunAdaptive(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ad.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "balanced") {
+		t.Error("adaptive CSV missing rows")
+	}
+	f14, err := RunFig14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f14.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unordered") {
+		t.Error("fig14 CSV missing rows")
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/stats"
+)
+
+// Fig15Result reports per-stage idle-time statistics for the MCPC-renderer
+// configuration with seven pipelines — the paper's box plot of time wasted
+// waiting for the previous stage.
+type Fig15Result struct {
+	Pipelines int
+	// Idle maps each filter stage to the summary of its per-frame waits,
+	// pooled over pipelines.
+	Idle map[core.StageKind]stats.Summary
+}
+
+func (r Fig15Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Idle times with MCPC renderer and %d pipelines (ms per frame)\n", r.Pipelines)
+	for _, k := range core.FilterOrder {
+		s := r.Idle[k]
+		fmt.Fprintf(&b, "  %-9v q1 %7.1f  median %7.1f  q3 %7.1f\n",
+			k, s.Q1*1e3, s.Median*1e3, s.Q3*1e3)
+	}
+	return b.String()
+}
+
+// RunFig15 measures stage idle times (MCPC renderer, 7 pipelines by
+// default, as in the paper).
+func RunFig15(s Setup) (Fig15Result, error) {
+	return RunIdle(s, 7)
+}
+
+// RunIdle measures stage idle times for any pipeline count.
+func RunIdle(s Setup, pipelines int) (Fig15Result, error) {
+	wl := Workload(s)
+	spec := core.Spec{
+		Frames: s.Frames, Width: s.Width, Height: s.Height,
+		Pipelines: pipelines, Renderer: core.HostRenderer,
+	}
+	res, err := core.Simulate(spec, wl, core.SimOptions{})
+	if err != nil {
+		return Fig15Result{}, err
+	}
+	out := Fig15Result{Pipelines: pipelines, Idle: make(map[core.StageKind]stats.Summary)}
+	for kind, samples := range res.StageIdle {
+		out.Idle[kind] = stats.Summarize(samples)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
+)
+
+// DVFSPoint is one frequency plan in the time/energy plane.
+type DVFSPoint struct {
+	BlurMHz int
+	TailMHz int
+	Seconds float64
+	Joules  float64 // SCC + MCPC render surcharge
+	Pareto  bool    // no other plan is faster AND cheaper
+}
+
+// ParetoResult explores the full DVFS plan space the paper's §VI-D opens
+// up but only samples at three points: every combination of blur and
+// post-blur frequency on the single-pipeline MCPC configuration, with the
+// Pareto-optimal plans marked.
+type ParetoResult struct {
+	Points []DVFSPoint
+}
+
+func (r ParetoResult) String() string {
+	var b strings.Builder
+	b.WriteString("DVFS plan space, 1 pipeline, MCPC renderer\n")
+	b.WriteString("  blur  tail     time      energy\n")
+	for _, p := range r.Points {
+		mark := "  "
+		if p.Pareto {
+			mark = " *"
+		}
+		fmt.Fprintf(&b, "%s %4d  %4d  %7.1f s  %8.1f J\n", mark, p.BlurMHz, p.TailMHz, p.Seconds, p.Joules)
+	}
+	b.WriteString("  (* = Pareto-optimal)\n")
+	return b.String()
+}
+
+// ParetoFront returns the Pareto-optimal points.
+func (r ParetoResult) ParetoFront() []DVFSPoint {
+	var out []DVFSPoint
+	for _, p := range r.Points {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunDVFSPareto sweeps all blur×tail frequency combinations.
+func RunDVFSPareto(s Setup) (ParetoResult, error) {
+	wl := Workload(s)
+	var out ParetoResult
+	for _, blur := range scc.FreqLevels {
+		for _, tail := range scc.FreqLevels {
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: 1, Renderer: core.HostRenderer,
+				BlurFreq: blur, TailFreq: tail, IsolateBlur: true,
+			}
+			res, err := core.Simulate(spec, wl, core.SimOptions{})
+			if err != nil {
+				return ParetoResult{}, err
+			}
+			out.Points = append(out.Points, DVFSPoint{
+				BlurMHz: int(blur.Hz / 1e6),
+				TailMHz: int(tail.Hz / 1e6),
+				Seconds: res.Seconds,
+				Joules:  res.SCCEnergyJ + res.HostExtraEnergyJ,
+			})
+		}
+	}
+	// Mark the Pareto front.
+	for i := range out.Points {
+		dominated := false
+		for j := range out.Points {
+			if i == j {
+				continue
+			}
+			a, b := out.Points[j], out.Points[i]
+			if a.Seconds <= b.Seconds && a.Joules <= b.Joules &&
+				(a.Seconds < b.Seconds || a.Joules < b.Joules) {
+				dominated = true
+				break
+			}
+		}
+		out.Points[i].Pareto = !dominated
+	}
+	return out, nil
+}

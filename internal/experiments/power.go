@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
+)
+
+// Fig14Curve is one power trace of Fig. 14: an MCPC-renderer run at a given
+// pipeline count and arrangement.
+type Fig14Curve struct {
+	Pipelines int
+	CPUs      int // SCC cores in use (the paper labels curves by CPUs)
+	Arr       core.Arrangement
+	MeanWatts float64
+	Trace     []scc.PowerSample
+}
+
+// Fig14Result is the power-vs-active-cores experiment.
+type Fig14Result struct {
+	Curves []Fig14Curve
+}
+
+func (r Fig14Result) String() string {
+	var b strings.Builder
+	b.WriteString("SCC power with MCPC renderer (mean watts over the run)\n")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "  %2d CPUs (%d pipelines, %-9v): %5.1f W\n", c.CPUs, c.Pipelines, c.Arr, c.MeanWatts)
+	}
+	return b.String()
+}
+
+// RunFig14 sweeps pipeline counts 1..8 (7..42 used cores, matching the
+// paper's "7 CPUs".."42 CPUs" curves) across the three arrangements and
+// records the chip power.
+func RunFig14(s Setup) (Fig14Result, error) {
+	wl := Workload(s)
+	var out Fig14Result
+	for _, ar := range core.Arrangements {
+		for k := 1; k <= core.MaxPipelines(core.HostRenderer); k++ {
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: k, Arrangement: ar, Renderer: core.HostRenderer,
+			}
+			res, err := core.Simulate(spec, wl, core.SimOptions{})
+			if err != nil {
+				return Fig14Result{}, err
+			}
+			out.Curves = append(out.Curves, Fig14Curve{
+				Pipelines: k,
+				CPUs:      len(res.Placement.Cores()),
+				Arr:       ar,
+				MeanWatts: res.SCCEnergyJ / res.Seconds,
+				Trace:     res.Power,
+			})
+		}
+	}
+	return out, nil
+}
+
+// EnergyResult reproduces the paper's §VI-B energy argument: the
+// heterogeneous MCPC+SCC configuration at its sweet spot versus the best
+// all-SCC configuration.
+//
+//	paper: 3.3 s · 28 W + 51 s · 50 W = 2642 J  vs  58 s · 58 W = 3364 J
+type EnergyResult struct {
+	HybridSeconds float64
+	HybridJ       float64 // SCC energy + MCPC extra render energy
+	AllSCCSeconds float64
+	AllSCCJ       float64
+}
+
+func (r EnergyResult) String() string {
+	return fmt.Sprintf(
+		"hybrid (MCPC render, 5 pipelines):  %6.1f s  %7.1f J\nall-SCC (n renderers, 7 pipelines): %6.1f s  %7.1f J\n",
+		r.HybridSeconds, r.HybridJ, r.AllSCCSeconds, r.AllSCCJ)
+}
+
+// PaperEnergy holds the published joule figures.
+var PaperEnergy = struct{ HybridJ, AllSCCJ float64 }{HybridJ: 2642, AllSCCJ: 3364}
+
+// RunEnergy compares the two best configurations' energy.
+func RunEnergy(s Setup) (EnergyResult, error) {
+	wl := Workload(s)
+	hybrid, err := core.Simulate(core.Spec{
+		Frames: s.Frames, Width: s.Width, Height: s.Height,
+		Pipelines: 5, Renderer: core.HostRenderer,
+	}, wl, core.SimOptions{})
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	allSCC, err := core.Simulate(core.Spec{
+		Frames: s.Frames, Width: s.Width, Height: s.Height,
+		Pipelines: 7, Renderer: core.NRenderers,
+	}, wl, core.SimOptions{})
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	return EnergyResult{
+		HybridSeconds: hybrid.Seconds,
+		HybridJ:       hybrid.SCCEnergyJ + hybrid.HostExtraEnergyJ,
+		AllSCCSeconds: allSCC.Seconds,
+		AllSCCJ:       allSCC.SCCEnergyJ,
+	}, nil
+}

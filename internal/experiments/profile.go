@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+)
+
+// Fig8Result is the single-core baseline decomposition (Fig. 8 plus the
+// §VI-A ablations: render-only and render+transfer).
+type Fig8Result struct {
+	Total          float64
+	StageSeconds   map[core.StageKind]float64
+	RenderOnly     float64
+	RenderTransfer float64
+}
+
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Single SCC core, all stages: %.1f s (paper ≈382 s)\n", r.Total)
+	for _, k := range core.SingleCoreStages {
+		fmt.Fprintf(&b, "  %-9v %8.1f s\n", k, r.StageSeconds[k])
+	}
+	fmt.Fprintf(&b, "render only:            %8.1f s (paper ≈94 s)\n", r.RenderOnly)
+	fmt.Fprintf(&b, "render + transfer:      %8.1f s (paper ≈104 s)\n", r.RenderTransfer)
+	return b.String()
+}
+
+// PaperFig8 holds the §VI-A reference durations (seconds, 400 frames).
+var PaperFig8 = struct {
+	Total, RenderOnly, RenderTransfer float64
+}{Total: 382, RenderOnly: 94, RenderTransfer: 104}
+
+// RunFig8 measures the single-core stage profile.
+func RunFig8(s Setup) (Fig8Result, error) {
+	wl := Workload(s)
+	spec := core.Spec{Frames: s.Frames, Width: s.Width, Height: s.Height, Pipelines: 1}
+	full, err := core.SimulateSingleCore(spec, wl, core.SingleCoreStages, core.SimOptions{})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	renderOnly, err := core.SimulateSingleCore(spec, wl, []core.StageKind{core.StageRender}, core.SimOptions{})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	rt, err := core.SimulateSingleCore(spec, wl, []core.StageKind{core.StageRender, core.StageTransfer}, core.SimOptions{})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	return Fig8Result{
+		Total:          full.Seconds,
+		StageSeconds:   full.StageSeconds,
+		RenderOnly:     renderOnly.Seconds,
+		RenderTransfer: rt.Seconds,
+	}, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+)
+
+// Fig12Result sweeps the image side length with a single pipeline fed by
+// the MCPC (Fig. 12): the paper's probe for cache-size effects.
+type Fig12Result struct {
+	Sides   []int
+	KBytes  []float64
+	Seconds []float64
+}
+
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Walkthrough seconds vs image size, 1 pipeline, MCPC renderer\n")
+	for i, side := range r.Sides {
+		fmt.Fprintf(&b, "  side %3d (%5.0f kB): %8.1f s\n", side, r.KBytes[i], r.Seconds[i])
+	}
+	return b.String()
+}
+
+// Fig12Sides are the paper's x-axis values: 50..400 in steps of 50, with
+// payloads 10 kB .. 640 kB.
+var Fig12Sides = []int{50, 100, 150, 200, 250, 300, 350, 400}
+
+// RunFig12 sweeps square image sizes through a single MCPC-fed pipeline.
+// The paper's finding to reproduce: time grows smoothly with size and shows
+// no jump when the strip exceeds the 256 KiB L2 (between side 250 and 300),
+// because every stage streams its data exactly once.
+func RunFig12(s Setup) (Fig12Result, error) {
+	var out Fig12Result
+	for _, side := range Fig12Sides {
+		sub := s
+		sub.Width, sub.Height = side, side
+		wl := Workload(sub)
+		spec := core.Spec{
+			Frames: sub.Frames, Width: side, Height: side,
+			Pipelines: 1, Renderer: core.HostRenderer,
+		}
+		res, err := core.Simulate(spec, wl, core.SimOptions{})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		out.Sides = append(out.Sides, side)
+		out.KBytes = append(out.KBytes, float64(side*side*4)/1000)
+		out.Seconds = append(out.Seconds, res.Seconds)
+	}
+	return out, nil
+}

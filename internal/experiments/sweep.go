@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+)
+
+// SweepResult is a pipeline-count sweep for one renderer configuration:
+// one curve per arrangement (Figs. 9, 10, 11).
+type SweepResult struct {
+	Renderer core.RendererConfig
+	Curves   []Series // one per arrangement, X = pipeline count
+}
+
+func (r SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Walkthrough seconds vs pipelines, %v\n", r.Renderer)
+	b.WriteString(formatHeader("pipelines", r.Curves[0].X))
+	b.WriteByte('\n')
+	for _, c := range r.Curves {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunSweep sweeps pipeline counts 1..MaxPipelines for a renderer
+// configuration across all three arrangements.
+func RunSweep(s Setup, rc core.RendererConfig) (SweepResult, error) {
+	wl := Workload(s)
+	out := SweepResult{Renderer: rc}
+	maxK := core.MaxPipelines(rc)
+	for _, ar := range core.Arrangements {
+		series := Series{Label: ar.String()}
+		for k := 1; k <= maxK; k++ {
+			spec := core.Spec{
+				Frames: s.Frames, Width: s.Width, Height: s.Height,
+				Pipelines: k, Arrangement: ar, Renderer: rc,
+			}
+			res, err := core.Simulate(spec, wl, core.SimOptions{})
+			if err != nil {
+				return SweepResult{}, err
+			}
+			series.X = append(series.X, float64(k))
+			series.Y = append(series.Y, res.Seconds)
+		}
+		out.Curves = append(out.Curves, series)
+	}
+	return out, nil
+}
+
+// RunFig9 reproduces Fig. 9 (one renderer with multiple pipelines).
+func RunFig9(s Setup) (SweepResult, error) { return RunSweep(s, core.OneRenderer) }
+
+// RunFig10 reproduces Fig. 10 (one renderer per pipeline).
+func RunFig10(s Setup) (SweepResult, error) { return RunSweep(s, core.NRenderers) }
+
+// RunFig11 reproduces Fig. 11 (MCPC renders, SCC filters).
+func RunFig11(s Setup) (SweepResult, error) { return RunSweep(s, core.HostRenderer) }
+
+// Table1Row identifies one row of the paper's Table I.
+type Table1Row struct {
+	Label    string
+	Renderer core.RendererConfig
+	Arr      core.Arrangement
+	Cluster  bool
+	Seconds  []float64 // k = 1..7
+}
+
+// Table1Result is the full results grid.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+func (t Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString(formatHeader("configuration", []float64{1, 2, 3, 4, 5, 6, 7}))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-24s", r.Label)
+		for _, v := range r.Seconds {
+			if v == 0 {
+				fmt.Fprintf(&b, " %8s", "-")
+			} else {
+				fmt.Fprintf(&b, " %8.0f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Row returns the row with the given label, or nil.
+func (t Table1Result) Row(label string) *Table1Row {
+	for i := range t.Rows {
+		if t.Rows[i].Label == label {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// PaperTable1 holds the published Table I (seconds, k = 1..7).
+var PaperTable1 = map[string][]float64{
+	"1 rend., unordered":  {207, 107, 102, 102, 102, 101, 101},
+	"1 rend., ordered":    {208, 108, 104, 103, 102, 101, 101},
+	"1 rend., flipped":    {208, 107, 102, 102, 102, 101, 101},
+	"n rend., unordered":  {235, 117, 78, 69, 65, 62, 58},
+	"n rend., ordered":    {236, 118, 79, 68, 65, 61, 58},
+	"n rend., flipped":    {236, 117, 79, 68, 65, 61, 59},
+	"MCPC, unordered":     {231, 113, 72, 54, 54, 55, 54},
+	"MCPC, ordered":       {231, 112, 70, 54, 53, 55, 54},
+	"MCPC, flipped":       {232, 113, 72, 54, 51, 54, 54},
+	"HPC, external rend.": {32, 24, 20, 20, 19, 20, 18},
+	"HPC, single rend.":   {26, 14, 10, 7, 6, 5, 4},
+	"HPC, parallel rend.": {25, 14, 10, 8, 6, 5, 4},
+}
+
+// RunTable1 reproduces the paper's complete Table I: nine SCC rows (three
+// renderer configurations × three arrangements) and three cluster rows.
+func RunTable1(s Setup) (Table1Result, error) {
+	wl := Workload(s)
+	var t Table1Result
+	type cfg struct {
+		name string
+		rc   core.RendererConfig
+	}
+	for _, c := range []cfg{
+		{"1 rend.", core.OneRenderer},
+		{"n rend.", core.NRenderers},
+		{"MCPC", core.HostRenderer},
+	} {
+		for _, ar := range core.Arrangements {
+			row := Table1Row{
+				Label:    fmt.Sprintf("%s, %v", c.name, ar),
+				Renderer: c.rc,
+				Arr:      ar,
+			}
+			for k := 1; k <= 7; k++ {
+				if k > core.MaxPipelines(c.rc) {
+					row.Seconds = append(row.Seconds, 0)
+					continue
+				}
+				spec := core.Spec{
+					Frames: s.Frames, Width: s.Width, Height: s.Height,
+					Pipelines: k, Arrangement: ar, Renderer: c.rc,
+				}
+				res, err := core.Simulate(spec, wl, core.SimOptions{})
+				if err != nil {
+					return Table1Result{}, err
+				}
+				row.Seconds = append(row.Seconds, res.Seconds)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	clusterRows, err := runClusterRows(s, wl)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	t.Rows = append(t.Rows, clusterRows...)
+	return t, nil
+}

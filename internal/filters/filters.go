@@ -1,0 +1,132 @@
+// Package filters implements the paper's five image-manipulation stages on
+// real pixels: sepia, blur, scratch, flicker and swap. Each follows the
+// formula or procedure in §IV of the paper. Randomized stages (scratch,
+// flicker) take an explicit RNG so pipelines are reproducible.
+package filters
+
+import (
+	"math/rand"
+
+	"sccpipe/internal/frame"
+)
+
+// clamp01 clamps to [0, 1] — the paper's clamp.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func to01(b uint8) float64 { return float64(b) / 255.0 }
+func from01(v float64) uint8 {
+	return uint8(clamp01(v)*255 + 0.5)
+}
+
+// Sepia colors (§IV, Sepia stage).
+var (
+	sepiaS1 = [3]float64{0.2, 0.05, 0.0}
+	sepiaS2 = [3]float64{1.0, 0.9, 0.5}
+)
+
+// Sepia converts the image to the paper's sepia tone in place:
+//
+//	mix    = clamp(0.3·r + 0.59·g + 0.11·b)
+//	rgbnew = clamp(S1·(1−mix) + S2·mix)
+func Sepia(img *frame.Image) {
+	pix := img.Pix
+	for o := 0; o < len(pix); o += 4 {
+		r, g, b := to01(pix[o]), to01(pix[o+1]), to01(pix[o+2])
+		mix := clamp01(0.3*r + 0.59*g + 0.11*b)
+		pix[o] = from01(sepiaS1[0]*(1-mix) + sepiaS2[0]*mix)
+		pix[o+1] = from01(sepiaS1[1]*(1-mix) + sepiaS2[1]*mix)
+		pix[o+2] = from01(sepiaS1[2]*(1-mix) + sepiaS2[2]*mix)
+	}
+}
+
+// Blur applies a 3×3 box blur (average of the pixel and its neighbours,
+// edge pixels averaging only in-bounds neighbours). As in the paper, it
+// works from the original data via a second buffer, making it the stage
+// with the heaviest memory traffic.
+func Blur(img *frame.Image) {
+	src := img.Clone()
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			var sr, sg, sb, n int
+			for dy := -1; dy <= 1; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= img.H {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= img.W {
+						continue
+					}
+					r, g, b, _ := src.At(xx, yy)
+					sr += int(r)
+					sg += int(g)
+					sb += int(b)
+					n++
+				}
+			}
+			_, _, _, a := src.At(x, y)
+			img.Set(x, y, uint8((sr+n/2)/n), uint8((sg+n/2)/n), uint8((sb+n/2)/n), a)
+		}
+	}
+}
+
+// MaxScratches bounds the number of scratches per frame strip.
+const MaxScratches = 6
+
+// Scratch draws a random number of vertical scratches in a random shade
+// (§IV, Scratch stage): one random color and count per call, then one
+// random x-coordinate per scratch whose whole column is replaced.
+func Scratch(img *frame.Image, rng *rand.Rand) {
+	count := rng.Intn(MaxScratches + 1)
+	shade := uint8(170 + rng.Intn(86)) // light scratch tone
+	for i := 0; i < count; i++ {
+		x := rng.Intn(img.W)
+		for y := 0; y < img.H; y++ {
+			_, _, _, a := img.At(x, y)
+			img.Set(x, y, shade, shade, shade, a)
+		}
+	}
+}
+
+// FlickerAmplitude is the paper's brightness variation bound: ±1/10.
+const FlickerAmplitude = 0.1
+
+// Flicker shifts all RGB values by one random amount in
+// [−FlickerAmplitude, +FlickerAmplitude], clamped to [0, 1] (§IV).
+func Flicker(img *frame.Image, rng *rand.Rand) {
+	delta := (rng.Float64()*2 - 1) * FlickerAmplitude
+	FlickerBy(img, delta)
+}
+
+// FlickerBy applies a specific brightness delta; exposed for testing and
+// for replaying recorded flicker sequences.
+func FlickerBy(img *frame.Image, delta float64) {
+	pix := img.Pix
+	for o := 0; o < len(pix); o += 4 {
+		pix[o] = from01(to01(pix[o]) + delta)
+		pix[o+1] = from01(to01(pix[o+1]) + delta)
+		pix[o+2] = from01(to01(pix[o+2]) + delta)
+	}
+}
+
+// Swap flips the image upside down in place using an intermediate row
+// buffer, copying rows pairwise exactly as §IV's Swap stage describes.
+func Swap(img *frame.Image) {
+	tmp := make([]uint8, img.W*4)
+	for i, j := 0, img.H-1; i < j; i, j = i+1, j-1 {
+		top := img.Row(i)
+		bottom := img.Row(j)
+		copy(tmp, top)
+		copy(top, bottom)
+		copy(bottom, tmp)
+	}
+}

@@ -1,0 +1,382 @@
+package filters
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sccpipe/internal/frame"
+)
+
+func randomImage(seed int64, w, h int) *frame.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := frame.New(w, h)
+	rng.Read(im.Pix)
+	for i := 3; i < len(im.Pix); i += 4 {
+		im.Pix[i] = 0xff
+	}
+	return im
+}
+
+func TestSepiaKnownValues(t *testing.T) {
+	im := frame.New(3, 1)
+	im.Set(0, 0, 0, 0, 0, 255)       // black: mix 0 -> S1
+	im.Set(1, 0, 255, 255, 255, 255) // white: mix 1 -> S2
+	im.Set(2, 0, 255, 0, 0, 255)     // red: mix 0.3
+	Sepia(im)
+	if r, g, b, _ := im.At(0, 0); r != 51 || g != 13 || b != 0 {
+		t.Fatalf("black -> %d,%d,%d, want 51,13,0 (S1)", r, g, b)
+	}
+	// mix(white) = 0.3+0.59+0.11, which is 1−ulp in float64, so allow ±1.
+	if r, g, b, _ := im.At(1, 0); r != 255 || absDiff(g, 230) > 1 || absDiff(b, 128) > 1 {
+		t.Fatalf("white -> %d,%d,%d, want ≈255,230,128 (S2)", r, g, b)
+	}
+	// red: mix = 0.3 -> r = 0.2*0.7 + 1.0*0.3 = 0.44 -> 112
+	if r, _, _, _ := im.At(2, 0); r != 112 {
+		t.Fatalf("red channel -> %d, want 112", r)
+	}
+}
+
+func TestSepiaMonochromeOrdering(t *testing.T) {
+	// Sepia output must always satisfy r ≥ g ≥ b (brown shades).
+	im := randomImage(1, 32, 32)
+	Sepia(im)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b, _ := im.At(x, y)
+			if r < g || g < b {
+				t.Fatalf("pixel (%d,%d) = %d,%d,%d not sepia-ordered", x, y, r, g, b)
+			}
+		}
+	}
+}
+
+func TestSepiaIdempotentOnExtremes(t *testing.T) {
+	// S2 is a fixed point: mix(S2) = 0.3+0.9*0.59+0.5*0.11 ≈ 0.886 ... not
+	// exactly 1, so instead verify determinism: applying to equal images
+	// gives equal results.
+	a := randomImage(2, 8, 8)
+	b := a.Clone()
+	Sepia(a)
+	Sepia(b)
+	if !a.Equal(b) {
+		t.Fatal("sepia not deterministic")
+	}
+}
+
+func TestBlurConstantImageUnchanged(t *testing.T) {
+	im := frame.New(16, 16)
+	im.Fill(120, 60, 200, 255)
+	want := im.Clone()
+	Blur(im)
+	if !im.Equal(want) {
+		t.Fatal("blur changed a constant image")
+	}
+}
+
+func TestBlurAveragesImpulse(t *testing.T) {
+	im := frame.New(5, 5)
+	im.Fill(0, 0, 0, 255)
+	im.Set(2, 2, 90, 90, 90, 255)
+	Blur(im)
+	if r, _, _, _ := im.At(2, 2); r != 10 {
+		t.Fatalf("center after blur = %d, want 10 (90/9)", r)
+	}
+	if r, _, _, _ := im.At(1, 1); r != 10 {
+		t.Fatalf("neighbour after blur = %d, want 10", r)
+	}
+	if r, _, _, _ := im.At(0, 4); r != 0 {
+		t.Fatalf("far corner after blur = %d, want 0", r)
+	}
+}
+
+func TestBlurEdgeUsesInBoundsNeighbours(t *testing.T) {
+	im := frame.New(3, 1) // degenerate strip: 1 row
+	im.Set(0, 0, 60, 0, 0, 255)
+	im.Set(1, 0, 60, 0, 0, 255)
+	im.Set(2, 0, 0, 0, 0, 255)
+	Blur(im)
+	// Pixel 0 averages pixels 0,1: (60+60)/2 = 60.
+	if r, _, _, _ := im.At(0, 0); r != 60 {
+		t.Fatalf("edge = %d, want 60", r)
+	}
+	// Pixel 1 averages 60,60,0 = 40.
+	if r, _, _, _ := im.At(1, 0); r != 40 {
+		t.Fatalf("middle = %d, want 40", r)
+	}
+}
+
+func TestBlurReducesVariance(t *testing.T) {
+	im := randomImage(3, 32, 32)
+	variance := func(im *frame.Image) float64 {
+		var sum, sum2 float64
+		n := 0
+		for o := 0; o < len(im.Pix); o += 4 {
+			v := float64(im.Pix[o])
+			sum += v
+			sum2 += v * v
+			n++
+		}
+		m := sum / float64(n)
+		return sum2/float64(n) - m*m
+	}
+	before := variance(im)
+	Blur(im)
+	after := variance(im)
+	if after >= before {
+		t.Fatalf("variance %g -> %g; blur should smooth", before, after)
+	}
+}
+
+func TestScratchDeterministicWithSeed(t *testing.T) {
+	a := randomImage(4, 20, 20)
+	b := a.Clone()
+	Scratch(a, rand.New(rand.NewSource(42)))
+	Scratch(b, rand.New(rand.NewSource(42)))
+	if !a.Equal(b) {
+		t.Fatal("scratch with same seed differs")
+	}
+}
+
+func TestScratchDrawsFullColumns(t *testing.T) {
+	// Find a seed that draws at least one scratch, then verify the whole
+	// column is one shade.
+	for seed := int64(0); seed < 20; seed++ {
+		im := frame.New(20, 20) // black
+		rng := rand.New(rand.NewSource(seed))
+		Scratch(im, rng)
+		for x := 0; x < im.W; x++ {
+			r0, _, _, _ := im.At(x, 0)
+			if r0 == 0 {
+				continue
+			}
+			for y := 0; y < im.H; y++ {
+				r, g, b, _ := im.At(x, y)
+				if r != r0 || g != r0 || b != r0 {
+					t.Fatalf("seed %d column %d not uniform scratch", seed, x)
+				}
+			}
+			return // verified at least one scratch column
+		}
+	}
+	t.Fatal("no seed produced a scratch in 20 tries")
+}
+
+func TestScratchCountBounded(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		im := frame.New(64, 4)
+		Scratch(im, rand.New(rand.NewSource(seed)))
+		cols := 0
+		for x := 0; x < im.W; x++ {
+			if r, _, _, _ := im.At(x, 0); r != 0 {
+				cols++
+			}
+		}
+		if cols > MaxScratches {
+			t.Fatalf("seed %d: %d scratch columns > max %d", seed, cols, MaxScratches)
+		}
+	}
+}
+
+func TestFlickerByShiftsUniformly(t *testing.T) {
+	im := frame.New(4, 4)
+	im.Fill(100, 100, 100, 255)
+	FlickerBy(im, 0.1)
+	r, g, b, a := im.At(1, 1)
+	want := uint8(100.0/255.0*255 + 0.1*255 + 0.5)
+	if r != want || g != want || b != want {
+		t.Fatalf("flicker +0.1: got %d, want %d", r, want)
+	}
+	if a != 255 {
+		t.Fatal("alpha modified")
+	}
+}
+
+func TestFlickerClamps(t *testing.T) {
+	im := frame.New(2, 1)
+	im.Set(0, 0, 250, 250, 250, 255)
+	im.Set(1, 0, 3, 3, 3, 255)
+	FlickerBy(im, 0.1)
+	if r, _, _, _ := im.At(0, 0); r != 255 {
+		t.Fatalf("bright pixel = %d, want clamped 255", r)
+	}
+	im2 := frame.New(1, 1)
+	im2.Set(0, 0, 3, 3, 3, 255)
+	FlickerBy(im2, -0.1)
+	if r, _, _, _ := im2.At(0, 0); r != 0 {
+		t.Fatalf("dark pixel = %d, want clamped 0", r)
+	}
+}
+
+func TestFlickerWithinAmplitude(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		im := frame.New(1, 1)
+		im.Set(0, 0, 128, 128, 128, 255)
+		Flicker(im, rand.New(rand.NewSource(seed)))
+		r, _, _, _ := im.At(0, 0)
+		ampF := FlickerAmplitude * 255
+		amp := int(ampF)
+		lo := 128 - amp - 1
+		hi := 128 + amp + 1
+		if int(r) < lo || int(r) > hi {
+			t.Fatalf("seed %d: flicker moved 128 to %d, outside ±%g", seed, r, FlickerAmplitude*255)
+		}
+	}
+}
+
+func TestSwapMirrorsVertically(t *testing.T) {
+	im := frame.New(2, 3)
+	for y := 0; y < 3; y++ {
+		im.Set(0, y, uint8(y), 0, 0, 255)
+	}
+	Swap(im)
+	for y := 0; y < 3; y++ {
+		r, _, _, _ := im.At(0, y)
+		if r != uint8(2-y) {
+			t.Fatalf("row %d = %d, want %d", y, r, 2-y)
+		}
+	}
+}
+
+// Property: swap is an involution — swap(swap(x)) == x.
+func TestQuickSwapInvolution(t *testing.T) {
+	f := func(seed int64, wRaw, hRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		h := int(hRaw%16) + 1
+		a := randomImage(seed, w, h)
+		b := a.Clone()
+		Swap(b)
+		Swap(b)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: blur preserves the mean brightness of interior-heavy constant
+// regions and never produces values outside the input range.
+func TestQuickBlurRangeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		im := randomImage(seed, 9, 9)
+		var lo, hi uint8 = 255, 0
+		for o := 0; o < len(im.Pix); o += 4 {
+			for c := 0; c < 3; c++ {
+				v := im.Pix[o+c]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		Blur(im)
+		for o := 0; o < len(im.Pix); o += 4 {
+			for c := 0; c < 3; c++ {
+				v := im.Pix[o+c]
+				// Rounding can add ±1 beyond the pure average range.
+				if int(v) < int(lo)-1 || int(v) > int(hi)+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full filter chain never alters image dimensions or alpha.
+func TestQuickChainShapeStable(t *testing.T) {
+	f := func(seed int64) bool {
+		im := randomImage(seed, 12, 10)
+		rng := rand.New(rand.NewSource(seed))
+		Sepia(im)
+		Blur(im)
+		Scratch(im, rng)
+		Flicker(im, rng)
+		Swap(im)
+		if im.W != 12 || im.H != 10 {
+			return false
+		}
+		for i := 3; i < len(im.Pix); i += 4 {
+			if im.Pix[i] != 0xff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a uint8, b int) int {
+	d := int(a) - b
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestScratchOrientedDeterministic(t *testing.T) {
+	a := randomImage(21, 40, 40)
+	b := a.Clone()
+	ScratchOriented(a, rand.New(rand.NewSource(5)), DefaultOrientedScratchParams())
+	ScratchOriented(b, rand.New(rand.NewSource(5)), DefaultOrientedScratchParams())
+	if !a.Equal(b) {
+		t.Fatal("oriented scratch not deterministic")
+	}
+}
+
+func TestScratchOrientedStaysInBounds(t *testing.T) {
+	// Must not panic for any small geometry and must only lighten pixels
+	// toward a single shade.
+	for seed := int64(0); seed < 30; seed++ {
+		im := frame.New(17, 9)
+		p := DefaultOrientedScratchParams()
+		p.Thickness = 3
+		p.MaxTilt = 1.5
+		ScratchOriented(im, rand.New(rand.NewSource(seed)), p)
+		shades := map[uint8]bool{}
+		for o := 0; o < len(im.Pix); o += 4 {
+			if im.Pix[o] != 0 {
+				shades[im.Pix[o]] = true
+				if im.Pix[o] != im.Pix[o+1] || im.Pix[o+1] != im.Pix[o+2] {
+					t.Fatalf("seed %d: scratch pixel not grey", seed)
+				}
+			}
+		}
+		if len(shades) > 1 {
+			t.Fatalf("seed %d: %d distinct shades in one frame", seed, len(shades))
+		}
+	}
+}
+
+func TestScratchOrientedZeroCountNoop(t *testing.T) {
+	im := randomImage(22, 8, 8)
+	want := im.Clone()
+	ScratchOriented(im, rand.New(rand.NewSource(1)), OrientedScratchParams{MaxCount: 0})
+	if !im.Equal(want) {
+		t.Fatal("zero-count params modified the image")
+	}
+}
+
+func TestScratchOrientedDrawsSomething(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		im := frame.New(64, 64)
+		ScratchOriented(im, rand.New(rand.NewSource(seed)), DefaultOrientedScratchParams())
+		lit := 0
+		for o := 0; o < len(im.Pix); o += 4 {
+			if im.Pix[o] != 0 {
+				lit++
+			}
+		}
+		if lit > 0 {
+			return
+		}
+	}
+	t.Fatal("no seed drew an oriented scratch")
+}

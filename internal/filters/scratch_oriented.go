@@ -1,0 +1,76 @@
+package filters
+
+import (
+	"math"
+	"math/rand"
+
+	"sccpipe/internal/frame"
+)
+
+// The paper notes its scratch filter "can be easily extended to allow
+// scratches of arbitrary orientation and length" (§IV). This file is that
+// extension: line-segment scratches with random angle, length, position
+// and shade, drawn with an integer Bresenham walk plus thickness.
+
+// OrientedScratchParams bounds the randomized scratch generation.
+type OrientedScratchParams struct {
+	MaxCount  int     // scratches per frame (0..MaxCount)
+	MinLen    float64 // fraction of the image diagonal
+	MaxLen    float64
+	MaxTilt   float64 // max deviation from vertical, radians
+	Thickness int     // scratch width in pixels (≥ 1)
+}
+
+// DefaultOrientedScratchParams mimics aged film: mostly-vertical scratches
+// of varying length.
+func DefaultOrientedScratchParams() OrientedScratchParams {
+	return OrientedScratchParams{
+		MaxCount:  MaxScratches,
+		MinLen:    0.25,
+		MaxLen:    1.0,
+		MaxTilt:   0.35,
+		Thickness: 1,
+	}
+}
+
+// ScratchOriented draws randomized line-segment scratches. Like Scratch,
+// one shade and one count are drawn per call; each scratch then gets its
+// own position, angle and length.
+func ScratchOriented(img *frame.Image, rng *rand.Rand, p OrientedScratchParams) {
+	if p.MaxCount <= 0 {
+		return
+	}
+	if p.Thickness < 1 {
+		p.Thickness = 1
+	}
+	count := rng.Intn(p.MaxCount + 1)
+	shade := uint8(170 + rng.Intn(86))
+	diag := math.Hypot(float64(img.W), float64(img.H))
+	for i := 0; i < count; i++ {
+		length := diag * (p.MinLen + rng.Float64()*(p.MaxLen-p.MinLen))
+		angle := (rng.Float64()*2 - 1) * p.MaxTilt // 0 = vertical
+		cx := rng.Float64() * float64(img.W)
+		cy := rng.Float64() * float64(img.H)
+		dx := math.Sin(angle) * length / 2
+		dy := math.Cos(angle) * length / 2
+		drawLine(img, cx-dx, cy-dy, cx+dx, cy+dy, p.Thickness, shade)
+	}
+}
+
+// drawLine fills a thick segment, clipping to the image.
+func drawLine(img *frame.Image, x0, y0, x1, y1 float64, thickness int, shade uint8) {
+	steps := int(math.Ceil(math.Max(math.Abs(x1-x0), math.Abs(y1-y0)))) + 1
+	for s := 0; s < steps; s++ {
+		t := float64(s) / (float64(steps-1) + 1e-12)
+		x := int(x0 + t*(x1-x0))
+		y := int(y0 + t*(y1-y0))
+		for tx := 0; tx < thickness; tx++ {
+			px := x + tx
+			if px < 0 || px >= img.W || y < 0 || y >= img.H {
+				continue
+			}
+			_, _, _, a := img.At(px, y)
+			img.Set(px, y, shade, shade, shade, a)
+		}
+	}
+}

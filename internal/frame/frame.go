@@ -1,0 +1,164 @@
+// Package frame provides the image buffers flowing through the macro
+// pipeline: RGBA frame buffers (four bytes per pixel, as on the paper's
+// renderer), horizontal strips for sort-first decomposition, and assembly of
+// strips back into display frames.
+package frame
+
+import (
+	"fmt"
+	"io"
+)
+
+// Image is an RGBA frame buffer, four bytes per pixel, rows top to bottom.
+type Image struct {
+	W, H int
+	// Pix holds RGBA quadruplets row-major; len = W*H*4.
+	Pix []uint8
+}
+
+// New returns a black, fully opaque image.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid size %dx%d", w, h))
+	}
+	img := &Image{W: w, H: h, Pix: make([]uint8, w*h*4)}
+	for i := 3; i < len(img.Pix); i += 4 {
+		img.Pix[i] = 0xff
+	}
+	return img
+}
+
+// Bytes reports the buffer size in bytes (the paper's four bytes per pixel).
+func (im *Image) Bytes() int { return len(im.Pix) }
+
+// Pixels reports the pixel count.
+func (im *Image) Pixels() int { return im.W * im.H }
+
+func (im *Image) offset(x, y int) int { return (y*im.W + x) * 4 }
+
+// At returns the RGBA value at (x, y).
+func (im *Image) At(x, y int) (r, g, b, a uint8) {
+	o := im.offset(x, y)
+	return im.Pix[o], im.Pix[o+1], im.Pix[o+2], im.Pix[o+3]
+}
+
+// Set stores an RGBA value at (x, y).
+func (im *Image) Set(x, y int, r, g, b, a uint8) {
+	o := im.offset(x, y)
+	im.Pix[o], im.Pix[o+1], im.Pix[o+2], im.Pix[o+3] = r, g, b, a
+}
+
+// Fill sets every pixel to the given color.
+func (im *Image) Fill(r, g, b, a uint8) {
+	for o := 0; o < len(im.Pix); o += 4 {
+		im.Pix[o], im.Pix[o+1], im.Pix[o+2], im.Pix[o+3] = r, g, b, a
+	}
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := &Image{W: im.W, H: im.H, Pix: make([]uint8, len(im.Pix))}
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Equal reports whether two images have identical size and pixels.
+func (im *Image) Equal(other *Image) bool {
+	if im.W != other.W || im.H != other.H {
+		return false
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != other.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns the pixel bytes of row y (a view, not a copy).
+func (im *Image) Row(y int) []uint8 {
+	return im.Pix[y*im.W*4 : (y+1)*im.W*4]
+}
+
+// Strip is a horizontal band of a frame, carrying its origin so strips can
+// be reassembled. Index identifies which pipeline produced it.
+type Strip struct {
+	Index int // strip number, 0 = top
+	Y0    int // first row in the full frame
+	Img   *Image
+}
+
+// Bytes reports the strip payload size.
+func (s *Strip) Bytes() int { return s.Img.Bytes() }
+
+// StripBounds returns the row range [y0, y1) of strip i when a frame of
+// height h is divided into n horizontal strips as evenly as possible
+// (earlier strips take the remainder rows).
+func StripBounds(h, n, i int) (y0, y1 int) {
+	if n <= 0 || i < 0 || i >= n {
+		panic(fmt.Sprintf("frame: StripBounds(h=%d, n=%d, i=%d)", h, n, i))
+	}
+	base, rem := h/n, h%n
+	y0 = i*base + min(i, rem)
+	y1 = y0 + base
+	if i < rem {
+		y1++
+	}
+	return y0, y1
+}
+
+// SplitRows copies a frame into n horizontal strips (sort-first
+// decomposition as in the paper).
+func SplitRows(im *Image, n int) []*Strip {
+	strips := make([]*Strip, n)
+	for i := 0; i < n; i++ {
+		y0, y1 := StripBounds(im.H, n, i)
+		sub := New(im.W, y1-y0)
+		for y := y0; y < y1; y++ {
+			copy(sub.Row(y-y0), im.Row(y))
+		}
+		strips[i] = &Strip{Index: i, Y0: y0, Img: sub}
+	}
+	return strips
+}
+
+// Assemble recombines strips (in any order) into a full frame of the given
+// size. Missing rows stay black.
+func Assemble(w, h int, strips []*Strip) *Image {
+	out := New(w, h)
+	for _, s := range strips {
+		for y := 0; y < s.Img.H; y++ {
+			ty := s.Y0 + y
+			if ty < 0 || ty >= h {
+				continue
+			}
+			copy(out.Row(ty), s.Img.Row(y))
+		}
+	}
+	return out
+}
+
+// WritePPM encodes the image as binary PPM (P6), dropping alpha.
+func (im *Image) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	row := make([]uint8, im.W*3)
+	for y := 0; y < im.H; y++ {
+		src := im.Row(y)
+		for x := 0; x < im.W; x++ {
+			row[x*3], row[x*3+1], row[x*3+2] = src[x*4], src[x*4+1], src[x*4+2]
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsOpaqueBlack(t *testing.T) {
+	im := New(3, 2)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 3; x++ {
+			r, g, b, a := im.At(x, y)
+			if r != 0 || g != 0 || b != 0 || a != 0xff {
+				t.Fatalf("pixel (%d,%d) = %d,%d,%d,%d", x, y, r, g, b, a)
+			}
+		}
+	}
+	if im.Bytes() != 24 || im.Pixels() != 6 {
+		t.Fatalf("Bytes=%d Pixels=%d", im.Bytes(), im.Pixels())
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	im := New(4, 4)
+	im.Set(2, 3, 10, 20, 30, 40)
+	r, g, b, a := im.At(2, 3)
+	if r != 10 || g != 20 || b != 30 || a != 40 {
+		t.Fatalf("got %d,%d,%d,%d", r, g, b, a)
+	}
+	// Neighbours untouched.
+	if r, _, _, _ := im.At(1, 3); r != 0 {
+		t.Fatal("neighbour modified")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1, 2, 3, 4)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone differs")
+	}
+	b.Set(0, 0, 9, 9, 9, 9)
+	if a.Equal(b) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestStripBoundsPartition(t *testing.T) {
+	for h := 1; h <= 64; h++ {
+		for n := 1; n <= 9 && n <= h; n++ {
+			prev := 0
+			for i := 0; i < n; i++ {
+				y0, y1 := StripBounds(h, n, i)
+				if y0 != prev {
+					t.Fatalf("h=%d n=%d strip %d starts at %d, want %d", h, n, i, y0, prev)
+				}
+				if y1 <= y0 {
+					t.Fatalf("h=%d n=%d strip %d empty", h, n, i)
+				}
+				if d := (y1 - y0) - h/n; d < 0 || d > 1 {
+					t.Fatalf("h=%d n=%d strip %d has %d rows (base %d)", h, n, i, y1-y0, h/n)
+				}
+				prev = y1
+			}
+			if prev != h {
+				t.Fatalf("h=%d n=%d strips cover %d rows", h, n, prev)
+			}
+		}
+	}
+}
+
+func randomImage(rng *rand.Rand, w, h int) *Image {
+	im := New(w, h)
+	rng.Read(im.Pix)
+	return im
+}
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7} {
+		im := randomImage(rng, 16, 23)
+		strips := SplitRows(im, n)
+		if len(strips) != n {
+			t.Fatalf("n=%d: got %d strips", n, len(strips))
+		}
+		back := Assemble(im.W, im.H, strips)
+		if !im.Equal(back) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestAssembleOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := randomImage(rng, 8, 12)
+	strips := SplitRows(im, 4)
+	// Reverse strip order.
+	for i, j := 0, len(strips)-1; i < j; i, j = i+1, j-1 {
+		strips[i], strips[j] = strips[j], strips[i]
+	}
+	if !im.Equal(Assemble(im.W, im.H, strips)) {
+		t.Fatal("assembly depends on strip arrival order")
+	}
+}
+
+func TestQuickSplitAssemble(t *testing.T) {
+	f := func(seed int64, wRaw, hRaw, nRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		h := int(hRaw%32) + 1
+		n := int(nRaw)%h + 1
+		if n > h {
+			n = h
+		}
+		im := randomImage(rand.New(rand.NewSource(seed)), w, h)
+		return im.Equal(Assemble(w, h, SplitRows(im, n)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripBytes(t *testing.T) {
+	im := New(10, 10)
+	s := SplitRows(im, 2)[0]
+	if s.Bytes() != 10*5*4 {
+		t.Fatalf("strip bytes = %d", s.Bytes())
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	im := New(2, 1)
+	im.Set(0, 0, 255, 0, 0, 255)
+	im.Set(1, 0, 0, 255, 0, 255)
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P6\n2 1\n255\n") {
+		t.Fatalf("header: %q", out[:12])
+	}
+	body := buf.Bytes()[len("P6\n2 1\n255\n"):]
+	want := []byte{255, 0, 0, 0, 255, 0}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("body = %v, want %v", body, want)
+	}
+}
+
+func TestFill(t *testing.T) {
+	im := New(3, 3)
+	im.Fill(7, 8, 9, 10)
+	r, g, b, a := im.At(2, 2)
+	if r != 7 || g != 8 || b != 9 || a != 10 {
+		t.Fatalf("got %d,%d,%d,%d", r, g, b, a)
+	}
+}

@@ -1,0 +1,309 @@
+// Package pipe generalizes the paper's macro-pipeline pattern beyond image
+// processing: users define a linear chain of named stages with real worker
+// functions and/or simulation cost descriptions, replicate it into k
+// parallel pipelines over partitioned work items, and either execute it
+// with goroutines (Run) or evaluate it on the simulated SCC (Simulate).
+//
+// This is the "other applications" claim of the paper's abstract made
+// concrete — see examples/compress for a data-compression chain.
+package pipe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sccpipe/internal/des"
+	"sccpipe/internal/rcce"
+	"sccpipe/internal/scc"
+)
+
+// Item is one unit of work flowing through a pipeline.
+type Item struct {
+	// Seq is the item's position in its pipeline's stream.
+	Seq int
+	// Pipeline identifies which parallel pipeline carries the item.
+	Pipeline int
+	// Data is the payload the stage functions transform.
+	Data any
+	// Bytes is the payload size the simulation charges for hand-offs;
+	// stages may change it (e.g. compression shrinks it).
+	Bytes int
+}
+
+// Stage describes one macro-pipeline stage.
+type Stage struct {
+	// Name labels the stage in results.
+	Name string
+	// Fn transforms an item's payload when executing for real. It must
+	// update and return the item (value semantics keep stages honest).
+	Fn func(Item) Item
+	// CostRef estimates the stage's 533 MHz-reference compute seconds for
+	// an item when simulating; nil derives a cost from measured wall time
+	// of Fn via Calibrate.
+	CostRef func(Item) float64
+	// ExtraBytes is stage-private memory traffic per item beyond the
+	// receive and send of the payload (scratch buffers etc.).
+	ExtraBytes func(Item) int
+}
+
+// Chain is a linear macro pipeline replicated into parallel instances.
+type Chain struct {
+	Stages []Stage
+	// Feed produces item Seq for a pipeline, or false to end the stream.
+	// It must be safe for concurrent calls with distinct pipeline indices.
+	Feed func(pipeline, seq int) (Item, bool)
+	// Collect consumes finished items (any order across pipelines, in
+	// order within one). May be nil.
+	Collect func(Item)
+}
+
+// Validate reports whether the chain is runnable.
+func (c *Chain) Validate() error {
+	if len(c.Stages) == 0 {
+		return fmt.Errorf("pipe: chain has no stages")
+	}
+	if c.Feed == nil {
+		return fmt.Errorf("pipe: chain has no feed")
+	}
+	for i, s := range c.Stages {
+		if s.Name == "" {
+			return fmt.Errorf("pipe: stage %d unnamed", i)
+		}
+	}
+	return nil
+}
+
+// RunResult reports a real execution.
+type RunResult struct {
+	Items   int
+	Elapsed time.Duration
+}
+
+// Run executes the chain for real with k parallel pipelines, each stage a
+// goroutine connected by capacity-1 channels (the SCC structure).
+func (c *Chain) Run(k int) (RunResult, error) {
+	if err := c.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if k < 1 {
+		return RunResult{}, fmt.Errorf("pipe: need at least one pipeline")
+	}
+	start := time.Now()
+	var collectMu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for pl := 0; pl < k; pl++ {
+		pl := pl
+		head := make(chan Item, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(head)
+			for seq := 0; ; seq++ {
+				item, ok := c.Feed(pl, seq)
+				if !ok {
+					return
+				}
+				item.Seq, item.Pipeline = seq, pl
+				head <- item
+			}
+		}()
+		in := head
+		for _, st := range c.Stages {
+			st := st
+			out := make(chan Item, 1)
+			src := in
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(out)
+				for item := range src {
+					if st.Fn != nil {
+						item = st.Fn(item)
+					}
+					out <- item
+				}
+			}()
+			in = out
+		}
+		tail := in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range tail {
+				collectMu.Lock()
+				if c.Collect != nil {
+					c.Collect(item)
+				}
+				total++
+				collectMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return RunResult{Items: total, Elapsed: time.Since(start)}, nil
+}
+
+// Calibrate measures each stage's mean wall time over the given sample
+// items and installs CostRef functions scaled by the ratio of a P54C at
+// 533 MHz to this machine (speedRatio, e.g. 40 for a modern laptop core).
+// Stages with explicit CostRef are left alone.
+func (c *Chain) Calibrate(samples []Item, speedRatio float64) error {
+	if len(samples) == 0 || speedRatio <= 0 {
+		return fmt.Errorf("pipe: calibration needs samples and a positive ratio")
+	}
+	for i := range c.Stages {
+		st := &c.Stages[i]
+		if st.CostRef != nil || st.Fn == nil {
+			continue
+		}
+		items := append([]Item(nil), samples...)
+		t0 := time.Now()
+		for j := range items {
+			items[j] = st.Fn(items[j])
+		}
+		mean := time.Since(t0).Seconds() / float64(len(items))
+		cost := mean * speedRatio
+		st.CostRef = func(Item) float64 { return cost }
+		// Feed the transformed samples to the next stage's measurement.
+		samples = items
+	}
+	return nil
+}
+
+// SimResult reports a simulated execution on the SCC model.
+type SimResult struct {
+	Seconds float64
+	// StageBusy is each stage's total busy (compute+memory) seconds,
+	// summed over pipelines.
+	StageBusy map[string]float64
+	// CoresUsed counts the SCC cores occupied.
+	CoresUsed int
+	EnergyJ   float64
+}
+
+// SimSpec configures a simulated run of a chain.
+type SimSpec struct {
+	Pipelines int
+	// Items is the stream length per pipeline.
+	Items int
+	// ItemBytes sizes each item's payload for hand-off costs; used when
+	// Bytes is not set per item by Feed.
+	ItemBytes int
+	// FeedCostRef is the source's per-item reference compute (the chain's
+	// producer, e.g. reading input); 0 for an instant source.
+	FeedCostRef float64
+	// ChipConfig overrides the chip model.
+	ChipConfig *scc.Config
+}
+
+// Simulate runs the chain's cost model on the simulated SCC: a source core
+// feeds each pipeline, stages occupy one core each in ID order, and items
+// hop between cores through the memory system exactly like the paper's
+// strips. Stage CostRef functions must be set (directly or via Calibrate).
+func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
+	if err := c.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if spec.Pipelines < 1 || spec.Items < 1 {
+		return SimResult{}, fmt.Errorf("pipe: bad sim spec %+v", spec)
+	}
+	for _, st := range c.Stages {
+		if st.CostRef == nil {
+			return SimResult{}, fmt.Errorf("pipe: stage %q has no cost model (run Calibrate)", st.Name)
+		}
+	}
+	needed := spec.Pipelines*(len(c.Stages)+1) + 1
+	if needed > scc.NumCores {
+		return SimResult{}, fmt.Errorf("pipe: %d cores needed, chip has %d", needed, scc.NumCores)
+	}
+
+	eng := des.NewEngine()
+	cfg := scc.DefaultConfig()
+	if spec.ChipConfig != nil {
+		cfg = *spec.ChipConfig
+	}
+	chip := scc.New(eng, cfg)
+	comm := rcce.NewComm(chip, 1)
+
+	busy := make(map[string]float64, len(c.Stages))
+	var busyMu sync.Mutex // procs run one at a time, but keep vet happy
+
+	next := scc.CoreID(0)
+	take := func() scc.CoreID { id := next; next++; chip.MarkUsed(id); return id }
+	sink := take()
+	for pl := 0; pl < spec.Pipelines; pl++ {
+		pl := pl
+		src := take()
+		cores := make([]scc.CoreID, len(c.Stages))
+		for i := range cores {
+			cores[i] = take()
+		}
+		// Source.
+		eng.Spawn(fmt.Sprintf("src%d", pl), func(p *des.Proc) {
+			for seq := 0; seq < spec.Items; seq++ {
+				item, ok := c.Feed(pl, seq)
+				if !ok {
+					break
+				}
+				item.Seq, item.Pipeline = seq, pl
+				if item.Bytes == 0 {
+					item.Bytes = spec.ItemBytes
+				}
+				if spec.FeedCostRef > 0 {
+					chip.ComputeSeconds(p, src, spec.FeedCostRef)
+				}
+				comm.Send(p, src, cores[0], item, item.Bytes)
+			}
+		})
+		// Stages.
+		for i, st := range c.Stages {
+			i, st := i, st
+			from := src
+			if i > 0 {
+				from = cores[i-1]
+			}
+			to := sink
+			if i+1 < len(cores) {
+				to = cores[i+1]
+			}
+			eng.Spawn(fmt.Sprintf("%s%d", st.Name, pl), func(p *des.Proc) {
+				for seq := 0; seq < spec.Items; seq++ {
+					m, _ := comm.Recv(p, cores[i], from)
+					item := m.Payload.(Item)
+					t0 := p.Now()
+					chip.ComputeSeconds(p, cores[i], st.CostRef(item))
+					if st.ExtraBytes != nil {
+						chip.MemRead(p, cores[i], st.ExtraBytes(item))
+					}
+					if st.Fn != nil {
+						item = st.Fn(item) // propagate size changes
+					}
+					busyMu.Lock()
+					busy[st.Name] += p.Now() - t0
+					busyMu.Unlock()
+					comm.Send(p, cores[i], to, item, item.Bytes)
+				}
+			})
+		}
+		// Per-pipeline drain into the shared sink core.
+		last := cores[len(cores)-1]
+		eng.Spawn(fmt.Sprintf("sink%d", pl), func(p *des.Proc) {
+			for seq := 0; seq < spec.Items; seq++ {
+				m, _ := comm.Recv(p, sink, last)
+				if c.Collect != nil {
+					c.Collect(m.Payload.(Item))
+				}
+			}
+		})
+	}
+	eng.Run()
+	sec := eng.Now()
+	return SimResult{
+		Seconds:   sec,
+		StageBusy: busy,
+		CoresUsed: chip.UsedCount(),
+		EnergyJ:   chip.Energy(0, sec),
+	}, nil
+}

@@ -1,0 +1,241 @@
+package pipe
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sccpipe/internal/codec"
+	"sccpipe/internal/scc"
+)
+
+// testChain builds the compression chain over deterministic input blocks,
+// striped over k pipelines.
+func testChain(blocks, blockSize, k int, seed int64) (*Chain, *sync.Map) {
+	inputs := make([][]byte, blocks)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range inputs {
+		// Smooth, run-rich data so the codecs actually transform it.
+		b := make([]byte, blockSize)
+		v := byte(0)
+		for j := range b {
+			if rng.Intn(8) == 0 {
+				v += byte(rng.Intn(5))
+			}
+			b[j] = v
+		}
+		inputs[i] = b
+	}
+	var out sync.Map
+	c := &Chain{
+		Stages: []Stage{
+			{Name: "delta", Fn: func(it Item) Item {
+				it.Data = codec.DeltaEncode(it.Data.([]byte))
+				it.Bytes = len(it.Data.([]byte))
+				return it
+			}},
+			{Name: "rle", Fn: func(it Item) Item {
+				it.Data = codec.RLEEncode(it.Data.([]byte))
+				it.Bytes = len(it.Data.([]byte))
+				return it
+			}},
+			{Name: "huffman", Fn: func(it Item) Item {
+				it.Data = codec.HuffmanEncode(it.Data.([]byte))
+				it.Bytes = len(it.Data.([]byte))
+				return it
+			}},
+		},
+		Feed: func(pl, seq int) (Item, bool) {
+			idx := seq*k + pl // stripe blocks over pipelines
+			if idx >= blocks {
+				return Item{}, false
+			}
+			data := inputs[idx]
+			return Item{Data: data, Bytes: len(data)}, true
+		},
+		Collect: func(it Item) {
+			out.Store([2]int{it.Pipeline, it.Seq}, it.Data)
+		},
+	}
+	return c, &out
+}
+
+func TestRunProcessesEverything(t *testing.T) {
+	c, out := testChain(32, 2048, 4, 1)
+	res, err := c.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != 32 {
+		t.Fatalf("items = %d, want 32", res.Items)
+	}
+	count := 0
+	out.Range(func(_, v any) bool {
+		enc := v.([]byte)
+		// Every output decodes back through the inverse chain.
+		h, err := codec.HuffmanDecode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		r, err := codec.RLEDecode(h)
+		if err != nil {
+			t.Fatalf("rle decode: %v", err)
+		}
+		if len(codec.DeltaDecode(r)) != 2048 {
+			t.Fatal("wrong decoded size")
+		}
+		count++
+		return true
+	})
+	if count != 32 {
+		t.Fatalf("collected %d items", count)
+	}
+}
+
+func TestRunMatchesSequentialResults(t *testing.T) {
+	// Parallel pipelines must produce the same encodings as k=1.
+	c1, out1 := testChain(24, 1024, 1, 2)
+	if _, err := c1.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	c4, out4 := testChain(24, 1024, 4, 2)
+	if _, err := c4.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	// Compare by block content: striping differs with k, so compare the
+	// multiset of encoded blocks.
+	gather := func(m *sync.Map) [][]byte {
+		var all [][]byte
+		m.Range(func(_, v any) bool { all = append(all, v.([]byte)); return true })
+		return all
+	}
+	a, b := gather(out1), gather(out4)
+	if len(a) != len(b) {
+		t.Fatalf("counts differ: %d vs %d", len(a), len(b))
+	}
+	match := 0
+	for _, x := range a {
+		for _, y := range b {
+			if bytes.Equal(x, y) {
+				match++
+				break
+			}
+		}
+	}
+	if match != len(a) {
+		t.Fatalf("only %d of %d blocks matched", match, len(a))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Chain{}).Validate(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if err := (&Chain{Stages: []Stage{{Name: "x"}}}).Validate(); err == nil {
+		t.Fatal("chain without feed accepted")
+	}
+	if err := (&Chain{Stages: []Stage{{}}, Feed: func(int, int) (Item, bool) { return Item{}, false }}).Validate(); err == nil {
+		t.Fatal("unnamed stage accepted")
+	}
+}
+
+func TestCalibrateInstallsCosts(t *testing.T) {
+	c, _ := testChain(8, 1024, 1, 3)
+	samples := []Item{{Data: make([]byte, 1024), Bytes: 1024}}
+	if err := c.Calibrate(samples, 40); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range c.Stages {
+		if st.CostRef == nil {
+			t.Fatalf("stage %s has no cost after calibration", st.Name)
+		}
+		if cost := st.CostRef(samples[0]); cost < 0 {
+			t.Fatalf("stage %s negative cost", st.Name)
+		}
+	}
+}
+
+func TestSimulateScalesWithPipelines(t *testing.T) {
+	mk := func() *Chain {
+		c, _ := testChain(1024, 4096, 1, 4)
+		c.Collect = nil
+		// Deterministic costs: avoid wall-clock calibration in tests.
+		for i := range c.Stages {
+			st := &c.Stages[i]
+			switch st.Name {
+			case "delta":
+				st.CostRef = func(it Item) float64 { return 0.002 }
+			case "rle":
+				st.CostRef = func(it Item) float64 { return 0.003 }
+			case "huffman":
+				st.CostRef = func(it Item) float64 { return 0.012 }
+			}
+		}
+		return c
+	}
+	// Fixed total work: Items is per pipeline, so split 200 items k ways.
+	run := func(k int) SimResult {
+		res, err := mk().Simulate(SimSpec{Pipelines: k, Items: 200 / k, ItemBytes: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if four.Seconds >= one.Seconds {
+		t.Fatalf("4 pipelines (%g) not faster than 1 (%g)", four.Seconds, one.Seconds)
+	}
+	// Huffman is the configured bottleneck: most busy time.
+	if one.StageBusy["huffman"] <= one.StageBusy["delta"] {
+		t.Fatalf("busy accounting wrong: %+v", one.StageBusy)
+	}
+	if one.CoresUsed != 1+1+3 {
+		t.Fatalf("cores used = %d, want 5", one.CoresUsed)
+	}
+	if one.EnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestSimulateRequiresCosts(t *testing.T) {
+	c, _ := testChain(8, 512, 1, 5)
+	if _, err := c.Simulate(SimSpec{Pipelines: 1, Items: 4, ItemBytes: 512}); err == nil {
+		t.Fatal("simulation without cost model accepted")
+	}
+}
+
+func TestSimulateRejectsOversize(t *testing.T) {
+	c, _ := testChain(8, 512, 1, 6)
+	for i := range c.Stages {
+		c.Stages[i].CostRef = func(Item) float64 { return 0.001 }
+	}
+	if _, err := c.Simulate(SimSpec{Pipelines: 12, Items: 4, ItemBytes: 512}); err == nil {
+		t.Fatal("48-core chip accepted 12×4+1 cores")
+	}
+}
+
+func TestSimulateLocalMemoryHelpsHere(t *testing.T) {
+	// The generic pipeline inherits the SCC's double hop; the local-memory
+	// ablation must help it just as it helps the rendering pipeline.
+	mk := func(cfg *scc.Config) float64 {
+		c, _ := testChain(1024, 65536, 2, 7)
+		c.Collect = nil
+		for i := range c.Stages {
+			c.Stages[i].CostRef = func(Item) float64 { return 0.001 }
+		}
+		res, err := c.Simulate(SimSpec{Pipelines: 2, Items: 60, ItemBytes: 65536, ChipConfig: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	base := mk(nil)
+	cfg := scc.DefaultConfig()
+	cfg.LocalMemory = true
+	local := mk(&cfg)
+	if local >= base {
+		t.Fatalf("local memory did not help the generic chain: %g vs %g", local, base)
+	}
+}

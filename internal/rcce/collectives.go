@@ -1,0 +1,149 @@
+package rcce
+
+import (
+	"fmt"
+
+	"sccpipe/internal/des"
+	"sccpipe/internal/scc"
+)
+
+// Collective operations in the style of RCCE's "gory" collectives: built
+// from point-to-point sends over the simulated chip, so every data
+// movement pays the SCC's double hop (or the local-memory fast path when
+// the ablation chip is configured).
+
+// Group is a fixed set of cores participating in collectives. Each member
+// must run as its own simulated process and call the collective with its
+// own rank.
+type Group struct {
+	comm  *Comm
+	cores []scc.CoreID
+}
+
+// NewGroup returns a collective group over the given cores (rank i ↔
+// cores[i]).
+func NewGroup(comm *Comm, cores []scc.CoreID) *Group {
+	if len(cores) == 0 {
+		panic("rcce: empty group")
+	}
+	seen := map[scc.CoreID]bool{}
+	for _, c := range cores {
+		if !c.Valid() {
+			panic(fmt.Sprintf("rcce: invalid core %d in group", c))
+		}
+		if seen[c] {
+			panic(fmt.Sprintf("rcce: duplicate core %d in group", c))
+		}
+		seen[c] = true
+	}
+	return &Group{comm: comm, cores: cores}
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.cores) }
+
+// Core returns the core of a rank.
+func (g *Group) Core(rank int) scc.CoreID { return g.cores[rank] }
+
+// Bcast distributes root's payload of the given size to every member along
+// a binomial tree (log₂ rounds, as RCCE_bcast does). Every member calls it;
+// non-roots pass payload nil and receive the root's value.
+func (g *Group) Bcast(p *des.Proc, rank, root int, payload any, bytes int) any {
+	n := len(g.cores)
+	// Work in root-relative rank space.
+	rel := (rank - root + n) % n
+	if rel != 0 {
+		// Receive from parent: the highest set bit of rel identifies it.
+		parentRel := rel &^ (1 << (bitLen(rel) - 1))
+		parent := (parentRel + root) % n
+		m, _ := g.comm.Recv(p, g.cores[rank], g.cores[parent])
+		payload = m.Payload
+	}
+	// Forward to children.
+	for bit := 1 << bitLen(rel); rel+bit < n; bit <<= 1 {
+		childRel := rel + bit
+		child := (childRel + root) % n
+		g.comm.Send(p, g.cores[rank], g.cores[child], payload, bytes)
+	}
+	return payload
+}
+
+// bitLen returns the number of bits needed to represent v (0 for 0).
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// Reduce combines every member's contribution at the root using op,
+// gathering along the reverse binomial tree. It returns the reduced value
+// at the root and nil elsewhere. bytes is the per-message payload size.
+func (g *Group) Reduce(p *des.Proc, rank, root int, value any, bytes int, op func(a, b any) any) any {
+	n := len(g.cores)
+	rel := (rank - root + n) % n
+	// Receive from children (largest stride first mirrors send order).
+	var bits []int
+	for bit := 1 << bitLen(rel); rel+bit < n; bit <<= 1 {
+		bits = append(bits, bit)
+	}
+	for i := len(bits) - 1; i >= 0; i-- {
+		childRel := rel + bits[i]
+		child := (childRel + root) % n
+		m, _ := g.comm.Recv(p, g.cores[rank], g.cores[child])
+		value = op(value, m.Payload)
+	}
+	if rel != 0 {
+		parentRel := rel &^ (1 << (bitLen(rel) - 1))
+		parent := (parentRel + root) % n
+		g.comm.Send(p, g.cores[rank], g.cores[parent], value, bytes)
+		return nil
+	}
+	return value
+}
+
+// AllReduce is Reduce to rank 0 followed by Bcast from it.
+func (g *Group) AllReduce(p *des.Proc, rank int, value any, bytes int, op func(a, b any) any) any {
+	v := g.Reduce(p, rank, 0, value, bytes, op)
+	return g.Bcast(p, rank, 0, v, bytes)
+}
+
+// Gather collects every member's payload at the root, which receives them
+// indexed by rank; non-roots return nil.
+func (g *Group) Gather(p *des.Proc, rank, root int, payload any, bytes int) []any {
+	if rank != root {
+		g.comm.Send(p, g.cores[rank], g.cores[root], payload, bytes)
+		return nil
+	}
+	out := make([]any, len(g.cores))
+	out[root] = payload
+	for r := range g.cores {
+		if r == root {
+			continue
+		}
+		m, _ := g.comm.Recv(p, g.cores[root], g.cores[r])
+		out[r] = m.Payload
+	}
+	return out
+}
+
+// Scatter distributes payloads[r] from the root to each rank r; every
+// member returns its own element.
+func (g *Group) Scatter(p *des.Proc, rank, root int, payloads []any, bytes int) any {
+	if rank == root {
+		if len(payloads) != len(g.cores) {
+			panic("rcce: scatter payload count mismatch")
+		}
+		for r := range g.cores {
+			if r == root {
+				continue
+			}
+			g.comm.Send(p, g.cores[root], g.cores[r], payloads[r], bytes)
+		}
+		return payloads[root]
+	}
+	m, _ := g.comm.Recv(p, g.cores[rank], g.cores[root])
+	return m.Payload
+}

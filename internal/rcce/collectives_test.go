@@ -1,0 +1,193 @@
+package rcce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sccpipe/internal/des"
+	"sccpipe/internal/scc"
+)
+
+// runGroup spawns n member processes over distinct cores and runs body for
+// each rank, returning per-rank results.
+func runGroup(t *testing.T, n int, body func(p *des.Proc, g *Group, rank int) any) []any {
+	t.Helper()
+	eng, _, comm := newSim(testConfig())
+	comm.capacity = 0 // collectives interleave many messages
+	cores := make([]scc.CoreID, n)
+	for i := range cores {
+		cores[i] = scc.CoreID(i * 2 % scc.NumCores)
+		if n > scc.NumTiles {
+			cores[i] = scc.CoreID(i)
+		}
+	}
+	g := NewGroup(comm, cores)
+	out := make([]any, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		eng.Spawn("member", func(p *des.Proc) {
+			out[rank] = body(p, g, rank)
+		})
+	}
+	eng.Run()
+	if eng.LiveProcs() != 0 {
+		t.Fatalf("collective deadlocked: %d procs parked", eng.LiveProcs())
+	}
+	return out
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		for root := 0; root < n; root += max(1, n/3) {
+			root := root
+			got := runGroup(t, n, func(p *des.Proc, g *Group, rank int) any {
+				var payload any
+				if rank == root {
+					payload = "the-frame"
+				}
+				return g.Bcast(p, rank, root, payload, 1024)
+			})
+			for rank, v := range got {
+				if v != "the-frame" {
+					t.Fatalf("n=%d root=%d rank=%d got %v", n, root, rank, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 6
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	got := runGroup(t, n, func(p *des.Proc, g *Group, rank int) any {
+		return g.Reduce(p, rank, 0, rank+1, 8, sum)
+	})
+	if got[0] != n*(n+1)/2 {
+		t.Fatalf("reduce sum = %v, want %d", got[0], n*(n+1)/2)
+	}
+	for rank := 1; rank < n; rank++ {
+		if got[rank] != nil {
+			t.Fatalf("non-root rank %d got %v", rank, got[rank])
+		}
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	const n, root = 5, 3
+	maxOp := func(a, b any) any {
+		if a.(int) > b.(int) {
+			return a
+		}
+		return b
+	}
+	got := runGroup(t, n, func(p *des.Proc, g *Group, rank int) any {
+		return g.Reduce(p, rank, root, rank*10, 8, maxOp)
+	})
+	if got[root] != 40 {
+		t.Fatalf("reduce max = %v, want 40", got[root])
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const n = 7
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	got := runGroup(t, n, func(p *des.Proc, g *Group, rank int) any {
+		return g.AllReduce(p, rank, 1, 8, sum)
+	})
+	for rank, v := range got {
+		if v != n {
+			t.Fatalf("rank %d allreduce = %v, want %d", rank, v, n)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n, root = 6, 2
+	gathered := runGroup(t, n, func(p *des.Proc, g *Group, rank int) any {
+		return g.Gather(p, rank, root, rank*rank, 16)
+	})
+	vals := gathered[root].([]any)
+	for r := 0; r < n; r++ {
+		if vals[r] != r*r {
+			t.Fatalf("gathered[%d] = %v", r, vals[r])
+		}
+	}
+	scattered := runGroup(t, n, func(p *des.Proc, g *Group, rank int) any {
+		var payloads []any
+		if rank == root {
+			for r := 0; r < n; r++ {
+				payloads = append(payloads, r+100)
+			}
+		}
+		return g.Scatter(p, rank, root, payloads, 16)
+	})
+	for r := 0; r < n; r++ {
+		if scattered[r] != r+100 {
+			t.Fatalf("scattered[%d] = %v", r, scattered[r])
+		}
+	}
+}
+
+// Property: broadcast delivers to every rank for arbitrary group size and
+// root, and the simulation never deadlocks.
+func TestQuickBcast(t *testing.T) {
+	f := func(nRaw, rootRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		root := int(rootRaw) % n
+		eng, _, comm := newSim(testConfig())
+		comm.capacity = 0
+		cores := make([]scc.CoreID, n)
+		for i := range cores {
+			cores[i] = scc.CoreID(i)
+		}
+		g := NewGroup(comm, cores)
+		got := make([]any, n)
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			eng.Spawn("m", func(p *des.Proc) {
+				var v any
+				if rank == root {
+					v = 42
+				}
+				got[rank] = g.Bcast(p, rank, root, v, 64)
+			})
+		}
+		eng.Run()
+		if eng.LiveProcs() != 0 {
+			return false
+		}
+		for _, v := range got {
+			if v != 42 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	_, _, comm := newSim(testConfig())
+	mustPanic(t, func() { NewGroup(comm, nil) })
+	mustPanic(t, func() { NewGroup(comm, []scc.CoreID{1, 1}) })
+	mustPanic(t, func() { NewGroup(comm, []scc.CoreID{99}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

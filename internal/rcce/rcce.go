@@ -1,0 +1,146 @@
+// Package rcce provides a message-passing library over the simulated SCC in
+// the style of Intel's RCCE library, which the paper uses as its MPI-like
+// substrate. Because SCC cores have no local memory, a send travels across
+// the mesh into the *receiver's private memory partition* and the receiver
+// must then fetch it back out of memory before computing — the double hop
+// the paper identifies as the chief performance obstacle.
+package rcce
+
+import (
+	"fmt"
+
+	"sccpipe/internal/des"
+	"sccpipe/internal/scc"
+)
+
+// Message is an in-flight payload between two cores.
+type Message struct {
+	Payload any
+	Bytes   int
+	SentAt  float64
+	// viaMPB marks messages that took the on-chip buffer fast path; the
+	// receiver then has the data beside it and skips the memory fetch.
+	viaMPB bool
+}
+
+// Comm is a communicator over a chip. Each (src, dst) pair has a mailbox
+// admitting a bounded number of in-flight messages (default 1), which gives
+// macro-pipeline stages rendezvous-with-slack semantics: a producer may run
+// one message ahead of its consumer, then blocks (backpressure).
+type Comm struct {
+	chip     *scc.Chip
+	capacity int
+	mail     map[[2]scc.CoreID]*des.Queue
+}
+
+// NewComm returns a communicator with the given per-channel capacity;
+// capacity 0 means unbounded channels.
+func NewComm(chip *scc.Chip, capacity int) *Comm {
+	return &Comm{chip: chip, capacity: capacity, mail: make(map[[2]scc.CoreID]*des.Queue)}
+}
+
+// Chip returns the underlying chip model.
+func (c *Comm) Chip() *scc.Chip { return c.chip }
+
+func (c *Comm) box(src, dst scc.CoreID) *des.Queue {
+	k := [2]scc.CoreID{src, dst}
+	q := c.mail[k]
+	if q == nil {
+		q = des.NewQueue(c.chip.Eng, c.capacity)
+		c.mail[k] = q
+	}
+	return q
+}
+
+// Send transfers a payload of the given size from src to dst. On the real
+// SCC it charges the sender the RCCE software overhead plus the
+// mesh-and-memory cost of writing into dst's partition; on the
+// hypothetical LocalMemory chip it is a direct core-to-core mesh transfer.
+// Send blocks while the channel is full.
+func (c *Comm) Send(p *des.Proc, src, dst scc.CoreID, payload any, bytes int) {
+	if !src.Valid() || !dst.Valid() {
+		panic(fmt.Sprintf("rcce: invalid send %d -> %d", src, dst))
+	}
+	if c.chip.Cfg.MsgOverhead > 0 {
+		p.Wait(c.chip.Cfg.MsgOverhead)
+	}
+	switch {
+	case c.chip.Cfg.LocalMemory:
+		c.chip.CoreToCore(p, src, dst, bytes)
+	case bytes <= c.chip.Cfg.MPBSize:
+		// Small messages fit the receiver's on-chip message-passing
+		// buffer: mesh transit only, no memory controller (RCCE's normal
+		// fast path; image strips never fit).
+		c.chip.CoreToCore(p, src, dst, bytes)
+	default:
+		c.chip.MemWriteRemote(p, src, dst, bytes)
+	}
+	c.box(src, dst).Put(p, Message{Payload: payload, Bytes: bytes, SentAt: p.Now(), viaMPB: bytes <= c.chip.Cfg.MPBSize && !c.chip.Cfg.LocalMemory})
+}
+
+// Recv blocks dst until a message from src is available, then charges the
+// read of the payload out of dst's own partition — unless the chip has
+// local memory banks, in which case the data already sits next to the
+// core. It returns the message and the time spent idle waiting for it to
+// appear (the paper's Fig. 15 "idle time" metric; the memory fetch is not
+// idle time).
+func (c *Comm) Recv(p *des.Proc, dst, src scc.CoreID) (Message, float64) {
+	start := p.Now()
+	m := c.box(src, dst).Get(p).(Message)
+	waited := p.Now() - start
+	if !c.chip.Cfg.LocalMemory && !m.viaMPB {
+		c.chip.MemRead(p, dst, m.Bytes)
+	}
+	return m, waited
+}
+
+// TryRecv performs a non-blocking receive; ok reports whether a message was
+// pending. The memory fetch is still charged when a message is returned.
+func (c *Comm) TryRecv(p *des.Proc, dst, src scc.CoreID) (Message, bool) {
+	v, ok := c.box(src, dst).TryGet()
+	if !ok {
+		return Message{}, false
+	}
+	m := v.(Message)
+	if !c.chip.Cfg.LocalMemory && !m.viaMPB {
+		c.chip.MemRead(p, dst, m.Bytes)
+	}
+	return m, true
+}
+
+// SetFrequency adjusts the frequency of the tile containing the core,
+// mirroring RCCE's power-management API. Voltage follows automatically via
+// the chip's island rules.
+func (c *Comm) SetFrequency(core scc.CoreID, f scc.FreqLevel) {
+	c.chip.SetFreq(core, f)
+}
+
+// Barrier synchronizes a fixed group of processes.
+type Barrier struct {
+	eng     *des.Engine
+	n       int
+	arrived int
+	gate    *des.Queue
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(eng *des.Engine, n int) *Barrier {
+	if n < 1 {
+		panic("rcce: barrier size must be ≥ 1")
+	}
+	return &Barrier{eng: eng, n: n, gate: des.NewQueue(eng, 0)}
+}
+
+// Arrive blocks until all n participants have arrived, then releases all of
+// them and resets the barrier for reuse.
+func (b *Barrier) Arrive(p *des.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		for i := 0; i < b.n-1; i++ {
+			b.gate.Put(p, struct{}{})
+		}
+		return
+	}
+	b.gate.Get(p)
+}

@@ -1,0 +1,83 @@
+package render
+
+import "math"
+
+// Camera describes a perspective view.
+type Camera struct {
+	Eye, Target, Up Vec3
+	FovY            float64 // full vertical field of view, radians
+	Near, Far       float64
+}
+
+// View returns the camera's view matrix.
+func (c Camera) View() Mat4 { return LookAt(c.Eye, c.Target, c.Up) }
+
+// ViewProjection returns the combined matrix for a w×h frame.
+func (c Camera) ViewProjection(w, h int) Mat4 {
+	aspect := float64(w) / float64(h)
+	return Perspective(c.FovY, aspect, c.Near, c.Far).Mul(c.View())
+}
+
+// StripViewProjection returns the matrix of the sub-frustum covering screen
+// rows [y0, y1) of a w×h frame — the "adjusted viewing frustum" each
+// renderer computes in the paper's n-renderer configuration. Projecting a
+// point with the *full* frame matrix and rasterizing rows [y0, y1) shows
+// exactly the geometry inside this sub-frustum.
+func (c Camera) StripViewProjection(w, h, y0, y1 int) Mat4 {
+	aspect := float64(w) / float64(h)
+	t := c.Near * math.Tan(c.FovY/2)
+	r := t * aspect
+	// Screen row y maps to NDC y = 1 − 2·y/h (row 0 is the top).
+	top := t * (1 - 2*float64(y0)/float64(h))
+	bottom := t * (1 - 2*float64(y1)/float64(h))
+	return PerspectiveOffCenter(-r, r, bottom, top, c.Near, c.Far).Mul(c.View())
+}
+
+// Frustum returns the camera's full-frame culling frustum.
+func (c Camera) Frustum(w, h int) Frustum {
+	return FrustumFromMatrix(c.ViewProjection(w, h))
+}
+
+// StripFrustum returns the culling frustum of screen rows [y0, y1).
+func (c Camera) StripFrustum(w, h, y0, y1 int) Frustum {
+	return FrustumFromMatrix(c.StripViewProjection(w, h, y0, y1))
+}
+
+// Walkthrough generates a deterministic flight of the given length through
+// a scene with the given bounds, standing in for the paper's 400-frame
+// virtual walkthrough of the city model: the camera circles the scene at
+// varying radius and height, always looking at the scene's middle.
+func Walkthrough(frames int, b AABB) []Camera {
+	center := b.Center()
+	size := b.Max.Sub(b.Min)
+	radiusBase := 0.55 * math.Hypot(size.X, size.Z)
+	cams := make([]Camera, frames)
+	for i := range cams {
+		u := float64(i) / float64(max(1, frames-1))
+		ang := 2 * math.Pi * u
+		radius := radiusBase * (0.75 + 0.25*math.Cos(3*ang))
+		height := b.Min.Y + size.Y*(0.45+0.35*math.Sin(2*ang))
+		eye := Vec3{
+			center.X + radius*math.Cos(ang),
+			height,
+			center.Z + radius*math.Sin(ang),
+		}
+		look := Vec3{center.X, b.Min.Y + 0.3*size.Y, center.Z}
+		cams[i] = Camera{
+			Eye:    eye,
+			Target: look,
+			Up:     Vec3{0, 1, 0},
+			FovY:   60 * math.Pi / 180,
+			Near:   0.1,
+			Far:    radiusBase * 4,
+		}
+	}
+	return cams
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

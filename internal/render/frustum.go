@@ -1,0 +1,73 @@
+package render
+
+// Plane is a half-space a·x + b·y + c·z + d ≥ 0.
+type Plane struct{ A, B, C, D float64 }
+
+// DistanceTo returns the signed distance-like value of the plane equation at p
+// (positive on the inside).
+func (pl Plane) DistanceTo(p Vec3) float64 {
+	return pl.A*p.X + pl.B*p.Y + pl.C*p.Z + pl.D
+}
+
+// Frustum is the six clipping planes of a view-projection matrix, inward
+// facing, extracted with the Gribb/Hartmann method.
+type Frustum [6]Plane
+
+// FrustumFromMatrix extracts the frustum of a combined view-projection
+// matrix (row-major, as produced by Perspective.Mul(LookAt...)).
+func FrustumFromMatrix(m Mat4) Frustum {
+	row := func(i int) [4]float64 { return [4]float64{m[i*4], m[i*4+1], m[i*4+2], m[i*4+3]} }
+	r0, r1, r2, r3 := row(0), row(1), row(2), row(3)
+	mk := func(a, b [4]float64, sign float64) Plane {
+		return normalizePlane(Plane{b[0] + sign*a[0], b[1] + sign*a[1], b[2] + sign*a[2], b[3] + sign*a[3]})
+	}
+	return Frustum{
+		mk(r0, r3, +1), // left:   r3 + r0
+		mk(r0, r3, -1), // right:  r3 - r0
+		mk(r1, r3, +1), // bottom: r3 + r1
+		mk(r1, r3, -1), // top:    r3 - r1
+		mk(r2, r3, +1), // near:   r3 + r2
+		mk(r2, r3, -1), // far:    r3 - r2
+	}
+}
+
+func normalizePlane(p Plane) Plane {
+	n := Vec3{p.A, p.B, p.C}.Len()
+	if n == 0 {
+		return p
+	}
+	return Plane{p.A / n, p.B / n, p.C / n, p.D / n}
+}
+
+// ContainsPoint reports whether p is inside all six planes.
+func (f Frustum) ContainsPoint(p Vec3) bool {
+	for _, pl := range f {
+		if pl.DistanceTo(p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsAABB conservatively tests a box against the frustum: it returns
+// false only when the box is certainly outside (fully behind some plane).
+// This is the standard p-vertex test used for octree culling.
+func (f Frustum) IntersectsAABB(b AABB) bool {
+	for _, pl := range f {
+		// Pick the box corner furthest along the plane normal.
+		p := Vec3{b.Min.X, b.Min.Y, b.Min.Z}
+		if pl.A >= 0 {
+			p.X = b.Max.X
+		}
+		if pl.B >= 0 {
+			p.Y = b.Max.Y
+		}
+		if pl.C >= 0 {
+			p.Z = b.Max.Z
+		}
+		if pl.DistanceTo(p) < 0 {
+			return false
+		}
+	}
+	return true
+}

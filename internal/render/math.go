@@ -1,0 +1,173 @@
+// Package render implements the software 3D renderer standing in for the
+// paper's os-mesa render stage: linear algebra, an octree over the scene's
+// triangles, frustum culling, and a scanline triangle rasterizer with a
+// depth buffer. It supports rendering only a horizontal strip of the screen
+// (sort-first parallelization, Molnar's classification) exactly as the
+// paper's n-renderer configuration requires.
+package render
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v − o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v·s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		v.Y*o.Z - v.Z*o.Y,
+		v.Z*o.X - v.X*o.Z,
+		v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Len returns the Euclidean length.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length (zero vectors are returned
+// unchanged).
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Vec4 is a homogeneous 4-component vector.
+type Vec4 struct{ X, Y, Z, W float64 }
+
+// XYZ drops the homogeneous coordinate without dividing.
+func (v Vec4) XYZ() Vec3 { return Vec3{v.X, v.Y, v.Z} }
+
+// Mat4 is a 4×4 row-major matrix.
+type Mat4 [16]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+}
+
+// Mul returns m × o (applying o first when transforming column vectors).
+func (m Mat4) Mul(o Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m[r*4+k] * o[k*4+c]
+			}
+			out[r*4+c] = s
+		}
+	}
+	return out
+}
+
+// Transform applies m to a homogeneous point.
+func (m Mat4) Transform(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// TransformPoint applies m to a 3D point (w = 1) without dividing.
+func (m Mat4) TransformPoint(p Vec3) Vec4 {
+	return m.Transform(Vec4{p.X, p.Y, p.Z, 1})
+}
+
+// LookAt builds a right-handed view matrix for an eye looking at a target.
+func LookAt(eye, target, up Vec3) Mat4 {
+	f := target.Sub(eye).Normalize()
+	s := f.Cross(up).Normalize()
+	u := s.Cross(f)
+	return Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective builds an OpenGL-style perspective projection. fovY is the
+// full vertical field of view in radians.
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	f := 1 / math.Tan(fovY/2)
+	return Mat4{
+		f / aspect, 0, 0, 0,
+		0, f, 0, 0,
+		0, 0, (far + near) / (near - far), 2 * far * near / (near - far),
+		0, 0, -1, 0,
+	}
+}
+
+// PerspectiveOffCenter builds an asymmetric-frustum projection whose near
+// plane window is [l, r]×[b, t]. The paper's n-renderer configuration needs
+// this: each renderer adjusts the camera frustum to cover only its strip.
+func PerspectiveOffCenter(l, r, b, t, near, far float64) Mat4 {
+	return Mat4{
+		2 * near / (r - l), 0, (r + l) / (r - l), 0,
+		0, 2 * near / (t - b), (t + b) / (t - b), 0,
+		0, 0, (far + near) / (near - far), 2 * far * near / (near - far),
+		0, 0, -1, 0,
+	}
+}
+
+// AABB is an axis-aligned bounding box.
+type AABB struct{ Min, Max Vec3 }
+
+// Extend grows the box to include p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y), math.Min(b.Min.Z, p.Z)},
+		Max: Vec3{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y), math.Max(b.Max.Z, p.Z)},
+	}
+}
+
+// Union returns the smallest box containing both boxes.
+func (b AABB) Union(o AABB) AABB { return b.Extend(o.Min).Extend(o.Max) }
+
+// Center returns the box midpoint.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Contains reports whether p lies inside the closed box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// EmptyAABB returns a box that Extend can grow from.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// Triangle is a colored scene primitive.
+type Triangle struct {
+	V       [3]Vec3
+	R, G, B uint8
+}
+
+// Bounds returns the triangle's bounding box.
+func (t Triangle) Bounds() AABB {
+	return EmptyAABB().Extend(t.V[0]).Extend(t.V[1]).Extend(t.V[2])
+}
+
+// Centroid returns the triangle's centroid.
+func (t Triangle) Centroid() Vec3 {
+	return t.V[0].Add(t.V[1]).Add(t.V[2]).Scale(1.0 / 3.0)
+}

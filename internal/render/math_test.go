@@ -1,0 +1,149 @@
+package render
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func vecNear(a, b Vec3, tol float64) bool {
+	return math.Abs(a.X-b.X) < tol && math.Abs(a.Y-b.Y) < tol && math.Abs(a.Z-b.Z) < tol
+}
+
+func TestVecBasics(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if got := a.Cross(b); got != (Vec3{0, 0, 1}) {
+		t.Fatalf("X×Y = %v, want Z", got)
+	}
+}
+
+func TestQuickCrossIsOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int8) bool {
+		a := Vec3{float64(ax), float64(ay), float64(az)}
+		b := Vec3{float64(bx), float64(by), float64(bz)}
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-9 && math.Abs(c.Dot(b)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec3{3, 4, 0}.Normalize()
+	if math.Abs(v.Len()-1) > 1e-12 {
+		t.Fatalf("len = %v", v.Len())
+	}
+	z := Vec3{}.Normalize()
+	if z != (Vec3{}) {
+		t.Fatal("zero vector changed by Normalize")
+	}
+}
+
+func TestMatIdentity(t *testing.T) {
+	m := Identity()
+	p := Vec4{1, 2, 3, 1}
+	if got := m.Transform(p); got != p {
+		t.Fatalf("identity transform = %v", got)
+	}
+	if got := m.Mul(m); got != m {
+		t.Fatal("I·I != I")
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	a := Perspective(1, 1.5, 0.1, 100)
+	b := LookAt(Vec3{1, 2, 3}, Vec3{0, 0, 0}, Vec3{0, 1, 0})
+	p := Vec4{0.3, -0.2, -4, 1}
+	lhs := a.Mul(b).Transform(p)
+	rhs := a.Transform(b.Transform(p))
+	for _, d := range []float64{lhs.X - rhs.X, lhs.Y - rhs.Y, lhs.Z - rhs.Z, lhs.W - rhs.W} {
+		if math.Abs(d) > 1e-9 {
+			t.Fatalf("(AB)p != A(Bp): %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestLookAtMapsEyeToOrigin(t *testing.T) {
+	eye := Vec3{5, 3, -2}
+	m := LookAt(eye, Vec3{0, 0, 0}, Vec3{0, 1, 0})
+	got := m.TransformPoint(eye)
+	if !vecNear(got.XYZ(), Vec3{}, 1e-9) {
+		t.Fatalf("eye maps to %v", got)
+	}
+}
+
+func TestLookAtTargetOnNegativeZ(t *testing.T) {
+	m := LookAt(Vec3{0, 0, 5}, Vec3{0, 0, 0}, Vec3{0, 1, 0})
+	got := m.TransformPoint(Vec3{0, 0, 0})
+	if math.Abs(got.X) > 1e-9 || math.Abs(got.Y) > 1e-9 || got.Z >= 0 {
+		t.Fatalf("target in view space = %v, want on -Z axis", got)
+	}
+}
+
+func TestPerspectiveDepthRange(t *testing.T) {
+	near, far := 0.5, 50.0
+	m := Perspective(math.Pi/2, 1, near, far)
+	atNear := m.TransformPoint(Vec3{0, 0, -near})
+	atFar := m.TransformPoint(Vec3{0, 0, -far})
+	if z := atNear.Z / atNear.W; math.Abs(z+1) > 1e-9 {
+		t.Fatalf("near plane NDC z = %v, want -1", z)
+	}
+	if z := atFar.Z / atFar.W; math.Abs(z-1) > 1e-9 {
+		t.Fatalf("far plane NDC z = %v, want 1", z)
+	}
+}
+
+func TestPerspectiveOffCenterMatchesSymmetric(t *testing.T) {
+	fov, aspect, near, far := 1.1, 1.25, 0.2, 30.0
+	tt := near * math.Tan(fov/2)
+	rr := tt * aspect
+	sym := Perspective(fov, aspect, near, far)
+	off := PerspectiveOffCenter(-rr, rr, -tt, tt, near, far)
+	p := Vec4{0.3, 0.7, -5, 1}
+	a, b := sym.Transform(p), off.Transform(p)
+	for _, d := range []float64{a.X - b.X, a.Y - b.Y, a.Z - b.Z, a.W - b.W} {
+		if math.Abs(d) > 1e-9 {
+			t.Fatalf("off-center with full window differs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAABBExtendContains(t *testing.T) {
+	b := EmptyAABB().Extend(Vec3{0, 0, 0}).Extend(Vec3{2, 3, 4})
+	if !b.Contains(Vec3{1, 1, 1}) || b.Contains(Vec3{3, 0, 0}) {
+		t.Fatal("containment wrong")
+	}
+	if b.Center() != (Vec3{1, 1.5, 2}) {
+		t.Fatalf("center = %v", b.Center())
+	}
+}
+
+func TestTriangleBounds(t *testing.T) {
+	tri := Triangle{V: [3]Vec3{{0, 0, 0}, {2, 1, 0}, {1, 3, -1}}}
+	b := tri.Bounds()
+	if b.Min != (Vec3{0, 0, -1}) || b.Max != (Vec3{2, 3, 0}) {
+		t.Fatalf("bounds = %+v", b)
+	}
+	if !vecNear(tri.Centroid(), Vec3{1, 4.0 / 3.0, -1.0 / 3.0}, 1e-12) {
+		t.Fatalf("centroid = %v", tri.Centroid())
+	}
+}

@@ -1,0 +1,161 @@
+package render
+
+// Wavefront OBJ import, so real CAD models (like the paper's NYC scene)
+// can replace the procedural city. The subset understood here covers what
+// triangle-soup exports produce: v, f (with arbitrary polygon fan
+// triangulation and v/vt/vn index forms, including negative indices),
+// usemtl/newmtl with Kd diffuse colors from a companion MTL, and comments.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// OBJColor is a diffuse material color.
+type OBJColor struct{ R, G, B uint8 }
+
+var defaultOBJColor = OBJColor{R: 180, G: 180, B: 180}
+
+// LoadMTL parses the Kd entries of a Wavefront material library.
+func LoadMTL(r io.Reader) (map[string]OBJColor, error) {
+	mats := make(map[string]OBJColor)
+	sc := bufio.NewScanner(r)
+	current := ""
+	for line := 1; sc.Scan(); line++ {
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "newmtl":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("mtl line %d: newmtl without name", line)
+			}
+			current = fields[1]
+			mats[current] = defaultOBJColor
+		case "Kd":
+			if current == "" {
+				return nil, fmt.Errorf("mtl line %d: Kd before newmtl", line)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("mtl line %d: Kd needs 3 components", line)
+			}
+			var rgb [3]float64
+			for i := 0; i < 3; i++ {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mtl line %d: %v", line, err)
+				}
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				rgb[i] = v
+			}
+			mats[current] = OBJColor{
+				R: uint8(rgb[0]*255 + 0.5),
+				G: uint8(rgb[1]*255 + 0.5),
+				B: uint8(rgb[2]*255 + 0.5),
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return mats, nil
+}
+
+// LoadOBJ parses a Wavefront OBJ stream into triangles, fan-triangulating
+// polygons. materials may be nil; unknown/absent materials fall back to a
+// neutral grey.
+func LoadOBJ(r io.Reader, materials map[string]OBJColor) ([]Triangle, error) {
+	var verts []Vec3
+	var tris []Triangle
+	color := defaultOBJColor
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for line := 1; sc.Scan(); line++ {
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "v":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("obj line %d: vertex needs 3 coordinates", line)
+			}
+			var p [3]float64
+			for i := 0; i < 3; i++ {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("obj line %d: %v", line, err)
+				}
+				p[i] = v
+			}
+			verts = append(verts, Vec3{p[0], p[1], p[2]})
+		case "usemtl":
+			color = defaultOBJColor
+			if len(fields) >= 2 && materials != nil {
+				if c, ok := materials[fields[1]]; ok {
+					color = c
+				}
+			}
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("obj line %d: face needs ≥3 vertices", line)
+			}
+			idx := make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				vi, err := parseFaceIndex(f, len(verts))
+				if err != nil {
+					return nil, fmt.Errorf("obj line %d: %v", line, err)
+				}
+				idx = append(idx, vi)
+			}
+			for i := 1; i+1 < len(idx); i++ {
+				tris = append(tris, Triangle{
+					V: [3]Vec3{verts[idx[0]], verts[idx[i]], verts[idx[i+1]]},
+					R: color.R, G: color.G, B: color.B,
+				})
+			}
+		// vt, vn, g, o, s, mtllib: ignored (no textures/normals/groups).
+		case "vt", "vn", "g", "o", "s", "mtllib", "l", "p":
+		default:
+			// Unknown directives are skipped, as most loaders do.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tris, nil
+}
+
+// parseFaceIndex resolves an OBJ face vertex reference ("7", "7/2", "7/2/3",
+// "7//3", or negative relative forms) to a 0-based vertex index.
+func parseFaceIndex(s string, nVerts int) (int, error) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case v > 0:
+		v--
+	case v < 0:
+		v = nVerts + v
+	default:
+		return 0, fmt.Errorf("face index 0 is invalid")
+	}
+	if v < 0 || v >= nVerts {
+		return 0, fmt.Errorf("face index %s out of range (%d vertices)", s, nVerts)
+	}
+	return v, nil
+}

@@ -1,0 +1,127 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOBJ = `
+# a unit quad and a triangle
+mtllib sample.mtl
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+v 0.5 0.5 1
+usemtl red
+f 1 2 3 4
+usemtl blue
+f 1/1 2/2/2 5//3
+`
+
+const sampleMTL = `
+newmtl red
+Kd 1.0 0.0 0.0
+newmtl blue
+Kd 0 0 1
+newmtl unlit
+`
+
+func TestLoadMTL(t *testing.T) {
+	mats, err := LoadMTL(strings.NewReader(sampleMTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mats["red"] != (OBJColor{R: 255}) {
+		t.Fatalf("red = %+v", mats["red"])
+	}
+	if mats["blue"] != (OBJColor{B: 255}) {
+		t.Fatalf("blue = %+v", mats["blue"])
+	}
+	if mats["unlit"] != defaultOBJColor {
+		t.Fatalf("unlit = %+v", mats["unlit"])
+	}
+}
+
+func TestLoadOBJTriangulatesAndColors(t *testing.T) {
+	mats, err := LoadMTL(strings.NewReader(sampleMTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tris, err := LoadOBJ(strings.NewReader(sampleOBJ), mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quad fan-triangulates to 2, plus 1 = 3 triangles.
+	if len(tris) != 3 {
+		t.Fatalf("triangles = %d, want 3", len(tris))
+	}
+	if tris[0].R != 255 || tris[0].B != 0 {
+		t.Fatalf("quad color = %d,%d,%d", tris[0].R, tris[0].G, tris[0].B)
+	}
+	if tris[2].B != 255 || tris[2].R != 0 {
+		t.Fatalf("triangle color = %d,%d,%d", tris[2].R, tris[2].G, tris[2].B)
+	}
+	// The mixed-form face references vertex 5.
+	if tris[2].V[2] != (Vec3{0.5, 0.5, 1}) {
+		t.Fatalf("mixed-form vertex = %v", tris[2].V[2])
+	}
+}
+
+func TestLoadOBJNegativeIndices(t *testing.T) {
+	obj := "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n"
+	tris, err := LoadOBJ(strings.NewReader(obj), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 1 || tris[0].V[1] != (Vec3{1, 0, 0}) {
+		t.Fatalf("tris = %+v", tris)
+	}
+}
+
+func TestLoadOBJUnknownMaterialFallsBack(t *testing.T) {
+	obj := "v 0 0 0\nv 1 0 0\nv 0 1 0\nusemtl nosuch\nf 1 2 3\n"
+	tris, err := LoadOBJ(strings.NewReader(obj), map[string]OBJColor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tris[0].R != defaultOBJColor.R {
+		t.Fatalf("color = %+v", tris[0])
+	}
+}
+
+func TestLoadOBJErrors(t *testing.T) {
+	cases := []string{
+		"v 1 2\n",            // short vertex
+		"v a b c\n",          // bad float
+		"f 1 2\nv 0 0 0\n",   // short face
+		"v 0 0 0\nf 1 2 9\n", // index out of range
+		"v 0 0 0\nf 0 1 1\n", // index zero
+	}
+	for i, src := range cases {
+		if _, err := LoadOBJ(strings.NewReader(src), nil); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+	if _, err := LoadMTL(strings.NewReader("Kd 1 0 0\n")); err == nil {
+		t.Error("Kd before newmtl accepted")
+	}
+	if _, err := LoadMTL(strings.NewReader("newmtl x\nKd 1 0\n")); err == nil {
+		t.Error("short Kd accepted")
+	}
+}
+
+func TestLoadOBJIntoOctreeAndRender(t *testing.T) {
+	// End to end: a loaded model renders through the normal path.
+	tris, err := LoadOBJ(strings.NewReader(sampleOBJ), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := BuildOctree(tris)
+	cam := Camera{Eye: Vec3{0.5, 0.5, 5}, Target: Vec3{0.5, 0.5, 0}, Up: Vec3{0, 1, 0},
+		FovY: 1, Near: 0.1, Far: 100}
+	got, _ := tree.Cull(cam.Frustum(32, 32), nil)
+	if len(got) != len(tris) {
+		t.Fatalf("culled %d of %d", len(got), len(tris))
+	}
+}

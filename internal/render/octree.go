@@ -1,0 +1,165 @@
+package render
+
+// Octree organizes scene triangles hierarchically, exactly as the paper's
+// render stage does: frustum culling traverses the tree recursively, which
+// is the irregular, prefetch-hostile memory access pattern the paper calls
+// out for the renderer.
+type Octree struct {
+	root *octNode
+	// Triangles is the backing store; nodes hold indices into it.
+	Triangles []Triangle
+	nodeCount int
+}
+
+type octNode struct {
+	bounds   AABB
+	children [8]*octNode
+	leaf     bool
+	tris     []int32
+}
+
+// octree build parameters: small leaves keep traversal interesting without
+// exploding memory.
+const (
+	octMaxDepth   = 10
+	octLeafTarget = 24
+)
+
+// BuildOctree constructs an octree over the triangles. Triangles are stored
+// in the leaf whose region contains their centroid, so every triangle lives
+// in exactly one leaf; the conservative AABB frustum test plus rasterizer
+// clipping keeps rendering correct.
+func BuildOctree(tris []Triangle) *Octree {
+	o := &Octree{Triangles: tris}
+	bounds := EmptyAABB()
+	idx := make([]int32, len(tris))
+	for i, t := range tris {
+		bounds = bounds.Union(t.Bounds())
+		idx[i] = int32(i)
+	}
+	if len(tris) == 0 {
+		bounds = AABB{}
+	}
+	o.root = o.build(bounds, idx, 0)
+	return o
+}
+
+// build constructs the subtree for the subdivision region `region`. The
+// node's stored culling bounds are *loose*: the union of its triangles'
+// actual bounds, since centroid bucketing lets a triangle extend beyond its
+// leaf's region. Culling against loose bounds keeps the traversal
+// conservative.
+func (o *Octree) build(region AABB, idx []int32, depth int) *octNode {
+	o.nodeCount++
+	n := &octNode{}
+	makeLeaf := func() *octNode {
+		n.leaf = true
+		n.tris = idx
+		n.bounds = EmptyAABB()
+		for _, ti := range idx {
+			n.bounds = n.bounds.Union(o.Triangles[ti].Bounds())
+		}
+		if len(idx) == 0 {
+			n.bounds = region
+		}
+		return n
+	}
+	if len(idx) <= octLeafTarget || depth >= octMaxDepth {
+		return makeLeaf()
+	}
+	c := region.Center()
+	var buckets [8][]int32
+	for _, ti := range idx {
+		ctr := o.Triangles[ti].Centroid()
+		b := 0
+		if ctr.X > c.X {
+			b |= 1
+		}
+		if ctr.Y > c.Y {
+			b |= 2
+		}
+		if ctr.Z > c.Z {
+			b |= 4
+		}
+		buckets[b] = append(buckets[b], ti)
+	}
+	// Degenerate split (all centroids in one octant): make a leaf.
+	for _, b := range buckets {
+		if len(b) == len(idx) {
+			return makeLeaf()
+		}
+	}
+	n.bounds = EmptyAABB()
+	for b, list := range buckets {
+		if len(list) == 0 {
+			continue
+		}
+		child := o.build(childBounds(region, c, b), list, depth+1)
+		n.children[b] = child
+		n.bounds = n.bounds.Union(child.bounds)
+	}
+	return n
+}
+
+func childBounds(b AABB, c Vec3, octant int) AABB {
+	out := b
+	if octant&1 != 0 {
+		out.Min.X = c.X
+	} else {
+		out.Max.X = c.X
+	}
+	if octant&2 != 0 {
+		out.Min.Y = c.Y
+	} else {
+		out.Max.Y = c.Y
+	}
+	if octant&4 != 0 {
+		out.Min.Z = c.Z
+	} else {
+		out.Max.Z = c.Z
+	}
+	return out
+}
+
+// NodeCount reports the number of nodes built.
+func (o *Octree) NodeCount() int { return o.nodeCount }
+
+// Bounds returns the scene bounding box.
+func (o *Octree) Bounds() AABB { return o.root.bounds }
+
+// CullStats reports the work done by one frustum query; the simulation's
+// render cost model consumes it.
+type CullStats struct {
+	NodesVisited int // octree nodes touched (≈ dependent memory accesses)
+	TrisAccepted int // triangles passed to the rasterizer
+}
+
+// Cull appends the indices of all triangles in leaves whose bounds
+// intersect the frustum, returning the (possibly reallocated) slice and
+// traversal statistics. The test is conservative: no visible triangle is
+// ever dropped.
+func (o *Octree) Cull(f Frustum, out []int32) ([]int32, CullStats) {
+	var st CullStats
+	if o.root == nil {
+		return out, st
+	}
+	out = o.cull(o.root, f, out, &st)
+	st.TrisAccepted = len(out)
+	return out, st
+}
+
+func (o *Octree) cull(n *octNode, f Frustum, out []int32, st *CullStats) []int32 {
+	st.NodesVisited++
+	if !f.IntersectsAABB(n.bounds) {
+		return out
+	}
+	if n.leaf {
+		return append(out, n.tris...)
+	}
+	for _, ch := range n.children {
+		if ch != nil {
+			out = o.cull(ch, f, out, st)
+		}
+	}
+	return out
+}

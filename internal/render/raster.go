@@ -1,0 +1,165 @@
+package render
+
+import (
+	"math"
+
+	"sccpipe/internal/frame"
+)
+
+// Rasterizer fills flat-shaded triangles into a horizontal strip of the
+// screen with a depth buffer. The strip is the sort-first unit of the
+// paper: a full-frame viewport whose rows [Y0, Y0+img.H) are materialized.
+type Rasterizer struct {
+	img   *frame.Image
+	zbuf  []float32
+	FullW int
+	FullH int
+	Y0    int
+	// Filled counts depth-test-passing pixel writes, for the cost model.
+	Filled int64
+	// Candidates counts pixels covered before the depth test.
+	Candidates int64
+}
+
+// NewRasterizer wraps a strip buffer. img must be FullW wide; its rows
+// correspond to screen rows starting at y0.
+func NewRasterizer(img *frame.Image, fullW, fullH, y0 int) *Rasterizer {
+	if img.W != fullW {
+		panic("render: strip width must equal full frame width")
+	}
+	if y0 < 0 || y0+img.H > fullH {
+		panic("render: strip rows outside frame")
+	}
+	r := &Rasterizer{img: img, FullW: fullW, FullH: fullH, Y0: y0}
+	r.zbuf = make([]float32, img.W*img.H)
+	r.Clear(0, 0, 0)
+	return r
+}
+
+// Clear resets color and depth.
+func (r *Rasterizer) Clear(cr, cg, cb uint8) {
+	r.img.Fill(cr, cg, cb, 0xff)
+	for i := range r.zbuf {
+		r.zbuf[i] = float32(math.Inf(1))
+	}
+}
+
+// Image returns the strip buffer being rendered into.
+func (r *Rasterizer) Image() *frame.Image { return r.img }
+
+const nearEps = 1e-6
+
+// DrawTriangle transforms a scene triangle by the view-projection matrix,
+// clips it against the near plane, and rasterizes the result.
+func (r *Rasterizer) DrawTriangle(vp Mat4, t Triangle) {
+	clip := [3]Vec4{
+		vp.TransformPoint(t.V[0]),
+		vp.TransformPoint(t.V[1]),
+		vp.TransformPoint(t.V[2]),
+	}
+	poly := clipNear(clip[:])
+	if len(poly) < 3 {
+		return
+	}
+	// Fan-triangulate the clipped polygon (≤ 4 vertices).
+	for i := 1; i+1 < len(poly); i++ {
+		r.fill(poly[0], poly[i], poly[i+1], t.R, t.G, t.B)
+	}
+}
+
+// clipNear clips a clip-space polygon against the GL near plane z + w > 0.
+func clipNear(in []Vec4) []Vec4 {
+	out := make([]Vec4, 0, len(in)+1)
+	for i := range in {
+		a := in[i]
+		b := in[(i+1)%len(in)]
+		da := a.Z + a.W
+		db := b.Z + b.W
+		if da > nearEps {
+			out = append(out, a)
+		}
+		if (da > nearEps) != (db > nearEps) {
+			t := da / (da - db)
+			out = append(out, Vec4{
+				a.X + t*(b.X-a.X),
+				a.Y + t*(b.Y-a.Y),
+				a.Z + t*(b.Z-a.Z),
+				a.W + t*(b.W-a.W),
+			})
+		}
+	}
+	return out
+}
+
+type screenVert struct {
+	x, y, z float64
+}
+
+// toScreen performs the perspective divide and viewport transform.
+func (r *Rasterizer) toScreen(v Vec4) screenVert {
+	inv := 1 / v.W
+	nx, ny, nz := v.X*inv, v.Y*inv, v.Z*inv
+	return screenVert{
+		x: (nx + 1) * 0.5 * float64(r.FullW),
+		y: (1 - (ny+1)*0.5) * float64(r.FullH),
+		z: nz,
+	}
+}
+
+func edge(a, b, c screenVert) float64 {
+	return (b.x-a.x)*(c.y-a.y) - (b.y-a.y)*(c.x-a.x)
+}
+
+// fill rasterizes one clip-space triangle with flat color.
+func (r *Rasterizer) fill(c0, c1, c2 Vec4, cr, cg, cb uint8) {
+	v0, v1, v2 := r.toScreen(c0), r.toScreen(c1), r.toScreen(c2)
+	area := edge(v0, v1, v2)
+	if area == 0 {
+		return
+	}
+	if area < 0 { // ensure counter-clockwise so barycentrics are positive
+		v1, v2 = v2, v1
+		area = -area
+	}
+	minX := int(math.Floor(min3(v0.x, v1.x, v2.x)))
+	maxX := int(math.Ceil(max3(v0.x, v1.x, v2.x)))
+	minY := int(math.Floor(min3(v0.y, v1.y, v2.y)))
+	maxY := int(math.Ceil(max3(v0.y, v1.y, v2.y)))
+	if minX < 0 {
+		minX = 0
+	}
+	if maxX > r.FullW-1 {
+		maxX = r.FullW - 1
+	}
+	if minY < r.Y0 {
+		minY = r.Y0
+	}
+	if maxY > r.Y0+r.img.H-1 {
+		maxY = r.Y0 + r.img.H - 1
+	}
+	invArea := 1 / area
+	for y := minY; y <= maxY; y++ {
+		rowZ := r.zbuf[(y-r.Y0)*r.img.W:]
+		for x := minX; x <= maxX; x++ {
+			p := screenVert{x: float64(x) + 0.5, y: float64(y) + 0.5}
+			w0 := edge(v1, v2, p)
+			w1 := edge(v2, v0, p)
+			w2 := edge(v0, v1, p)
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			r.Candidates++
+			z := (w0*v0.z + w1*v1.z + w2*v2.z) * invArea
+			zf := float32(z)
+			if zf >= rowZ[x] {
+				continue
+			}
+			rowZ[x] = zf
+			r.img.Set(x, y-r.Y0, cr, cg, cb, 0xff)
+			r.Filled++
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }

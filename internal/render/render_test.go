@@ -1,0 +1,295 @@
+package render
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sccpipe/internal/frame"
+)
+
+func testCamera() Camera {
+	return Camera{
+		Eye:    Vec3{0, 0, 5},
+		Target: Vec3{0, 0, 0},
+		Up:     Vec3{0, 1, 0},
+		FovY:   math.Pi / 2,
+		Near:   0.1,
+		Far:    100,
+	}
+}
+
+func TestFrustumContainsLookedAtPoint(t *testing.T) {
+	cam := testCamera()
+	f := cam.Frustum(100, 100)
+	if !f.ContainsPoint(Vec3{0, 0, 0}) {
+		t.Fatal("target outside frustum")
+	}
+	if f.ContainsPoint(Vec3{0, 0, 10}) {
+		t.Fatal("point behind camera inside frustum")
+	}
+	if f.ContainsPoint(Vec3{0, 0, -200}) {
+		t.Fatal("point beyond far plane inside frustum")
+	}
+}
+
+func TestFrustumAABBConservative(t *testing.T) {
+	cam := testCamera()
+	f := cam.Frustum(100, 100)
+	if !f.IntersectsAABB(AABB{Min: Vec3{-1, -1, -1}, Max: Vec3{1, 1, 1}}) {
+		t.Fatal("visible box culled")
+	}
+	if f.IntersectsAABB(AABB{Min: Vec3{-1, -1, 50}, Max: Vec3{1, 1, 60}}) {
+		t.Fatal("box behind camera accepted")
+	}
+}
+
+// Property: a box containing any point inside the frustum must intersect it
+// (no false culls — the test may accept extra boxes but never reject a
+// visible one).
+func TestQuickCullingConservative(t *testing.T) {
+	cam := testCamera()
+	f := cam.Frustum(64, 64)
+	gen := rand.New(rand.NewSource(7))
+	check := func() bool {
+		p := Vec3{gen.Float64()*8 - 4, gen.Float64()*8 - 4, gen.Float64()*8 - 4}
+		if !f.ContainsPoint(p) {
+			return true // only points inside the frustum are interesting
+		}
+		half := gen.Float64() * 2
+		b := AABB{
+			Min: p.Sub(Vec3{half, half, half}),
+			Max: p.Add(Vec3{half, half, half}),
+		}
+		return f.IntersectsAABB(b)
+	}
+	for i := 0; i < 3000; i++ {
+		if !check() {
+			t.Fatal("frustum test culled a box containing a visible point")
+		}
+	}
+}
+
+func randTris(rng *rand.Rand, n int) []Triangle {
+	tris := make([]Triangle, n)
+	for i := range tris {
+		base := Vec3{rng.Float64()*20 - 10, rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+		tris[i] = Triangle{
+			V: [3]Vec3{
+				base,
+				base.Add(Vec3{rng.Float64(), rng.Float64(), rng.Float64()}),
+				base.Add(Vec3{rng.Float64(), rng.Float64(), rng.Float64()}),
+			},
+			R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256)),
+		}
+	}
+	return tris
+}
+
+func TestOctreeHoldsAllTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tris := randTris(rng, 500)
+	tree := BuildOctree(tris)
+	if tree.NodeCount() < 2 {
+		t.Fatalf("octree did not split: %d nodes", tree.NodeCount())
+	}
+	// A frustum containing everything must return every triangle once.
+	cam := Camera{Eye: Vec3{0, 0, 60}, Target: Vec3{}, Up: Vec3{0, 1, 0}, FovY: 1, Near: 0.1, Far: 1000}
+	got, st := tree.Cull(cam.Frustum(64, 64), nil)
+	if len(got) != len(tris) {
+		t.Fatalf("all-visible cull returned %d of %d", len(got), len(tris))
+	}
+	seen := make(map[int32]bool, len(got))
+	for _, i := range got {
+		if seen[i] {
+			t.Fatalf("triangle %d returned twice", i)
+		}
+		seen[i] = true
+	}
+	if st.NodesVisited < 1 || st.TrisAccepted != len(tris) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOctreeCullsInvisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tris := randTris(rng, 500)
+	tree := BuildOctree(tris)
+	// Look away from the scene: almost nothing should survive.
+	cam := Camera{Eye: Vec3{0, 0, 60}, Target: Vec3{0, 0, 120}, Up: Vec3{0, 1, 0}, FovY: 1, Near: 0.1, Far: 1000}
+	got, _ := tree.Cull(cam.Frustum(64, 64), nil)
+	if len(got) != 0 {
+		t.Fatalf("looking away still returned %d triangles", len(got))
+	}
+}
+
+func TestOctreeEmptyScene(t *testing.T) {
+	tree := BuildOctree(nil)
+	got, st := tree.Cull(testCamera().Frustum(8, 8), nil)
+	if len(got) != 0 || st.NodesVisited != 1 {
+		t.Fatalf("empty cull: %d tris, %+v", len(got), st)
+	}
+}
+
+// oneTriangleScene puts a big triangle squarely in front of the camera.
+func oneTriangleScene() *Octree {
+	return BuildOctree([]Triangle{{
+		V: [3]Vec3{{-2, -2, 0}, {2, -2, 0}, {0, 2.5, 0}},
+		R: 200, G: 10, B: 10,
+	}})
+}
+
+func TestRenderFrameDrawsTriangle(t *testing.T) {
+	r := NewRenderer(oneTriangleScene())
+	img := frame.New(64, 64)
+	st := r.RenderFrame(testCamera(), img)
+	if st.Filled == 0 {
+		t.Fatal("no pixels filled")
+	}
+	// Center pixel must be the triangle color.
+	cr, cg, cb, _ := img.At(32, 32)
+	if cr != 200 || cg != 10 || cb != 10 {
+		t.Fatalf("center = %d,%d,%d", cr, cg, cb)
+	}
+	// A corner must remain background.
+	cr, _, _, _ = img.At(0, 0)
+	if cr != 0 {
+		t.Fatal("corner unexpectedly drawn")
+	}
+}
+
+func TestDepthBufferOrdering(t *testing.T) {
+	// A red triangle in front of a green one, drawn in both orders.
+	red := Triangle{V: [3]Vec3{{-2, -2, 1}, {2, -2, 1}, {0, 2.5, 1}}, R: 255}
+	green := Triangle{V: [3]Vec3{{-2, -2, -1}, {2, -2, -1}, {0, 2.5, -1}}, G: 255}
+	for _, order := range [][]Triangle{{red, green}, {green, red}} {
+		img := frame.New(32, 32)
+		rast := NewRasterizer(img, 32, 32, 0)
+		vp := testCamera().ViewProjection(32, 32)
+		for _, tri := range order {
+			rast.DrawTriangle(vp, tri)
+		}
+		r, g, _, _ := img.At(16, 16)
+		if r != 255 || g != 0 {
+			t.Fatalf("front triangle lost: r=%d g=%d", r, g)
+		}
+	}
+}
+
+func TestNearPlaneClipping(t *testing.T) {
+	// A triangle straddling the camera plane must not panic and must draw
+	// only its visible part.
+	tri := Triangle{V: [3]Vec3{{-2, -1, 10}, {2, -1, -10}, {0, 1, -10}}, R: 99}
+	img := frame.New(32, 32)
+	rast := NewRasterizer(img, 32, 32, 0)
+	rast.DrawTriangle(testCamera().ViewProjection(32, 32), tri)
+	if rast.Filled == 0 {
+		t.Fatal("straddling triangle fully dropped")
+	}
+}
+
+func TestTriangleBehindCameraDropped(t *testing.T) {
+	tri := Triangle{V: [3]Vec3{{-1, -1, 20}, {1, -1, 20}, {0, 1, 20}}, R: 99}
+	img := frame.New(32, 32)
+	rast := NewRasterizer(img, 32, 32, 0)
+	rast.DrawTriangle(testCamera().ViewProjection(32, 32), tri)
+	if rast.Filled != 0 {
+		t.Fatal("triangle behind camera drawn")
+	}
+}
+
+// TestStripTiling is the sort-first correctness property at the heart of
+// the paper's parallelization: rendering n strips separately and
+// assembling them must equal rendering the full frame at once.
+func TestStripTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tris := randTris(rng, 200)
+	// Push the triangles in front of the camera.
+	for i := range tris {
+		for j := range tris[i].V {
+			tris[i].V[j].Z -= 12
+		}
+	}
+	tree := BuildOctree(tris)
+	cam := testCamera()
+	const W, H = 48, 47 // odd height exercises uneven strips
+	full := frame.New(W, H)
+	NewRenderer(tree).RenderFrame(cam, full)
+	for _, n := range []int{2, 3, 5} {
+		var strips []*frame.Strip
+		for i := 0; i < n; i++ {
+			y0, y1 := frame.StripBounds(H, n, i)
+			img := frame.New(W, y1-y0)
+			NewRenderer(tree).RenderStrip(cam, img, W, H, y0)
+			strips = append(strips, &frame.Strip{Index: i, Y0: y0, Img: img})
+		}
+		got := frame.Assemble(W, H, strips)
+		if !got.Equal(full) {
+			t.Fatalf("n=%d: assembled strips differ from full-frame render", n)
+		}
+	}
+}
+
+func TestStripCullingReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tris := randTris(rng, 2000)
+	for i := range tris {
+		for j := range tris[i].V {
+			tris[i].V[j].Z -= 12
+		}
+	}
+	tree := BuildOctree(tris)
+	cam := testCamera()
+	r := NewRenderer(tree)
+	fullCull := r.CullOnly(cam, 64, 64, 0, 64)
+	stripCull := r.CullOnly(cam, 64, 64, 0, 8)
+	if stripCull.TrisAccepted >= fullCull.TrisAccepted {
+		t.Fatalf("strip cull accepted %d ≥ full %d; sub-frustum not narrowing",
+			stripCull.TrisAccepted, fullCull.TrisAccepted)
+	}
+}
+
+func TestWalkthroughDeterministicAndValid(t *testing.T) {
+	b := AABB{Min: Vec3{0, 0, 0}, Max: Vec3{100, 40, 100}}
+	a1 := Walkthrough(50, b)
+	a2 := Walkthrough(50, b)
+	if len(a1) != 50 {
+		t.Fatalf("frames = %d", len(a1))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("walkthrough not deterministic")
+		}
+		if a1[i].Near <= 0 || a1[i].Far <= a1[i].Near {
+			t.Fatalf("frame %d: bad near/far %g/%g", i, a1[i].Near, a1[i].Far)
+		}
+		if a1[i].Eye == a1[i].Target {
+			t.Fatalf("frame %d: eye == target", i)
+		}
+	}
+	// The camera must move.
+	if a1[0].Eye == a1[25].Eye {
+		t.Fatal("camera does not move")
+	}
+}
+
+// Property: strip frusta are narrower than the full frustum — anything a
+// strip accepts, the full frame accepts too.
+func TestQuickStripFrustumSubset(t *testing.T) {
+	cam := testCamera()
+	full := cam.Frustum(64, 64)
+	f := func(px, py, pz int8, y0raw, spanRaw uint8) bool {
+		y0 := int(y0raw) % 56
+		span := int(spanRaw)%8 + 1
+		strip := cam.StripFrustum(64, 64, y0, y0+span)
+		p := Vec3{float64(px) / 8, float64(py) / 8, float64(pz) / 8}
+		if strip.ContainsPoint(p) && !full.ContainsPoint(p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

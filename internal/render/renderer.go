@@ -1,0 +1,55 @@
+package render
+
+import "sccpipe/internal/frame"
+
+// Stats aggregates the measurable work of one render call; the simulation's
+// render cost model consumes these counts.
+type Stats struct {
+	CullStats
+	Filled     int64 // pixels written after the depth test
+	Candidates int64 // pixels covered before the depth test
+	TrisDrawn  int   // triangles submitted to the rasterizer
+}
+
+// Renderer renders views of an octree-organized scene. It is not safe for
+// concurrent use; each pipeline's render stage owns one instance (as each
+// SCC renderer core does in the paper).
+type Renderer struct {
+	Tree   *Octree
+	culled []int32 // reusable scratch for culling results
+}
+
+// NewRenderer wraps a built scene octree.
+func NewRenderer(tree *Octree) *Renderer { return &Renderer{Tree: tree} }
+
+// RenderStrip renders screen rows [y0, y0+img.H) of a fullW×fullH frame
+// into img: frustum-cull with the strip sub-frustum, then rasterize the
+// survivors with the full-frame projection so strips tile seamlessly.
+func (r *Renderer) RenderStrip(cam Camera, img *frame.Image, fullW, fullH, y0 int) Stats {
+	rast := NewRasterizer(img, fullW, fullH, y0)
+	cull := cam.StripFrustum(fullW, fullH, y0, y0+img.H)
+	var st Stats
+	r.culled, st.CullStats = r.Tree.Cull(cull, r.culled[:0])
+	vp := cam.ViewProjection(fullW, fullH)
+	for _, ti := range r.culled {
+		rast.DrawTriangle(vp, r.Tree.Triangles[ti])
+	}
+	st.Filled = rast.Filled
+	st.Candidates = rast.Candidates
+	st.TrisDrawn = len(r.culled)
+	return st
+}
+
+// RenderFrame renders the whole frame (a strip spanning every row).
+func (r *Renderer) RenderFrame(cam Camera, img *frame.Image) Stats {
+	return r.RenderStrip(cam, img, img.W, img.H, 0)
+}
+
+// CullOnly performs just the frustum-culling traversal for the given strip,
+// for callers (like the simulation cost model) that need traversal work
+// without pixel output.
+func (r *Renderer) CullOnly(cam Camera, fullW, fullH, y0, y1 int) CullStats {
+	var st CullStats
+	r.culled, st = r.Tree.Cull(cam.StripFrustum(fullW, fullH, y0, y1), r.culled[:0])
+	return st
+}

@@ -1,0 +1,134 @@
+package scc
+
+// Cache is a set-associative LRU cache simulator at line granularity. It is
+// used to justify (and test) the aggregate byte counts the stage cost model
+// charges to the memory controllers, and to reproduce the paper's Fig. 12
+// observation that exceeding the 256 KiB L2 does not change streaming-stage
+// behaviour (each pixel is touched once per stage, so the data always
+// streams from memory regardless of capacity).
+type Cache struct {
+	lineSize int
+	sets     int
+	ways     int
+	// lru[s] holds the tags resident in set s, most recently used first.
+	lru [][]uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache of the given total size, associativity and line
+// size; size must be divisible by ways×lineSize.
+func NewCache(size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 || size%(ways*lineSize) != 0 {
+		panic("scc: invalid cache geometry")
+	}
+	sets := size / (ways * lineSize)
+	c := &Cache{lineSize: lineSize, sets: sets, ways: ways, lru: make([][]uint64, sets)}
+	for i := range c.lru {
+		c.lru[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Access touches the byte address and reports whether it hit. On a miss the
+// line is filled, evicting the LRU way if the set is full.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr / uint64(c.lineSize)
+	set := line % uint64(c.sets)
+	tag := line / uint64(c.sets)
+	ways := c.lru[set]
+	for i, t := range ways {
+		if t == tag {
+			// Move to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	if len(ways) < c.ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = tag
+	c.lru[set] = ways
+	return false
+}
+
+// AccessRange touches every line in [addr, addr+n) and returns the number of
+// missing lines.
+func (c *Cache) AccessRange(addr uint64, n int) (misses int) {
+	if n <= 0 {
+		return 0
+	}
+	first := addr / uint64(c.lineSize)
+	last := (addr + uint64(n) - 1) / uint64(c.lineSize)
+	for line := first; line <= last; line++ {
+		if !c.Access(line * uint64(c.lineSize)) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Flush empties the cache, keeping statistics.
+func (c *Cache) Flush() {
+	for i := range c.lru {
+		c.lru[i] = c.lru[i][:0]
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Hierarchy models a P54C core's L1+L2 arrangement (both 4-way).
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// NewHierarchy returns the SCC per-core cache hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1: NewCache(L1Size, CacheWays, CacheLine),
+		L2: NewCache(L2Size, CacheWays, CacheLine),
+	}
+}
+
+// Access touches an address and reports the satisfying level: 1 for an L1
+// hit, 2 for an L2 hit, 0 for a memory access.
+func (h *Hierarchy) Access(addr uint64) int {
+	if h.L1.Access(addr) {
+		return 1
+	}
+	if h.L2.Access(addr) {
+		return 2
+	}
+	return 0
+}
+
+// StreamMissBytes is the analytic counterpart used by the stage cost model:
+// the bytes fetched from memory when a working set of ws bytes is swept
+// sequentially `passes` times by a core whose L2 holds L2Size bytes. The
+// first pass always streams from memory; later passes hit in L2 only if the
+// working set fits.
+func StreamMissBytes(ws int, passes int) int {
+	if passes <= 0 || ws <= 0 {
+		return 0
+	}
+	if ws <= L2Size {
+		return ws
+	}
+	return ws * passes
+}

@@ -1,0 +1,159 @@
+package scc
+
+import (
+	"fmt"
+
+	"sccpipe/internal/des"
+)
+
+// Interval is a closed time span during which a core was computing.
+type Interval struct{ Start, End float64 }
+
+// Chip is a simulated SCC instance bound to a DES engine.
+type Chip struct {
+	Eng *des.Engine
+	Cfg Config
+
+	freq [NumCores]FreqLevel
+	used [NumCores]bool // cores a workload is mapped onto
+
+	links map[linkKey]*des.Resource
+	mem   [NumMemCtl]*des.Resource
+
+	// busyLog records compute intervals per core for the power model.
+	busyLog [NumCores][]Interval
+
+	// MemBytes counts bytes serviced per controller, for utilization reports.
+	MemBytes [NumMemCtl]int64
+	// MsgCount counts modelled mesh transfers.
+	MsgCount int64
+}
+
+type linkKey struct {
+	x, y int
+	dir  byte // 'E', 'W', 'N', 'S': direction of travel out of router (x,y)
+}
+
+// New returns a chip at reset: all cores at cfg.DefaultFreq, nothing used.
+func New(eng *des.Engine, cfg Config) *Chip {
+	c := &Chip{Eng: eng, Cfg: cfg, links: make(map[linkKey]*des.Resource)}
+	for i := range c.freq {
+		c.freq[i] = cfg.DefaultFreq
+	}
+	ports := cfg.MemPorts
+	if ports < 1 {
+		ports = 1
+	}
+	for i := range c.mem {
+		c.mem[i] = des.NewResource(ports)
+	}
+	for y := 0; y < MeshRows; y++ {
+		for x := 0; x < MeshCols; x++ {
+			if x+1 < MeshCols {
+				c.links[linkKey{x, y, 'E'}] = des.NewResource(1)
+				c.links[linkKey{x + 1, y, 'W'}] = des.NewResource(1)
+			}
+			if y+1 < MeshRows {
+				c.links[linkKey{x, y, 'N'}] = des.NewResource(1)
+				c.links[linkKey{x, y + 1, 'S'}] = des.NewResource(1)
+			}
+		}
+	}
+	return c
+}
+
+// MarkUsed declares that a workload maps a stage onto the core. Used cores
+// determine which voltage islands are powered up in the power model.
+func (c *Chip) MarkUsed(core CoreID) {
+	if !core.Valid() {
+		panic(fmt.Sprintf("scc: invalid core %d", core))
+	}
+	c.used[core] = true
+}
+
+// Used reports whether the core has a stage mapped onto it.
+func (c *Chip) Used(core CoreID) bool { return c.used[core] }
+
+// UsedCount reports the number of cores with stages mapped onto them.
+func (c *Chip) UsedCount() int {
+	n := 0
+	for _, u := range c.used {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// SetFreq sets the frequency of the tile containing the core (the SCC
+// changes frequency per tile, so the core's pair mate changes too).
+func (c *Chip) SetFreq(core CoreID, f FreqLevel) {
+	t := core.Tile()
+	c.freq[2*t] = f
+	c.freq[2*t+1] = f
+}
+
+// Freq returns the core's current frequency level.
+func (c *Chip) Freq(core CoreID) FreqLevel { return c.freq[core] }
+
+// IslandVoltage returns the supply voltage of island i. Islands hosting no
+// used core stay at the chip's 1.1 V default; islands with used cores run
+// at the maximum minimum voltage any used core's frequency demands (so a
+// fully downclocked island drops to 0.7 V, and one 800 MHz core raises its
+// whole island to 1.3 V — the paper's Fig. 18 constraint).
+func (c *Chip) IslandVoltage(i int) float64 {
+	if !c.islandPowered(i) {
+		return 1.1
+	}
+	v := 0.7
+	for core := CoreID(0); core < NumCores; core++ {
+		if core.Island() != i || !c.used[core] {
+			continue
+		}
+		if mv := c.freq[core].MinV; mv > v {
+			v = mv
+		}
+	}
+	return v
+}
+
+// islandPowered reports whether island i hosts at least one used core.
+func (c *Chip) islandPowered(i int) bool {
+	for core := CoreID(0); core < NumCores; core++ {
+		if core.Island() == i && c.used[core] {
+			return true
+		}
+	}
+	return false
+}
+
+// Compute advances the process by cycles at the core's current frequency and
+// records the busy interval for the power model.
+func (c *Chip) Compute(p *des.Proc, core CoreID, cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	start := p.Now()
+	d := cycles / c.freq[core].Hz
+	p.Wait(d)
+	c.busyLog[core] = append(c.busyLog[core], Interval{start, start + d})
+}
+
+// ComputeSeconds advances the process by a wall-time amount *as measured at
+// the 533 MHz reference frequency*, scaled to the core's actual frequency.
+// It is a convenience for stage cost models expressed in reference seconds.
+func (c *Chip) ComputeSeconds(p *des.Proc, core CoreID, refSeconds float64) {
+	c.Compute(p, core, refSeconds*Freq533.Hz)
+}
+
+// BusyLog returns the recorded compute intervals of a core.
+func (c *Chip) BusyLog(core CoreID) []Interval { return c.busyLog[core] }
+
+// BusySeconds sums a core's recorded compute time.
+func (c *Chip) BusySeconds(core CoreID) float64 {
+	total := 0.0
+	for _, iv := range c.busyLog[core] {
+		total += iv.End - iv.Start
+	}
+	return total
+}

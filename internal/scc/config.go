@@ -1,0 +1,99 @@
+package scc
+
+// Config holds the chip model parameters. The defaults are calibrated so
+// that the paper's measured aggregates are reproduced (see EXPERIMENTS.md):
+// the absolute values of individual constants are less meaningful than the
+// totals they produce.
+type Config struct {
+	// DefaultFreq is the core frequency level applied at reset.
+	DefaultFreq FreqLevel
+
+	// MeshHopLatency is the router-to-router forwarding latency per hop in
+	// seconds (a few mesh cycles at 800 MHz plus wire time).
+	MeshHopLatency float64
+
+	// LinkBandwidth is the usable bandwidth of one directed mesh link in
+	// bytes/second. The SCC mesh is wide (16 B/cycle at 800 MHz); links are
+	// essentially never the bottleneck, matching the paper's finding that
+	// arrangements do not matter.
+	LinkBandwidth float64
+
+	// MemBandwidth is the effective service bandwidth of one memory
+	// controller for a single P54C-generated stream, in bytes/second.
+	// P54C cores issue narrow, blocking bus transactions, so per-stream
+	// effective bandwidth is far below the DDR3 peak; this constant is the
+	// main communication calibration knob.
+	MemBandwidth float64
+
+	// MemPorts is the number of concurrent streams one controller can
+	// service at MemBandwidth each before queueing: per-stream bandwidth
+	// is latency-bound, so a controller overlaps several streams via DDR
+	// bank parallelism up to this limit.
+	MemPorts int
+
+	// MemLatency is the fixed per-request latency at a controller, seconds.
+	MemLatency float64
+
+	// MsgOverhead is the fixed software cost of one RCCE-style message
+	// (marshalling, flag handshake), in seconds, charged to the sender.
+	MsgOverhead float64
+
+	// MaxTransfer caps a single modelled memory/mesh transaction in bytes;
+	// larger transfers are split, letting contention interleave. It mirrors
+	// the paper's observation that large frames must be sent as multiple
+	// sub-images due to buffer sizes.
+	MaxTransfer int
+
+	// LocalMemory enables the hypothetical chip the paper's conclusion
+	// asks for: a per-core local memory bank (as on the Cell's SPEs).
+	// Messages then travel core-to-core across the mesh into the
+	// receiver's local store, bypassing the memory controllers entirely,
+	// and receivers find their data locally. Used for the "what if"
+	// ablation; the real SCC has no such banks.
+	LocalMemory bool
+
+	// MPBSize is the per-tile message-passing buffer capacity in bytes
+	// (8 KiB per tile on the real SCC, i.e. 4 KiB per core under RCCE).
+	// Messages that fit travel core-to-core through the MPB over the mesh
+	// alone; larger payloads — every image strip — must take the memory
+	// path, exactly the regime the paper analyses.
+	MPBSize int
+
+	// StripePartitions maps each core's private partition across all four
+	// memory controllers (round-robin by chunk) instead of its quadrant
+	// controller — a LUT remapping the real SCC allowed. Ablation knob:
+	// it removes quadrant hotspots at the cost of longer average routes.
+	StripePartitions bool
+
+	// Power model (see power.go):
+	PowerIdle     float64 // whole chip idle, W (all islands at the 1.1 V default)
+	PowerAppBase  float64 // extra uncore power while a workload is mapped, W
+	PowerLeakCoef float64 // per-core island leak coefficient: Δleak = c·(V⁴ − 1.1⁴)
+	PowerDynCoef  float64 // per used core: dyn = k·f·V²
+	// PowerSpinFactor is the activity of a used core while it waits for a
+	// message: RCCE receivers spin-poll, so waiting cores burn nearly full
+	// dynamic power — the reason the paper measures power that is linear
+	// in the number of pipelines and independent of arrangement.
+	PowerSpinFactor float64
+}
+
+// DefaultConfig returns the calibrated configuration used for all paper
+// reproduction experiments.
+func DefaultConfig() Config {
+	return Config{
+		DefaultFreq:     Freq533,
+		MeshHopLatency:  50e-9, // ~4 mesh cycles + router occupancy
+		LinkBandwidth:   1.6e9, // 16 B/cycle × 800 MHz, derated ×0.125
+		MemBandwidth:    45e6,  // effective per-stream bytes/s (calibrated)
+		MemPorts:        4,
+		MemLatency:      0.5e-6, // controller + DDR access
+		MsgOverhead:     120e-6, // RCCE software handshake per message
+		MaxTransfer:     64 * 1024,
+		MPBSize:         4 * 1024,
+		PowerIdle:       22.0,
+		PowerAppBase:    9.0,
+		PowerLeakCoef:   0.33,
+		PowerDynCoef:    0.78 / (533e6 * 1.1 * 1.1),
+		PowerSpinFactor: 0.85,
+	}
+}

@@ -1,0 +1,149 @@
+package scc
+
+import "sccpipe/internal/des"
+
+// route returns the sequence of directed links of the XY route from router
+// (x0,y0) to (x1,y1): X dimension first, then Y, as the SCC routers do.
+func (c *Chip) route(x0, y0, x1, y1 int) []*des.Resource {
+	var path []*des.Resource
+	x, y := x0, y0
+	for x != x1 {
+		if x < x1 {
+			path = append(path, c.links[linkKey{x, y, 'E'}])
+			x++
+		} else {
+			path = append(path, c.links[linkKey{x, y, 'W'}])
+			x--
+		}
+	}
+	for y != y1 {
+		if y < y1 {
+			path = append(path, c.links[linkKey{x, y, 'N'}])
+			y++
+		} else {
+			path = append(path, c.links[linkKey{x, y, 'S'}])
+			y--
+		}
+	}
+	return path
+}
+
+// transferDone books a store-and-forward transfer of the given size along a
+// router path and returns its completion time. Transfers larger than
+// Cfg.MaxTransfer are split into chunks so that concurrent traffic can
+// interleave on shared links. The call does not block; the caller decides
+// whether to wait for completion.
+func (c *Chip) transferDone(start float64, x0, y0, x1, y1 int, bytes int) float64 {
+	c.MsgCount++
+	path := c.route(x0, y0, x1, y1)
+	if len(path) == 0 {
+		return start
+	}
+	done := start
+	remaining := bytes
+	chunkStart := start
+	for remaining > 0 {
+		n := remaining
+		if c.Cfg.MaxTransfer > 0 && n > c.Cfg.MaxTransfer {
+			n = c.Cfg.MaxTransfer
+		}
+		remaining -= n
+		ser := float64(n)/c.Cfg.LinkBandwidth + c.Cfg.MeshHopLatency
+		t := chunkStart
+		for _, link := range path {
+			t = link.ReserveAt(t, ser)
+		}
+		done = t
+		// The next chunk can enter the first link as soon as this chunk
+		// has left it (pipelining across chunks).
+		chunkStart += ser
+	}
+	return done
+}
+
+// memAccess blocks the process for a memory access of the given size by a
+// core against a controller: mesh transit between the core's router and the
+// controller's router plus FIFO controller service. Accesses larger than
+// Cfg.MaxTransfer proceed in chunks and the core waits for each chunk before
+// issuing the next — P54C bus transactions are blocking — so concurrent
+// streams at one controller interleave fairly at chunk granularity.
+//
+// With Cfg.StripePartitions the chunks round-robin over all four
+// controllers (LUT-striped partitions) instead of hitting mc alone.
+func (c *Chip) memAccess(p *des.Proc, core CoreID, mc MemCtlID, bytes int) {
+	cx, cy := core.XY()
+	remaining := bytes
+	chunkNo := 0
+	for remaining > 0 {
+		n := remaining
+		if c.Cfg.MaxTransfer > 0 && n > c.Cfg.MaxTransfer {
+			n = c.Cfg.MaxTransfer
+		}
+		remaining -= n
+		target := mc
+		if c.Cfg.StripePartitions {
+			target = MemCtlID((int(mc) + chunkNo) % NumMemCtl)
+		}
+		chunkNo++
+		c.MemBytes[target] += int64(n)
+		mx, my := target.Router()
+		// Mesh transit for the chunk (data direction modelled only; the
+		// request message is folded into MemLatency).
+		arrive := c.transferDone(p.Now(), cx, cy, mx, my, n)
+		// Controller service.
+		svc := float64(n)/c.Cfg.MemBandwidth + c.Cfg.MemLatency
+		p.WaitUntil(c.mem[target].ReserveAt(arrive, svc))
+	}
+}
+
+// MemRead blocks the process for a read of the given size from the core's
+// own private memory partition.
+func (c *Chip) MemRead(p *des.Proc, core CoreID, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	c.memAccess(p, core, core.HomeMemCtl(), bytes)
+}
+
+// MemWrite blocks the process for a write of the given size to the core's
+// own private memory partition.
+func (c *Chip) MemWrite(p *des.Proc, core CoreID, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	c.memAccess(p, core, core.HomeMemCtl(), bytes)
+}
+
+// MemWriteRemote blocks the sending process for a write into the partition
+// of another core — the SCC's only way to hand data to a neighbour, since
+// cores have no local memory. The receiver must still MemRead the data out
+// of its partition before using it (the "double hop" the paper identifies).
+func (c *Chip) MemWriteRemote(p *des.Proc, src, dstPartition CoreID, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	c.memAccess(p, src, dstPartition.HomeMemCtl(), bytes)
+}
+
+// CoreToCore blocks the sending process for a direct mesh transfer into the
+// receiving core's *local memory bank* — only available on the hypothetical
+// LocalMemory chip (the Cell-style design the paper's conclusion argues
+// for). No memory controller is involved.
+func (c *Chip) CoreToCore(p *des.Proc, src, dst CoreID, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	sx, sy := src.XY()
+	dx, dy := dst.XY()
+	p.WaitUntil(c.transferDone(p.Now(), sx, sy, dx, dy, bytes))
+}
+
+// MemUtilization reports the busy fraction of each controller over elapsed
+// seconds.
+func (c *Chip) MemUtilization(elapsed float64) [NumMemCtl]float64 {
+	var out [NumMemCtl]float64
+	for i, r := range c.mem {
+		out[i] = r.Utilization(elapsed)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package scc
+
+// The power model. Calibrated against the paper's reported figures:
+//
+//   - whole chip idle ≈ 22 W with every island at the 1.1 V default (§II);
+//   - ≈50 W with 27 cores in use, ≈58 W with 42 (§VI-B, Fig. 14), rising
+//     linearly with the number of pipelines and independent of their
+//     arrangement — used cores spin-poll between messages, so they draw
+//     close to full dynamic power whether computing or waiting;
+//   - +4–5 W when one 8-core voltage island is raised to 1.3 V for a
+//     blur stage at 800 MHz (§VI-D, Fig. 17);
+//   - ≈1 W *below* the uniform-frequency baseline when the post-blur
+//     stages drop to 400 MHz / 0.7 V (§VI-D).
+//
+// Chip power in a sampling window is
+//
+//	P = PowerIdle                                   (includes 1.1 V leakage)
+//	  + PowerAppBase                                (if any core is used)
+//	  + Σ_islands 8·PowerLeakCoef·(V⁴ − 1.1⁴)       (voltage deviations only)
+//	  + Σ_used-cores PowerDynCoef·f·V²·activity
+//
+// where activity = busyFrac + PowerSpinFactor·(1 − busyFrac): a used core
+// is either computing or spinning on its receive flag. Frequencies and
+// island voltages are assumed constant over a run, matching the paper's
+// experiments (frequencies are set before the walkthrough starts).
+
+// PowerSample is one point of a chip power trace.
+type PowerSample struct {
+	T     float64 // window start time, seconds
+	Watts float64 // average power over the window
+}
+
+// StaticPower returns the busy-independent part of chip power for the
+// current used-core set and frequency plan (excluding spin power, which
+// PowerTrace adds per used core).
+func (c *Chip) StaticPower() float64 {
+	p := c.Cfg.PowerIdle
+	if c.UsedCount() > 0 {
+		p += c.Cfg.PowerAppBase
+	}
+	const vDefault4 = 1.1 * 1.1 * 1.1 * 1.1
+	for i := 0; i < NumIslands; i++ {
+		v := c.IslandVoltage(i)
+		p += 8 * c.Cfg.PowerLeakCoef * (v*v*v*v - vDefault4)
+	}
+	return p
+}
+
+// corePowerBusy returns the dynamic power a core draws while computing.
+func (c *Chip) corePowerBusy(core CoreID) float64 {
+	v := c.IslandVoltage(core.Island())
+	return c.Cfg.PowerDynCoef * c.freq[core].Hz * v * v
+}
+
+// busyIn returns the busy seconds of a core inside [a, b), resuming the
+// sweep from *idx (per-core interval logs are time ordered).
+func busyIn(log []Interval, a, b float64, idx *int) float64 {
+	total := 0.0
+	i := *idx
+	for i < len(log) && log[i].End <= a {
+		i++
+	}
+	*idx = i
+	for ; i < len(log) && log[i].Start < b; i++ {
+		lo, hi := log[i].Start, log[i].End
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// PowerTrace samples average chip power over [t0, t1) in windows of dt
+// seconds, from the recorded busy logs.
+func (c *Chip) PowerTrace(t0, t1, dt float64) []PowerSample {
+	if dt <= 0 || t1 <= t0 {
+		return nil
+	}
+	static := c.StaticPower()
+	spin := c.Cfg.PowerSpinFactor
+	var dynPerCore [NumCores]float64
+	var idx [NumCores]int
+	for core := CoreID(0); core < NumCores; core++ {
+		if c.used[core] {
+			dynPerCore[core] = c.corePowerBusy(core)
+		}
+	}
+	var out []PowerSample
+	for a := t0; a < t1; a += dt {
+		b := a + dt
+		if b > t1 {
+			b = t1
+		}
+		w := static
+		for core := CoreID(0); core < NumCores; core++ {
+			if !c.used[core] {
+				continue
+			}
+			frac := busyIn(c.busyLog[core], a, b, &idx[core]) / (b - a)
+			w += dynPerCore[core] * (frac + spin*(1-frac))
+		}
+		out = append(out, PowerSample{T: a, Watts: w})
+	}
+	return out
+}
+
+// Energy integrates chip power over [t0, t1) and returns joules.
+func (c *Chip) Energy(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	elapsed := t1 - t0
+	j := c.StaticPower() * elapsed
+	spin := c.Cfg.PowerSpinFactor
+	for core := CoreID(0); core < NumCores; core++ {
+		if !c.used[core] {
+			continue
+		}
+		idx := 0
+		busy := busyIn(c.busyLog[core], t0, t1, &idx)
+		j += c.corePowerBusy(core) * (busy + spin*(elapsed-busy))
+	}
+	return j
+}

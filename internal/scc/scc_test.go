@@ -1,0 +1,500 @@
+package scc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sccpipe/internal/des"
+)
+
+func TestTopologyConstants(t *testing.T) {
+	if NumCores != 48 || NumTiles != 24 || NumIslands != 6 {
+		t.Fatalf("geometry: cores=%d tiles=%d islands=%d", NumCores, NumTiles, NumIslands)
+	}
+}
+
+func TestCoreTilePairing(t *testing.T) {
+	for c := CoreID(0); c < NumCores; c++ {
+		if got := c.Tile(); got != TileID(int(c)/2) {
+			t.Fatalf("core %d tile = %d", c, got)
+		}
+	}
+	if CoreID(0).Tile() != CoreID(1).Tile() {
+		t.Fatal("cores 0 and 1 must share a tile")
+	}
+	if CoreID(1).Tile() == CoreID(2).Tile() {
+		t.Fatal("cores 1 and 2 must not share a tile")
+	}
+}
+
+func TestTileXYRoundTrip(t *testing.T) {
+	for tile := TileID(0); tile < NumTiles; tile++ {
+		x, y := tile.XY()
+		if TileAt(x, y) != tile {
+			t.Fatalf("tile %d -> (%d,%d) -> %d", tile, x, y, TileAt(x, y))
+		}
+	}
+}
+
+func TestIslandGeometry(t *testing.T) {
+	// Each island must contain exactly 8 cores.
+	var count [NumIslands]int
+	for c := CoreID(0); c < NumCores; c++ {
+		i := c.Island()
+		if i < 0 || i >= NumIslands {
+			t.Fatalf("core %d island %d out of range", c, i)
+		}
+		count[i]++
+	}
+	for i, n := range count {
+		if n != 8 {
+			t.Fatalf("island %d has %d cores, want 8", i, n)
+		}
+	}
+	// Cores of one tile share an island.
+	for c := CoreID(0); c < NumCores; c += 2 {
+		if c.Island() != (c + 1).Island() {
+			t.Fatalf("tile mates %d,%d in different islands", c, c+1)
+		}
+	}
+}
+
+func TestHomeMemCtlQuadrants(t *testing.T) {
+	var count [NumMemCtl]int
+	for c := CoreID(0); c < NumCores; c++ {
+		count[c.HomeMemCtl()]++
+	}
+	for m, n := range count {
+		if n != NumCores/NumMemCtl {
+			t.Fatalf("controller %d serves %d cores, want %d", m, n, NumCores/NumMemCtl)
+		}
+	}
+	// Spot checks: corner cores map to their corner controllers.
+	if CoreID(0).HomeMemCtl() != 0 { // tile (0,0)
+		t.Fatal("core 0 should home to MC0")
+	}
+	c := CoreID(2 * TileAt(MeshCols-1, MeshRows-1))
+	if c.HomeMemCtl() != 3 {
+		t.Fatalf("top-right core homes to %d, want 3", c.HomeMemCtl())
+	}
+}
+
+func TestQuickHopsIsManhattan(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x0, y0 := int(a)%MeshCols, int(a/8)%MeshRows
+		x1, y1 := int(b)%MeshCols, int(b/8)%MeshRows
+		want := abs(x1-x0) + abs(y1-y0)
+		return Hops(x0, y0, x1, y1) == want && Hops(x1, y1, x0, y0) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testChip(cfg Config) (*des.Engine, *Chip) {
+	eng := des.NewEngine()
+	return eng, New(eng, cfg)
+}
+
+// plainConfig has round numbers for exact timing arithmetic in tests.
+func plainConfig() Config {
+	cfg := DefaultConfig()
+	cfg.LinkBandwidth = 1e9
+	cfg.MeshHopLatency = 1e-6
+	cfg.MemBandwidth = 1e6
+	cfg.MemLatency = 0
+	cfg.MaxTransfer = 0
+	cfg.MemPorts = 1 // expose controller queueing directly
+	return cfg
+}
+
+func TestRoutePathLength(t *testing.T) {
+	_, chip := testChip(DefaultConfig())
+	for y0 := 0; y0 < MeshRows; y0++ {
+		for x0 := 0; x0 < MeshCols; x0++ {
+			for y1 := 0; y1 < MeshRows; y1++ {
+				for x1 := 0; x1 < MeshCols; x1++ {
+					got := len(chip.route(x0, y0, x1, y1))
+					if got != Hops(x0, y0, x1, y1) {
+						t.Fatalf("route (%d,%d)->(%d,%d) = %d links, want %d",
+							x0, y0, x1, y1, got, Hops(x0, y0, x1, y1))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMemReadLocalController(t *testing.T) {
+	eng, chip := testChip(plainConfig())
+	// Core 0's router hosts MC0: zero mesh hops, pure controller service.
+	var done float64
+	eng.Spawn("r", func(p *des.Proc) {
+		chip.MemRead(p, 0, 1_000_000)
+		done = p.Now()
+	})
+	eng.Run()
+	if !near(done, 1.0, 1e-9) {
+		t.Fatalf("read completed at %g, want 1.0", done)
+	}
+}
+
+func TestMemReadAcrossMesh(t *testing.T) {
+	eng, chip := testChip(plainConfig())
+	core := CoreID(2 * TileAt(2, 1)) // 3 hops to MC0
+	if core.HomeMemCtl() != 0 {
+		t.Fatalf("test core homes to MC%d", core.HomeMemCtl())
+	}
+	var done float64
+	eng.Spawn("r", func(p *des.Proc) {
+		chip.MemRead(p, core, 1000)
+		done = p.Now()
+	})
+	eng.Run()
+	// Per link: 1000/1e9 + 1e-6 = 2e-6, three links store-and-forward,
+	// then 1000/1e6 = 1e-3 controller service.
+	want := 3*2e-6 + 1e-3
+	if !near(done, want, 1e-12) {
+		t.Fatalf("done = %g, want %g", done, want)
+	}
+}
+
+func TestMemControllerContention(t *testing.T) {
+	eng, chip := testChip(plainConfig())
+	// Two cores sharing MC0 issue 1 MB reads simultaneously: FIFO service
+	// means the second finishes ~2 s in.
+	var done []float64
+	for _, core := range []CoreID{0, 2} {
+		core := core
+		eng.Spawn("r", func(p *des.Proc) {
+			chip.MemRead(p, core, 1_000_000)
+			done = append(done, p.Now())
+		})
+	}
+	eng.Run()
+	if len(done) != 2 {
+		t.Fatal("missing completions")
+	}
+	if done[1] < 1.9 {
+		t.Fatalf("second reader finished at %g; controller contention missing", done[1])
+	}
+}
+
+func TestChunkingInterleavesContention(t *testing.T) {
+	cfg := plainConfig()
+	cfg.MaxTransfer = 1000
+	eng, chip := testChip(cfg)
+	// With chunking, two equal readers finish at nearly the same time
+	// (fair interleave) rather than strictly serialized.
+	var done []float64
+	for _, core := range []CoreID{0, 2} {
+		core := core
+		eng.Spawn("r", func(p *des.Proc) {
+			chip.MemRead(p, core, 100_000)
+			done = append(done, p.Now())
+		})
+	}
+	eng.Run()
+	gap := math.Abs(done[0] - done[1])
+	if gap > 0.005 {
+		t.Fatalf("chunked readers finished %g apart; expected interleaving", gap)
+	}
+}
+
+func TestMemWriteRemoteTargetsReceiverPartition(t *testing.T) {
+	eng, chip := testChip(plainConfig())
+	src := CoreID(0)                                  // homes to MC0
+	dst := CoreID(2 * TileAt(MeshCols-1, MeshRows-1)) // homes to MC3
+	eng.Spawn("w", func(p *des.Proc) {
+		chip.MemWriteRemote(p, src, dst, 1000)
+	})
+	eng.Run()
+	if chip.MemBytes[3] != 1000 {
+		t.Fatalf("MC3 serviced %d bytes, want 1000", chip.MemBytes[3])
+	}
+	if chip.MemBytes[0] != 0 {
+		t.Fatalf("MC0 serviced %d bytes, want 0", chip.MemBytes[0])
+	}
+}
+
+func TestComputeScalesWithFrequency(t *testing.T) {
+	eng, chip := testChip(DefaultConfig())
+	var t533, t800 float64
+	eng.Spawn("a", func(p *des.Proc) {
+		chip.Compute(p, 0, 533e6) // one reference second of cycles
+		t533 = p.Now()
+	})
+	chip.SetFreq(4, Freq800)
+	eng.Spawn("b", func(p *des.Proc) {
+		chip.Compute(p, 4, 533e6)
+		t800 = p.Now()
+	})
+	eng.Run()
+	if !near(t533, 1.0, 1e-9) {
+		t.Fatalf("533 MHz compute took %g, want 1.0", t533)
+	}
+	if !near(t800, 533.0/800.0, 1e-9) {
+		t.Fatalf("800 MHz compute took %g, want %g", t800, 533.0/800.0)
+	}
+}
+
+func TestComputeSecondsReference(t *testing.T) {
+	eng, chip := testChip(DefaultConfig())
+	chip.SetFreq(0, Freq400)
+	eng.Spawn("a", func(p *des.Proc) {
+		chip.ComputeSeconds(p, 0, 1.0)
+	})
+	eng.Run()
+	want := 533.0 / 400.0
+	if !near(eng.Now(), want, 1e-9) {
+		t.Fatalf("reference second at 400 MHz took %g, want %g", eng.Now(), want)
+	}
+}
+
+func TestSetFreqAffectsTilePair(t *testing.T) {
+	_, chip := testChip(DefaultConfig())
+	chip.SetFreq(10, Freq800)
+	if chip.Freq(10) != Freq800 || chip.Freq(11) != Freq800 {
+		t.Fatal("tile mate frequency not updated")
+	}
+	if chip.Freq(12) != Freq533 {
+		t.Fatal("neighbouring tile frequency changed")
+	}
+}
+
+func TestIslandVoltageFollowsUsedCores(t *testing.T) {
+	_, chip := testChip(DefaultConfig())
+	// Islands without used cores stay at the chip's 1.1 V default.
+	if v := chip.IslandVoltage(0); v != 1.1 {
+		t.Fatalf("unused island voltage %g, want 1.1 (default)", v)
+	}
+	chip.MarkUsed(0)
+	if v := chip.IslandVoltage(0); v != 1.1 {
+		t.Fatalf("used island at 533 MHz: voltage %g, want 1.1", v)
+	}
+	chip.SetFreq(0, Freq800)
+	if v := chip.IslandVoltage(0); v != 1.3 {
+		t.Fatalf("used island at 800 MHz: voltage %g, want 1.3", v)
+	}
+	// Dropping the used core to 400 releases the island to the floor.
+	chip.SetFreq(0, Freq400)
+	if v := chip.IslandVoltage(0); v != 0.7 {
+		t.Fatalf("used island at 400 MHz: voltage %g, want 0.7", v)
+	}
+}
+
+func TestBusyLogAccounting(t *testing.T) {
+	eng, chip := testChip(DefaultConfig())
+	eng.Spawn("a", func(p *des.Proc) {
+		chip.ComputeSeconds(p, 0, 0.5)
+		p.Wait(1)
+		chip.ComputeSeconds(p, 0, 0.25)
+	})
+	eng.Run()
+	if got := chip.BusySeconds(0); !near(got, 0.75, 1e-9) {
+		t.Fatalf("busy seconds = %g, want 0.75", got)
+	}
+	if n := len(chip.BusyLog(0)); n != 2 {
+		t.Fatalf("busy intervals = %d, want 2", n)
+	}
+}
+
+func TestPowerIdleCalibration(t *testing.T) {
+	_, chip := testChip(DefaultConfig())
+	if got := chip.StaticPower(); !near(got, 22.0, 1e-9) {
+		t.Fatalf("idle chip power = %g, want 22", got)
+	}
+}
+
+func TestPowerActiveCoresCalibration(t *testing.T) {
+	// The paper reports ≈50 W with 27 active cores and ≈58 W with 42
+	// (§VI-B). The calibrated model must land near those.
+	for _, tc := range []struct {
+		cores  int
+		lo, hi float64
+	}{
+		{7, 33, 42},
+		{27, 46, 56},
+		{42, 54, 67},
+	} {
+		eng, chip := testChip(DefaultConfig())
+		for i := 0; i < tc.cores; i++ {
+			core := CoreID(i)
+			chip.MarkUsed(core)
+			eng.Spawn("busy", func(p *des.Proc) {
+				chip.ComputeSeconds(p, core, 10)
+			})
+		}
+		eng.Run()
+		tr := chip.PowerTrace(0, 10, 1)
+		if len(tr) != 10 {
+			t.Fatalf("trace length %d", len(tr))
+		}
+		w := tr[5].Watts
+		if w < tc.lo || w > tc.hi {
+			t.Errorf("%d busy cores: %g W, want in [%g, %g]", tc.cores, w, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestPowerFastBlurIslandDelta(t *testing.T) {
+	// Raising one used island to 1.3 V must add roughly 4–5 W (§VI-D).
+	run := func(fast bool) float64 {
+		eng, chip := testChip(DefaultConfig())
+		for i := 0; i < 7; i++ {
+			core := CoreID(i)
+			chip.MarkUsed(core)
+			eng.Spawn("busy", func(p *des.Proc) { chip.ComputeSeconds(p, core, 10) })
+		}
+		// A blur core in its own island.
+		blur := CoreID(2 * TileAt(4, 0)) // island 2
+		chip.MarkUsed(blur)
+		if fast {
+			chip.SetFreq(blur, Freq800)
+		}
+		eng.Spawn("blur", func(p *des.Proc) { chip.ComputeSeconds(p, blur, 10) })
+		eng.Run()
+		return chip.PowerTrace(0, 10, 10)[0].Watts
+	}
+	delta := run(true) - run(false)
+	if delta < 2.5 || delta > 6.5 {
+		t.Fatalf("fast-blur island power delta = %g W, want ≈4–5", delta)
+	}
+}
+
+func TestEnergyMatchesTraceIntegral(t *testing.T) {
+	eng, chip := testChip(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		core := CoreID(i)
+		chip.MarkUsed(core)
+		eng.Spawn("busy", func(p *des.Proc) {
+			p.Wait(float64(i))
+			chip.ComputeSeconds(p, core, 3)
+		})
+	}
+	eng.Run()
+	tr := chip.PowerTrace(0, 10, 0.5)
+	sum := 0.0
+	for _, s := range tr {
+		sum += s.Watts * 0.5
+	}
+	if e := chip.Energy(0, 10); !near(e, sum, 1e-6*sum) {
+		t.Fatalf("Energy = %g, trace integral = %g", e, sum)
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(1024, 2, 32)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) || !c.Access(31) {
+		t.Fatal("warm access within line missed")
+	}
+	if c.Access(32) {
+		t.Fatal("adjacent line hit while cold")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4*32, 4, 32) // one set, 4 ways
+	if c.Sets() != 1 {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+	for i := 0; i < 4; i++ {
+		c.Access(uint64(i * 32))
+	}
+	c.Access(0)      // make line 0 MRU
+	c.Access(4 * 32) // evicts LRU = line 1
+	if !c.Access(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Access(1 * 32) {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestCacheAccessRange(t *testing.T) {
+	c := NewCache(L2Size, CacheWays, CacheLine)
+	if m := c.AccessRange(0, 1024); m != 1024/CacheLine {
+		t.Fatalf("cold range misses = %d, want %d", m, 1024/CacheLine)
+	}
+	if m := c.AccessRange(0, 1024); m != 0 {
+		t.Fatalf("warm range misses = %d, want 0", m)
+	}
+	c.Flush()
+	if m := c.AccessRange(0, CacheLine); m != 1 {
+		t.Fatalf("post-flush misses = %d, want 1", m)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy()
+	if lvl := h.Access(0); lvl != 0 {
+		t.Fatalf("cold access level %d, want 0 (memory)", lvl)
+	}
+	if lvl := h.Access(0); lvl != 1 {
+		t.Fatalf("warm access level %d, want 1 (L1)", lvl)
+	}
+	// Stream enough to evict from L1 but not L2, then re-touch address 0.
+	for a := uint64(CacheLine); a < 8*L1Size; a += CacheLine {
+		h.Access(a)
+	}
+	if lvl := h.Access(0); lvl != 2 {
+		t.Fatalf("L2 re-access level %d, want 2", lvl)
+	}
+}
+
+// Property: hit count never exceeds total accesses minus distinct lines.
+func TestQuickCacheHitBound(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewCache(512, 2, 32)
+		distinct := map[uint64]bool{}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			distinct[uint64(a)/32] = true
+		}
+		total := c.Hits + c.Misses
+		return total == int64(len(addrs)) &&
+			c.Misses >= int64(len(distinct)) &&
+			c.Hits <= int64(len(addrs)-len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fully-associative-sized working set swept repeatedly has a
+// perfect hit rate after the first pass.
+func TestQuickCacheResidentWorkingSet(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := NewCache(2048, 4, 32)
+		lines := int(seed%32) + 1 // ≤ 32 lines; 2048/32 = 64 lines capacity
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < lines; i++ {
+				c.Access(uint64(i * 32))
+			}
+		}
+		return c.Misses == int64(lines)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMissBytes(t *testing.T) {
+	if got := StreamMissBytes(L2Size/2, 3); got != L2Size/2 {
+		t.Fatalf("resident set: %d", got)
+	}
+	if got := StreamMissBytes(2*L2Size, 3); got != 6*L2Size {
+		t.Fatalf("streaming set: %d", got)
+	}
+	if got := StreamMissBytes(0, 3); got != 0 {
+		t.Fatalf("empty set: %d", got)
+	}
+}
+
+func near(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol
+}

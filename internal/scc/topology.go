@@ -1,0 +1,133 @@
+// Package scc models Intel's Single-Chip-Cloud (SCC) research processor as a
+// discrete-event simulation substrate: 48 P54C cores arranged pairwise on 24
+// tiles in a 6×4 mesh, four DDR3 memory controllers on the mesh edges, no
+// per-core local memory (all traffic crosses the mesh into one of the four
+// controllers), per-tile frequency and per-island voltage control, and a
+// calibrated chip power model.
+//
+// The model is intentionally at message/stage granularity rather than
+// cycle-accurate: it reproduces where the paper's time and watts go (stage
+// compute, mesh transit, memory-controller queueing, volts×frequency), which
+// is the level at which the paper reasons.
+package scc
+
+import "fmt"
+
+// Chip geometry constants for the SCC.
+const (
+	MeshCols  = 6 // tiles per row
+	MeshRows  = 4 // tile rows
+	NumTiles  = MeshCols * MeshRows
+	NumCores  = 2 * NumTiles // 48
+	NumMemCtl = 4
+
+	// IslandCols×IslandRows tiles form one voltage island (8 cores).
+	IslandTileCols = 2
+	IslandTileRows = 2
+	NumIslands     = (MeshCols / IslandTileCols) * (MeshRows / IslandTileRows) // 6
+
+	// CacheLine is the P54C cache line size in bytes.
+	CacheLine = 32
+	// L1Size and L2Size are per-core cache capacities in bytes.
+	L1Size = 16 * 1024
+	L2Size = 256 * 1024
+	// CacheWays is the associativity of both caches.
+	CacheWays = 4
+)
+
+// CoreID identifies one of the 48 cores (0..47).
+type CoreID int
+
+// TileID identifies one of the 24 tiles (0..23).
+type TileID int
+
+// Valid reports whether the core ID is in range.
+func (c CoreID) Valid() bool { return c >= 0 && c < NumCores }
+
+// Tile returns the tile hosting the core. Cores are paired per tile in ID
+// order: cores 2t and 2t+1 live on tile t.
+func (c CoreID) Tile() TileID { return TileID(c / 2) }
+
+// TileXY returns the mesh coordinates of a tile; x grows along the row
+// (0..5), y selects the row (0..3). Tiles are numbered row-major.
+func (t TileID) XY() (x, y int) { return int(t) % MeshCols, int(t) / MeshCols }
+
+// TileAt returns the tile at mesh coordinates (x, y).
+func TileAt(x, y int) TileID {
+	if x < 0 || x >= MeshCols || y < 0 || y >= MeshRows {
+		panic(fmt.Sprintf("scc: tile (%d,%d) out of range", x, y))
+	}
+	return TileID(y*MeshCols + x)
+}
+
+// XY returns the mesh coordinates of the router serving this core's tile.
+func (c CoreID) XY() (x, y int) { return c.Tile().XY() }
+
+// Island returns the voltage island (0..5) containing the core. Islands are
+// 2×2-tile blocks, numbered row-major over the 3×2 island grid.
+func (c CoreID) Island() int {
+	x, y := c.XY()
+	return (y/IslandTileRows)*(MeshCols/IslandTileCols) + x/IslandTileCols
+}
+
+// MemCtlID identifies one of the four memory controllers.
+type MemCtlID int
+
+// memCtlRouter gives the mesh coordinates of each controller's attachment
+// router. On the SCC the controllers sit on the left and right mesh edges of
+// rows 0 and 2.
+var memCtlRouter = [NumMemCtl][2]int{
+	{0, 0},                           // MC0: lower-left
+	{MeshCols - 1, 0},                // MC1: lower-right
+	{0, MeshRows - 1 - 1},            // MC2: upper-left (row 2)
+	{MeshCols - 1, MeshRows - 1 - 1}, // MC3: upper-right (row 2)
+}
+
+// Router returns the mesh coordinates of the controller's attachment point.
+func (m MemCtlID) Router() (x, y int) { return memCtlRouter[m][0], memCtlRouter[m][1] }
+
+// HomeMemCtl returns the memory controller holding this core's private
+// memory partition. The SCC maps each core to the controller of its
+// quadrant: left/right half of the mesh × lower/upper half.
+func (c CoreID) HomeMemCtl() MemCtlID {
+	x, y := c.XY()
+	m := MemCtlID(0)
+	if x >= MeshCols/2 {
+		m++
+	}
+	if y >= MeshRows/2 {
+		m += 2
+	}
+	return m
+}
+
+// Hops returns the XY-routed hop count between two routers: the Manhattan
+// distance. A self-route is 0 hops.
+func Hops(x0, y0, x1, y1 int) int {
+	return abs(x1-x0) + abs(y1-y0)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FreqLevel is an allowed core frequency with its minimum supply voltage.
+type FreqLevel struct {
+	Hz    float64
+	MinV  float64
+	Label string
+}
+
+// The frequency levels the paper uses. The SCC supports more steps; these
+// three are the ones exercised in the evaluation.
+var (
+	Freq400 = FreqLevel{Hz: 400e6, MinV: 0.7, Label: "400MHz"}
+	Freq533 = FreqLevel{Hz: 533e6, MinV: 1.1, Label: "533MHz"}
+	Freq800 = FreqLevel{Hz: 800e6, MinV: 1.3, Label: "800MHz"}
+)
+
+// FreqLevels lists the supported levels in ascending order.
+var FreqLevels = []FreqLevel{Freq400, Freq533, Freq800}

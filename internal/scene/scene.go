@@ -1,0 +1,120 @@
+// Package scene generates the procedural city standing in for the paper's
+// CC-licensed NYC model (which cannot be redistributed): a grid of
+// extruded buildings with varied heights and facade colors over a ground
+// plane, plus occasional "landmark" towers. Triangle counts and depth
+// complexity are tunable so the render stage exercises the same code paths
+// (octree traversal, frustum culling, per-pixel fill) at comparable cost.
+package scene
+
+import (
+	"math/rand"
+
+	"sccpipe/internal/render"
+)
+
+// Config controls the generated city.
+type Config struct {
+	Seed      int64
+	BlocksX   int     // city blocks along X
+	BlocksZ   int     // city blocks along Z
+	BlockSize float64 // street-to-street pitch
+	MaxHeight float64
+	Landmarks int // extra tall towers
+}
+
+// DefaultConfig yields a city of roughly 23k triangles — the same order of
+// magnitude as the paper's model, enough to make culling worthwhile.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      1,
+		BlocksX:   24,
+		BlocksZ:   24,
+		BlockSize: 10,
+		MaxHeight: 40,
+		Landmarks: 12,
+	}
+}
+
+// City generates the triangle soup of a procedural city.
+func City(cfg Config) []render.Triangle {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var tris []render.Triangle
+
+	w := float64(cfg.BlocksX) * cfg.BlockSize
+	d := float64(cfg.BlocksZ) * cfg.BlockSize
+
+	// Ground plane (two triangles), dark asphalt.
+	g0 := render.Vec3{X: 0, Y: 0, Z: 0}
+	g1 := render.Vec3{X: w, Y: 0, Z: 0}
+	g2 := render.Vec3{X: w, Y: 0, Z: d}
+	g3 := render.Vec3{X: 0, Y: 0, Z: d}
+	tris = append(tris,
+		render.Triangle{V: [3]render.Vec3{g0, g1, g2}, R: 42, G: 42, B: 46},
+		render.Triangle{V: [3]render.Vec3{g0, g2, g3}, R: 42, G: 42, B: 46},
+	)
+
+	for bx := 0; bx < cfg.BlocksX; bx++ {
+		for bz := 0; bz < cfg.BlocksZ; bz++ {
+			// Leave some blocks as plazas.
+			if rng.Float64() < 0.12 {
+				continue
+			}
+			x0 := float64(bx)*cfg.BlockSize + 0.15*cfg.BlockSize
+			z0 := float64(bz)*cfg.BlockSize + 0.15*cfg.BlockSize
+			fx := cfg.BlockSize * (0.4 + 0.3*rng.Float64())
+			fz := cfg.BlockSize * (0.4 + 0.3*rng.Float64())
+			h := cfg.MaxHeight * (0.15 + 0.6*rng.Float64()*rng.Float64())
+			base := uint8(90 + rng.Intn(120))
+			tint := uint8(rng.Intn(40))
+			tris = append(tris, box(x0, 0, z0, fx, h, fz, base, tint)...)
+		}
+	}
+
+	// Landmark towers.
+	for i := 0; i < cfg.Landmarks; i++ {
+		x0 := rng.Float64() * (w - 2*cfg.BlockSize)
+		z0 := rng.Float64() * (d - 2*cfg.BlockSize)
+		s := cfg.BlockSize * (0.5 + 0.5*rng.Float64())
+		h := cfg.MaxHeight * (1.2 + 0.8*rng.Float64())
+		tris = append(tris, box(x0, 0, z0, s, h, s, uint8(150+rng.Intn(80)), 20)...)
+	}
+	return tris
+}
+
+// box emits the 12 triangles of an axis-aligned building with per-face
+// shading so edges are visible in rendered output.
+func box(x, y, z, sx, sy, sz float64, base, tint uint8) []render.Triangle {
+	p := func(dx, dy, dz float64) render.Vec3 {
+		return render.Vec3{X: x + dx*sx, Y: y + dy*sy, Z: z + dz*sz}
+	}
+	v000, v100 := p(0, 0, 0), p(1, 0, 0)
+	v010, v110 := p(0, 1, 0), p(1, 1, 0)
+	v001, v101 := p(0, 0, 1), p(1, 0, 1)
+	v011, v111 := p(0, 1, 1), p(1, 1, 1)
+
+	shade := func(f float64) (uint8, uint8, uint8) {
+		c := func(b uint8) uint8 {
+			v := float64(b) * f
+			if v > 255 {
+				v = 255
+			}
+			return uint8(v)
+		}
+		return c(base), c(base - tint/2), c(base - tint)
+	}
+	quad := func(a, b, c, d render.Vec3, f float64) []render.Triangle {
+		r, g, bb := shade(f)
+		return []render.Triangle{
+			{V: [3]render.Vec3{a, b, c}, R: r, G: g, B: bb},
+			{V: [3]render.Vec3{a, c, d}, R: r, G: g, B: bb},
+		}
+	}
+	var out []render.Triangle
+	out = append(out, quad(v010, v110, v111, v011, 1.05)...) // roof
+	out = append(out, quad(v000, v100, v110, v010, 0.95)...) // -Z face
+	out = append(out, quad(v101, v001, v011, v111, 0.85)...) // +Z face
+	out = append(out, quad(v001, v000, v010, v011, 0.75)...) // -X face
+	out = append(out, quad(v100, v101, v111, v110, 0.90)...) // +X face
+	out = append(out, quad(v000, v001, v101, v100, 0.6)...)  // floor
+	return out
+}

@@ -1,0 +1,107 @@
+package scene
+
+import (
+	"testing"
+
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+func TestCityDeterministic(t *testing.T) {
+	a := City(DefaultConfig())
+	b := City(DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triangle %d differs between runs", i)
+		}
+	}
+}
+
+func TestCityScale(t *testing.T) {
+	tris := City(DefaultConfig())
+	if len(tris) < 5000 {
+		t.Fatalf("city too small: %d triangles", len(tris))
+	}
+	if len(tris) > 200000 {
+		t.Fatalf("city too large: %d triangles", len(tris))
+	}
+}
+
+func TestCitySeedVariesOutput(t *testing.T) {
+	cfg := DefaultConfig()
+	a := City(cfg)
+	cfg.Seed = 2
+	b := City(cfg)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical cities")
+		}
+	}
+}
+
+func TestCityGeometrySane(t *testing.T) {
+	cfg := DefaultConfig()
+	tris := City(cfg)
+	w := float64(cfg.BlocksX) * cfg.BlockSize
+	d := float64(cfg.BlocksZ) * cfg.BlockSize
+	for i, tr := range tris {
+		for _, v := range tr.V {
+			if v.Y < -1e-9 {
+				t.Fatalf("triangle %d below ground: %v", i, v)
+			}
+			if v.X < -cfg.BlockSize || v.X > w+cfg.BlockSize ||
+				v.Z < -cfg.BlockSize || v.Z > d+cfg.BlockSize {
+				t.Fatalf("triangle %d outside city: %v", i, v)
+			}
+		}
+	}
+}
+
+func TestCityRendersNonTrivially(t *testing.T) {
+	tris := City(DefaultConfig())
+	tree := render.BuildOctree(tris)
+	cams := render.Walkthrough(8, tree.Bounds())
+	img := frame.New(96, 72)
+	r := render.NewRenderer(tree)
+	for i, cam := range cams {
+		st := r.RenderFrame(cam, img)
+		if st.TrisDrawn == 0 {
+			t.Fatalf("frame %d: culling removed everything", i)
+		}
+		if st.Filled < int64(img.Pixels())/20 {
+			t.Fatalf("frame %d: only %d pixels filled", i, st.Filled)
+		}
+		// Culling must actually cut work on typical frames.
+		if st.TrisDrawn == len(tris) && i > 0 {
+			t.Logf("frame %d: no triangles culled (camera sees whole city)", i)
+		}
+	}
+}
+
+func TestCityCullingEffective(t *testing.T) {
+	tris := City(DefaultConfig())
+	tree := render.BuildOctree(tris)
+	cams := render.Walkthrough(16, tree.Bounds())
+	r := render.NewRenderer(tree)
+	culledSomewhere := false
+	for _, cam := range cams {
+		st := r.CullOnly(cam, 64, 64, 0, 64)
+		if st.TrisAccepted < len(tris) {
+			culledSomewhere = true
+			break
+		}
+	}
+	if !culledSomewhere {
+		t.Fatal("frustum culling never removed a triangle over the walkthrough")
+	}
+}

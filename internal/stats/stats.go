@@ -1,0 +1,79 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: medians, quartiles and summaries matching the box plots in
+// the paper's Fig. 15.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample in the form the paper's box plots use.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean           float64
+	Q1, Median, Q3 float64
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the data using linear
+// interpolation between order statistics (type-7, the common default).
+// It sorts a copy; the input is not modified. NaN is returned for empty data.
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(data []float64) float64 { return Quantile(data, 0.5) }
+
+// Mean returns the arithmetic mean, or NaN for empty data.
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range data {
+		sum += v
+	}
+	return sum / float64(len(data))
+}
+
+// Summarize computes the full summary in one sort.
+func Summarize(data []float64) Summary {
+	if len(data) == 0 {
+		nan := math.NaN()
+		return Summary{Min: nan, Max: nan, Mean: nan, Q1: nan, Median: nan, Q3: nan}
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+	}
+}

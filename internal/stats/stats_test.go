@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianOdd(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("median = %g", m)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %g", m)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	d := []float64{10, 20, 30}
+	if Quantile(d, 0) != 10 || Quantile(d, 1) != 30 {
+		t.Fatal("endpoint quantiles wrong")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	d := []float64{0, 10}
+	if q := Quantile(d, 0.25); q != 2.5 {
+		t.Fatalf("q25 = %g, want 2.5", q)
+	}
+}
+
+func TestEmptyDataNaN(t *testing.T) {
+	if !math.IsNaN(Median(nil)) || !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty data should give NaN")
+	}
+	s := Summarize(nil)
+	if !math.IsNaN(s.Median) || s.N != 0 {
+		t.Fatal("empty summary should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %g, %g", s.Q1, s.Q3)
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	d := []float64{3, 1, 2}
+	Quantile(d, 0.5)
+	if d[0] != 3 || d[1] != 1 || d[2] != 2 {
+		t.Fatal("input reordered")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := make([]float64, len(raw))
+		for i, v := range raw {
+			d[i] = float64(v)
+		}
+		sorted := append([]float64(nil), d...)
+		sort.Float64s(sorted)
+		prev := sorted[0]
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := Quantile(d, q)
+			if v < prev-1e-12 || v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: summary ordering min ≤ Q1 ≤ median ≤ Q3 ≤ max and the mean lies
+// within [min, max].
+func TestQuickSummaryOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(40) + 1
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(d)
+		if !(s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max) {
+			t.Fatalf("ordering violated: %+v", s)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("mean out of range: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package trace records what happens inside a simulated walkthrough as a
+// structured timeline: one span per stage activity (waiting, computing,
+// communicating) per frame. Traces support throughput/latency analysis of
+// pipeline behaviour beyond the paper's aggregate numbers, render as text
+// Gantt charts for quick inspection, and export as CSV for plotting.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Phase classifies what a stage was doing during a span.
+type Phase int
+
+// Span phases.
+const (
+	PhaseWait Phase = iota // blocked on input
+	PhaseCompute
+	PhaseComm // memory/mesh/link transfer
+)
+
+var phaseNames = [...]string{"wait", "compute", "comm"}
+
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Span is one contiguous activity of a stage.
+type Span struct {
+	Stage string // stage instance label, e.g. "blur2"
+	Frame int
+	Phase Phase
+	Start float64
+	End   float64
+}
+
+// Trace is an append-only span log plus frame-completion marks.
+type Trace struct {
+	Spans []Span
+	// FrameDone[f] is the simulation time frame f left the transfer stage.
+	FrameDone []float64
+}
+
+// New returns an empty trace sized for the given frame count.
+func New(frames int) *Trace {
+	return &Trace{FrameDone: make([]float64, frames)}
+}
+
+// Add appends a span; zero-length spans are skipped.
+func (t *Trace) Add(stage string, frame int, phase Phase, start, end float64) {
+	if t == nil || end <= start {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Stage: stage, Frame: frame, Phase: phase, Start: start, End: end})
+}
+
+// MarkFrameDone records a frame's completion time.
+func (t *Trace) MarkFrameDone(frame int, at float64) {
+	if t == nil || frame < 0 || frame >= len(t.FrameDone) {
+		return
+	}
+	t.FrameDone[frame] = at
+}
+
+// Stages returns the distinct stage labels in first-appearance order.
+func (t *Trace) Stages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range t.Spans {
+		if !seen[s.Stage] {
+			seen[s.Stage] = true
+			out = append(out, s.Stage)
+		}
+	}
+	return out
+}
+
+// BusyByStage sums compute+comm seconds per stage.
+func (t *Trace) BusyByStage() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range t.Spans {
+		if s.Phase != PhaseWait {
+			out[s.Stage] += s.End - s.Start
+		}
+	}
+	return out
+}
+
+// Throughput reports the steady-state frame period: the median gap between
+// consecutive frame completions (skipping the fill phase).
+func (t *Trace) Throughput() float64 {
+	n := len(t.FrameDone)
+	if n < 3 {
+		return 0
+	}
+	gaps := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		gaps = append(gaps, t.FrameDone[i]-t.FrameDone[i-1])
+	}
+	sort.Float64s(gaps)
+	return gaps[len(gaps)/2]
+}
+
+// WriteCSV emits the spans as CSV (stage, frame, phase, start, end).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"stage", "frame", "phase", "start", "end"}); err != nil {
+		return err
+	}
+	for _, s := range t.Spans {
+		rec := []string{
+			s.Stage,
+			strconv.Itoa(s.Frame),
+			s.Phase.String(),
+			strconv.FormatFloat(s.Start, 'g', -1, 64),
+			strconv.FormatFloat(s.End, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Gantt renders an ASCII timeline of [t0, t1) with the given width: one
+// row per stage, '#' for compute, '-' for communication, '.' for waiting,
+// and ' ' for absence.
+func (t *Trace) Gantt(t0, t1 float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	stages := t.Stages()
+	rows := make(map[string][]byte, len(stages))
+	for _, st := range stages {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[st] = row
+	}
+	scale := float64(width) / (t1 - t0)
+	glyph := [...]byte{PhaseWait: '.', PhaseCompute: '#', PhaseComm: '-'}
+	prio := [...]int{PhaseWait: 0, PhaseComm: 1, PhaseCompute: 2}
+	painted := make(map[string][]int)
+	for _, st := range stages {
+		painted[st] = make([]int, width)
+		for i := range painted[st] {
+			painted[st][i] = -1
+		}
+	}
+	for _, s := range t.Spans {
+		if s.End <= t0 || s.Start >= t1 {
+			continue
+		}
+		row := rows[s.Stage]
+		pr := painted[s.Stage]
+		lo := int((clamp(s.Start, t0, t1) - t0) * scale)
+		hi := int((clamp(s.End, t0, t1) - t0) * scale)
+		if hi == lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			if prio[s.Phase] > pr[i] {
+				pr[i] = prio[s.Phase]
+				row[i] = glyph[s.Phase]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %.3fs .. %.3fs  (#=compute, -=comm, .=wait)\n", t0, t1)
+	maxLabel := 0
+	for _, st := range stages {
+		if len(st) > maxLabel {
+			maxLabel = len(st)
+		}
+	}
+	for _, st := range stages {
+		fmt.Fprintf(&b, "%-*s |%s|\n", maxLabel, st, rows[st])
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FrameLatencies returns, per frame, the end-to-end latency from the first
+// recorded activity of the frame (usually its render compute) to its
+// completion at the transfer stage. Frames with no spans report 0.
+func (t *Trace) FrameLatencies() []float64 {
+	starts := make([]float64, len(t.FrameDone))
+	seen := make([]bool, len(t.FrameDone))
+	for _, s := range t.Spans {
+		if s.Frame < 0 || s.Frame >= len(starts) {
+			continue
+		}
+		if !seen[s.Frame] || s.Start < starts[s.Frame] {
+			seen[s.Frame] = true
+			starts[s.Frame] = s.Start
+		}
+	}
+	out := make([]float64, len(t.FrameDone))
+	for f := range out {
+		if seen[f] && t.FrameDone[f] > starts[f] {
+			out[f] = t.FrameDone[f] - starts[f]
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := New(3)
+	t.Add("render", 0, PhaseCompute, 0, 1)
+	t.Add("render", 0, PhaseComm, 1, 1.2)
+	t.Add("blur", 0, PhaseWait, 0, 1.2)
+	t.Add("blur", 0, PhaseCompute, 1.2, 2.4)
+	t.Add("render", 1, PhaseCompute, 1.2, 2.2)
+	t.MarkFrameDone(0, 2.5)
+	t.MarkFrameDone(1, 3.5)
+	t.MarkFrameDone(2, 4.5)
+	return t
+}
+
+func TestAddSkipsEmptySpans(t *testing.T) {
+	tr := New(1)
+	tr.Add("x", 0, PhaseCompute, 5, 5)
+	tr.Add("x", 0, PhaseCompute, 5, 4)
+	if len(tr.Spans) != 0 {
+		t.Fatalf("empty spans recorded: %d", len(tr.Spans))
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", 0, PhaseCompute, 0, 1) // must not panic
+	tr.MarkFrameDone(0, 1)
+}
+
+func TestStagesOrder(t *testing.T) {
+	tr := sample()
+	got := tr.Stages()
+	if len(got) != 2 || got[0] != "render" || got[1] != "blur" {
+		t.Fatalf("stages = %v", got)
+	}
+}
+
+func TestBusyByStage(t *testing.T) {
+	tr := sample()
+	busy := tr.BusyByStage()
+	if b := busy["render"]; b < 2.19 || b > 2.21 {
+		t.Fatalf("render busy = %g, want 2.2", b)
+	}
+	if b := busy["blur"]; b < 1.19 || b > 1.21 {
+		t.Fatalf("blur busy = %g (wait must not count)", b)
+	}
+}
+
+func TestThroughputMedianGap(t *testing.T) {
+	tr := sample()
+	if g := tr.Throughput(); g != 1.0 {
+		t.Fatalf("throughput period = %g, want 1.0", g)
+	}
+	if New(2).Throughput() != 0 {
+		t.Fatal("tiny traces should report 0")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "stage,frame,phase,start,end" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+5 {
+		t.Fatalf("rows = %d, want 6", len(lines))
+	}
+	if !strings.Contains(buf.String(), "blur,0,wait,0,1.2") {
+		t.Fatalf("missing row in:\n%s", buf.String())
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g := sample().Gantt(0, 2.4, 24)
+	if !strings.Contains(g, "render") || !strings.Contains(g, "blur") {
+		t.Fatalf("missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") || !strings.Contains(g, ".") {
+		t.Fatalf("missing glyphs:\n%s", g)
+	}
+	// Compute must win over wait where both map to a cell.
+	lines := strings.Split(g, "\n")
+	var blurRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "blur") {
+			blurRow = l
+		}
+	}
+	if strings.Count(blurRow, "#") == 0 {
+		t.Fatalf("blur compute invisible: %q", blurRow)
+	}
+	// Out-of-window spans are clipped, not wrapped. (Skip the header line:
+	// its legend contains the glyphs.)
+	narrow := sample().Gantt(10, 11, 16)
+	body := narrow[strings.IndexByte(narrow, '\n')+1:]
+	if strings.Count(body, "#") != 0 {
+		t.Fatalf("out-of-window spans drawn:\n%s", narrow)
+	}
+}
+
+func TestFrameLatencies(t *testing.T) {
+	tr := sample()
+	lat := tr.FrameLatencies()
+	if len(lat) != 3 {
+		t.Fatalf("latencies = %v", lat)
+	}
+	// Frame 0: first span at 0, done at 2.5.
+	if lat[0] != 2.5 {
+		t.Fatalf("frame 0 latency = %g, want 2.5", lat[0])
+	}
+	// Frame 1: first span at 1.2, done at 3.5.
+	if lat[1] < 2.29 || lat[1] > 2.31 {
+		t.Fatalf("frame 1 latency = %g, want 2.3", lat[1])
+	}
+	// Frame 2 has no spans.
+	if lat[2] != 0 {
+		t.Fatalf("frame 2 latency = %g, want 0", lat[2])
+	}
+}

@@ -1,0 +1,318 @@
+// Package viz implements the visualization client and its wire protocol:
+// the paper's transfer stage sends finished frames over UDP to a viewer on
+// the MCPC, and — because the send/receive buffers are smaller than a
+// frame — every frame travels as multiple sub-image datagrams that the
+// client reassembles (§VI: "the images must be divided into multiple
+// sub-images and sent one after another").
+//
+// The protocol is deliberately simple and loss-tolerant: each datagram
+// carries a fixed header (magic, frame number, image geometry, chunk index
+// and count) followed by a slice of the frame's RGBA bytes. A frame is
+// delivered to the consumer when all of its chunks have arrived; stale
+// frames are dropped when a newer one completes, mirroring the paper's
+// viewer ("displayed until a new image arrives").
+package viz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sccpipe/internal/frame"
+)
+
+// Wire format constants.
+const (
+	// Magic marks sccpipe viz datagrams.
+	Magic = 0x53435031 // "SCP1"
+	// HeaderSize is the fixed per-datagram header length in bytes.
+	HeaderSize = 4 + 4 + 2 + 2 + 2 + 2 + 4 // magic, frame, w, h, chunk, chunks, offset
+	// DefaultChunkPayload is the default payload bytes per datagram; with
+	// the header it stays under the typical 1500-byte MTU... the SCC kit
+	// used larger kernel buffers, so we default higher for throughput while
+	// remaining below 64 KiB UDP limits.
+	DefaultChunkPayload = 32 * 1024
+)
+
+// Header describes one sub-image datagram.
+type Header struct {
+	Frame  uint32
+	W, H   uint16
+	Chunk  uint16
+	Chunks uint16
+	Offset uint32 // byte offset of this chunk's payload within the frame
+}
+
+// ErrShortPacket reports a datagram too small to carry a header.
+var ErrShortPacket = errors.New("viz: short packet")
+
+// ErrBadMagic reports a foreign datagram.
+var ErrBadMagic = errors.New("viz: bad magic")
+
+// EncodeChunk serializes one sub-image datagram into buf (grown as needed)
+// and returns the packet.
+func EncodeChunk(buf []byte, h Header, payload []byte) []byte {
+	need := HeaderSize + len(payload)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.BigEndian.PutUint32(buf[0:], Magic)
+	binary.BigEndian.PutUint32(buf[4:], h.Frame)
+	binary.BigEndian.PutUint16(buf[8:], h.W)
+	binary.BigEndian.PutUint16(buf[10:], h.H)
+	binary.BigEndian.PutUint16(buf[12:], h.Chunk)
+	binary.BigEndian.PutUint16(buf[14:], h.Chunks)
+	binary.BigEndian.PutUint32(buf[16:], h.Offset)
+	copy(buf[HeaderSize:], payload)
+	return buf
+}
+
+// DecodeChunk parses a datagram, returning its header and payload (a view
+// into pkt).
+func DecodeChunk(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < HeaderSize {
+		return Header{}, nil, ErrShortPacket
+	}
+	if binary.BigEndian.Uint32(pkt[0:]) != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	h := Header{
+		Frame:  binary.BigEndian.Uint32(pkt[4:]),
+		W:      binary.BigEndian.Uint16(pkt[8:]),
+		H:      binary.BigEndian.Uint16(pkt[10:]),
+		Chunk:  binary.BigEndian.Uint16(pkt[12:]),
+		Chunks: binary.BigEndian.Uint16(pkt[14:]),
+		Offset: binary.BigEndian.Uint32(pkt[16:]),
+	}
+	return h, pkt[HeaderSize:], nil
+}
+
+// Split breaks a frame into datagrams of at most payload bytes each,
+// appending them to out.
+func Split(img *frame.Image, frameNo uint32, payload int, out [][]byte) [][]byte {
+	if payload <= 0 {
+		payload = DefaultChunkPayload
+	}
+	total := img.Bytes()
+	chunks := (total + payload - 1) / payload
+	if chunks == 0 {
+		chunks = 1
+	}
+	for c := 0; c < chunks; c++ {
+		off := c * payload
+		end := off + payload
+		if end > total {
+			end = total
+		}
+		h := Header{
+			Frame:  frameNo,
+			W:      uint16(img.W),
+			H:      uint16(img.H),
+			Chunk:  uint16(c),
+			Chunks: uint16(chunks),
+			Offset: uint32(off),
+		}
+		out = append(out, EncodeChunk(nil, h, img.Pix[off:end]))
+	}
+	return out
+}
+
+// Assembler reassembles frames from sub-image datagrams, possibly arriving
+// out of order and interleaved across frames. It keeps a small window of
+// frames under construction; completing a frame discards any older ones.
+type Assembler struct {
+	mu      sync.Mutex
+	partial map[uint32]*partialFrame
+	// OnFrame is invoked (synchronously with Feed) for each completed
+	// frame, in completion order.
+	OnFrame func(frameNo uint32, img *frame.Image)
+	// Window bounds how many frames may be under construction (default 8).
+	Window int
+	// Dropped counts frames discarded incomplete.
+	Dropped int
+}
+
+type partialFrame struct {
+	img     *frame.Image
+	have    []bool
+	missing int
+}
+
+// NewAssembler returns an assembler delivering frames to onFrame.
+func NewAssembler(onFrame func(uint32, *frame.Image)) *Assembler {
+	return &Assembler{partial: make(map[uint32]*partialFrame), OnFrame: onFrame, Window: 8}
+}
+
+// Feed consumes one datagram. Unknown or corrupt packets return an error;
+// duplicates are ignored.
+func (a *Assembler) Feed(pkt []byte) error {
+	h, payload, err := DecodeChunk(pkt)
+	if err != nil {
+		return err
+	}
+	if h.W == 0 || h.H == 0 || h.Chunks == 0 || h.Chunk >= h.Chunks {
+		return fmt.Errorf("viz: bad header %+v", h)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pf := a.partial[h.Frame]
+	if pf == nil {
+		pf = &partialFrame{
+			img:     frame.New(int(h.W), int(h.H)),
+			have:    make([]bool, h.Chunks),
+			missing: int(h.Chunks),
+		}
+		a.partial[h.Frame] = pf
+		a.evictLocked(h.Frame)
+	}
+	if int(h.Chunk) >= len(pf.have) || pf.have[h.Chunk] {
+		return nil // duplicate or geometry changed mid-frame; ignore
+	}
+	end := int(h.Offset) + len(payload)
+	if end > len(pf.img.Pix) {
+		return fmt.Errorf("viz: chunk overruns frame (%d > %d)", end, len(pf.img.Pix))
+	}
+	copy(pf.img.Pix[h.Offset:end], payload)
+	pf.have[h.Chunk] = true
+	pf.missing--
+	if pf.missing == 0 {
+		delete(a.partial, h.Frame)
+		// Older incomplete frames are stale now.
+		for no := range a.partial {
+			if no < h.Frame {
+				delete(a.partial, no)
+				a.Dropped++
+			}
+		}
+		if a.OnFrame != nil {
+			a.OnFrame(h.Frame, pf.img)
+		}
+	}
+	return nil
+}
+
+// evictLocked drops the oldest partial frames beyond the window.
+func (a *Assembler) evictLocked(newest uint32) {
+	w := a.Window
+	if w <= 0 {
+		w = 8
+	}
+	for len(a.partial) > w {
+		oldest := newest
+		for no := range a.partial {
+			if no < oldest {
+				oldest = no
+			}
+		}
+		delete(a.partial, oldest)
+		a.Dropped++
+	}
+}
+
+// Pending reports frames currently under construction.
+func (a *Assembler) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.partial)
+}
+
+// ---------------------------------------------------------------------------
+// UDP transport
+
+// Client ships frames to a viewer over UDP.
+type Client struct {
+	conn    *net.UDPConn
+	payload int
+	scratch [][]byte
+}
+
+// Dial connects a client to a viewer address ("127.0.0.1:7365").
+func Dial(addr string, chunkPayload int) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	// Frames burst out far faster than default socket buffers absorb;
+	// request room for several frames (the kernel may clamp silently).
+	_ = conn.SetWriteBuffer(8 << 20)
+	if chunkPayload <= 0 {
+		chunkPayload = DefaultChunkPayload
+	}
+	return &Client{conn: conn, payload: chunkPayload}, nil
+}
+
+// SendFrame transmits one frame as sub-image datagrams.
+func (c *Client) SendFrame(frameNo uint32, img *frame.Image) error {
+	c.scratch = Split(img, frameNo, c.payload, c.scratch[:0])
+	for _, pkt := range c.scratch {
+		if _, err := c.conn.Write(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Server is a UDP visualization endpoint: it listens for sub-image
+// datagrams and delivers reassembled frames.
+type Server struct {
+	conn *net.UDPConn
+	asm  *Assembler
+	done chan struct{}
+}
+
+// Serve starts a viewer on addr (use "127.0.0.1:0" for an ephemeral port)
+// and delivers completed frames to onFrame from a background goroutine.
+func Serve(addr string, onFrame func(uint32, *frame.Image)) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadBuffer(8 << 20)
+	s := &Server{conn: conn, asm: NewAssembler(onFrame), done: make(chan struct{})}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+func (s *Server) loop() {
+	defer close(s.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		// Feed errors mean a corrupt/foreign packet; a viewer just drops it.
+		_ = s.asm.Feed(buf[:n])
+	}
+}
+
+// Dropped reports frames discarded incomplete so far.
+func (s *Server) Dropped() int {
+	s.asm.mu.Lock()
+	defer s.asm.mu.Unlock()
+	return s.asm.Dropped
+}
+
+// Close stops the server and waits for its loop to exit.
+func (s *Server) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}

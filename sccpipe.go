@@ -1,0 +1,323 @@
+// Package sccpipe is a reproduction of "Parallel Macro Pipelining on the
+// Intel SCC Many-Core Computer" (Süß, Schoenrock, Meisner, Plessl;
+// IPDPSW 2013) as a reusable Go library.
+//
+// It provides, end to end:
+//
+//   - a macro-pipeline framework (render → sepia → blur → scratch →
+//     flicker → swap → transfer) with sort-first strip parallelism across
+//     multiple pipelines;
+//   - a discrete-event model of the Intel SCC (48 P54C cores on a 6×4-tile
+//     mesh, four memory controllers, no local memory, per-island DVFS, a
+//     calibrated power model) plus MCPC and HPC-cluster host models, on
+//     which pipeline configurations are *simulated* to reproduce the
+//     paper's evaluation;
+//   - a real execution backend (goroutines + channels) that renders and
+//     filters actual pixels, for applications and functional validation;
+//   - experiment drivers regenerating every table and figure of the paper
+//     (internal/experiments, surfaced here as RunFig8..RunFig17, RunTable1,
+//     RunEnergy).
+//
+// Quick start (simulate the paper's best configuration):
+//
+//	wl := sccpipe.DefaultWorkload(400, 512, 512)
+//	spec := sccpipe.DefaultSpec()
+//	spec.Renderer = sccpipe.HostRenderer
+//	spec.Pipelines = 5
+//	res, err := sccpipe.Simulate(spec, wl, sccpipe.SimOptions{})
+//	// res.Seconds ≈ the paper's ≈51 s walkthrough
+//
+// Or process real frames:
+//
+//	tree := sccpipe.BuildOctree(sccpipe.City(sccpipe.DefaultSceneConfig()))
+//	cams := sccpipe.Walkthrough(40, tree.Bounds())
+//	spec := sccpipe.ExecSpec{Frames: 40, Width: 320, Height: 240, Pipelines: 4}
+//	sccpipe.Exec(spec, tree, cams, func(f int, img *sccpipe.Image) { ... })
+package sccpipe
+
+import (
+	"sccpipe/internal/core"
+	"sccpipe/internal/experiments"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/host"
+	"sccpipe/internal/pipe"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scc"
+	"sccpipe/internal/scene"
+	"sccpipe/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Pipeline framework (the paper's contribution)
+
+// Core pipeline types.
+type (
+	// Spec describes one simulated walkthrough experiment.
+	Spec = core.Spec
+	// ExecSpec describes a real (pixel-producing) pipeline run.
+	ExecSpec = core.ExecSpec
+	// SimOptions overrides simulation defaults.
+	SimOptions = core.SimOptions
+	// SimResult reports a simulated walkthrough.
+	SimResult = core.SimResult
+	// ExecResult reports a real run.
+	ExecResult = core.ExecResult
+	// SingleCoreResult reports the sequential one-core baseline.
+	SingleCoreResult = core.SingleCoreResult
+	// StageKind identifies a macro-pipeline stage.
+	StageKind = core.StageKind
+	// Arrangement selects the mesh layout of pipelines.
+	Arrangement = core.Arrangement
+	// RendererConfig selects the paper's three scenarios.
+	RendererConfig = core.RendererConfig
+	// Workload is a profiled walkthrough shared across simulations.
+	Workload = core.Workload
+	// CostModel holds the calibrated stage cost constants.
+	CostModel = core.CostModel
+	// Placement maps stages onto SCC cores.
+	Placement = core.Placement
+	// Trace is a per-stage activity timeline of a simulated run.
+	Trace = trace.Trace
+	// TraceSpan is one contiguous stage activity.
+	TraceSpan = trace.Span
+	// Band is one strip's row range in a sort-first decomposition.
+	Band = core.Band
+)
+
+// Stage kinds.
+const (
+	StageRender   = core.StageRender
+	StageSepia    = core.StageSepia
+	StageBlur     = core.StageBlur
+	StageScratch  = core.StageScratch
+	StageFlicker  = core.StageFlicker
+	StageSwap     = core.StageSwap
+	StageTransfer = core.StageTransfer
+	StageConnect  = core.StageConnect
+)
+
+// Arrangements (§IV-A).
+const (
+	Unordered = core.Unordered
+	Ordered   = core.Ordered
+	Flipped   = core.Flipped
+)
+
+// Renderer configurations (§V).
+const (
+	OneRenderer  = core.OneRenderer
+	NRenderers   = core.NRenderers
+	HostRenderer = core.HostRenderer
+)
+
+// FilterOrder lists the five filter stages in pipeline order.
+var FilterOrder = core.FilterOrder
+
+// Arrangements lists all three arrangements for sweeps.
+var AllArrangements = core.Arrangements
+
+// DefaultSpec returns the paper's walkthrough configuration.
+func DefaultSpec() Spec { return core.DefaultSpec() }
+
+// MaxPipelines reports the SCC's pipeline capacity per configuration.
+func MaxPipelines(r RendererConfig) int { return core.MaxPipelines(r) }
+
+// Place computes the stage-to-core assignment for a spec.
+func Place(s Spec) (Placement, error) { return core.Place(s) }
+
+// DefaultCostModel returns the calibrated stage cost model.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// Simulate runs a spec on the simulated SCC.
+func Simulate(spec Spec, wl *Workload, opts SimOptions) (SimResult, error) {
+	return core.Simulate(spec, wl, opts)
+}
+
+// SimulateCluster runs a spec's configuration on the Mogon cluster model.
+func SimulateCluster(spec Spec, wl *Workload, c Cluster, opts SimOptions) (SimResult, error) {
+	return core.SimulateCluster(spec, wl, c, opts)
+}
+
+// SimulateSingleCore runs stages sequentially on one SCC core (baseline).
+func SimulateSingleCore(spec Spec, wl *Workload, stages []StageKind, opts SimOptions) (SingleCoreResult, error) {
+	return core.SimulateSingleCore(spec, wl, stages, opts)
+}
+
+// SingleCoreStages is the full baseline stage sequence.
+var SingleCoreStages = core.SingleCoreStages
+
+// Exec runs the pipeline for real over actual pixels.
+func Exec(spec ExecSpec, tree *Octree, cams []Camera, sink func(f int, img *Image)) (ExecResult, error) {
+	return core.Exec(spec, tree, cams, sink)
+}
+
+// ExecReference computes the same result sequentially (testing oracle).
+func ExecReference(spec ExecSpec, tree *Octree, cams []Camera, sink func(f int, img *Image)) error {
+	return core.ExecReference(spec, tree, cams, sink)
+}
+
+// BuildWorkload profiles a walkthrough over a scene octree.
+func BuildWorkload(tree *Octree, frames, w, h int) *Workload {
+	return core.BuildWorkload(tree, frames, w, h)
+}
+
+// DefaultWorkload profiles the paper's walkthrough over the default city.
+func DefaultWorkload(frames, w, h int) *Workload { return core.DefaultWorkload(frames, w, h) }
+
+// ---------------------------------------------------------------------------
+// Imaging, rendering and scene substrates
+
+// Image and rendering types.
+type (
+	// Image is an RGBA frame buffer (4 bytes/pixel).
+	Image = frame.Image
+	// Strip is a horizontal band of a frame.
+	Strip = frame.Strip
+	// Camera describes a perspective view.
+	Camera = render.Camera
+	// Octree organizes scene triangles for culling.
+	Octree = render.Octree
+	// Triangle is a colored scene primitive.
+	Triangle = render.Triangle
+	// Vec3 is a 3-component vector.
+	Vec3 = render.Vec3
+	// SceneConfig controls the procedural city generator.
+	SceneConfig = scene.Config
+)
+
+// NewImage returns a black, opaque frame buffer.
+func NewImage(w, h int) *Image { return frame.New(w, h) }
+
+// SplitRows divides a frame into horizontal strips (sort-first).
+func SplitRows(im *Image, n int) []*Strip { return frame.SplitRows(im, n) }
+
+// Assemble recombines strips into a frame.
+func Assemble(w, h int, strips []*Strip) *Image { return frame.Assemble(w, h, strips) }
+
+// BuildOctree constructs the culling structure over scene triangles.
+func BuildOctree(tris []Triangle) *Octree { return render.BuildOctree(tris) }
+
+// Walkthrough generates the camera flight used by the experiments.
+func Walkthrough(frames int, b render.AABB) []Camera { return render.Walkthrough(frames, b) }
+
+// City generates the procedural city scene.
+func City(cfg SceneConfig) []Triangle { return scene.City(cfg) }
+
+// DefaultSceneConfig returns the default city parameters.
+func DefaultSceneConfig() SceneConfig { return scene.DefaultConfig() }
+
+// ---------------------------------------------------------------------------
+// Platform models
+
+// Platform model types.
+type (
+	// ChipConfig holds the SCC chip model parameters.
+	ChipConfig = scc.Config
+	// FreqLevel is an SCC core frequency with its minimum voltage.
+	FreqLevel = scc.FreqLevel
+	// PowerSample is one point of a chip power trace.
+	PowerSample = scc.PowerSample
+	// MCPC models the management console PC.
+	MCPC = host.MCPC
+	// Cluster models a Mogon-style HPC node.
+	Cluster = host.Cluster
+	// Link models a chunked, bandwidth-limited transport.
+	Link = host.Link
+)
+
+// SCC frequency levels used by the paper.
+var (
+	Freq400 = scc.Freq400
+	Freq533 = scc.Freq533
+	Freq800 = scc.Freq800
+)
+
+// DefaultChipConfig returns the calibrated SCC model parameters.
+func DefaultChipConfig() ChipConfig { return scc.DefaultConfig() }
+
+// DefaultMCPC returns the calibrated MCPC model.
+func DefaultMCPC() MCPC { return host.DefaultMCPC() }
+
+// DefaultCluster returns the calibrated Mogon model.
+func DefaultCluster() Cluster { return host.DefaultCluster() }
+
+// ---------------------------------------------------------------------------
+// Generic macro pipelines (beyond image processing)
+
+// Generic pipeline types: define arbitrary stage chains with real worker
+// functions, run them with goroutines, or evaluate them on the SCC model
+// — the paper's "other applications" claim as an API.
+type (
+	// PipeChain is a linear macro pipeline of arbitrary stages.
+	PipeChain = pipe.Chain
+	// PipeStage is one stage of a generic chain.
+	PipeStage = pipe.Stage
+	// PipeItem is one unit of work in a generic chain.
+	PipeItem = pipe.Item
+	// PipeSimSpec configures a simulated generic-chain run.
+	PipeSimSpec = pipe.SimSpec
+	// PipeSimResult reports a simulated generic-chain run.
+	PipeSimResult = pipe.SimResult
+	// PipeRunResult reports a real generic-chain run.
+	PipeRunResult = pipe.RunResult
+)
+
+// ---------------------------------------------------------------------------
+// Paper experiments
+
+// Experiment types.
+type (
+	// ExpSetup fixes the walkthrough parameters of the experiment drivers.
+	ExpSetup = experiments.Setup
+	// Fig8Result is the single-core stage profile.
+	Fig8Result = experiments.Fig8Result
+	// SweepResult is a pipeline-count sweep (Figs. 9–11).
+	SweepResult = experiments.SweepResult
+	// Fig12Result is the image-size sweep.
+	Fig12Result = experiments.Fig12Result
+	// ClusterResult is the Fig. 13 cluster comparison.
+	ClusterResult = experiments.ClusterResult
+	// Fig14Result is the power-vs-cores experiment.
+	Fig14Result = experiments.Fig14Result
+	// Fig15Result is the stage idle-time experiment.
+	Fig15Result = experiments.Fig15Result
+	// Fig16Result is the per-stage DVFS experiment (Figs. 16/17).
+	Fig16Result = experiments.Fig16Result
+	// Table1Result is the full results grid.
+	Table1Result = experiments.Table1Result
+	// EnergyResult is the §VI-B energy comparison.
+	EnergyResult = experiments.EnergyResult
+	// AblationResult explores chip variants (local memory, MC ports).
+	AblationResult = experiments.AblationResult
+	// AdaptiveResult compares even vs cost-balanced strips.
+	AdaptiveResult = experiments.AdaptiveResult
+	// ParetoResult maps the DVFS time/energy plan space.
+	ParetoResult = experiments.ParetoResult
+	// CacheStudyResult measures filter access patterns on the cache model.
+	CacheStudyResult = experiments.CacheStudyResult
+)
+
+// DefaultExpSetup returns the paper's 400-frame experiment setup.
+func DefaultExpSetup() ExpSetup { return experiments.DefaultSetup() }
+
+// Experiment drivers, one per table/figure of the paper.
+var (
+	RunFig8   = experiments.RunFig8
+	RunFig9   = experiments.RunFig9
+	RunFig10  = experiments.RunFig10
+	RunFig11  = experiments.RunFig11
+	RunFig12  = experiments.RunFig12
+	RunFig13  = experiments.RunFig13
+	RunFig14  = experiments.RunFig14
+	RunFig15  = experiments.RunFig15
+	RunFig16  = experiments.RunFig16
+	RunFig17  = experiments.RunFig17
+	RunTable1 = experiments.RunTable1
+	RunEnergy = experiments.RunEnergy
+
+	// Extensions beyond the paper's own evaluation.
+	RunAblation   = experiments.RunAblation
+	RunAdaptive   = experiments.RunAdaptive
+	RunDVFSPareto = experiments.RunDVFSPareto
+	RunCacheStudy = experiments.RunCacheStudy
+)
