@@ -115,14 +115,39 @@ func TestPublicExperimentDrivers(t *testing.T) {
 }
 
 func TestPublicImageHelpers(t *testing.T) {
-	img := sccpipe.NewImage(10, 8)
-	strips := sccpipe.SplitRows(img, 3)
+	img, err := sccpipe.NewImage(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strips, err := sccpipe.SplitRows(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(strips) != 3 {
 		t.Fatalf("strips = %d", len(strips))
 	}
-	back := sccpipe.Assemble(10, 8, strips)
+	back, err := sccpipe.Assemble(10, 8, strips)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !back.Equal(img) {
 		t.Fatal("round trip failed")
+	}
+}
+
+func TestPublicImageHelpersRejectBadInput(t *testing.T) {
+	if _, err := sccpipe.NewImage(0, 8); err == nil {
+		t.Fatal("NewImage(0, 8) accepted")
+	}
+	if _, err := sccpipe.Assemble(-1, 8, nil); err == nil {
+		t.Fatal("Assemble(-1, 8) accepted")
+	}
+	img, err := sccpipe.NewImage(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sccpipe.SplitRows(img, 9); err == nil {
+		t.Fatal("SplitRows with more strips than rows accepted")
 	}
 }
 

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"sccpipe/internal/core"
@@ -81,8 +83,14 @@ func main() {
 		Seed:              *seed,
 		OrientedScratches: *oriented,
 	}
+	// Ctrl-C cancels the pipeline cleanly: ExecContext unwinds every stage
+	// goroutine and returns context.Canceled instead of leaving a partial
+	// render running in the background.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var failed error
-	res, err := core.Exec(spec, tree, cams, func(f int, img *frame.Image) {
+	res, err := core.ExecContext(ctx, spec, tree, cams, func(f int, img *frame.Image) {
 		if failed != nil {
 			return
 		}

@@ -33,6 +33,9 @@ func main() {
 	verified := 0
 	chain := func(k int) *pipe.Chain {
 		return &pipe.Chain{
+			// Every uncompressed block is the same size; the chain-level
+			// default stamps it on fed items in Run and Simulate alike.
+			ItemBytes: blockSize,
 			Stages: []pipe.Stage{
 				{Name: "delta", Fn: func(it pipe.Item) pipe.Item {
 					it.Data = codec.DeltaEncode(it.Data.([]byte))
@@ -55,7 +58,7 @@ func main() {
 				if idx >= len(inputs) {
 					return pipe.Item{}, false
 				}
-				return pipe.Item{Data: inputs[idx], Bytes: blockSize}, true
+				return pipe.Item{Data: inputs[idx]}, true
 			},
 			Collect: func(it pipe.Item) {
 				enc := it.Data.([]byte)
@@ -104,7 +107,7 @@ func main() {
 		s := chain(k)
 		s.Collect = nil
 		s.Stages = sim.Stages // share calibrated costs
-		r, err := s.Simulate(pipe.SimSpec{Pipelines: k, Items: *blocks / k, ItemBytes: blockSize})
+		r, err := s.Simulate(pipe.SimSpec{Pipelines: k, Items: *blocks / k})
 		if err != nil {
 			log.Fatal(err)
 		}

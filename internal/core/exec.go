@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -62,7 +63,7 @@ func stageSeed(seed int64, f, strip int, kind StageKind) int64 {
 }
 
 // applyFilter runs one filter stage on a strip image.
-func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int) {
+func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int) error {
 	seed := spec.Seed
 	switch kind {
 	case StageSepia:
@@ -81,8 +82,9 @@ func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int) 
 	case StageSwap:
 		filters.Swap(img)
 	default:
-		panic(fmt.Sprintf("core: %v is not a filter stage", kind))
+		return fmt.Errorf("core: %v is not a filter stage", kind)
 	}
+	return nil
 }
 
 type execMsg struct {
@@ -94,8 +96,18 @@ type execMsg struct {
 // strip-wise through the five stages, reassembled, and handed to sink in
 // frame order. Each stage of each pipeline is one goroutine connected by
 // capacity-1 channels, matching the paper's structure (and the natural
-// goroutine translation of the SCC design).
+// goroutine translation of the SCC design). It is ExecContext with a
+// background context.
 func Exec(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (ExecResult, error) {
+	return ExecContext(context.Background(), spec, tree, cams, sink)
+}
+
+// ExecContext is Exec with cancellation and full error propagation: when
+// ctx is cancelled mid-walkthrough every stage goroutine stops promptly and
+// ExecContext returns ctx's error; a panic in any stage (or in sink) is
+// recovered and returned as an error; a desynchronized pipeline is reported
+// as an error instead of a panic. No goroutines are leaked on any path.
+func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (ExecResult, error) {
 	if err := spec.Validate(); err != nil {
 		return ExecResult{}, err
 	}
@@ -104,84 +116,147 @@ func Exec(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f 
 	}
 	start := time.Now()
 	k := spec.Pipelines
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	var wg sync.WaitGroup
+	spawn := func(name string, fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("core: %s panicked: %v", name, r))
+				}
+			}()
+			if err := fn(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	send := func(ch chan<- execMsg, m execMsg) error {
+		select {
+		case ch <- m:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	recv := func(ch <-chan execMsg) (m execMsg, ok bool, err error) {
+		select {
+		case m, ok = <-ch:
+			return m, ok, nil
+		case <-ctx.Done():
+			return execMsg{}, false, ctx.Err()
+		}
+	}
 
 	heads := make([]chan execMsg, k)
 	for i := range heads {
 		heads[i] = make(chan execMsg, 1)
 	}
 
-	var wg sync.WaitGroup
-
-	// Producers.
+	// Producers. On an error path the head channels stay open — downstream
+	// stages are unblocked by the cancelled context, not by channel close,
+	// which keeps the first error from being masked by "ended early".
 	switch spec.Renderer {
 	case NRenderers:
 		for i := 0; i < k; i++ {
 			i := i
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer close(heads[i])
+			spawn(fmt.Sprintf("renderer %d", i), func() error {
 				r := render.NewRenderer(tree)
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
 					img := frame.New(spec.Width, y1-y0)
 					r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
-					heads[i] <- execMsg{frame: f, strip: &frame.Strip{Index: i, Y0: y0, Img: img}}
+					m := execMsg{frame: f, strip: &frame.Strip{Index: i, Y0: y0, Img: img}}
+					if err := send(heads[i], m); err != nil {
+						return err
+					}
 				}
-			}()
+				close(heads[i])
+				return nil
+			})
 		}
 	default: // OneRenderer, HostRenderer
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				for _, ch := range heads {
-					close(ch)
-				}
-			}()
+		spawn("renderer", func() error {
 			r := render.NewRenderer(tree)
 			for f := 0; f < spec.Frames; f++ {
 				img := frame.New(spec.Width, spec.Height)
 				r.RenderFrame(cams[f], img)
-				for i, s := range frame.SplitRows(img, k) {
-					heads[i] <- execMsg{frame: f, strip: s}
+				strips, err := frame.SplitRows(img, k)
+				if err != nil {
+					return err
+				}
+				for i, s := range strips {
+					if err := send(heads[i], execMsg{frame: f, strip: s}); err != nil {
+						return err
+					}
 				}
 			}
-		}()
+			for _, ch := range heads {
+				close(ch)
+			}
+			return nil
+		})
 	}
 
 	// Filter chains.
 	tails := make([]chan execMsg, k)
 	for i := 0; i < k; i++ {
+		i := i
 		in := heads[i]
 		for _, kind := range FilterOrder {
 			kind := kind
 			out := make(chan execMsg, 1)
 			src := in
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer close(out)
-				for msg := range src {
-					applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index)
-					out <- msg
+			spawn(fmt.Sprintf("filter %v.%d", kind, i), func() error {
+				for {
+					msg, ok, err := recv(src)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						close(out)
+						return nil
+					}
+					if err := applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index); err != nil {
+						return err
+					}
+					if err := send(out, msg); err != nil {
+						return err
+					}
 				}
-			}()
+			})
 			in = out
 		}
 		tails[i] = in
 	}
 
 	// Transfer: gather one strip per pipeline per frame, assemble, emit.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
+	spawn("transfer", func() error {
 		for f := 0; f < spec.Frames; f++ {
 			strips := make([]*frame.Strip, 0, k)
 			for i := 0; i < k; i++ {
-				msg, ok := <-tails[i]
-				if !ok || msg.frame != f {
-					panic(fmt.Sprintf("core: pipeline %d out of sync at frame %d", i, f))
+				msg, ok, err := recv(tails[i])
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("core: pipeline %d ended early at frame %d", i, f)
+				}
+				if msg.frame != f {
+					return fmt.Errorf("core: pipeline %d out of sync at frame %d (got frame %d)", i, f, msg.frame)
 				}
 				strips = append(strips, msg.strip)
 			}
@@ -189,22 +264,31 @@ func Exec(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f 
 				sink(f, frame.Assemble(spec.Width, spec.Height, strips))
 			}
 		}
-	}()
+		return nil
+	})
 
 	wg.Wait()
-	<-done
+	if firstErr != nil {
+		return ExecResult{}, firstErr
+	}
 	return ExecResult{Frames: spec.Frames, Elapsed: time.Since(start)}, nil
 }
 
 // ExecReference computes the same strip-wise result sequentially — the
-// oracle for testing that parallel pipelines do not change pixels.
-func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) error {
+// oracle for testing that parallel pipelines do not change pixels. Like
+// ExecContext it recovers panics (e.g. from sink) into errors.
+func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (err error) {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
 	if len(cams) < spec.Frames {
 		return fmt.Errorf("core: %d cameras for %d frames", len(cams), spec.Frames)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: reference run panicked: %v", r)
+		}
+	}()
 	r := render.NewRenderer(tree)
 	k := spec.Pipelines
 	for f := 0; f < spec.Frames; f++ {
@@ -214,7 +298,9 @@ func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sin
 			img := frame.New(spec.Width, y1-y0)
 			r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
 			for _, kind := range FilterOrder {
-				applyFilter(kind, img, spec, f, i)
+				if err := applyFilter(kind, img, spec, f, i); err != nil {
+					return err
+				}
 			}
 			strips = append(strips, &frame.Strip{Index: i, Y0: y0, Img: img})
 		}

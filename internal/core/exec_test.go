@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"sccpipe/internal/frame"
 	"sccpipe/internal/render"
@@ -168,5 +173,80 @@ func TestExecOrientedScratchesMatchReference(t *testing.T) {
 	}
 	if same {
 		t.Fatal("oriented flag had no effect")
+	}
+}
+
+func TestExecSinkPanicIsError(t *testing.T) {
+	spec := execSpecForTest(2, OneRenderer)
+	cams := render.Walkthrough(spec.Frames, execScene.Bounds())
+	_, err := Exec(spec, execScene, cams, func(f int, img *frame.Image) {
+		if f == 1 {
+			panic("sink exploded")
+		}
+	})
+	if err == nil {
+		t.Fatal("panicking sink did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "sink exploded") {
+		t.Fatalf("error %v does not carry the panic value", err)
+	}
+}
+
+func TestExecReferenceSinkPanicIsError(t *testing.T) {
+	spec := execSpecForTest(1, OneRenderer)
+	cams := render.Walkthrough(spec.Frames, execScene.Bounds())
+	err := ExecReference(spec, execScene, cams, func(f int, img *frame.Image) {
+		panic("reference sink exploded")
+	})
+	if err == nil {
+		t.Fatal("panicking sink did not surface as an error")
+	}
+}
+
+func TestApplyFilterRejectsNonFilterStage(t *testing.T) {
+	img := frame.New(4, 4)
+	if err := applyFilter(StageRender, img, ExecSpec{}, 0, 0); err == nil {
+		t.Fatal("non-filter stage kind accepted")
+	}
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	for _, rc := range []RendererConfig{OneRenderer, NRenderers} {
+		base := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		spec := ExecSpec{Frames: 500, Width: 128, Height: 96, Pipelines: 3, Renderer: rc, Seed: 5}
+		cams := render.Walkthrough(spec.Frames, execScene.Bounds())
+		frames := 0
+		_, err := ExecContext(ctx, spec, execScene, cams, func(f int, img *frame.Image) {
+			frames++
+			if f == 2 {
+				cancel() // cancel mid-walkthrough, long before frame 500
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", rc, err)
+		}
+		if frames >= spec.Frames {
+			t.Fatalf("%v: walkthrough ran to completion despite cancellation", rc)
+		}
+		// All stage goroutines must be gone shortly after the call returns.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			t.Fatalf("%v: %d goroutines leaked after cancellation", rc, n-base)
+		}
+		cancel()
+	}
+}
+
+func TestExecContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := execSpecForTest(2, OneRenderer)
+	cams := render.Walkthrough(spec.Frames, execScene.Bounds())
+	if _, err := ExecContext(ctx, spec, execScene, cams, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

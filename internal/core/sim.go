@@ -206,6 +206,9 @@ func Simulate(spec Spec, wl *Workload, opts SimOptions) (SimResult, error) {
 	}
 	idle := spawnStages(pf, spec, wl, sp, opts.model(), opts.jitterFunc(), tr)
 	eng.Run()
+	if err := simHealth(eng); err != nil {
+		return SimResult{}, err
+	}
 
 	seconds := eng.Now()
 	dt := opts.PowerDT
@@ -247,7 +250,23 @@ func SimulateCluster(spec Spec, wl *Workload, cluster host.Cluster, opts SimOpti
 	}
 	idle := spawnStages(pf, spec, wl, sp, opts.model(), opts.jitterFunc(), tr)
 	eng.Run()
+	if err := simHealth(eng); err != nil {
+		return SimResult{}, err
+	}
 	return SimResult{Seconds: eng.Now(), StageIdle: idle.byKind, Trace: tr}, nil
+}
+
+// simHealth converts an unhealthy engine end state — a panicked stage body
+// or a quiesce with parked stages — into an error, so no simulation ever
+// returns a silently truncated result.
+func simHealth(eng *des.Engine) error {
+	if err := eng.Err(); err != nil {
+		return fmt.Errorf("core: simulation failed: %w", err)
+	}
+	if eng.Quiesced() {
+		return fmt.Errorf("core: simulation quiesced with stuck stages: %s", eng.QuiescedReport())
+	}
+	return nil
 }
 
 // idleCollector gathers per-frame stage idle samples.

@@ -78,5 +78,8 @@ func SimulateSingleCore(spec Spec, wl *Workload, stages []StageKind, opts SimOpt
 		}
 	})
 	eng.Run()
+	if err := simHealth(eng); err != nil {
+		return SingleCoreResult{}, err
+	}
 	return SingleCoreResult{Seconds: eng.Now(), StageSeconds: perStage}, nil
 }

@@ -19,6 +19,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime/debug"
+	"strings"
 )
 
 // event is a scheduled occurrence: either the resumption of a parked process
@@ -50,13 +52,30 @@ func (h eventHeap) String() string { return fmt.Sprintf("eventHeap(len=%d)", len
 // Engine is the simulation kernel: an event queue plus the simulated clock.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     float64
-	seq     uint64
-	events  eventHeap
-	yielded chan struct{} // signalled by a proc when it parks or finishes
-	nprocs  int           // live (spawned, unfinished) processes
-	running bool
+	now      float64
+	seq      uint64
+	events   eventHeap
+	yielded  chan struct{} // signalled by a proc when it parks or finishes
+	procs    []*Proc       // every spawned proc, in spawn order
+	nprocs   int           // live (spawned, unfinished) processes
+	running  bool
+	failure  error // first proc-body panic, converted to an error
+	quiesced []ParkedProc
 }
+
+// ParkedProc describes one process that was still parked when the engine
+// reached the event horizon and had to be unwound.
+type ParkedProc struct {
+	// Name is the process name given to Spawn.
+	Name string
+	// WaitingOn describes the blocking operation the process was parked in,
+	// e.g. `Get on "mail 3->7"`.
+	WaitingOn string
+}
+
+// unwindSignal is the poison-pill resume value and sentinel panic that
+// unwinds a parked process's goroutine; SpawnAt recovers it.
+type unwindSignal struct{}
 
 // NewEngine returns an Engine with the clock at zero.
 func NewEngine() *Engine {
@@ -93,6 +112,15 @@ type Proc struct {
 	eng    *Engine
 	resume chan any
 	dead   bool
+	// blocked describes what the proc is parked on when it has no pending
+	// resume event (set by Queue and friends); "" while runnable.
+	blocked string
+	// cancel removes the proc from whatever waiter list holds it, so an
+	// unwound proc is not resumed by a later queue operation.
+	cancel func()
+	// poisoned marks a proc being unwound: any further attempt to park
+	// re-raises the unwind sentinel instead of touching engine channels.
+	poisoned bool
 }
 
 // Engine returns the engine this process belongs to.
@@ -107,25 +135,52 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 }
 
 // SpawnAt creates a process that starts at absolute time t.
+//
+// A panic in body does not crash the program: it is recovered, recorded as
+// the engine's failure (see Err), and ends the run. Process bodies should
+// therefore not install blanket recovers of their own — they would swallow
+// the unwind sentinel the engine uses to reclaim parked goroutines.
 func (e *Engine) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
 	p := &Proc{Name: name, eng: e, resume: make(chan any)}
 	e.nprocs++
+	e.procs = append(e.procs, p)
 	go func() {
-		<-p.resume // wait for the engine to start us
+		defer func() {
+			if r := recover(); r != nil {
+				if _, unwind := r.(unwindSignal); !unwind && e.failure == nil {
+					e.failure = fmt.Errorf("des: proc %q panicked: %v\n%s", p.Name, r, debug.Stack())
+				}
+			}
+			p.dead = true
+			e.nprocs--
+			e.yielded <- struct{}{}
+		}()
+		if v := <-p.resume; isUnwind(v) { // wait for the engine to start us
+			return
+		}
 		body(p)
-		p.dead = true
-		e.nprocs--
-		e.yielded <- struct{}{}
 	}()
 	e.schedule(&event{t: t, proc: p})
 	return p
 }
 
+func isUnwind(v any) bool { _, ok := v.(unwindSignal); return ok }
+
 // park transfers control back to the engine and blocks until the process is
-// resumed; it returns the value the resumption event carries.
+// resumed; it returns the value the resumption event carries. A poison-pill
+// resume unwinds the goroutine via the sentinel panic.
 func (p *Proc) park() any {
+	if p.poisoned {
+		panic(unwindSignal{})
+	}
 	p.eng.yielded <- struct{}{}
-	return <-p.resume
+	v := <-p.resume
+	if isUnwind(v) {
+		panic(unwindSignal{})
+	}
+	p.blocked = ""
+	p.cancel = nil
+	return v
 }
 
 // Wait advances the process by d simulated seconds. Negative d is an error.
@@ -154,34 +209,107 @@ func (e *Engine) step() bool {
 	switch {
 	case ev.fn != nil:
 		ev.fn()
-	case ev.proc != nil:
+	case ev.proc != nil && !ev.proc.dead: // skip stale events for unwound procs
 		ev.proc.resume <- ev.val
 		<-e.yielded
 	}
 	return true
 }
 
-// Run executes events until none remain. Processes still parked on empty
-// Queues when the event horizon is reached are left parked (the simulation
-// has quiesced), mirroring SimPy semantics.
+// Run executes events until none remain, then unwinds any process still
+// parked at the event horizon (the simulation has quiesced with stuck
+// processes): each parked goroutine is resumed with a poison pill that
+// unwinds it, so a quiesced run leaks nothing. The unwound processes are
+// reported by Quiesced and QuiescedProcs. A panic in a process body stops
+// the run early, unwinds everything else, and is reported by Err.
 func (e *Engine) Run() {
 	if e.running {
 		panic("des: Run re-entered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.step() {
+	e.quiesced = nil
+	for e.failure == nil && e.step() {
 	}
+	e.unwind()
+}
+
+// unwind poison-pills every live process (all are necessarily blocked on
+// their resume channels once the dispatch loop has stopped), in spawn order
+// for determinism, recording what each was waiting on.
+func (e *Engine) unwind() {
+	for _, p := range e.procs {
+		if p.dead {
+			continue
+		}
+		what := p.blocked
+		if what == "" {
+			what = "nothing (runnable or unstarted)"
+		}
+		e.quiesced = append(e.quiesced, ParkedProc{Name: p.Name, WaitingOn: what})
+		if p.cancel != nil {
+			p.cancel()
+			p.cancel = nil
+		}
+		p.poisoned = true
+		p.resume <- unwindSignal{}
+		<-e.yielded
+	}
+	e.procs = e.procs[:0]
+}
+
+// Shutdown unwinds every live process immediately — for callers abandoning
+// an engine mid-simulation (e.g. after RunUntil). It must not be called
+// while Run is executing.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("des: Shutdown during Run")
+	}
+	e.unwind()
+}
+
+// Err returns the first process-body panic of the run, converted to an
+// error carrying the process name and stack, or nil.
+func (e *Engine) Err() error { return e.failure }
+
+// Quiesced reports whether the last Run ended with parked processes that
+// had to be unwound.
+func (e *Engine) Quiesced() bool { return len(e.quiesced) > 0 }
+
+// QuiescedProcs returns the processes unwound at the end of the last Run,
+// in spawn order, each with a description of what it was waiting on.
+func (e *Engine) QuiescedProcs() []ParkedProc {
+	return append([]ParkedProc(nil), e.quiesced...)
+}
+
+// QuiescedReport formats the unwound processes as a one-line diagnostic,
+// e.g. for embedding in an error.
+func (e *Engine) QuiescedReport() string {
+	if len(e.quiesced) == 0 {
+		return "no parked procs"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d parked proc(s): ", len(e.quiesced))
+	for i, q := range e.quiesced {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s waiting on %s", q.Name, q.WaitingOn)
+	}
+	return b.String()
 }
 
 // RunUntil executes events with time ≤ t and then sets the clock to t.
+// Unlike Run it leaves parked processes parked — the simulation may be
+// continued with further Run/RunUntil calls. Call Shutdown to reclaim
+// their goroutines when abandoning the engine early.
 func (e *Engine) RunUntil(t float64) {
 	if e.running {
 		panic("des: RunUntil re-entered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for !e.events.empty() && e.events.peek().t <= t {
+	for e.failure == nil && !e.events.empty() && e.events.peek().t <= t {
 		e.step()
 	}
 	if e.now < t {

@@ -438,9 +438,16 @@ func TestProcParkedAtQuiescence(t *testing.T) {
 	e := NewEngine()
 	q := NewQueue(e, 0)
 	e.Spawn("starved", func(p *Proc) { q.Get(p) })
-	e.Run() // must terminate even though the proc is parked forever
-	if e.LiveProcs() != 1 {
-		t.Fatalf("LiveProcs = %d, want 1 (parked)", e.LiveProcs())
+	e.Run() // must terminate and unwind the forever-parked proc
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0 (unwound)", e.LiveProcs())
+	}
+	if !e.Quiesced() {
+		t.Fatal("quiesced run not reported")
+	}
+	procs := e.QuiescedProcs()
+	if len(procs) != 1 || procs[0].Name != "starved" {
+		t.Fatalf("QuiescedProcs = %+v", procs)
 	}
 }
 

@@ -1,0 +1,143 @@
+package des
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goroutines samples runtime.NumGoroutine after nudging the scheduler so
+// just-unwound goroutines have a chance to exit.
+func goroutines() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// waitForGoroutines polls until the goroutine count drops to at most want.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := goroutines(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count stuck at %d, want ≤ %d", goroutines(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQuiescedRunLeaksNoGoroutines(t *testing.T) {
+	base := goroutines()
+	for round := 0; round < 10; round++ {
+		e := NewEngine()
+		q := NewQueue(e, 1)
+		q.Label = "starved-input"
+		// A chain that quiesces: consumers outnumber items.
+		e.Spawn("producer", func(p *Proc) {
+			p.Wait(1)
+			q.Put(p, "only-item")
+		})
+		for i := 0; i < 5; i++ {
+			e.Spawn("consumer", func(p *Proc) { q.Get(p) })
+		}
+		// A full bounded queue with a blocked putter, too.
+		full := NewQueue(e, 1)
+		full.Label = "full-output"
+		e.Spawn("stuffer", func(p *Proc) {
+			full.Put(p, 1)
+			full.Put(p, 2) // blocks forever: nobody drains
+		})
+		e.Run()
+		if e.LiveProcs() != 0 {
+			t.Fatalf("round %d: LiveProcs = %d after Run", round, e.LiveProcs())
+		}
+		if !e.Quiesced() {
+			t.Fatalf("round %d: quiesce not reported", round)
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+func TestQuiescedReportNamesProcsAndQueues(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	q.Label = "mail 3->7"
+	e.Spawn("sepia0", func(p *Proc) { q.Get(p) })
+	e.Run()
+	rep := e.QuiescedReport()
+	if !strings.Contains(rep, "sepia0") || !strings.Contains(rep, "mail 3->7") {
+		t.Fatalf("report %q missing proc or queue name", rep)
+	}
+}
+
+func TestCompletedRunNotQuiesced(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("ok", func(p *Proc) { p.Wait(1) })
+	e.Run()
+	if e.Quiesced() {
+		t.Fatalf("clean run reported quiesced: %s", e.QuiescedReport())
+	}
+	if e.Err() != nil {
+		t.Fatalf("clean run reported failure: %v", e.Err())
+	}
+}
+
+func TestBodyPanicBecomesError(t *testing.T) {
+	base := goroutines()
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	e.Spawn("victim", func(p *Proc) { q.Get(p) }) // parked when the panic hits
+	e.Spawn("bomb", func(p *Proc) {
+		p.Wait(1)
+		panic("kaboom")
+	})
+	e.Run()
+	err := e.Err()
+	if err == nil {
+		t.Fatal("body panic not converted to error")
+	}
+	if !strings.Contains(err.Error(), "bomb") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error %v missing proc name or panic value", err)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after failed run", e.LiveProcs())
+	}
+	waitForGoroutines(t, base)
+}
+
+func TestShutdownAfterRunUntil(t *testing.T) {
+	base := goroutines()
+	e := NewEngine()
+	e.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Wait(1)
+		}
+	})
+	e.RunUntil(5)
+	if e.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d mid-simulation", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Shutdown", e.LiveProcs())
+	}
+	waitForGoroutines(t, base)
+}
+
+func TestUnwoundProcRemovedFromWaiterLists(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 0)
+	e.Spawn("starved", func(p *Proc) { q.Get(p) })
+	e.Run()
+	// The unwound getter must not linger: a fresh put must buffer the item,
+	// not try to resume a dead proc.
+	if !q.TryPut("x") {
+		t.Fatal("TryPut failed")
+	}
+	if v, ok := q.TryGet(); !ok || v != "x" {
+		t.Fatalf("TryGet = %v, %v; unwound waiter swallowed the item", v, ok)
+	}
+}

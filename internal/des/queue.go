@@ -1,5 +1,7 @@
 package des
 
+import "fmt"
+
 // Queue is a FIFO channel between simulated processes with an optional
 // capacity bound. Get blocks the calling process while the queue is empty;
 // Put blocks while the queue is full (for bounded queues). Waiting processes
@@ -11,9 +13,20 @@ type Queue struct {
 	getWaiters []*Proc
 	putWaiters []putWaiter
 
+	// Label names the queue in quiesce diagnostics ("mail 3->7"); optional.
+	Label string
+
 	// PutCount and GetCount count completed operations, for instrumentation.
 	PutCount int
 	GetCount int
+}
+
+// label describes the queue for diagnostics.
+func (q *Queue) label() string {
+	if q.Label != "" {
+		return fmt.Sprintf("%q", q.Label)
+	}
+	return fmt.Sprintf("queue(len=%d)", len(q.items))
 }
 
 type putWaiter struct {
@@ -37,12 +50,35 @@ func (q *Queue) Len() int { return len(q.items) }
 func (q *Queue) Put(p *Proc, item any) {
 	if q.cap != 0 && len(q.items) >= q.cap && len(q.getWaiters) == 0 {
 		q.putWaiters = append(q.putWaiters, putWaiter{p: p, item: item})
+		p.blocked = "Put on " + q.label()
+		p.cancel = func() { q.dropPutWaiter(p) }
 		p.park() // woken by a Get that makes room
 		q.PutCount++
 		return
 	}
 	q.deliver(item)
 	q.PutCount++
+}
+
+// dropPutWaiter removes an unwound proc (and its undelivered item) from the
+// put-waiter list.
+func (q *Queue) dropPutWaiter(p *Proc) {
+	for i, w := range q.putWaiters {
+		if w.p == p {
+			q.putWaiters = append(q.putWaiters[:i], q.putWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropGetWaiter removes an unwound proc from the get-waiter list.
+func (q *Queue) dropGetWaiter(p *Proc) {
+	for i, w := range q.getWaiters {
+		if w == p {
+			q.getWaiters = append(q.getWaiters[:i], q.getWaiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // TryPut appends an item without blocking; it reports false if the queue is
@@ -73,6 +109,8 @@ func (q *Queue) deliver(item any) {
 func (q *Queue) Get(p *Proc) any {
 	if len(q.items) == 0 {
 		q.getWaiters = append(q.getWaiters, p)
+		p.blocked = "Get on " + q.label()
+		p.cancel = func() { q.dropGetWaiter(p) }
 		v := p.park()
 		q.GetCount++
 		return v

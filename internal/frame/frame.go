@@ -62,9 +62,14 @@ func (im *Image) Clone() *Image {
 	return out
 }
 
-// Equal reports whether two images have identical size and pixels.
+// Equal reports whether two images have identical size and pixels. A
+// truncated or hand-constructed Pix buffer that disagrees with W×H makes
+// the images unequal rather than panicking.
 func (im *Image) Equal(other *Image) bool {
-	if im.W != other.W || im.H != other.H {
+	if im == nil || other == nil {
+		return im == other
+	}
+	if im.W != other.W || im.H != other.H || len(im.Pix) != len(other.Pix) {
 		return false
 	}
 	for i := range im.Pix {
@@ -108,8 +113,16 @@ func StripBounds(h, n, i int) (y0, y1 int) {
 }
 
 // SplitRows copies a frame into n horizontal strips (sort-first
-// decomposition as in the paper).
-func SplitRows(im *Image, n int) []*Strip {
+// decomposition as in the paper). It is an error to ask for fewer than one
+// strip, or for more strips than the image has rows (every strip must be at
+// least one row tall).
+func SplitRows(im *Image, n int) ([]*Strip, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("frame: SplitRows needs at least one strip, got %d", n)
+	}
+	if n > im.H {
+		return nil, fmt.Errorf("frame: cannot split %d rows into %d strips", im.H, n)
+	}
 	strips := make([]*Strip, n)
 	for i := 0; i < n; i++ {
 		y0, y1 := StripBounds(im.H, n, i)
@@ -119,7 +132,7 @@ func SplitRows(im *Image, n int) []*Strip {
 		}
 		strips[i] = &Strip{Index: i, Y0: y0, Img: sub}
 	}
-	return strips
+	return strips, nil
 }
 
 // Assemble recombines strips (in any order) into a full frame of the given

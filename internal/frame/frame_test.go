@@ -83,7 +83,10 @@ func TestSplitAssembleRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 2, 3, 7} {
 		im := randomImage(rng, 16, 23)
-		strips := SplitRows(im, n)
+		strips, err := SplitRows(im, n)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(strips) != n {
 			t.Fatalf("n=%d: got %d strips", n, len(strips))
 		}
@@ -97,7 +100,10 @@ func TestSplitAssembleRoundTrip(t *testing.T) {
 func TestAssembleOrderIndependent(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	im := randomImage(rng, 8, 12)
-	strips := SplitRows(im, 4)
+	strips, err := SplitRows(im, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Reverse strip order.
 	for i, j := 0, len(strips)-1; i < j; i, j = i+1, j-1 {
 		strips[i], strips[j] = strips[j], strips[i]
@@ -116,7 +122,11 @@ func TestQuickSplitAssemble(t *testing.T) {
 			n = h
 		}
 		im := randomImage(rand.New(rand.NewSource(seed)), w, h)
-		return im.Equal(Assemble(w, h, SplitRows(im, n)))
+		strips, err := SplitRows(im, n)
+		if err != nil {
+			return false
+		}
+		return im.Equal(Assemble(w, h, strips))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -125,7 +135,11 @@ func TestQuickSplitAssemble(t *testing.T) {
 
 func TestStripBytes(t *testing.T) {
 	im := New(10, 10)
-	s := SplitRows(im, 2)[0]
+	strips, err := SplitRows(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strips[0]
 	if s.Bytes() != 10*5*4 {
 		t.Fatalf("strip bytes = %d", s.Bytes())
 	}
@@ -156,5 +170,37 @@ func TestFill(t *testing.T) {
 	r, g, b, a := im.At(2, 2)
 	if r != 7 || g != 8 || b != 9 || a != 10 {
 		t.Fatalf("got %d,%d,%d,%d", r, g, b, a)
+	}
+}
+
+func TestSplitRowsRejectsBadStripCounts(t *testing.T) {
+	im := New(8, 4)
+	// More strips than rows would make zero-height strips: must error, not
+	// panic.
+	if _, err := SplitRows(im, 5); err == nil {
+		t.Fatal("SplitRows(h=4, n=5) accepted")
+	}
+	if _, err := SplitRows(im, 0); err == nil {
+		t.Fatal("SplitRows(n=0) accepted")
+	}
+	if strips, err := SplitRows(im, 4); err != nil || len(strips) != 4 {
+		t.Fatalf("SplitRows(h=4, n=4) = %d strips, err %v", len(strips), err)
+	}
+}
+
+func TestEqualTruncatedBuffer(t *testing.T) {
+	a := New(4, 4)
+	// A hand-constructed image whose Pix disagrees with W×H must compare
+	// unequal instead of panicking with an index error.
+	b := &Image{W: 4, H: 4, Pix: make([]uint8, 8)}
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("truncated buffer compared equal")
+	}
+	var nilImg *Image
+	if a.Equal(nilImg) {
+		t.Fatal("nil compared equal")
+	}
+	if !nilImg.Equal(nil) {
+		t.Fatal("nil != nil")
 	}
 }

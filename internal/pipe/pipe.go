@@ -6,9 +6,17 @@
 //
 // This is the "other applications" claim of the paper's abstract made
 // concrete — see examples/compress for a data-compression chain.
+//
+// Errors and cancellation: neither Run nor Simulate panics on bad input or
+// a failing stage. A panic in user code (Feed, Fn, CostRef, Collect) is
+// recovered and returned as an error, RunContext aborts promptly when its
+// context is cancelled, and a simulation that stalls with unconsumed work
+// returns an error naming the stuck stages instead of silently
+// undercounting.
 package pipe
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -56,6 +64,11 @@ type Chain struct {
 	// Collect consumes finished items (any order across pipelines, in
 	// order within one). May be nil.
 	Collect func(Item)
+	// ItemBytes is the chain-level default payload size, stamped onto any
+	// item whose Feed left Bytes zero. Both Run and Simulate apply it, so
+	// real and simulated executions of one chain see the same payloads
+	// (Simulate lets SimSpec.ItemBytes override it per run).
+	ItemBytes int
 }
 
 // Validate reports whether the chain is runnable.
@@ -80,9 +93,38 @@ type RunResult struct {
 	Elapsed time.Duration
 }
 
+// sendItem writes to ch unless the run is cancelled first.
+func sendItem(ctx context.Context, ch chan<- Item, it Item) error {
+	select {
+	case ch <- it:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// recvItem reads from ch unless the run is cancelled first; ok is false on
+// a cleanly closed stream.
+func recvItem(ctx context.Context, ch <-chan Item) (it Item, ok bool, err error) {
+	select {
+	case it, ok = <-ch:
+		return it, ok, nil
+	case <-ctx.Done():
+		return Item{}, false, ctx.Err()
+	}
+}
+
 // Run executes the chain for real with k parallel pipelines, each stage a
 // goroutine connected by capacity-1 channels (the SCC structure).
 func (c *Chain) Run(k int) (RunResult, error) {
+	return c.RunContext(context.Background(), k)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the stage
+// goroutines stop promptly and RunContext returns ctx's error. A panic in
+// Feed, a stage Fn, or Collect is recovered and returned as an error; no
+// goroutines are leaked on any path.
+func (c *Chain) RunContext(ctx context.Context, k int) (RunResult, error) {
 	if err := c.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -90,58 +132,109 @@ func (c *Chain) Run(k int) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("pipe: need at least one pipeline")
 	}
 	start := time.Now()
-	var collectMu sync.Mutex
-	total := 0
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
 	var wg sync.WaitGroup
-	for pl := 0; pl < k; pl++ {
-		pl := pl
-		head := make(chan Item, 1)
+	spawn := func(name string, fn func() error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer close(head)
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("pipe: %s panicked: %v", name, r))
+				}
+			}()
+			if err := fn(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	var collectMu sync.Mutex
+	total := 0
+	for pl := 0; pl < k; pl++ {
+		pl := pl
+		head := make(chan Item, 1)
+		spawn(fmt.Sprintf("feed %d", pl), func() error {
 			for seq := 0; ; seq++ {
 				item, ok := c.Feed(pl, seq)
 				if !ok {
-					return
+					close(head)
+					return nil
 				}
 				item.Seq, item.Pipeline = seq, pl
-				head <- item
+				if item.Bytes == 0 {
+					item.Bytes = c.ItemBytes
+				}
+				if err := sendItem(ctx, head, item); err != nil {
+					return err
+				}
 			}
-		}()
+		})
 		in := head
 		for _, st := range c.Stages {
 			st := st
 			out := make(chan Item, 1)
 			src := in
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer close(out)
-				for item := range src {
+			spawn(fmt.Sprintf("stage %s.%d", st.Name, pl), func() error {
+				for {
+					item, ok, err := recvItem(ctx, src)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						close(out)
+						return nil
+					}
 					if st.Fn != nil {
 						item = st.Fn(item)
 					}
-					out <- item
+					if err := sendItem(ctx, out, item); err != nil {
+						return err
+					}
 				}
-			}()
+			})
 			in = out
 		}
 		tail := in
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for item := range tail {
-				collectMu.Lock()
-				if c.Collect != nil {
-					c.Collect(item)
+		spawn(fmt.Sprintf("collect %d", pl), func() error {
+			for {
+				item, ok, err := recvItem(ctx, tail)
+				if err != nil {
+					return err
 				}
-				total++
-				collectMu.Unlock()
+				if !ok {
+					return nil
+				}
+				// Unlock via defer so a panicking Collect cannot wedge the
+				// other pipelines' collectors.
+				func() {
+					collectMu.Lock()
+					defer collectMu.Unlock()
+					if c.Collect != nil {
+						c.Collect(item)
+					}
+					total++
+				}()
 			}
-		}()
+		})
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return RunResult{}, firstErr
+	}
 	return RunResult{Items: total, Elapsed: time.Since(start)}, nil
 }
 
@@ -175,6 +268,10 @@ func (c *Chain) Calibrate(samples []Item, speedRatio float64) error {
 // SimResult reports a simulated execution on the SCC model.
 type SimResult struct {
 	Seconds float64
+	// Items counts the items that actually reached the sink, summed over
+	// pipelines; it is less than Pipelines×SimSpec.Items when Feed ended a
+	// stream early.
+	Items int
 	// StageBusy is each stage's total busy (compute+memory) seconds,
 	// summed over pipelines.
 	StageBusy map[string]float64
@@ -186,10 +283,12 @@ type SimResult struct {
 // SimSpec configures a simulated run of a chain.
 type SimSpec struct {
 	Pipelines int
-	// Items is the stream length per pipeline.
+	// Items is the stream length per pipeline; Feed may end a stream
+	// earlier, which propagates through the stages as an end-of-stream
+	// marker rather than stalling them.
 	Items int
 	// ItemBytes sizes each item's payload for hand-off costs; used when
-	// Bytes is not set per item by Feed.
+	// Bytes is not set per item by Feed (falls back to Chain.ItemBytes).
 	ItemBytes int
 	// FeedCostRef is the source's per-item reference compute (the chain's
 	// producer, e.g. reading input); 0 for an instant source.
@@ -198,10 +297,24 @@ type SimSpec struct {
 	ChipConfig *scc.Config
 }
 
+// endOfStream is the sentinel payload the source emits when Feed ends a
+// stream; each stage forwards it and terminates, so short streams drain
+// cleanly instead of parking every downstream stage forever.
+type endOfStream struct{}
+
+// eosBytes is the wire size charged for the end-of-stream marker: a
+// one-flit control message on the MPB fast path.
+const eosBytes = 4
+
 // Simulate runs the chain's cost model on the simulated SCC: a source core
 // feeds each pipeline, stages occupy one core each in ID order, and items
 // hop between cores through the memory system exactly like the paper's
 // strips. Stage CostRef functions must be set (directly or via Calibrate).
+//
+// A panic in user code (Feed, Fn, CostRef, ExtraBytes, Collect) is
+// recovered and returned as an error, and a simulation that quiesces with
+// unconsumed work in flight (a stalled or deadlocked pipeline) returns an
+// error naming the parked stages.
 func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 	if err := c.Validate(); err != nil {
 		return SimResult{}, err
@@ -218,6 +331,10 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 	if needed > scc.NumCores {
 		return SimResult{}, fmt.Errorf("pipe: %d cores needed, chip has %d", needed, scc.NumCores)
 	}
+	itemBytes := spec.ItemBytes
+	if itemBytes == 0 {
+		itemBytes = c.ItemBytes
+	}
 
 	eng := des.NewEngine()
 	cfg := scc.DefaultConfig()
@@ -228,6 +345,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 	comm := rcce.NewComm(chip, 1)
 
 	busy := make(map[string]float64, len(c.Stages))
+	collected := 0
 	var busyMu sync.Mutex // procs run one at a time, but keep vet happy
 
 	next := scc.CoreID(0)
@@ -240,7 +358,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 		for i := range cores {
 			cores[i] = take()
 		}
-		// Source.
+		// Source: stream items, then an end-of-stream marker.
 		eng.Spawn(fmt.Sprintf("src%d", pl), func(p *des.Proc) {
 			for seq := 0; seq < spec.Items; seq++ {
 				item, ok := c.Feed(pl, seq)
@@ -249,15 +367,17 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 				}
 				item.Seq, item.Pipeline = seq, pl
 				if item.Bytes == 0 {
-					item.Bytes = spec.ItemBytes
+					item.Bytes = itemBytes
 				}
 				if spec.FeedCostRef > 0 {
 					chip.ComputeSeconds(p, src, spec.FeedCostRef)
 				}
 				comm.Send(p, src, cores[0], item, item.Bytes)
 			}
+			comm.Send(p, src, cores[0], endOfStream{}, eosBytes)
 		})
-		// Stages.
+		// Stages: process until the end-of-stream marker arrives, then
+		// forward it and terminate.
 		for i, st := range c.Stages {
 			i, st := i, st
 			from := src
@@ -269,8 +389,12 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 				to = cores[i+1]
 			}
 			eng.Spawn(fmt.Sprintf("%s%d", st.Name, pl), func(p *des.Proc) {
-				for seq := 0; seq < spec.Items; seq++ {
+				for {
 					m, _ := comm.Recv(p, cores[i], from)
+					if _, end := m.Payload.(endOfStream); end {
+						comm.Send(p, cores[i], to, endOfStream{}, eosBytes)
+						return
+					}
 					item := m.Payload.(Item)
 					t0 := p.Now()
 					chip.ComputeSeconds(p, cores[i], st.CostRef(item))
@@ -290,18 +414,32 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 		// Per-pipeline drain into the shared sink core.
 		last := cores[len(cores)-1]
 		eng.Spawn(fmt.Sprintf("sink%d", pl), func(p *des.Proc) {
-			for seq := 0; seq < spec.Items; seq++ {
+			for {
 				m, _ := comm.Recv(p, sink, last)
+				if _, end := m.Payload.(endOfStream); end {
+					return
+				}
 				if c.Collect != nil {
 					c.Collect(m.Payload.(Item))
 				}
+				busyMu.Lock()
+				collected++
+				busyMu.Unlock()
 			}
 		})
 	}
 	eng.Run()
+	if err := eng.Err(); err != nil {
+		return SimResult{}, fmt.Errorf("pipe: simulation failed: %w", err)
+	}
+	if eng.Quiesced() {
+		return SimResult{}, fmt.Errorf("pipe: simulation quiesced with unconsumed work after %d of %d items (%s)",
+			collected, spec.Pipelines*spec.Items, eng.QuiescedReport())
+	}
 	sec := eng.Now()
 	return SimResult{
 		Seconds:   sec,
+		Items:     collected,
 		StageBusy: busy,
 		CoresUsed: chip.UsedCount(),
 		EnergyJ:   chip.Energy(0, sec),

@@ -2,9 +2,13 @@ package pipe
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sccpipe/internal/codec"
 	"sccpipe/internal/scc"
@@ -237,5 +241,136 @@ func TestSimulateLocalMemoryHelpsHere(t *testing.T) {
 	local := mk(&cfg)
 	if local >= base {
 		t.Fatalf("local memory did not help the generic chain: %g vs %g", local, base)
+	}
+}
+
+func TestSimulateEarlyFeedEnd(t *testing.T) {
+	// Feed ends every stream at 5 items though the spec asks for 50: the
+	// end-of-stream marker must drain the stages cleanly and report the
+	// true count instead of stalling or undercounting silently.
+	c, _ := testChain(10, 512, 2, 11) // 10 blocks striped over 2 pipelines = 5 each
+	for i := range c.Stages {
+		c.Stages[i].CostRef = func(Item) float64 { return 0.001 }
+	}
+	res, err := c.Simulate(SimSpec{Pipelines: 2, Items: 50, ItemBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != 10 {
+		t.Fatalf("Items = %d, want 10 (the true stream length)", res.Items)
+	}
+}
+
+func TestSimulateCountsFullStreams(t *testing.T) {
+	c, _ := testChain(12, 512, 3, 12)
+	for i := range c.Stages {
+		c.Stages[i].CostRef = func(Item) float64 { return 0.001 }
+	}
+	res, err := c.Simulate(SimSpec{Pipelines: 3, Items: 4, ItemBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != 12 {
+		t.Fatalf("Items = %d, want 12", res.Items)
+	}
+}
+
+func TestSimulateStagePanicIsError(t *testing.T) {
+	c, _ := testChain(8, 512, 1, 13)
+	for i := range c.Stages {
+		c.Stages[i].CostRef = func(Item) float64 { return 0.001 }
+	}
+	c.Stages[1].Fn = func(Item) Item { panic("stage exploded") }
+	_, err := c.Simulate(SimSpec{Pipelines: 1, Items: 8, ItemBytes: 512})
+	if err == nil {
+		t.Fatal("panicking stage did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "stage exploded") {
+		t.Fatalf("error %v does not carry the panic value", err)
+	}
+}
+
+func TestRunRecoversStagePanic(t *testing.T) {
+	c, _ := testChain(8, 512, 2, 14)
+	c.Stages[0].Fn = func(Item) Item { panic("worker crashed") }
+	_, err := c.Run(2)
+	if err == nil {
+		t.Fatal("panicking stage Fn did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "worker crashed") {
+		t.Fatalf("error %v does not carry the panic value", err)
+	}
+}
+
+func TestRunRecoversCollectPanic(t *testing.T) {
+	c, _ := testChain(8, 512, 2, 15)
+	c.Collect = func(Item) { panic("collector crashed") }
+	_, err := c.Run(2)
+	if err == nil {
+		t.Fatal("panicking Collect did not surface as an error")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var once sync.Once
+	c := &Chain{
+		Stages: []Stage{{Name: "slow", Fn: func(it Item) Item {
+			once.Do(cancel) // cancel as soon as the first item is in flight
+			<-release       // then hold the stage until the test lets go
+			return it
+		}}},
+		Feed: func(pl, seq int) (Item, bool) { return Item{Data: seq}, true }, // endless
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunContext(ctx, 1)
+		done <- err
+	}()
+	// The run can only finish because cancellation unblocked the feed and
+	// collector; release the stage worker so its goroutine exits too.
+	time.AfterFunc(50*time.Millisecond, func() { close(release) })
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancellation")
+	}
+}
+
+func TestRunStampsChainItemBytes(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	c := &Chain{
+		ItemBytes: 4096,
+		Stages:    []Stage{{Name: "id", Fn: func(it Item) Item { return it }}},
+		Feed: func(pl, seq int) (Item, bool) {
+			if seq >= 3 {
+				return Item{}, false
+			}
+			return Item{Data: seq}, true // Bytes left zero
+		},
+		Collect: func(it Item) { mu.Lock(); got = append(got, it.Bytes); mu.Unlock() },
+	}
+	if _, err := c.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 4096 {
+			t.Fatalf("item bytes = %v, want all 4096", got)
+		}
+	}
+	// Simulate sees the same default when the spec does not override it.
+	c.Stages[0].CostRef = func(Item) float64 { return 0.001 }
+	c.Collect = func(it Item) {
+		if it.Bytes != 4096 {
+			t.Fatalf("simulated item bytes = %d, want 4096", it.Bytes)
+		}
+	}
+	if _, err := c.Simulate(SimSpec{Pipelines: 1, Items: 3}); err != nil {
+		t.Fatal(err)
 	}
 }

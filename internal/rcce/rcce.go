@@ -47,6 +47,7 @@ func (c *Comm) box(src, dst scc.CoreID) *des.Queue {
 	q := c.mail[k]
 	if q == nil {
 		q = des.NewQueue(c.chip.Eng, c.capacity)
+		q.Label = fmt.Sprintf("mail %d->%d", src, dst)
 		c.mail[k] = q
 	}
 	return q
@@ -128,7 +129,9 @@ func NewBarrier(eng *des.Engine, n int) *Barrier {
 	if n < 1 {
 		panic("rcce: barrier size must be ≥ 1")
 	}
-	return &Barrier{eng: eng, n: n, gate: des.NewQueue(eng, 0)}
+	gate := des.NewQueue(eng, 0)
+	gate.Label = fmt.Sprintf("barrier(%d)", n)
+	return &Barrier{eng: eng, n: n, gate: gate}
 }
 
 // Arrive blocks until all n participants have arrived, then releases all of

@@ -33,9 +33,28 @@
 //	cams := sccpipe.Walkthrough(40, tree.Bounds())
 //	spec := sccpipe.ExecSpec{Frames: 40, Width: 320, Height: 240, Pipelines: 4}
 //	sccpipe.Exec(spec, tree, cams, func(f int, img *sccpipe.Image) { ... })
+//
+// # Errors and cancellation
+//
+// No exported entry point panics on bad input or runtime failure — they
+// return errors. A panic in user-supplied code (a pipe stage Fn, Feed,
+// Collect, or an Exec sink) is recovered inside the runtime and surfaced
+// as the call's error; a simulation that stalls with work still in flight
+// returns an error naming each stuck stage and what it was waiting on
+// instead of silently returning a truncated result. Every execution and
+// simulation path reclaims its goroutines on completion, failure, and
+// cancellation alike.
+//
+// Long real runs are cancellable: ExecContext and PipeChain.RunContext
+// take a context.Context and abort promptly (returning ctx.Err()) when it
+// is cancelled. Exec and PipeChain.Run are the background-context
+// wrappers.
 package sccpipe
 
 import (
+	"context"
+	"fmt"
+
 	"sccpipe/internal/core"
 	"sccpipe/internal/experiments"
 	"sccpipe/internal/frame"
@@ -151,6 +170,13 @@ func Exec(spec ExecSpec, tree *Octree, cams []Camera, sink func(f int, img *Imag
 	return core.Exec(spec, tree, cams, sink)
 }
 
+// ExecContext is Exec with cancellation: when ctx is cancelled
+// mid-walkthrough the stage goroutines stop promptly and the call returns
+// ctx's error.
+func ExecContext(ctx context.Context, spec ExecSpec, tree *Octree, cams []Camera, sink func(f int, img *Image)) (ExecResult, error) {
+	return core.ExecContext(ctx, spec, tree, cams, sink)
+}
+
 // ExecReference computes the same result sequentially (testing oracle).
 func ExecReference(spec ExecSpec, tree *Octree, cams []Camera, sink func(f int, img *Image)) error {
 	return core.ExecReference(spec, tree, cams, sink)
@@ -185,14 +211,26 @@ type (
 	SceneConfig = scene.Config
 )
 
-// NewImage returns a black, opaque frame buffer.
-func NewImage(w, h int) *Image { return frame.New(w, h) }
+// NewImage returns a black, opaque frame buffer. Both dimensions must be
+// at least one pixel.
+func NewImage(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sccpipe: invalid image size %dx%d", w, h)
+	}
+	return frame.New(w, h), nil
+}
 
-// SplitRows divides a frame into horizontal strips (sort-first).
-func SplitRows(im *Image, n int) []*Strip { return frame.SplitRows(im, n) }
+// SplitRows divides a frame into horizontal strips (sort-first). It is an
+// error to ask for fewer than one strip or for more strips than rows.
+func SplitRows(im *Image, n int) ([]*Strip, error) { return frame.SplitRows(im, n) }
 
-// Assemble recombines strips into a frame.
-func Assemble(w, h int, strips []*Strip) *Image { return frame.Assemble(w, h, strips) }
+// Assemble recombines strips into a frame of the given size.
+func Assemble(w, h int, strips []*Strip) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sccpipe: invalid frame size %dx%d", w, h)
+	}
+	return frame.Assemble(w, h, strips), nil
+}
 
 // BuildOctree constructs the culling structure over scene triangles.
 func BuildOctree(tris []Triangle) *Octree { return render.BuildOctree(tris) }
