@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# End-to-end smoke of the render service: builds sccserved, starts it on a
+# random port, submits simulate and render jobs, verifies queue-full 429s,
+# scrapes /healthz and /metrics, and SIGTERMs to check a clean drain. The
+# driver lives behind the servesmoke build tag in cmd/sccserved.
+serve-smoke:
+	$(GO) test -tags servesmoke -run TestServeSmoke -count=1 ./cmd/sccserved
+
 # The pre-merge gate: static checks plus the full suite under the race
-# detector (the pipeline backends are heavily concurrent).
-check: vet race
+# detector (the pipeline backends are heavily concurrent), then the
+# service smoke sequence against the real binary.
+check: vet race serve-smoke

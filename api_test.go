@@ -4,7 +4,15 @@ package sccpipe_test
 // would: through the public sccpipe package only.
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"sccpipe"
 )
@@ -159,5 +167,82 @@ func TestPublicCostModelExposed(t *testing.T) {
 	cfg := sccpipe.DefaultChipConfig()
 	if cfg.MemBandwidth <= 0 || cfg.PowerIdle != 22 {
 		t.Fatalf("chip config: %+v", cfg)
+	}
+}
+
+func TestPublicRenderServer(t *testing.T) {
+	// The serve surface as a downstream user mounts it: NewServer is an
+	// http.Handler; a render job streams frames and an observer-driven
+	// exec run feeds the metrics endpoint.
+	s := sccpipe.NewServer(sccpipe.ServerConfig{
+		Workers:    1,
+		Limits:     sccpipe.ServerLimits{MaxFrames: 16},
+		QueueDepth: -1,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, _ := json.Marshal(sccpipe.JobSpec{
+		Mode: "simulate", Frames: 4, Width: 64, Height: 64, Pipelines: 2,
+	})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate job status %d", resp.StatusCode)
+	}
+	var sim struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil || sim.Seconds <= 0 {
+		t.Fatalf("bad simulate reply (seconds=%v, err=%v)", sim.Seconds, err)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mbody), "sccserve_jobs_completed_total 1") {
+		t.Fatalf("metrics do not reflect the completed job:\n%s", mbody)
+	}
+}
+
+func TestPublicExecObserver(t *testing.T) {
+	cfg := sccpipe.DefaultSceneConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	tree := sccpipe.BuildOctree(sccpipe.City(cfg))
+	cams := sccpipe.Walkthrough(3, tree.Bounds())
+	var mu sync.Mutex
+	busy := map[sccpipe.StageKind]time.Duration{}
+	var framesSeen []int
+	spec := sccpipe.ExecSpec{
+		Frames: 3, Width: 64, Height: 48, Pipelines: 2, Seed: 1,
+		Observer: sccpipe.ExecObserver{
+			OnFrame: func(f int) {
+				mu.Lock()
+				framesSeen = append(framesSeen, f)
+				mu.Unlock()
+			},
+			OnStageBusy: func(kind sccpipe.StageKind, _ int, d time.Duration) {
+				mu.Lock()
+				busy[kind] += d
+				mu.Unlock()
+			},
+		},
+	}
+	if _, err := sccpipe.Exec(spec, tree, cams, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(framesSeen) != 3 || framesSeen[0] != 0 || framesSeen[2] != 2 {
+		t.Fatalf("OnFrame saw %v, want [0 1 2]", framesSeen)
+	}
+	for _, kind := range []sccpipe.StageKind{sccpipe.StageRender, sccpipe.StageSepia, sccpipe.StageBlur} {
+		if busy[kind] <= 0 {
+			t.Errorf("no busy time recorded for %v", kind)
+		}
 	}
 }

@@ -10,7 +10,12 @@ package sccpipe
 // engine) and design-ablation benchmarks follow the figure benchmarks.
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"sccpipe/internal/codec"
@@ -24,6 +29,7 @@ import (
 	"sccpipe/internal/render"
 	"sccpipe/internal/scc"
 	"sccpipe/internal/scene"
+	"sccpipe/internal/serve"
 	"sccpipe/internal/viz"
 )
 
@@ -408,4 +414,46 @@ func BenchmarkTraceRecording(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Serve-layer benchmarks
+
+// BenchmarkServeConcurrentJobs measures job throughput through the serve
+// admission queue: N parallel submitters drive small render jobs against a
+// bounded worker pool over HTTP, seeding the perf trajectory for the
+// service layer (queueing overhead, streaming encode, scheduling).
+func BenchmarkServeConcurrentJobs(b *testing.B) {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	s := serve.New(serve.Config{
+		Workers:    4,
+		QueueDepth: 1024, // deep queue: measure throughput, not rejection
+		Scene:      scene.City(cfg),
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	job, err := json.Marshal(serve.JobSpec{
+		Mode: serve.ModeRender, Frames: 2, Width: 64, Height: 48, Pipelines: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(4) // 4×GOMAXPROCS submitters against 4 workers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(job))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("job status %d", resp.StatusCode)
+			}
+		}
+	})
 }

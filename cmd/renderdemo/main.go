@@ -31,12 +31,25 @@ func main() {
 		height    = flag.Int("height", 360, "image height")
 		pipelines = flag.Int("pipelines", 4, "parallel pipelines")
 		seed      = flag.Int64("seed", 1, "scratch/flicker random seed")
-		outDir    = flag.String("out", "frames", "output directory for PPM files")
+		outDir    = flag.String("out", "frames", "output directory for image files")
+		format    = flag.String("format", "ppm", "output format: ppm or png")
 		objPath   = flag.String("obj", "", "render a Wavefront OBJ model instead of the procedural city")
 		mtlPath   = flag.String("mtl", "", "material library for -obj (Kd colors)")
 		oriented  = flag.Bool("oriented-scratches", false, "use arbitrary-orientation scratches")
 	)
 	flag.Parse()
+
+	// Both formats go through the shared frame encoders (frame.WritePPM /
+	// frame.WritePNG) — the same PNG path the serve streaming layer uses.
+	var encode func(*frame.Image, *os.File) error
+	switch *format {
+	case "ppm":
+		encode = func(img *frame.Image, f *os.File) error { return img.WritePPM(f) }
+	case "png":
+		encode = func(img *frame.Image, f *os.File) error { return img.WritePNG(f) }
+	default:
+		log.Fatalf("unknown -format %q (want ppm or png)", *format)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
@@ -94,13 +107,13 @@ func main() {
 		if failed != nil {
 			return
 		}
-		path := filepath.Join(*outDir, fmt.Sprintf("frame_%04d.ppm", f))
+		path := filepath.Join(*outDir, fmt.Sprintf("frame_%04d.%s", f, *format))
 		out, err := os.Create(path)
 		if err != nil {
 			failed = err
 			return
 		}
-		if err := img.WritePPM(out); err != nil {
+		if err := encode(img, out); err != nil {
 			failed = err
 		}
 		if err := out.Close(); err != nil && failed == nil {

@@ -1,0 +1,202 @@
+//go:build servesmoke
+
+// The serve smoke test exercises the built binary end to end: accept a
+// job, stream at least one frame, bounce a submission off a full queue
+// with 429, check /healthz and /metrics, then SIGTERM and verify a clean
+// drain (exit 0). It is behind the servesmoke build tag because it
+// compiles and spawns the real binary; `make serve-smoke` (part of `make
+// check`) runs it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "sccserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-queue", "-1",
+		"-drain-timeout", "30s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The binary logs "listening on ADDR ..." once bound.
+	var url string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			url = "http://" + addr
+			break
+		}
+	}
+	if url == "" {
+		t.Fatalf("server never reported its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	post := func(spec map[string]any) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// 1. Health.
+	hz, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+
+	// 2. A simulate job returns a SimResult summary.
+	resp := post(map[string]any{"mode": "simulate", "frames": 4, "width": 64, "height": 64, "pipelines": 2})
+	simBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", resp.StatusCode, simBody)
+	}
+	var sim struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := json.Unmarshal(simBody, &sim); err != nil || sim.Seconds <= 0 {
+		t.Fatalf("bad simulate reply %s (err %v)", simBody, err)
+	}
+
+	// 3. A render job streams at least one PNG frame. While it runs
+	//    (workers=1, queue disabled), a second submission must bounce with
+	//    429. /healthz exposes the in-flight count, so wait until the big
+	//    job holds the worker before probing.
+	const slowFrames = 60
+	slow := make(chan *http.Response, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{"mode": "render", "frames": slowFrames, "width": 512, "height": 512, "pipelines": 2})
+		r, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+		}
+		slow <- r
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("render job never showed up as in-flight")
+		}
+		hr, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Inflight int `json:"inflight"`
+		}
+		err = json.NewDecoder(hr.Body).Decode(&h)
+		hr.Body.Close()
+		if err == nil && h.Inflight >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var got429 bool
+	for i := 0; i < 100 && !got429; i++ {
+		r := post(map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		got429 = r.StatusCode == http.StatusTooManyRequests
+	}
+	if !got429 {
+		t.Fatal("never saw a 429 while the single worker was busy")
+	}
+
+	r := <-slow
+	if r == nil {
+		t.Fatal("render job response missing")
+	}
+	stream, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("render status %d: %s", r.StatusCode, stream)
+	}
+	if n := bytes.Count(stream, []byte("Content-Type: image/png")); n < 1 {
+		t.Fatalf("streamed %d PNG parts, want >= 1", n)
+	}
+
+	// 4. Metrics are consistent with the mix so far: the simulate job, the
+	//    big render, at least one queue_full rejection, and whichever
+	//    1-frame probes were accepted.
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := map[string]float64{}
+	for _, line := range strings.Split(string(mbody), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var val float64
+		if n, _ := fmt.Sscanf(line, "%s %g", &name, &val); n == 2 {
+			metrics[name] = val
+		}
+	}
+	completed := metrics["sccserve_jobs_completed_total"]
+	accepted := metrics["sccserve_jobs_accepted_total"]
+	rejected := metrics[`sccserve_jobs_rejected_total{reason="queue_full"}`]
+	frames := metrics["sccserve_frames_served_total"]
+	if completed < 2 || accepted < completed || rejected < 1 {
+		t.Fatalf("inconsistent counters: accepted %v, completed %v, rejected %v\n%s",
+			accepted, completed, rejected, mbody)
+	}
+	// The big render's frames plus one per accepted 1-frame probe
+	// (accepted minus the simulate job and the big render itself).
+	if want := slowFrames + (accepted - 2); frames != want {
+		t.Fatalf("frames_served %v, want %v\n%s", frames, want, mbody)
+	}
+
+	// 5. SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sccserved exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("sccserved did not exit after SIGTERM")
+	}
+}

@@ -163,6 +163,8 @@ func boundsKey(bounds []Band) string {
 // decomposition, cached like StripStats.
 func (wl *Workload) StatsFor(bounds []Band) [][]render.CullStats {
 	key := boundsKey(bounds)
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	if wl.custom == nil {
 		wl.custom = make(map[string][][]render.CullStats)
 	}

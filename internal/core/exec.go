@@ -32,6 +32,37 @@ type ExecSpec struct {
 	// OrientedScratches replaces the paper's vertical-only scratch filter
 	// with the arbitrary-orientation extension it suggests (§IV).
 	OrientedScratches bool
+	// Observer receives frame- and stage-level progress callbacks while the
+	// run is in flight — the hook the serve layer uses to stream frames and
+	// export live per-stage busy time.
+	Observer ExecObserver
+}
+
+// ExecObserver carries optional progress callbacks for a real run. Either
+// field may be nil. Callbacks are invoked from the stage goroutines while
+// the pipeline is running, potentially concurrently with each other, so
+// they must be safe for concurrent use and should return quickly — a slow
+// observer backpressures the stage that called it.
+type ExecObserver struct {
+	// OnFrame fires in the transfer stage after frame f has been assembled
+	// and handed to the sink (frames arrive in order).
+	OnFrame func(f int)
+	// OnStageBusy reports wall time one stage instance spent computing on
+	// one strip (or, for the renderer and transfer, one frame). pipeline is
+	// the strip/pipeline index, or -1 for the shared renderer and transfer
+	// stages.
+	OnStageBusy func(kind StageKind, pipeline int, busy time.Duration)
+}
+
+// stageBusy wraps a stage's compute step with the busy-time callback.
+func (o ExecObserver) stageBusy(kind StageKind, pipeline int, fn func() error) error {
+	if o.OnStageBusy == nil {
+		return fn()
+	}
+	t0 := time.Now()
+	err := fn()
+	o.OnStageBusy(kind, pipeline, time.Since(t0))
+	return err
 }
 
 // Validate reports whether the exec spec is runnable.
@@ -178,7 +209,10 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
 					img := frame.New(spec.Width, y1-y0)
-					r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
+					_ = spec.Observer.stageBusy(StageRender, i, func() error {
+						r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
+						return nil
+					})
 					m := execMsg{frame: f, strip: &frame.Strip{Index: i, Y0: y0, Img: img}}
 					if err := send(heads[i], m); err != nil {
 						return err
@@ -193,7 +227,10 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			r := render.NewRenderer(tree)
 			for f := 0; f < spec.Frames; f++ {
 				img := frame.New(spec.Width, spec.Height)
-				r.RenderFrame(cams[f], img)
+				_ = spec.Observer.stageBusy(StageRender, -1, func() error {
+					r.RenderFrame(cams[f], img)
+					return nil
+				})
 				strips, err := frame.SplitRows(img, k)
 				if err != nil {
 					return err
@@ -230,7 +267,9 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 						close(out)
 						return nil
 					}
-					if err := applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index); err != nil {
+					if err := spec.Observer.stageBusy(kind, i, func() error {
+						return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index)
+					}); err != nil {
 						return err
 					}
 					if err := send(out, msg); err != nil {
@@ -260,8 +299,14 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 				}
 				strips = append(strips, msg.strip)
 			}
-			if sink != nil {
-				sink(f, frame.Assemble(spec.Width, spec.Height, strips))
+			_ = spec.Observer.stageBusy(StageTransfer, -1, func() error {
+				if sink != nil {
+					sink(f, frame.Assemble(spec.Width, spec.Height, strips))
+				}
+				return nil
+			})
+			if spec.Observer.OnFrame != nil {
+				spec.Observer.OnFrame(f)
 			}
 		}
 		return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"sccpipe/internal/frame"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scene"
@@ -9,12 +11,18 @@ import (
 // Workload is the measured per-frame render work of a walkthrough,
 // precomputed with the real renderer so the simulation charges realistic,
 // frame-varying costs without rasterizing during the simulation run.
+// A built Workload may be shared by concurrent Simulate calls (the serve
+// layer caches one per job shape): the lazy strip caches are guarded by a
+// mutex.
 type Workload struct {
 	Frames  int
 	W, H    int
 	Cameras []render.Camera
 	// Full[f] is the full-frame culling work of frame f.
 	Full []render.CullStats
+	// mu guards the lazy caches below so a shared Workload is safe under
+	// concurrent Simulate calls.
+	mu sync.Mutex
 	// Strips[k] is lazily built: Strips[k][f][i] is the culling work of
 	// strip i of frame f when the frame is split k ways.
 	strips map[int][][]render.CullStats
@@ -57,6 +65,8 @@ func (wl *Workload) Tree() *render.Octree { return wl.tree }
 // StripStats returns the per-frame per-strip culling work for k strips,
 // computing and caching it on first use.
 func (wl *Workload) StripStats(k int) [][]render.CullStats {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
 	if st, ok := wl.strips[k]; ok {
 		return st
 	}

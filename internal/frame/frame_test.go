@@ -2,6 +2,7 @@ package frame
 
 import (
 	"bytes"
+	"image/png"
 	"math/rand"
 	"strings"
 	"testing"
@@ -202,5 +203,34 @@ func TestEqualTruncatedBuffer(t *testing.T) {
 	}
 	if !nilImg.Equal(nil) {
 		t.Fatal("nil != nil")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	im := New(5, 4)
+	rand.New(rand.NewSource(7)).Read(im.Pix)
+	for i := 3; i < len(im.Pix); i += 4 {
+		im.Pix[i] = 0xff // keep alpha opaque: PNG round-trips exactly then
+	}
+	var buf bytes.Buffer
+	if err := im.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := dec.Bounds(); b.Dx() != 5 || b.Dy() != 4 {
+		t.Fatalf("decoded size %v, want 5x4", b)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b, a := im.At(x, y)
+			dr, dg, db, da := dec.At(x, y).RGBA()
+			if uint32(r) != dr>>8 || uint32(g) != dg>>8 || uint32(b) != db>>8 || uint32(a) != da>>8 {
+				t.Fatalf("pixel (%d,%d) = %d,%d,%d,%d decoded %d,%d,%d,%d",
+					x, y, r, g, b, a, dr>>8, dg>>8, db>>8, da>>8)
+			}
+		}
 	}
 }

@@ -1,0 +1,18 @@
+package frame
+
+import (
+	"image"
+	"image/png"
+	"io"
+)
+
+// WritePNG encodes the image as PNG. The frame buffer is straight
+// (non-premultiplied) RGBA, so it maps directly onto image.NRGBA without a
+// per-pixel conversion; the encoder reads Pix in place.
+func (im *Image) WritePNG(w io.Writer) error {
+	return png.Encode(w, &image.NRGBA{
+		Pix:    im.Pix,
+		Stride: im.W * 4,
+		Rect:   image.Rect(0, 0, im.W, im.H),
+	})
+}

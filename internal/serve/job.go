@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"sccpipe/internal/core"
+)
+
+// Job modes.
+const (
+	// ModeRender runs the real pixel pipeline and streams the resulting
+	// frames back as a multipart PNG sequence.
+	ModeRender = "render"
+	// ModeSimulate runs the walkthrough on the simulated SCC and returns
+	// the SimResult summary as JSON.
+	ModeSimulate = "simulate"
+)
+
+// JobSpec is the wire format of one job submission (POST /jobs). Zero
+// fields take server-side defaults; see Normalize.
+type JobSpec struct {
+	// Mode selects render (stream real frames) or simulate (model the SCC
+	// run and return JSON). Default render.
+	Mode string `json:"mode"`
+
+	Frames    int `json:"frames"`
+	Width     int `json:"width"`
+	Height    int `json:"height"`
+	Pipelines int `json:"pipelines"`
+
+	// Renderer is one of "one", "n", "host" (the paper's three scenarios);
+	// default "one".
+	Renderer string `json:"renderer"`
+	// Arrangement is one of "unordered", "ordered", "flipped" (simulate
+	// only); default "unordered".
+	Arrangement string `json:"arrangement"`
+
+	// Seed drives the scratch/flicker stages deterministically (render).
+	Seed int64 `json:"seed"`
+	// OrientedScratches enables the arbitrary-orientation scratch filter
+	// (render).
+	OrientedScratches bool `json:"oriented_scratches"`
+	// Trace records the per-stage activity timeline of a simulate job and
+	// folds its busy time into the /metrics stage counters.
+	Trace bool `json:"trace"`
+
+	// TimeoutMS bounds the job's run time (queue wait included); 0 takes
+	// the server default, and values above the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// Normalize fills defaults in place.
+func (j *JobSpec) Normalize() {
+	if j.Mode == "" {
+		j.Mode = ModeRender
+	}
+	if j.Frames == 0 {
+		j.Frames = 8
+	}
+	if j.Width == 0 {
+		j.Width = 320
+	}
+	if j.Height == 0 {
+		j.Height = 240
+	}
+	if j.Pipelines == 0 {
+		j.Pipelines = 4
+	}
+	if j.Renderer == "" {
+		j.Renderer = "one"
+	}
+	if j.Arrangement == "" {
+		j.Arrangement = "unordered"
+	}
+}
+
+// rendererConfig maps the wire name onto the paper's scenario constant.
+func (j *JobSpec) rendererConfig() (core.RendererConfig, error) {
+	switch j.Renderer {
+	case "one", "1-renderer":
+		return core.OneRenderer, nil
+	case "n", "n-renderers":
+		return core.NRenderers, nil
+	case "host", "mcpc", "mcpc-renderer":
+		return core.HostRenderer, nil
+	}
+	return 0, fmt.Errorf("unknown renderer %q (want one, n, or host)", j.Renderer)
+}
+
+// arrangement maps the wire name onto the mesh layout constant.
+func (j *JobSpec) arrangement() (core.Arrangement, error) {
+	switch j.Arrangement {
+	case "unordered":
+		return core.Unordered, nil
+	case "ordered":
+		return core.Ordered, nil
+	case "flipped":
+		return core.Flipped, nil
+	}
+	return 0, fmt.Errorf("unknown arrangement %q (want unordered, ordered, or flipped)", j.Arrangement)
+}
+
+// Validate checks the normalized spec against the server's admission
+// limits. It returns the first violation; a nil error means the job can be
+// converted with execSpec or simSpec.
+func (j *JobSpec) Validate(limits Limits) error {
+	switch j.Mode {
+	case ModeRender, ModeSimulate:
+	default:
+		return fmt.Errorf("unknown mode %q (want %s or %s)", j.Mode, ModeRender, ModeSimulate)
+	}
+	if j.Frames < 1 || j.Frames > limits.MaxFrames {
+		return fmt.Errorf("frames %d out of range [1, %d]", j.Frames, limits.MaxFrames)
+	}
+	if j.Width < 1 || j.Height < 1 || j.Width*j.Height > limits.MaxPixels {
+		return fmt.Errorf("image %dx%d exceeds %d pixels", j.Width, j.Height, limits.MaxPixels)
+	}
+	rc, err := j.rendererConfig()
+	if err != nil {
+		return err
+	}
+	if _, err := j.arrangement(); err != nil {
+		return err
+	}
+	if j.Pipelines < 1 || j.Pipelines > core.MaxPipelines(rc) {
+		return fmt.Errorf("pipelines %d out of range [1, %d] for renderer %q",
+			j.Pipelines, core.MaxPipelines(rc), j.Renderer)
+	}
+	if j.Pipelines > j.Height {
+		return fmt.Errorf("more pipelines (%d) than image rows (%d)", j.Pipelines, j.Height)
+	}
+	if j.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d is negative", j.TimeoutMS)
+	}
+	return nil
+}
+
+// timeout resolves the job's deadline from the server bounds.
+func (j *JobSpec) timeout(def, max time.Duration) time.Duration {
+	d := time.Duration(j.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = def
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// execSpec converts a validated render job into the core run spec.
+func (j *JobSpec) execSpec() (core.ExecSpec, error) {
+	rc, err := j.rendererConfig()
+	if err != nil {
+		return core.ExecSpec{}, err
+	}
+	return core.ExecSpec{
+		Frames:            j.Frames,
+		Width:             j.Width,
+		Height:            j.Height,
+		Pipelines:         j.Pipelines,
+		Renderer:          rc,
+		Seed:              j.Seed,
+		OrientedScratches: j.OrientedScratches,
+	}, nil
+}
+
+// simSpec converts a validated simulate job into the core simulation spec.
+func (j *JobSpec) simSpec() (core.Spec, error) {
+	rc, err := j.rendererConfig()
+	if err != nil {
+		return core.Spec{}, err
+	}
+	arr, err := j.arrangement()
+	if err != nil {
+		return core.Spec{}, err
+	}
+	return core.Spec{
+		Frames:      j.Frames,
+		Width:       j.Width,
+		Height:      j.Height,
+		Pipelines:   j.Pipelines,
+		Arrangement: arr,
+		Renderer:    rc,
+	}, nil
+}
+
+// Limits bounds what a single job may ask for.
+type Limits struct {
+	MaxFrames int
+	MaxPixels int
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metric names. Labeled counters append a `{label="value"}` suffix to the
+// family name; stats.Counters stores the full string as an opaque key and
+// the exposition writer groups keys back into families.
+const (
+	mAccepted  = "sccserve_jobs_accepted_total"
+	mRejected  = "sccserve_jobs_rejected_total"
+	mCompleted = "sccserve_jobs_completed_total"
+	mFailed    = "sccserve_jobs_failed_total"
+	mFrames    = "sccserve_frames_served_total"
+	mQueue     = "sccserve_queue_depth"
+	mInflight  = "sccserve_inflight_runs"
+	mUptime    = "sccserve_uptime_seconds"
+	mStageBusy = "sccserve_stage_busy_seconds_total"
+)
+
+// stageBusyKey builds the labeled key for per-stage busy time. backend is
+// "exec" (real runs, measured wall time) or "sim" (simulated runs, model
+// time from the trace).
+func stageBusyKey(backend, stage string) string {
+	return mStageBusy + `{backend="` + backend + `",stage="` + stage + `"}`
+}
+
+// metricFamilies fixes the exposition order and metadata.
+var metricFamilies = []struct {
+	name, kind, help string
+}{
+	{mAccepted, "counter", "Jobs admitted past admission control."},
+	{mRejected, "counter", "Jobs refused at admission, by reason."},
+	{mCompleted, "counter", "Jobs that finished successfully."},
+	{mFailed, "counter", "Jobs that failed or timed out after admission."},
+	{mFrames, "counter", "Frames streamed to clients."},
+	{mQueue, "gauge", "Admitted jobs waiting for a pipeline slot."},
+	{mInflight, "gauge", "Pipeline runs currently executing."},
+	{mUptime, "gauge", "Seconds since the server started."},
+	{mStageBusy, "counter", "Per-stage busy time by backend (exec wall time, sim model time)."},
+}
+
+// handleMetrics serves the Prometheus text exposition format (v0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Gauges are computed at scrape time. Waiting depth is the admitted
+	// population minus the jobs holding run slots.
+	queued := len(s.room) - len(s.slots)
+	if queued < 0 {
+		queued = 0
+	}
+	s.m.Set(mQueue, float64(queued))
+	s.m.Set(mInflight, float64(len(s.slots)))
+	s.m.Set(mUptime, time.Since(s.start).Seconds())
+
+	snap := s.m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, fam := range metricFamilies {
+		members := make([]string, 0, 2)
+		for _, k := range keys {
+			if k == fam.name || strings.HasPrefix(k, fam.name+"{") {
+				members = append(members, k)
+			}
+		}
+		if len(members) == 0 && fam.kind != "counter" {
+			continue // untouched gauge family (cannot happen; set above)
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
+		if len(members) == 0 {
+			// Expose untouched plain counters as explicit zeros so scrapes
+			// see the full instrument set from the first sample.
+			if fam.name != mRejected && fam.name != mStageBusy {
+				fmt.Fprintf(w, "%s 0\n", fam.name)
+			}
+			continue
+		}
+		for _, k := range members {
+			fmt.Fprintf(w, "%s %s\n", k, formatValue(snap[k]))
+		}
+	}
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in Go's shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// handleHealthz reports liveness and drain state: 200 while serving, 503
+// once draining (load balancers stop routing, in-flight work continues).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"inflight": len(s.slots),
+		"admitted": len(s.room),
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}

@@ -1,0 +1,412 @@
+// Package serve turns the macro-pipeline runtime into a network service:
+// an HTTP server that accepts walkthrough jobs as JSON, runs them on the
+// real goroutine backend (streaming the resulting frames back as a
+// multipart PNG sequence) or on the simulated SCC (returning the SimResult
+// summary), under admission control.
+//
+// The concurrency structure mirrors an inference server in front of a
+// model runtime: a bounded waiting room admits at most Workers+QueueDepth
+// jobs (beyond that, submissions are rejected immediately with 429 and a
+// Retry-After hint rather than queueing unboundedly), a semaphore caps
+// concurrent pipeline runs at Workers, every job runs under a deadline
+// wired into context cancellation, and SIGTERM-style drain stops admission
+// first and then lets in-flight jobs finish. Live counters are exported in
+// Prometheus text format on /metrics.
+//
+// Endpoints:
+//
+//	POST /jobs     submit a job (JobSpec JSON); render jobs stream frames
+//	GET  /healthz  liveness + drain state
+//	GET  /metrics  Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scene"
+	"sccpipe/internal/stats"
+)
+
+// Config tunes a render server. The zero value serves with the defaults
+// noted on each field.
+type Config struct {
+	// Workers caps concurrent pipeline runs (default 2).
+	Workers int
+	// QueueDepth is the waiting room beyond the running jobs: a submission
+	// finding Workers+QueueDepth jobs already admitted is rejected with
+	// 429. Default 8; negative disables the waiting room entirely (a job
+	// is admitted only if a worker is free).
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not ask for a deadline (default
+	// 60s); MaxTimeout clamps jobs that do (default 5m). Queue wait counts
+	// against the deadline.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainTimeout bounds how long ListenAndServe waits for in-flight jobs
+	// after its context is cancelled (default 30s).
+	DrainTimeout time.Duration
+	// Limits bounds a single job's size; zero fields default to 2000
+	// frames and 4096×4096 pixels.
+	Limits Limits
+	// Scene is the triangle soup jobs render; nil selects the paper's
+	// procedural city.
+	Scene []render.Triangle
+	// Log receives one line per job outcome; nil disables logging.
+	Log *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Limits.MaxFrames <= 0 {
+		c.Limits.MaxFrames = 2000
+	}
+	if c.Limits.MaxPixels <= 0 {
+		c.Limits.MaxPixels = 4096 * 4096
+	}
+}
+
+// Server is the render service. Create one with New; it implements
+// http.Handler, so it can be mounted directly or run via ListenAndServe.
+type Server struct {
+	cfg  Config
+	tree *render.Octree
+	mux  *http.ServeMux
+	m    *stats.Counters
+
+	// room bounds total admitted jobs (running + waiting); slots bounds
+	// running pipeline jobs. Both are counting semaphores.
+	room  chan struct{}
+	slots chan struct{}
+
+	draining atomic.Bool
+	jobs     sync.WaitGroup
+
+	// workload caches profiled walkthroughs for simulate jobs, keyed by
+	// (frames, width, height); Workload's own caches are
+	// concurrency-safe, so one entry may serve several jobs at once.
+	wlMu sync.Mutex
+	wls  map[[3]int]*core.Workload
+
+	start time.Time
+
+	// testHookRunning, when set, is called from a job's handler goroutine
+	// once it holds a worker slot, before the pipeline starts. Tests use
+	// it to hold jobs in flight deterministically.
+	testHookRunning func(spec JobSpec)
+}
+
+// New builds a Server from cfg (zero value is serviceable) and constructs
+// the scene octree once, shared by every job.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	tris := cfg.Scene
+	if tris == nil {
+		tris = scene.City(scene.DefaultConfig())
+	}
+	s := &Server{
+		cfg:   cfg,
+		tree:  render.BuildOctree(tris),
+		m:     stats.NewCounters(),
+		room:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		slots: make(chan struct{}, cfg.Workers),
+		wls:   make(map[[3]int]*core.Workload),
+		start: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain stops admission: subsequent submissions are rejected with 503
+// and /healthz reports draining. In-flight jobs are unaffected.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether admission is closed.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until every admitted job has finished or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { s.jobs.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains:
+// admission closes, in-flight jobs (and their streaming responses) run to
+// completion bounded by Config.DrainTimeout, and the listener shuts down.
+// ready, if non-nil, is called with the bound address before serving —
+// callers using ":0" learn the port this way. The return value is nil
+// after a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err = hs.Shutdown(dctx) // waits for in-flight requests
+	<-errc                  // Serve has returned ErrServerClosed
+	return err
+}
+
+// logf logs one line if logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// reject records a refused submission and writes the error response.
+func (s *Server) reject(w http.ResponseWriter, status int, reason, msg string) {
+	s.m.Inc(mRejected + `{reason="` + reason + `"}`)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, msg, status)
+}
+
+// failStatus maps a job error onto an HTTP status for the pre-stream path.
+func failStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JobSpec to /jobs", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil && err != io.EOF {
+		s.reject(w, http.StatusBadRequest, "invalid", "bad job spec: "+err.Error())
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(s.cfg.Limits); err != nil {
+		s.reject(w, http.StatusBadRequest, "invalid", "bad job spec: "+err.Error())
+		return
+	}
+
+	// Admission: claim a place in the bounded waiting room or refuse now.
+	select {
+	case s.room <- struct{}{}:
+	default:
+		s.reject(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("queue full (%d jobs admitted)", cap(s.room)))
+		return
+	}
+	s.jobs.Add(1)
+	defer s.jobs.Done()
+	defer func() { <-s.room }()
+	s.m.Inc(mAccepted)
+
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	// Wait for a pipeline slot; the deadline keeps queue waits bounded.
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.m.Inc(mFailed)
+		s.logf("job %s timed out in queue: %v", spec.Mode, ctx.Err())
+		http.Error(w, "timed out waiting for a worker: "+ctx.Err().Error(), failStatus(ctx.Err()))
+		return
+	}
+	defer func() { <-s.slots }()
+	if s.testHookRunning != nil {
+		s.testHookRunning(spec)
+	}
+
+	start := time.Now()
+	var err error
+	switch spec.Mode {
+	case ModeSimulate:
+		err = s.runSimulate(ctx, w, spec)
+	default:
+		err = s.runRender(ctx, w, spec)
+	}
+	if err != nil {
+		s.m.Inc(mFailed)
+		s.logf("job %s failed after %v: %v", spec.Mode, time.Since(start).Round(time.Millisecond), err)
+		return
+	}
+	s.m.Inc(mCompleted)
+	s.logf("job %s ok in %v", spec.Mode, time.Since(start).Round(time.Millisecond))
+}
+
+// runRender executes a render job, streaming frames as the transfer stage
+// emits them. The response is committed lazily at the first frame, so
+// failures before any output still produce a proper HTTP status.
+func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobSpec) error {
+	es, err := spec.execSpec()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return err
+	}
+	es.Observer = core.ExecObserver{
+		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) {
+			s.m.Add(stageBusyKey("exec", kind.String()), busy.Seconds())
+		},
+	}
+	cams := render.Walkthrough(spec.Frames, s.tree.Bounds())
+
+	// A stream write failure cancels the run: there is no reader left.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := newFrameStream(w)
+	sink := func(f int, img *frame.Image) {
+		if st.Err() != nil {
+			return
+		}
+		if err := st.WriteFrame(f, img); err != nil {
+			cancel()
+			return
+		}
+		s.m.Inc(mFrames)
+	}
+	res, runErr := core.ExecContext(ctx, es, s.tree, cams, sink)
+	if werr := st.Err(); werr != nil {
+		runErr = fmt.Errorf("serve: streaming failed: %w", werr)
+	}
+	if runErr != nil {
+		if !st.Started() {
+			http.Error(w, runErr.Error(), failStatus(runErr))
+			return runErr
+		}
+		st.CloseWithError(runErr)
+		return runErr
+	}
+	return st.CloseWithSummary(renderSummary{
+		Frames:    res.Frames,
+		ElapsedMS: res.Elapsed.Milliseconds(),
+	})
+}
+
+// renderSummary is the trailing JSON part of a successful frame stream.
+type renderSummary struct {
+	Frames    int   `json:"frames"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// simResponse is the JSON body of a completed simulate job.
+type simResponse struct {
+	Seconds          float64 `json:"seconds"`
+	SCCEnergyJ       float64 `json:"scc_energy_j"`
+	HostExtraEnergyJ float64 `json:"host_extra_energy_j"`
+	// FramePeriodS is the steady-state seconds between frame completions;
+	// present only when the job requested a trace.
+	FramePeriodS float64 `json:"frame_period_s,omitempty"`
+}
+
+// runSimulate executes a simulate job and replies with JSON. The
+// discrete-event run itself is not interruptible, so the deadline is
+// enforced at the workload-build boundary and before the reply; keep
+// simulated walkthroughs within the admission limits.
+func (s *Server) runSimulate(ctx context.Context, w http.ResponseWriter, spec JobSpec) error {
+	sim, err := spec.simSpec()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return err
+	}
+	wl := s.workload(spec.Frames, spec.Width, spec.Height)
+	if err := ctx.Err(); err != nil {
+		http.Error(w, "deadline passed before simulation started: "+err.Error(), failStatus(err))
+		return err
+	}
+	res, err := core.Simulate(sim, wl, core.SimOptions{Trace: spec.Trace})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return err
+	}
+	resp := simResponse{
+		Seconds:          res.Seconds,
+		SCCEnergyJ:       res.SCCEnergyJ,
+		HostExtraEnergyJ: res.HostExtraEnergyJ,
+	}
+	if spec.Trace && res.Trace != nil {
+		resp.FramePeriodS = res.Trace.Throughput()
+		for kind, pt := range res.Trace.TotalsByKind() {
+			s.m.Add(stageBusyKey("sim", kind), pt.Busy())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(resp)
+}
+
+// workload returns the cached profiled walkthrough for a job shape,
+// building it on first use. Workload's internal caches are themselves
+// concurrency-safe, so the entry is shared across concurrent jobs.
+func (s *Server) workload(frames, w, h int) *core.Workload {
+	key := [3]int{frames, w, h}
+	s.wlMu.Lock()
+	defer s.wlMu.Unlock()
+	if wl, ok := s.wls[key]; ok {
+		return wl
+	}
+	wl := core.BuildWorkload(s.tree, frames, w, h)
+	s.wls[key] = wl
+	return wl
+}

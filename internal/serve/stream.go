@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+
+	"sccpipe/internal/frame"
+)
+
+// frameStream writes a render job's frames as a chunked multipart response
+// (MJPEG-style, but PNG parts): one image/png part per frame, then one
+// application/json part carrying either the run summary or the error. The
+// response is committed lazily — headers go out with the first frame — so
+// a job that fails before producing anything can still send a plain HTTP
+// error status instead.
+//
+// It is used from the pipeline's transfer goroutine only; it is not safe
+// for concurrent use.
+type frameStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	mw      *multipart.Writer
+	err     error
+}
+
+func newFrameStream(w http.ResponseWriter) *frameStream {
+	st := &frameStream{w: w}
+	st.flusher, _ = w.(http.Flusher)
+	return st
+}
+
+// Started reports whether the response has been committed.
+func (st *frameStream) Started() bool { return st.mw != nil }
+
+// Err returns the first write failure, if any.
+func (st *frameStream) Err() error { return st.err }
+
+// WriteFrame encodes one frame as a PNG part and flushes it to the client.
+func (st *frameStream) WriteFrame(f int, img *frame.Image) error {
+	if st.err != nil {
+		return st.err
+	}
+	if st.mw == nil {
+		st.mw = multipart.NewWriter(st.w)
+		st.w.Header().Set("Content-Type", "multipart/x-mixed-replace; boundary="+st.mw.Boundary())
+		st.w.WriteHeader(http.StatusOK)
+	}
+	part, err := st.mw.CreatePart(textproto.MIMEHeader{
+		"Content-Type":  {"image/png"},
+		"X-Frame-Index": {strconv.Itoa(f)},
+	})
+	if err == nil {
+		err = img.WritePNG(part)
+	}
+	if err != nil {
+		st.err = err
+		return err
+	}
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	return nil
+}
+
+// closeWith appends the trailing JSON part and the closing boundary.
+func (st *frameStream) closeWith(v any) error {
+	if st.err != nil {
+		return st.err
+	}
+	if st.mw == nil { // zero-frame success: still a valid (empty) stream
+		st.mw = multipart.NewWriter(st.w)
+		st.w.Header().Set("Content-Type", "multipart/x-mixed-replace; boundary="+st.mw.Boundary())
+		st.w.WriteHeader(http.StatusOK)
+	}
+	part, err := st.mw.CreatePart(textproto.MIMEHeader{
+		"Content-Type": {"application/json"},
+	})
+	if err == nil {
+		err = json.NewEncoder(part).Encode(v)
+	}
+	if err == nil {
+		err = st.mw.Close()
+	}
+	if err != nil {
+		st.err = err
+		return err
+	}
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	return nil
+}
+
+// CloseWithSummary ends a successful stream with the run summary.
+func (st *frameStream) CloseWithSummary(sum renderSummary) error {
+	return st.closeWith(sum)
+}
+
+// CloseWithError ends an already-started stream with an error part — the
+// only way left to signal failure once the 200 header is on the wire.
+func (st *frameStream) CloseWithError(jobErr error) {
+	_ = st.closeWith(map[string]string{"error": jobErr.Error()})
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters is a concurrency-safe set of named running counters and gauges.
+// It backs the serve metrics endpoint: worker goroutines bump counters
+// while the scrape handler snapshots them, so every method is safe for
+// concurrent use. Values are float64 (the Prometheus exposition value
+// type); counter semantics come from only ever calling Add with positive
+// deltas, gauge semantics from Set.
+//
+// Names may carry a Prometheus-style label suffix, e.g.
+// `jobs_rejected_total{reason="queue_full"}` — Counters treats the whole
+// string as an opaque key.
+type Counters struct {
+	mu sync.RWMutex
+	v  map[string]float64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{v: make(map[string]float64)}
+}
+
+// Add adds delta to the named counter, creating it at zero first.
+func (c *Counters) Add(name string, delta float64) {
+	c.mu.Lock()
+	c.v[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Set stores an absolute value (gauge semantics).
+func (c *Counters) Set(name string, v float64) {
+	c.mu.Lock()
+	c.v[name] = v
+	c.mu.Unlock()
+}
+
+// Get returns the named value, or zero if it was never touched.
+func (c *Counters) Get(name string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.v[name]
+}
+
+// Snapshot returns a copy of every value, taken atomically with respect
+// to concurrent Add/Set calls.
+func (c *Counters) Snapshot() map[string]float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]float64, len(c.v))
+	for k, v := range c.v {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the touched names in sorted order — the stable iteration
+// order the metrics endpoint needs for deterministic output.
+func (c *Counters) Names() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.v))
+	for k := range c.v {
+		names = append(names, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %v, want 0", got)
+	}
+	c.Inc("jobs")
+	c.Add("jobs", 2)
+	c.Set("depth", 7)
+	c.Set("depth", 3)
+	if got := c.Get("jobs"); got != 3 {
+		t.Fatalf("jobs = %v, want 3", got)
+	}
+	if got := c.Get("depth"); got != 3 {
+		t.Fatalf("depth = %v, want 3", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap["jobs"] != 3 || snap["depth"] != 3 {
+		t.Fatalf("bad snapshot %v", snap)
+	}
+	// Snapshot is a copy, not a view.
+	snap["jobs"] = 99
+	if got := c.Get("jobs"); got != 3 {
+		t.Fatalf("snapshot aliases the live map: jobs = %v", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "depth" || names[1] != "jobs" {
+		t.Fatalf("Names() = %v, want sorted [depth jobs]", names)
+	}
+}
+
+// TestCountersConcurrent hammers one Counters from many goroutines; run
+// under -race this is the satellite's "metrics don't race with workers"
+// guarantee.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc("shared")
+				c.Add(fmt.Sprintf("own%d", w), 2)
+				c.Set("gauge", float64(i))
+				_ = c.Get("shared")
+				if i%100 == 0 {
+					_ = c.Snapshot()
+					_ = c.Names()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*perWorker {
+		t.Fatalf("shared = %v, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := c.Get(fmt.Sprintf("own%d", w)); got != 2*perWorker {
+			t.Fatalf("own%d = %v, want %d", w, got, 2*perWorker)
+		}
+	}
+}

@@ -41,7 +41,18 @@ func quantileSorted(s []float64, q float64) float64 {
 	if lo+1 >= len(s) {
 		return s[lo]
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	// Lerp in point-plus-offset form and clamp: the s[lo]*(1-frac) +
+	// s[lo+1]*frac formulation can round just outside [s[lo], s[lo+1]]
+	// (e.g. two equal negative values yield a result below both),
+	// violating the quantile bounds.
+	v := s[lo] + frac*(s[lo+1]-s[lo])
+	if v < s[lo] {
+		v = s[lo]
+	}
+	if v > s[lo+1] {
+		v = s[lo+1]
+	}
+	return v
 }
 
 // Median returns the 0.5-quantile.

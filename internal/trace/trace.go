@@ -94,6 +94,60 @@ func (t *Trace) BusyByStage() map[string]float64 {
 	return out
 }
 
+// PhaseTotals aggregates one stage's span time by phase, in seconds.
+type PhaseTotals struct {
+	Wait    float64
+	Compute float64
+	Comm    float64
+}
+
+// Busy returns compute plus communication time.
+func (p PhaseTotals) Busy() float64 { return p.Compute + p.Comm }
+
+// Totals sums span time per stage instance and phase — the snapshot form
+// the serve metrics endpoint exports after a traced simulation. A nil or
+// empty trace yields an empty map.
+func (t *Trace) Totals() map[string]PhaseTotals {
+	out := map[string]PhaseTotals{}
+	if t == nil {
+		return out
+	}
+	for _, s := range t.Spans {
+		pt := out[s.Stage]
+		d := s.End - s.Start
+		switch s.Phase {
+		case PhaseWait:
+			pt.Wait += d
+		case PhaseCompute:
+			pt.Compute += d
+		case PhaseComm:
+			pt.Comm += d
+		}
+		out[s.Stage] = pt
+	}
+	return out
+}
+
+// TotalsByKind is Totals with stage instances pooled by kind: trailing
+// digits of the instance label are stripped, so "blur0".."blur4" pool into
+// "blur". This matches how the paper reports per-stage time (Fig. 15 pools
+// pipelines) and keeps metric cardinality bounded for exporters.
+func (t *Trace) TotalsByKind() map[string]PhaseTotals {
+	out := map[string]PhaseTotals{}
+	for label, pt := range t.Totals() {
+		kind := strings.TrimRight(label, "0123456789")
+		if kind == "" {
+			kind = label
+		}
+		agg := out[kind]
+		agg.Wait += pt.Wait
+		agg.Compute += pt.Compute
+		agg.Comm += pt.Comm
+		out[kind] = agg
+	}
+	return out
+}
+
 // Throughput reports the steady-state frame period: the median gap between
 // consecutive frame completions (skipping the fill phase).
 func (t *Trace) Throughput() float64 {

@@ -127,3 +127,46 @@ func TestFrameLatencies(t *testing.T) {
 		t.Fatalf("frame 2 latency = %g, want 0", lat[2])
 	}
 }
+
+func TestTotals(t *testing.T) {
+	tr := sample()
+	tot := tr.Totals()
+	r, ok := tot["render"]
+	if !ok {
+		t.Fatal("no render totals")
+	}
+	if got := r.Compute; got != 2 { // frames 0 and 1, one second each
+		t.Fatalf("render compute = %v, want 2", got)
+	}
+	if got := r.Comm; got < 0.19 || got > 0.21 {
+		t.Fatalf("render comm = %v, want 0.2", got)
+	}
+	if got, want := r.Busy(), r.Compute+r.Comm; got != want {
+		t.Fatalf("Busy() = %v, want %v", got, want)
+	}
+	var nilTrace *Trace
+	if got := nilTrace.Totals(); len(got) != 0 {
+		t.Fatalf("nil trace Totals = %v, want empty", got)
+	}
+}
+
+func TestTotalsByKindPoolsInstances(t *testing.T) {
+	tr := New(1)
+	tr.Add("blur0", 0, PhaseCompute, 0, 1)
+	tr.Add("blur1", 0, PhaseCompute, 1, 3)
+	tr.Add("blur1", 0, PhaseWait, 3, 4)
+	tr.Add("transfer", 0, PhaseComm, 0, 0.5)
+	byKind := tr.TotalsByKind()
+	if len(byKind) != 2 {
+		t.Fatalf("got %d kinds, want 2: %v", len(byKind), byKind)
+	}
+	if got := byKind["blur"].Compute; got != 3 {
+		t.Fatalf("blur compute = %v, want 3", got)
+	}
+	if got := byKind["blur"].Wait; got != 1 {
+		t.Fatalf("blur wait = %v, want 1", got)
+	}
+	if got := byKind["transfer"].Comm; got != 0.5 {
+		t.Fatalf("transfer comm = %v, want 0.5", got)
+	}
+}

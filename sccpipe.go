@@ -63,6 +63,7 @@ import (
 	"sccpipe/internal/render"
 	"sccpipe/internal/scc"
 	"sccpipe/internal/scene"
+	"sccpipe/internal/serve"
 	"sccpipe/internal/trace"
 )
 
@@ -81,6 +82,9 @@ type (
 	SimResult = core.SimResult
 	// ExecResult reports a real run.
 	ExecResult = core.ExecResult
+	// ExecObserver carries optional progress callbacks for a real run
+	// (per-frame completion, per-stage busy time).
+	ExecObserver = core.ExecObserver
 	// SingleCoreResult reports the sequential one-core baseline.
 	SingleCoreResult = core.SingleCoreResult
 	// StageKind identifies a macro-pipeline stage.
@@ -99,6 +103,8 @@ type (
 	Trace = trace.Trace
 	// TraceSpan is one contiguous stage activity.
 	TraceSpan = trace.Span
+	// TracePhaseTotals aggregates a stage's trace time by phase.
+	TracePhaseTotals = trace.PhaseTotals
 	// Band is one strip's row range in a sort-first decomposition.
 	Band = core.Band
 )
@@ -299,6 +305,35 @@ type (
 	// PipeRunResult reports a real generic-chain run.
 	PipeRunResult = pipe.RunResult
 )
+
+// ---------------------------------------------------------------------------
+// Render service
+
+// Service types: the streaming HTTP front end over the pipeline runtime
+// (admission control, bounded worker pool, per-job deadlines, graceful
+// drain, Prometheus metrics). cmd/sccserved is the ready-made binary.
+type (
+	// RenderServer is the HTTP render service; it implements http.Handler.
+	RenderServer = serve.Server
+	// ServerConfig tunes a render server (workers, queue depth, deadlines,
+	// drain timeout, job limits, scene).
+	ServerConfig = serve.Config
+	// ServerLimits bounds what a single job may request.
+	ServerLimits = serve.Limits
+	// JobSpec is the JSON wire format of one job submission.
+	JobSpec = serve.JobSpec
+)
+
+// NewServer builds a render server; the zero config serves with defaults
+// over the paper's procedural city.
+func NewServer(cfg ServerConfig) *RenderServer { return serve.New(cfg) }
+
+// Serve runs a render server on addr until ctx is cancelled, then drains
+// gracefully: admission stops, in-flight jobs stream to completion, and
+// the listener closes. It returns nil after a clean drain.
+func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	return serve.New(cfg).ListenAndServe(ctx, addr, nil)
+}
 
 // ---------------------------------------------------------------------------
 // Paper experiments
