@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet race bench serve-smoke check
+# The hot-path benchmarks snapshotted into BENCH_pipeline.json: kernel
+# pairs (optimized vs reference), the strip split/assemble round trip, the
+# renderer, and the end-to-end pipeline + serve runs.
+BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkServeConcurrentJobs)
+
+.PHONY: build test vet race test-framedebug bench bench-all serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -14,8 +19,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The frame pool's ownership checks (double put, use after put) only exist
+# under the framedebug build tag; exercise them explicitly.
+test-framedebug:
+	$(GO) test -tags framedebug ./internal/frame
+
+# Run the hot-path benchmarks and snapshot them to BENCH_pipeline.json
+# (committed): ns/op, B/op and allocs/op for the pipeline loop and every
+# kernel next to its paper-literal reference. Not part of `check` — bench
+# runs are minutes long and machine-dependent.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . > bench.tmp.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pipeline.json < bench.tmp.txt
+	@rm -f bench.tmp.txt
+
+bench-all:
+	$(GO) test -run '^$$' -bench=. -benchmem .
 
 # End-to-end smoke of the render service: builds sccserved, starts it on a
 # random port, submits simulate and render jobs, verifies queue-full 429s,
@@ -27,4 +46,4 @@ serve-smoke:
 # The pre-merge gate: static checks plus the full suite under the race
 # detector (the pipeline backends are heavily concurrent), then the
 # service smoke sequence against the real binary.
-check: vet race serve-smoke
+check: vet race test-framedebug serve-smoke

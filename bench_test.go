@@ -254,30 +254,76 @@ func benchImage(w, h int) *frame.Image {
 	return img
 }
 
-func BenchmarkFilterSepia(b *testing.B) {
+// benchFilter measures one in-place kernel at the standard 512×512 size.
+func benchFilter(b *testing.B, fn func(*frame.Image)) {
+	b.Helper()
 	img := benchImage(512, 512)
 	b.SetBytes(int64(img.Bytes()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		filters.Sepia(img)
+		fn(img)
 	}
 }
 
-func BenchmarkFilterBlur(b *testing.B) {
+// The optimized kernels and their paper-literal references are benchmarked
+// in pairs; the committed BENCH_pipeline.json carries both so the speedup
+// of the memory-traffic rewrite is on record next to the absolute numbers.
+
+func BenchmarkFilterSepia(b *testing.B)          { benchFilter(b, filters.Sepia) }
+func BenchmarkFilterSepiaReference(b *testing.B) { benchFilter(b, filters.SepiaReference) }
+
+func BenchmarkFilterBlur(b *testing.B)          { benchFilter(b, filters.Blur) }
+func BenchmarkFilterBlurReference(b *testing.B) { benchFilter(b, filters.BlurReference) }
+
+func BenchmarkFilterSwap(b *testing.B)          { benchFilter(b, filters.Swap) }
+func BenchmarkFilterSwapReference(b *testing.B) { benchFilter(b, filters.SwapReference) }
+
+func BenchmarkFilterFlicker(b *testing.B) {
+	benchFilter(b, func(img *frame.Image) { filters.FlickerBy(img, 0.05) })
+}
+
+func BenchmarkFilterFlickerReference(b *testing.B) {
+	benchFilter(b, func(img *frame.Image) { filters.FlickerByReference(img, 0.05) })
+}
+
+func BenchmarkFilterScratch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	benchFilter(b, func(img *frame.Image) { filters.Scratch(img, rng) })
+}
+
+func BenchmarkFilterScratchReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	benchFilter(b, func(img *frame.Image) { filters.ScratchReference(img, rng) })
+}
+
+// BenchmarkFrameSplitAssembleViews measures the zero-copy strip round trip
+// the one-renderer pipeline runs per frame: view split, then the
+// view-aware reassembly (a no-op copy). Its copying counterpart is the
+// pre-rewrite per-frame cost.
+func BenchmarkFrameSplitAssembleViews(b *testing.B) {
 	img := benchImage(512, 512)
 	b.SetBytes(int64(img.Bytes()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		filters.Blur(img)
+		strips, err := frame.SplitRowsView(img, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame.AssembleInto(img, strips)
 	}
 }
 
-func BenchmarkFilterSwap(b *testing.B) {
+func BenchmarkFrameSplitAssembleCopy(b *testing.B) {
 	img := benchImage(512, 512)
+	dst := frame.New(512, 512)
 	b.SetBytes(int64(img.Bytes()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		filters.Swap(img)
+		strips, err := frame.SplitRows(img, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame.AssembleInto(dst, strips)
 	}
 }
 

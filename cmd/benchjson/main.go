@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into a stable JSON document, so benchmark snapshots can be committed and
+// diffed. The raw bench text is echoed to stdout unchanged; the parsed
+// document goes to the -o file.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      *float64           `json:"mb_per_s,omitempty"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type benchDoc struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH_pipeline.json", "output JSON file")
+	flag.Parse()
+
+	var doc benchDoc
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d results to %s", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkFilterBlur-8   142   8074357 ns/op   129.86 MB/s   16 B/op   1 allocs/op
+//
+// Unknown value/unit pairs land in Extra, so custom b.ReportMetric units
+// survive the round trip.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix; it is machine detail, not identity.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = v, true
+		case "MB/s":
+			mb := v
+			r.MBPerS = &mb
+		case "B/op":
+			n := int64(v)
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			r.AllocsPerOp = &n
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
+		}
+	}
+	return r, seen
+}

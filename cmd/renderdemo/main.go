@@ -15,6 +15,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"sccpipe/internal/core"
 	"sccpipe/internal/frame"
@@ -36,8 +38,21 @@ func main() {
 		objPath   = flag.String("obj", "", "render a Wavefront OBJ model instead of the procedural city")
 		mtlPath   = flag.String("mtl", "", "material library for -obj (Kd colors)")
 		oriented  = flag.Bool("oriented-scratches", false, "use arbitrary-orientation scratches")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	// Both formats go through the shared frame encoders (frame.WritePPM /
 	// frame.WritePNG) — the same PNG path the serve streaming layer uses.
@@ -125,6 +140,19 @@ func main() {
 	}
 	if failed != nil {
 		log.Fatal(failed)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // capture live objects, not dead per-frame garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("rendered and filtered %d frames (%dx%d, %d pipelines) in %v → %s/\n",
 		res.Frames, *width, *height, *pipelines, res.Elapsed.Round(1e6), *outDir)

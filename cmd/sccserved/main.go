@@ -24,6 +24,8 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,8 +50,26 @@ func main() {
 		objPath      = flag.String("obj", "", "serve a Wavefront OBJ model instead of the procedural city")
 		mtlPath      = flag.String("mtl", "", "material library for -obj (Kd colors)")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	// The profiler gets its own mux on its own listener so the debug
+	// endpoints never share a port with the public job API.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var tris []render.Triangle
 	if *objPath != "" {

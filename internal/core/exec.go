@@ -36,6 +36,11 @@ type ExecSpec struct {
 	// run is in flight — the hook the serve layer uses to stream frames and
 	// export live per-stage busy time.
 	Observer ExecObserver
+	// Pool recycles frame and strip buffers across the run. Nil selects the
+	// process-shared frame.DefaultPool. Because buffers are recycled, the
+	// image handed to sink is only valid for the duration of the callback —
+	// see Exec.
+	Pool *frame.Pool
 }
 
 // ExecObserver carries optional progress callbacks for a real run. Either
@@ -93,23 +98,26 @@ func stageSeed(seed int64, f, strip int, kind StageKind) int64 {
 	return int64(x >> 1)
 }
 
-// applyFilter runs one filter stage on a strip image.
-func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int) error {
-	seed := spec.Seed
+// applyFilter runs one filter stage on a strip image. rng is the caller's
+// reusable generator: the randomized stages re-seed it from (Seed, f,
+// strip, kind), so the pixels are identical to a fresh generator per
+// application while a stage goroutine allocates its RNG state only once.
+func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int, rng *rand.Rand) error {
 	switch kind {
 	case StageSepia:
 		filters.Sepia(img)
 	case StageBlur:
 		filters.Blur(img)
 	case StageScratch:
-		rng := rand.New(rand.NewSource(stageSeed(seed, f, strip, kind)))
+		rng.Seed(stageSeed(spec.Seed, f, strip, kind))
 		if spec.OrientedScratches {
 			filters.ScratchOriented(img, rng, filters.DefaultOrientedScratchParams())
 		} else {
 			filters.Scratch(img, rng)
 		}
 	case StageFlicker:
-		filters.Flicker(img, rand.New(rand.NewSource(stageSeed(seed, f, strip, kind))))
+		rng.Seed(stageSeed(spec.Seed, f, strip, kind))
+		filters.Flicker(img, rng)
 	case StageSwap:
 		filters.Swap(img)
 	default:
@@ -118,9 +126,15 @@ func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int) 
 	return nil
 }
 
+// newStageRNG builds the one reusable generator a stage goroutine owns.
+func newStageRNG() *rand.Rand { return rand.New(rand.NewSource(0)) }
+
 type execMsg struct {
 	frame int
 	strip *frame.Strip
+	// parent is set when strip is an in-place view of a pooled full frame
+	// (the OneRenderer path); the transfer stage recycles it after the sink.
+	parent *frame.Image
 }
 
 // Exec runs the macro pipeline for real: frames are rendered, filtered
@@ -129,6 +143,14 @@ type execMsg struct {
 // capacity-1 channels, matching the paper's structure (and the natural
 // goroutine translation of the SCC design). It is ExecContext with a
 // background context.
+//
+// Frame buffers come from spec.Pool and are recycled after each frame, so
+// in steady state the run performs no per-frame pixel allocation: with one
+// renderer the filter stages mutate zero-copy row views of the rendered
+// frame and that same buffer reaches sink. The img passed to sink is
+// therefore BORROWED — it is valid only until the callback returns and is
+// then reused for a later frame. Sinks that retain pixels past the
+// callback must copy them (img.Clone, or frame.Strip.Detach for strips).
 func Exec(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (ExecResult, error) {
 	return ExecContext(context.Background(), spec, tree, cams, sink)
 }
@@ -147,6 +169,10 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	}
 	start := time.Now()
 	k := spec.Pipelines
+	pool := spec.Pool
+	if pool == nil {
+		pool = frame.DefaultPool
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -200,6 +226,8 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	// Producers. On an error path the head channels stay open — downstream
 	// stages are unblocked by the cancelled context, not by channel close,
 	// which keeps the first error from being masked by "ended early".
+	// Buffers in flight when a run is cancelled are simply not returned to
+	// the pool; the GC reclaims them.
 	switch spec.Renderer {
 	case NRenderers:
 		for i := 0; i < k; i++ {
@@ -208,7 +236,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 				r := render.NewRenderer(tree)
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
-					img := frame.New(spec.Width, y1-y0)
+					img := pool.Get(spec.Width, y1-y0)
 					_ = spec.Observer.stageBusy(StageRender, i, func() error {
 						r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
 						return nil
@@ -226,17 +254,22 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 		spawn("renderer", func() error {
 			r := render.NewRenderer(tree)
 			for f := 0; f < spec.Frames; f++ {
-				img := frame.New(spec.Width, spec.Height)
+				img := pool.Get(spec.Width, spec.Height)
 				_ = spec.Observer.stageBusy(StageRender, -1, func() error {
 					r.RenderFrame(cams[f], img)
 					return nil
 				})
-				strips, err := frame.SplitRows(img, k)
+				// Zero-copy hand-off: the strips are row-range views of
+				// img, mutated in place by the filter chains. The views are
+				// disjoint byte ranges, so the k pipelines never touch the
+				// same byte, and the channel sends order each strip's writes
+				// before the transfer stage reads them.
+				strips, err := frame.SplitRowsView(img, k)
 				if err != nil {
 					return err
 				}
 				for i, s := range strips {
-					if err := send(heads[i], execMsg{frame: f, strip: s}); err != nil {
+					if err := send(heads[i], execMsg{frame: f, strip: s, parent: img}); err != nil {
 						return err
 					}
 				}
@@ -258,6 +291,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			out := make(chan execMsg, 1)
 			src := in
 			spawn(fmt.Sprintf("filter %v.%d", kind, i), func() error {
+				rng := newStageRNG()
 				for {
 					msg, ok, err := recv(src)
 					if err != nil {
@@ -268,7 +302,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 						return nil
 					}
 					if err := spec.Observer.stageBusy(kind, i, func() error {
-						return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index)
+						return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index, rng)
 					}); err != nil {
 						return err
 					}
@@ -282,10 +316,17 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 		tails[i] = in
 	}
 
-	// Transfer: gather one strip per pipeline per frame, assemble, emit.
+	// Transfer: gather one strip per pipeline per frame, emit, recycle.
+	// When every strip is a view of the same pooled frame (OneRenderer) the
+	// frame is already assembled in place and goes to the sink as-is; the
+	// NRenderers path gathers the pooled strip buffers into one pooled
+	// frame. Either way the emitted buffer returns to the pool after sink.
 	spawn("transfer", func() error {
+		strips := make([]*frame.Strip, 0, k)
 		for f := 0; f < spec.Frames; f++ {
-			strips := make([]*frame.Strip, 0, k)
+			strips = strips[:0]
+			var parent *frame.Image
+			shared := true
 			for i := 0; i < k; i++ {
 				msg, ok, err := recv(tails[i])
 				if err != nil {
@@ -297,17 +338,33 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 				if msg.frame != f {
 					return fmt.Errorf("core: pipeline %d out of sync at frame %d (got frame %d)", i, f, msg.frame)
 				}
+				if i == 0 {
+					parent = msg.parent
+				} else if msg.parent != parent {
+					shared = false
+				}
 				strips = append(strips, msg.strip)
+			}
+			out := parent
+			if !shared || parent == nil {
+				out = pool.Get(spec.Width, spec.Height)
+				frame.AssembleInto(out, strips)
 			}
 			_ = spec.Observer.stageBusy(StageTransfer, -1, func() error {
 				if sink != nil {
-					sink(f, frame.Assemble(spec.Width, spec.Height, strips))
+					sink(f, out)
 				}
 				return nil
 			})
 			if spec.Observer.OnFrame != nil {
 				spec.Observer.OnFrame(f)
 			}
+			for _, s := range strips {
+				if s.Parent() == nil && s.Img != out {
+					pool.Put(s.Img)
+				}
+			}
+			pool.Put(out)
 		}
 		return nil
 	})
@@ -335,6 +392,7 @@ func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sin
 		}
 	}()
 	r := render.NewRenderer(tree)
+	rng := newStageRNG()
 	k := spec.Pipelines
 	for f := 0; f < spec.Frames; f++ {
 		var strips []*frame.Strip
@@ -343,7 +401,7 @@ func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sin
 			img := frame.New(spec.Width, y1-y0)
 			r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
 			for _, kind := range FilterOrder {
-				if err := applyFilter(kind, img, spec, f, i); err != nil {
+				if err := applyFilter(kind, img, spec, f, i, rng); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+// The pooled runtime must not pay per-frame pixel traffic: once the pool is
+// warm, each additional frame costs a handful of strip headers, not fresh
+// frame buffers. Measured as the marginal cost between a short and a long
+// run sharing one pool (goroutine spawns and renderer setup cancel out).
+// GC is paused so a collection can't empty the sync.Pool mid-measurement.
+func TestExecSteadyStatePerFrameAllocs(t *testing.T) {
+	for _, rc := range []RendererConfig{OneRenderer, NRenderers} {
+		pool := frame.NewPool()
+		run := func(frames int) (mallocs, bytes uint64) {
+			spec := ExecSpec{
+				Frames: frames, Width: 96, Height: 72,
+				Pipelines: 3, Renderer: rc, Seed: 7, Pool: pool,
+			}
+			cams := render.Walkthrough(frames, execScene.Bounds())
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			if _, err := Exec(spec, execScene, cams, func(int, *frame.Image) {}); err != nil {
+				t.Fatal(err)
+			}
+			runtime.ReadMemStats(&after)
+			return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+		}
+		run(4) // warm the pool and every per-run structure
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		m1, b1 := run(4)
+		m2, b2 := run(24)
+		perFrameAllocs := float64(m2-m1) / 20
+		perFrameBytes := float64(b2-b1) / 20
+		t.Logf("%v: %.1f allocs/frame, %.0f B/frame marginal", rc, perFrameAllocs, perFrameBytes)
+		// A 96×72 frame alone is 27 KB; the unpooled runtime allocated
+		// several of them (plus render scratch) per frame. Steady state
+		// must stay well under one frame buffer per frame. The byte bound
+		// leaves headroom for the race detector, whose instrumentation
+		// roughly doubles the header/closure allocation sizes.
+		if perFrameAllocs > 64 {
+			t.Errorf("%v: %.1f allocs per frame in steady state", rc, perFrameAllocs)
+		}
+		if perFrameBytes > 32*1024 {
+			t.Errorf("%v: %.0f bytes per frame in steady state", rc, perFrameBytes)
+		}
+	}
+}

@@ -28,7 +28,9 @@ func collect(t *testing.T, spec ExecSpec, parallel bool) []*frame.Image {
 	t.Helper()
 	cams := render.Walkthrough(spec.Frames, execScene.Bounds())
 	out := make([]*frame.Image, spec.Frames)
-	sink := func(f int, img *frame.Image) { out[f] = img }
+	// Sink images are pooled borrows, valid only during the callback —
+	// clone to retain them for comparison.
+	sink := func(f int, img *frame.Image) { out[f] = img.Clone() }
 	if parallel {
 		if _, err := Exec(spec, execScene, cams, sink); err != nil {
 			t.Fatal(err)
@@ -205,7 +207,7 @@ func TestExecReferenceSinkPanicIsError(t *testing.T) {
 
 func TestApplyFilterRejectsNonFilterStage(t *testing.T) {
 	img := frame.New(4, 4)
-	if err := applyFilter(StageRender, img, ExecSpec{}, 0, 0); err == nil {
+	if err := applyFilter(StageRender, img, ExecSpec{}, 0, 0, newStageRNG()); err == nil {
 		t.Fatal("non-filter stage kind accepted")
 	}
 }

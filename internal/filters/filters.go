@@ -2,10 +2,19 @@
 // real pixels: sepia, blur, scratch, flicker and swap. Each follows the
 // formula or procedure in §IV of the paper. Randomized stages (scratch,
 // flicker) take an explicit RNG so pipelines are reproducible.
+//
+// The kernels here are the optimized forms that run on the pipeline hot
+// path: table-driven conversions, integer sliding-window sums, in-place
+// row operations, and pooled scratch instead of per-call allocation. Each
+// is golden-tested byte-identical against its paper-literal counterpart in
+// reference.go — the memory-traffic rewrite must not change a single
+// pixel, exactly as the paper's fast blur (§VI) preserves its stage
+// semantics while cutting controller traffic.
 package filters
 
 import (
 	"math/rand"
+	"sync"
 
 	"sccpipe/internal/frame"
 )
@@ -32,6 +41,22 @@ var (
 	sepiaS2 = [3]float64{1.0, 0.9, 0.5}
 )
 
+// sepiaRamp holds the per-channel luminance ramps 0.3·(v/255), 0.59·(v/255)
+// and 0.11·(v/255) for every byte value: each entry is computed with
+// exactly the float64 operations SepiaReference performs, so summing three
+// table entries reproduces the reference mix bit for bit while replacing
+// three divisions and three multiplications per pixel with loads. (A single
+// 256-entry output table would need the mix quantized to 8 bits first,
+// which is not bit-exact; the per-channel ramps are.)
+var sepiaRamp = func() (t [3][256]float64) {
+	for v := 0; v < 256; v++ {
+		t[0][v] = 0.3 * to01(uint8(v))
+		t[1][v] = 0.59 * to01(uint8(v))
+		t[2][v] = 0.11 * to01(uint8(v))
+	}
+	return t
+}()
+
 // Sepia converts the image to the paper's sepia tone in place:
 //
 //	mix    = clamp(0.3·r + 0.59·g + 0.11·b)
@@ -39,43 +64,185 @@ var (
 func Sepia(img *frame.Image) {
 	pix := img.Pix
 	for o := 0; o < len(pix); o += 4 {
-		r, g, b := to01(pix[o]), to01(pix[o+1]), to01(pix[o+2])
-		mix := clamp01(0.3*r + 0.59*g + 0.11*b)
+		mix := clamp01(sepiaRamp[0][pix[o]] + sepiaRamp[1][pix[o+1]] + sepiaRamp[2][pix[o+2]])
 		pix[o] = from01(sepiaS1[0]*(1-mix) + sepiaS2[0]*mix)
 		pix[o+1] = from01(sepiaS1[1]*(1-mix) + sepiaS2[1]*mix)
 		pix[o+2] = from01(sepiaS1[2]*(1-mix) + sepiaS2[2]*mix)
 	}
 }
 
-// Blur applies a 3×3 box blur (average of the pixel and its neighbours,
-// edge pixels averaging only in-bounds neighbours). As in the paper, it
-// works from the original data via a second buffer, making it the stage
-// with the heaviest memory traffic.
-func Blur(img *frame.Image) {
-	src := img.Clone()
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			var sr, sg, sb, n int
-			for dy := -1; dy <= 1; dy++ {
-				yy := y + dy
-				if yy < 0 || yy >= img.H {
-					continue
-				}
-				for dx := -1; dx <= 1; dx++ {
-					xx := x + dx
-					if xx < 0 || xx >= img.W {
-						continue
-					}
-					r, g, b, _ := src.At(xx, yy)
-					sr += int(r)
-					sg += int(g)
-					sb += int(b)
-					n++
-				}
-			}
-			_, _, _, a := src.At(x, y)
-			img.Set(x, y, uint8((sr+n/2)/n), uint8((sg+n/2)/n), uint8((sb+n/2)/n), a)
+// blurScratch pools the sliding-window row sums so Blur allocates nothing
+// in steady state. Buffers are reused across widths: a too-small slab is
+// simply regrown once.
+var blurScratch = sync.Pool{New: func() any { return new([]int32) }}
+
+func getRowSums(n int) *[]int32 {
+	p := blurScratch.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// hsum fills dst[x*3..] with the horizontal 3-window sums of row's RGB
+// channels (window [x−1, x+1] clipped to the row), maintained as a sliding
+// window: one add and one subtract per channel per pixel instead of three
+// loads. Integer adds commute exactly, so the sums match the naive form.
+func hsum(row []uint8, w int, dst []int32) {
+	sr, sg, sb := int32(row[0]), int32(row[1]), int32(row[2])
+	if w > 1 {
+		sr += int32(row[4])
+		sg += int32(row[5])
+		sb += int32(row[6])
+	}
+	dst[0], dst[1], dst[2] = sr, sg, sb
+	for x := 1; x < w; x++ {
+		if x+1 < w {
+			o := (x + 1) * 4
+			sr += int32(row[o])
+			sg += int32(row[o+1])
+			sb += int32(row[o+2])
 		}
+		if x >= 2 {
+			o := (x - 2) * 4
+			sr -= int32(row[o])
+			sg -= int32(row[o+1])
+			sb -= int32(row[o+2])
+		}
+		o := x * 3
+		dst[o], dst[o+1], dst[o+2] = sr, sg, sb
+	}
+}
+
+// Blur applies a 3×3 box blur (average of the pixel and its neighbours,
+// edge pixels averaging only in-bounds neighbours). As in the paper it is
+// the stage with the heaviest memory traffic, so instead of cloning the
+// whole frame it keeps a three-row ring of integer horizontal window sums:
+// each source row is read once into its sum row before being overwritten,
+// and each output pixel is three sum loads, two adds and one rounded
+// division per channel. Output is byte-identical to BlurReference.
+func Blur(img *frame.Image) {
+	w, h := img.W, img.H
+	if w <= 0 || h <= 0 {
+		return
+	}
+	slab := getRowSums(3 * w * 3)
+	defer blurScratch.Put(slab)
+	var ring [3][]int32
+	for i := range ring {
+		ring[i] = (*slab)[i*w*3 : (i+1)*w*3]
+	}
+	hsum(img.Row(0), w, ring[0])
+	if h > 1 {
+		hsum(img.Row(1), w, ring[1])
+	}
+	for y := 0; y < h; y++ {
+		lo, hi := y-1, y+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > h-1 {
+			hi = h - 1
+		}
+		out := img.Row(y)
+		// The vertical window is 1–3 sum rows; resolving them here keeps
+		// the per-pixel loops free of ring arithmetic, and dispatching on
+		// the row count lets each loop divide by a constant (the compiler
+		// turns those into multiply-shift sequences — the division was the
+		// hot instruction).
+		switch hi - lo {
+		case 2:
+			blurRow3(out, ring[lo%3], ring[(lo+1)%3], ring[(lo+2)%3], w)
+		case 1:
+			blurRow2(out, ring[lo%3], ring[(lo+1)%3], w)
+		default:
+			blurRow1(out, ring[lo%3], w)
+		}
+		// Slot (y−1)%3 is free now; fill it with row y+2's sums for the
+		// next iteration. Row y+2 is still original data — only rows ≤ y
+		// have been overwritten.
+		if y+2 < h {
+			hsum(img.Row(y+2), w, ring[(y+2)%3])
+		}
+	}
+}
+
+// blurPix writes one output pixel from its channel sums with the
+// reference's rounded division (variable n — used only at row ends).
+func blurPix(out []uint8, x int, sr, sg, sb, n int32) {
+	po := x * 4
+	out[po] = uint8((sr + n/2) / n)
+	out[po+1] = uint8((sg + n/2) / n)
+	out[po+2] = uint8((sb + n/2) / n)
+}
+
+// blurRow3 emits an output row whose vertical window has all three rows
+// (sum rows a, b, c): interior pixels average 9 neighbours, the two row
+// ends 6. blurRow2/blurRow1 are its two- and one-row counterparts. Each
+// keeps the constant-divisor loop over the interior and handles the
+// (clipped) ends via blurPix, so degenerate one- and two-column images
+// fall out of the same code.
+func blurRow3(out []uint8, a, b, c []int32, w int) {
+	nx0 := int32(2)
+	if w == 1 {
+		nx0 = 1
+	}
+	blurPix(out, 0, a[0]+b[0]+c[0], a[1]+b[1]+c[1], a[2]+b[2]+c[2], 3*nx0)
+	for x := 1; x < w-1; x++ {
+		o := x * 3
+		sr := a[o] + b[o] + c[o]
+		sg := a[o+1] + b[o+1] + c[o+1]
+		sb := a[o+2] + b[o+2] + c[o+2]
+		po := x * 4
+		out[po] = uint8((sr + 4) / 9)
+		out[po+1] = uint8((sg + 4) / 9)
+		out[po+2] = uint8((sb + 4) / 9)
+	}
+	if w > 1 {
+		o := (w - 1) * 3
+		blurPix(out, w-1, a[o]+b[o]+c[o], a[o+1]+b[o+1]+c[o+1], a[o+2]+b[o+2]+c[o+2], 6)
+	}
+}
+
+func blurRow2(out []uint8, a, b []int32, w int) {
+	nx0 := int32(2)
+	if w == 1 {
+		nx0 = 1
+	}
+	blurPix(out, 0, a[0]+b[0], a[1]+b[1], a[2]+b[2], 2*nx0)
+	for x := 1; x < w-1; x++ {
+		o := x * 3
+		sr := a[o] + b[o]
+		sg := a[o+1] + b[o+1]
+		sb := a[o+2] + b[o+2]
+		po := x * 4
+		out[po] = uint8((sr + 3) / 6)
+		out[po+1] = uint8((sg + 3) / 6)
+		out[po+2] = uint8((sb + 3) / 6)
+	}
+	if w > 1 {
+		o := (w - 1) * 3
+		blurPix(out, w-1, a[o]+b[o], a[o+1]+b[o+1], a[o+2]+b[o+2], 4)
+	}
+}
+
+func blurRow1(out []uint8, a []int32, w int) {
+	nx0 := int32(2)
+	if w == 1 {
+		nx0 = 1
+	}
+	blurPix(out, 0, a[0], a[1], a[2], nx0)
+	for x := 1; x < w-1; x++ {
+		o := x * 3
+		po := x * 4
+		out[po] = uint8((a[o] + 1) / 3)
+		out[po+1] = uint8((a[o+1] + 1) / 3)
+		out[po+2] = uint8((a[o+2] + 1) / 3)
+	}
+	if w > 1 {
+		o := (w - 1) * 3
+		blurPix(out, w-1, a[o], a[o+1], a[o+2], 2)
 	}
 }
 
@@ -84,15 +251,16 @@ const MaxScratches = 6
 
 // Scratch draws a random number of vertical scratches in a random shade
 // (§IV, Scratch stage): one random color and count per call, then one
-// random x-coordinate per scratch whose whole column is replaced.
+// random x-coordinate per scratch whose whole column is replaced. Alpha is
+// untouched, so the column walk writes the three color bytes directly.
 func Scratch(img *frame.Image, rng *rand.Rand) {
 	count := rng.Intn(MaxScratches + 1)
 	shade := uint8(170 + rng.Intn(86)) // light scratch tone
+	pix, stride := img.Pix, img.W*4
 	for i := 0; i < count; i++ {
 		x := rng.Intn(img.W)
-		for y := 0; y < img.H; y++ {
-			_, _, _, a := img.At(x, y)
-			img.Set(x, y, shade, shade, shade, a)
+		for o := x * 4; o < len(pix); o += stride {
+			pix[o], pix[o+1], pix[o+2] = shade, shade, shade
 		}
 	}
 }
@@ -108,25 +276,38 @@ func Flicker(img *frame.Image, rng *rand.Rand) {
 }
 
 // FlickerBy applies a specific brightness delta; exposed for testing and
-// for replaying recorded flicker sequences.
+// for replaying recorded flicker sequences. The delta is the same for
+// every pixel, so the float64 round trip is evaluated once per byte value
+// into a stack table and the image pass is three loads per pixel —
+// byte-identical to FlickerByReference by construction.
 func FlickerBy(img *frame.Image, delta float64) {
+	var lut [256]uint8
+	for v := range lut {
+		lut[v] = from01(to01(uint8(v)) + delta)
+	}
 	pix := img.Pix
 	for o := 0; o < len(pix); o += 4 {
-		pix[o] = from01(to01(pix[o]) + delta)
-		pix[o+1] = from01(to01(pix[o+1]) + delta)
-		pix[o+2] = from01(to01(pix[o+2]) + delta)
+		pix[o] = lut[pix[o]]
+		pix[o+1] = lut[pix[o+1]]
+		pix[o+2] = lut[pix[o+2]]
 	}
 }
 
-// Swap flips the image upside down in place using an intermediate row
-// buffer, copying rows pairwise exactly as §IV's Swap stage describes.
+// Swap flips the image upside down in place, exchanging rows pairwise
+// exactly as §IV's Swap stage describes. The exchange goes through a
+// fixed stack chunk instead of an allocated row buffer, so the flip is
+// allocation-free at any width while keeping memmove-speed copies.
 func Swap(img *frame.Image) {
-	tmp := make([]uint8, img.W*4)
+	var buf [2048]uint8
+	rb := img.W * 4
 	for i, j := 0, img.H-1; i < j; i, j = i+1, j-1 {
 		top := img.Row(i)
 		bottom := img.Row(j)
-		copy(tmp, top)
-		copy(top, bottom)
-		copy(bottom, tmp)
+		for o := 0; o < rb; o += len(buf) {
+			end := min(o+len(buf), rb)
+			n := copy(buf[:], top[o:end])
+			copy(top[o:end], bottom[o:end])
+			copy(bottom[o:end], buf[:n])
+		}
 	}
 }

@@ -1,0 +1,181 @@
+package filters
+
+import (
+	"math/rand"
+	"testing"
+
+	"sccpipe/internal/frame"
+)
+
+// The optimized kernels must produce byte-identical output to the
+// paper-literal reference kernels in reference.go for every geometry —
+// including the degenerate edge cases (single rows, single columns) where
+// the blur neighbour count and the strip row windows shrink.
+
+var goldenSizes = [][2]int{
+	{1, 1}, {2, 1}, {1, 2}, {3, 1}, {1, 3}, {2, 2}, {3, 3},
+	{16, 16}, {17, 9}, {9, 17}, {64, 48}, {33, 2}, {2, 33}, {31, 31},
+}
+
+func goldenPair(seed int64, w, h int) (opt, ref *frame.Image) {
+	opt = randomImage(seed, w, h)
+	// Vary alpha too: the kernels must preserve arbitrary alpha, not just
+	// opaque frames.
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1))
+	for i := 3; i < len(opt.Pix); i += 4 {
+		opt.Pix[i] = uint8(rng.Intn(256))
+	}
+	return opt, opt.Clone()
+}
+
+func TestGoldenSepia(t *testing.T) {
+	for _, size := range goldenSizes {
+		for seed := int64(0); seed < 4; seed++ {
+			opt, ref := goldenPair(seed, size[0], size[1])
+			Sepia(opt)
+			SepiaReference(ref)
+			if !opt.Equal(ref) {
+				t.Fatalf("%dx%d seed %d: optimized Sepia differs from reference", size[0], size[1], seed)
+			}
+		}
+	}
+}
+
+func TestGoldenBlur(t *testing.T) {
+	for _, size := range goldenSizes {
+		for seed := int64(0); seed < 4; seed++ {
+			opt, ref := goldenPair(seed, size[0], size[1])
+			Blur(opt)
+			BlurReference(ref)
+			if !opt.Equal(ref) {
+				t.Fatalf("%dx%d seed %d: optimized Blur differs from reference", size[0], size[1], seed)
+			}
+		}
+	}
+}
+
+func TestGoldenScratch(t *testing.T) {
+	for _, size := range goldenSizes {
+		for seed := int64(0); seed < 8; seed++ {
+			opt, ref := goldenPair(seed, size[0], size[1])
+			Scratch(opt, rand.New(rand.NewSource(seed)))
+			ScratchReference(ref, rand.New(rand.NewSource(seed)))
+			if !opt.Equal(ref) {
+				t.Fatalf("%dx%d seed %d: optimized Scratch differs from reference", size[0], size[1], seed)
+			}
+		}
+	}
+}
+
+func TestGoldenFlicker(t *testing.T) {
+	deltas := []float64{0, 0.1, -0.1, 0.05, -0.042, 1, -1, 0.0999}
+	for _, size := range goldenSizes {
+		for i, delta := range deltas {
+			opt, ref := goldenPair(int64(i), size[0], size[1])
+			FlickerBy(opt, delta)
+			FlickerByReference(ref, delta)
+			if !opt.Equal(ref) {
+				t.Fatalf("%dx%d delta %g: optimized FlickerBy differs from reference", size[0], size[1], delta)
+			}
+		}
+		// And through the randomized entry point with a shared seed.
+		opt, ref := goldenPair(99, size[0], size[1])
+		Flicker(opt, rand.New(rand.NewSource(31)))
+		FlickerByReference(ref, func() float64 {
+			rng := rand.New(rand.NewSource(31))
+			return (rng.Float64()*2 - 1) * FlickerAmplitude
+		}())
+		if !opt.Equal(ref) {
+			t.Fatalf("%dx%d: Flicker differs from reference", size[0], size[1])
+		}
+	}
+}
+
+func TestGoldenSwap(t *testing.T) {
+	for _, size := range goldenSizes {
+		for seed := int64(0); seed < 4; seed++ {
+			opt, ref := goldenPair(seed, size[0], size[1])
+			Swap(opt)
+			SwapReference(ref)
+			if !opt.Equal(ref) {
+				t.Fatalf("%dx%d seed %d: optimized Swap differs from reference", size[0], size[1], seed)
+			}
+		}
+	}
+}
+
+// The whole chain applied strip-wise over views must match the chain over
+// copied strips — the combination the pipeline actually runs.
+func TestGoldenChainOverStripViews(t *testing.T) {
+	full := randomImage(7, 48, 36)
+	copied := full.Clone()
+	for _, n := range []int{1, 2, 3, 5} {
+		a := full.Clone()
+		b := copied.Clone()
+		views, err := frame.SplitRowsView(a, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copies, err := frame.SplitRows(b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for s, img := range []*frame.Image{views[i].Img, copies[i].Img} {
+				rng := rand.New(rand.NewSource(int64(i*10 + s*0))) // same seed for both
+				Sepia(img)
+				Blur(img)
+				Scratch(img, rng)
+				Flicker(img, rng)
+				Swap(img)
+			}
+		}
+		got := frame.Assemble(48, 36, views)
+		want := frame.Assemble(48, 36, copies)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: chain over views differs from chain over copies", n)
+		}
+	}
+}
+
+// Steady-state allocation regression: the in-place kernels must not
+// allocate per call. Averages tolerate a rare sync.Pool refill after GC.
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	img := randomImage(11, 64, 48)
+	rng := rand.New(rand.NewSource(1))
+	Blur(img) // prime the scratch pools
+	Swap(img)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Sepia", func() { Sepia(img) }},
+		{"Blur", func() { Blur(img) }},
+		{"Scratch", func() { Scratch(img, rng) }},
+		{"FlickerBy", func() { FlickerBy(img, 0.05) }},
+		{"Swap", func() { Swap(img) }},
+	}
+	for _, c := range cases {
+		if avg := testing.AllocsPerRun(100, c.fn); avg > 0.1 {
+			t.Errorf("%s allocates %.2f objects per call in steady state", c.name, avg)
+		}
+	}
+}
+
+// Benchmarks for the kernel pairs live in the root bench harness; a tiny
+// sanity benchmark here keeps `go test -bench . ./internal/filters` useful.
+func BenchmarkBlurVsReference(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		fn   func(*frame.Image)
+	}{{"opt", Blur}, {"ref", BlurReference}} {
+		b.Run(impl.name, func(b *testing.B) {
+			img := randomImage(1, 256, 256)
+			b.SetBytes(int64(img.Bytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				impl.fn(img)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package filters
+
+import (
+	"math/rand"
+
+	"sccpipe/internal/frame"
+)
+
+// This file retains the straightforward, paper-literal kernels. They are
+// the oracles the optimized kernels in filters.go are golden-tested
+// against (byte-identical output required) and the baselines the bench
+// harness compares to. They are not used on the hot path.
+
+// SepiaReference is the direct transcription of §IV's sepia formula: three
+// float64 conversions, the weighted mix, and two clamped lerps per pixel.
+func SepiaReference(img *frame.Image) {
+	pix := img.Pix
+	for o := 0; o < len(pix); o += 4 {
+		r, g, b := to01(pix[o]), to01(pix[o+1]), to01(pix[o+2])
+		mix := clamp01(0.3*r + 0.59*g + 0.11*b)
+		pix[o] = from01(sepiaS1[0]*(1-mix) + sepiaS2[0]*mix)
+		pix[o+1] = from01(sepiaS1[1]*(1-mix) + sepiaS2[1]*mix)
+		pix[o+2] = from01(sepiaS1[2]*(1-mix) + sepiaS2[2]*mix)
+	}
+}
+
+// BlurReference is the 3×3 box blur working from a full-frame Clone, nine
+// bounds-checked neighbour reads per pixel — the paper's memory-heaviest
+// stage, transcribed naively.
+func BlurReference(img *frame.Image) {
+	src := img.Clone()
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			var sr, sg, sb, n int
+			for dy := -1; dy <= 1; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= img.H {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= img.W {
+						continue
+					}
+					r, g, b, _ := src.At(xx, yy)
+					sr += int(r)
+					sg += int(g)
+					sb += int(b)
+					n++
+				}
+			}
+			_, _, _, a := src.At(x, y)
+			img.Set(x, y, uint8((sr+n/2)/n), uint8((sg+n/2)/n), uint8((sb+n/2)/n), a)
+		}
+	}
+}
+
+// ScratchReference draws vertical scratches via per-pixel At/Set calls.
+func ScratchReference(img *frame.Image, rng *rand.Rand) {
+	count := rng.Intn(MaxScratches + 1)
+	shade := uint8(170 + rng.Intn(86))
+	for i := 0; i < count; i++ {
+		x := rng.Intn(img.W)
+		for y := 0; y < img.H; y++ {
+			_, _, _, a := img.At(x, y)
+			img.Set(x, y, shade, shade, shade, a)
+		}
+	}
+}
+
+// FlickerByReference applies the brightness delta with a float64 round
+// trip per channel per pixel.
+func FlickerByReference(img *frame.Image, delta float64) {
+	pix := img.Pix
+	for o := 0; o < len(pix); o += 4 {
+		pix[o] = from01(to01(pix[o]) + delta)
+		pix[o+1] = from01(to01(pix[o+1]) + delta)
+		pix[o+2] = from01(to01(pix[o+2]) + delta)
+	}
+}
+
+// SwapReference flips the image with a freshly allocated row buffer.
+func SwapReference(img *frame.Image) {
+	tmp := make([]uint8, img.W*4)
+	for i, j := 0, img.H-1; i < j; i, j = i+1, j-1 {
+		top := img.Row(i)
+		bottom := img.Row(j)
+		copy(tmp, top)
+		copy(top, bottom)
+		copy(bottom, tmp)
+	}
+}

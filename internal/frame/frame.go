@@ -91,10 +91,29 @@ type Strip struct {
 	Index int // strip number, 0 = top
 	Y0    int // first row in the full frame
 	Img   *Image
+	// parent is non-nil when Img is a zero-copy view into another frame's
+	// storage (SplitRowsView); Detach severs the tie.
+	parent *Image
 }
 
 // Bytes reports the strip payload size.
 func (s *Strip) Bytes() int { return s.Img.Bytes() }
+
+// Parent returns the frame this strip is a view into, or nil when the
+// strip owns its pixels.
+func (s *Strip) Parent() *Image { return s.parent }
+
+// Detach gives the strip its own copy of its pixels. A stage that must
+// hold a strip beyond its turn in the pipeline — or mutate rows it does
+// not own — calls Detach first; stages that filter their own rows in place
+// can keep the view. Detach on an owning strip is a no-op.
+func (s *Strip) Detach() {
+	if s.parent == nil {
+		return
+	}
+	s.Img = s.Img.Clone()
+	s.parent = nil
+}
 
 // StripBounds returns the row range [y0, y1) of strip i when a frame of
 // height h is divided into n horizontal strips as evenly as possible
@@ -135,20 +154,54 @@ func SplitRows(im *Image, n int) ([]*Strip, error) {
 	return strips, nil
 }
 
+// SplitRowsView divides a frame into n horizontal strips that are views
+// onto im's own storage: no pixels are copied, and writes through a strip
+// are writes into im. The row ranges are disjoint, so concurrent stages
+// may each mutate their own strip in place; a stage that needs ownership
+// (or outlives im) must call Strip.Detach. The parent must stay untouched
+// — and must not be recycled through a Pool — until every view is done.
+func SplitRowsView(im *Image, n int) ([]*Strip, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("frame: SplitRowsView needs at least one strip, got %d", n)
+	}
+	if n > im.H {
+		return nil, fmt.Errorf("frame: cannot split %d rows into %d strips", im.H, n)
+	}
+	strips := make([]*Strip, n)
+	for i := 0; i < n; i++ {
+		y0, y1 := StripBounds(im.H, n, i)
+		sub := &Image{W: im.W, H: y1 - y0, Pix: im.Pix[y0*im.W*4 : y1*im.W*4]}
+		strips[i] = &Strip{Index: i, Y0: y0, Img: sub, parent: im}
+	}
+	return strips, nil
+}
+
 // Assemble recombines strips (in any order) into a full frame of the given
 // size. Missing rows stay black.
 func Assemble(w, h int, strips []*Strip) *Image {
 	out := New(w, h)
+	AssembleInto(out, strips)
+	return out
+}
+
+// AssembleInto copies strips (in any order) into dst. Rows no strip covers
+// keep dst's existing contents — callers reusing pooled buffers must
+// ensure the strips tile the frame, as the pipeline's sort-first
+// decomposition does. A strip that is a view into dst itself is already in
+// place and is skipped rather than copied.
+func AssembleInto(dst *Image, strips []*Strip) {
 	for _, s := range strips {
+		if s.parent == dst {
+			continue
+		}
 		for y := 0; y < s.Img.H; y++ {
 			ty := s.Y0 + y
-			if ty < 0 || ty >= h {
+			if ty < 0 || ty >= dst.H {
 				continue
 			}
-			copy(out.Row(ty), s.Img.Row(y))
+			copy(dst.Row(ty), s.Img.Row(y))
 		}
 	}
-	return out
 }
 
 // WritePPM encodes the image as binary PPM (P6), dropping alpha.
@@ -167,11 +220,4 @@ func (im *Image) WritePPM(w io.Writer) error {
 		}
 	}
 	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,99 @@
+package frame
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool recycles frame buffers by size class so steady-state frame flow is
+// allocation-free. It is the Go analog of the paper's fixed per-core frame
+// buffers: the SCC design never allocates on the frame path because every
+// buffer lives at a fixed offset in shared memory, and the four memory
+// controllers see only the unavoidable pixel traffic. A Pool gives the
+// goroutine backend the same property.
+//
+// Ownership rules (see README "Performance"):
+//
+//   - Get hands out a buffer with UNDEFINED pixel contents; the caller must
+//     fully overwrite it (a rasterizer Clear, a strip copy, ...) before
+//     reading.
+//   - Put transfers ownership back to the pool. The caller must not touch
+//     the image afterwards, and must never Put a view returned by
+//     SplitRowsView — only the parent owns that storage.
+//   - A buffer must be reachable from at most one stage at a time. Builds
+//     with -tags framedebug assert this: double Puts panic and returned
+//     buffers are poisoned so use-after-Put shows up in golden tests.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	mu      sync.Mutex
+	classes map[int]*sync.Pool
+	// held tracks buffers currently inside the pool under -tags framedebug
+	// (poolDebug); it stays nil in release builds.
+	held map[*Image]bool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{classes: make(map[int]*sync.Pool)} }
+
+// DefaultPool is the package-wide shared pool used by callers that do not
+// manage their own (core.Exec with a nil ExecSpec.Pool, for one).
+var DefaultPool = NewPool()
+
+// class returns the sync.Pool for buffers of exactly n pixel bytes.
+func (p *Pool) class(n int) *sync.Pool {
+	p.mu.Lock()
+	c, ok := p.classes[n]
+	if !ok {
+		c = &sync.Pool{}
+		p.classes[n] = c
+	}
+	p.mu.Unlock()
+	return c
+}
+
+// Get returns a w×h image with undefined pixel contents, reusing a pooled
+// buffer of the same byte size when one is available. The caller owns the
+// image until it calls Put.
+func (p *Pool) Get(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: Pool.Get(%d, %d)", w, h))
+	}
+	n := w * h * 4
+	v := p.class(n).Get()
+	if v == nil {
+		return New(w, h)
+	}
+	img := v.(*Image)
+	img.W, img.H = w, h
+	if poolDebug {
+		p.mu.Lock()
+		delete(p.held, img)
+		p.mu.Unlock()
+	}
+	return img
+}
+
+// Put returns a buffer to the pool. Images whose Pix length disagrees with
+// W×H (hand-built or truncated buffers) are dropped rather than recycled.
+func (p *Pool) Put(img *Image) {
+	if img == nil || len(img.Pix) != img.W*img.H*4 || len(img.Pix) == 0 {
+		return
+	}
+	if poolDebug {
+		p.mu.Lock()
+		if p.held == nil {
+			p.held = make(map[*Image]bool)
+		}
+		if p.held[img] {
+			p.mu.Unlock()
+			panic("frame: Pool.Put called twice for the same buffer (ownership violation)")
+		}
+		p.held[img] = true
+		p.mu.Unlock()
+		for i := range img.Pix {
+			img.Pix[i] = 0xDB // poison: use-after-Put becomes visible
+		}
+	}
+	p.class(len(img.Pix)).Put(img)
+}

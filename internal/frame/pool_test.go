@@ -1,0 +1,195 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoolRoundTrip(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8, 6)
+	if a.W != 8 || a.H != 6 || len(a.Pix) != 8*6*4 {
+		t.Fatalf("Get(8,6) = %dx%d, %d bytes", a.W, a.H, len(a.Pix))
+	}
+	// A fresh pool buffer behaves like New: black, opaque.
+	if r, g, b, alpha := a.At(3, 3); r != 0 || g != 0 || b != 0 || alpha != 0xff {
+		t.Fatalf("fresh pooled image = %d,%d,%d,%d", r, g, b, alpha)
+	}
+	p.Put(a)
+	b := p.Get(8, 6)
+	if b != a {
+		t.Fatal("same-size Get did not reuse the pooled buffer")
+	}
+}
+
+func TestPoolReshapesSameByteSize(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8, 6)
+	p.Put(a)
+	// 12×4 has the same byte size as 8×6 and may reuse the same storage,
+	// but must come back with the requested geometry.
+	b := p.Get(12, 4)
+	if b.W != 12 || b.H != 4 || len(b.Pix) != 12*4*4 {
+		t.Fatalf("Get(12,4) = %dx%d, %d bytes", b.W, b.H, len(b.Pix))
+	}
+}
+
+func TestPoolSizeClassesAreSeparate(t *testing.T) {
+	p := NewPool()
+	small := p.Get(4, 4)
+	p.Put(small)
+	big := p.Get(16, 16)
+	if big == small || len(big.Pix) != 16*16*4 {
+		t.Fatal("Get(16,16) handed back a 4x4 buffer")
+	}
+}
+
+func TestPoolRefusesCorruptBuffers(t *testing.T) {
+	p := NewPool()
+	// A truncated hand-built image must be dropped, not recycled.
+	p.Put(&Image{W: 4, H: 4, Pix: make([]uint8, 8)})
+	p.Put(nil)
+	img := p.Get(4, 4)
+	if len(img.Pix) != 4*4*4 {
+		t.Fatalf("pool handed out %d-byte buffer for 4x4", len(img.Pix))
+	}
+}
+
+func TestPoolGetRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(0, 4) did not panic")
+		}
+	}()
+	NewPool().Get(0, 4)
+}
+
+func TestSplitRowsViewSharesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	im := randomImage(rng, 10, 9)
+	strips, err := SplitRowsView(im, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range strips {
+		if s.Parent() != im {
+			t.Fatalf("strip %d has parent %p, want %p", s.Index, s.Parent(), im)
+		}
+	}
+	// A write through the strip view lands in the parent.
+	strips[1].Img.Set(2, 0, 9, 8, 7, 6)
+	if r, g, b, a := im.At(2, strips[1].Y0); r != 9 || g != 8 || b != 7 || a != 6 {
+		t.Fatal("strip view write did not reach the parent frame")
+	}
+	// And the views reassemble to the parent without copying.
+	out := New(im.W, im.H)
+	AssembleInto(out, strips)
+	if !out.Equal(im) {
+		t.Fatal("views do not reassemble to the parent")
+	}
+}
+
+func TestSplitRowsViewMatchesSplitRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 7} {
+		im := randomImage(rng, 12, 21)
+		copies, err := SplitRows(im, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views, err := SplitRowsView(im, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range copies {
+			if copies[i].Y0 != views[i].Y0 || !copies[i].Img.Equal(views[i].Img) {
+				t.Fatalf("n=%d strip %d: view disagrees with copy", n, i)
+			}
+		}
+	}
+}
+
+func TestSplitRowsViewRejectsBadCounts(t *testing.T) {
+	im := New(4, 4)
+	if _, err := SplitRowsView(im, 0); err == nil {
+		t.Fatal("SplitRowsView(n=0) accepted")
+	}
+	if _, err := SplitRowsView(im, 5); err == nil {
+		t.Fatal("SplitRowsView with more strips than rows accepted")
+	}
+}
+
+func TestStripDetach(t *testing.T) {
+	im := randomImage(rand.New(rand.NewSource(5)), 6, 8)
+	strips, err := SplitRowsView(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strips[0]
+	before := s.Img.Clone()
+	s.Detach()
+	if s.Parent() != nil {
+		t.Fatal("detached strip still reports a parent")
+	}
+	if !s.Img.Equal(before) {
+		t.Fatal("Detach changed pixel contents")
+	}
+	// Mutating the parent no longer affects the detached strip.
+	im.Fill(1, 2, 3, 4)
+	if !s.Img.Equal(before) {
+		t.Fatal("detached strip still aliases the parent")
+	}
+	s.Detach() // idempotent on owning strips
+	if !s.Img.Equal(before) {
+		t.Fatal("second Detach changed the strip")
+	}
+}
+
+// AssembleInto must skip strips that already view dst: the pixels are in
+// place, and copying a row onto itself would be wasted traffic.
+func TestAssembleIntoSkipsViewsOfDst(t *testing.T) {
+	im := randomImage(rand.New(rand.NewSource(6)), 8, 8)
+	want := im.Clone()
+	strips, err := SplitRowsView(im, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AssembleInto(im, strips)
+	if !im.Equal(want) {
+		t.Fatal("assembling views of dst into dst changed pixels")
+	}
+}
+
+// The steady-state split→assemble loop must not allocate: views share the
+// parent, the destination comes from the pool, and strip headers are the
+// only garbage (amortized to zero here by reusing them).
+func TestSplitAssembleSteadyStateAllocs(t *testing.T) {
+	p := NewPool()
+	src := randomImage(rand.New(rand.NewSource(7)), 64, 48)
+	avg := testing.AllocsPerRun(200, func() {
+		strips, err := SplitRowsView(src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := p.Get(src.W, src.H)
+		AssembleInto(dst, strips)
+		p.Put(dst)
+	})
+	// Strip headers (n *Strip + n *Image + the slice) are the only
+	// allocations; the pixel path must be zero.
+	if avg > 10 {
+		t.Fatalf("split/assemble allocates %.1f objects per frame", avg)
+	}
+}
+
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	p := NewPool()
+	p.Put(p.Get(32, 32)) // prime the class
+	avg := testing.AllocsPerRun(200, func() {
+		img := p.Get(32, 32)
+		p.Put(img)
+	})
+	if avg > 0.1 {
+		t.Fatalf("pooled Get/Put allocates %.2f objects per cycle", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !framedebug
+
+package frame
+
+// poolDebug enables the Pool ownership checks (double-Put panics, poisoned
+// returned buffers). Off in release builds; `go test -tags framedebug`
+// turns it on.
+const poolDebug = false

@@ -1,0 +1,7 @@
+//go:build framedebug
+
+package frame
+
+// poolDebug enables the Pool ownership checks (double-Put panics, poisoned
+// returned buffers). See pooldebug_off.go for the release default.
+const poolDebug = true

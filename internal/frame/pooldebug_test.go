@@ -1,0 +1,40 @@
+//go:build framedebug
+
+package frame
+
+import "testing"
+
+// These tests exercise the debug-build ownership assertions; run them with
+// `go test -tags framedebug ./internal/frame` (make check does).
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	p := NewPool()
+	img := p.Get(4, 4)
+	p.Put(img)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic under framedebug")
+		}
+	}()
+	p.Put(img)
+}
+
+func TestPoolPoisonsReturnedBuffers(t *testing.T) {
+	p := NewPool()
+	img := p.Get(4, 4)
+	img.Fill(1, 2, 3, 4)
+	p.Put(img)
+	// The caller no longer owns img; the poison pattern makes any
+	// use-after-Put visible in pixel comparisons.
+	for i, v := range img.Pix {
+		if v != 0xDB {
+			t.Fatalf("byte %d = %#x after Put, want poison 0xDB", i, v)
+		}
+	}
+	// Get clears the poison back to a defined "undefined" state only via
+	// caller overwrite; the buffer itself must come back usable.
+	got := p.Get(4, 4)
+	if got != img {
+		t.Fatal("poisoned buffer was not recycled")
+	}
+}

@@ -9,9 +9,12 @@ import (
 // Rasterizer fills flat-shaded triangles into a horizontal strip of the
 // screen with a depth buffer. The strip is the sort-first unit of the
 // paper: a full-frame viewport whose rows [Y0, Y0+img.H) are materialized.
+// A Rasterizer may be re-targeted at successive frames with Reset, reusing
+// its depth buffer and clip scratch across the whole walkthrough.
 type Rasterizer struct {
 	img   *frame.Image
 	zbuf  []float32
+	poly  [4]Vec4 // near-clip output scratch (a triangle clips to ≤ 4 verts)
 	FullW int
 	FullH int
 	Y0    int
@@ -24,16 +27,30 @@ type Rasterizer struct {
 // NewRasterizer wraps a strip buffer. img must be FullW wide; its rows
 // correspond to screen rows starting at y0.
 func NewRasterizer(img *frame.Image, fullW, fullH, y0 int) *Rasterizer {
+	r := &Rasterizer{}
+	r.Reset(img, fullW, fullH, y0)
+	return r
+}
+
+// Reset re-targets the rasterizer at a strip buffer and clears color,
+// depth and the fill counters. The depth buffer allocation is kept when it
+// is already large enough, so a per-pipeline rasterizer renders a whole
+// walkthrough without reallocating.
+func (r *Rasterizer) Reset(img *frame.Image, fullW, fullH, y0 int) {
 	if img.W != fullW {
 		panic("render: strip width must equal full frame width")
 	}
 	if y0 < 0 || y0+img.H > fullH {
 		panic("render: strip rows outside frame")
 	}
-	r := &Rasterizer{img: img, FullW: fullW, FullH: fullH, Y0: y0}
-	r.zbuf = make([]float32, img.W*img.H)
+	r.img, r.FullW, r.FullH, r.Y0 = img, fullW, fullH, y0
+	need := img.W * img.H
+	if cap(r.zbuf) < need {
+		r.zbuf = make([]float32, need)
+	}
+	r.zbuf = r.zbuf[:need]
+	r.Filled, r.Candidates = 0, 0
 	r.Clear(0, 0, 0)
-	return r
 }
 
 // Clear resets color and depth.
@@ -57,7 +74,7 @@ func (r *Rasterizer) DrawTriangle(vp Mat4, t Triangle) {
 		vp.TransformPoint(t.V[1]),
 		vp.TransformPoint(t.V[2]),
 	}
-	poly := clipNear(clip[:])
+	poly := clipNear(clip[:], r.poly[:0])
 	if len(poly) < 3 {
 		return
 	}
@@ -67,9 +84,9 @@ func (r *Rasterizer) DrawTriangle(vp Mat4, t Triangle) {
 	}
 }
 
-// clipNear clips a clip-space polygon against the GL near plane z + w > 0.
-func clipNear(in []Vec4) []Vec4 {
-	out := make([]Vec4, 0, len(in)+1)
+// clipNear clips a clip-space polygon against the GL near plane z + w > 0,
+// appending the surviving vertices to out (the caller's scratch).
+func clipNear(in, out []Vec4) []Vec4 {
 	for i := range in {
 		a := in[i]
 		b := in[(i+1)%len(in)]

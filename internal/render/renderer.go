@@ -13,10 +13,13 @@ type Stats struct {
 
 // Renderer renders views of an octree-organized scene. It is not safe for
 // concurrent use; each pipeline's render stage owns one instance (as each
-// SCC renderer core does in the paper).
+// SCC renderer core does in the paper). Its culling scratch, depth buffer
+// and clip scratch are reused across frames, so a walkthrough render loop
+// is allocation-free in steady state.
 type Renderer struct {
 	Tree   *Octree
-	culled []int32 // reusable scratch for culling results
+	culled []int32    // reusable scratch for culling results
+	rast   Rasterizer // reusable depth buffer + clip scratch
 }
 
 // NewRenderer wraps a built scene octree.
@@ -25,17 +28,19 @@ func NewRenderer(tree *Octree) *Renderer { return &Renderer{Tree: tree} }
 // RenderStrip renders screen rows [y0, y0+img.H) of a fullW×fullH frame
 // into img: frustum-cull with the strip sub-frustum, then rasterize the
 // survivors with the full-frame projection so strips tile seamlessly.
+// Every pixel of img is overwritten, so pooled buffers with stale contents
+// are fine.
 func (r *Renderer) RenderStrip(cam Camera, img *frame.Image, fullW, fullH, y0 int) Stats {
-	rast := NewRasterizer(img, fullW, fullH, y0)
+	r.rast.Reset(img, fullW, fullH, y0)
 	cull := cam.StripFrustum(fullW, fullH, y0, y0+img.H)
 	var st Stats
 	r.culled, st.CullStats = r.Tree.Cull(cull, r.culled[:0])
 	vp := cam.ViewProjection(fullW, fullH)
 	for _, ti := range r.culled {
-		rast.DrawTriangle(vp, r.Tree.Triangles[ti])
+		r.rast.DrawTriangle(vp, r.Tree.Triangles[ti])
 	}
-	st.Filled = rast.Filled
-	st.Candidates = rast.Candidates
+	st.Filled = r.rast.Filled
+	st.Candidates = r.rast.Candidates
 	st.TrisDrawn = len(r.culled)
 	return st
 }

@@ -102,6 +102,11 @@ type Server struct {
 	mux  *http.ServeMux
 	m    *stats.Counters
 
+	// pool recycles frame buffers across every render job the server runs:
+	// jobs with matching frame geometry reuse each other's buffers instead
+	// of re-allocating per frame.
+	pool *frame.Pool
+
 	// room bounds total admitted jobs (running + waiting); slots bounds
 	// running pipeline jobs. Both are counting semaphores.
 	room  chan struct{}
@@ -136,6 +141,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		tree:  render.BuildOctree(tris),
 		m:     stats.NewCounters(),
+		pool:  frame.NewPool(),
 		room:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		slots: make(chan struct{}, cfg.Workers),
 		wls:   make(map[[3]int]*core.Workload),
@@ -306,6 +312,7 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return err
 	}
+	es.Pool = s.pool
 	es.Observer = core.ExecObserver{
 		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) {
 			s.m.Add(stageBusyKey("exec", kind.String()), busy.Seconds())

@@ -171,7 +171,9 @@ func SimulateSingleCore(spec Spec, wl *Workload, stages []StageKind, opts SimOpt
 // SingleCoreStages is the full baseline stage sequence.
 var SingleCoreStages = core.SingleCoreStages
 
-// Exec runs the pipeline for real over actual pixels.
+// Exec runs the pipeline for real over actual pixels. Frame buffers are
+// pooled: the img passed to sink is valid only during the callback and is
+// recycled afterwards, so sinks that retain pixels must Clone them.
 func Exec(spec ExecSpec, tree *Octree, cams []Camera, sink func(f int, img *Image)) (ExecResult, error) {
 	return core.Exec(spec, tree, cams, sink)
 }
@@ -205,6 +207,9 @@ type (
 	Image = frame.Image
 	// Strip is a horizontal band of a frame.
 	Strip = frame.Strip
+	// FramePool recycles frame buffers by size class; set ExecSpec.Pool to
+	// isolate a run's buffers from the shared default pool.
+	FramePool = frame.Pool
 	// Camera describes a perspective view.
 	Camera = render.Camera
 	// Octree organizes scene triangles for culling.
@@ -229,6 +234,17 @@ func NewImage(w, h int) (*Image, error) {
 // SplitRows divides a frame into horizontal strips (sort-first). It is an
 // error to ask for fewer than one strip or for more strips than rows.
 func SplitRows(im *Image, n int) ([]*Strip, error) { return frame.SplitRows(im, n) }
+
+// SplitRowsView divides a frame into zero-copy strips: each strip's image
+// aliases the parent frame's rows instead of copying them, so in-place
+// filtering of a strip edits the frame directly. Strips of different
+// indexes cover disjoint rows and may be mutated concurrently. Use
+// Strip.Detach for an independent copy, and see the frame.Pool ownership
+// rules (README "Performance") before recycling view parents.
+func SplitRowsView(im *Image, n int) ([]*Strip, error) { return frame.SplitRowsView(im, n) }
+
+// NewFramePool returns an empty, independent frame pool.
+func NewFramePool() *FramePool { return frame.NewPool() }
 
 // Assemble recombines strips into a frame of the given size.
 func Assemble(w, h int, strips []*Strip) (*Image, error) {
