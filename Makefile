@@ -5,7 +5,7 @@ GO ?= go
 # renderer, and the end-to-end pipeline + serve runs.
 BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkServeConcurrentJobs)
 
-.PHONY: build test vet race test-framedebug bench bench-all serve-smoke check
+.PHONY: build test vet race test-framedebug bench bench-all serve-smoke fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,28 @@ bench-all:
 serve-smoke:
 	$(GO) test -tags servesmoke -run TestServeSmoke -count=1 ./cmd/sccserved
 
+# Chaos soak: a seeded fault-injection barrage against the render service
+# under the race detector — every job must survive injected transients,
+# flaky transfers, and a pipeline death via re-partitioning. The barrage
+# length scales with CHAOS_SOAK_JOBS; the short deterministic version
+# (default job count) already rides along in `make check` via `race`.
+CHAOS_SOAK_JOBS ?= 60
+chaos-soak:
+	CHAOS_SOAK_JOBS=$(CHAOS_SOAK_JOBS) $(GO) test -race -count=1 -v \
+		-run 'Chaos|Breaker|HardStop|Supervised|Injected' \
+		./internal/serve ./internal/pipe ./internal/core
+
+# Brief fuzz of every decode-path target (codec streams, PNG parsing,
+# strip assembly). FUZZTIME bounds each target; raise it for deep runs.
+FUZZTIME ?= 10s
+fuzz:
+	@for t in FuzzHuffmanDecode FuzzHuffmanRoundtrip FuzzRLEDecode FuzzDeltaRoundtrip; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/codec || exit 1; done
+	@for t in FuzzReadPNG FuzzPNGRoundtrip FuzzSplitAssemble FuzzAssembleMalformed; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/frame || exit 1; done
+
 # The pre-merge gate: static checks plus the full suite under the race
-# detector (the pipeline backends are heavily concurrent), then the
-# service smoke sequence against the real binary.
+# detector (the pipeline backends are heavily concurrent — this includes
+# the short chaos soak and the fuzz seed corpora as regression tests),
+# then the service smoke sequence against the real binary.
 check: vet race test-framedebug serve-smoke

@@ -246,3 +246,52 @@ func TestPublicExecObserver(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicChaosRecovery(t *testing.T) {
+	// The fault plane through the public surface: parse a chaos spec,
+	// compile it, run a real walkthrough under supervision, and require
+	// every frame delivered exactly once with a degraded report naming the
+	// dead pipeline.
+	plan, err := sccpipe.ParseFaultPlan("seed=9,death=1@1,err=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := sccpipe.NewFaultInjector(*plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sccpipe.DefaultSceneConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	tree := sccpipe.BuildOctree(sccpipe.City(cfg))
+	cams := sccpipe.Walkthrough(4, tree.Bounds())
+	spec := sccpipe.ExecSpec{
+		Frames: 4, Width: 64, Height: 48, Pipelines: 2, Seed: 3,
+		Faults: inj,
+		Recovery: &sccpipe.RecoveryPolicy{
+			MaxRetries: 3,
+			Backoff:    50 * time.Microsecond,
+			MaxBackoff: time.Millisecond,
+		},
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	res, err := sccpipe.Exec(spec, tree, cams, func(f int, _ *sccpipe.Image) {
+		mu.Lock()
+		seen[f]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 4; f++ {
+		if seen[f] != 1 {
+			t.Fatalf("frame %d delivered %d times, want exactly once (%v)", f, seen[f], seen)
+		}
+	}
+	if !res.Degraded.IsDegraded() {
+		t.Fatal("run survived a pipeline death but reports clean")
+	}
+	if got := res.Degraded.DeadPipelines; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("dead pipelines = %v, want [1]", got)
+	}
+}

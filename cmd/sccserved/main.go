@@ -16,7 +16,16 @@
 // On SIGTERM or SIGINT the server drains gracefully: admission stops
 // (new jobs get 503, /healthz flips to 503 so load balancers route away),
 // in-flight jobs and their streams run to completion bounded by
-// -drain-timeout, then the process exits 0.
+// -drain-timeout, then the process exits 0. If the graceful window expires
+// with jobs still running (e.g. wedged in a retry loop), their contexts
+// are cancelled so the deadline holds.
+//
+// Chaos mode (-chaos "seed=7,err=0.02,death=0.0005") injects a seeded,
+// deterministic fault plan into every render job to exercise the
+// supervised recovery path: retries, stall detection, and re-partitioning
+// of a dead pipeline's work show up in /metrics and in the job summaries.
+// The -breaker-threshold flag arms a circuit breaker that rejects
+// submissions after repeated job failures until a cooldown probe succeeds.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"sccpipe/internal/faults"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scene"
 	"sccpipe/internal/serve"
@@ -51,6 +61,10 @@ func main() {
 		mtlPath      = flag.String("mtl", "", "material library for -obj (Kd colors)")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		chaos        = flag.String("chaos", "", `inject faults into every render job, e.g. "seed=7,err=0.02,death=0.0005,delay=0.01:5ms" (see faults.ParsePlan); empty disables`)
+		stallTimeout = flag.Duration("stall-timeout", 0, "per-stage deadline for supervised runs (0 disables the stall watchdog)")
+		breakerTrip  = flag.Int("breaker-threshold", 0, "consecutive job failures that trip the circuit breaker (0 disables it)")
+		breakerCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
 	)
 	flag.Parse()
 
@@ -106,7 +120,7 @@ func main() {
 	if *quiet {
 		jobLog = nil
 	}
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *defTimeout,
@@ -115,7 +129,20 @@ func main() {
 		Limits:         serve.Limits{MaxFrames: *maxFrames},
 		Scene:          tris,
 		Log:            jobLog,
-	})
+		Breaker:        serve.BreakerConfig{Threshold: *breakerTrip, Cooldown: *breakerCool},
+	}
+	if *chaos != "" {
+		plan, err := faults.ParsePlan(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Chaos = plan
+		cfg.Recovery = &faults.RecoveryPolicy{StallTimeout: *stallTimeout, Seed: plan.Seed}
+		log.Printf("chaos mode: %d fault rule(s), seed %d", len(plan.Rules), plan.Seed)
+	} else if *stallTimeout > 0 {
+		cfg.Recovery = &faults.RecoveryPolicy{StallTimeout: *stallTimeout}
+	}
+	s := serve.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()

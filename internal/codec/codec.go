@@ -270,6 +270,12 @@ func HuffmanDecode(data []byte) ([]byte, error) {
 	if n == 0 {
 		return []byte{}, nil
 	}
+	// Each decoded byte consumes at least one bit of body, so a length
+	// header above 8×len(body) cannot describe a valid stream. Checking
+	// before allocating keeps a corrupt header from demanding gigabytes.
+	if n < 0 || n > len(body)*8 {
+		return nil, fmt.Errorf("%w: impossible length header %d for %d-byte body", ErrCorrupt, n, len(body))
+	}
 	// Canonical table decode: for each code length, the first code value
 	// and the index of its first symbol in the canonical symbol order.
 	// A prefix of length L is a valid code iff

@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the decode paths: decoders face bytes from the wire
+// (the compress example's verify stage, chaos-corrupted transfers), so
+// they must return ErrCorrupt on garbage — never panic, never allocate
+// unbounded memory. `go test` runs the seed corpus as regression tests;
+// `go test -fuzz Fuzz<Name> ./internal/codec` explores further.
+
+func FuzzHuffmanDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(HuffmanEncode([]byte("the quick brown fox")))
+	f.Add(HuffmanEncode(bytes.Repeat([]byte{0}, 300)))
+	// A corrupt header demanding 4 GiB: must be rejected, not allocated.
+	huge := make([]byte, 4+256)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		out, err := HuffmanDecode(data)
+		if err != nil {
+			return
+		}
+		// A stream that decodes must re-encode to something that decodes
+		// back to the same bytes (the coder is self-inverse on its range).
+		back, err := HuffmanDecode(HuffmanEncode(out))
+		if err != nil || !bytes.Equal(out, back) {
+			t.Fatalf("re-encode broke roundtrip: %v", err)
+		}
+	})
+}
+
+func FuzzHuffmanRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{42})
+	f.Add([]byte("abracadabra"))
+	f.Add(bytes.Repeat([]byte{7}, 1000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		got, err := HuffmanDecode(HuffmanEncode(data))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("roundtrip mismatch: %d bytes in, %d out", len(data), len(got))
+		}
+	})
+}
+
+func FuzzRLEDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 'a', 1, 'b'})
+	f.Add([]byte{0, 'x'}) // zero count: corrupt
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 { // counts amplify up to 255x
+			return
+		}
+		out, err := RLEDecode(data)
+		if err != nil {
+			return
+		}
+		back, err := RLEDecode(RLEEncode(out))
+		if err != nil || !bytes.Equal(out, back) {
+			t.Fatalf("re-encode broke roundtrip: %v", err)
+		}
+	})
+}
+
+func FuzzDeltaRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 250, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got := DeltaDecode(DeltaEncode(data)); !bytes.Equal(got, data) {
+			t.Fatal("delta roundtrip mismatch")
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sccpipe/internal/faults"
 	"sccpipe/internal/filters"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/render"
@@ -41,6 +42,18 @@ type ExecSpec struct {
 	// image handed to sink is only valid for the duration of the callback —
 	// see Exec.
 	Pool *frame.Pool
+
+	// Faults injects failures into the run for chaos testing, and Recovery
+	// tunes the supervision that makes them survivable. Setting either
+	// selects the supervised execution path (see execSupervised); with both
+	// nil the original fast path runs unchanged. The supervised path always
+	// renders sort-first (one render per strip, whatever Renderer says), so
+	// a dead pipeline's strips can be re-rendered bit-identically on any
+	// survivor, and it does not use Pool — a buffer abandoned by the stall
+	// watchdog may still be written by its wedged worker, so recycling is
+	// left to the GC.
+	Faults   faults.Injector
+	Recovery *faults.RecoveryPolicy
 }
 
 // ExecObserver carries optional progress callbacks for a real run. Either
@@ -85,6 +98,10 @@ func (s ExecSpec) Validate() error {
 type ExecResult struct {
 	Frames  int
 	Elapsed time.Duration
+	// Degraded is non-nil when a supervised run recovered from faults: it
+	// names dead pipelines and counts retries and redispatched strips.
+	// Unsupervised runs always leave it nil.
+	Degraded *faults.Degraded
 }
 
 // stageSeed derives a deterministic RNG seed for one stage application.
@@ -166,6 +183,9 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	}
 	if len(cams) < spec.Frames {
 		return ExecResult{}, fmt.Errorf("core: %d cameras for %d frames", len(cams), spec.Frames)
+	}
+	if spec.Faults != nil || spec.Recovery != nil {
+		return execSupervised(ctx, spec, tree, cams, sink)
 	}
 	start := time.Now()
 	k := spec.Pipelines

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sccpipe/internal/frame"
+	"sccpipe/internal/pipe"
+	"sccpipe/internal/render"
+)
+
+// This file implements the supervised (fault-injecting, self-healing)
+// variant of ExecContext by lowering the image pipeline onto pipe.Chain's
+// supervised runtime: one work item per (frame, strip), a render stage
+// followed by the five filters, and a collector that reassembles strips
+// into frames and hands them to the sink in frame order exactly once.
+//
+// Redo safety comes from determinism: a strip is fully described by its
+// (frame, strip index) pair — RenderStrip regenerates identical pixels for
+// any carrier, and the randomized filters seed their RNG from (Seed,
+// frame, strip, stage) — so when a pipeline dies, its in-flight strips are
+// simply re-derived from scratch on a survivor and the output stays
+// bit-identical to ExecReference.
+
+// stripWork is one supervised work unit: strip `strip` of frame `f`. The
+// image is nil until the render stage runs; the as-fed snapshot the
+// supervisor keeps for redo therefore carries no pixels, and a redone
+// strip re-renders rather than re-filtering a half-filtered buffer.
+type stripWork struct {
+	f, strip int
+	img      *frame.Image
+}
+
+// execSupervised runs the pipeline under fault injection and supervision.
+// Strips are always rendered sort-first and buffers are GC-managed; see
+// ExecSpec.Faults for why.
+func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (ExecResult, error) {
+	start := time.Now()
+	k := spec.Pipelines
+
+	// Stage closures are shared by all k pipelines' goroutines (and by
+	// watchdog redo helpers), so per-goroutine scratch state lives in
+	// pools.
+	renderers := sync.Pool{New: func() any { return render.NewRenderer(tree) }}
+	rngs := sync.Pool{New: func() any { return newStageRNG() }}
+
+	stages := make([]pipe.Stage, 0, 1+len(FilterOrder))
+	stages = append(stages, pipe.Stage{
+		Name: StageRender.String(),
+		Fn: func(it pipe.Item) pipe.Item {
+			w := it.Data.(stripWork)
+			y0, y1 := frame.StripBounds(spec.Height, k, w.strip)
+			img := frame.New(spec.Width, y1-y0)
+			r := renderers.Get().(*render.Renderer)
+			_ = spec.Observer.stageBusy(StageRender, w.strip, func() error {
+				r.RenderStrip(cams[w.f], img, spec.Width, spec.Height, y0)
+				return nil
+			})
+			renderers.Put(r)
+			w.img = img
+			it.Data = w
+			return it
+		},
+	})
+	for _, kind := range FilterOrder {
+		kind := kind
+		stages = append(stages, pipe.Stage{
+			Name: kind.String(),
+			Fn: func(it pipe.Item) pipe.Item {
+				w := it.Data.(stripWork)
+				rng := rngs.Get().(*rand.Rand)
+				// The observer sees the strip index as the pipeline, which
+				// is the origin pipeline even when a survivor carries the
+				// strip after a death.
+				_ = spec.Observer.stageBusy(kind, w.strip, func() error {
+					return applyFilter(kind, w.img, spec, w.f, w.strip, rng)
+				})
+				rngs.Put(rng)
+				return it
+			},
+		})
+	}
+
+	// The collector runs serially in the supervisor: it gathers the k
+	// strips of each frame (each delivered exactly once, in any order
+	// after a redistribution) and emits completed frames in frame order.
+	pending := make(map[int][]*frame.Strip)
+	assembled := make(map[int]*frame.Image)
+	next := 0
+	emit := func(f int, img *frame.Image) {
+		_ = spec.Observer.stageBusy(StageTransfer, -1, func() error {
+			if sink != nil {
+				sink(f, img)
+			}
+			return nil
+		})
+		if spec.Observer.OnFrame != nil {
+			spec.Observer.OnFrame(f)
+		}
+	}
+
+	chain := &pipe.Chain{
+		Stages: stages,
+		Feed: func(pl, seq int) (pipe.Item, bool) {
+			if seq >= spec.Frames {
+				return pipe.Item{}, false
+			}
+			y0, y1 := frame.StripBounds(spec.Height, k, pl)
+			return pipe.Item{Data: stripWork{f: seq, strip: pl}, Bytes: spec.Width * (y1 - y0) * 4}, true
+		},
+		Collect: func(it pipe.Item) {
+			w := it.Data.(stripWork)
+			y0, _ := frame.StripBounds(spec.Height, k, w.strip)
+			strips := append(pending[w.f], &frame.Strip{Index: w.strip, Y0: y0, Img: w.img})
+			if len(strips) < k {
+				pending[w.f] = strips
+				return
+			}
+			delete(pending, w.f)
+			assembled[w.f] = frame.Assemble(spec.Width, spec.Height, strips)
+			for {
+				img, ok := assembled[next]
+				if !ok {
+					return
+				}
+				delete(assembled, next)
+				emit(next, img)
+				next++
+			}
+		},
+		Faults:   spec.Faults,
+		Recovery: spec.Recovery,
+	}
+
+	res, err := chain.RunContext(ctx, k)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Frames: spec.Frames, Elapsed: time.Since(start), Degraded: res.Degraded}, nil
+}

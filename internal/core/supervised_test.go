@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sccpipe/internal/faults"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+// collectSupervised runs a supervised exec and records every sink call, so
+// tests can assert both pixel equality and exactly-once in-order delivery.
+func collectSupervised(t *testing.T, spec ExecSpec) ([]*frame.Image, ExecResult) {
+	t.Helper()
+	cams := render.Walkthrough(spec.Frames, execScene.Bounds())
+	var order []int
+	out := make([]*frame.Image, spec.Frames)
+	sink := func(f int, img *frame.Image) {
+		order = append(order, f)
+		out[f] = img.Clone()
+	}
+	res, err := Exec(spec, execScene, cams, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != spec.Frames {
+		t.Fatalf("sink called %d times, want %d (exactly once per frame)", len(order), spec.Frames)
+	}
+	for f, got := range order {
+		if got != f {
+			t.Fatalf("sink order %v: frame %d delivered at position %d", order, got, f)
+		}
+	}
+	return out, res
+}
+
+func quickRecovery() *faults.RecoveryPolicy {
+	return &faults.RecoveryPolicy{Backoff: time.Microsecond, MaxBackoff: 50 * time.Microsecond}
+}
+
+func TestExecSupervisedCleanMatchesReference(t *testing.T) {
+	spec := execSpecForTest(3, OneRenderer)
+	spec.Recovery = quickRecovery() // supervised path, no faults
+	got, res := collectSupervised(t, spec)
+	if res.Degraded != nil {
+		t.Fatalf("clean supervised run reported degraded: %v", res.Degraded)
+	}
+	want := collect(t, execSpecForTest(3, OneRenderer), false)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs from sequential reference", f)
+		}
+	}
+}
+
+func TestExecSupervisedSurvivesPipelineDeath(t *testing.T) {
+	spec := execSpecForTest(3, OneRenderer)
+	spec.Faults = faults.MustInjector(faults.Plan{Seed: 4, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 1, Seq: 2},
+	}})
+	spec.Recovery = quickRecovery()
+	got, res := collectSupervised(t, spec)
+
+	d := res.Degraded
+	if !d.IsDegraded() || len(d.DeadPipelines) != 1 || d.DeadPipelines[0] != 1 {
+		t.Fatalf("degraded = %v, want pipeline 1 dead", d)
+	}
+	if !strings.Contains(d.Reasons[1], "core death") {
+		t.Errorf("reason = %q", d.Reasons[1])
+	}
+	// The survivors re-render the dead pipeline's strips bit-identically:
+	// every frame, including those carried by a foreign pipeline, matches
+	// the sequential oracle.
+	want := collect(t, execSpecForTest(3, OneRenderer), false)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs from reference after re-partitioning", f)
+		}
+	}
+}
+
+func TestExecSupervisedRetriesKeepPixels(t *testing.T) {
+	spec := execSpecForTest(2, OneRenderer)
+	spec.Faults = faults.MustInjector(faults.Plan{Seed: 8, Rules: []faults.Rule{
+		{Kind: faults.KindTransient, Pipeline: 0, Stage: "blur", Seq: 1, Times: 2},
+		{Kind: faults.KindTransfer, Pipeline: 1, Stage: "swap", Seq: 3, Times: 1},
+	}})
+	spec.Recovery = quickRecovery()
+	var mu sync.Mutex
+	retries := 0
+	spec.Recovery.OnEvent = func(e faults.Event) {
+		if e.Kind == faults.EventRetry {
+			mu.Lock()
+			retries++
+			mu.Unlock()
+		}
+	}
+	got, res := collectSupervised(t, spec)
+	if res.Degraded != nil {
+		t.Fatalf("recovered transients must not degrade the run: %v", res.Degraded)
+	}
+	mu.Lock()
+	if retries != 3 {
+		t.Errorf("retry events = %d, want 3", retries)
+	}
+	mu.Unlock()
+	want := collect(t, execSpecForTest(2, OneRenderer), false)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs from reference after retries", f)
+		}
+	}
+}
+
+func TestExecSupervisedStallWatchdog(t *testing.T) {
+	spec := execSpecForTest(2, OneRenderer)
+	spec.Faults = faults.MustInjector(faults.Plan{Seed: 6, Rules: []faults.Rule{
+		{Kind: faults.KindStall, Pipeline: 0, Stage: "scratch", Seq: 1},
+	}})
+	spec.Recovery = quickRecovery()
+	// Generous deadline: real stage work must never trip it, even under
+	// the race detector's slowdown — only the injected stall does.
+	spec.Recovery.StallTimeout = 250 * time.Millisecond
+	got, res := collectSupervised(t, spec)
+	d := res.Degraded
+	if !d.IsDegraded() || len(d.DeadPipelines) != 1 || d.DeadPipelines[0] != 0 {
+		t.Fatalf("degraded = %v, want pipeline 0 dead of a stall", d)
+	}
+	want := collect(t, execSpecForTest(2, OneRenderer), false)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs from reference after stall recovery", f)
+		}
+	}
+}

@@ -198,6 +198,22 @@ func (p *Proc) WaitUntil(t float64) {
 	p.park()
 }
 
+// Stall parks the process forever, recording why. No resume is ever
+// scheduled, so a stalled process sits parked until the engine reaches
+// the event horizon, where it is unwound and reported — with the given
+// reason — by Quiesced/QuiescedProcs/QuiescedReport. It models a wedged
+// stage (e.g. an injected fault): the rest of the simulation keeps
+// running, and the stall surfaces as a named diagnostic instead of a
+// leak. Stall never returns.
+func (p *Proc) Stall(reason string) {
+	if reason == "" {
+		reason = "a permanent stall"
+	}
+	p.blocked = reason
+	p.park() // unwound by the engine's poison pill at the event horizon
+	panic("des: stalled proc resumed") // unreachable: park only returns on a real resume
+}
+
 // step dispatches the earliest pending event. It reports false when the
 // event queue is empty.
 func (e *Engine) step() bool {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -457,4 +458,42 @@ func almost(a, b float64) bool {
 		d = -d
 	}
 	return d < 1e-9*(1+b)
+}
+
+func TestProcStallReportedAtQuiescence(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("healthy", func(p *Proc) { p.Wait(3) })
+	e.Spawn("wedged", func(p *Proc) {
+		p.Wait(1)
+		p.Stall("injected stall in blur2")
+	})
+	e.Run()
+	if e.Err() != nil {
+		t.Fatalf("Err = %v", e.Err())
+	}
+	if got := e.Now(); !almost(got, 3) {
+		t.Errorf("Now = %g, want 3 (rest of the sim keeps running)", got)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0 (stalled proc unwound)", e.LiveProcs())
+	}
+	if !e.Quiesced() {
+		t.Fatal("stall not reported as quiesce")
+	}
+	procs := e.QuiescedProcs()
+	if len(procs) != 1 || procs[0].Name != "wedged" || procs[0].WaitingOn != "injected stall in blur2" {
+		t.Fatalf("QuiescedProcs = %+v, want wedged waiting on the injected reason", procs)
+	}
+	if rep := e.QuiescedReport(); !strings.Contains(rep, "wedged") || !strings.Contains(rep, "injected stall in blur2") {
+		t.Errorf("QuiescedReport = %q", rep)
+	}
+}
+
+func TestProcStallDefaultReason(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("w", func(p *Proc) { p.Stall("") })
+	e.Run()
+	if procs := e.QuiescedProcs(); len(procs) != 1 || procs[0].WaitingOn != "a permanent stall" {
+		t.Fatalf("QuiescedProcs = %+v", procs)
+	}
 }

@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7,err=0.02:2,stall=0.001,death=0.0005,delay=0.01:5ms,transfer=0.1,slow=0.2:1ms")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Seed != 7 {
+		t.Errorf("seed = %d, want 7", p.Seed)
+	}
+	if len(p.Rules) != 6 {
+		t.Fatalf("rules = %d, want 6", len(p.Rules))
+	}
+	wantKinds := []Kind{KindTransient, KindStall, KindDeath, KindDelay, KindTransfer, KindTransferSlow}
+	for i, k := range wantKinds {
+		if p.Rules[i].Kind != k {
+			t.Errorf("rule %d kind = %v, want %v", i, p.Rules[i].Kind, k)
+		}
+	}
+	if p.Rules[0].Times != 2 {
+		t.Errorf("err times = %d, want 2", p.Rules[0].Times)
+	}
+	if p.Rules[3].Delay != 5*time.Millisecond {
+		t.Errorf("delay = %v, want 5ms", p.Rules[3].Delay)
+	}
+
+	if _, err := ParsePlan("death=2@10"); err != nil {
+		t.Errorf("targeted death: %v", err)
+	}
+	for _, bad := range []string{"", "bogus=1", "err=2", "err", "delay=0.1", "death=x@y", "seed=zz", "slow=0.1:-3ms"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: []Rule{NewRule(KindTransient, 0.3), NewRule(KindDelay, 0.2)}}
+	plan.Rules[1].Delay = time.Millisecond
+	a, b := MustInjector(plan), MustInjector(plan)
+	for pl := 0; pl < 4; pl++ {
+		for seq := 0; seq < 200; seq++ {
+			oa := a.Stage(pl, "blur", seq, 0)
+			ob := b.Stage(pl, "blur", seq, 0)
+			if (oa.Err == nil) != (ob.Err == nil) || oa.Delay != ob.Delay || oa.Stall != ob.Stall {
+				t.Fatalf("divergent outcome at pipeline %d seq %d: %+v vs %+v", pl, seq, oa, ob)
+			}
+		}
+	}
+}
+
+func TestInjectorTransientFiresAndRecovers(t *testing.T) {
+	inj := MustInjector(Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindTransient, Pipeline: 1, Stage: "blur", Seq: 5, Times: 2},
+	}})
+	if inj.Stage(0, "blur", 5, 0).Err != nil {
+		t.Error("fired on wrong pipeline")
+	}
+	if inj.Stage(1, "sepia", 5, 0).Err != nil {
+		t.Error("fired on wrong stage")
+	}
+	if inj.Stage(1, "blur", 4, 0).Err != nil {
+		t.Error("fired on wrong seq")
+	}
+	if inj.Stage(1, "blur", 5, 0).Err == nil || inj.Stage(1, "blur", 5, 1).Err == nil {
+		t.Error("did not fail attempts 0 and 1")
+	}
+	if inj.Stage(1, "blur", 5, 2).Err != nil {
+		t.Error("attempt 2 should succeed (Times=2)")
+	}
+}
+
+func TestInjectorDeathMonotone(t *testing.T) {
+	inj := MustInjector(Plan{Seed: 3, Rules: []Rule{{Kind: KindDeath, Pipeline: 2, Seq: 7}}})
+	if inj.Dead(2, 6) {
+		t.Error("dead before its seq")
+	}
+	if !inj.Dead(2, 7) || !inj.Dead(2, 100) {
+		t.Error("not dead at/after its seq")
+	}
+	if inj.Dead(1, 100) {
+		t.Error("wrong pipeline dead")
+	}
+
+	// Probabilistic death must be monotone too: once dead, dead forever,
+	// even when consulted out of order.
+	pinj := MustInjector(Plan{Seed: 9, Rules: []Rule{NewRule(KindDeath, 0.05)}})
+	firstDead := -1
+	for s := 0; s < 500; s++ {
+		if pinj.Dead(0, s) {
+			firstDead = s
+			break
+		}
+	}
+	if firstDead < 0 {
+		t.Skip("seed produced no death in 500 items")
+	}
+	fresh := MustInjector(Plan{Seed: 9, Rules: []Rule{NewRule(KindDeath, 0.05)}})
+	if !fresh.Dead(0, firstDead+100) { // out-of-order first consult
+		t.Error("death not monotone on out-of-order consult")
+	}
+	if fresh.Dead(0, firstDead-1) {
+		t.Error("death bled backwards")
+	}
+}
+
+func TestApplyRetriesThenSucceeds(t *testing.T) {
+	inj := MustInjector(Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindTransient, Pipeline: 0, Stage: "s", Seq: 0, Times: 2},
+	}})
+	pol := (&RecoveryPolicy{Backoff: time.Microsecond}).Normalize()
+	var events []Event
+	pol.OnEvent = func(e Event) { events = append(events, e) }
+	ran := 0
+	ap := Apply(context.Background(), inj, &pol, false, 0, "s", 0, func() error { ran++; return nil })
+	if ap.Verdict != VerdictOK || ap.Retries != 2 || ran != 1 {
+		t.Fatalf("verdict=%v retries=%d ran=%d, want OK/2/1", ap.Verdict, ap.Retries, ran)
+	}
+	if len(events) != 2 || events[0].Kind != EventRetry {
+		t.Fatalf("events = %+v, want 2 retries", events)
+	}
+}
+
+func TestApplyRetriesExhaustedIsDeath(t *testing.T) {
+	inj := MustInjector(Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindTransient, Pipeline: 0, Stage: "s", Seq: 0, Times: 99},
+	}})
+	pol := (&RecoveryPolicy{MaxRetries: 2, Backoff: time.Microsecond}).Normalize()
+	ran := 0
+	ap := Apply(context.Background(), inj, &pol, false, 0, "s", 0, func() error { ran++; return nil })
+	if ap.Verdict != VerdictDead || ran != 0 {
+		t.Fatalf("verdict=%v ran=%d, want Dead without running work", ap.Verdict, ran)
+	}
+	if !strings.Contains(ap.Reason, "retries exhausted") {
+		t.Errorf("reason = %q", ap.Reason)
+	}
+}
+
+func TestApplyInjectedStall(t *testing.T) {
+	inj := MustInjector(Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindStall, Pipeline: 1, Stage: "s", Seq: 3},
+	}})
+	// Watchdog off: immediate detection.
+	pol := (&RecoveryPolicy{}).Normalize()
+	ap := Apply(context.Background(), inj, &pol, false, 1, "s", 3, func() error { return nil })
+	if ap.Verdict != VerdictDead || !strings.Contains(ap.Reason, "stalled") {
+		t.Fatalf("got %+v, want stall death", ap)
+	}
+	// Watchdog on: detection after the deadline.
+	pol2 := (&RecoveryPolicy{StallTimeout: time.Millisecond}).Normalize()
+	t0 := time.Now()
+	ap = Apply(context.Background(), inj, &pol2, false, 1, "s", 3, func() error { return nil })
+	if ap.Verdict != VerdictDead {
+		t.Fatalf("got %+v, want stall death", ap)
+	}
+	if time.Since(t0) < time.Millisecond {
+		t.Error("stall detected before the deadline elapsed")
+	}
+}
+
+func TestApplyWatchdogCatchesOrganicStall(t *testing.T) {
+	pol := (&RecoveryPolicy{StallTimeout: 5 * time.Millisecond}).Normalize()
+	release := make(chan struct{})
+	defer close(release)
+	ap := Apply(context.Background(), nil, &pol, false, 0, "s", 0, func() error {
+		<-release // wedged until the test ends
+		return nil
+	})
+	if ap.Verdict != VerdictDead || !strings.Contains(ap.Reason, "exceeded") {
+		t.Fatalf("got %+v, want watchdog death", ap)
+	}
+}
+
+func TestApplyCancellation(t *testing.T) {
+	inj := MustInjector(Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindTransient, Pipeline: 0, Stage: "s", Seq: 0, Times: 1 << 30},
+	}})
+	pol := (&RecoveryPolicy{MaxRetries: 1 << 20, Backoff: 10 * time.Millisecond}).Normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(2 * time.Millisecond); cancel() }()
+	ap := Apply(ctx, inj, &pol, false, 0, "s", 0, func() error { return nil })
+	if ap.Verdict != VerdictCancelled || !errors.Is(ap.Err, context.Canceled) {
+		t.Fatalf("got %+v, want cancellation", ap)
+	}
+}
+
+func TestApplyWorkErrorIsFailure(t *testing.T) {
+	pol := (&RecoveryPolicy{}).Normalize()
+	boom := errors.New("boom")
+	ap := Apply(context.Background(), nil, &pol, false, 0, "s", 0, func() error { return boom })
+	if ap.Verdict != VerdictFailed || !errors.Is(ap.Err, boom) {
+		t.Fatalf("got %+v, want failure", ap)
+	}
+}
+
+func TestDegradedReport(t *testing.T) {
+	var d Degraded
+	d.AddDeath(3, "stalled")
+	d.AddDeath(1, "injected core death")
+	d.AddDeath(3, "dup") // idempotent
+	d.Retries = 4
+	d.Redispatched = 9
+	if len(d.DeadPipelines) != 2 || d.DeadPipelines[0] != 1 || d.DeadPipelines[1] != 3 {
+		t.Fatalf("dead = %v", d.DeadPipelines)
+	}
+	if d.Reasons[3] != "stalled" {
+		t.Errorf("reason overwritten: %q", d.Reasons[3])
+	}
+	s := d.String()
+	for _, want := range []string{"2 dead", "4 retries", "9 items"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if !d.IsDegraded() {
+		t.Error("IsDegraded = false")
+	}
+	var nilD *Degraded
+	if nilD.IsDegraded() || nilD.String() != "clean" {
+		t.Error("nil Degraded misbehaves")
+	}
+}

@@ -1,0 +1,272 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a recovery event.
+type EventKind int
+
+const (
+	// EventRetry: a transient stage or transfer failure was retried.
+	EventRetry EventKind = iota
+	// EventStall: a stage exceeded its deadline (or an injected stall was
+	// detected) and its pipeline is being declared dead.
+	EventStall
+	// EventDeath: a pipeline was declared dead.
+	EventDeath
+	// EventRedispatch: a dead pipeline's work item was re-partitioned
+	// onto a survivor.
+	EventRedispatch
+)
+
+var eventNames = [...]string{"retry", "stall", "death", "redispatch"}
+
+func (k EventKind) String() string {
+	if k < 0 || int(k) >= len(eventNames) {
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+	return eventNames[k]
+}
+
+// Event is one recovery occurrence, delivered to RecoveryPolicy.OnEvent.
+type Event struct {
+	Kind     EventKind
+	Pipeline int
+	Stage    string
+	Seq      int
+	// Reason carries the failure detail (retry error, death cause).
+	Reason string
+}
+
+// RecoveryPolicy tunes the supervision layer of the real execution
+// backends. The zero value is usable: Normalize fills the defaults noted
+// on each field.
+type RecoveryPolicy struct {
+	// MaxRetries bounds retry attempts per stage application (default 3).
+	// When the budget is exhausted the carrier pipeline is declared dead
+	// and its work re-partitioned.
+	MaxRetries int
+	// Backoff is the base retry delay (default 200µs); attempt n sleeps
+	// Backoff<<n plus deterministic jitter, capped at MaxBackoff
+	// (default 50ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// StallTimeout is the per-stage-application deadline; a stage that
+	// exceeds it is declared stalled and its pipeline dead. 0 disables
+	// the watchdog: organic stalls then wedge (as before), and injected
+	// stalls are treated as immediately-detected pipeline deaths.
+	StallTimeout time.Duration
+	// Seed drives the retry jitter deterministically.
+	Seed int64
+	// OnEvent, when set, receives recovery events (retries, stalls,
+	// deaths, redispatches) as they happen. It is called from pipeline
+	// goroutines, possibly concurrently: it must be safe for concurrent
+	// use and fast.
+	OnEvent func(Event)
+}
+
+// Normalize returns the policy with defaults filled in. A nil receiver
+// yields the default policy.
+func (p *RecoveryPolicy) Normalize() RecoveryPolicy {
+	var out RecoveryPolicy
+	if p != nil {
+		out = *p
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 3
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = 200 * time.Microsecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 50 * time.Millisecond
+	}
+	return out
+}
+
+// emit delivers an event to the observer, if any.
+func (p *RecoveryPolicy) emit(ev Event) {
+	if p.OnEvent != nil {
+		p.OnEvent(ev)
+	}
+}
+
+// Notify delivers an event to the observer, if any. Execution backends use
+// it for supervisor-originated events (deaths, redispatches) that Apply
+// cannot see.
+func (p *RecoveryPolicy) Notify(ev Event) { p.emit(ev) }
+
+// backoffFor computes the ctx-aware sleep before retry `attempt` (1-based)
+// with deterministic jitter in [0, base) derived from the policy seed.
+func (p *RecoveryPolicy) backoffFor(pipeline int, stage string, seq, attempt int) time.Duration {
+	d := p.Backoff << uint(attempt-1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	x := hashMix(uint64(p.Seed), 0xb0ff)
+	x = hashMix(x, uint64(int64(pipeline))+1)
+	x = hashStr(x, stage)
+	x = hashMix(x, uint64(int64(seq)))
+	x = hashMix(x, uint64(attempt))
+	jitter := time.Duration(x % uint64(d+1))
+	d += jitter
+	if d > 2*p.MaxBackoff {
+		d = 2 * p.MaxBackoff
+	}
+	return d
+}
+
+// Verdict is the outcome of one supervised stage application.
+type Verdict int
+
+const (
+	// VerdictOK: the work ran (possibly after retries).
+	VerdictOK Verdict = iota
+	// VerdictDead: the carrier pipeline must be declared dead; the item
+	// was NOT completed and needs redistribution.
+	VerdictDead
+	// VerdictCancelled: the run context was cancelled mid-application.
+	VerdictCancelled
+	// VerdictFailed: the work itself returned an error (a run-level
+	// failure, not an injected fault).
+	VerdictFailed
+)
+
+// Applied reports one supervised stage application.
+type Applied struct {
+	Verdict Verdict
+	// Reason describes a VerdictDead (stall, retries exhausted, injected
+	// death).
+	Reason string
+	// Retries counts the retry attempts consumed.
+	Retries int
+	// Err carries the context error (VerdictCancelled) or the work error
+	// (VerdictFailed).
+	Err error
+}
+
+// sleepCtx sleeps d unless ctx ends first; it reports whether the sleep
+// completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Apply runs one stage application under supervision: it consults the
+// injector (nil = no faults), imposes injected delays, retries injected
+// transient failures with exponential backoff and deterministic jitter,
+// detects stalls against the policy's StallTimeout, and finally runs work
+// exactly once. work == nil is a pure hand-off consultation (transfer
+// points). The policy must be normalized (Normalize).
+//
+// When the stall watchdog is armed (StallTimeout > 0), work runs on a
+// helper goroutine so a wedged stage can be detected and abandoned; the
+// helper is left to finish in the background (it holds no runtime locks)
+// while the pipeline is declared dead. With the watchdog off, work runs
+// inline and only injected stalls are detectable.
+func Apply(ctx context.Context, inj Injector, pol *RecoveryPolicy, transfer bool, pipeline int, stage string, seq int, work func() error) Applied {
+	var ap Applied
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Applied{Verdict: VerdictCancelled, Retries: ap.Retries, Err: err}
+		}
+		var out Outcome
+		if inj != nil {
+			if transfer {
+				out = inj.Transfer(pipeline, stage, seq, attempt)
+			} else {
+				out = inj.Stage(pipeline, stage, seq, attempt)
+			}
+		}
+		if out.Stall {
+			// An injected stall wedges the stage. With a watchdog armed we
+			// model the detection latency; without one, detection is
+			// immediate (the alternative is wedging the whole run).
+			if pol.StallTimeout > 0 && !sleepCtx(ctx, pol.StallTimeout) {
+				return Applied{Verdict: VerdictCancelled, Retries: ap.Retries, Err: ctx.Err()}
+			}
+			reason := fmt.Sprintf("stalled at stage %s item %d", stage, seq)
+			pol.emit(Event{Kind: EventStall, Pipeline: pipeline, Stage: stage, Seq: seq, Reason: reason})
+			return Applied{Verdict: VerdictDead, Reason: reason, Retries: ap.Retries}
+		}
+		if out.Delay > 0 {
+			d := out.Delay
+			if pol.StallTimeout > 0 && d >= pol.StallTimeout {
+				// The spike trips the per-stage deadline: stall detection.
+				if !sleepCtx(ctx, pol.StallTimeout) {
+					return Applied{Verdict: VerdictCancelled, Retries: ap.Retries, Err: ctx.Err()}
+				}
+				reason := fmt.Sprintf("deadline exceeded at stage %s item %d (injected %v spike)", stage, seq, d)
+				pol.emit(Event{Kind: EventStall, Pipeline: pipeline, Stage: stage, Seq: seq, Reason: reason})
+				return Applied{Verdict: VerdictDead, Reason: reason, Retries: ap.Retries}
+			}
+			if !sleepCtx(ctx, d) {
+				return Applied{Verdict: VerdictCancelled, Retries: ap.Retries, Err: ctx.Err()}
+			}
+		}
+		if out.Err != nil {
+			ap.Retries++
+			if ap.Retries > pol.MaxRetries {
+				reason := fmt.Sprintf("retries exhausted at stage %s item %d: %v", stage, seq, out.Err)
+				return Applied{Verdict: VerdictDead, Reason: reason, Retries: ap.Retries}
+			}
+			pol.emit(Event{Kind: EventRetry, Pipeline: pipeline, Stage: stage, Seq: seq, Reason: out.Err.Error()})
+			if !sleepCtx(ctx, pol.backoffFor(pipeline, stage, seq, ap.Retries)) {
+				return Applied{Verdict: VerdictCancelled, Retries: ap.Retries, Err: ctx.Err()}
+			}
+			continue
+		}
+		break
+	}
+	if work == nil {
+		ap.Verdict = VerdictOK
+		return ap
+	}
+	if pol.StallTimeout <= 0 {
+		if err := work(); err != nil {
+			return Applied{Verdict: VerdictFailed, Retries: ap.Retries, Err: err}
+		}
+		ap.Verdict = VerdictOK
+		return ap
+	}
+	// Watchdog: run the work on a helper goroutine so a wedged stage can
+	// be detected. The buffered channel lets an abandoned helper finish
+	// and exit without a receiver.
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("stage %s panicked on item %d: %v", stage, seq, r)
+			}
+		}()
+		done <- work()
+	}()
+	t := time.NewTimer(pol.StallTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			return Applied{Verdict: VerdictFailed, Retries: ap.Retries, Err: err}
+		}
+		ap.Verdict = VerdictOK
+		return ap
+	case <-t.C:
+		reason := fmt.Sprintf("stage %s exceeded %v on item %d", stage, pol.StallTimeout, seq)
+		pol.emit(Event{Kind: EventStall, Pipeline: pipeline, Stage: stage, Seq: seq, Reason: reason})
+		return Applied{Verdict: VerdictDead, Reason: reason, Retries: ap.Retries}
+	case <-ctx.Done():
+		return Applied{Verdict: VerdictCancelled, Retries: ap.Retries, Err: ctx.Err()}
+	}
+}

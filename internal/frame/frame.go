@@ -194,6 +194,13 @@ func AssembleInto(dst *Image, strips []*Strip) {
 		if s.parent == dst {
 			continue
 		}
+		// A malformed strip (nil image, or a Pix buffer that disagrees with
+		// its claimed geometry) contributes nothing rather than panicking:
+		// strips can arrive over the wire, and a frame with a hole beats a
+		// crashed assembler.
+		if s.Img == nil || s.Img.W <= 0 || s.Img.H < 0 || len(s.Img.Pix) < s.Img.W*s.Img.H*4 {
+			continue
+		}
 		for y := 0; y < s.Img.H; y++ {
 			ty := s.Y0 + y
 			if ty < 0 || ty >= dst.H {

@@ -1,0 +1,121 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the frame parsing paths: PNG decode (stream clients
+// feed server responses back through ReadPNG) and strip assembly (strips
+// can be malformed when built by hand or corrupted in transit). Decoders
+// must error on garbage, never panic or over-allocate. `go test` runs the
+// seed corpus; `go test -fuzz Fuzz<Name> ./internal/frame` explores.
+
+// tinyPNG encodes a deterministic small image for the seed corpus.
+func tinyPNG(w, h int) []byte {
+	im := New(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(i * 37)
+	}
+	var buf bytes.Buffer
+	if err := im.WritePNG(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadPNG(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("\x89PNG\r\n\x1a\n"))
+	f.Add(tinyPNG(3, 2))
+	f.Add(tinyPNG(1, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := ReadPNG(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || im.W*im.H > MaxDecodePixels {
+			t.Fatalf("accepted out-of-bounds image %dx%d", im.W, im.H)
+		}
+		if len(im.Pix) != im.W*im.H*4 {
+			t.Fatalf("inconsistent buffer: %d bytes for %dx%d", len(im.Pix), im.W, im.H)
+		}
+		// What we decoded must survive our own encode/decode unchanged.
+		var buf bytes.Buffer
+		if err := im.WritePNG(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadPNG(&buf)
+		if err != nil || !im.Equal(back) {
+			t.Fatalf("re-encode broke roundtrip: %v", err)
+		}
+	})
+}
+
+func FuzzPNGRoundtrip(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint64(1))
+	f.Add(uint8(16), uint8(16), uint64(99))
+	f.Fuzz(func(t *testing.T, w8, h8 uint8, seed uint64) {
+		w, h := int(w8)%64+1, int(h8)%64+1
+		im := New(w, h)
+		x := seed
+		for i := range im.Pix {
+			x = x*6364136223846793005 + 1442695040888963407
+			im.Pix[i] = uint8(x >> 56)
+		}
+		var buf bytes.Buffer
+		if err := im.WritePNG(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadPNG(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !im.Equal(got) {
+			t.Fatalf("%dx%d PNG roundtrip mismatch", w, h)
+		}
+	})
+}
+
+func FuzzSplitAssemble(f *testing.F) {
+	f.Add(uint8(8), uint8(6), uint8(3), false)
+	f.Add(uint8(4), uint8(4), uint8(9), true) // more strips than rows: error
+	f.Fuzz(func(t *testing.T, w8, h8, n8 uint8, view bool) {
+		w, h := int(w8)%32+1, int(h8)%32+1
+		n := int(n8) // may exceed h: must error, not panic
+		im := New(w, h)
+		for i := range im.Pix {
+			im.Pix[i] = uint8(i * 13)
+		}
+		split := SplitRows
+		if view {
+			split = SplitRowsView
+		}
+		strips, err := split(im.Clone(), n)
+		if err != nil {
+			if n >= 1 && n <= h {
+				t.Fatalf("split(%dx%d, %d) failed: %v", w, h, n, err)
+			}
+			return
+		}
+		if got := Assemble(w, h, strips); !got.Equal(im) {
+			t.Fatalf("split/assemble roundtrip mismatch (%dx%d, %d strips, view=%v)", w, h, n, view)
+		}
+	})
+}
+
+// FuzzAssembleMalformed feeds hand-built (possibly inconsistent) strips to
+// the assembler: whatever the claimed geometry, it must not panic.
+func FuzzAssembleMalformed(f *testing.F) {
+	f.Add(int16(0), uint8(4), uint8(2), uint16(32))
+	f.Add(int16(-3), uint8(7), uint8(0), uint16(0))
+	f.Add(int16(100), uint8(1), uint8(200), uint16(9))
+	f.Fuzz(func(t *testing.T, y0 int16, sw, sh uint8, pixLen uint16) {
+		s := &Strip{
+			Y0:  int(y0),
+			Img: &Image{W: int(sw), H: int(sh), Pix: make([]uint8, int(pixLen))},
+		}
+		dst := New(8, 8)
+		AssembleInto(dst, []*Strip{s}) // must not panic
+	})
+}

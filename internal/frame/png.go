@@ -1,7 +1,11 @@
 package frame
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
 	"image"
+	"image/draw"
 	"image/png"
 	"io"
 	"sync"
@@ -34,4 +38,45 @@ func (im *Image) WritePNG(w io.Writer) error {
 		Stride: im.W * 4,
 		Rect:   image.Rect(0, 0, im.W, im.H),
 	})
+}
+
+// MaxDecodePixels bounds the frames ReadPNG will decode; it matches the
+// render service's default job limit. The cap is checked against the IHDR
+// before any pixel allocation, so an adversarial header cannot demand
+// gigabytes.
+const MaxDecodePixels = 4096 * 4096
+
+// ReadPNG decodes a PNG stream into an Image, the inverse of WritePNG.
+// Clients consuming a frame stream use it to get pipeline frame buffers
+// back. Any PNG color model is accepted (converted to straight RGBA);
+// frames larger than MaxDecodePixels are rejected.
+func ReadPNG(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	// Peek the signature + IHDR (8 + 8 + 13 + 4 bytes) to size-check the
+	// image without consuming the reader.
+	hdr, err := br.Peek(33)
+	if err != nil {
+		return nil, fmt.Errorf("frame: short PNG header: %w", err)
+	}
+	cfg, err := png.DecodeConfig(bytes.NewReader(hdr))
+	if err != nil {
+		return nil, fmt.Errorf("frame: bad PNG header: %w", err)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width > MaxDecodePixels/cfg.Height {
+		return nil, fmt.Errorf("frame: refusing %dx%d PNG (max %d pixels)", cfg.Width, cfg.Height, MaxDecodePixels)
+	}
+	src, err := png.Decode(br)
+	if err != nil {
+		return nil, fmt.Errorf("frame: bad PNG: %w", err)
+	}
+	b := src.Bounds()
+	im := New(b.Dx(), b.Dy())
+	if n, ok := src.(*image.NRGBA); ok && n.Stride == im.W*4 && len(n.Pix) >= len(im.Pix) {
+		copy(im.Pix, n.Pix)
+		return im, nil
+	}
+	// Other color models (gray, paletted, 16-bit) go through image/draw.
+	draw.Draw(&image.NRGBA{Pix: im.Pix, Stride: im.W * 4, Rect: image.Rect(0, 0, im.W, im.H)},
+		image.Rect(0, 0, im.W, im.H), src, b.Min, draw.Src)
+	return im, nil
 }

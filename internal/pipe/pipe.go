@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sccpipe/internal/des"
+	"sccpipe/internal/faults"
 	"sccpipe/internal/rcce"
 	"sccpipe/internal/scc"
 )
@@ -69,6 +70,20 @@ type Chain struct {
 	// real and simulated executions of one chain see the same payloads
 	// (Simulate lets SimSpec.ItemBytes override it per run).
 	ItemBytes int
+
+	// Faults injects failures into Run/RunContext for chaos testing, and
+	// Recovery tunes the supervision that makes them survivable (retries
+	// with backoff, stall detection, pipeline-death redistribution).
+	// Setting either selects the supervised execution path; with both nil
+	// the original fast path runs unchanged.
+	//
+	// Supervised runs relax two contracts in exchange for survival: items
+	// of one stream may reach Collect out of order after a redistribution,
+	// and stage Fns must treat Item.Data as an immutable input (returning
+	// new payloads rather than mutating in place), because a failed item
+	// is redone from its as-fed snapshot.
+	Faults faults.Injector
+	Recovery *faults.RecoveryPolicy
 }
 
 // Validate reports whether the chain is runnable.
@@ -91,6 +106,10 @@ func (c *Chain) Validate() error {
 type RunResult struct {
 	Items   int
 	Elapsed time.Duration
+	// Degraded is non-nil when a supervised run recovered from faults:
+	// it names dead pipelines and counts retries and redispatched items.
+	// Unsupervised runs always leave it nil.
+	Degraded *faults.Degraded
 }
 
 // sendItem writes to ch unless the run is cancelled first.
@@ -124,12 +143,18 @@ func (c *Chain) Run(k int) (RunResult, error) {
 // goroutines stop promptly and RunContext returns ctx's error. A panic in
 // Feed, a stage Fn, or Collect is recovered and returned as an error; no
 // goroutines are leaked on any path.
+//
+// When Chain.Faults or Chain.Recovery is set, the run is supervised: see
+// runSupervised for the fault/recovery semantics.
 func (c *Chain) RunContext(ctx context.Context, k int) (RunResult, error) {
 	if err := c.Validate(); err != nil {
 		return RunResult{}, err
 	}
 	if k < 1 {
 		return RunResult{}, fmt.Errorf("pipe: need at least one pipeline")
+	}
+	if c.Faults != nil || c.Recovery != nil {
+		return c.runSupervised(ctx, k)
 	}
 	start := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
@@ -295,6 +320,56 @@ type SimSpec struct {
 	FeedCostRef float64
 	// ChipConfig overrides the chip model.
 	ChipConfig *scc.Config
+	// Injector injects faults into the simulated stages (nil = none).
+	// Delays and retried transient errors are charged as simulated time;
+	// an injected stall or core death parks the stage process forever,
+	// which Simulate reports as a quiesce error naming the stuck stage
+	// and the injected reason.
+	Injector faults.Injector
+}
+
+// Simulated recovery constants: transient faults are retried up to
+// simMaxRetries times, each retry charging an exponentially growing
+// backoff starting at simRetryBackoff seconds of simulated time.
+const (
+	simMaxRetries   = 3
+	simRetryBackoff = 100e-6
+)
+
+// simInject runs the injector protocol for one stage application (or
+// hand-off, when transfer is true) inside a simulated process. It returns
+// normally on a clean pass and parks the process forever — surfacing as a
+// named quiesce — on a stall, core death, or exhausted retry budget.
+func simInject(p *des.Proc, inj faults.Injector, transfer bool, pl int, stage string, seq int) {
+	if inj == nil {
+		return
+	}
+	if inj.Dead(pl, seq) {
+		p.Stall(fmt.Sprintf("injected core death at item %d", seq))
+	}
+	backoff := simRetryBackoff
+	for attempt := 0; ; attempt++ {
+		var o faults.Outcome
+		if transfer {
+			o = inj.Transfer(pl, stage, seq, attempt)
+		} else {
+			o = inj.Stage(pl, stage, seq, attempt)
+		}
+		if o.Stall {
+			p.Stall(fmt.Sprintf("injected stall on item %d", seq))
+		}
+		if o.Delay > 0 {
+			p.Wait(o.Delay.Seconds())
+		}
+		if o.Err == nil {
+			return
+		}
+		if attempt+1 > simMaxRetries {
+			p.Stall(fmt.Sprintf("retries exhausted on item %d: %v", seq, o.Err))
+		}
+		p.Wait(backoff)
+		backoff *= 2
+	}
 }
 
 // endOfStream is the sentinel payload the source emits when Feed ends a
@@ -397,6 +472,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 					}
 					item := m.Payload.(Item)
 					t0 := p.Now()
+					simInject(p, spec.Injector, false, pl, st.Name, item.Seq)
 					chip.ComputeSeconds(p, cores[i], st.CostRef(item))
 					if st.ExtraBytes != nil {
 						chip.MemRead(p, cores[i], st.ExtraBytes(item))
@@ -404,6 +480,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 					if st.Fn != nil {
 						item = st.Fn(item) // propagate size changes
 					}
+					simInject(p, spec.Injector, true, pl, st.Name, item.Seq)
 					busyMu.Lock()
 					busy[st.Name] += p.Now() - t0
 					busyMu.Unlock()

@@ -1,0 +1,439 @@
+package pipe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccpipe/internal/faults"
+)
+
+// This file implements the supervised execution path of Chain.RunContext:
+// the same k-parallel stage-per-goroutine structure as the fast path, plus
+// a supervisor that makes injected (or organic) faults survivable. The
+// paper's own result — the mesh arrangement of a pipeline has no
+// measurable effect, because every hand-off funnels through the four
+// memory controllers — is what licenses the recovery strategy: work can
+// be re-mapped to any surviving pipeline at no modeled cost, so a dead
+// pipeline's items are simply redistributed.
+//
+// The moving parts:
+//
+//   - k feeders pull the per-origin streams and hand items to the
+//     supervisor (preserving Feed's contract of one concurrent caller per
+//     pipeline index);
+//   - the supervisor routes each item to a carrier pipeline — its origin
+//     while that is alive, a round-robin survivor afterwards — keeping an
+//     as-fed snapshot of every item in flight;
+//   - stage goroutines run each application through faults.Apply (injected
+//     delays, retried transient errors, stall watchdog) and report death
+//     verdicts to the supervisor;
+//   - on a death the supervisor cancels that pipeline's context and
+//     re-queues its in-flight snapshots onto survivors (stage Fns must be
+//     redo-safe, see Chain.Faults);
+//   - completions flow back to the supervisor, which dedups them by
+//     (origin, seq) — a redone item that raced its own redispatch arrives
+//     twice but reaches Collect exactly once — and terminates the run when
+//     all streams have ended and nothing is queued or in flight.
+type ident struct{ origin, seq int }
+
+type deathNote struct {
+	pipeline int
+	reason   string
+}
+
+type inflightRec struct {
+	carrier int
+	item    Item
+}
+
+// supervised bundles the shared state of one supervised run.
+type supervised struct {
+	c   *Chain
+	k   int
+	inj faults.Injector
+	pol faults.RecoveryPolicy
+
+	ctx     context.Context // run-wide; cancelled on run-level failure
+	pctx    []context.Context
+	pcancel []context.CancelFunc
+
+	ins       []chan Item // per-pipeline chain heads
+	feedCh    chan feedMsg
+	deaths    chan deathNote
+	completed chan Item
+
+	retries int64 // atomic: total retry attempts across stages
+	total   int64 // atomic: unique items delivered to Collect
+	// settled flips once the supervisor has decided the run's outcome;
+	// cancellations after that are teardown, not errors.
+	settled atomic.Bool
+}
+
+type feedMsg struct {
+	origin int
+	item   Item
+	eof    bool
+}
+
+// runSupervised executes the chain with fault injection and supervised
+// recovery. See Chain.Faults/Chain.Recovery for the contract changes.
+func (c *Chain) runSupervised(parent context.Context, k int) (RunResult, error) {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	pol := c.Recovery.Normalize()
+	s := &supervised{
+		c: c, k: k, inj: c.Faults, pol: pol, ctx: ctx,
+		pctx:    make([]context.Context, k),
+		pcancel: make([]context.CancelFunc, k),
+		ins:     make([]chan Item, k),
+		feedCh:  make(chan feedMsg, k),
+		// deaths never blocks a reporter: each stage goroutine reports at
+		// most once before exiting.
+		deaths:    make(chan deathNote, k*(len(c.Stages)+1)),
+		completed: make(chan Item, k),
+	}
+	for i := 0; i < k; i++ {
+		s.pctx[i], s.pcancel[i] = context.WithCancel(ctx)
+		s.ins[i] = make(chan Item, 1)
+	}
+
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	var wg sync.WaitGroup
+	spawn := func(name string, fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("pipe: %s panicked: %v", name, r))
+				}
+			}()
+			if err := fn(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	// Feeders: one per origin stream. An item's Pipeline field stays its
+	// origin for its whole life, whichever carrier processes it.
+	for o := 0; o < k; o++ {
+		o := o
+		spawn(fmt.Sprintf("feed %d", o), func() error {
+			for seq := 0; ; seq++ {
+				item, ok := c.Feed(o, seq)
+				if !ok {
+					select {
+					case s.feedCh <- feedMsg{origin: o, eof: true}:
+					case <-ctx.Done():
+					}
+					return nil
+				}
+				item.Seq, item.Pipeline = seq, o
+				if item.Bytes == 0 {
+					item.Bytes = c.ItemBytes
+				}
+				select {
+				case s.feedCh <- feedMsg{origin: o, item: item}:
+				case <-ctx.Done():
+					return nil // the run-level outcome is decided elsewhere
+				}
+			}
+		})
+	}
+
+	// Stage chains: like the fast path, but every application goes through
+	// faults.Apply and the last stage emits into the shared completion
+	// channel.
+	for p := 0; p < k; p++ {
+		p := p
+		in := s.ins[p]
+		for si, st := range c.Stages {
+			st := st
+			last := si == len(c.Stages)-1
+			var out chan Item
+			if !last {
+				out = make(chan Item, 1)
+			}
+			src, dst := in, out
+			spawn(fmt.Sprintf("stage %s.%d", st.Name, p), func() error {
+				return s.runStage(p, st, last, src, dst)
+			})
+			in = out
+		}
+	}
+
+	// The supervisor runs inline; it is the sole reader of completions
+	// (and the caller of Collect) until it returns.
+	degraded, supErr := s.supervise()
+	s.settled.Store(true)
+	if supErr != nil {
+		cancel() // release feeders and stages still parked on channels
+	}
+
+	// Teardown: the supervisor has closed (or cancelled) every chain. A
+	// drainer takes over the completion channel so stage goroutines can
+	// flush any late redo duplicates — everything arriving now has already
+	// been delivered once — then cascade out.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range s.completed {
+		}
+	}()
+	wg.Wait()
+	close(s.completed)
+	<-drained
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err == nil {
+		err = supErr
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Items: int(atomic.LoadInt64(&s.total)), Elapsed: time.Since(start)}
+	if degraded != nil {
+		degraded.Retries = int(atomic.LoadInt64(&s.retries))
+		res.Degraded = degraded
+	}
+	return res, nil
+}
+
+// runStage is one supervised stage goroutine: it applies the stage (and
+// its hand-off) under the recovery policy and escalates dead verdicts.
+func (s *supervised) runStage(p int, st Stage, last bool, src <-chan Item, dst chan<- Item) error {
+	pctx := s.pctx[p]
+	reportDeath := func(reason string) {
+		s.deaths <- deathNote{pipeline: p, reason: reason} // buffered: never blocks
+	}
+	for {
+		var item Item
+		var ok bool
+		select {
+		case item, ok = <-src:
+		case <-pctx.Done():
+			return s.ctxOutcome()
+		}
+		if !ok {
+			if dst != nil {
+				close(dst)
+			}
+			return nil
+		}
+		if s.inj != nil && s.inj.Dead(p, item.Seq) {
+			reportDeath(fmt.Sprintf("injected core death at item %d", item.Seq))
+			return nil
+		}
+		ap := faults.Apply(pctx, s.inj, &s.pol, false, p, st.Name, item.Seq, func() error {
+			if st.Fn != nil {
+				item = st.Fn(item)
+			}
+			return nil
+		})
+		atomic.AddInt64(&s.retries, int64(ap.Retries))
+		if exit, err := s.afterVerdict(ap, st.Name, reportDeath); exit {
+			return err
+		}
+		// The hand-off to the next stage (or the sink) is its own fault
+		// point: flaky transfers are retried, slow ones delayed.
+		ap = faults.Apply(pctx, s.inj, &s.pol, true, p, st.Name, item.Seq, nil)
+		atomic.AddInt64(&s.retries, int64(ap.Retries))
+		if exit, err := s.afterVerdict(ap, st.Name, reportDeath); exit {
+			return err
+		}
+		out := dst
+		if last {
+			out = s.completed
+		}
+		select {
+		case out <- item:
+		case <-pctx.Done():
+			return s.ctxOutcome()
+		}
+	}
+}
+
+// afterVerdict translates an Applied into the stage goroutine's reaction:
+// exit reports whether the goroutine must return (with err as its result).
+func (s *supervised) afterVerdict(ap faults.Applied, stage string, reportDeath func(string)) (exit bool, err error) {
+	switch ap.Verdict {
+	case faults.VerdictOK:
+		return false, nil
+	case faults.VerdictDead:
+		reportDeath(ap.Reason)
+		return true, nil
+	case faults.VerdictCancelled:
+		return true, s.ctxOutcome()
+	default: // VerdictFailed
+		return true, fmt.Errorf("pipe: stage %s failed: %w", stage, ap.Err)
+	}
+}
+
+// ctxOutcome distinguishes a run-level cancellation (propagate the error)
+// from a pipeline-local death or post-settlement teardown cancellation
+// (exit quietly, nil — the supervisor's verdict is authoritative).
+func (s *supervised) ctxOutcome() error {
+	if s.settled.Load() {
+		return nil
+	}
+	return s.ctx.Err()
+}
+
+// safeCollect delivers one item to Collect, converting a panic into an
+// error (matching the fast path's contract).
+func (s *supervised) safeCollect(item Item) (err error) {
+	if s.c.Collect == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipe: collect panicked: %v", r)
+		}
+	}()
+	s.c.Collect(item)
+	return nil
+}
+
+// supervise is the routing/recovery state machine. It returns the
+// degraded report (nil for a clean run) and an error when the run cannot
+// complete (all pipelines dead, or the run context was cancelled).
+func (s *supervised) supervise() (*faults.Degraded, error) {
+	var (
+		queue        []Item
+		inflight     = make(map[ident]inflightRec)
+		seen         = make(map[ident]bool)
+		originsEOF   = 0
+		dead         = make(map[int]string)
+		rr           = 0
+		degraded     *faults.Degraded
+		redispatched = 0
+	)
+	alive := func(p int) bool { _, d := dead[p]; return !d }
+	carrierFor := func(origin int) int {
+		if alive(origin) {
+			return origin
+		}
+		for i := 0; i < s.k; i++ {
+			c := rr % s.k
+			rr++
+			if alive(c) {
+				return c
+			}
+		}
+		return -1 // unreachable: handleDeath errors out before all k die
+	}
+	handleDeath := func(n deathNote) error {
+		if !alive(n.pipeline) {
+			return nil // duplicate report (several stages can notice one death)
+		}
+		dead[n.pipeline] = n.reason
+		if degraded == nil {
+			degraded = &faults.Degraded{}
+		}
+		degraded.AddDeath(n.pipeline, n.reason)
+		s.pol.Notify(faults.Event{Kind: faults.EventDeath, Pipeline: n.pipeline, Reason: n.reason})
+		s.pcancel[n.pipeline]()
+		if len(dead) == s.k {
+			return fmt.Errorf("pipe: all %d pipelines dead, last: pipeline %d: %s", s.k, n.pipeline, n.reason)
+		}
+		// Re-queue the dead carrier's in-flight snapshots, in deterministic
+		// order, for redistribution onto survivors.
+		var lost []ident
+		for id, rec := range inflight {
+			if rec.carrier == n.pipeline {
+				lost = append(lost, id)
+			}
+		}
+		sort.Slice(lost, func(i, j int) bool {
+			if lost[i].origin != lost[j].origin {
+				return lost[i].origin < lost[j].origin
+			}
+			return lost[i].seq < lost[j].seq
+		})
+		for _, id := range lost {
+			rec := inflight[id]
+			delete(inflight, id)
+			queue = append(queue, rec.item)
+			redispatched++
+			s.pol.Notify(faults.Event{Kind: faults.EventRedispatch, Pipeline: n.pipeline, Seq: id.seq})
+		}
+		return nil
+	}
+
+	for {
+		if originsEOF == s.k && len(queue) == 0 && len(inflight) == 0 {
+			for p, ch := range s.ins {
+				if alive(p) {
+					close(ch)
+				}
+			}
+			if degraded != nil {
+				degraded.Redispatched = redispatched
+			}
+			return degraded, nil
+		}
+
+		// Head-of-queue dispatch target, recomputed every turn so deaths
+		// retarget queued work automatically. A nil channel disables the
+		// send arm while the queue is empty.
+		var sendCh chan Item
+		var head Item
+		target := -1
+		if len(queue) > 0 {
+			head = queue[0]
+			target = carrierFor(head.Pipeline)
+			sendCh = s.ins[target]
+		}
+		// Stop pulling from the feeders while the backlog is deep, so a
+		// shrunken survivor set doesn't buffer entire redistributed streams.
+		feedCh := s.feedCh
+		if len(queue) >= 4*s.k {
+			feedCh = nil
+		}
+
+		select {
+		case m := <-feedCh:
+			if m.eof {
+				originsEOF++
+			} else {
+				queue = append(queue, m.item)
+			}
+		case n := <-s.deaths:
+			if err := handleDeath(n); err != nil {
+				return nil, err
+			}
+		case item := <-s.completed:
+			id := ident{item.Pipeline, item.Seq}
+			if !seen[id] {
+				seen[id] = true
+				if err := s.safeCollect(item); err != nil {
+					return nil, err
+				}
+				atomic.AddInt64(&s.total, 1)
+			}
+			delete(inflight, id)
+		case sendCh <- head:
+			inflight[ident{head.Pipeline, head.Seq}] = inflightRec{carrier: target, item: head}
+			queue = queue[1:]
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
+		}
+	}
+}

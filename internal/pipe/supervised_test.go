@@ -1,0 +1,313 @@
+package pipe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sccpipe/internal/faults"
+)
+
+// trackChain builds a trivial chain whose Collect counts deliveries per
+// (origin, seq) so tests can assert exactly-once semantics.
+func trackChain(itemsPerPipe int) (*Chain, *sync.Map) {
+	var deliveries sync.Map // [2]int -> *int (delivery count)
+	c := &Chain{
+		Stages: []Stage{
+			{Name: "double", Fn: func(it Item) Item { it.Data = it.Data.(int) * 2; return it }},
+			{Name: "inc", Fn: func(it Item) Item { it.Data = it.Data.(int) + 1; return it }},
+		},
+		Feed: func(pl, seq int) (Item, bool) {
+			if seq >= itemsPerPipe {
+				return Item{}, false
+			}
+			return Item{Data: pl*1000 + seq, Bytes: 64}, true
+		},
+		Collect: func(it Item) {
+			key := [2]int{it.Pipeline, it.Seq}
+			v, _ := deliveries.LoadOrStore(key, new(int))
+			*(v.(*int))++
+			want := (it.Pipeline*1000+it.Seq)*2 + 1
+			if it.Data.(int) != want {
+				panic("wrong payload") // surfaces as a run error via recover
+			}
+		},
+	}
+	return c, &deliveries
+}
+
+func assertExactlyOnce(t *testing.T, deliveries *sync.Map, k, itemsPerPipe int) {
+	t.Helper()
+	got := 0
+	deliveries.Range(func(key, v any) bool {
+		got++
+		if n := *(v.(*int)); n != 1 {
+			t.Errorf("item %v delivered %d times", key, n)
+		}
+		return true
+	})
+	if got != k*itemsPerPipe {
+		t.Errorf("delivered %d unique items, want %d", got, k*itemsPerPipe)
+	}
+}
+
+// quickPolicy keeps test runtimes low.
+func quickPolicy() *faults.RecoveryPolicy {
+	return &faults.RecoveryPolicy{Backoff: time.Microsecond, MaxBackoff: 50 * time.Microsecond}
+}
+
+func TestSupervisedCleanRunMatchesFastPath(t *testing.T) {
+	const k, n = 4, 25
+	c, deliveries := trackChain(n)
+	c.Recovery = quickPolicy() // supervised path, no faults configured
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != k*n {
+		t.Fatalf("items = %d, want %d", res.Items, k*n)
+	}
+	if res.Degraded != nil {
+		t.Fatalf("clean run reported degraded: %v", res.Degraded)
+	}
+	assertExactlyOnce(t, deliveries, k, n)
+}
+
+func TestSupervisedSurvivesPipelineDeath(t *testing.T) {
+	const k, n = 3, 40
+	c, deliveries := trackChain(n)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 11, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 1, Seq: 5},
+	}})
+	c.Recovery = quickPolicy()
+	var mu sync.Mutex
+	var events []faults.Event
+	c.Recovery.OnEvent = func(e faults.Event) { mu.Lock(); events = append(events, e); mu.Unlock() }
+
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != k*n {
+		t.Fatalf("items = %d, want %d (dead pipeline's work must be re-partitioned)", res.Items, k*n)
+	}
+	d := res.Degraded
+	if !d.IsDegraded() {
+		t.Fatal("run did not report degradation")
+	}
+	if len(d.DeadPipelines) != 1 || d.DeadPipelines[0] != 1 {
+		t.Fatalf("dead pipelines = %v, want [1]", d.DeadPipelines)
+	}
+	if !strings.Contains(d.Reasons[1], "core death") {
+		t.Errorf("reason = %q", d.Reasons[1])
+	}
+	assertExactlyOnce(t, deliveries, k, n)
+
+	mu.Lock()
+	defer mu.Unlock()
+	sawDeath := false
+	for _, e := range events {
+		if e.Kind == faults.EventDeath && e.Pipeline == 1 {
+			sawDeath = true
+		}
+	}
+	if !sawDeath {
+		t.Error("no death event observed")
+	}
+}
+
+func TestSupervisedTransientRetriesRecover(t *testing.T) {
+	const k, n = 2, 20
+	c, deliveries := trackChain(n)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 5, Rules: []faults.Rule{
+		{Kind: faults.KindTransient, Pipeline: 0, Stage: "double", Seq: 7, Times: 2},
+		{Kind: faults.KindTransfer, Pipeline: 1, Stage: "inc", Seq: 3, Times: 1},
+	}})
+	c.Recovery = quickPolicy()
+	var retries int64
+	var mu sync.Mutex
+	c.Recovery.OnEvent = func(e faults.Event) {
+		if e.Kind == faults.EventRetry {
+			mu.Lock()
+			retries++
+			mu.Unlock()
+		}
+	}
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != nil {
+		t.Fatalf("recovered transients must not degrade the run: %v", res.Degraded)
+	}
+	if res.Items != k*n {
+		t.Fatalf("items = %d, want %d", res.Items, k*n)
+	}
+	mu.Lock()
+	if retries != 3 {
+		t.Errorf("retry events = %d, want 3 (2 stage + 1 transfer)", retries)
+	}
+	mu.Unlock()
+	assertExactlyOnce(t, deliveries, k, n)
+}
+
+func TestSupervisedStallEscalatesToDeath(t *testing.T) {
+	const k, n = 2, 15
+	c, deliveries := trackChain(n)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 2, Rules: []faults.Rule{
+		{Kind: faults.KindStall, Pipeline: 0, Stage: "inc", Seq: 4},
+	}})
+	c.Recovery = quickPolicy()
+	// Generous deadline: the trivial stage work must never trip it, even
+	// under the race detector's slowdown — only the injected stall does.
+	c.Recovery.StallTimeout = 100 * time.Millisecond
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != k*n {
+		t.Fatalf("items = %d, want %d", res.Items, k*n)
+	}
+	d := res.Degraded
+	if !d.IsDegraded() || len(d.DeadPipelines) != 1 || d.DeadPipelines[0] != 0 {
+		t.Fatalf("degraded = %v, want pipeline 0 dead", d)
+	}
+	if !strings.Contains(d.Reasons[0], "stalled") {
+		t.Errorf("reason = %q, want a stall", d.Reasons[0])
+	}
+	assertExactlyOnce(t, deliveries, k, n)
+}
+
+func TestSupervisedAllPipelinesDeadIsError(t *testing.T) {
+	const k = 2
+	c, _ := trackChain(10)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 0, Seq: 0},
+		{Kind: faults.KindDeath, Pipeline: 1, Seq: 0},
+	}})
+	c.Recovery = quickPolicy()
+	_, err := c.Run(k)
+	if err == nil || !strings.Contains(err.Error(), "all 2 pipelines dead") {
+		t.Fatalf("err = %v, want all-dead failure", err)
+	}
+}
+
+func TestSupervisedRetryExhaustionKillsPipeline(t *testing.T) {
+	const k, n = 2, 12
+	c, deliveries := trackChain(n)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		// Fails far more times than the retry budget allows.
+		{Kind: faults.KindTransient, Pipeline: 1, Stage: "double", Seq: 2, Times: 1 << 20},
+	}})
+	pol := quickPolicy()
+	pol.MaxRetries = 2
+	c.Recovery = pol
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Degraded
+	if !d.IsDegraded() || len(d.DeadPipelines) != 1 || d.DeadPipelines[0] != 1 {
+		t.Fatalf("degraded = %v, want pipeline 1 dead", d)
+	}
+	if !strings.Contains(d.Reasons[1], "retries exhausted") {
+		t.Errorf("reason = %q", d.Reasons[1])
+	}
+	if res.Items != k*n {
+		t.Fatalf("items = %d, want %d", res.Items, k*n)
+	}
+	assertExactlyOnce(t, deliveries, k, n)
+}
+
+// simTestChain is a cost-only chain for simulation tests.
+func simTestChain() *Chain {
+	return &Chain{
+		Stages: []Stage{
+			{Name: "alpha", CostRef: func(Item) float64 { return 1e-3 }},
+			{Name: "beta", CostRef: func(Item) float64 { return 1e-3 }},
+		},
+		Feed:      func(pl, seq int) (Item, bool) { return Item{Data: seq}, true },
+		ItemBytes: 1024,
+	}
+}
+
+func TestSimulateInjectedStallNamesStuckStage(t *testing.T) {
+	c := simTestChain()
+	inj := faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindStall, Pipeline: 0, Stage: "beta", Seq: 3},
+	}})
+	_, err := c.Simulate(SimSpec{Pipelines: 2, Items: 8, Injector: inj})
+	if err == nil {
+		t.Fatal("stalled simulation did not error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"quiesced", "beta0", "injected stall on item 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	// The healthy pipeline still finished its stream: the reported count
+	// reflects partial progress, not zero.
+	if !strings.Contains(msg, "of 16 items") {
+		t.Errorf("error %q does not report the expected total", msg)
+	}
+}
+
+func TestSimulateInjectedDeathNamesCore(t *testing.T) {
+	c := simTestChain()
+	inj := faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 1, Seq: 2},
+	}})
+	_, err := c.Simulate(SimSpec{Pipelines: 2, Items: 6, Injector: inj})
+	if err == nil || !strings.Contains(err.Error(), "injected core death at item 2") {
+		t.Fatalf("err = %v, want named core death", err)
+	}
+}
+
+func TestSimulateInjectedDelayChargesTime(t *testing.T) {
+	base, err := simTestChain().Simulate(SimSpec{Pipelines: 1, Items: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindDelay, Pipeline: 0, Stage: "alpha", Seq: 1, Delay: 10 * time.Millisecond},
+	}})
+	slow, err := simTestChain().Simulate(SimSpec{Pipelines: 1, Items: 5, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Items != base.Items {
+		t.Fatalf("delay changed item count: %d vs %d", slow.Items, base.Items)
+	}
+	if d := slow.Seconds - base.Seconds; d < 0.0099 || d > 0.012 {
+		t.Errorf("delay charged %.4fs, want ≈0.010s", d)
+	}
+}
+
+func TestSimulateTransientRetriesChargeBackoff(t *testing.T) {
+	base, err := simTestChain().Simulate(SimSpec{Pipelines: 1, Items: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindTransient, Pipeline: 0, Stage: "beta", Seq: 2, Times: 2},
+	}})
+	flaky, err := simTestChain().Simulate(SimSpec{Pipelines: 1, Items: 5, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two retries charge 100µs + 200µs of backoff.
+	if d := flaky.Seconds - base.Seconds; d < 250e-6 || d > 400e-6 {
+		t.Errorf("retries charged %.0fµs, want ≈300µs", d*1e6)
+	}
+
+	// Exhausting the simulated retry budget stalls the pipeline.
+	exhaust := faults.MustInjector(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindTransient, Pipeline: 0, Stage: "beta", Seq: 2, Times: 1 << 20},
+	}})
+	_, err = simTestChain().Simulate(SimSpec{Pipelines: 1, Items: 5, Injector: exhaust})
+	if err == nil || !strings.Contains(err.Error(), "retries exhausted on item 2") {
+		t.Fatalf("err = %v, want exhausted retries", err)
+	}
+}

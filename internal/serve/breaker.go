@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the server's circuit breaker. The breaker watches
+// job outcomes: Threshold consecutive failures trip it open, after which
+// submissions are rejected immediately (503, reason "breaker_open")
+// instead of being admitted into a failing backend. After Cooldown the
+// breaker goes half-open and lets a single probe job through: a success
+// closes it, a failure re-opens it for another cooldown.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker;
+	// 0 (the default) disables it entirely.
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 5s).
+	Cooldown time.Duration
+}
+
+// Breaker states, exported on /metrics as sccserve_breaker_state.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker. The clock is
+// injectable for tests.
+type breaker struct {
+	cfg    BreakerConfig
+	now    func() time.Time
+	onTrip func()
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig, onTrip func()) *breaker {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	return &breaker{cfg: cfg, now: time.Now, onTrip: onTrip}
+}
+
+// enabled reports whether the breaker is configured at all.
+func (b *breaker) enabled() bool { return b != nil && b.cfg.Threshold > 0 }
+
+// Allow reports whether a job may be admitted, transitioning open →
+// half-open once the cooldown has elapsed.
+func (b *breaker) Allow() bool {
+	if !b.enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds one job outcome into the breaker.
+func (b *breaker) Record(ok bool) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.trip()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; the caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.fails = 0
+	if b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+// State returns the current state for the metrics gauge (0 closed,
+// 1 open, 2 half-open).
+func (b *breaker) State() int {
+	if !b.enabled() {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerDisabledAlwaysAllows(t *testing.T) {
+	b := newBreaker(BreakerConfig{}, nil)
+	for i := 0; i < 5; i++ {
+		b.Record(false)
+	}
+	if !b.Allow() {
+		t.Fatal("disabled breaker blocked admission")
+	}
+	if b.State() != breakerClosed {
+		t.Fatalf("state = %d, want closed", b.State())
+	}
+}
+
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	trips := 0
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second}, func() { trips++ })
+	b.now = func() time.Time { return now }
+
+	// Failures below the threshold keep it closed; a success resets.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if !b.Allow() || b.State() != breakerClosed {
+		t.Fatal("breaker tripped early (success did not reset the streak)")
+	}
+
+	// The third consecutive failure trips it.
+	b.Record(false)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a job")
+	}
+	if trips != 1 || b.State() != breakerOpen {
+		t.Fatalf("trips=%d state=%d, want 1/open", trips, b.State())
+	}
+
+	// After the cooldown: exactly one half-open probe.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not go half-open after cooldown")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %d, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	// A failed probe re-opens for a full cooldown.
+	b.Record(false)
+	if b.Allow() || trips != 2 {
+		t.Fatalf("failed probe did not re-open (trips=%d)", trips)
+	}
+
+	// Next probe succeeds: closed again, failure streak cleared.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Record(true)
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}

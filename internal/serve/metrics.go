@@ -22,6 +22,15 @@ const (
 	mInflight  = "sccserve_inflight_runs"
 	mUptime    = "sccserve_uptime_seconds"
 	mStageBusy = "sccserve_stage_busy_seconds_total"
+
+	// Robustness metrics: populated by chaos-mode supervision and the
+	// circuit breaker.
+	mRetries      = "sccserve_stage_retries_total"
+	mPipeDeaths   = "sccserve_pipelines_died_total"
+	mJobsDegraded = "sccserve_jobs_degraded_total"
+	mBreakerState = "sccserve_breaker_state"
+	mBreakerTrips = "sccserve_breaker_trips_total"
+	mRetryBudget  = "sccserve_retry_budget"
 )
 
 // stageBusyKey builds the labeled key for per-stage busy time. backend is
@@ -29,6 +38,12 @@ const (
 // time from the trace).
 func stageBusyKey(backend, stage string) string {
 	return mStageBusy + `{backend="` + backend + `",stage="` + stage + `"}`
+}
+
+// retryKey builds the labeled key for per-stage retry counts; a transfer
+// retry is attributed to the stage whose hand-off failed.
+func retryKey(stage string) string {
+	return mRetries + `{stage="` + stage + `"}`
 }
 
 // metricFamilies fixes the exposition order and metadata.
@@ -44,6 +59,12 @@ var metricFamilies = []struct {
 	{mInflight, "gauge", "Pipeline runs currently executing."},
 	{mUptime, "gauge", "Seconds since the server started."},
 	{mStageBusy, "counter", "Per-stage busy time by backend (exec wall time, sim model time)."},
+	{mRetries, "counter", "Supervised stage/transfer retries, by stage."},
+	{mPipeDeaths, "counter", "Pipelines declared dead and re-partitioned."},
+	{mJobsDegraded, "counter", "Jobs that completed degraded (survived dead pipelines)."},
+	{mBreakerState, "gauge", "Circuit breaker state: 0 closed, 1 open, 2 half-open."},
+	{mBreakerTrips, "counter", "Times the circuit breaker tripped open."},
+	{mRetryBudget, "gauge", "Per-job retry budget of the active recovery policy."},
 }
 
 // handleMetrics serves the Prometheus text exposition format (v0.0.4).
@@ -61,6 +82,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.Set(mQueue, float64(queued))
 	s.m.Set(mInflight, float64(len(s.slots)))
 	s.m.Set(mUptime, time.Since(s.start).Seconds())
+	s.m.Set(mBreakerState, float64(s.brk.State()))
+	s.m.Set(mRetryBudget, float64(s.cfg.Recovery.Normalize().MaxRetries))
 
 	snap := s.m.Snapshot()
 	keys := make([]string, 0, len(snap))
@@ -83,8 +106,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
 		if len(members) == 0 {
 			// Expose untouched plain counters as explicit zeros so scrapes
-			// see the full instrument set from the first sample.
-			if fam.name != mRejected && fam.name != mStageBusy {
+			// see the full instrument set from the first sample; labeled
+			// families stay empty until their first labeled sample.
+			switch fam.name {
+			case mRejected, mStageBusy, mRetries:
+			default:
 				fmt.Fprintf(w, "%s 0\n", fam.name)
 			}
 			continue

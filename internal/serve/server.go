@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"sccpipe/internal/core"
+	"sccpipe/internal/faults"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scene"
@@ -66,6 +67,21 @@ type Config struct {
 	Scene []render.Triangle
 	// Log receives one line per job outcome; nil disables logging.
 	Log *log.Logger
+
+	// Breaker configures the circuit breaker in front of admission; the
+	// zero value disables it. See BreakerConfig.
+	Breaker BreakerConfig
+	// Chaos, when non-nil, injects the plan's faults into every render
+	// job (each job gets its own deterministic injector built from the
+	// plan), exercising the supervised recovery path: retries, stall
+	// detection, and pipeline-death re-partitioning show up in /metrics.
+	// Simulate jobs are unaffected. Nil (the default) leaves the fast
+	// execution path byte-identical to a chaos-free build.
+	Chaos *faults.Plan
+	// Recovery tunes the supervision applied to chaos-mode render jobs
+	// (and, when set without Chaos, enables supervision alone). Nil uses
+	// faults.RecoveryPolicy defaults.
+	Recovery *faults.RecoveryPolicy
 }
 
 func (c *Config) fillDefaults() {
@@ -115,6 +131,13 @@ type Server struct {
 	draining atomic.Bool
 	jobs     sync.WaitGroup
 
+	// brk guards admission after repeated job failures; hardStop, once
+	// closed, cancels every in-flight job's context so a drain deadline
+	// is a real deadline (a job stuck retrying cannot outlive SIGTERM).
+	brk      *breaker
+	hardStop chan struct{}
+	hardOnce sync.Once
+
 	// workload caches profiled walkthroughs for simulate jobs, keyed by
 	// (frames, width, height); Workload's own caches are
 	// concurrency-safe, so one entry may serve several jobs at once.
@@ -138,15 +161,17 @@ func New(cfg Config) *Server {
 		tris = scene.City(scene.DefaultConfig())
 	}
 	s := &Server{
-		cfg:   cfg,
-		tree:  render.BuildOctree(tris),
-		m:     stats.NewCounters(),
-		pool:  frame.NewPool(),
-		room:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		slots: make(chan struct{}, cfg.Workers),
-		wls:   make(map[[3]int]*core.Workload),
-		start: time.Now(),
+		cfg:      cfg,
+		tree:     render.BuildOctree(tris),
+		m:        stats.NewCounters(),
+		pool:     frame.NewPool(),
+		room:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		slots:    make(chan struct{}, cfg.Workers),
+		wls:      make(map[[3]int]*core.Workload),
+		start:    time.Now(),
+		hardStop: make(chan struct{}),
 	}
+	s.brk = newBreaker(cfg.Breaker, func() { s.m.Inc(mBreakerTrips) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -202,8 +227,27 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err = hs.Shutdown(dctx) // waits for in-flight requests
-	<-errc                  // Serve has returned ErrServerClosed
+	if err != nil {
+		// The graceful window expired with jobs still running — e.g. a job
+		// stuck in an injected retry/backoff loop. Cancel every in-flight
+		// job's context and give the handlers a moment to unwind; the
+		// drain deadline stays a real deadline.
+		s.HardStop()
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer hcancel()
+		if herr := hs.Shutdown(hctx); herr != nil {
+			hs.Close() // sever whatever is left mid-stream
+		}
+	}
+	<-errc // Serve has returned ErrServerClosed
 	return err
+}
+
+// HardStop cancels the context of every in-flight job (idempotent). It is
+// the escalation ListenAndServe applies when the graceful drain window
+// expires; exported so embedders driving Drain themselves can do the same.
+func (s *Server) HardStop() {
+	s.hardOnce.Do(func() { close(s.hardStop) })
 }
 
 // logf logs one line if logging is configured.
@@ -255,6 +299,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "invalid", "bad job spec: "+err.Error())
 		return
 	}
+	if !s.brk.Allow() {
+		s.reject(w, http.StatusServiceUnavailable, "breaker_open",
+			"circuit breaker open: recent jobs failed, retry after cooldown")
+		return
+	}
 
 	// Admission: claim a place in the bounded waiting room or refuse now.
 	select {
@@ -271,6 +320,16 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
+	// A hard stop (drain deadline expired) cancels in-flight jobs — a job
+	// stuck in a retry/backoff loop must not outlive SIGTERM. The watcher
+	// exits with the job via ctx.Done.
+	go func() {
+		select {
+		case <-s.hardStop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 
 	// Wait for a pipeline slot; the deadline keeps queue waits bounded.
 	select {
@@ -294,6 +353,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	default:
 		err = s.runRender(ctx, w, spec)
 	}
+	s.brk.Record(err == nil)
 	if err != nil {
 		s.m.Inc(mFailed)
 		s.logf("job %s failed after %v: %v", spec.Mode, time.Since(start).Round(time.Millisecond), err)
@@ -317,6 +377,26 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) {
 			s.m.Add(stageBusyKey("exec", kind.String()), busy.Seconds())
 		},
+	}
+	if s.cfg.Chaos != nil || s.cfg.Recovery != nil {
+		if s.cfg.Chaos != nil {
+			inj, err := faults.NewInjector(*s.cfg.Chaos)
+			if err != nil {
+				http.Error(w, "bad chaos plan: "+err.Error(), http.StatusInternalServerError)
+				return err
+			}
+			es.Faults = inj
+		}
+		pol := s.cfg.Recovery.Normalize()
+		pol.OnEvent = func(e faults.Event) {
+			switch e.Kind {
+			case faults.EventRetry:
+				s.m.Inc(retryKey(e.Stage))
+			case faults.EventDeath:
+				s.m.Inc(mPipeDeaths)
+			}
+		}
+		es.Recovery = &pol
 	}
 	cams := render.Walkthrough(spec.Frames, s.tree.Bounds())
 
@@ -346,16 +426,25 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		st.CloseWithError(runErr)
 		return runErr
 	}
-	return st.CloseWithSummary(renderSummary{
+	summary := renderSummary{
 		Frames:    res.Frames,
 		ElapsedMS: res.Elapsed.Milliseconds(),
-	})
+	}
+	if res.Degraded.IsDegraded() {
+		s.m.Inc(mJobsDegraded)
+		summary.Degraded = res.Degraded.String()
+		s.logf("job %s degraded: %v", spec.Mode, res.Degraded)
+	}
+	return st.CloseWithSummary(summary)
 }
 
 // renderSummary is the trailing JSON part of a successful frame stream.
 type renderSummary struct {
 	Frames    int   `json:"frames"`
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Degraded describes a run that recovered from injected faults by
+	// re-partitioning a dead pipeline's work; empty for clean runs.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // simResponse is the JSON body of a completed simulate job.

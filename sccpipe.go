@@ -54,9 +54,11 @@ package sccpipe
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"sccpipe/internal/core"
 	"sccpipe/internal/experiments"
+	"sccpipe/internal/faults"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/host"
 	"sccpipe/internal/pipe"
@@ -254,6 +256,12 @@ func Assemble(w, h int, strips []*Strip) (*Image, error) {
 	return frame.Assemble(w, h, strips), nil
 }
 
+// ReadPNG decodes a PNG stream into an Image, the inverse of
+// Image.WritePNG — stream clients use it to turn server responses back
+// into frame buffers. Frames above frame.MaxDecodePixels are rejected
+// before any pixel allocation.
+func ReadPNG(r io.Reader) (*Image, error) { return frame.ReadPNG(r) }
+
 // BuildOctree constructs the culling structure over scene triangles.
 func BuildOctree(tris []Triangle) *Octree { return render.BuildOctree(tris) }
 
@@ -321,6 +329,64 @@ type (
 	// PipeRunResult reports a real generic-chain run.
 	PipeRunResult = pipe.RunResult
 )
+
+// ---------------------------------------------------------------------------
+// Fault injection and supervised recovery
+
+// Fault-plane types: a seeded declarative fault plan compiled into a
+// deterministic injector, the recovery policy supervising real runs, and
+// the degraded-mode report. Set ExecSpec.Faults/Recovery (or the PipeChain
+// fields of the same names) to opt in; nil everywhere selects the original
+// fast paths byte for byte.
+type (
+	// FaultPlan is a seeded set of fault rules (see faults.Plan).
+	FaultPlan = faults.Plan
+	// FaultRule describes one fault to inject.
+	FaultRule = faults.Rule
+	// FaultKind classifies an injected fault.
+	FaultKind = faults.Kind
+	// FaultInjector is consulted by the execution backends at their fault
+	// points; implement it directly for custom chaos.
+	FaultInjector = faults.Injector
+	// FaultOutcome is what an injector wants to happen at one fault point.
+	FaultOutcome = faults.Outcome
+	// FaultEvent is one recovery occurrence (retry, stall, death,
+	// redispatch), delivered to RecoveryPolicy.OnEvent.
+	FaultEvent = faults.Event
+	// RecoveryPolicy tunes supervision: retry budget, backoff, stall
+	// watchdog.
+	RecoveryPolicy = faults.RecoveryPolicy
+	// Degraded reports how a run survived pipeline deaths.
+	Degraded = faults.Degraded
+	// ServerBreakerConfig tunes the render service's circuit breaker.
+	ServerBreakerConfig = serve.BreakerConfig
+)
+
+// Fault kinds.
+const (
+	FaultTransient    = faults.KindTransient
+	FaultDelay        = faults.KindDelay
+	FaultStall        = faults.KindStall
+	FaultDeath        = faults.KindDeath
+	FaultTransfer     = faults.KindTransfer
+	FaultTransferSlow = faults.KindTransferSlow
+
+	// FaultAny is the wildcard for FaultRule.Pipeline and FaultRule.Seq.
+	FaultAny = faults.Any
+)
+
+// NewFaultRule returns a wildcard rule of the given kind gated at
+// probability p.
+func NewFaultRule(kind FaultKind, p float64) FaultRule { return faults.NewRule(kind, p) }
+
+// NewFaultInjector compiles a plan into a deterministic injector: every
+// decision is a pure hash of (seed, rule, pipeline, stage, seq), so a
+// seeded chaos run makes identical choices regardless of scheduling.
+func NewFaultInjector(p FaultPlan) (FaultInjector, error) { return faults.NewInjector(p) }
+
+// ParseFaultPlan parses the compact chaos spec used by sccserved -chaos,
+// e.g. "seed=7,err=0.02,stall=0.001,death=0.0005,delay=0.01:5ms".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return faults.ParsePlan(s) }
 
 // ---------------------------------------------------------------------------
 // Render service
