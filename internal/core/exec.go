@@ -98,9 +98,11 @@ func (s ExecSpec) Validate() error {
 type ExecResult struct {
 	Frames  int
 	Elapsed time.Duration
-	// Degraded is non-nil when a supervised run recovered from faults: it
-	// names dead pipelines and counts retries and redispatched strips.
-	// Unsupervised runs always leave it nil.
+	// Degraded is non-nil only when a supervised run survived pipeline
+	// deaths: it names the dead pipelines and counts retries and
+	// redispatched strips. Runs that recovered purely by retrying transient
+	// failures (no deaths), and unsupervised runs, leave it nil; per-stage
+	// retry activity is observable via RecoveryPolicy.OnEvent.
 	Degraded *faults.Degraded
 }
 

@@ -296,7 +296,9 @@ func parseDeath(val string) (Rule, error) {
 
 // Degraded reports how a run survived: which pipelines died (and why),
 // how much work was retried, and how many items were re-partitioned onto
-// surviving pipelines. A nil *Degraded means the run was clean.
+// surviving pipelines. The supervised runners return a nil *Degraded when
+// no pipeline died — including runs that recovered from transient
+// failures by retries alone.
 type Degraded struct {
 	// DeadPipelines lists the pipelines declared dead, ascending.
 	DeadPipelines []int

@@ -106,9 +106,11 @@ func (c *Chain) Validate() error {
 type RunResult struct {
 	Items   int
 	Elapsed time.Duration
-	// Degraded is non-nil when a supervised run recovered from faults:
-	// it names dead pipelines and counts retries and redispatched items.
-	// Unsupervised runs always leave it nil.
+	// Degraded is non-nil only when a supervised run survived pipeline
+	// deaths: it names the dead pipelines and counts retries and
+	// redispatched items. Runs that recovered purely by retrying transient
+	// failures (no deaths), and unsupervised runs, leave it nil; per-stage
+	// retry activity is observable via RecoveryPolicy.OnEvent.
 	Degraded *faults.Degraded
 }
 

@@ -52,29 +52,51 @@ func newBreaker(cfg BreakerConfig, onTrip func()) *breaker {
 func (b *breaker) enabled() bool { return b != nil && b.cfg.Threshold > 0 }
 
 // Allow reports whether a job may be admitted, transitioning open →
-// half-open once the cooldown has elapsed.
-func (b *breaker) Allow() bool {
+// half-open once the cooldown has elapsed. probe is true when this
+// admission holds the breaker's single half-open probe slot: the caller
+// must eventually hand the slot back, either by running the job and
+// calling Record, or by calling Release(probe) if the job is abandoned
+// before it runs (rejected at the waiting room, timed out queued) — a
+// probe that is neither recorded nor released wedges the breaker
+// half-open forever.
+func (b *breaker) Allow() (admit, probe bool) {
 	if !b.enabled() {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
-			return false
+			return false, false
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	default: // half-open: one probe at a time
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
+	}
+}
+
+// Release abandons an admission granted by Allow without recording an
+// outcome: the job never ran (or ended for reasons that say nothing
+// about backend health), so the breaker state must not change. If the
+// admission held the half-open probe, the probe slot is freed so the
+// next submission can probe; otherwise this is a no-op.
+func (b *breaker) Release(probe bool) {
+	if !b.enabled() || !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
 	}
 }
 

@@ -10,8 +10,12 @@ func TestBreakerDisabledAlwaysAllows(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		b.Record(false)
 	}
-	if !b.Allow() {
+	admit, probe := b.Allow()
+	if !admit {
 		t.Fatal("disabled breaker blocked admission")
+	}
+	if probe {
+		t.Fatal("disabled breaker handed out a probe")
 	}
 	if b.State() != breakerClosed {
 		t.Fatalf("state = %d, want closed", b.State())
@@ -23,6 +27,7 @@ func TestBreakerTripHalfOpenRecover(t *testing.T) {
 	trips := 0
 	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second}, func() { trips++ })
 	b.now = func() time.Time { return now }
+	admit := func() bool { ok, _ := b.Allow(); return ok }
 
 	// Failures below the threshold keep it closed; a success resets.
 	b.Record(false)
@@ -30,13 +35,13 @@ func TestBreakerTripHalfOpenRecover(t *testing.T) {
 	b.Record(true)
 	b.Record(false)
 	b.Record(false)
-	if !b.Allow() || b.State() != breakerClosed {
+	if !admit() || b.State() != breakerClosed {
 		t.Fatal("breaker tripped early (success did not reset the streak)")
 	}
 
 	// The third consecutive failure trips it.
 	b.Record(false)
-	if b.Allow() {
+	if admit() {
 		t.Fatal("open breaker admitted a job")
 	}
 	if trips != 1 || b.State() != breakerOpen {
@@ -45,29 +50,80 @@ func TestBreakerTripHalfOpenRecover(t *testing.T) {
 
 	// After the cooldown: exactly one half-open probe.
 	now = now.Add(time.Second)
-	if !b.Allow() {
-		t.Fatal("breaker did not go half-open after cooldown")
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("after cooldown Allow = (%v, %v), want a half-open probe", ok, probe)
 	}
 	if b.State() != breakerHalfOpen {
 		t.Fatalf("state = %d, want half-open", b.State())
 	}
-	if b.Allow() {
+	if admit() {
 		t.Fatal("second probe admitted while one is in flight")
 	}
 
 	// A failed probe re-opens for a full cooldown.
 	b.Record(false)
-	if b.Allow() || trips != 2 {
+	if admit() || trips != 2 {
 		t.Fatalf("failed probe did not re-open (trips=%d)", trips)
 	}
 
 	// Next probe succeeds: closed again, failure streak cleared.
 	now = now.Add(time.Second)
-	if !b.Allow() {
+	if !admit() {
 		t.Fatal("no probe after second cooldown")
 	}
 	b.Record(true)
-	if b.State() != breakerClosed || !b.Allow() {
+	if b.State() != breakerClosed || !admit() {
 		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// An admitted probe that is abandoned before running (the job bounced off
+// the full waiting room or timed out queued) must hand its slot back via
+// Release, or the breaker stays half-open rejecting everything forever.
+func TestBreakerReleaseFreesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second}, nil)
+	b.now = func() time.Time { return now }
+
+	b.Record(false) // trip
+	now = now.Add(time.Second)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("Allow = (%v, %v), want a probe", ok, probe)
+	}
+
+	// Abandoned without Release: everything is rejected.
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("second probe admitted while the first is unreleased")
+	}
+
+	b.Release(probe)
+	ok, probe = b.Allow()
+	if !ok || !probe {
+		t.Fatalf("Allow after Release = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.Record(true)
+	if b.State() != breakerClosed {
+		t.Fatal("probe after release could not close the breaker")
+	}
+}
+
+// Release from an admission that never held the probe must not free a
+// probe someone else holds.
+func TestBreakerReleaseNonProbeIsNoop(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second}, nil)
+	b.now = func() time.Time { return now }
+
+	b.Record(false) // trip
+	now = now.Add(time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("Allow = (%v, %v), want a probe", ok, probe)
+	}
+
+	b.Release(false) // e.g. a pre-trip admission bailing out
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("non-probe Release freed the in-flight probe slot")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -154,6 +155,87 @@ func TestBreakerTripsOnRepeatedFailures(t *testing.T) {
 		if got := m[name]; got != want {
 			t.Errorf("%s = %v, want %v", name, got, want)
 		}
+	}
+}
+
+// TestBreakerProbeNotLostOnClientCausedFailure is the wedge regression:
+// once tripped, the breaker admits a single half-open probe. If that
+// probe ends for reasons that say nothing about backend health (here its
+// client-chosen deadline expires), the probe slot must be released — not
+// recorded as a backend failure — so the next submission can probe and a
+// success can close the breaker. Before the fix the probe was either
+// counted as a failure (re-opening for a full cooldown) or, on the
+// admission-reject paths, simply lost, wedging the server half-open with
+// every request bounced 503 until restart.
+func TestBreakerProbeNotLostOnClientCausedFailure(t *testing.T) {
+	// The chaos plan kills every pipeline, so render jobs genuinely fail;
+	// simulate jobs are unaffected by chaos and succeed.
+	plan := &faults.Plan{Seed: 7, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 0, Seq: 0},
+		{Kind: faults.KindDeath, Pipeline: 1, Seq: 0},
+	}}
+	s := New(Config{
+		Workers:  1,
+		Chaos:    plan,
+		Recovery: quickChaosRecovery(),
+		Breaker:  BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+	})
+	var clockMu sync.Mutex
+	now := time.Unix(0, 0)
+	s.brk.now = func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	// Held jobs (Frames == 5) sleep past their own 50 ms deadline before
+	// the pipeline starts, so they end on a client-caused cancellation.
+	s.testHookRunning = func(spec JobSpec) {
+		if spec.Frames == 5 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A doomed render job trips the breaker.
+	resp := postJob(t, ts.URL, smallRender(2))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("doomed job status %d, want 500", resp.StatusCode)
+	}
+	if st := s.brk.State(); st != breakerOpen {
+		t.Fatalf("breaker state %d after failure, want open", st)
+	}
+
+	// After the cooldown the next submission is the probe; its deadline
+	// expires before the pipeline runs, a client-caused ending.
+	clockMu.Lock()
+	now = now.Add(time.Hour)
+	clockMu.Unlock()
+	probe := smallRender(5)
+	probe.TimeoutMS = 50
+	resp = postJob(t, ts.URL, probe)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("probe job unexpectedly succeeded; it was meant to hit its deadline")
+	}
+
+	// The lost-probe wedge: the breaker must still be probeable (half-open
+	// with the slot free), not re-opened and not stuck. A successful
+	// simulate probe closes it — without advancing the clock, so a
+	// re-opened breaker would reject this with 503 for another hour.
+	if st := s.brk.State(); st != breakerHalfOpen {
+		t.Fatalf("breaker state %d after client-caused probe ending, want half-open", st)
+	}
+	resp = postJob(t, ts.URL, smallSimulate())
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-probe simulate status %d, want 200 (breaker wedged?)", resp.StatusCode)
+	}
+	if st := s.brk.State(); st != breakerClosed {
+		t.Fatalf("breaker state %d after successful probe, want closed", st)
+	}
+	if got := s.m.Get(mBreakerTrips); got != 1 {
+		t.Fatalf("breaker trips = %v, want 1 (client-caused ending must not re-trip)", got)
 	}
 }
 

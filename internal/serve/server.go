@@ -278,6 +278,20 @@ func failStatus(err error) int {
 	}
 }
 
+// errStream marks a response-stream write failure: the client went away
+// (or its connection broke) mid-stream. See clientCaused.
+var errStream = errors.New("streaming failed")
+
+// clientCaused reports whether a failed job says nothing about backend
+// health: its context was cancelled from outside the run (client
+// disconnect, client-chosen deadline, drain hard-stop) or the response
+// stream broke because nobody was reading it. Such outcomes must not
+// feed the circuit breaker — a few misbehaving or impatient clients in
+// a row would otherwise trip it and block all traffic for a cooldown.
+func clientCaused(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, errStream)
+}
+
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -299,16 +313,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "invalid", "bad job spec: "+err.Error())
 		return
 	}
-	if !s.brk.Allow() {
+	admit, probe := s.brk.Allow()
+	if !admit {
 		s.reject(w, http.StatusServiceUnavailable, "breaker_open",
 			"circuit breaker open: recent jobs failed, retry after cooldown")
 		return
 	}
 
 	// Admission: claim a place in the bounded waiting room or refuse now.
+	// A job abandoned anywhere between Allow and the breaker outcome below
+	// must release the half-open probe it may hold, or the breaker would
+	// stay half-open (rejecting everything) with no probe left to close it.
 	select {
 	case s.room <- struct{}{}:
 	default:
+		s.brk.Release(probe)
 		s.reject(w, http.StatusTooManyRequests, "queue_full",
 			fmt.Sprintf("queue full (%d jobs admitted)", cap(s.room)))
 		return
@@ -335,6 +354,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
+		s.brk.Release(probe)
 		s.m.Inc(mFailed)
 		s.logf("job %s timed out in queue: %v", spec.Mode, ctx.Err())
 		http.Error(w, "timed out waiting for a worker: "+ctx.Err().Error(), failStatus(ctx.Err()))
@@ -353,7 +373,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	default:
 		err = s.runRender(ctx, w, spec)
 	}
-	s.brk.Record(err == nil)
+	switch {
+	case err == nil:
+		s.brk.Record(true)
+	case clientCaused(ctx, err):
+		// Not a backend failure; hand back the probe (if held) unrecorded.
+		s.brk.Release(probe)
+	default:
+		s.brk.Record(false)
+	}
 	if err != nil {
 		s.m.Inc(mFailed)
 		s.logf("job %s failed after %v: %v", spec.Mode, time.Since(start).Round(time.Millisecond), err)
@@ -416,7 +444,7 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 	}
 	res, runErr := core.ExecContext(ctx, es, s.tree, cams, sink)
 	if werr := st.Err(); werr != nil {
-		runErr = fmt.Errorf("serve: streaming failed: %w", werr)
+		runErr = fmt.Errorf("serve: %w: %v", errStream, werr)
 	}
 	if runErr != nil {
 		if !st.Started() {
