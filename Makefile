@@ -5,7 +5,7 @@ GO ?= go
 # renderer, and the end-to-end pipeline + serve runs.
 BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkServeConcurrentJobs)
 
-.PHONY: build test vet race test-framedebug bench bench-all serve-smoke fuzz chaos-soak check
+.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The race run (and through it `make check`) soaks the fused,
+# band-parallel chaos layout: CHAOS_SOAK_FUSE=1 makes TestChaosSoak run
+# with fusion on and parallel bands under the race detector.
 race:
-	$(GO) test -race ./...
+	CHAOS_SOAK_FUSE=1 $(GO) test -race ./...
 
 # The frame pool's ownership checks (double put, use after put) only exist
 # under the framedebug build tag; exercise them explicitly.
@@ -36,6 +39,15 @@ bench:
 bench-all:
 	$(GO) test -run '^$$' -bench=. -benchmem .
 
+# Re-run the snapshot benchmarks and gate against the committed baseline:
+# any benchmark present in both runs that is more than 20% slower (ns/op)
+# fails the target. The fresh run is written to a scratch file so the
+# committed BENCH_pipeline.json is never clobbered by a gating run.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . > bench.tmp.txt
+	$(GO) run ./cmd/benchjson -o bench.compare.json -compare BENCH_pipeline.json < bench.tmp.txt
+	@rm -f bench.tmp.txt bench.compare.json
+
 # End-to-end smoke of the render service: builds sccserved, starts it on a
 # random port, submits simulate and render jobs, verifies queue-full 429s,
 # scrapes /healthz and /metrics, and SIGTERMs to check a clean drain. The
@@ -46,11 +58,15 @@ serve-smoke:
 # Chaos soak: a seeded fault-injection barrage against the render service
 # under the race detector — every job must survive injected transients,
 # flaky transfers, and a pipeline death via re-partitioning. The barrage
-# length scales with CHAOS_SOAK_JOBS; the short deterministic version
-# (default job count) already rides along in `make check` via `race`.
+# length scales with CHAOS_SOAK_JOBS; CHAOS_SOAK_FUSE=1 soaks the fused,
+# band-parallel stage layout (0 soaks the unfused five-stage chain). The
+# short deterministic version (default job count) already rides along in
+# `make check` via `race`, fusion enabled there too.
 CHAOS_SOAK_JOBS ?= 60
+CHAOS_SOAK_FUSE ?= 1
 chaos-soak:
-	CHAOS_SOAK_JOBS=$(CHAOS_SOAK_JOBS) $(GO) test -race -count=1 -v \
+	CHAOS_SOAK_JOBS=$(CHAOS_SOAK_JOBS) CHAOS_SOAK_FUSE=$(CHAOS_SOAK_FUSE) \
+		$(GO) test -race -count=1 -v \
 		-run 'Chaos|Breaker|HardStop|Supervised|Injected' \
 		./internal/serve ./internal/pipe ./internal/core
 

@@ -296,6 +296,61 @@ func BenchmarkFilterScratchReference(b *testing.B) {
 	benchFilter(b, func(img *frame.Image) { filters.ScratchReference(img, rng) })
 }
 
+// The tail-chain pair measures what stage fusion buys on the post-blur
+// run of per-pixel filters (sepia → scratch → flicker → swap): the
+// unfused variant walks the frame once per filter, the fused one applies
+// all four kernels in a single read-modify-write pass. Both run on a
+// rendered city frame — flat-shaded geometry gives the sepia memo the run
+// lengths real frames have, which random noise would hide — and both draw
+// the scratch/flicker parameters once, so the measured work is identical.
+// Each iteration restores the frame from a pristine copy; that memmove is
+// charged to both sides equally.
+
+func benchRenderedImage() *frame.Image {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	cams := render.Walkthrough(16, tree.Bounds())
+	img := frame.New(512, 512)
+	render.NewRenderer(tree).RenderFrame(cams[3], img)
+	return img
+}
+
+func BenchmarkFilterTailChainUnfused(b *testing.B) {
+	src := benchRenderedImage()
+	img := src.Clone()
+	rng := rand.New(rand.NewSource(7))
+	sp := filters.DrawScratchParams(rng, img.W)
+	delta := filters.DrawFlickerDelta(rng)
+	b.SetBytes(int64(img.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(img.Pix, src.Pix)
+		filters.Sepia(img)
+		filters.ScratchWith(img, sp)
+		filters.FlickerBy(img, delta)
+		filters.Swap(img)
+	}
+}
+
+func BenchmarkFilterTailChainFused(b *testing.B) {
+	src := benchRenderedImage()
+	img := src.Clone()
+	rng := rand.New(rand.NewSource(7))
+	sp := filters.DrawScratchParams(rng, img.W)
+	delta := filters.DrawFlickerDelta(rng)
+	var fz filters.Fused
+	b.SetBytes(int64(img.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(img.Pix, src.Pix)
+		fz.Reset()
+		fz.AddSepia()
+		fz.AddScratch(sp)
+		fz.AddFlicker(delta)
+		fz.AddSwap()
+		fz.Apply(img)
+	}
+}
+
 // BenchmarkFrameSplitAssembleViews measures the zero-copy strip round trip
 // the one-renderer pipeline runs per frame: view split, then the
 // view-aware reassembly (a no-op copy). Its copying counterpart is the
@@ -339,9 +394,21 @@ func BenchmarkRenderFrame(b *testing.B) {
 }
 
 func BenchmarkExecPipelineReal(b *testing.B) {
+	benchExecPipeline(b, false)
+}
+
+// BenchmarkExecPipelineRealNoFuse is the same run with plan-time stage
+// fusion disabled (every filter its own stage goroutine) — the committed
+// pair records what fusion buys end to end.
+func BenchmarkExecPipelineRealNoFuse(b *testing.B) {
+	benchExecPipeline(b, true)
+}
+
+func benchExecPipeline(b *testing.B, noFuse bool) {
+	b.Helper()
 	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
 	spec := core.ExecSpec{Frames: 8, Width: 320, Height: 240, Pipelines: 4,
-		Renderer: core.NRenderers, Seed: 1}
+		Renderer: core.NRenderers, Seed: 1, NoFuse: noFuse}
 	cams := render.Walkthrough(spec.Frames, tree.Bounds())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

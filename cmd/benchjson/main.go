@@ -3,9 +3,17 @@
 // diffed. The raw bench text is echoed to stdout unchanged; the parsed
 // document goes to the -o file.
 //
+// With -compare, the fresh results are additionally diffed against a
+// previously written JSON snapshot: benchmarks present in both runs are
+// compared on ns/op, and the process exits non-zero if any regresses by
+// more than -threshold percent (default 20). Benchmarks present in only
+// one run are reported but never fail the gate, so adding or retiring a
+// benchmark does not break `make bench-compare`.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_pipeline.json
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o new.json -compare BENCH_pipeline.json
 package main
 
 import (
@@ -42,6 +50,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON file")
+	compare := flag.String("compare", "", "baseline JSON snapshot to diff against; exit non-zero on regression")
+	threshold := flag.Float64("threshold", 20, "ns/op regression percentage that fails -compare")
 	flag.Parse()
 
 	var doc benchDoc
@@ -79,6 +89,68 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d results to %s", len(doc.Benchmarks), *out)
+
+	if *compare != "" {
+		regressed, err := compareAgainst(doc, *compare, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareAgainst diffs doc's ns/op numbers against the snapshot at path
+// and reports whether any shared benchmark regressed beyond threshold
+// percent. Every shared benchmark gets one log line; new and retired
+// benchmarks are noted but never fail the gate.
+func compareAgainst(doc benchDoc, path string, threshold float64) (bool, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return false, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	old := make(map[string]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[r.Name] = r.NsPerOp
+	}
+	regressed := false
+	shared := 0
+	for _, r := range doc.Benchmarks {
+		was, ok := old[r.Name]
+		if !ok {
+			log.Printf("compare: %-48s new benchmark, not gated", r.Name)
+			continue
+		}
+		shared++
+		delete(old, r.Name)
+		if was <= 0 {
+			continue
+		}
+		pct := (r.NsPerOp - was) / was * 100
+		verdict := "ok"
+		if pct > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		log.Printf("compare: %-48s %12.0f -> %12.0f ns/op  %+7.1f%%  %s", r.Name, was, r.NsPerOp, pct, verdict)
+	}
+	for name := range old {
+		log.Printf("compare: %-48s only in baseline, not gated", name)
+	}
+	if shared == 0 {
+		return false, fmt.Errorf("no shared benchmarks between this run and %s", path)
+	}
+	if regressed {
+		log.Printf("compare: FAIL — at least one benchmark slower than %s by >%g%%", path, threshold)
+	} else {
+		log.Printf("compare: ok — %d shared benchmarks within %g%% of %s", shared, threshold, path)
+	}
+	return regressed, nil
 }
 
 // parseLine parses one result line, e.g.

@@ -72,6 +72,9 @@ func main() {
 		{"cachestudy", func(s experiments.Setup) error {
 			return show("CacheStudy — cache model", experiments.RunCacheStudy, s)
 		}},
+		{"fusion", func(s experiments.Setup) error {
+			return show("Fusion — stage fusion vs hand-off traffic", experiments.RunFusion, s)
+		}},
 	}
 
 	want := strings.ToLower(*exp)

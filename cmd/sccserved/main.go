@@ -53,6 +53,8 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for a random port)")
 		workers      = flag.Int("workers", 2, "concurrent pipeline runs")
 		queue        = flag.Int("queue", 8, "waiting room beyond running jobs (negative disables queuing)")
+		stageWorkers = flag.Int("stage-workers", 0, "band-parallel workers per pipeline stage (0 = GOMAXPROCS default pool, 1 = serial stages)")
+		noFuse       = flag.Bool("no-fuse", false, "disable stage fusion; run each filter as its own pipeline stage")
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "deadline for jobs that do not set one")
 		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
@@ -123,6 +125,8 @@ func main() {
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
+		StageWorkers:   *stageWorkers,
+		NoFuse:         *noFuse,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drainTimeout,

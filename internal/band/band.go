@@ -1,0 +1,148 @@
+// Package band provides the shared band-parallel executor: a bounded,
+// reused worker pool that splits one stage's work over independent row
+// bands of a frame. The paper's pipeline pins each stage to one core; on a
+// multi-core host the heavy stages (blur, the fused point pass, the
+// rasterizer) can instead fan one strip out across idle cores without
+// changing the pipeline structure — intra-stage parallelism layered under
+// the inter-stage pipeline, as in task-parallel pipeline schedulers.
+//
+// The pool spawns its workers once and reuses them for every Run, so the
+// per-frame cost is a channel send per band, not a goroutine spawn. Run
+// itself is allocation-free in steady state.
+package band
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of worker goroutines that execute row bands. The
+// zero Pool and the nil Pool are both valid and serial: Run executes every
+// band inline on the caller. A Pool must not be copied after first use.
+type Pool struct {
+	workers int // goroutines beyond the caller; 0 = serial
+	tasks   chan task
+	start   sync.Once
+}
+
+type task struct {
+	r    *run
+	band int
+}
+
+// run is the per-Run rendezvous: the shared band function, a completion
+// latch for the n-1 bands dispatched to workers, and the first worker
+// panic (re-raised on the caller). Handles are pooled so a steady-state
+// Run allocates nothing.
+type run struct {
+	fn       func(int)
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	panicked any
+}
+
+var runPool = sync.Pool{New: func() any { return new(run) }}
+
+// Serial is the explicit opt-out pool: every Run executes inline on the
+// calling goroutine. Useful where a caller must force the single-goroutine
+// path (reference oracles, tests) without special-casing nil.
+var Serial = &Pool{}
+
+// New returns a pool that runs up to `parallelism` bands concurrently,
+// counting the calling goroutine: it spawns parallelism-1 workers.
+// parallelism <= 1 yields a serial pool with no workers.
+func New(parallelism int) *Pool {
+	if parallelism <= 1 {
+		return &Pool{}
+	}
+	return &Pool{workers: parallelism - 1}
+}
+
+var defaultPool = sync.OnceValue(func() *Pool {
+	return New(runtime.GOMAXPROCS(0))
+})
+
+// Default returns the process-shared pool sized from GOMAXPROCS at first
+// use. On a single-CPU host it is serial.
+func Default() *Pool { return defaultPool() }
+
+// Parallelism reports how many bands can execute concurrently (including
+// the caller); 1 for nil and serial pools. Callers size their band count
+// from it.
+func (p *Pool) Parallelism() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers + 1
+}
+
+// ensureStarted lazily spawns the workers on first Run, so constructing
+// pools (e.g. for configuration defaults) costs nothing until used.
+func (p *Pool) ensureStarted() {
+	p.start.Do(func() {
+		p.tasks = make(chan task, p.workers)
+		for i := 0; i < p.workers; i++ {
+			go p.worker()
+		}
+	})
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		p.runBand(t)
+	}
+}
+
+// runBand executes one band, capturing a panic into the run handle so the
+// caller can re-raise it after the latch opens.
+func (p *Pool) runBand(t task) {
+	defer func() {
+		if v := recover(); v != nil {
+			t.r.mu.Lock()
+			if t.r.panicked == nil {
+				t.r.panicked = v
+			}
+			t.r.mu.Unlock()
+		}
+		t.r.wg.Done()
+	}()
+	t.r.fn(t.band)
+}
+
+// Run executes fn(0) … fn(n-1), each call a band, and returns when all
+// have finished. Bands 1..n-1 are dispatched to the workers while the
+// caller executes band 0, so the caller is never idle. fn must treat its
+// band as independent work: bands run concurrently and may only share
+// read-only state. A panic in any band is re-raised on the caller after
+// every band has finished.
+//
+// Run must not be called from inside a band function (the workers running
+// the outer bands would deadlock waiting for themselves); keep band
+// functions leaf-level.
+func (p *Pool) Run(n int, fn func(int)) {
+	if p == nil || p.workers == 0 || n <= 1 {
+		for b := 0; b < n; b++ {
+			fn(b)
+		}
+		return
+	}
+	p.ensureStarted()
+	r := runPool.Get().(*run)
+	r.fn = fn
+	r.wg.Add(n - 1)
+	for b := 1; b < n; b++ {
+		p.tasks <- task{r: r, band: b}
+	}
+	// The deferred wait runs even if band 0 panics on the caller, so no
+	// worker ever touches a run handle past Run's return.
+	defer func() {
+		r.wg.Wait()
+		pan := r.panicked
+		r.fn, r.panicked = nil, nil
+		runPool.Put(r)
+		if pan != nil {
+			panic(pan)
+		}
+	}()
+	fn(0)
+}

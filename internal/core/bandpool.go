@@ -1,0 +1,32 @@
+package core
+
+import "sccpipe/internal/band"
+
+// This file wires the shared band-parallel executor (internal/band) into
+// the real execution paths: the heavy stages — blur, the fused point pass,
+// and the rasterizer — split each strip into independent row bands over
+// one bounded worker pool instead of spawning goroutines per frame.
+
+// bandPool resolves the spec's intra-stage worker pool: an explicit pool
+// if set, otherwise the process-shared default sized from GOMAXPROCS.
+func (s ExecSpec) bandPool() *band.Pool {
+	if s.Bands != nil {
+		return s.Bands
+	}
+	return band.Default()
+}
+
+// BandPool sizes an intra-stage worker pool from a worker-count knob (the
+// sccserved -stage-workers flag): 0 selects the process-shared default
+// pool, 1 forces the serial single-goroutine path, and n > 1 builds a
+// dedicated pool running n bands concurrently.
+func BandPool(workers int) *band.Pool {
+	switch {
+	case workers == 0:
+		return band.Default()
+	case workers <= 1:
+		return band.Serial
+	default:
+		return band.New(workers)
+	}
+}

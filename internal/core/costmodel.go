@@ -72,6 +72,19 @@ func (m CostModel) FilterComputeFor(kind StageKind, pixels int) float64 {
 	return m.FilterCompute[kind] * float64(pixels) / m.RefPixels
 }
 
+// FusedComputeFor returns the reference compute seconds of a fused run of
+// point filters over the given pixel area: the constituents' compute
+// still sums (every pixel operation happens), but the strip is read and
+// written once for the whole run instead of once per stage — the memory
+// side shows up as eliminated hand-offs, not here.
+func (m CostModel) FusedComputeFor(kinds []StageKind, pixels int) float64 {
+	var s float64
+	for _, k := range kinds {
+		s += m.FilterCompute[k]
+	}
+	return s * float64(pixels) / m.RefPixels
+}
+
 // FilterExtraBytes returns a filter stage's memory traffic beyond the
 // receive-read and send-write of its strip. Only blur needs a second
 // buffer (§IV): it writes a working copy and, if the strip exceeds the

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
+	"sccpipe/internal/band"
 	"sccpipe/internal/faults"
 	"sccpipe/internal/filters"
 	"sccpipe/internal/frame"
@@ -54,6 +56,20 @@ type ExecSpec struct {
 	// left to the GC.
 	Faults   faults.Injector
 	Recovery *faults.RecoveryPolicy
+
+	// NoFuse disables plan-time stage fusion. By default adjacent per-pixel
+	// stages (sepia, scratch, flicker, swap — scratch only in its vertical
+	// form) collapse into a single one-read-one-write pass per strip, which
+	// cuts the stage-to-stage memory traffic the paper identifies as the
+	// pipeline's bound; pixels are bit-identical either way. Set NoFuse for
+	// paper-faithful per-stage arrangement experiments.
+	NoFuse bool
+	// Bands is the worker pool for intra-stage band parallelism: blur, the
+	// fused point pass, and the rasterizer split each strip into
+	// independent row bands over it. Nil selects the process-shared pool
+	// sized from GOMAXPROCS (band.Default); band.Serial forces the
+	// single-goroutine path. Output is identical for every pool.
+	Bands *band.Pool
 }
 
 // ExecObserver carries optional progress callbacks for a real run. Either
@@ -121,12 +137,14 @@ func stageSeed(seed int64, f, strip int, kind StageKind) int64 {
 // reusable generator: the randomized stages re-seed it from (Seed, f,
 // strip, kind), so the pixels are identical to a fresh generator per
 // application while a stage goroutine allocates its RNG state only once.
-func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int, rng *rand.Rand) error {
+// bands is the intra-stage worker pool (blur splits its rows over it);
+// nil or band.Serial keeps the stage single-goroutine.
+func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int, rng *rand.Rand, bands *band.Pool) error {
 	switch kind {
 	case StageSepia:
 		filters.Sepia(img)
 	case StageBlur:
-		filters.Blur(img)
+		filters.BlurBands(img, bands)
 	case StageScratch:
 		rng.Seed(stageSeed(spec.Seed, f, strip, kind))
 		if spec.OrientedScratches {
@@ -142,6 +160,92 @@ func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int, 
 	default:
 		return fmt.Errorf("core: %v is not a filter stage", kind)
 	}
+	return nil
+}
+
+// execStage is one stage of the planned filter chain: a single filter, or
+// a fused run of adjacent point filters executed as one memory pass.
+type execStage struct {
+	kinds   []StageKind
+	fusable bool
+}
+
+func (e execStage) fused() bool { return len(e.kinds) > 1 }
+
+func (e execStage) name() string {
+	parts := make([]string, len(e.kinds))
+	for i, k := range e.kinds {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// fusableKind reports whether a stage is a per-pixel (point) stage that
+// can fold into a fused pass: blur's 3-row stencil cannot, and the
+// oriented-scratch extension draws y-dependent strokes, so only vertical
+// scratches fuse.
+func (s ExecSpec) fusableKind(k StageKind) bool {
+	switch k {
+	case StageSepia, StageFlicker, StageSwap:
+		return true
+	case StageScratch:
+		return !s.OrientedScratches
+	}
+	return false
+}
+
+// planStages groups FilterOrder into the executed stage sequence: maximal
+// runs of adjacent fusable stages become one fused stage each (unless
+// NoFuse), everything else stays one-to-one. With the default order the
+// plan is [sepia] [blur] [scratch+flicker+swap] — sepia stays alone
+// because blur splits the run.
+func (s ExecSpec) planStages() []execStage {
+	plan := make([]execStage, 0, len(FilterOrder))
+	for _, k := range FilterOrder {
+		if !s.NoFuse && s.fusableKind(k) {
+			if n := len(plan); n > 0 && plan[n-1].fusable {
+				plan[n-1].kinds = append(plan[n-1].kinds, k)
+				continue
+			}
+			plan = append(plan, execStage{kinds: []StageKind{k}, fusable: true})
+			continue
+		}
+		plan = append(plan, execStage{kinds: []StageKind{k}})
+	}
+	return plan
+}
+
+// fusedRunner executes one fused run of point filters: per strip it
+// re-seeds each randomized constituent's RNG stream exactly as the
+// unfused stage would, draws the per-frame parameters up front, and
+// applies the whole composition in a single pass over the pixels. The
+// composition is golden-tested bit-identical to the sequential stages.
+type fusedRunner struct {
+	fz  filters.Fused
+	rng *rand.Rand
+}
+
+func newFusedRunner() *fusedRunner { return &fusedRunner{rng: newStageRNG()} }
+
+func (fr *fusedRunner) apply(kinds []StageKind, img *frame.Image, spec ExecSpec, f, strip int, bands *band.Pool) error {
+	fr.fz.Reset()
+	for _, k := range kinds {
+		switch k {
+		case StageSepia:
+			fr.fz.AddSepia()
+		case StageScratch:
+			fr.rng.Seed(stageSeed(spec.Seed, f, strip, k))
+			fr.fz.AddScratch(filters.DrawScratchParams(fr.rng, img.W))
+		case StageFlicker:
+			fr.rng.Seed(stageSeed(spec.Seed, f, strip, k))
+			fr.fz.AddFlicker(filters.DrawFlickerDelta(fr.rng))
+		case StageSwap:
+			fr.fz.AddSwap()
+		default:
+			return fmt.Errorf("core: %v cannot fuse", k)
+		}
+	}
+	fr.fz.ApplyBands(img, bands)
 	return nil
 }
 
@@ -195,6 +299,8 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	if pool == nil {
 		pool = frame.DefaultPool
 	}
+	plan := spec.planStages()
+	bands := spec.bandPool()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -256,6 +362,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			i := i
 			spawn(fmt.Sprintf("renderer %d", i), func() error {
 				r := render.NewRenderer(tree)
+				r.Bands = bands
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
 					img := pool.Get(spec.Width, y1-y0)
@@ -275,6 +382,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	default: // OneRenderer, HostRenderer
 		spawn("renderer", func() error {
 			r := render.NewRenderer(tree)
+			r.Bands = bands
 			for f := 0; f < spec.Frames; f++ {
 				img := pool.Get(spec.Width, spec.Height)
 				_ = spec.Observer.stageBusy(StageRender, -1, func() error {
@@ -303,17 +411,24 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 		})
 	}
 
-	// Filter chains.
+	// Filter chains: one goroutine per PLANNED stage — a fused run of point
+	// filters occupies one goroutine and rewrites its strip in a single
+	// memory pass, where the unfused chain pays a read and a write (plus
+	// two channel hand-offs) per constituent.
 	tails := make([]chan execMsg, k)
 	for i := 0; i < k; i++ {
 		i := i
 		in := heads[i]
-		for _, kind := range FilterOrder {
-			kind := kind
+		for _, est := range plan {
+			est := est
 			out := make(chan execMsg, 1)
 			src := in
-			spawn(fmt.Sprintf("filter %v.%d", kind, i), func() error {
+			spawn(fmt.Sprintf("filter %s.%d", est.name(), i), func() error {
 				rng := newStageRNG()
+				var fr *fusedRunner
+				if est.fused() {
+					fr = &fusedRunner{rng: rng}
+				}
 				for {
 					msg, ok, err := recv(src)
 					if err != nil {
@@ -323,10 +438,19 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 						close(out)
 						return nil
 					}
-					if err := spec.Observer.stageBusy(kind, i, func() error {
-						return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index, rng)
-					}); err != nil {
-						return err
+					var stageErr error
+					if est.fused() {
+						stageErr = spec.Observer.stageBusy(StageFused, i, func() error {
+							return fr.apply(est.kinds, msg.strip.Img, spec, msg.frame, msg.strip.Index, bands)
+						})
+					} else {
+						kind := est.kinds[0]
+						stageErr = spec.Observer.stageBusy(kind, i, func() error {
+							return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index, rng, bands)
+						})
+					}
+					if stageErr != nil {
+						return stageErr
 					}
 					if err := send(out, msg); err != nil {
 						return err
@@ -399,8 +523,11 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 }
 
 // ExecReference computes the same strip-wise result sequentially — the
-// oracle for testing that parallel pipelines do not change pixels. Like
-// ExecContext it recovers panics (e.g. from sink) into errors.
+// oracle for testing that parallel pipelines do not change pixels. It
+// always runs the plain per-stage filters on a single goroutine (no
+// fusion, no band parallelism), so it is the fixed point the fused and
+// banded paths are verified against. Like ExecContext it recovers panics
+// (e.g. from sink) into errors.
 func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sink func(f int, img *frame.Image)) (err error) {
 	if err := spec.Validate(); err != nil {
 		return err
@@ -423,7 +550,7 @@ func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sin
 			img := frame.New(spec.Width, y1-y0)
 			r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
 			for _, kind := range FilterOrder {
-				if err := applyFilter(kind, img, spec, f, i, rng); err != nil {
+				if err := applyFilter(kind, img, spec, f, i, rng, band.Serial); err != nil {
 					return err
 				}
 			}

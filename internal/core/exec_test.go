@@ -207,7 +207,7 @@ func TestExecReferenceSinkPanicIsError(t *testing.T) {
 
 func TestApplyFilterRejectsNonFilterStage(t *testing.T) {
 	img := frame.New(4, 4)
-	if err := applyFilter(StageRender, img, ExecSpec{}, 0, 0, newStageRNG()); err == nil {
+	if err := applyFilter(StageRender, img, ExecSpec{}, 0, 0, newStageRNG(), nil); err == nil {
 		t.Fatal("non-filter stage kind accepted")
 	}
 }

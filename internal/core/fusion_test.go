@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sccpipe/internal/band"
+	"sccpipe/internal/faults"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+func planNames(s ExecSpec) []string {
+	var names []string
+	for _, est := range s.planStages() {
+		names = append(names, est.name())
+	}
+	return names
+}
+
+func TestPlanStages(t *testing.T) {
+	eq := func(got, want []string) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Default: blur splits the fusable run, leaving sepia alone and the
+	// whole tail fused.
+	if got := planNames(ExecSpec{}); !eq(got, []string{"sepia", "blur", "scratch+flicker+swap"}) {
+		t.Fatalf("default plan = %v", got)
+	}
+	// Oriented scratches are y-dependent and drop out of the fused run.
+	if got := planNames(ExecSpec{OrientedScratches: true}); !eq(got, []string{"sepia", "blur", "scratch", "flicker+swap"}) {
+		t.Fatalf("oriented plan = %v", got)
+	}
+	// NoFuse keeps the paper-faithful five-stage chain.
+	if got := planNames(ExecSpec{NoFuse: true}); !eq(got, []string{"sepia", "blur", "scratch", "flicker", "swap"}) {
+		t.Fatalf("NoFuse plan = %v", got)
+	}
+}
+
+func TestFusedComputeForSumsConstituents(t *testing.T) {
+	m := DefaultCostModel()
+	kinds := []StageKind{StageScratch, StageFlicker, StageSwap}
+	want := m.FilterComputeFor(StageScratch, 1000) +
+		m.FilterComputeFor(StageFlicker, 1000) +
+		m.FilterComputeFor(StageSwap, 1000)
+	if got := m.FusedComputeFor(kinds, 1000); got != want {
+		t.Fatalf("FusedComputeFor = %g, want %g", got, want)
+	}
+}
+
+// The fused pipeline, the NoFuse pipeline, and the sequential reference
+// must all produce identical frames, for both renderer configurations and
+// for explicit parallel band pools.
+func TestExecFusionMatrixMatchesReference(t *testing.T) {
+	for _, rc := range []RendererConfig{OneRenderer, NRenderers} {
+		base := execSpecForTest(3, rc)
+		want := collect(t, base, false) // ExecReference: unfused, serial
+
+		for _, tc := range []struct {
+			name string
+			mod  func(*ExecSpec)
+		}{
+			{"fused-default-pool", func(s *ExecSpec) {}},
+			{"fused-parallel-bands", func(s *ExecSpec) { s.Bands = band.New(3) }},
+			{"nofuse", func(s *ExecSpec) { s.NoFuse = true }},
+			{"nofuse-parallel-bands", func(s *ExecSpec) { s.NoFuse = true; s.Bands = band.New(4) }},
+			{"fused-oriented", func(s *ExecSpec) { s.OrientedScratches = true }},
+		} {
+			spec := base
+			tc.mod(&spec)
+			ref := spec
+			ref.NoFuse, ref.Bands = false, nil // reference ignores these anyway
+			if spec.OrientedScratches {
+				oref := execSpecForTest(3, rc)
+				oref.OrientedScratches = true
+				want2 := collect(t, oref, false)
+				got := collect(t, spec, true)
+				for f := range want2 {
+					if !got[f].Equal(want2[f]) {
+						t.Fatalf("%v/%s: frame %d differs from reference", rc, tc.name, f)
+					}
+				}
+				continue
+			}
+			got := collect(t, spec, true)
+			for f := range want {
+				if !got[f].Equal(want[f]) {
+					t.Fatalf("%v/%s: frame %d differs from reference", rc, tc.name, f)
+				}
+			}
+		}
+	}
+}
+
+// A chaos plan naming stages that were fused away must still fire — and
+// the supervised, fused, band-parallel run must stay bit-exact against
+// the sequential oracle.
+func TestExecSupervisedChaosOnFusedStages(t *testing.T) {
+	spec := execSpecForTest(3, OneRenderer)
+	spec.Bands = band.New(2)
+	spec.Faults = faults.MustInjector(faults.Plan{Seed: 11, Rules: []faults.Rule{
+		// All three name stages inside the fused scratch+flicker+swap run.
+		{Kind: faults.KindTransient, Pipeline: 0, Stage: "flicker", Seq: 1, Times: 2},
+		{Kind: faults.KindTransfer, Pipeline: 1, Stage: "scratch", Seq: 2, Times: 1},
+		{Kind: faults.KindDelay, Pipeline: 2, Stage: "swap", Seq: 0, Delay: time.Millisecond},
+	}})
+	spec.Recovery = quickRecovery()
+	retried := map[string]int{}
+	spec.Recovery.OnEvent = func(e faults.Event) {
+		if e.Kind == faults.EventRetry {
+			retried[e.Stage]++ // supervisor callbacks may race; counts checked loosely below
+		}
+	}
+	got, res := collectSupervised(t, spec)
+	if res.Degraded != nil {
+		t.Fatalf("recovered faults must not degrade the run: %v", res.Degraded)
+	}
+	want := collect(t, execSpecForTest(3, OneRenderer), false)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs from reference under chaos on fused stages", f)
+		}
+	}
+	if retried["flicker"] == 0 || retried["scratch"] == 0 {
+		t.Errorf("fused-away stage rules did not fire: retries = %v", retried)
+	}
+}
+
+// A pipeline death during a fused run redistributes its strips, and the
+// survivor re-fuses deterministically: pixels match the oracle.
+func TestExecSupervisedDeathRefusesDeterministically(t *testing.T) {
+	spec := execSpecForTest(3, OneRenderer)
+	spec.Faults = faults.MustInjector(faults.Plan{Seed: 13, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 2, Seq: 1},
+	}})
+	spec.Recovery = quickRecovery()
+	got, res := collectSupervised(t, spec)
+	if res.Degraded == nil || len(res.Degraded.DeadPipelines) != 1 {
+		t.Fatalf("degraded = %v, want pipeline 2 dead", res.Degraded)
+	}
+	want := collect(t, execSpecForTest(3, OneRenderer), false)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs from reference after death mid-fusion", f)
+		}
+	}
+}
+
+// Fused, unfused, and supervised-fused runs of one seed are mutually
+// deterministic: the RNG hoist draws the same values on every path.
+func TestExecDeterminismAcrossFusionModes(t *testing.T) {
+	base := execSpecForTest(2, OneRenderer)
+	fused := collect(t, base, true)
+
+	unfused := base
+	unfused.NoFuse = true
+	uf := collect(t, unfused, true)
+
+	sup := base
+	sup.Recovery = quickRecovery()
+	sf, _ := collectSupervised(t, sup)
+
+	for f := range fused {
+		if !fused[f].Equal(uf[f]) {
+			t.Fatalf("frame %d: fused != unfused", f)
+		}
+		if !fused[f].Equal(sf[f]) {
+			t.Fatalf("frame %d: fused != supervised fused", f)
+		}
+	}
+}
+
+func TestBandPoolKnob(t *testing.T) {
+	if got := BandPool(0); got != band.Default() {
+		t.Fatal("BandPool(0) is not the shared default pool")
+	}
+	if got := BandPool(1); got != band.Serial {
+		t.Fatal("BandPool(1) is not the serial pool")
+	}
+	if got := BandPool(5).Parallelism(); got != 5 {
+		t.Fatalf("BandPool(5) parallelism = %d, want 5", got)
+	}
+}
+
+// Sanity: the fused exec path works on strip heights too small to band
+// and on single-pixel-tall strips (degenerate splits).
+func TestExecFusedDegenerateStrips(t *testing.T) {
+	spec := ExecSpec{Frames: 2, Width: 32, Height: 7, Pipelines: 7, Renderer: OneRenderer, Seed: 3, Bands: band.New(4)}
+	cams := render.Walkthrough(spec.Frames, execScene.Bounds())
+	out := make([]*frame.Image, spec.Frames)
+	if _, err := Exec(spec, execScene, cams, func(f int, img *frame.Image) { out[f] = img.Clone() }); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*frame.Image, spec.Frames)
+	if err := ExecReference(spec, execScene, cams, func(f int, img *frame.Image) { want[f] = img.Clone() }); err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		if !out[f].Equal(want[f]) {
+			t.Fatalf("frame %d differs on 1-row strips", f)
+		}
+	}
+}

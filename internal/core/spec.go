@@ -35,11 +35,15 @@ const (
 	StageSwap
 	StageTransfer
 	StageConnect
+	// StageFused labels a plan-time fusion of adjacent point filters (see
+	// ExecSpec.NoFuse): observers see one StageFused busy report where the
+	// unfused pipeline reports each constituent separately.
+	StageFused
 	numStageKinds
 )
 
 var stageNames = [...]string{
-	"render", "sepia", "blur", "scratch", "flicker", "swap", "transfer", "connect",
+	"render", "sepia", "blur", "scratch", "flicker", "swap", "transfer", "connect", "fused",
 }
 
 func (s StageKind) String() string {

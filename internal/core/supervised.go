@@ -43,10 +43,24 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 	// Stage closures are shared by all k pipelines' goroutines (and by
 	// watchdog redo helpers), so per-goroutine scratch state lives in
 	// pools.
-	renderers := sync.Pool{New: func() any { return render.NewRenderer(tree) }}
+	bands := spec.bandPool()
+	renderers := sync.Pool{New: func() any {
+		r := render.NewRenderer(tree)
+		r.Bands = bands
+		return r
+	}}
 	rngs := sync.Pool{New: func() any { return newStageRNG() }}
+	fusedRunners := sync.Pool{New: func() any { return newFusedRunner() }}
 
-	stages := make([]pipe.Stage, 0, 1+len(FilterOrder))
+	// The supervised chain runs the same fusion plan as the fast path: a
+	// fused run becomes ONE pipe stage whose Covers lists the constituent
+	// names, so chaos plans targeting a fused-away stage still fire (the
+	// pipe runtime consults every covered name's fault rules). Redo safety
+	// is unchanged: a redone strip re-renders and the fused stage re-draws
+	// its RNG params from (Seed, frame, strip, stage), re-fusing
+	// deterministically.
+	plan := spec.planStages()
+	stages := make([]pipe.Stage, 0, 1+len(plan))
 	stages = append(stages, pipe.Stage{
 		Name: StageRender.String(),
 		Fn: func(it pipe.Item) pipe.Item {
@@ -64,8 +78,29 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 			return it
 		},
 	})
-	for _, kind := range FilterOrder {
-		kind := kind
+	for _, est := range plan {
+		est := est
+		if est.fused() {
+			covers := make([]string, len(est.kinds))
+			for i, k := range est.kinds {
+				covers[i] = k.String()
+			}
+			stages = append(stages, pipe.Stage{
+				Name:   est.name(),
+				Covers: covers,
+				Fn: func(it pipe.Item) pipe.Item {
+					w := it.Data.(stripWork)
+					fr := fusedRunners.Get().(*fusedRunner)
+					_ = spec.Observer.stageBusy(StageFused, w.strip, func() error {
+						return fr.apply(est.kinds, w.img, spec, w.f, w.strip, bands)
+					})
+					fusedRunners.Put(fr)
+					return it
+				},
+			})
+			continue
+		}
+		kind := est.kinds[0]
 		stages = append(stages, pipe.Stage{
 			Name: kind.String(),
 			Fn: func(it pipe.Item) pipe.Item {
@@ -75,7 +110,7 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 				// is the origin pipeline even when a survivor carries the
 				// strip after a death.
 				_ = spec.Observer.stageBusy(kind, w.strip, func() error {
-					return applyFilter(kind, w.img, spec, w.f, w.strip, rng)
+					return applyFilter(kind, w.img, spec, w.f, w.strip, rng, bands)
 				})
 				rngs.Put(rng)
 				return it

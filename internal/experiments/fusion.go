@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/pipe"
+)
+
+// FusionResult quantifies what stage fusion buys on the SCC model: the
+// per-pixel filters (sepia, scratch, flicker, swap) are y-independent and
+// can share one read-modify-write pass over a strip, so fusing them
+// collapses stage-to-stage hand-offs — the memory traffic the paper
+// identifies as the chief bottleneck of a chip without local memory — and
+// frees the constituent stages' cores. The flip side is serialization:
+// a fused run occupies one core, so when the fused filters (not the
+// renderer or blur) are the pipeline bottleneck, fusion trades hand-off
+// savings for a longer critical path. This ablation measures both sides
+// across the pipeline-count sweep.
+type FusionResult struct {
+	Pipelines []int
+	// Walkthrough seconds, paper-faithful five-stage chain vs fused.
+	UnfusedSeconds []float64
+	FusedSeconds   []float64
+	// Stage-to-stage hand-off payload through the memory system, in MB.
+	UnfusedHandoffMB []float64
+	FusedHandoffMB   []float64
+	// SCC cores occupied by the stage processes.
+	UnfusedCores []int
+	FusedCores   []int
+}
+
+func (r FusionResult) String() string {
+	var b strings.Builder
+	b.WriteString("Stage fusion ablation, n-renderer configuration\n")
+	xs := make([]float64, len(r.Pipelines))
+	for i, k := range r.Pipelines {
+		xs[i] = float64(k)
+	}
+	b.WriteString(formatHeader("pipelines", xs))
+	b.WriteByte('\n')
+	cores := func(cs []int) []float64 {
+		ys := make([]float64, len(cs))
+		for i, c := range cs {
+			ys[i] = float64(c)
+		}
+		return ys
+	}
+	for _, s := range []Series{
+		{Label: "unfused seconds", X: xs, Y: r.UnfusedSeconds},
+		{Label: "fused seconds", X: xs, Y: r.FusedSeconds},
+		{Label: "unfused hand-off MB", X: xs, Y: r.UnfusedHandoffMB},
+		{Label: "fused hand-off MB", X: xs, Y: r.FusedHandoffMB},
+		{Label: "unfused cores", X: xs, Y: cores(r.UnfusedCores)},
+		{Label: "fused cores", X: xs, Y: cores(r.FusedCores)},
+	} {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fusionChain lowers the n-renderer walkthrough onto the generic pipe
+// model: a render stage fed by the profiled per-strip culling stats, then
+// the five filters with the calibrated cost model, per-pixel stages marked
+// Fusable exactly as the real execution backend marks them. The chain's
+// own planner then decides the fused layout, as it does for real runs.
+func fusionChain(s Setup, wl *core.Workload, k int, noFuse bool) *pipe.Chain {
+	m := core.DefaultCostModel()
+	stats := wl.StripStats(k)
+	stages := []pipe.Stage{{
+		Name: core.StageRender.String(),
+		CostRef: func(it pipe.Item) float64 {
+			return m.RenderCompute(stats[it.Seq][it.Pipeline], wl.StripPixels(k, it.Pipeline))
+		},
+	}}
+	for _, kind := range core.FilterOrder {
+		kind := kind
+		stages = append(stages, pipe.Stage{
+			Name: kind.String(),
+			// Blur is a neighborhood filter; everything else is per-pixel
+			// and fuses (matching core's default execution plan).
+			Fusable: kind != core.StageBlur,
+			CostRef: func(it pipe.Item) float64 {
+				return m.FilterComputeFor(kind, wl.StripPixels(k, it.Pipeline))
+			},
+		})
+	}
+	return &pipe.Chain{
+		Stages: stages,
+		NoFuse: noFuse,
+		Feed: func(pl, seq int) (pipe.Item, bool) {
+			if seq >= s.Frames {
+				return pipe.Item{}, false
+			}
+			return pipe.Item{Bytes: wl.StripBytes(k, pl)}, true
+		},
+	}
+}
+
+// RunFusion sweeps the n-renderer configuration with stage fusion on and
+// off. The sweep stops at 6 pipelines: the generic chain model places a
+// feed process per pipeline in addition to the six stages, so the unfused
+// k=7 layout needs 50 cores and does not fit the 48-core chip.
+func RunFusion(s Setup) (FusionResult, error) {
+	wl := Workload(s)
+	var out FusionResult
+	for k := 1; k <= 6; k++ {
+		out.Pipelines = append(out.Pipelines, k)
+		for _, noFuse := range []bool{true, false} {
+			c := fusionChain(s, wl, k, noFuse)
+			res, err := c.Simulate(pipe.SimSpec{Pipelines: k, Items: s.Frames})
+			if err != nil {
+				return FusionResult{}, fmt.Errorf("fusion sweep k=%d noFuse=%v: %w", k, noFuse, err)
+			}
+			mb := float64(res.HandoffBytes) / 1e6
+			if noFuse {
+				out.UnfusedSeconds = append(out.UnfusedSeconds, res.Seconds)
+				out.UnfusedHandoffMB = append(out.UnfusedHandoffMB, mb)
+				out.UnfusedCores = append(out.UnfusedCores, res.CoresUsed)
+			} else {
+				out.FusedSeconds = append(out.FusedSeconds, res.Seconds)
+				out.FusedHandoffMB = append(out.FusedHandoffMB, mb)
+				out.FusedCores = append(out.FusedCores, res.CoresUsed)
+			}
+		}
+	}
+	return out, nil
+}

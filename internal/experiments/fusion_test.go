@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFusionCutsHandoffTrafficAndCores(t *testing.T) {
+	s := testSetup()
+	r, err := RunFusion(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pipelines) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i, k := range r.Pipelines {
+		// The fused chain is four stages where the unfused one is six:
+		// hand-off traffic and occupied cores must both shrink at every k.
+		if r.FusedHandoffMB[i] >= r.UnfusedHandoffMB[i] {
+			t.Errorf("k=%d: fused hand-off %.1f MB ≥ unfused %.1f MB", k, r.FusedHandoffMB[i], r.UnfusedHandoffMB[i])
+		}
+		if r.FusedCores[i] >= r.UnfusedCores[i] {
+			t.Errorf("k=%d: fused cores %d ≥ unfused %d", k, r.FusedCores[i], r.UnfusedCores[i])
+		}
+		// The renderer is the bottleneck throughout this sweep, so
+		// serializing the per-pixel filters onto one core must not slow the
+		// walkthrough (small scheduling jitter allowed).
+		if r.FusedSeconds[i] > r.UnfusedSeconds[i]*1.02 {
+			t.Errorf("k=%d: fused %.2f s slower than unfused %.2f s", k, r.FusedSeconds[i], r.UnfusedSeconds[i])
+		}
+	}
+	// Exactly the two per-item hand-offs of the fused-away stages disappear
+	// (scratch→flicker and flicker→swap): 7 hand-offs per strip (feed + 6
+	// stages) become 5.
+	for i := range r.Pipelines {
+		want := r.UnfusedHandoffMB[i] * 5 / 7
+		if !within(r.FusedHandoffMB[i], want, 0.01) {
+			t.Errorf("k=%d: fused hand-off %.2f MB, want %.2f (5/7 of unfused)", r.Pipelines[i], r.FusedHandoffMB[i], want)
+		}
+	}
+	if !strings.Contains(r.String(), "fused hand-off MB") {
+		t.Error("String() missing hand-off series")
+	}
+}

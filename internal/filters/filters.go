@@ -10,12 +10,18 @@
 // reference.go — the memory-traffic rewrite must not change a single
 // pixel, exactly as the paper's fast blur (§VI) preserves its stage
 // semantics while cutting controller traffic.
+//
+// The per-pixel stages additionally expose row-oriented PointKernel forms
+// (fused.go) so adjacent stages can be fused into a single read-modify-
+// write pass, and the heavy blur exposes BlurBands, a band-parallel form
+// that splits the pass over a band.Pool.
 package filters
 
 import (
 	"math/rand"
 	"sync"
 
+	"sccpipe/internal/band"
 	"sccpipe/internal/frame"
 )
 
@@ -61,9 +67,13 @@ var sepiaRamp = func() (t [3][256]float64) {
 //
 //	mix    = clamp(0.3·r + 0.59·g + 0.11·b)
 //	rgbnew = clamp(S1·(1−mix) + S2·mix)
+//
+// The one-shot API stays memo-free: on arbitrary content (noise) a run
+// memo is pure overhead. The strip kernels (SepiaKernel, Fused) carry
+// one, because rendered frames are where the runs are.
 func Sepia(img *frame.Image) {
 	pix := img.Pix
-	for o := 0; o < len(pix); o += 4 {
+	for o := 0; o+4 <= len(pix); o += 4 {
 		mix := clamp01(sepiaRamp[0][pix[o]] + sepiaRamp[1][pix[o+1]] + sepiaRamp[2][pix[o+2]])
 		pix[o] = from01(sepiaS1[0]*(1-mix) + sepiaS2[0]*mix)
 		pix[o+1] = from01(sepiaS1[1]*(1-mix) + sepiaS2[1]*mix)
@@ -129,15 +139,38 @@ func Blur(img *frame.Image) {
 	}
 	slab := getRowSums(3 * w * 3)
 	defer blurScratch.Put(slab)
+	blurRange(img, 0, h, nil, nil, *slab)
+}
+
+// blurRange blurs rows [y0, y1) of img in place with the three-row ring.
+// haloTop and haloBot carry the horizontal sums of the rows just outside
+// the range (y0−1 and y1, as ORIGINAL, un-blurred data); nil means the row
+// is outside the image. slab provides three sum rows of w*3 int32 each.
+// Bands of one image may run concurrently: each writes only its own rows
+// and reads its own rows plus the two read-only halo sum rows.
+func blurRange(img *frame.Image, y0, y1 int, haloTop, haloBot []int32, slab []int32) {
+	w, h := img.W, img.H
 	var ring [3][]int32
 	for i := range ring {
-		ring[i] = (*slab)[i*w*3 : (i+1)*w*3]
+		ring[i] = slab[i*w*3 : (i+1)*w*3]
 	}
-	hsum(img.Row(0), w, ring[0])
-	if h > 1 {
-		hsum(img.Row(1), w, ring[1])
+	// sum resolves the sum row for source row r: the two rows bordering the
+	// band come from the precomputed halos, everything else from the ring.
+	sum := func(r int) []int32 {
+		switch r {
+		case y0 - 1:
+			return haloTop
+		case y1:
+			return haloBot
+		default:
+			return ring[r%3]
+		}
 	}
-	for y := 0; y < h; y++ {
+	hsum(img.Row(y0), w, ring[y0%3])
+	if y0+1 < y1 {
+		hsum(img.Row(y0+1), w, ring[(y0+1)%3])
+	}
+	for y := y0; y < y1; y++ {
 		lo, hi := y-1, y+1
 		if lo < 0 {
 			lo = 0
@@ -153,19 +186,111 @@ func Blur(img *frame.Image) {
 		// hot instruction).
 		switch hi - lo {
 		case 2:
-			blurRow3(out, ring[lo%3], ring[(lo+1)%3], ring[(lo+2)%3], w)
+			blurRow3(out, sum(lo), sum(lo+1), sum(lo+2), w)
 		case 1:
-			blurRow2(out, ring[lo%3], ring[(lo+1)%3], w)
+			blurRow2(out, sum(lo), sum(lo+1), w)
 		default:
-			blurRow1(out, ring[lo%3], w)
+			blurRow1(out, sum(lo), w)
 		}
 		// Slot (y−1)%3 is free now; fill it with row y+2's sums for the
 		// next iteration. Row y+2 is still original data — only rows ≤ y
-		// have been overwritten.
-		if y+2 < h {
+		// have been overwritten. When y+2 reaches y1 the halo already
+		// holds its sums.
+		if y+2 < y1 {
 			hsum(img.Row(y+2), w, ring[(y+2)%3])
 		}
 	}
+}
+
+// minBlurBandRows keeps blur bands from shrinking below the point where
+// the two halo rows and the barrier dominate the band's own work.
+const minBlurBandRows = 8
+
+// blurBandsState is the reusable scratch of one BlurBands call: per band,
+// three ring rows plus the two halo rows, and the two phase closures
+// (built once per state object so a steady-state call allocates nothing).
+type blurBandsState struct {
+	img            *frame.Image
+	nb             int
+	slab           []int32
+	phase1, phase2 func(int)
+}
+
+var blurBandsPool = sync.Pool{New: func() any {
+	st := new(blurBandsState)
+	st.phase1 = st.haloPhase
+	st.phase2 = st.blurPhase
+	return st
+}}
+
+// row returns sum row i (0..2 ring, 3 haloTop, 4 haloBot) of band b.
+func (st *blurBandsState) row(b, i int) []int32 {
+	w3 := st.img.W * 3
+	o := (b*5 + i) * w3
+	return st.slab[o : o+w3]
+}
+
+// haloPhase precomputes the horizontal sums of each band's two boundary
+// rows while every row still holds original data. It only reads the image,
+// so all bands may run concurrently.
+func (st *blurBandsState) haloPhase(b int) {
+	img, w, h := st.img, st.img.W, st.img.H
+	y0, y1 := frame.StripBounds(h, st.nb, b)
+	if y0 > 0 {
+		hsum(img.Row(y0-1), w, st.row(b, 3))
+	}
+	if y1 < h {
+		hsum(img.Row(y1), w, st.row(b, 4))
+	}
+}
+
+// blurPhase blurs one band in place using its precomputed halos.
+func (st *blurBandsState) blurPhase(b int) {
+	img, h := st.img, st.img.H
+	y0, y1 := frame.StripBounds(h, st.nb, b)
+	var haloTop, haloBot []int32
+	if y0 > 0 {
+		haloTop = st.row(b, 3)
+	}
+	if y1 < h {
+		haloBot = st.row(b, 4)
+	}
+	w3 := img.W * 3
+	o := b * 5 * w3
+	blurRange(img, y0, y1, haloTop, haloBot, st.slab[o:o+3*w3])
+}
+
+// BlurBands is Blur with the pass split into row bands distributed over p.
+// Two phases separated by a barrier keep it bit-identical to Blur: first
+// every band snapshots the horizontal sums of the two original rows just
+// outside its range (the halo), then each band runs the ring over its own
+// rows — bands write only their own rows and share nothing but the
+// read-only halos. A nil or serial pool (or an image too short to split)
+// degrades to plain Blur.
+func BlurBands(img *frame.Image, p *band.Pool) {
+	w, h := img.W, img.H
+	if w <= 0 || h <= 0 {
+		return
+	}
+	nb := p.Parallelism()
+	if nb > h/minBlurBandRows {
+		nb = h / minBlurBandRows
+	}
+	if nb <= 1 {
+		Blur(img)
+		return
+	}
+	st := blurBandsPool.Get().(*blurBandsState)
+	st.img, st.nb = img, nb
+	need := nb * 5 * w * 3
+	if cap(st.slab) < need {
+		st.slab = make([]int32, need)
+	}
+	st.slab = st.slab[:need]
+	p.Run(nb, st.phase1)
+	p.Run(nb, st.phase2)
+	st.img = nil
+	blurBandsPool.Put(st)
 }
 
 // blurPix writes one output pixel from its channel sums with the
@@ -249,18 +374,44 @@ func blurRow1(out []uint8, a []int32, w int) {
 // MaxScratches bounds the number of scratches per frame strip.
 const MaxScratches = 6
 
+// ScratchParams is one frame's scratch draw: the per-call randomness of
+// the Scratch stage (count, shade, column positions) hoisted into a value,
+// so the fused path can consume exactly the random sequence the unfused
+// kernel would and then apply the columns row by row.
+type ScratchParams struct {
+	N     int
+	Shade uint8
+	Xs    [MaxScratches]int
+}
+
+// DrawScratchParams consumes the Scratch stage's per-frame randomness in
+// the kernel's exact draw order (count, shade, then one x per scratch —
+// the column writes themselves consume none), so Scratch(img, rng) and
+// ScratchWith(img, DrawScratchParams(rng, img.W)) are byte-identical.
+func DrawScratchParams(rng *rand.Rand, w int) ScratchParams {
+	var p ScratchParams
+	p.N = rng.Intn(MaxScratches + 1)
+	p.Shade = uint8(170 + rng.Intn(86)) // light scratch tone
+	for i := 0; i < p.N; i++ {
+		p.Xs[i] = rng.Intn(w)
+	}
+	return p
+}
+
 // Scratch draws a random number of vertical scratches in a random shade
 // (§IV, Scratch stage): one random color and count per call, then one
-// random x-coordinate per scratch whose whole column is replaced. Alpha is
-// untouched, so the column walk writes the three color bytes directly.
+// random x-coordinate per scratch whose whole column is replaced.
 func Scratch(img *frame.Image, rng *rand.Rand) {
-	count := rng.Intn(MaxScratches + 1)
-	shade := uint8(170 + rng.Intn(86)) // light scratch tone
+	ScratchWith(img, DrawScratchParams(rng, img.W))
+}
+
+// ScratchWith applies pre-drawn scratch parameters. Alpha is untouched, so
+// the column walk writes the three color bytes directly.
+func ScratchWith(img *frame.Image, p ScratchParams) {
 	pix, stride := img.Pix, img.W*4
-	for i := 0; i < count; i++ {
-		x := rng.Intn(img.W)
-		for o := x * 4; o < len(pix); o += stride {
-			pix[o], pix[o+1], pix[o+2] = shade, shade, shade
+	for i := 0; i < p.N; i++ {
+		for o := p.Xs[i] * 4; o < len(pix); o += stride {
+			pix[o], pix[o+1], pix[o+2] = p.Shade, p.Shade, p.Shade
 		}
 	}
 }
@@ -268,11 +419,24 @@ func Scratch(img *frame.Image, rng *rand.Rand) {
 // FlickerAmplitude is the paper's brightness variation bound: ±1/10.
 const FlickerAmplitude = 0.1
 
+// DrawFlickerDelta consumes the Flicker stage's single per-frame draw: a
+// brightness shift uniform in [−FlickerAmplitude, +FlickerAmplitude].
+func DrawFlickerDelta(rng *rand.Rand) float64 {
+	return (rng.Float64()*2 - 1) * FlickerAmplitude
+}
+
 // Flicker shifts all RGB values by one random amount in
 // [−FlickerAmplitude, +FlickerAmplitude], clamped to [0, 1] (§IV).
 func Flicker(img *frame.Image, rng *rand.Rand) {
-	delta := (rng.Float64()*2 - 1) * FlickerAmplitude
-	FlickerBy(img, delta)
+	FlickerBy(img, DrawFlickerDelta(rng))
+}
+
+// flickerLUT evaluates the float64 round trip of one brightness delta for
+// every byte value, so the image pass is loads only.
+func flickerLUT(delta float64, lut *[256]uint8) {
+	for v := range lut {
+		lut[v] = from01(to01(uint8(v)) + delta)
+	}
 }
 
 // FlickerBy applies a specific brightness delta; exposed for testing and
@@ -282,32 +446,27 @@ func Flicker(img *frame.Image, rng *rand.Rand) {
 // byte-identical to FlickerByReference by construction.
 func FlickerBy(img *frame.Image, delta float64) {
 	var lut [256]uint8
-	for v := range lut {
-		lut[v] = from01(to01(uint8(v)) + delta)
-	}
-	pix := img.Pix
-	for o := 0; o < len(pix); o += 4 {
-		pix[o] = lut[pix[o]]
-		pix[o+1] = lut[pix[o+1]]
-		pix[o+2] = lut[pix[o+2]]
+	flickerLUT(delta, &lut)
+	flickerRow(img.Pix, &lut)
+}
+
+// swapRows exchanges two equally sized pixel rows through a fixed stack
+// chunk, so the flip is allocation-free at any width while keeping
+// memmove-speed copies.
+func swapRows(a, b []uint8) {
+	var buf [2048]uint8
+	for o := 0; o < len(a); o += len(buf) {
+		end := min(o+len(buf), len(a))
+		n := copy(buf[:], a[o:end])
+		copy(a[o:end], b[o:end])
+		copy(b[o:end], buf[:n])
 	}
 }
 
 // Swap flips the image upside down in place, exchanging rows pairwise
-// exactly as §IV's Swap stage describes. The exchange goes through a
-// fixed stack chunk instead of an allocated row buffer, so the flip is
-// allocation-free at any width while keeping memmove-speed copies.
+// exactly as §IV's Swap stage describes.
 func Swap(img *frame.Image) {
-	var buf [2048]uint8
-	rb := img.W * 4
 	for i, j := 0, img.H-1; i < j; i, j = i+1, j-1 {
-		top := img.Row(i)
-		bottom := img.Row(j)
-		for o := 0; o < rb; o += len(buf) {
-			end := min(o+len(buf), rb)
-			n := copy(buf[:], top[o:end])
-			copy(top[o:end], bottom[o:end])
-			copy(bottom[o:end], buf[:n])
-		}
+		swapRows(img.Row(i), img.Row(j))
 	}
 }

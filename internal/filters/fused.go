@@ -1,0 +1,496 @@
+// Stage fusion: the per-pixel stages (sepia, scratch, flicker, swap) are
+// y-independent, so any adjacent run of them collapses into a single
+// read-modify-write sweep over each row — one memory pass instead of one
+// per stage. This is the strongest lever left after the allocation work:
+// the paper's own finding is that stage-to-stage hand-offs through the
+// memory controllers, not compute or topology, bound the pipeline.
+//
+// Each stage exposes a row-oriented PointKernel form; Fused composes a run
+// of them (with the swap flip folded in as a row-pair walk) and applies
+// the composition once per row, optionally splitting the rows into bands
+// over a band.Pool. Every fused composition is golden-tested byte-
+// identical to the sequential stage chain.
+package filters
+
+import (
+	"encoding/binary"
+
+	"sccpipe/internal/band"
+	"sccpipe/internal/frame"
+)
+
+// PointKernel is the row-oriented form of a per-pixel stage: it rewrites
+// one row of RGBA pixels in place. Kernels obtained from the constructors
+// below are stateful only in ways that do not affect output (the sepia
+// memo), so applying one row-by-row over a whole image equals the
+// corresponding whole-image stage.
+type PointKernel func(row []uint8)
+
+// SepiaKernel returns Sepia's row kernel. The kernel carries its own memo
+// and is not safe for concurrent use; create one per goroutine.
+func SepiaKernel() PointKernel {
+	m := new(sepiaMemo)
+	return func(row []uint8) { sepiaRow(row, m) }
+}
+
+// ScratchKernel returns the row kernel of one pre-drawn scratch pass: each
+// row write hits the same columns ScratchWith would.
+func ScratchKernel(p ScratchParams) PointKernel {
+	return func(row []uint8) { scratchRow(row, &p) }
+}
+
+// FlickerKernel returns the row kernel of one brightness delta, its LUT
+// evaluated once at construction.
+func FlickerKernel(delta float64) PointKernel {
+	lut := new([256]uint8)
+	flickerLUT(delta, lut)
+	return func(row []uint8) { flickerRow(row, lut) }
+}
+
+// sepiaMemo caches the last fresh conversion in packed form (RGB in the
+// low 24 bits, alpha masked out). Rendered frames are flat-shaded, so
+// runs of identical pixels dominate and most pixels hit the memo; the
+// conversion is pure, so a hit writes exactly the bytes the full
+// evaluation would. It never changes output, only speed — and the packed
+// form keeps the check to one 32-bit load and compare, so content with
+// no runs (noise) pays almost nothing for it.
+type sepiaMemo struct {
+	in32, out32 uint32
+	ok          bool
+}
+
+// sepiaRow applies the sepia tone to one row (or any 4-byte-stride pixel
+// run — Sepia passes the whole Pix slice). Bit-exact vs SepiaReference:
+// the memo only short-circuits identical inputs.
+func sepiaRow(row []uint8, m *sepiaMemo) {
+	// The memo lives in locals for the loop: written through m only once
+	// at the end, so the row stores cannot alias it and the compiler keeps
+	// the check in registers.
+	in32, out32 := m.in32, m.out32
+	if !m.ok {
+		// A masked input always has a zero top byte, so this never hits
+		// and the loop needs no validity check.
+		in32 = 0xFF000000
+	}
+	for o := 0; o+4 <= len(row); o += 4 {
+		px := binary.LittleEndian.Uint32(row[o:])
+		in := px & 0x00FFFFFF
+		if in != in32 {
+			r, g, b := uint8(in), uint8(in>>8), uint8(in>>16)
+			mix := clamp01(sepiaRamp[0][r] + sepiaRamp[1][g] + sepiaRamp[2][b])
+			nr := from01(sepiaS1[0]*(1-mix) + sepiaS2[0]*mix)
+			ng := from01(sepiaS1[1]*(1-mix) + sepiaS2[1]*mix)
+			nb := from01(sepiaS1[2]*(1-mix) + sepiaS2[2]*mix)
+			in32 = in
+			out32 = uint32(nr) | uint32(ng)<<8 | uint32(nb)<<16
+		}
+		binary.LittleEndian.PutUint32(row[o:], out32|px&0xFF000000)
+	}
+	m.in32, m.out32, m.ok = in32, out32, true
+}
+
+// scratchRow writes one row's worth of each scratch column.
+func scratchRow(row []uint8, p *ScratchParams) {
+	for i := 0; i < p.N; i++ {
+		o := p.Xs[i] * 4
+		row[o], row[o+1], row[o+2] = p.Shade, p.Shade, p.Shade
+	}
+}
+
+// flickerRow applies a prebuilt flicker LUT to one row (or the whole Pix
+// slice).
+func flickerRow(row []uint8, lut *[256]uint8) {
+	for o := 0; o+4 <= len(row); o += 4 {
+		row[o] = lut[row[o]]
+		row[o+1] = lut[row[o+1]]
+		row[o+2] = lut[row[o+2]]
+	}
+}
+
+type opKind uint8
+
+const (
+	opSepia opKind = iota
+	opScratch
+	opFlicker
+)
+
+// pointOp is one folded stage: kind plus its precomputed per-frame state
+// (scratch columns or flicker LUT) inlined so the fused row loop touches
+// no pointers.
+type pointOp struct {
+	kind    opKind
+	scratch ScratchParams
+	lut     [256]uint8
+	// shadeOut is a scratch op's final pixel value: the scratch overwrites
+	// its columns with Shade, so every later value op applied to Shade is a
+	// per-frame constant, folded once in prepare.
+	shadeOut [3]uint8
+}
+
+// minFusedBandRows keeps fused bands from shrinking below the point where
+// dispatch overhead dominates a band's row work.
+const minFusedBandRows = 16
+
+// Fused composes a run of adjacent point kernels into a single pass: each
+// row is read once, every folded stage applied, and written once. The swap
+// stage folds in as a row-pair flip (AddSwap), walking rows pairwise from
+// both ends; because every point kernel is y-independent, kernel-then-flip
+// equals flipping after kernels, which the golden tests pin down.
+//
+// A Fused value is reusable — Reset, re-Add, Apply — and allocation-free
+// in steady state. It is not safe for concurrent use; bands of one Apply
+// share only read-only op state (each band has its own sepia memo).
+type Fused struct {
+	ops  []pointOp
+	flip bool
+
+	// nValue counts the non-scratch (value-transform) ops, set by prepare;
+	// zero skips the per-pixel pass entirely.
+	nValue int
+
+	// Per-ApplyBands state: the target image, band count, per-band
+	// composition memos (two per band: a flip pair's top and bottom rows
+	// interleave, and one memo entry would thrash between their runs), and
+	// the band closure (built once).
+	img    *frame.Image
+	nb     int
+	memos  []sepiaMemo
+	caches []fuseCache
+	bandFn func(int)
+
+	// gen invalidates the color caches between Applies without clearing
+	// them (32 KB per band — real money against a small strip): entries
+	// are tagged with the generation that wrote them, and the caches are
+	// scrubbed for real only when the counter wraps. Generation 0 is
+	// never current, so zeroed (fresh) cache memory is never a hit.
+	gen uint16
+}
+
+// Reset clears the composition for reuse, keeping capacity.
+func (f *Fused) Reset() {
+	f.ops = f.ops[:0]
+	f.flip = false
+}
+
+// Len reports how many stages are folded in (swap included).
+func (f *Fused) Len() int {
+	n := len(f.ops)
+	if f.flip {
+		n++
+	}
+	return n
+}
+
+func (f *Fused) checkOrder() {
+	if f.flip {
+		panic("filters: cannot fuse a point kernel after AddSwap (swap must be the run's last stage)")
+	}
+}
+
+// AddSepia folds in the sepia stage.
+func (f *Fused) AddSepia() {
+	f.checkOrder()
+	f.ops = append(f.ops, pointOp{kind: opSepia})
+}
+
+// AddScratch folds in one pre-drawn scratch pass (see DrawScratchParams).
+func (f *Fused) AddScratch(p ScratchParams) {
+	f.checkOrder()
+	f.ops = append(f.ops, pointOp{kind: opScratch, scratch: p})
+}
+
+// AddFlicker folds in one brightness delta (see DrawFlickerDelta),
+// evaluating its LUT once.
+func (f *Fused) AddFlicker(delta float64) {
+	f.checkOrder()
+	f.ops = append(f.ops, pointOp{kind: opFlicker})
+	flickerLUT(delta, &f.ops[len(f.ops)-1].lut)
+}
+
+// AddSwap folds in the upside-down flip. It must be the last stage added.
+func (f *Fused) AddSwap() {
+	f.checkOrder()
+	f.flip = true
+}
+
+// Apply runs the fused pass serially.
+func (f *Fused) Apply(img *frame.Image) { f.ApplyBands(img, nil) }
+
+// ApplyBands runs the fused pass with its rows (or, under a flip, its
+// row pairs) split into bands distributed over p. A nil or serial pool, or
+// an image too short to split, runs in one band on the caller. Output is
+// identical for every band count.
+func (f *Fused) ApplyBands(img *frame.Image, p *band.Pool) {
+	if img.W <= 0 || img.H <= 0 || (len(f.ops) == 0 && !f.flip) {
+		return
+	}
+	units := img.H
+	if f.flip {
+		units = (img.H + 1) / 2
+	}
+	nb := p.Parallelism()
+	if nb > units/minFusedBandRows {
+		nb = units / minFusedBandRows
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	if f.bandFn == nil {
+		f.bandFn = f.applyBand
+	}
+	f.prepare()
+	if cap(f.memos) < 2*nb {
+		f.memos = make([]sepiaMemo, 2*nb)
+	}
+	f.memos = f.memos[:2*nb]
+	if cap(f.caches) < nb {
+		f.caches = make([]fuseCache, nb)
+	}
+	f.caches = f.caches[:nb]
+	f.gen++
+	if f.gen == 0 {
+		cs := f.caches[:cap(f.caches)] // full capacity: shrunk-away bands hold old-gen entries too
+		for i := range cs {
+			cs[i] = fuseCache{}
+		}
+		f.gen = 1
+	}
+	f.img, f.nb = img, nb
+	p.Run(nb, f.bandFn)
+	f.img = nil
+}
+
+// applyBand processes one contiguous range of rows (or row pairs).
+func (f *Fused) applyBand(b int) {
+	img, h := f.img, f.img.H
+	mTop, mBot := &f.memos[2*b], &f.memos[2*b+1]
+	*mTop, *mBot = sepiaMemo{}, sepiaMemo{}
+	cache := &f.caches[b] // generation-tagged; stale Applies never hit
+	if !f.flip {
+		y0, y1 := frame.StripBounds(h, f.nb, b)
+		for y := y0; y < y1; y++ {
+			f.applyRow(img.Row(y), mTop, cache)
+		}
+		return
+	}
+	// Flip: unit u is the row pair (u, h-1-u). Both rows get the kernels
+	// with the exchange folded into the same pass (each row's result is
+	// written straight into its partner) — identical to kernels-everywhere
+	// followed by Swap, because the kernels are y-independent.
+	pairs := (h + 1) / 2
+	u0, u1 := frame.StripBounds(pairs, f.nb, b)
+	for u := u0; u < u1; u++ {
+		top, bot := u, h-1-u
+		if bot == top {
+			f.applyRow(img.Row(top), mTop, cache) // odd middle row: nothing to exchange
+			continue
+		}
+		f.applyPair(img.Row(top), img.Row(bot), mTop, mBot, cache)
+	}
+}
+
+// prepare folds the position-dependent ops: each scratch op's columns end
+// up holding the later value transforms applied to its Shade, a per-frame
+// constant. Runs once per ApplyBands; cost is a handful of pixel ops.
+func (f *Fused) prepare() {
+	f.nValue = 0
+	for i := range f.ops {
+		op := &f.ops[i]
+		if op.kind != opScratch {
+			f.nValue++
+			continue
+		}
+		s := op.scratch.Shade
+		op.shadeOut[0], op.shadeOut[1], op.shadeOut[2] = f.composeFrom(i+1, s, s, s)
+	}
+}
+
+// composeFrom applies the value ops from index i onward to one pixel,
+// with exactly the arithmetic the standalone stages use (sepiaRow's float
+// expressions, flicker's LUT), so composed output is bit-identical to
+// running the stages back to back. Scratch ops are position-dependent and
+// skipped here; their columns are overwritten afterwards.
+func (f *Fused) composeFrom(i int, r, g, b uint8) (uint8, uint8, uint8) {
+	for ; i < len(f.ops); i++ {
+		op := &f.ops[i]
+		switch op.kind {
+		case opSepia:
+			mix := clamp01(sepiaRamp[0][r] + sepiaRamp[1][g] + sepiaRamp[2][b])
+			r = from01(sepiaS1[0]*(1-mix) + sepiaS2[0]*mix)
+			g = from01(sepiaS1[1]*(1-mix) + sepiaS2[1]*mix)
+			b = from01(sepiaS1[2]*(1-mix) + sepiaS2[2]*mix)
+		case opFlicker:
+			r, g, b = op.lut[r], op.lut[g], op.lut[b]
+		}
+	}
+	return r, g, b
+}
+
+// fuseCache is a direct-mapped color→result cache shared by one band's
+// rows: rendered frames use a small palette (hundreds of colors across
+// hundreds of thousands of pixels), so after warm-up the value chain is
+// evaluated only once per color per band. Unlike the run memo, it keeps
+// hitting when a pixel's color reappears anywhere later in the band. Each
+// entry packs generation(16) | input RGB(24) | output RGB(24); only
+// entries written by the current generation are hits (see Fused.gen).
+type fuseCache [fuseCacheSize]uint64
+
+const (
+	fuseCacheBits = 12
+	fuseCacheSize = 1 << fuseCacheBits
+)
+
+// missPixel is the composition's slow path: on a run-memo miss, consult
+// the band's color cache, evaluating the value chain only for colors not
+// seen this generation (or evicted by a colliding color); refresh the
+// memo either way.
+func (f *Fused) missPixel(in uint32, m *sepiaMemo, c *fuseCache) uint32 {
+	tag := uint64(f.gen)<<48 | uint64(in)<<24
+	slot := &c[(in*2654435761)>>(32-fuseCacheBits)]
+	var out uint32
+	if e := *slot; e&^uint64(0x00FFFFFF) == tag {
+		out = uint32(e & 0x00FFFFFF)
+	} else {
+		nr, ng, nb := f.composeFrom(0, uint8(in), uint8(in>>8), uint8(in>>16))
+		out = uint32(nr) | uint32(ng)<<8 | uint32(nb)<<16
+		*slot = tag | uint64(out)
+	}
+	m.in32, m.out32, m.ok = in, out, true
+	return out
+}
+
+// Word masks for the two-pixel fast path: RGB bits of a packed pixel
+// pair, and their alpha complements.
+const (
+	rgbMask64   = uint64(0x00FFFFFF00FFFFFF)
+	alphaMask64 = ^rgbMask64
+)
+
+// dup32 replicates one packed pixel into a pixel pair.
+func dup32(v uint32) uint64 { return uint64(v)<<32 | uint64(v) }
+
+// applyRow runs the folded composition over one row: a single per-pixel
+// pass applies every value transform at once behind one whole-composition
+// memo (a run of identical input pixels computes the chain once, and the
+// hit path moves two pixels per 64-bit load, compare, and store), then
+// the scratch constants land on their columns. This is where fusion beats the
+// stage-at-a-time chain on compute, not just memory passes: n memo checks
+// and n LUT walks collapse into one.
+func (f *Fused) applyRow(row []uint8, m *sepiaMemo, c *fuseCache) {
+	if f.nValue > 0 {
+		in64, out64 := dup32(m.in32), dup32(m.out32)
+		o := 0
+		for o+16 <= len(row) {
+			hi := binary.LittleEndian.Uint64(row[o+8:])
+			px := binary.LittleEndian.Uint64(row[o:])
+			if m.ok && px&rgbMask64 == in64 && hi&rgbMask64 == in64 {
+				binary.LittleEndian.PutUint64(row[o:], out64|px&alphaMask64)
+				binary.LittleEndian.PutUint64(row[o+8:], out64|hi&alphaMask64)
+				o += 16
+				continue
+			}
+			px32 := uint32(px)
+			in := px32 & 0x00FFFFFF
+			out := m.out32
+			if !m.ok || in != m.in32 {
+				out = f.missPixel(in, m, c)
+				in64, out64 = dup32(m.in32), dup32(m.out32)
+			}
+			binary.LittleEndian.PutUint32(row[o:], out|px32&0xFF000000)
+			o += 4
+		}
+		for ; o+4 <= len(row); o += 4 {
+			px := binary.LittleEndian.Uint32(row[o:])
+			in := px & 0x00FFFFFF
+			out := m.out32
+			if !m.ok || in != m.in32 {
+				out = f.missPixel(in, m, c)
+			}
+			binary.LittleEndian.PutUint32(row[o:], out|px&0xFF000000)
+		}
+	}
+	f.scratchCols(row)
+}
+
+// applyPair runs the folded composition over a flip pair, writing each
+// row's result directly into its partner — the Swap exchange costs no
+// extra pass. Alpha travels with its source pixel, as a row exchange
+// would move it.
+func (f *Fused) applyPair(rowT, rowB []uint8, mT, mB *sepiaMemo, c *fuseCache) {
+	if f.nValue == 0 {
+		swapRows(rowT, rowB)
+	} else {
+		n := len(rowT)
+		if len(rowB) < n {
+			n = len(rowB)
+		}
+		inT64, outT64 := dup32(mT.in32), dup32(mT.out32)
+		inB64, outB64 := dup32(mB.in32), dup32(mB.out32)
+		o := 0
+		for o+16 <= n {
+			pT := binary.LittleEndian.Uint64(rowT[o:])
+			pB := binary.LittleEndian.Uint64(rowB[o:])
+			hT := binary.LittleEndian.Uint64(rowT[o+8:])
+			hB := binary.LittleEndian.Uint64(rowB[o+8:])
+			if mT.ok && mB.ok &&
+				pT&rgbMask64 == inT64 && pB&rgbMask64 == inB64 &&
+				hT&rgbMask64 == inT64 && hB&rgbMask64 == inB64 {
+				binary.LittleEndian.PutUint64(rowT[o:], outB64|pB&alphaMask64)
+				binary.LittleEndian.PutUint64(rowB[o:], outT64|pT&alphaMask64)
+				binary.LittleEndian.PutUint64(rowT[o+8:], outB64|hB&alphaMask64)
+				binary.LittleEndian.PutUint64(rowB[o+8:], outT64|hT&alphaMask64)
+				o += 16
+				continue
+			}
+			pT32, pB32 := uint32(pT), uint32(pB)
+			inT := pT32 & 0x00FFFFFF
+			inB := pB32 & 0x00FFFFFF
+			outT := mT.out32
+			if !mT.ok || inT != mT.in32 {
+				outT = f.missPixel(inT, mT, c)
+				inT64, outT64 = dup32(mT.in32), dup32(mT.out32)
+			}
+			outB := mB.out32
+			if !mB.ok || inB != mB.in32 {
+				outB = f.missPixel(inB, mB, c)
+				inB64, outB64 = dup32(mB.in32), dup32(mB.out32)
+			}
+			binary.LittleEndian.PutUint32(rowT[o:], outB|pB32&0xFF000000)
+			binary.LittleEndian.PutUint32(rowB[o:], outT|pT32&0xFF000000)
+			o += 4
+		}
+		for ; o+4 <= n; o += 4 {
+			pxT := binary.LittleEndian.Uint32(rowT[o:])
+			pxB := binary.LittleEndian.Uint32(rowB[o:])
+			inT := pxT & 0x00FFFFFF
+			inB := pxB & 0x00FFFFFF
+			outT := mT.out32
+			if !mT.ok || inT != mT.in32 {
+				outT = f.missPixel(inT, mT, c)
+			}
+			outB := mB.out32
+			if !mB.ok || inB != mB.in32 {
+				outB = f.missPixel(inB, mB, c)
+			}
+			binary.LittleEndian.PutUint32(rowT[o:], outB|pxB&0xFF000000)
+			binary.LittleEndian.PutUint32(rowB[o:], outT|pxT&0xFF000000)
+		}
+	}
+	f.scratchCols(rowT)
+	f.scratchCols(rowB)
+}
+
+// scratchCols writes every scratch op's folded constant onto its columns.
+func (f *Fused) scratchCols(row []uint8) {
+	for i := range f.ops {
+		op := &f.ops[i]
+		if op.kind != opScratch {
+			continue
+		}
+		for j := 0; j < op.scratch.N; j++ {
+			o := op.scratch.Xs[j] * 4
+			row[o], row[o+1], row[o+2] = op.shadeOut[0], op.shadeOut[1], op.shadeOut[2]
+		}
+	}
+}

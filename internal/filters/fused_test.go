@@ -1,0 +1,322 @@
+package filters
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sccpipe/internal/band"
+	"sccpipe/internal/frame"
+)
+
+// fuseKind indexes the fusable tail stages in pipeline order.
+type fuseKind int
+
+const (
+	fkSepia fuseKind = iota
+	fkScratch
+	fkFlicker
+	fkSwap
+)
+
+var fuseKindNames = [...]string{"sepia", "scratch", "flicker", "swap"}
+
+// applyUnfused applies one stage the sequential way; applyFused folds the
+// same stage into the composition. Each randomized stage gets its own
+// fixed-seed RNG so both paths draw the same values regardless of order.
+func applyUnfused(img *frame.Image, k fuseKind) {
+	switch k {
+	case fkSepia:
+		Sepia(img)
+	case fkScratch:
+		ScratchWith(img, DrawScratchParams(rand.New(rand.NewSource(1001)), img.W))
+	case fkFlicker:
+		FlickerBy(img, DrawFlickerDelta(rand.New(rand.NewSource(1002))))
+	case fkSwap:
+		Swap(img)
+	}
+}
+
+func applyFused(f *Fused, w int, k fuseKind) {
+	switch k {
+	case fkSepia:
+		f.AddSepia()
+	case fkScratch:
+		f.AddScratch(DrawScratchParams(rand.New(rand.NewSource(1001)), w))
+	case fkFlicker:
+		f.AddFlicker(DrawFlickerDelta(rand.New(rand.NewSource(1002))))
+	case fkSwap:
+		f.AddSwap()
+	}
+}
+
+func runName(run []fuseKind) string {
+	s := ""
+	for i, k := range run {
+		if i > 0 {
+			s += "+"
+		}
+		s += fuseKindNames[k]
+	}
+	return s
+}
+
+// Every contiguous run of the fusable tail (length 1..4) must be
+// byte-identical fused vs sequential, on regular, degenerate (1×N, N×1)
+// and odd-height images.
+func TestFusedGoldenAllRuns(t *testing.T) {
+	all := []fuseKind{fkSepia, fkScratch, fkFlicker, fkSwap}
+	sizes := [][2]int{{64, 48}, {1, 37}, {41, 1}, {33, 33}, {2, 2}, {1, 1}}
+	var f Fused
+	for lo := 0; lo < len(all); lo++ {
+		for hi := lo + 1; hi <= len(all); hi++ {
+			run := all[lo:hi]
+			for _, sz := range sizes {
+				w, h := sz[0], sz[1]
+				t.Run(fmt.Sprintf("%s/%dx%d", runName(run), w, h), func(t *testing.T) {
+					want := randomImage(int64(w*1000+h), w, h)
+					got := want.Clone()
+					for _, k := range run {
+						applyUnfused(want, k)
+					}
+					f.Reset()
+					for _, k := range run {
+						applyFused(&f, w, k)
+					}
+					f.Apply(got)
+					if !got.Equal(want) {
+						t.Fatalf("fused %s differs from sequential on %dx%d", runName(run), w, h)
+					}
+				})
+			}
+		}
+	}
+}
+
+// The fused pass must produce identical bytes for every band count, on a
+// shared pool and an explicit parallel pool, with and without the flip.
+func TestFusedBandsMatchSerial(t *testing.T) {
+	runs := [][]fuseKind{
+		{fkSepia, fkScratch, fkFlicker},       // no flip
+		{fkSepia, fkScratch, fkFlicker, fkSwap}, // flip path
+		{fkScratch, fkFlicker, fkSwap},        // the real pipeline's fused tail
+	}
+	pools := []*band.Pool{nil, band.Serial, band.New(2), band.New(3), band.New(8), band.Default()}
+	for _, run := range runs {
+		want := randomImage(7, 96, 128)
+		var f Fused
+		f.Reset()
+		for _, k := range run {
+			applyFused(&f, want.W, k)
+		}
+		f.Apply(want)
+		for pi, p := range pools {
+			got := randomImage(7, 96, 128)
+			var g Fused
+			g.Reset()
+			for _, k := range run {
+				applyFused(&g, got.W, k)
+			}
+			g.ApplyBands(got, p)
+			if !got.Equal(want) {
+				t.Fatalf("run %s: pool %d (parallelism %d) differs from serial", runName(run), pi, p.Parallelism())
+			}
+		}
+	}
+}
+
+// Fused passes over zero-copy strip views must equal the sequential stages
+// over the same views: exactly how the pipeline applies them.
+func TestFusedOnStripViews(t *testing.T) {
+	base := randomImage(11, 80, 90)
+	want := base.Clone()
+	got := base.Clone()
+	wantStrips, err := frame.SplitRowsView(want, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStrips, err := frame.SplitRowsView(got, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := []fuseKind{fkScratch, fkFlicker, fkSwap}
+	var f Fused
+	for i := range wantStrips {
+		for _, k := range run {
+			applyUnfused(wantStrips[i].Img, k)
+		}
+		f.Reset()
+		for _, k := range run {
+			applyFused(&f, got.W, k)
+		}
+		f.Apply(gotStrips[i].Img)
+	}
+	if !got.Equal(want) {
+		t.Fatal("fused strip views differ from sequential strip views")
+	}
+}
+
+// The exported row kernels applied row by row must equal their whole-image
+// stages.
+func TestPointKernelsMatchStages(t *testing.T) {
+	w, h := 31, 17
+	scratchP := DrawScratchParams(rand.New(rand.NewSource(3)), w)
+	cases := []struct {
+		name   string
+		kernel PointKernel
+		stage  func(*frame.Image)
+	}{
+		{"sepia", SepiaKernel(), Sepia},
+		{"scratch", ScratchKernel(scratchP), func(im *frame.Image) { ScratchWith(im, scratchP) }},
+		{"flicker", FlickerKernel(0.07), func(im *frame.Image) { FlickerBy(im, 0.07) }},
+	}
+	for _, tc := range cases {
+		want := randomImage(21, w, h)
+		got := want.Clone()
+		tc.stage(want)
+		for y := 0; y < h; y++ {
+			tc.kernel(got.Row(y))
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s kernel row-by-row differs from stage", tc.name)
+		}
+	}
+}
+
+// Hoisting the per-frame draws must consume the RNG identically to the
+// original interleaved kernels: same seed, same pixels.
+func TestDrawParamsMatchKernelRNG(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := randomImage(seed, 40, 30)
+		b := a.Clone()
+		Scratch(a, rand.New(rand.NewSource(seed)))
+		ScratchWith(b, DrawScratchParams(rand.New(rand.NewSource(seed)), b.W))
+		if !a.Equal(b) {
+			t.Fatalf("seed %d: ScratchWith(DrawScratchParams) differs from Scratch", seed)
+		}
+		Flicker(a, rand.New(rand.NewSource(seed)))
+		FlickerBy(b, DrawFlickerDelta(rand.New(rand.NewSource(seed))))
+		if !a.Equal(b) {
+			t.Fatalf("seed %d: FlickerBy(DrawFlickerDelta) differs from Flicker", seed)
+		}
+	}
+}
+
+// A point kernel added after the flip is a composition bug, not a silent
+// wrong answer.
+func TestFusedPanicsOnKernelAfterSwap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSepia after AddSwap did not panic")
+		}
+	}()
+	var f Fused
+	f.AddSwap()
+	f.AddSepia()
+}
+
+// A warmed Fused must not allocate per frame, serial or banded.
+func TestFusedSteadyStateAllocs(t *testing.T) {
+	img := randomImage(5, 128, 96)
+	p := band.New(4)
+	var f Fused
+	frameOnce := func() {
+		f.Reset()
+		f.AddSepia()
+		f.AddScratch(DrawScratchParams(rand.New(rand.NewSource(9)), img.W))
+		f.AddFlicker(0.04)
+		f.AddSwap()
+		f.ApplyBands(img, p)
+	}
+	// Warm: grow ops/memos, build the band closure. The throwaway RNGs
+	// above are the test's, not the fused path's — measure without them.
+	f.Reset()
+	f.AddSepia()
+	scratchP := DrawScratchParams(rand.New(rand.NewSource(9)), img.W)
+	frameOnce = func() {
+		f.Reset()
+		f.AddSepia()
+		f.AddScratch(scratchP)
+		f.AddFlicker(0.04)
+		f.AddSwap()
+		f.ApplyBands(img, p)
+	}
+	frameOnce()
+	if avg := testing.AllocsPerRun(50, frameOnce); avg > 0 {
+		t.Fatalf("fused pass allocates %.1f objects per frame, want 0", avg)
+	}
+}
+
+// BlurBands must be byte-identical to Blur for every pool and image shape,
+// including shapes too short to band (fallback path).
+func TestBlurBandsGolden(t *testing.T) {
+	sizes := [][2]int{{64, 64}, {64, 100}, {1, 64}, {2, 48}, {33, 7}, {17, 1}, {64, 16}}
+	pools := []*band.Pool{nil, band.Serial, band.New(2), band.New(3), band.New(8), band.Default()}
+	for _, sz := range sizes {
+		w, h := sz[0], sz[1]
+		want := randomImage(int64(w*97+h), w, h)
+		got := want.Clone()
+		Blur(want)
+		for pi, p := range pools {
+			img := got.Clone()
+			BlurBands(img, p)
+			if !img.Equal(want) {
+				t.Fatalf("%dx%d pool %d: BlurBands differs from Blur", w, h, pi)
+			}
+		}
+	}
+}
+
+// BlurBands on strip views composes with the zero-copy decomposition.
+func TestBlurBandsOnStripViews(t *testing.T) {
+	base := randomImage(13, 48, 96)
+	want := base.Clone()
+	got := base.Clone()
+	wantStrips, _ := frame.SplitRowsView(want, 3)
+	gotStrips, _ := frame.SplitRowsView(got, 3)
+	p := band.New(3)
+	for i := range wantStrips {
+		Blur(wantStrips[i].Img)
+		BlurBands(gotStrips[i].Img, p)
+	}
+	if !got.Equal(want) {
+		t.Fatal("banded blur on strip views differs from serial blur")
+	}
+}
+
+// A warmed BlurBands must not allocate per frame.
+func TestBlurBandsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	img := randomImage(5, 128, 128)
+	p := band.New(4)
+	BlurBands(img, p) // warm slab + closures
+	if avg := testing.AllocsPerRun(50, func() { BlurBands(img, p) }); avg > 0 {
+		t.Fatalf("BlurBands allocates %.1f objects per frame, want 0", avg)
+	}
+}
+
+// The sepia memo is an optimization only: adversarial patterns (constant
+// runs, alternating pairs, all-distinct) must match the reference.
+func TestSepiaMemoAdversarial(t *testing.T) {
+	im := frame.New(64, 4)
+	// Row 0: constant; row 1: alternating two colors; row 2: ramp; row 3:
+	// random.
+	for x := 0; x < 64; x++ {
+		im.Set(x, 0, 10, 200, 30, 255)
+		if x%2 == 0 {
+			im.Set(x, 1, 255, 0, 0, 255)
+		} else {
+			im.Set(x, 1, 0, 0, 255, 255)
+		}
+		im.Set(x, 2, uint8(x*4), uint8(255-x*4), uint8(x*2), 255)
+	}
+	rand.New(rand.NewSource(4)).Read(im.Row(3))
+	want := im.Clone()
+	SepiaReference(want)
+	Sepia(im)
+	if !im.Equal(want) {
+		t.Fatal("memoized sepia differs from reference on adversarial patterns")
+	}
+}

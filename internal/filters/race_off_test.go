@@ -1,0 +1,5 @@
+//go:build !race
+
+package filters
+
+const raceEnabled = false

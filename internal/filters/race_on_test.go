@@ -1,0 +1,7 @@
+//go:build race
+
+package filters
+
+// raceEnabled gates the strict zero-alloc assertions: under the race
+// detector sync.Pool intentionally drops puts, so pooled paths allocate.
+const raceEnabled = true

@@ -1,0 +1,234 @@
+package pipe
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sccpipe/internal/faults"
+)
+
+// fusionChain is a four-stage arithmetic chain whose middle run (double,
+// inc) is fusable; head and tail are not. Every stage records nothing and
+// transforms an int payload, so fused and unfused results are directly
+// comparable.
+func fusionChain(items, k int, out *sync.Map) *Chain {
+	stage := func(name string, fusable bool, cost float64, fn func(int) int) Stage {
+		return Stage{
+			Name:    name,
+			Fusable: fusable,
+			Fn: func(it Item) Item {
+				it.Data = fn(it.Data.(int))
+				return it
+			},
+			CostRef: func(Item) float64 { return cost },
+		}
+	}
+	// The unfusable head is the bottleneck, so fusing the middle run onto
+	// one core never slows the steady state — it only removes hand-offs
+	// (fusing stages that together exceed the bottleneck would trade
+	// hand-off savings for a slower pipeline; that trade-off is the
+	// experiment's to explore, not this chain's).
+	return &Chain{
+		Stages: []Stage{
+			stage("head", false, 5e-3, func(v int) int { return v + 1000 }),
+			stage("double", true, 0.5e-3, func(v int) int { return v * 2 }),
+			stage("inc", true, 0.5e-3, func(v int) int { return v + 1 }),
+			stage("tail", false, 0.5e-3, func(v int) int { return v * 10 }),
+		},
+		Feed: func(pl, seq int) (Item, bool) {
+			if seq >= items {
+				return Item{}, false
+			}
+			return Item{Data: pl*1000 + seq}, true
+		},
+		Collect: func(it Item) {
+			out.Store(fmt.Sprintf("%d/%d", it.Pipeline, it.Seq), it.Data.(int))
+		},
+		ItemBytes: 4096,
+	}
+}
+
+func TestPlanGroupsAdjacentFusableRuns(t *testing.T) {
+	c := fusionChain(1, 1, &sync.Map{})
+	plan := c.plan()
+	var names []string
+	for _, ps := range plan {
+		names = append(names, ps.name)
+	}
+	if got, want := strings.Join(names, ","), "head,double+inc,tail"; got != want {
+		t.Fatalf("plan = %s, want %s", got, want)
+	}
+	if got := plan[1].covered; len(got) != 2 || got[0] != "double" || got[1] != "inc" {
+		t.Fatalf("fused stage covers %v, want [double inc]", got)
+	}
+
+	c.NoFuse = true
+	if got := len(c.plan()); got != 4 {
+		t.Fatalf("NoFuse plan has %d stages, want 4", got)
+	}
+
+	// A pre-fused stage handed to the chain keeps its own Covers.
+	pre := &Chain{Stages: []Stage{{Name: "a+b", Covers: []string{"a", "b"}}}}
+	if got := pre.plan()[0].covered; len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("pre-fused covers %v, want [a b]", got)
+	}
+}
+
+// Fused and unfused runs must collect identical payloads (fast path and
+// supervised path both).
+func TestRunFusedMatchesUnfused(t *testing.T) {
+	const items, k = 20, 3
+	collect := func(noFuse, supervised bool) map[string]int {
+		var out sync.Map
+		c := fusionChain(items, k, &out)
+		c.NoFuse = noFuse
+		if supervised {
+			c.Recovery = &faults.RecoveryPolicy{Backoff: time.Microsecond}
+		}
+		res, err := c.Run(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Items != items*k {
+			t.Fatalf("collected %d items, want %d", res.Items, items*k)
+		}
+		m := map[string]int{}
+		out.Range(func(k, v any) bool { m[k.(string)] = v.(int); return true })
+		return m
+	}
+	want := collect(true, false)
+	for _, mode := range []struct {
+		name       string
+		supervised bool
+	}{{"fast", false}, {"supervised", true}} {
+		got := collect(false, mode.supervised)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", mode.name, len(got), len(want))
+		}
+		for id, v := range want {
+			if got[id] != v {
+				t.Fatalf("%s: item %s = %d fused, %d unfused", mode.name, id, got[id], v)
+			}
+		}
+	}
+}
+
+// Fusion must cut the simulated hand-off traffic and core count while
+// leaving per-constituent busy attribution comparable.
+func TestSimulateFusionCutsHandoffs(t *testing.T) {
+	sim := func(noFuse bool) SimResult {
+		c := fusionChain(8, 2, &sync.Map{})
+		c.NoFuse = noFuse
+		res, err := c.Simulate(SimSpec{Pipelines: 2, Items: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unfused := sim(true)
+	fused := sim(false)
+	if fused.Items != unfused.Items {
+		t.Fatalf("items differ: fused %d, unfused %d", fused.Items, unfused.Items)
+	}
+	// 5 hand-offs per item unfused (src + 4 stages), 4 fused.
+	if wantU := int64(2 * 8 * 5 * 4096); unfused.HandoffBytes != wantU {
+		t.Fatalf("unfused hand-off bytes = %d, want %d", unfused.HandoffBytes, wantU)
+	}
+	if wantF := int64(2 * 8 * 4 * 4096); fused.HandoffBytes != wantF {
+		t.Fatalf("fused hand-off bytes = %d, want %d", fused.HandoffBytes, wantF)
+	}
+	if fused.CoresUsed >= unfused.CoresUsed {
+		t.Fatalf("fusion did not shrink cores: %d vs %d", fused.CoresUsed, unfused.CoresUsed)
+	}
+	// Busy is attributed per constituent name in both runs.
+	for _, name := range []string{"head", "double", "inc", "tail"} {
+		if fused.StageBusy[name] <= 0 || unfused.StageBusy[name] <= 0 {
+			t.Fatalf("stage %q busy missing: fused %v, unfused %v", name, fused.StageBusy[name], unfused.StageBusy[name])
+		}
+	}
+	if fused.Seconds >= unfused.Seconds {
+		t.Fatalf("fused pipeline not faster in sim: %.6f vs %.6f", fused.Seconds, unfused.Seconds)
+	}
+}
+
+// A fault rule naming a fused-away stage still fires: stage-point
+// transients on an interior constituent and transfer faults on the last
+// one are retried, observed via OnEvent, and the results stay correct.
+func TestSupervisedFusedStageHonoursCoveredFaults(t *testing.T) {
+	const items, k = 10, 2
+	var out sync.Map
+	c := fusionChain(items, k, &out)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 3, Rules: []faults.Rule{
+		{Kind: faults.KindTransient, Pipeline: 0, Stage: "inc", Seq: 2, Times: 2},
+		{Kind: faults.KindTransfer, Pipeline: 1, Stage: "double", Seq: 4, Times: 1},
+	}})
+	var mu sync.Mutex
+	retriesByStage := map[string]int{}
+	c.Recovery = &faults.RecoveryPolicy{
+		Backoff: time.Microsecond,
+		OnEvent: func(e faults.Event) {
+			if e.Kind == faults.EventRetry {
+				mu.Lock()
+				retriesByStage[e.Stage]++
+				mu.Unlock()
+			}
+		},
+	}
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != items*k {
+		t.Fatalf("collected %d items, want %d", res.Items, items*k)
+	}
+	if res.Degraded != nil {
+		t.Fatalf("retried transients must not degrade the run: %v", res.Degraded)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if retriesByStage["inc"] != 2 {
+		t.Errorf("inc (fused away) retries = %d, want 2", retriesByStage["inc"])
+	}
+	if retriesByStage["double"] != 1 {
+		t.Errorf("double (fused away) transfer retries = %d, want 1", retriesByStage["double"])
+	}
+	// Payloads still correct: ((v+1000)*2+1)*10.
+	var want sync.Map
+	cu := fusionChain(items, k, &want)
+	cu.NoFuse = true
+	if _, err := cu.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	want.Range(func(id, v any) bool {
+		got, ok := out.Load(id)
+		if !ok || got != v {
+			t.Fatalf("item %v = %v, want %v", id, got, v)
+		}
+		return true
+	})
+}
+
+// A deterministic death aimed at a fused-away stage's pipeline still
+// redistributes onto survivors.
+func TestSupervisedFusedRunSurvivesDeath(t *testing.T) {
+	const items, k = 12, 3
+	var out sync.Map
+	c := fusionChain(items, k, &out)
+	c.Faults = faults.MustInjector(faults.Plan{Seed: 5, Rules: []faults.Rule{
+		{Kind: faults.KindDeath, Pipeline: 1, Seq: 3},
+	}})
+	c.Recovery = &faults.RecoveryPolicy{Backoff: time.Microsecond}
+	res, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != items*k {
+		t.Fatalf("collected %d items, want %d", res.Items, items*k)
+	}
+	if res.Degraded == nil || len(res.Degraded.DeadPipelines) != 1 {
+		t.Fatalf("degraded = %v, want one dead pipeline", res.Degraded)
+	}
+}

@@ -54,6 +54,31 @@ type Stage struct {
 	// ExtraBytes is stage-private memory traffic per item beyond the
 	// receive and send of the payload (scratch buffers etc.).
 	ExtraBytes func(Item) int
+
+	// Fusable marks a stage that may be merged with adjacent fusable
+	// stages at plan time: a maximal run of fusable stages executes as ONE
+	// planned stage (one goroutine, or one simulated core) that applies
+	// the constituent Fns back to back, eliminating the hand-offs between
+	// them. Mark a stage fusable only if its Fn has no ordering
+	// requirement beyond "after the previous stage on the same item" —
+	// which every pure per-item transform satisfies. Chain.NoFuse opts a
+	// whole run out.
+	Fusable bool
+	// Covers lists the original stage names this stage stands in for, for
+	// fault-injection purposes: supervised runs consult the injector's
+	// stage and transfer rules for every covered name, so a rule naming a
+	// stage that was fused away still fires. Nil means the stage covers
+	// only its own Name. Plan-time fusion fills it in automatically;
+	// callers set it when they hand the chain an already-fused stage.
+	Covers []string
+}
+
+// covers returns the stage's covered names (Covers, or its own Name).
+func (s *Stage) covers() []string {
+	if len(s.Covers) > 0 {
+		return s.Covers
+	}
+	return []string{s.Name}
 }
 
 // Chain is a linear macro pipeline replicated into parallel instances.
@@ -84,6 +109,43 @@ type Chain struct {
 	// is redone from its as-fed snapshot.
 	Faults faults.Injector
 	Recovery *faults.RecoveryPolicy
+
+	// NoFuse disables plan-time fusion of adjacent Fusable stages, keeping
+	// the paper-faithful one-core-per-stage arrangement (every hand-off
+	// paid) even when stages are marked fusable.
+	NoFuse bool
+}
+
+// plannedStage is one stage of the execution plan: a single chain stage,
+// or a fused run of adjacent Fusable stages executed back to back on one
+// core/goroutine.
+type plannedStage struct {
+	name    string
+	parts   []Stage  // constituents in chain order; len 1 = unfused
+	covered []string // all covered names, for fault injection
+}
+
+// plan groups maximal runs of adjacent Fusable stages into single planned
+// stages (unless Chain.NoFuse), leaving everything else one-to-one. Run,
+// Simulate and the supervised path all execute the plan, so fused and
+// unfused arrangements differ only in hand-offs, never in per-item work.
+func (c *Chain) plan() []plannedStage {
+	plan := make([]plannedStage, 0, len(c.Stages))
+	for _, st := range c.Stages {
+		if n := len(plan); !c.NoFuse && st.Fusable && n > 0 && plan[n-1].parts[len(plan[n-1].parts)-1].Fusable {
+			p := &plan[n-1]
+			p.parts = append(p.parts, st)
+			p.name += "+" + st.Name
+			p.covered = append(p.covered, st.covers()...)
+			continue
+		}
+		plan = append(plan, plannedStage{
+			name:    st.Name,
+			parts:   []Stage{st},
+			covered: append([]string(nil), st.covers()...),
+		})
+	}
+	return plan
 }
 
 // Validate reports whether the chain is runnable.
@@ -159,6 +221,7 @@ func (c *Chain) RunContext(ctx context.Context, k int) (RunResult, error) {
 		return c.runSupervised(ctx, k)
 	}
 	start := time.Now()
+	plan := c.plan()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -211,11 +274,11 @@ func (c *Chain) RunContext(ctx context.Context, k int) (RunResult, error) {
 			}
 		})
 		in := head
-		for _, st := range c.Stages {
-			st := st
+		for _, ps := range plan {
+			ps := ps
 			out := make(chan Item, 1)
 			src := in
-			spawn(fmt.Sprintf("stage %s.%d", st.Name, pl), func() error {
+			spawn(fmt.Sprintf("stage %s.%d", ps.name, pl), func() error {
 				for {
 					item, ok, err := recvItem(ctx, src)
 					if err != nil {
@@ -225,8 +288,10 @@ func (c *Chain) RunContext(ctx context.Context, k int) (RunResult, error) {
 						close(out)
 						return nil
 					}
-					if st.Fn != nil {
-						item = st.Fn(item)
+					for _, st := range ps.parts {
+						if st.Fn != nil {
+							item = st.Fn(item)
+						}
 					}
 					if err := sendItem(ctx, out, item); err != nil {
 						return err
@@ -300,11 +365,18 @@ type SimResult struct {
 	// stream early.
 	Items int
 	// StageBusy is each stage's total busy (compute+memory) seconds,
-	// summed over pipelines.
+	// summed over pipelines. Fused runs are attributed per constituent
+	// stage name, so fused and unfused runs of one chain are comparable.
 	StageBusy map[string]float64
-	// CoresUsed counts the SCC cores occupied.
+	// CoresUsed counts the SCC cores occupied. Fused runs of adjacent
+	// stages share one core, so fusion shrinks it.
 	CoresUsed int
 	EnergyJ   float64
+	// HandoffBytes is the total payload traffic through the memory system
+	// for stage-to-stage hand-offs (end-of-stream markers excluded). This
+	// is the quantity stage fusion exists to cut: a fused run pays one
+	// hand-off where the unfused chain pays one per constituent.
+	HandoffBytes int64
 }
 
 // SimSpec configures a simulated run of a chain.
@@ -404,7 +476,8 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 			return SimResult{}, fmt.Errorf("pipe: stage %q has no cost model (run Calibrate)", st.Name)
 		}
 	}
-	needed := spec.Pipelines*(len(c.Stages)+1) + 1
+	plan := c.plan()
+	needed := spec.Pipelines*(len(plan)+1) + 1
 	if needed > scc.NumCores {
 		return SimResult{}, fmt.Errorf("pipe: %d cores needed, chip has %d", needed, scc.NumCores)
 	}
@@ -423,6 +496,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 
 	busy := make(map[string]float64, len(c.Stages))
 	collected := 0
+	var handoff int64
 	var busyMu sync.Mutex // procs run one at a time, but keep vet happy
 
 	next := scc.CoreID(0)
@@ -431,7 +505,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 	for pl := 0; pl < spec.Pipelines; pl++ {
 		pl := pl
 		src := take()
-		cores := make([]scc.CoreID, len(c.Stages))
+		cores := make([]scc.CoreID, len(plan))
 		for i := range cores {
 			cores[i] = take()
 		}
@@ -449,14 +523,21 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 				if spec.FeedCostRef > 0 {
 					chip.ComputeSeconds(p, src, spec.FeedCostRef)
 				}
+				busyMu.Lock()
+				handoff += int64(item.Bytes)
+				busyMu.Unlock()
 				comm.Send(p, src, cores[0], item, item.Bytes)
 			}
 			comm.Send(p, src, cores[0], endOfStream{}, eosBytes)
 		})
-		// Stages: process until the end-of-stream marker arrives, then
-		// forward it and terminate.
-		for i, st := range c.Stages {
-			i, st := i, st
+		// Planned stages: process until the end-of-stream marker arrives,
+		// then forward it and terminate. A fused planned stage applies its
+		// constituents back to back — one receive, one send — with each
+		// constituent's compute, extra traffic, injected faults and busy
+		// time accounted under its own name, so fused and unfused results
+		// are directly comparable.
+		for i, ps := range plan {
+			i, ps := i, ps
 			from := src
 			if i > 0 {
 				from = cores[i-1]
@@ -465,7 +546,7 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 			if i+1 < len(cores) {
 				to = cores[i+1]
 			}
-			eng.Spawn(fmt.Sprintf("%s%d", st.Name, pl), func(p *des.Proc) {
+			eng.Spawn(fmt.Sprintf("%s%d", ps.name, pl), func(p *des.Proc) {
 				for {
 					m, _ := comm.Recv(p, cores[i], from)
 					if _, end := m.Payload.(endOfStream); end {
@@ -473,18 +554,30 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 						return
 					}
 					item := m.Payload.(Item)
-					t0 := p.Now()
-					simInject(p, spec.Injector, false, pl, st.Name, item.Seq)
-					chip.ComputeSeconds(p, cores[i], st.CostRef(item))
-					if st.ExtraBytes != nil {
-						chip.MemRead(p, cores[i], st.ExtraBytes(item))
+					for _, st := range ps.parts {
+						t0 := p.Now()
+						for _, name := range st.covers() {
+							simInject(p, spec.Injector, false, pl, name, item.Seq)
+						}
+						chip.ComputeSeconds(p, cores[i], st.CostRef(item))
+						if st.ExtraBytes != nil {
+							chip.MemRead(p, cores[i], st.ExtraBytes(item))
+						}
+						if st.Fn != nil {
+							item = st.Fn(item) // propagate size changes
+						}
+						// The hand-off fault point of every covered stage
+						// still fires, charged to the planned stage's single
+						// outgoing send.
+						for _, name := range st.covers() {
+							simInject(p, spec.Injector, true, pl, name, item.Seq)
+						}
+						busyMu.Lock()
+						busy[st.Name] += p.Now() - t0
+						busyMu.Unlock()
 					}
-					if st.Fn != nil {
-						item = st.Fn(item) // propagate size changes
-					}
-					simInject(p, spec.Injector, true, pl, st.Name, item.Seq)
 					busyMu.Lock()
-					busy[st.Name] += p.Now() - t0
+					handoff += int64(item.Bytes)
 					busyMu.Unlock()
 					comm.Send(p, cores[i], to, item, item.Bytes)
 				}
@@ -517,10 +610,11 @@ func (c *Chain) Simulate(spec SimSpec) (SimResult, error) {
 	}
 	sec := eng.Now()
 	return SimResult{
-		Seconds:   sec,
-		Items:     collected,
-		StageBusy: busy,
-		CoresUsed: chip.UsedCount(),
-		EnergyJ:   chip.Energy(0, sec),
+		Seconds:      sec,
+		Items:        collected,
+		StageBusy:    busy,
+		CoresUsed:    chip.UsedCount(),
+		EnergyJ:      chip.Energy(0, sec),
+		HandoffBytes: handoff,
 	}, nil
 }

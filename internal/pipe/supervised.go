@@ -158,20 +158,23 @@ func (c *Chain) runSupervised(parent context.Context, k int) (RunResult, error) 
 
 	// Stage chains: like the fast path, but every application goes through
 	// faults.Apply and the last stage emits into the shared completion
-	// channel.
+	// channel. The chains run the execution plan, so a fused run occupies
+	// one goroutine while still honouring every covered stage's fault
+	// rules (see runStage).
+	plan := c.plan()
 	for p := 0; p < k; p++ {
 		p := p
 		in := s.ins[p]
-		for si, st := range c.Stages {
-			st := st
-			last := si == len(c.Stages)-1
+		for si, ps := range plan {
+			ps := ps
+			last := si == len(plan)-1
 			var out chan Item
 			if !last {
 				out = make(chan Item, 1)
 			}
 			src, dst := in, out
-			spawn(fmt.Sprintf("stage %s.%d", st.Name, p), func() error {
-				return s.runStage(p, st, last, src, dst)
+			spawn(fmt.Sprintf("stage %s.%d", ps.name, p), func() error {
+				return s.runStage(p, ps, last, src, dst)
 			})
 			in = out
 		}
@@ -216,12 +219,28 @@ func (c *Chain) runSupervised(parent context.Context, k int) (RunResult, error) 
 	return res, nil
 }
 
-// runStage is one supervised stage goroutine: it applies the stage (and
-// its hand-off) under the recovery policy and escalates dead verdicts.
-func (s *supervised) runStage(p int, st Stage, last bool, src <-chan Item, dst chan<- Item) error {
+// runStage is one supervised stage goroutine: it applies the planned
+// stage (and its hand-off) under the recovery policy and escalates dead
+// verdicts.
+//
+// Fused fault semantics: for each constituent, the injector's stage-point
+// rules are consulted for every name the constituent covers — a pure
+// consultation (no work attached) for all but the last, so injected
+// delays, transient errors, stalls and deaths aimed at a fused-away stage
+// still fire — and the constituent's Fn runs exactly once, attached to
+// the last covered name's consultation (faults.Apply never re-runs work
+// on injected failures, so this is retry-safe). The planned stage's
+// single outgoing hand-off then consults the transfer-point rules of
+// every covered name.
+func (s *supervised) runStage(p int, ps plannedStage, last bool, src <-chan Item, dst chan<- Item) error {
 	pctx := s.pctx[p]
 	reportDeath := func(reason string) {
 		s.deaths <- deathNote{pipeline: p, reason: reason} // buffered: never blocks
+	}
+	apply := func(transfer bool, name string, seq int, work func() error) (exit bool, err error) {
+		ap := faults.Apply(pctx, s.inj, &s.pol, transfer, p, name, seq, work)
+		atomic.AddInt64(&s.retries, int64(ap.Retries))
+		return s.afterVerdict(ap, name, reportDeath)
 	}
 	for {
 		var item Item
@@ -241,22 +260,30 @@ func (s *supervised) runStage(p int, st Stage, last bool, src <-chan Item, dst c
 			reportDeath(fmt.Sprintf("injected core death at item %d", item.Seq))
 			return nil
 		}
-		ap := faults.Apply(pctx, s.inj, &s.pol, false, p, st.Name, item.Seq, func() error {
-			if st.Fn != nil {
-				item = st.Fn(item)
+		for pi := range ps.parts {
+			st := &ps.parts[pi]
+			names := st.covers()
+			for _, name := range names[:len(names)-1] {
+				if exit, err := apply(false, name, item.Seq, nil); exit {
+					return err
+				}
 			}
-			return nil
-		})
-		atomic.AddInt64(&s.retries, int64(ap.Retries))
-		if exit, err := s.afterVerdict(ap, st.Name, reportDeath); exit {
-			return err
+			if exit, err := apply(false, names[len(names)-1], item.Seq, func() error {
+				if st.Fn != nil {
+					item = st.Fn(item)
+				}
+				return nil
+			}); exit {
+				return err
+			}
 		}
 		// The hand-off to the next stage (or the sink) is its own fault
-		// point: flaky transfers are retried, slow ones delayed.
-		ap = faults.Apply(pctx, s.inj, &s.pol, true, p, st.Name, item.Seq, nil)
-		atomic.AddInt64(&s.retries, int64(ap.Retries))
-		if exit, err := s.afterVerdict(ap, st.Name, reportDeath); exit {
-			return err
+		// point: flaky transfers are retried, slow ones delayed. Every
+		// covered name's transfer rules guard the one physical hand-off.
+		for _, name := range ps.covered {
+			if exit, err := apply(true, name, item.Seq, nil); exit {
+				return err
+			}
 		}
 		out := dst
 		if last {

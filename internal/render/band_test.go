@@ -1,0 +1,65 @@
+package render
+
+import (
+	"math/rand"
+	"testing"
+
+	"sccpipe/internal/band"
+	"sccpipe/internal/frame"
+)
+
+var bandScene = BuildOctree(randTris(rand.New(rand.NewSource(23)), 400))
+
+// Band-parallel rasterization must be pixel- and stat-identical to the
+// serial path for every pool size, full frames and strips alike.
+func TestRenderStripBandsMatchSerial(t *testing.T) {
+	const fullW, fullH = 96, 128
+	cams := Walkthrough(3, bandScene.Bounds())
+	serial := NewRenderer(bandScene)
+	for _, pool := range []*band.Pool{band.Serial, band.New(2), band.New(3), band.New(8)} {
+		banded := NewRenderer(bandScene)
+		banded.Bands = pool
+		for _, strip := range [][2]int{{0, fullH}, {0, fullH / 3}, {fullH / 3, 2 * fullH / 3}, {fullH - 17, fullH}} {
+			y0, y1 := strip[0], strip[1]
+			for fi, cam := range cams {
+				want := frame.New(fullW, y1-y0)
+				got := frame.New(fullW, y1-y0)
+				wantSt := serial.RenderStrip(cam, want, fullW, fullH, y0)
+				gotSt := banded.RenderStrip(cam, got, fullW, fullH, y0)
+				if !got.Equal(want) {
+					t.Fatalf("pool par=%d strip [%d,%d) frame %d: pixels differ from serial", pool.Parallelism(), y0, y1, fi)
+				}
+				if gotSt != wantSt {
+					t.Fatalf("pool par=%d strip [%d,%d) frame %d: stats %+v != %+v", pool.Parallelism(), y0, y1, fi, gotSt, wantSt)
+				}
+			}
+		}
+	}
+}
+
+// Short strips fall back to the serial path rather than degenerate bands.
+func TestRenderStripShortFallback(t *testing.T) {
+	r := NewRenderer(bandScene)
+	r.Bands = band.New(8)
+	cam := Walkthrough(1, bandScene.Bounds())[0]
+	img := frame.New(64, 9) // under 2*minRenderBandRows: single band
+	want := frame.New(64, 9)
+	NewRenderer(bandScene).RenderStrip(cam, want, 64, 64, 3)
+	r.RenderStrip(cam, img, 64, 64, 3)
+	if !img.Equal(want) {
+		t.Fatal("short-strip fallback differs from serial render")
+	}
+}
+
+// A warmed band-parallel renderer does not allocate per frame.
+func TestRenderStripBandsSteadyStateAllocs(t *testing.T) {
+	r := NewRenderer(bandScene)
+	r.Bands = band.New(4)
+	cam := Walkthrough(1, bandScene.Bounds())[0]
+	img := frame.New(128, 128)
+	r.RenderStrip(cam, img, 128, 128, 0) // warm slots, zbufs, cull scratch
+	avg := testing.AllocsPerRun(20, func() { r.RenderStrip(cam, img, 128, 128, 0) })
+	if avg > 0 {
+		t.Fatalf("banded RenderStrip allocates %.1f objects per frame, want 0", avg)
+	}
+}

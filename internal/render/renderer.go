@@ -1,6 +1,9 @@
 package render
 
-import "sccpipe/internal/frame"
+import (
+	"sccpipe/internal/band"
+	"sccpipe/internal/frame"
+)
 
 // Stats aggregates the measurable work of one render call; the simulation's
 // render cost model consumes these counts.
@@ -17,10 +20,37 @@ type Stats struct {
 // and clip scratch are reused across frames, so a walkthrough render loop
 // is allocation-free in steady state.
 type Renderer struct {
-	Tree   *Octree
+	Tree *Octree
+	// Bands, when set to a parallel pool, rasterizes independent row bands
+	// of each strip concurrently: culling runs once, then each band replays
+	// the surviving triangles into its own disjoint row range with its own
+	// depth buffer. Pixels are identical to the serial path (each pixel's
+	// result depends only on the triangle stream, never on other rows), so
+	// banding is purely an intra-stage speedup. Nil or a serial pool keeps
+	// the single-goroutine path.
+	Bands  *band.Pool
 	culled []int32    // reusable scratch for culling results
 	rast   Rasterizer // reusable depth buffer + clip scratch
+
+	// Band-rasterization state: one slot per band (sub-view + rasterizer,
+	// both reused across frames) and the dispatch closure, built once.
+	bands  []renderBand
+	bandFn func(int)
+	vp     Mat4
+	nb     int
 }
+
+// renderBand is one band's reusable rasterization state. The image is a
+// zero-copy row view of the strip being rendered; the rasterizer keeps its
+// own depth buffer for the band's rows.
+type renderBand struct {
+	rast Rasterizer
+	img  frame.Image
+}
+
+// minRenderBandRows keeps rasterization bands from shrinking below the
+// point where per-band triangle setup outweighs the fill work.
+const minRenderBandRows = 16
 
 // NewRenderer wraps a built scene octree.
 func NewRenderer(tree *Octree) *Renderer { return &Renderer{Tree: tree} }
@@ -31,18 +61,53 @@ func NewRenderer(tree *Octree) *Renderer { return &Renderer{Tree: tree} }
 // Every pixel of img is overwritten, so pooled buffers with stale contents
 // are fine.
 func (r *Renderer) RenderStrip(cam Camera, img *frame.Image, fullW, fullH, y0 int) Stats {
-	r.rast.Reset(img, fullW, fullH, y0)
 	cull := cam.StripFrustum(fullW, fullH, y0, y0+img.H)
 	var st Stats
 	r.culled, st.CullStats = r.Tree.Cull(cull, r.culled[:0])
 	vp := cam.ViewProjection(fullW, fullH)
-	for _, ti := range r.culled {
-		r.rast.DrawTriangle(vp, r.Tree.Triangles[ti])
-	}
-	st.Filled = r.rast.Filled
-	st.Candidates = r.rast.Candidates
 	st.TrisDrawn = len(r.culled)
+	nb := r.Bands.Parallelism()
+	if nb > img.H/minRenderBandRows {
+		nb = img.H / minRenderBandRows
+	}
+	if nb <= 1 {
+		r.rast.Reset(img, fullW, fullH, y0)
+		for _, ti := range r.culled {
+			r.rast.DrawTriangle(vp, r.Tree.Triangles[ti])
+		}
+		st.Filled = r.rast.Filled
+		st.Candidates = r.rast.Candidates
+		return st
+	}
+	for len(r.bands) < nb {
+		r.bands = append(r.bands, renderBand{})
+	}
+	for b := 0; b < nb; b++ {
+		b0, b1 := frame.StripBounds(img.H, nb, b)
+		slot := &r.bands[b]
+		slot.img = frame.Image{W: img.W, H: b1 - b0, Pix: img.Pix[b0*img.W*4 : b1*img.W*4]}
+		slot.rast.Reset(&slot.img, fullW, fullH, y0+b0)
+	}
+	if r.bandFn == nil {
+		r.bandFn = r.rasterBand
+	}
+	r.vp, r.nb = vp, nb
+	r.Bands.Run(nb, r.bandFn)
+	for b := 0; b < nb; b++ {
+		st.Filled += r.bands[b].rast.Filled
+		st.Candidates += r.bands[b].rast.Candidates
+	}
 	return st
+}
+
+// rasterBand replays the culled triangle stream into one band. Bands write
+// disjoint row ranges and share only the read-only cull result, the scene,
+// and the view-projection.
+func (r *Renderer) rasterBand(b int) {
+	slot := &r.bands[b]
+	for _, ti := range r.culled {
+		slot.rast.DrawTriangle(r.vp, r.Tree.Triangles[ti])
+	}
 }
 
 // RenderFrame renders the whole frame (a strip spanning every row).

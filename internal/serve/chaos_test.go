@@ -330,6 +330,12 @@ func TestHardStopBoundsDrain(t *testing.T) {
 // complete every frame. The barrage length scales with CHAOS_SOAK_JOBS
 // (make chaos-soak raises it and adds -race); the default stays small so
 // the deterministic short version rides along in `make check`.
+//
+// CHAOS_SOAK_FUSE=1 (set by make chaos-soak) additionally runs the soak
+// with band-parallel stages, so the race detector sweeps the fused pass
+// and the band pool while faults land on fused-away stage names;
+// CHAOS_SOAK_FUSE=0 soaks the unfused five-stage layout instead. Unset,
+// the server default (fusion on, serial bands) is soaked.
 func TestChaosSoak(t *testing.T) {
 	jobs := 6
 	if v := os.Getenv("CHAOS_SOAK_JOBS"); v != "" {
@@ -345,7 +351,14 @@ func TestChaosSoak(t *testing.T) {
 		{Kind: faults.KindTransferSlow, Pipeline: faults.Any, Seq: faults.Any, Prob: 0.1, Delay: 200 * time.Microsecond},
 		{Kind: faults.KindDeath, Pipeline: 1, Seq: 2},
 	}}
-	s := New(Config{Workers: 2, QueueDepth: 64, Chaos: plan, Recovery: quickChaosRecovery()})
+	cfg := Config{Workers: 2, QueueDepth: 64, Chaos: plan, Recovery: quickChaosRecovery()}
+	switch os.Getenv("CHAOS_SOAK_FUSE") {
+	case "1":
+		cfg.StageWorkers = 2 // fused (the default) + parallel bands
+	case "0":
+		cfg.NoFuse = true
+	}
+	s := New(cfg)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

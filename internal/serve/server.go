@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sccpipe/internal/band"
 	"sccpipe/internal/core"
 	"sccpipe/internal/faults"
 	"sccpipe/internal/frame"
@@ -67,6 +68,17 @@ type Config struct {
 	Scene []render.Triangle
 	// Log receives one line per job outcome; nil disables logging.
 	Log *log.Logger
+
+	// StageWorkers sizes the shared band-parallel worker pool each render
+	// job's stages (blur, the fused point pass, the rasterizer) split their
+	// strips across: 0 uses the process-wide default pool (GOMAXPROCS
+	// workers), 1 forces serial stages, and n > 1 builds a dedicated pool of
+	// n workers shared by every job.
+	StageWorkers int
+	// NoFuse disables stage fusion for render jobs: each of the five
+	// filters runs as its own pipeline stage (the paper-faithful layout)
+	// instead of adjacent per-pixel stages sharing one pass over the strip.
+	NoFuse bool
 
 	// Breaker configures the circuit breaker in front of admission; the
 	// zero value disables it. See BreakerConfig.
@@ -123,6 +135,10 @@ type Server struct {
 	// of re-allocating per frame.
 	pool *frame.Pool
 
+	// bands is the band-parallel worker pool shared by every render job's
+	// stages, sized by Config.StageWorkers.
+	bands *band.Pool
+
 	// room bounds total admitted jobs (running + waiting); slots bounds
 	// running pipeline jobs. Both are counting semaphores.
 	room  chan struct{}
@@ -165,6 +181,7 @@ func New(cfg Config) *Server {
 		tree:     render.BuildOctree(tris),
 		m:        stats.NewCounters(),
 		pool:     frame.NewPool(),
+		bands:    core.BandPool(cfg.StageWorkers),
 		room:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		slots:    make(chan struct{}, cfg.Workers),
 		wls:      make(map[[3]int]*core.Workload),
@@ -401,6 +418,8 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		return err
 	}
 	es.Pool = s.pool
+	es.Bands = s.bands
+	es.NoFuse = s.cfg.NoFuse
 	es.Observer = core.ExecObserver{
 		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) {
 			s.m.Add(stageBusyKey("exec", kind.String()), busy.Seconds())

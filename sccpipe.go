@@ -56,6 +56,7 @@ import (
 	"fmt"
 	"io"
 
+	"sccpipe/internal/band"
 	"sccpipe/internal/core"
 	"sccpipe/internal/experiments"
 	"sccpipe/internal/faults"
@@ -109,6 +110,9 @@ type (
 	TracePhaseTotals = trace.PhaseTotals
 	// Band is one strip's row range in a sort-first decomposition.
 	Band = core.Band
+	// StagePool is a reusable worker pool for intra-stage band
+	// parallelism; plug one into ExecSpec.Bands (see NewStagePool).
+	StagePool = band.Pool
 )
 
 // Stage kinds.
@@ -172,6 +176,13 @@ func SimulateSingleCore(spec Spec, wl *Workload, stages []StageKind, opts SimOpt
 
 // SingleCoreStages is the full baseline stage sequence.
 var SingleCoreStages = core.SingleCoreStages
+
+// NewStagePool sizes a worker pool for intra-stage band parallelism from
+// a worker-count knob: 0 returns the process-wide GOMAXPROCS-sized
+// default pool, 1 a serial (caller-runs) pool, and n > 1 a dedicated
+// n-worker pool. Assign the result to ExecSpec.Bands; blur, the fused
+// per-pixel pass, and the renderer split their rows across it.
+func NewStagePool(workers int) *StagePool { return core.BandPool(workers) }
 
 // Exec runs the pipeline for real over actual pixels. Frame buffers are
 // pooled: the img passed to sink is valid only during the callback and is
@@ -450,6 +461,9 @@ type (
 	ParetoResult = experiments.ParetoResult
 	// CacheStudyResult measures filter access patterns on the cache model.
 	CacheStudyResult = experiments.CacheStudyResult
+	// FusionResult compares the fused and unfused stage layouts on the
+	// SCC model: hand-off traffic, occupied cores, walkthrough seconds.
+	FusionResult = experiments.FusionResult
 )
 
 // DefaultExpSetup returns the paper's 400-frame experiment setup.
@@ -475,4 +489,5 @@ var (
 	RunAdaptive   = experiments.RunAdaptive
 	RunDVFSPareto = experiments.RunDVFSPareto
 	RunCacheStudy = experiments.RunCacheStudy
+	RunFusion     = experiments.RunFusion
 )
