@@ -3,9 +3,9 @@ GO ?= go
 # The hot-path benchmarks snapshotted into BENCH_pipeline.json: kernel
 # pairs (optimized vs reference), the strip split/assemble round trip, the
 # renderer, and the end-to-end pipeline + serve runs.
-BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkServeConcurrentJobs)
+BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs)
 
-.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke fuzz chaos-soak check
+.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ bench-compare:
 serve-smoke:
 	$(GO) test -tags servesmoke -run TestServeSmoke -count=1 ./cmd/sccserved
 
+# Planner ablation smoke: a shortened run of the profile-driven plan
+# experiment — the computed mapping must price, simulate, and beat the
+# static one on the synthetic imbalance (asserted by the experiment's own
+# test; this target exercises the CLI path end to end).
+plan-smoke:
+	$(GO) run ./cmd/paperrepro -exp plan -frames 64
+
 # Chaos soak: a seeded fault-injection barrage against the render service
 # under the race detector — every job must survive injected transients,
 # flaky transfers, and a pipeline death via re-partitioning. The barrage
@@ -83,4 +90,4 @@ fuzz:
 # detector (the pipeline backends are heavily concurrent — this includes
 # the short chaos soak and the fuzz seed corpora as regression tests),
 # then the service smoke sequence against the real binary.
-check: vet race test-framedebug serve-smoke
+check: vet race test-framedebug serve-smoke plan-smoke

@@ -25,6 +25,7 @@ import (
 	"sccpipe/internal/filters"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/pipe"
+	"sccpipe/internal/plan"
 	"sccpipe/internal/rcce"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scc"
@@ -413,6 +414,56 @@ func benchExecPipeline(b *testing.B, noFuse bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Exec(spec, tree, cams, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The planned-exec pair records what the profile-driven planner buys on
+// real wall clock. The workload is deliberately mis-mapped for the static
+// layout: the n-renderer configuration at k=6 on a small frame duplicates
+// the whole-scene culling and triangle setup in every pipeline, so on a
+// machine with few cores the static replication factor wastes most of its
+// work. The planner sees the duplication in the cost profile (and the
+// machine's parallel capacity in Workers) and picks the replication and
+// fusion boundaries to match; pixels stay byte-identical per chosen k.
+func benchExecPlanned(b *testing.B, planned bool) {
+	b.Helper()
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	spec := core.ExecSpec{Frames: 6, Width: 256, Height: 192, Pipelines: 6,
+		Renderer: core.NRenderers, Seed: 1}
+	if planned {
+		wl := core.BuildWorkload(tree, spec.Frames, spec.Width, spec.Height)
+		pr := plan.ModelProfile(core.DefaultCostModel(), wl)
+		p, err := plan.Compute(pr, plan.Config{Renderer: core.NRenderers, Height: spec.Height})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.ApplyExec(&spec, true)
+		b.Logf("plan: %s", p)
+	}
+	cams := render.Walkthrough(spec.Frames, tree.Bounds())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Exec(spec, tree, cams, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecPipelinePlanStatic(b *testing.B)   { benchExecPlanned(b, false) }
+func BenchmarkExecPipelinePlanProfiled(b *testing.B) { benchExecPlanned(b, true) }
+
+// BenchmarkPlanCompute measures the planner search itself (every
+// replication factor × fusion grouping × greedy worker assignment) — the
+// cost the online controller pays per re-plan.
+func BenchmarkPlanCompute(b *testing.B) {
+	s := benchSetup()
+	pr := plan.ModelProfile(core.DefaultCostModel(), experiments.Workload(s))
+	cfg := plan.Config{Renderer: core.NRenderers, Height: s.Height, Workers: 48}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Compute(pr, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	paperrepro [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table1|energy
-//	                |ablation|adaptive|pareto|cachestudy]
+//	                |ablation|adaptive|pareto|cachestudy|fusion|plan]
 //	           [-frames N] [-csv DIR]
 package main
 
@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperrepro: ")
-	exp := flag.String("exp", "all", "experiment to run (fig8..fig17, table1, energy, ablation, adaptive, pareto, cachestudy, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig8..fig17, table1, energy, ablation, adaptive, pareto, cachestudy, fusion, plan, all)")
 	frames := flag.Int("frames", 400, "walkthrough length in frames")
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's data as CSV into this directory")
 	flag.Parse()
@@ -74,6 +74,9 @@ func main() {
 		}},
 		{"fusion", func(s experiments.Setup) error {
 			return show("Fusion — stage fusion vs hand-off traffic", experiments.RunFusion, s)
+		}},
+		{"plan", func(s experiments.Setup) error {
+			return show("Plan — profile-driven mapping vs static", experiments.RunPlan, s)
 		}},
 	}
 

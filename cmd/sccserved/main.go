@@ -26,6 +26,12 @@
 // of a dead pipeline's work show up in /metrics and in the job summaries.
 // The -breaker-threshold flag arms a circuit breaker that rejects
 // submissions after repeated job failures until a cooldown probe succeeds.
+//
+// The -plan flag replaces the hard-coded stage layout with a
+// profile-driven one: "profile" computes a cost-model plan once at
+// startup, "online" additionally watches the per-stage busy balance and
+// re-plans when it drifts (threshold set by -replan-drift). Jobs that pin
+// their pipeline count keep byte-identical pixels under every plan.
 package main
 
 import (
@@ -55,6 +61,8 @@ func main() {
 		queue        = flag.Int("queue", 8, "waiting room beyond running jobs (negative disables queuing)")
 		stageWorkers = flag.Int("stage-workers", 0, "band-parallel workers per pipeline stage (0 = GOMAXPROCS default pool, 1 = serial stages)")
 		noFuse       = flag.Bool("no-fuse", false, "disable stage fusion; run each filter as its own pipeline stage")
+		planMode     = flag.String("plan", "static", "stage-mapping mode: static (built-in layout), profile (cost-model plan at startup), online (re-plan on observed drift)")
+		replanDrift  = flag.Float64("replan-drift", 0, "online re-plan threshold: relative stage busy-share drift (0 = planner default)")
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "deadline for jobs that do not set one")
 		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
@@ -127,6 +135,8 @@ func main() {
 		QueueDepth:     *queue,
 		StageWorkers:   *stageWorkers,
 		NoFuse:         *noFuse,
+		Plan:           *planMode,
+		ReplanDrift:    *replanDrift,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drainTimeout,

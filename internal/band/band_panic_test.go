@@ -1,0 +1,138 @@
+package band
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These are the regression tests for the Run panic paths: whether band 0
+// (on the caller) or a worker band panics, the pooled run handle must
+// still be awaited (no worker may touch it after Run returns), reset, and
+// returned to runPool — a leaked or dirty handle would resurface a stale
+// panic or a stale fn in a later, unrelated Run.
+
+// runExpectPanic invokes p.Run and returns the recovered panic value (nil
+// if none propagated).
+func runExpectPanic(p *Pool, n int, fn func(int)) (recovered any) {
+	defer func() { recovered = recover() }()
+	p.Run(n, fn)
+	return nil
+}
+
+func TestRunPanicInBand0AwaitsWorkers(t *testing.T) {
+	p := New(4)
+	const n = 8
+	var done atomic.Int32
+	v := runExpectPanic(p, n, func(b int) {
+		if b == 0 {
+			panic("band zero down")
+		}
+		// Slow workers: if Run's cleanup failed to wait, these would still
+		// be running when the panic reaches the caller.
+		time.Sleep(5 * time.Millisecond)
+		done.Add(1)
+	})
+	if v != "band zero down" {
+		t.Fatalf("recovered %v, want band-0 panic", v)
+	}
+	// The handle was awaited: every dispatched band finished before Run
+	// unwound, even though the caller's own band died instantly.
+	if got := done.Load(); got != n-1 {
+		t.Fatalf("%d of %d worker bands finished before Run returned", got, n-1)
+	}
+	assertPoolClean(t, p)
+}
+
+func TestRunPanicInWorker(t *testing.T) {
+	p := New(4)
+	const n = 8
+	var done atomic.Int32
+	v := runExpectPanic(p, n, func(b int) {
+		if b == 3 {
+			panic("worker band down")
+		}
+		done.Add(1)
+	})
+	if v != "worker band down" {
+		t.Fatalf("recovered %v, want worker panic", v)
+	}
+	if got := done.Load(); got != n-1 {
+		t.Fatalf("%d of %d surviving bands finished", got, n-1)
+	}
+	assertPoolClean(t, p)
+}
+
+func TestRunPanicInBand0AndWorker(t *testing.T) {
+	p := New(4)
+	v := runExpectPanic(p, 8, func(b int) {
+		if b == 0 {
+			panic("caller down")
+		}
+		if b == 5 {
+			panic("worker down")
+		}
+	})
+	if v != "caller down" && v != "worker down" {
+		t.Fatalf("recovered %v, want one of the two injected panics", v)
+	}
+	assertPoolClean(t, p)
+}
+
+// assertPoolClean drives many post-panic runs through the pool and checks
+// that no stale panic or stale band function resurfaces from a recycled
+// run handle, and that every band executes exactly once per run.
+func assertPoolClean(t *testing.T, p *Pool) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		const n = 6
+		var ran [n]atomic.Int32
+		if v := runExpectPanic(p, n, func(b int) { ran[b].Add(1) }); v != nil {
+			t.Fatalf("post-panic run %d resurfaced panic %v from a dirty handle", i, v)
+		}
+		for b := range ran {
+			if got := ran[b].Load(); got != 1 {
+				t.Fatalf("post-panic run %d: band %d ran %d times", i, b, got)
+			}
+		}
+	}
+}
+
+// TestRunHandleRecycledAfterPanics interleaves panicking and clean runs to
+// exercise handle reuse under churn from multiple goroutines.
+func TestRunHandleRecycledAfterPanics(t *testing.T) {
+	p := New(3)
+	doneCh := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { doneCh <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				if i%3 == 0 {
+					if v := runExpectPanic(p, 5, func(b int) {
+						if b == i%5 {
+							panic(i)
+						}
+					}); v == nil {
+						// Band i%5 always exists for n=5, so a panic must
+						// propagate every time.
+						t.Error("injected panic did not propagate")
+						return
+					}
+				} else {
+					var sum atomic.Int32
+					if v := runExpectPanic(p, 5, func(b int) { sum.Add(int32(b)) }); v != nil {
+						t.Errorf("clean run panicked: %v", v)
+						return
+					}
+					if sum.Load() != 10 {
+						t.Errorf("clean run computed %d, want 10", sum.Load())
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-doneCh
+	}
+}

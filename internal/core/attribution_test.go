@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"sccpipe/internal/faults"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+// busyProfile collects OnStageBusy reports by kind, concurrency-safe.
+type busyProfile struct {
+	mu   sync.Mutex
+	busy map[StageKind]time.Duration
+}
+
+func newBusyProfile() *busyProfile {
+	return &busyProfile{busy: make(map[StageKind]time.Duration)}
+}
+
+func (p *busyProfile) observer() ExecObserver {
+	return ExecObserver{OnStageBusy: func(kind StageKind, _ int, busy time.Duration) {
+		p.mu.Lock()
+		p.busy[kind] += busy
+		p.mu.Unlock()
+	}}
+}
+
+// TestFusedBusyAttribution is the regression test for the fused-stage
+// accounting bug: a fused run used to report its busy time under the
+// opaque StageFused label, so per-stage profiles (and the serve metrics
+// built on them) lost the covered stages entirely and could not be
+// compared against NoFuse runs. Now a fused pass must be attributed across
+// its constituent kinds: the fused profile exposes exactly the same stage
+// set as the unfused one, and never StageFused.
+func TestFusedBusyAttribution(t *testing.T) {
+	cams := render.Walkthrough(6, execScene.Bounds())
+	wantKinds := []StageKind{StageRender, StageSepia, StageBlur, StageScratch, StageFlicker, StageSwap, StageTransfer}
+
+	run := func(noFuse, supervised bool) *busyProfile {
+		t.Helper()
+		spec := execSpecForTest(2, OneRenderer)
+		spec.NoFuse = noFuse
+		prof := newBusyProfile()
+		spec.Observer = prof.observer()
+		if supervised {
+			spec.Recovery = &faults.RecoveryPolicy{}
+		}
+		if _, err := Exec(spec, execScene, cams, func(int, *frame.Image) {}); err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+
+	for _, supervised := range []bool{false, true} {
+		fused := run(false, supervised)
+		unfused := run(true, supervised)
+		for _, prof := range []*busyProfile{fused, unfused} {
+			if d, ok := prof.busy[StageFused]; ok {
+				t.Fatalf("supervised=%v: observer saw StageFused (%v); fused busy must be attributed to the covered stages", supervised, d)
+			}
+			for _, k := range wantKinds {
+				if prof.busy[k] <= 0 {
+					t.Errorf("supervised=%v: stage %v missing from profile %v", supervised, k, prof.busy)
+				}
+			}
+			if len(prof.busy) != len(wantKinds) {
+				t.Errorf("supervised=%v: profile has kinds %v, want exactly %v", supervised, prof.busy, wantKinds)
+			}
+		}
+	}
+}
+
+// TestFusedBusySplitsExactly checks the attribution arithmetic: the
+// durations handed to the observer for one fused pass sum exactly to the
+// measured wall time (the last constituent absorbs rounding), and follow
+// the cost-model proportions.
+func TestFusedBusySplitsExactly(t *testing.T) {
+	kinds := []StageKind{StageScratch, StageFlicker, StageSwap}
+	shares := DefaultCostModel().FusedShares(kinds)
+
+	var got []time.Duration
+	obs := ExecObserver{OnStageBusy: func(_ StageKind, _ int, busy time.Duration) {
+		got = append(got, busy)
+	}}
+	if err := obs.fusedBusy(kinds, shares, 0, func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(kinds) {
+		t.Fatalf("got %d reports, want %d", len(got), len(kinds))
+	}
+	var sum time.Duration
+	for _, d := range got {
+		if d < 0 {
+			t.Fatalf("negative attributed duration %v in %v", d, got)
+		}
+		sum += d
+	}
+	// The parts reassemble the single measurement, so their sum covers at
+	// least the slept wall time — nothing was dropped in the split.
+	if sum < 2*time.Millisecond {
+		t.Fatalf("attributed durations %v sum to %v, less than the 2ms measured", got, sum)
+	}
+	for i := 0; i < len(kinds)-1; i++ {
+		frac := float64(got[i]) / float64(sum)
+		if math.Abs(frac-shares[i]) > 0.02 {
+			t.Errorf("constituent %v got fraction %.3f, want share %.3f", kinds[i], frac, shares[i])
+		}
+	}
+}
+
+func TestFusedShares(t *testing.T) {
+	m := DefaultCostModel()
+	kinds := []StageKind{StageScratch, StageFlicker, StageSwap}
+	shares := m.FusedShares(kinds)
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares %v sum to %v, want 1", shares, sum)
+	}
+	// Proportionality to the model weights.
+	want := m.FilterCompute[StageScratch] / (m.FilterCompute[StageScratch] + m.FilterCompute[StageFlicker] + m.FilterCompute[StageSwap])
+	if math.Abs(shares[0]-want) > 1e-12 {
+		t.Fatalf("scratch share %v, want %v", shares[0], want)
+	}
+}

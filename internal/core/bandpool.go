@@ -1,6 +1,10 @@
 package core
 
-import "sccpipe/internal/band"
+import (
+	"sync"
+
+	"sccpipe/internal/band"
+)
 
 // This file wires the shared band-parallel executor (internal/band) into
 // the real execution paths: the heavy stages — blur, the fused point pass,
@@ -14,6 +18,29 @@ func (s ExecSpec) bandPool() *band.Pool {
 		return s.Bands
 	}
 	return band.Default()
+}
+
+// Dedicated pools by worker count, shared process-wide. A band.Pool's
+// workers never terminate, so plan-specified per-stage fan-outs must reuse
+// one pool per size rather than building — and leaking — a pool per run.
+var (
+	sizedPoolMu sync.Mutex
+	sizedPools  = map[int]*band.Pool{}
+)
+
+// bandPoolFor resolves a StagePlan worker count onto a cached pool.
+func bandPoolFor(workers int) *band.Pool {
+	if workers <= 1 {
+		return band.Serial
+	}
+	sizedPoolMu.Lock()
+	defer sizedPoolMu.Unlock()
+	p := sizedPools[workers]
+	if p == nil {
+		p = band.New(workers)
+		sizedPools[workers] = p
+	}
+	return p
 }
 
 // BandPool sizes an intra-stage worker pool from a worker-count knob (the

@@ -85,6 +85,30 @@ func (m CostModel) FusedComputeFor(kinds []StageKind, pixels int) float64 {
 	return s * float64(pixels) / m.RefPixels
 }
 
+// FusedShares returns each constituent's fraction of a fused run's busy
+// time, proportional to the model's per-stage compute weights. The shares
+// sum to 1 (the caller hands the last constituent the unattributed
+// remainder so the split is exact); a degenerate all-zero weighting falls
+// back to an even split. This is how ExecObserver attributes one fused
+// measurement back to the real stages.
+func (m CostModel) FusedShares(kinds []StageKind) []float64 {
+	shares := make([]float64, len(kinds))
+	var total float64
+	for _, k := range kinds {
+		total += m.FilterCompute[k]
+	}
+	if total <= 0 {
+		for i := range shares {
+			shares[i] = 1 / float64(len(kinds))
+		}
+		return shares
+	}
+	for i, k := range kinds {
+		shares[i] = m.FilterCompute[k] / total
+	}
+	return shares
+}
+
 // FilterExtraBytes returns a filter stage's memory traffic beyond the
 // receive-read and send-write of its strip. Only blur needs a second
 // buffer (§IV): it writes a working copy and, if the strip exceeds the

@@ -62,8 +62,16 @@ type ExecSpec struct {
 	// form) collapse into a single one-read-one-write pass per strip, which
 	// cuts the stage-to-stage memory traffic the paper identifies as the
 	// pipeline's bound; pixels are bit-identical either way. Set NoFuse for
-	// paper-faithful per-stage arrangement experiments.
+	// paper-faithful per-stage arrangement experiments. Ignored when Plan
+	// is set: a computed plan states its fusion boundaries explicitly.
 	NoFuse bool
+	// Plan, when non-nil, replaces the automatic maximal-fusion stage plan
+	// with a computed one (see internal/plan): explicit fusion boundaries
+	// plus optional per-group and renderer band-worker counts. The plan
+	// must validate against FilterOrder — see StagePlan — and because every
+	// legal plan only regroups passes the fused kernel proves bit-exact,
+	// pixels are byte-identical to ExecReference under any plan.
+	Plan *StagePlan
 	// Bands is the worker pool for intra-stage band parallelism: blur, the
 	// fused point pass, and the rasterizer split each strip into
 	// independent row bands over it. Nil selects the process-shared pool
@@ -84,7 +92,10 @@ type ExecObserver struct {
 	// OnStageBusy reports wall time one stage instance spent computing on
 	// one strip (or, for the renderer and transfer, one frame). pipeline is
 	// the strip/pipeline index, or -1 for the shared renderer and transfer
-	// stages.
+	// stages. A fused pass is reported under its constituent stage kinds —
+	// its measured time split proportionally to the DES cost model, summing
+	// exactly to the wall time — never under StageFused, so per-stage
+	// profiles compare directly between fused and NoFuse runs.
 	OnStageBusy func(kind StageKind, pipeline int, busy time.Duration)
 }
 
@@ -99,6 +110,31 @@ func (o ExecObserver) stageBusy(kind StageKind, pipeline int, fn func() error) e
 	return err
 }
 
+// fusedBusy wraps a fused run's compute step, attributing the measured
+// busy time across the constituent stage kinds proportionally to shares
+// (the DES cost-model weights, see CostModel.FusedShares). The last
+// constituent absorbs rounding so the per-kind durations sum exactly to
+// the measured wall time: no time is invented, none is dropped, and no
+// observer ever sees an opaque StageFused entry.
+func (o ExecObserver) fusedBusy(kinds []StageKind, shares []float64, pipeline int, fn func() error) error {
+	if o.OnStageBusy == nil {
+		return fn()
+	}
+	t0 := time.Now()
+	err := fn()
+	busy := time.Since(t0)
+	var charged time.Duration
+	for j, k := range kinds {
+		d := busy - charged
+		if j < len(kinds)-1 {
+			d = time.Duration(float64(busy) * shares[j])
+		}
+		o.OnStageBusy(k, pipeline, d)
+		charged += d
+	}
+	return err
+}
+
 // Validate reports whether the exec spec is runnable.
 func (s ExecSpec) Validate() error {
 	if s.Frames <= 0 || s.Width <= 0 || s.Height <= 0 {
@@ -106,6 +142,9 @@ func (s ExecSpec) Validate() error {
 	}
 	if s.Pipelines < 1 || s.Pipelines > s.Height {
 		return fmt.Errorf("core: exec pipelines %d out of range", s.Pipelines)
+	}
+	if err := s.Plan.Validate(s.OrientedScratches); err != nil {
+		return err
 	}
 	return nil
 }
@@ -165,9 +204,14 @@ func applyFilter(kind StageKind, img *frame.Image, spec ExecSpec, f, strip int, 
 
 // execStage is one stage of the planned filter chain: a single filter, or
 // a fused run of adjacent point filters executed as one memory pass.
+// shares (fused stages only) split the measured busy time back across the
+// constituents for observer attribution; workers > 0 gives the stage a
+// dedicated band pool instead of the spec-wide one.
 type execStage struct {
 	kinds   []StageKind
 	fusable bool
+	shares  []float64
+	workers int
 }
 
 func (e execStage) fused() bool { return len(e.kinds) > 1 }
@@ -180,26 +224,39 @@ func (e execStage) name() string {
 	return strings.Join(parts, "+")
 }
 
-// fusableKind reports whether a stage is a per-pixel (point) stage that
+// FusableKind reports whether a stage is a per-pixel (point) stage that
 // can fold into a fused pass: blur's 3-row stencil cannot, and the
 // oriented-scratch extension draws y-dependent strokes, so only vertical
-// scratches fuse.
-func (s ExecSpec) fusableKind(k StageKind) bool {
+// scratches fuse. This is the contract a computed StagePlan must respect.
+func FusableKind(k StageKind, oriented bool) bool {
 	switch k {
 	case StageSepia, StageFlicker, StageSwap:
 		return true
 	case StageScratch:
-		return !s.OrientedScratches
+		return !oriented
 	}
 	return false
 }
 
-// planStages groups FilterOrder into the executed stage sequence: maximal
-// runs of adjacent fusable stages become one fused stage each (unless
-// NoFuse), everything else stays one-to-one. With the default order the
-// plan is [sepia] [blur] [scratch+flicker+swap] — sepia stays alone
-// because blur splits the run.
+func (s ExecSpec) fusableKind(k StageKind) bool { return FusableKind(k, s.OrientedScratches) }
+
+// planStages resolves the executed stage sequence. With a computed Plan it
+// lowers the plan's groups directly; otherwise it groups FilterOrder into
+// maximal runs of adjacent fusable stages (unless NoFuse), everything else
+// one-to-one. With the default order the auto plan is [sepia] [blur]
+// [scratch+flicker+swap] — sepia stays alone because blur splits the run.
 func (s ExecSpec) planStages() []execStage {
+	if s.Plan != nil {
+		plan := make([]execStage, 0, len(s.Plan.Groups))
+		for gi, g := range s.Plan.Groups {
+			est := execStage{kinds: g, fusable: len(g) > 1}
+			if gi < len(s.Plan.GroupWorkers) {
+				est.workers = s.Plan.GroupWorkers[gi]
+			}
+			plan = append(plan, est)
+		}
+		return attributeShares(plan)
+	}
 	plan := make([]execStage, 0, len(FilterOrder))
 	for _, k := range FilterOrder {
 		if !s.NoFuse && s.fusableKind(k) {
@@ -211,6 +268,18 @@ func (s ExecSpec) planStages() []execStage {
 			continue
 		}
 		plan = append(plan, execStage{kinds: []StageKind{k}})
+	}
+	return attributeShares(plan)
+}
+
+// attributeShares fills each fused stage's busy-time attribution shares
+// from the DES cost model.
+func attributeShares(plan []execStage) []execStage {
+	m := DefaultCostModel()
+	for i := range plan {
+		if len(plan[i].kinds) > 1 {
+			plan[i].shares = m.FusedShares(plan[i].kinds)
+		}
 	}
 	return plan
 }
@@ -301,6 +370,10 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	}
 	plan := spec.planStages()
 	bands := spec.bandPool()
+	renderBands := bands
+	if spec.Plan != nil && spec.Plan.RenderWorkers > 0 {
+		renderBands = bandPoolFor(spec.Plan.RenderWorkers)
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -362,7 +435,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			i := i
 			spawn(fmt.Sprintf("renderer %d", i), func() error {
 				r := render.NewRenderer(tree)
-				r.Bands = bands
+				r.Bands = renderBands
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
 					img := pool.Get(spec.Width, y1-y0)
@@ -382,7 +455,7 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 	default: // OneRenderer, HostRenderer
 		spawn("renderer", func() error {
 			r := render.NewRenderer(tree)
-			r.Bands = bands
+			r.Bands = renderBands
 			for f := 0; f < spec.Frames; f++ {
 				img := pool.Get(spec.Width, spec.Height)
 				_ = spec.Observer.stageBusy(StageRender, -1, func() error {
@@ -423,6 +496,10 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			est := est
 			out := make(chan execMsg, 1)
 			src := in
+			stageBands := bands
+			if est.workers > 0 {
+				stageBands = bandPoolFor(est.workers)
+			}
 			spawn(fmt.Sprintf("filter %s.%d", est.name(), i), func() error {
 				rng := newStageRNG()
 				var fr *fusedRunner
@@ -440,13 +517,13 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 					}
 					var stageErr error
 					if est.fused() {
-						stageErr = spec.Observer.stageBusy(StageFused, i, func() error {
-							return fr.apply(est.kinds, msg.strip.Img, spec, msg.frame, msg.strip.Index, bands)
+						stageErr = spec.Observer.fusedBusy(est.kinds, est.shares, i, func() error {
+							return fr.apply(est.kinds, msg.strip.Img, spec, msg.frame, msg.strip.Index, stageBands)
 						})
 					} else {
 						kind := est.kinds[0]
 						stageErr = spec.Observer.stageBusy(kind, i, func() error {
-							return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index, rng, bands)
+							return applyFilter(kind, msg.strip.Img, spec, msg.frame, msg.strip.Index, rng, stageBands)
 						})
 					}
 					if stageErr != nil {

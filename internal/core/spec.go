@@ -36,8 +36,9 @@ const (
 	StageTransfer
 	StageConnect
 	// StageFused labels a plan-time fusion of adjacent point filters (see
-	// ExecSpec.NoFuse): observers see one StageFused busy report where the
-	// unfused pipeline reports each constituent separately.
+	// ExecSpec.NoFuse) in internal plumbing and DES stage labels. Busy-time
+	// observers never see it: a fused pass is attributed back to its
+	// constituent kinds proportionally to the cost model (ExecObserver).
 	StageFused
 	numStageKinds
 )

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StagePlan is a computed filter-stage plan: which adjacent filter stages
+// fuse into one memory pass, and how many band workers each planned stage
+// may fan out over. internal/plan produces these from measured or modeled
+// per-stage costs; a nil plan on ExecSpec selects the built-in auto-detect
+// (maximal fusion of adjacent point kernels). A plan only moves fusion
+// boundaries across runs the fused kernel already proves bit-exact, so
+// every valid plan produces pixels byte-identical to ExecReference.
+type StagePlan struct {
+	// Groups lists the executed filter stages in order. Each inner slice is
+	// one planned stage: a single kind, or a run of adjacent fusable kinds
+	// executed as one fused pass. The concatenation must equal FilterOrder
+	// exactly — a plan may move fusion boundaries, never reorder stages.
+	Groups [][]StageKind
+	// GroupWorkers[i], when > 0, sizes the band-parallel fan-out of group i
+	// (meaningful for blur and fused groups, the stages that split their
+	// strip into row bands). 0 inherits ExecSpec.Bands. When set it must
+	// have one entry per group.
+	GroupWorkers []int
+	// RenderWorkers, when > 0, sizes the renderer's band fan-out the same
+	// way.
+	RenderWorkers int
+}
+
+// Validate checks that the plan is a legal regrouping of FilterOrder:
+// every filter exactly once, in order, with multi-stage groups restricted
+// to fusable point kernels (oriented scratches draw y-dependent strokes
+// and must run unfused).
+func (p *StagePlan) Validate(oriented bool) error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("core: stage plan has no groups")
+	}
+	if p.GroupWorkers != nil && len(p.GroupWorkers) != len(p.Groups) {
+		return fmt.Errorf("core: stage plan has %d groups but %d worker counts",
+			len(p.Groups), len(p.GroupWorkers))
+	}
+	idx := 0
+	for gi, g := range p.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("core: stage plan group %d is empty", gi)
+		}
+		for _, k := range g {
+			if idx >= len(FilterOrder) || k != FilterOrder[idx] {
+				return fmt.Errorf("core: stage plan group %d: %v out of order (plans move fusion boundaries, never reorder stages)", gi, k)
+			}
+			if len(g) > 1 && !FusableKind(k, oriented) {
+				return fmt.Errorf("core: stage plan group %d fuses non-fusable stage %v", gi, k)
+			}
+			idx++
+		}
+	}
+	if idx != len(FilterOrder) {
+		return fmt.Errorf("core: stage plan covers %d of %d filter stages", idx, len(FilterOrder))
+	}
+	for _, w := range p.GroupWorkers {
+		if w < 0 {
+			return fmt.Errorf("core: negative group worker count %d", w)
+		}
+	}
+	if p.RenderWorkers < 0 {
+		return fmt.Errorf("core: negative render worker count %d", p.RenderWorkers)
+	}
+	return nil
+}
+
+// String renders the plan in boundary notation, e.g.
+// "[sepia][blur][scratch+flicker+swap]". A nil plan prints "auto".
+func (p *StagePlan) String() string {
+	if p == nil {
+		return "auto"
+	}
+	var b strings.Builder
+	for _, g := range p.Groups {
+		parts := make([]string, len(g))
+		for i, k := range g {
+			parts[i] = k.String()
+		}
+		b.WriteString("[")
+		b.WriteString(strings.Join(parts, "+"))
+		b.WriteString("]")
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestStagePlanValidate(t *testing.T) {
+	ok := func(p *StagePlan, oriented bool) {
+		t.Helper()
+		if err := p.Validate(oriented); err != nil {
+			t.Errorf("plan %v unexpectedly invalid: %v", p, err)
+		}
+	}
+	bad := func(p *StagePlan, oriented bool) {
+		t.Helper()
+		if err := p.Validate(oriented); err == nil {
+			t.Errorf("plan %v unexpectedly valid", p)
+		}
+	}
+
+	ok(nil, false)
+	// The auto plan, stated explicitly.
+	ok(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}}}, false)
+	// Fully unfused.
+	ok(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch}, {StageFlicker}, {StageSwap}}}, false)
+	// A moved boundary.
+	ok(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker}, {StageSwap}}}, false)
+	// Worker counts line up.
+	ok(&StagePlan{
+		Groups:       [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}},
+		GroupWorkers: []int{0, 2, 1},
+	}, false)
+	// Oriented scratches may not fuse, but may stand alone.
+	ok(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch}, {StageFlicker, StageSwap}}}, true)
+	bad(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}}}, true)
+
+	// Reordered, missing, duplicated, or blur-fused stages are rejected.
+	bad(&StagePlan{Groups: [][]StageKind{{StageBlur}, {StageSepia}, {StageScratch, StageFlicker, StageSwap}}}, false)
+	bad(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker}}}, false)
+	bad(&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}, {StageSwap}}}, false)
+	bad(&StagePlan{Groups: [][]StageKind{{StageSepia, StageBlur}, {StageScratch, StageFlicker, StageSwap}}}, false)
+	bad(&StagePlan{Groups: [][]StageKind{}}, false)
+	bad(&StagePlan{Groups: [][]StageKind{{StageSepia}, {}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}}}, false)
+	bad(&StagePlan{
+		Groups:       [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}},
+		GroupWorkers: []int{1, 2},
+	}, false)
+	bad(&StagePlan{
+		Groups:       [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}},
+		GroupWorkers: []int{1, -2, 1},
+	}, false)
+
+	if got := (&StagePlan{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}}}).String(); got != "[sepia][blur][scratch+flicker+swap]" {
+		t.Errorf("String() = %q", got)
+	}
+	var nilPlan *StagePlan
+	if got := nilPlan.String(); got != "auto" {
+		t.Errorf("nil String() = %q", got)
+	}
+}
+
+// TestExecPlannedMatchesReference pins the planner's safety contract at
+// the core layer: any valid computed plan — every fusion-boundary
+// placement, with and without dedicated band workers, on both execution
+// paths — produces pixels byte-identical to the sequential reference.
+func TestExecPlannedMatchesReference(t *testing.T) {
+	plans := []*StagePlan{
+		{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch}, {StageFlicker}, {StageSwap}}},
+		{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker}, {StageSwap}}},
+		{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch}, {StageFlicker, StageSwap}}},
+		{Groups: [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}}},
+		{
+			Groups:        [][]StageKind{{StageSepia}, {StageBlur}, {StageScratch, StageFlicker, StageSwap}},
+			GroupWorkers:  []int{1, 3, 2},
+			RenderWorkers: 2,
+		},
+	}
+	spec := execSpecForTest(2, NRenderers)
+	want := collect(t, spec, false)
+	for _, p := range plans {
+		spec := spec
+		spec.Plan = p
+		got := collect(t, spec, true)
+		for f := range want {
+			if !got[f].Equal(want[f]) {
+				t.Fatalf("plan %v frame %d differs from sequential reference", p, f)
+			}
+		}
+	}
+}

@@ -80,6 +80,10 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 	})
 	for _, est := range plan {
 		est := est
+		stageBands := bands
+		if est.workers > 0 {
+			stageBands = bandPoolFor(est.workers)
+		}
 		if est.fused() {
 			covers := make([]string, len(est.kinds))
 			for i, k := range est.kinds {
@@ -91,8 +95,8 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 				Fn: func(it pipe.Item) pipe.Item {
 					w := it.Data.(stripWork)
 					fr := fusedRunners.Get().(*fusedRunner)
-					_ = spec.Observer.stageBusy(StageFused, w.strip, func() error {
-						return fr.apply(est.kinds, w.img, spec, w.f, w.strip, bands)
+					_ = spec.Observer.fusedBusy(est.kinds, est.shares, w.strip, func() error {
+						return fr.apply(est.kinds, w.img, spec, w.f, w.strip, stageBands)
 					})
 					fusedRunners.Put(fr)
 					return it
@@ -110,7 +114,7 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 				// is the origin pipeline even when a survivor carries the
 				// strip after a death.
 				_ = spec.Observer.stageBusy(kind, w.strip, func() error {
-					return applyFilter(kind, w.img, spec, w.f, w.strip, rng, bands)
+					return applyFilter(kind, w.img, spec, w.f, w.strip, rng, stageBands)
 				})
 				rngs.Put(rng)
 				return it

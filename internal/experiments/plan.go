@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/pipe"
+	"sccpipe/internal/plan"
+)
+
+// PlanResult is the profile-driven planner ablation: the static mapping
+// the port hard-codes (maximal fusion at k=4) priced and simulated next to
+// the mapping internal/plan computes from the same cost profile — first on
+// the balanced model profile, then on a synthetically imbalanced one where
+// the flicker stage is 25× heavier (a stand-in for a pathological filter
+// parameterization). The planner answers imbalance by moving a fusion
+// boundary (isolating the heavy point stage) and re-choosing the
+// replication factor; the simulated walkthrough shows what that buys.
+type PlanResult struct {
+	// Workers is the machine budget the planner divided (SCC cores).
+	Workers    int
+	Balanced   PlanCase
+	Imbalanced PlanCase
+}
+
+// PlanCase compares the static and computed mappings under one profile.
+type PlanCase struct {
+	Label string
+	// The mappings in boundary notation (see plan.Plan.String).
+	StaticPlan, ComputedPlan string
+	// Predicted steady-state frame period from the planner's own arithmetic.
+	StaticPredictedS, ComputedPredictedS float64
+	// Simulated walkthrough seconds on the generic pipeline model.
+	StaticSimS, ComputedSimS float64
+}
+
+func (r PlanResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Profile-driven stage planner vs static mapping (%d-core budget)\n", r.Workers)
+	for _, c := range []PlanCase{r.Balanced, r.Imbalanced} {
+		fmt.Fprintf(&b, "%s\n", c.Label)
+		fmt.Fprintf(&b, "  static   %-44s period %8.4fs  sim %8.2fs\n",
+			c.StaticPlan, c.StaticPredictedS, c.StaticSimS)
+		fmt.Fprintf(&b, "  computed %-44s period %8.4fs  sim %8.2fs\n",
+			c.ComputedPlan, c.ComputedPredictedS, c.ComputedSimS)
+	}
+	return b.String()
+}
+
+// planStaticK is the hard-coded replication factor the static mapping uses
+// (the serve layer's default job shape).
+const planStaticK = 4
+
+// RunPlan runs the planner ablation on the n-renderer configuration.
+func RunPlan(s Setup) (PlanResult, error) {
+	wl := Workload(s)
+	pr := plan.ModelProfile(core.DefaultCostModel(), wl)
+	cfg := plan.Config{Renderer: core.NRenderers, Height: s.Height, Workers: 48}
+	out := PlanResult{Workers: cfg.Workers}
+
+	var err error
+	out.Balanced, err = runPlanCase(s, wl, pr, cfg, "balanced (model profile)", nil)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	imb := pr
+	imb.Filters = make(map[core.StageKind]float64, len(pr.Filters))
+	for k, v := range pr.Filters {
+		imb.Filters[k] = v
+	}
+	imb.Filters[core.StageFlicker] *= 25
+	out.Imbalanced, err = runPlanCase(s, wl, imb, cfg, "imbalanced (flicker ×25)",
+		map[core.StageKind]float64{core.StageFlicker: 25})
+	if err != nil {
+		return PlanResult{}, err
+	}
+	return out, nil
+}
+
+func runPlanCase(s Setup, wl *core.Workload, pr plan.Profile, cfg plan.Config,
+	label string, scale map[core.StageKind]float64) (PlanCase, error) {
+	static := plan.Static(planStaticK, cfg.OrientedScratches)
+	staticEval := plan.Evaluate(pr, cfg, static.Pipelines, static.Stages.Groups)
+	computed, err := plan.Compute(pr, cfg)
+	if err != nil {
+		return PlanCase{}, fmt.Errorf("plan %s: %w", label, err)
+	}
+	c := PlanCase{
+		Label:              label,
+		StaticPlan:         static.String(),
+		ComputedPlan:       computed.String(),
+		StaticPredictedS:   staticEval.PeriodS,
+		ComputedPredictedS: computed.PeriodS,
+	}
+	if c.StaticSimS, err = simulatePlan(s, wl, static, scale); err != nil {
+		return PlanCase{}, fmt.Errorf("plan %s static sim: %w", label, err)
+	}
+	if c.ComputedSimS, err = simulatePlan(s, wl, computed, scale); err != nil {
+		return PlanCase{}, fmt.Errorf("plan %s computed sim: %w", label, err)
+	}
+	return c, nil
+}
+
+// simulatePlan runs the walkthrough on the generic pipeline model under a
+// given mapping: the chain is the same one the fusion ablation lowers, but
+// the stage layout comes from the plan's fusion groups (via pipe.Chain
+// Groups) instead of the chain's own auto-detection, and per-stage costs
+// may be scaled to model a synthetic imbalance.
+func simulatePlan(s Setup, wl *core.Workload, p plan.Plan, scale map[core.StageKind]float64) (float64, error) {
+	k := p.Pipelines
+	c := planChain(s, wl, k, scale)
+	c.Groups = lowerPlanGroups(p.Stages.Groups)
+	res, err := c.Simulate(pipe.SimSpec{Pipelines: k, Items: s.Frames})
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}
+
+// planChain is fusionChain with optional per-kind cost multipliers.
+func planChain(s Setup, wl *core.Workload, k int, scale map[core.StageKind]float64) *pipe.Chain {
+	m := core.DefaultCostModel()
+	stats := wl.StripStats(k)
+	stages := []pipe.Stage{{
+		Name: core.StageRender.String(),
+		CostRef: func(it pipe.Item) float64 {
+			return m.RenderCompute(stats[it.Seq][it.Pipeline], wl.StripPixels(k, it.Pipeline))
+		},
+	}}
+	for _, kind := range core.FilterOrder {
+		kind := kind
+		mult := 1.0
+		if f, ok := scale[kind]; ok {
+			mult = f
+		}
+		stages = append(stages, pipe.Stage{
+			Name:    kind.String(),
+			Fusable: kind != core.StageBlur,
+			CostRef: func(it pipe.Item) float64 {
+				return mult * m.FilterComputeFor(kind, wl.StripPixels(k, it.Pipeline))
+			},
+		})
+	}
+	return &pipe.Chain{
+		Stages: stages,
+		Feed: func(pl, seq int) (pipe.Item, bool) {
+			if seq >= s.Frames {
+				return pipe.Item{}, false
+			}
+			return pipe.Item{Bytes: wl.StripBytes(k, pl)}, true
+		},
+	}
+}
+
+// lowerPlanGroups maps the plan's filter groups onto chain stage indices:
+// stage 0 is the renderer, the filters follow in FilterOrder, so the
+// plan's groups lower to consecutive indices starting at 1.
+func lowerPlanGroups(groups [][]core.StageKind) [][]int {
+	out := [][]int{{0}}
+	idx := 1
+	for _, g := range groups {
+		grp := make([]int, len(g))
+		for i := range grp {
+			grp[i] = idx
+			idx++
+		}
+		out = append(out, grp)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPlanBeatsStaticOnImbalance(t *testing.T) {
+	s := testSetup()
+	r, err := RunPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []PlanCase{r.Balanced, r.Imbalanced} {
+		if c.StaticPlan == "" || c.ComputedPlan == "" {
+			t.Fatalf("%s: empty plan strings: %+v", c.Label, c)
+		}
+		if c.StaticSimS <= 0 || c.ComputedSimS <= 0 {
+			t.Fatalf("%s: non-positive simulated seconds: %+v", c.Label, c)
+		}
+		// The computed mapping must never lose to the static one — it can
+		// always fall back to the static grouping (small jitter allowed).
+		if c.ComputedSimS > c.StaticSimS*1.02 {
+			t.Errorf("%s: computed sim %.2fs slower than static %.2fs",
+				c.Label, c.ComputedSimS, c.StaticSimS)
+		}
+	}
+	// Under the synthetic flicker imbalance the planner must move a fusion
+	// boundary (the heavy point stage no longer shares a group with both
+	// neighbors) and win clearly in simulation.
+	if r.Imbalanced.ComputedPlan == r.Imbalanced.StaticPlan {
+		t.Errorf("imbalanced: planner kept the static mapping %s", r.Imbalanced.StaticPlan)
+	}
+	if strings.Contains(r.Imbalanced.ComputedPlan, "[scratch+flicker+swap]") {
+		t.Errorf("imbalanced: heavy flicker still fully fused: %s", r.Imbalanced.ComputedPlan)
+	}
+	if r.Imbalanced.ComputedSimS >= r.Imbalanced.StaticSimS*0.9 {
+		t.Errorf("imbalanced: computed sim %.2fs, want clear win over static %.2fs",
+			r.Imbalanced.ComputedSimS, r.Imbalanced.StaticSimS)
+	}
+	if !strings.Contains(r.String(), "imbalanced") {
+		t.Error("String() missing imbalanced case")
+	}
+}

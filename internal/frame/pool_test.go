@@ -17,8 +17,13 @@ func TestPoolRoundTrip(t *testing.T) {
 	}
 	p.Put(a)
 	b := p.Get(8, 6)
-	if b != a {
+	// Identity reuse is best-effort under the race detector: sync.Pool
+	// deliberately drops puts there, so only assert it in normal builds.
+	if !raceEnabled && b != a {
 		t.Fatal("same-size Get did not reuse the pooled buffer")
+	}
+	if b.W != 8 || b.H != 6 || len(b.Pix) != 8*6*4 {
+		t.Fatalf("second Get(8,6) = %dx%d, %d bytes", b.W, b.H, len(b.Pix))
 	}
 }
 
@@ -164,6 +169,9 @@ func TestAssembleIntoSkipsViewsOfDst(t *testing.T) {
 // parent, the destination comes from the pool, and strip headers are the
 // only garbage (amortized to zero here by reusing them).
 func TestSplitAssembleSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
 	p := NewPool()
 	src := randomImage(rand.New(rand.NewSource(7)), 64, 48)
 	avg := testing.AllocsPerRun(200, func() {
@@ -183,6 +191,9 @@ func TestSplitAssembleSteadyStateAllocs(t *testing.T) {
 }
 
 func TestPoolSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
 	p := NewPool()
 	p.Put(p.Get(32, 32)) // prime the class
 	avg := testing.AllocsPerRun(200, func() {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package frame
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package frame
+
+// raceEnabled gates the pool-identity assertions: under the race detector
+// sync.Pool intentionally drops puts, so a same-size Get may miss.
+const raceEnabled = true

@@ -77,6 +77,70 @@ func TestPlanGroupsAdjacentFusableRuns(t *testing.T) {
 	}
 }
 
+// An explicit Groups plan overrides the Fusable auto-plan: the planner's
+// lowered groupings drive the chain directly.
+func TestExplicitGroupsPlan(t *testing.T) {
+	planNames := func(groups [][]int) string {
+		c := fusionChain(1, 1, &sync.Map{})
+		c.Groups = groups
+		if err := c.Validate(); err != nil {
+			t.Fatalf("groups %v: %v", groups, err)
+		}
+		var names []string
+		for _, ps := range c.plan() {
+			names = append(names, ps.name)
+		}
+		return strings.Join(names, ",")
+	}
+	if got := planNames([][]int{{0}, {1, 2}, {3}}); got != "head,double+inc,tail" {
+		t.Fatalf("plan = %s", got)
+	}
+	// Explicitly unfused despite Fusable flags — the boundary is the
+	// plan's to place, not the auto-detector's.
+	if got := planNames([][]int{{0}, {1}, {2}, {3}}); got != "head,double,inc,tail" {
+		t.Fatalf("plan = %s", got)
+	}
+
+	for _, bad := range [][][]int{
+		{{0}, {2, 1}, {3}},      // reordered
+		{{0}, {1, 2}},           // misses tail
+		{{0}, {1, 2}, {3}, {3}}, // duplicates
+		{{0, 1}, {2}, {3}},      // fuses the non-fusable head
+		{{0}, {}, {1, 2}, {3}},  // empty group
+		{{0}, {1, 2}, {3}, {4}}, // out of range
+	} {
+		c := fusionChain(1, 1, &sync.Map{})
+		c.Groups = bad
+		if err := c.Validate(); err == nil {
+			t.Errorf("groups %v unexpectedly valid", bad)
+		}
+	}
+
+	// A grouped run collects exactly what the auto-fused run collects.
+	const items, k = 12, 2
+	var want, got sync.Map
+	auto := fusionChain(items, k, &want)
+	if _, err := auto.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	grouped := fusionChain(items, k, &got)
+	grouped.Groups = [][]int{{0}, {1}, {2, 3}}
+	if _, err := grouped.Run(k); err == nil {
+		t.Fatal("fusing the non-fusable tail validated")
+	}
+	grouped = fusionChain(items, k, &got)
+	grouped.Groups = [][]int{{0}, {1, 2}, {3}}
+	if _, err := grouped.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	want.Range(func(key, v any) bool {
+		if gv, ok := got.Load(key); !ok || gv != v {
+			t.Fatalf("item %v = %v grouped, %v auto", key, gv, v)
+		}
+		return true
+	})
+}
+
 // Fused and unfused runs must collect identical payloads (fast path and
 // supervised path both).
 func TestRunFusedMatchesUnfused(t *testing.T) {

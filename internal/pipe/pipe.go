@@ -107,13 +107,22 @@ type Chain struct {
 	// and stage Fns must treat Item.Data as an immutable input (returning
 	// new payloads rather than mutating in place), because a failed item
 	// is redone from its as-fed snapshot.
-	Faults faults.Injector
+	Faults   faults.Injector
 	Recovery *faults.RecoveryPolicy
 
 	// NoFuse disables plan-time fusion of adjacent Fusable stages, keeping
 	// the paper-faithful one-core-per-stage arrangement (every hand-off
-	// paid) even when stages are marked fusable.
+	// paid) even when stages are marked fusable. Ignored when Groups is
+	// set.
 	NoFuse bool
+
+	// Groups, when non-nil, replaces the automatic maximal-fusion plan
+	// with an explicit grouping — the lowered form of a computed stage
+	// plan (see internal/plan). Each inner slice lists indices into
+	// Stages forming one planned stage; indices must be contiguous,
+	// ascending, and cover every stage exactly once, and a multi-stage
+	// group may only contain Fusable stages.
+	Groups [][]int
 }
 
 // plannedStage is one stage of the execution plan: a single chain stage,
@@ -125,11 +134,31 @@ type plannedStage struct {
 	covered []string // all covered names, for fault injection
 }
 
-// plan groups maximal runs of adjacent Fusable stages into single planned
-// stages (unless Chain.NoFuse), leaving everything else one-to-one. Run,
-// Simulate and the supervised path all execute the plan, so fused and
-// unfused arrangements differ only in hand-offs, never in per-item work.
+// plan resolves the execution plan. An explicit Groups override is
+// lowered directly; otherwise maximal runs of adjacent Fusable stages
+// become single planned stages (unless Chain.NoFuse), everything else
+// one-to-one. Run, Simulate and the supervised path all execute the plan,
+// so fused and unfused arrangements differ only in hand-offs, never in
+// per-item work.
 func (c *Chain) plan() []plannedStage {
+	if c.Groups != nil {
+		plan := make([]plannedStage, 0, len(c.Groups))
+		for _, g := range c.Groups {
+			p := plannedStage{}
+			for i, si := range g {
+				st := c.Stages[si]
+				p.parts = append(p.parts, st)
+				p.covered = append(p.covered, st.covers()...)
+				if i == 0 {
+					p.name = st.Name
+				} else {
+					p.name += "+" + st.Name
+				}
+			}
+			plan = append(plan, p)
+		}
+		return plan
+	}
 	plan := make([]plannedStage, 0, len(c.Stages))
 	for _, st := range c.Stages {
 		if n := len(plan); !c.NoFuse && st.Fusable && n > 0 && plan[n-1].parts[len(plan[n-1].parts)-1].Fusable {
@@ -159,6 +188,26 @@ func (c *Chain) Validate() error {
 	for i, s := range c.Stages {
 		if s.Name == "" {
 			return fmt.Errorf("pipe: stage %d unnamed", i)
+		}
+	}
+	if c.Groups != nil {
+		next := 0
+		for gi, g := range c.Groups {
+			if len(g) == 0 {
+				return fmt.Errorf("pipe: plan group %d is empty", gi)
+			}
+			for _, si := range g {
+				if si != next || si >= len(c.Stages) {
+					return fmt.Errorf("pipe: plan group %d: stage index %d out of order (want %d of %d; groups must cover the chain contiguously)", gi, si, next, len(c.Stages))
+				}
+				if len(g) > 1 && !c.Stages[si].Fusable {
+					return fmt.Errorf("pipe: plan group %d fuses non-fusable stage %q", gi, c.Stages[si].Name)
+				}
+				next++
+			}
+		}
+		if next != len(c.Stages) {
+			return fmt.Errorf("pipe: plan groups cover %d of %d stages", next, len(c.Stages))
 		}
 	}
 	return nil

@@ -1,0 +1,176 @@
+package plan
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"time"
+
+	"sccpipe/internal/core"
+)
+
+// Default hysteresis parameters for the online controller.
+const (
+	// DefaultDriftThreshold is the relative busy-share deviation that
+	// triggers a re-plan.
+	DefaultDriftThreshold = 0.25
+	// DefaultMinFrames is the observation window: drift is only evaluated
+	// (and the window reset) after this many frames, so one odd frame
+	// cannot thrash the plan.
+	DefaultMinFrames = 64
+)
+
+// Controller maintains the active plan for a long-running server: it
+// aggregates observed per-stage busy time into windows, measures how far
+// the observed stage balance has drifted from the profile the active plan
+// was computed from, and re-plans once the drift crosses the hysteresis
+// threshold. After a re-plan the observed profile becomes the new
+// baseline, so a persistent but already-answered drift does not re-trigger.
+type Controller struct {
+	// DriftThreshold and MinFrames tune the hysteresis; zero values take
+	// the defaults above. Set them before the controller is shared.
+	DriftThreshold float64
+	MinFrames      int
+
+	mu        sync.Mutex
+	cfg       Config
+	shape     Profile // modeled shape: splits render observations
+	base      Profile // profile the active plan was computed from
+	active    Plan
+	rec       *Recorder
+	replans   int
+	lastDrift float64
+}
+
+// NewController computes the initial plan from the modeled shape profile
+// and starts an empty observation window.
+func NewController(shape Profile, cfg Config) (*Controller, error) {
+	p, err := Compute(shape, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:    cfg,
+		shape:  shape,
+		base:   shape,
+		active: p,
+		rec:    NewRecorder(),
+	}, nil
+}
+
+// Current returns the active plan.
+func (c *Controller) Current() Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// Replans returns how many drift-triggered re-computations have run.
+func (c *Controller) Replans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replans
+}
+
+// LastDrift returns the drift measured when the last window closed.
+func (c *Controller) LastDrift() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastDrift
+}
+
+// Observe folds one stage busy report into the current window.
+func (c *Controller) Observe(kind core.StageKind, busy time.Duration) {
+	c.rec.Observe(kind, busy)
+}
+
+// FrameDone counts one completed frame in the current window.
+func (c *Controller) FrameDone() { c.rec.FrameDone() }
+
+// MaybeReplan closes the observation window if it has reached MinFrames,
+// compares the observed balance against the active plan's baseline, and
+// re-plans when the drift exceeds the threshold. It returns the active
+// plan and whether the mapping changed. Safe to call after every job.
+func (c *Controller) MaybeReplan() (Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	minFrames := c.MinFrames
+	if minFrames <= 0 {
+		minFrames = DefaultMinFrames
+	}
+	threshold := c.DriftThreshold
+	if threshold <= 0 {
+		threshold = DefaultDriftThreshold
+	}
+	if c.rec.Frames() < minFrames {
+		return c.active, false
+	}
+	obs, ok := c.rec.Profile(c.shape, c.active.Pipelines, c.cfg.Renderer)
+	c.rec.Reset()
+	if !ok {
+		return c.active, false
+	}
+	drift := StageDrift(c.base, obs)
+	c.lastDrift = drift
+	if drift <= threshold {
+		return c.active, false
+	}
+	p, err := Compute(obs, c.cfg)
+	if err != nil {
+		return c.active, false
+	}
+	c.replans++
+	c.base = obs
+	changed := p.Pipelines != c.active.Pipelines ||
+		!reflect.DeepEqual(p.Stages, c.active.Stages)
+	c.active = p
+	return c.active, changed
+}
+
+// StageDrift returns the largest relative deviation between two profiles'
+// per-stage busy shares, over stages carrying at least 5% of either total
+// — the balance signal the hysteresis threshold applies to. Tiny stages
+// are ignored: a 2× swing on a 1% stage does not justify a re-plan.
+func StageDrift(a, b Profile) float64 {
+	sa, ta := stageShares(a)
+	sb, tb := stageShares(b)
+	if ta <= 0 || tb <= 0 {
+		return 0
+	}
+	const floor = 0.05
+	var max float64
+	for i := range sa {
+		if sa[i] < floor && sb[i] < floor {
+			continue
+		}
+		ref := sa[i]
+		if ref < floor {
+			ref = floor
+		}
+		if d := math.Abs(sb[i]-sa[i]) / ref; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// stageShares flattens a profile into busy shares over the seven pipeline
+// stages: render, the five filters, transfer.
+func stageShares(p Profile) ([7]float64, float64) {
+	var v [7]float64
+	v[0] = p.RenderFixed + p.RenderScaled
+	for i, k := range core.FilterOrder {
+		v[1+i] = p.Filters[k]
+	}
+	v[6] = p.Transfer
+	var total float64
+	for _, x := range v {
+		total += x
+	}
+	if total > 0 {
+		for i := range v {
+			v[i] /= total
+		}
+	}
+	return v, total
+}

@@ -1,0 +1,367 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"sccpipe/internal/core"
+)
+
+// Objective selects what the planner minimizes.
+type Objective int
+
+const (
+	// LatencyThroughput minimizes steady-state frame period × frame
+	// latency — the bi-criteria pipeline-mapping objective: fast frames
+	// that also keep coming fast.
+	LatencyThroughput Objective = iota
+	// LatencyEnergy minimizes frame latency × per-frame energy, modeling
+	// energy as occupied cores × period (static power dominates the SCC's
+	// budget at fixed frequency) — the schedulable version of the paper's
+	// DVFS trade.
+	LatencyEnergy
+)
+
+var objectiveNames = [...]string{"latency×throughput", "latency×energy"}
+
+func (o Objective) String() string {
+	if o < 0 || int(o) >= len(objectiveNames) {
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+	return objectiveNames[o]
+}
+
+// Config bounds the planner's search space.
+type Config struct {
+	// Renderer is the paper scenario being planned for; it decides whether
+	// the render stage replicates (and duplicates its fixed work) with the
+	// pipeline count.
+	Renderer core.RendererConfig
+	// MaxPipelines caps replication; 0 takes core.MaxPipelines(Renderer).
+	MaxPipelines int
+	// Height, when non-zero, additionally caps pipelines at the image rows.
+	Height int
+	// Workers is the machine's parallel capacity: the budget the planner
+	// divides into stage goroutines and band workers, and the denominator
+	// of the throughput capacity bound. 0 takes GOMAXPROCS.
+	Workers int
+	// Objective selects the score being minimized.
+	Objective Objective
+	// OrientedScratches restricts fusion exactly as the executor does.
+	OrientedScratches bool
+}
+
+// Plan is a chosen mapping plus its predicted steady-state metrics.
+type Plan struct {
+	// Stages carries the fusion grouping and band-worker counts in the form
+	// core.ExecSpec consumes.
+	Stages core.StagePlan
+	// Pipelines is the chosen replication factor.
+	Pipelines int
+	// PeriodS is the predicted steady-state seconds between finished frames
+	// (the bottleneck stage, or the capacity bound when the machine has
+	// fewer workers than the mapping wants cores). LatencyS is the
+	// predicted one-frame walk through the chain; EnergyS the predicted
+	// core-seconds per frame.
+	PeriodS, LatencyS, EnergyS float64
+	// Score is the minimized objective value.
+	Score float64
+	// Source labels the profile the plan came from: "model", "observed", or
+	// "static".
+	Source string
+}
+
+// String renders the plan compactly, e.g.
+// "k=4 [sepia][blur][scratch+flicker+swap]".
+func (p Plan) String() string {
+	s := fmt.Sprintf("k=%d %s", p.Pipelines, p.Stages.String())
+	if p.Stages.RenderWorkers > 1 {
+		s += fmt.Sprintf(" rw=%d", p.Stages.RenderWorkers)
+	}
+	for i, w := range p.Stages.GroupWorkers {
+		if w > 1 {
+			s += fmt.Sprintf(" w%d=%d", i, w)
+		}
+	}
+	return s
+}
+
+// ApplyExec installs the plan on an exec spec. When overridePipelines is
+// true the plan's replication factor replaces the spec's, clamped to the
+// spec's renderer and height limits; pass false when the caller's pipeline
+// count is part of its output contract — the strip count feeds the
+// deterministic per-strip RNG streams, so changing it changes pixels.
+func (p Plan) ApplyExec(es *core.ExecSpec, overridePipelines bool) {
+	st := p.Stages
+	es.Plan = &st
+	if overridePipelines && p.Pipelines > 0 {
+		k := p.Pipelines
+		if m := core.MaxPipelines(es.Renderer); m > 0 && k > m {
+			k = m
+		}
+		if es.Height > 0 && k > es.Height {
+			k = es.Height
+		}
+		es.Pipelines = k
+	}
+}
+
+// Static returns the port's hard-coded default mapping — maximal fusion at
+// the given replication factor — as a Plan: the ablation baseline.
+func Static(k int, oriented bool) Plan {
+	return Plan{
+		Stages:    core.StagePlan{Groups: Groupings(oriented)[0]},
+		Pipelines: k,
+		Source:    "static",
+	}
+}
+
+// Groupings enumerates every legal fusion grouping of the filter chain:
+// within each maximal run of adjacent fusable point kernels, every
+// contiguous partition; non-fusable stages always stand alone. The first
+// grouping is maximal fusion (the static default) and the order is
+// deterministic, so planner tie-breaks are reproducible.
+func Groupings(oriented bool) [][][]core.StageKind {
+	type seg struct {
+		kinds   []core.StageKind
+		fusable bool
+	}
+	var segs []seg
+	for _, k := range core.FilterOrder {
+		k := k
+		if core.FusableKind(k, oriented) {
+			if n := len(segs); n > 0 && segs[n-1].fusable {
+				segs[n-1].kinds = append(segs[n-1].kinds, k)
+				continue
+			}
+			segs = append(segs, seg{kinds: []core.StageKind{k}, fusable: true})
+			continue
+		}
+		segs = append(segs, seg{kinds: []core.StageKind{k}})
+	}
+	out := [][][]core.StageKind{nil}
+	for _, sg := range segs {
+		var opts [][][]core.StageKind
+		if !sg.fusable || len(sg.kinds) == 1 {
+			opts = [][][]core.StageKind{{sg.kinds}}
+		} else {
+			m := len(sg.kinds)
+			for mask := 0; mask < 1<<(m-1); mask++ {
+				var parts [][]core.StageKind
+				start := 0
+				for i := 0; i < m-1; i++ {
+					if mask&(1<<i) != 0 {
+						parts = append(parts, sg.kinds[start:i+1])
+						start = i + 1
+					}
+				}
+				parts = append(parts, sg.kinds[start:m])
+				opts = append(opts, parts)
+			}
+		}
+		next := make([][][]core.StageKind, 0, len(out)*len(opts))
+		for _, pre := range out {
+			for _, op := range opts {
+				g := make([][]core.StageKind, 0, len(pre)+len(op))
+				g = append(g, pre...)
+				g = append(g, op...)
+				next = append(next, g)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// Compute searches replication factors × fusion groupings × band-worker
+// assignments for the mapping minimizing cfg.Objective under the profile.
+// The search is exhaustive over (k, grouping) with a greedy
+// bottleneck-refinement worker assignment inside each candidate, and fully
+// deterministic: same profile in, same plan out — candidates are visited
+// in fixed order (k ascending, maximal fusion first) and only a strictly
+// better score displaces the incumbent, so ties resolve toward fewer
+// pipelines and fewer stages.
+func Compute(pr Profile, cfg Config) (Plan, error) {
+	if err := pr.check(); err != nil {
+		return Plan{}, err
+	}
+	maxK := cfg.MaxPipelines
+	if maxK <= 0 {
+		maxK = core.MaxPipelines(cfg.Renderer)
+	}
+	if maxK <= 0 {
+		maxK = 1
+	}
+	if cfg.Height > 0 && maxK > cfg.Height {
+		maxK = cfg.Height
+	}
+	groupings := Groupings(cfg.OrientedScratches)
+	best := Plan{Score: math.Inf(1)}
+	for k := 1; k <= maxK; k++ {
+		for _, g := range groupings {
+			cand := Evaluate(pr, cfg, k, g)
+			if cand.Score < best.Score {
+				best = cand
+			}
+		}
+	}
+	if math.IsInf(best.Score, 1) {
+		return Plan{}, fmt.Errorf("plan: no feasible mapping for %+v", cfg)
+	}
+	best.Source = pr.Source
+	if best.Source == "" {
+		best.Source = "model"
+	}
+	return best, nil
+}
+
+func (pr Profile) check() error {
+	if pr.RenderFixed+pr.RenderScaled <= 0 {
+		return fmt.Errorf("plan: profile has no render cost")
+	}
+	for _, k := range core.FilterOrder {
+		if pr.Filters[k] <= 0 {
+			return fmt.Errorf("plan: profile missing filter %v", k)
+		}
+	}
+	if pr.Transfer < 0 || pr.Handoff < 0 || pr.Frustum < 0 {
+		return fmt.Errorf("plan: negative profile component")
+	}
+	return nil
+}
+
+// Evaluate prices one candidate mapping — replication factor k with the
+// given fusion grouping — assigning band workers greedily to the
+// bottleneck stage from the leftover worker budget, and returns the plan
+// with its predicted period, latency, energy, and score. Exported so the
+// ablation experiment can price the static mapping with the same
+// arithmetic the search uses.
+func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Per-instance stage seconds per frame, before band workers.
+	renderInstances := 1
+	renderCost := pr.RenderFixed + pr.RenderScaled
+	renderTotal := renderCost
+	if cfg.Renderer == core.NRenderers {
+		renderInstances = k
+		renderCost = pr.RenderFixed + pr.RenderScaled/float64(k)
+		if k > 1 {
+			renderCost += pr.Frustum
+		}
+		renderTotal = renderCost * float64(k)
+	}
+	handoffStrip := pr.Handoff / float64(k)
+	groupCost := make([]float64, len(groups))
+	var filterTotal float64
+	for i, g := range groups {
+		for _, kind := range g {
+			groupCost[i] += pr.Filters[kind] / float64(k)
+			filterTotal += pr.Filters[kind]
+		}
+	}
+
+	// Band-worker assignment. Everything starts at one worker; the leftover
+	// budget beyond one core per stage goroutine goes to the current
+	// bottleneck — but only where fan-out buys anything. The renderer and
+	// blur are compute-bound (fill, 3-row stencil) and scale with band
+	// workers; point passes (alone or fused) already run at memory speed,
+	// and extra band workers add no memory bandwidth, so a heavy point
+	// group is rebalanced by moving a fusion boundary, not by fanning out.
+	gw := make([]int, len(groups))
+	bandable := make([]bool, len(groups))
+	for i, g := range groups {
+		gw[i] = 1
+		bandable[i] = len(g) == 1 && g[0] == core.StageBlur
+	}
+	rw := 1
+	cores := renderInstances + k*len(groups) + 1
+
+	renderTerm := func() float64 {
+		t := renderCost / float64(rw)
+		if cfg.Renderer == core.NRenderers {
+			return t + handoffStrip
+		}
+		// One renderer emits every strip of the frame itself.
+		return t + pr.Handoff
+	}
+	groupTerm := func(i int) float64 { return groupCost[i]/float64(gw[i]) + handoffStrip }
+	transferTerm := pr.Transfer + pr.Handoff
+
+	for {
+		// Identify the bottleneck stage of the current assignment.
+		bi, bt := -2, transferTerm // -2 transfer, -1 render, ≥0 group
+		if t := renderTerm(); t > bt {
+			bi, bt = -1, t
+		}
+		for i := range groups {
+			if t := groupTerm(i); t > bt {
+				bi, bt = i, t
+			}
+		}
+		_ = bt
+		leftover := workers - cores
+		if bi == -1 && leftover >= renderInstances {
+			rw++
+			cores += renderInstances
+			continue
+		}
+		if bi >= 0 && bandable[bi] && leftover >= k {
+			gw[bi]++
+			cores += k
+			continue
+		}
+		// Bottleneck is transfer, serial, or unaffordable: done.
+		break
+	}
+
+	period := transferTerm
+	if t := renderTerm(); t > period {
+		period = t
+	}
+	for i := range groups {
+		if t := groupTerm(i); t > period {
+			period = t
+		}
+	}
+	// Throughput can never beat the machine's aggregate capacity: total
+	// per-frame work (hand-offs included) spread over every worker.
+	total := renderTotal + filterTotal + pr.Transfer + float64(len(groups)+1)*pr.Handoff
+	if bound := total / float64(workers); bound > period {
+		period = bound
+	}
+
+	latency := renderTerm() + transferTerm
+	for i := range groups {
+		latency += groupTerm(i)
+	}
+	energy := period * float64(cores)
+
+	score := period * latency
+	if cfg.Objective == LatencyEnergy {
+		score = latency * energy
+	}
+
+	st := core.StagePlan{Groups: groups}
+	if rw > 1 {
+		st.RenderWorkers = rw
+	}
+	for _, w := range gw {
+		if w > 1 {
+			st.GroupWorkers = gw
+			break
+		}
+	}
+	return Plan{
+		Stages:    st,
+		Pipelines: k,
+		PeriodS:   period,
+		LatencyS:  latency,
+		EnergyS:   energy,
+		Score:     score,
+	}
+}

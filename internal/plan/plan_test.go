@@ -1,0 +1,361 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+	"sccpipe/internal/scene"
+)
+
+var planScene = func() *render.Octree {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 6, 6
+	return render.BuildOctree(scene.City(cfg))
+}()
+
+func testProfile(t *testing.T) Profile {
+	t.Helper()
+	wl := core.BuildWorkload(planScene, 4, 320, 240)
+	return ModelProfile(core.DefaultCostModel(), wl)
+}
+
+func TestGroupings(t *testing.T) {
+	gs := Groupings(false)
+	// sepia | blur | {scratch,flicker,swap} → 1 × 1 × 2^2 partitions.
+	if len(gs) != 4 {
+		t.Fatalf("got %d groupings, want 4: %v", len(gs), gs)
+	}
+	first := &core.StagePlan{Groups: gs[0]}
+	if first.String() != "[sepia][blur][scratch+flicker+swap]" {
+		t.Fatalf("first grouping %v is not maximal fusion", first)
+	}
+	for _, g := range gs {
+		p := &core.StagePlan{Groups: g}
+		if err := p.Validate(false); err != nil {
+			t.Errorf("grouping %v invalid: %v", p, err)
+		}
+	}
+
+	// Oriented scratches cannot fuse: sepia | blur | scratch |
+	// {flicker,swap} → 2 groupings, every one valid under oriented rules.
+	gs = Groupings(true)
+	if len(gs) != 2 {
+		t.Fatalf("oriented: got %d groupings, want 2: %v", len(gs), gs)
+	}
+	for _, g := range gs {
+		p := &core.StagePlan{Groups: g}
+		if err := p.Validate(true); err != nil {
+			t.Errorf("oriented grouping %v invalid: %v", p, err)
+		}
+	}
+}
+
+// TestComputeDeterministic is the satellite determinism test: the same
+// profile must yield the same plan on every call — no wall-clock input, no
+// map-iteration order leaking into the choice.
+func TestComputeDeterministic(t *testing.T) {
+	pr := testProfile(t)
+	cfg := Config{Renderer: core.NRenderers, Workers: 8, Height: 240}
+	first, err := Compute(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		// Rebuild the profile each round so a fresh map (new iteration
+		// order) feeds the search.
+		again, err := Compute(testProfile(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("round %d: plan changed for identical profile:\n%+v\nvs\n%+v", i, first, again)
+		}
+	}
+	// The energy objective must be deterministic too.
+	cfg.Objective = LatencyEnergy
+	a, errA := Compute(pr, cfg)
+	b, errB := Compute(pr, cfg)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("energy objective nondeterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestComputeValidPlans(t *testing.T) {
+	pr := testProfile(t)
+	for _, obj := range []Objective{LatencyThroughput, LatencyEnergy} {
+		for _, rc := range []core.RendererConfig{core.OneRenderer, core.NRenderers, core.HostRenderer} {
+			for _, workers := range []int{1, 2, 8, 48} {
+				p, err := Compute(pr, Config{Renderer: rc, Workers: workers, Height: 240, Objective: obj})
+				if err != nil {
+					t.Fatalf("%v/%v/w=%d: %v", obj, rc, workers, err)
+				}
+				if err := p.Stages.Validate(false); err != nil {
+					t.Fatalf("%v/%v/w=%d: invalid plan %v: %v", obj, rc, workers, p, err)
+				}
+				if p.Pipelines < 1 || p.Pipelines > core.MaxPipelines(rc) {
+					t.Fatalf("%v/%v/w=%d: pipelines %d out of range", obj, rc, workers, p.Pipelines)
+				}
+				if p.PeriodS <= 0 || p.LatencyS <= 0 || p.Score <= 0 {
+					t.Fatalf("%v/%v/w=%d: non-positive prediction %+v", obj, rc, workers, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerMovesBoundaryOnImbalance is the satellite synthetic-imbalance
+// test: inflate flicker until the fused tail dominates and the planner
+// must split the fusion boundary to isolate the heavy stage.
+func TestPlannerMovesBoundaryOnImbalance(t *testing.T) {
+	pr := testProfile(t)
+	cfg := Config{Renderer: core.OneRenderer, Workers: 48, Height: 240}
+
+	balanced, err := Compute(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The balanced profile keeps the cheap tail fused: three stages.
+	if got := len(balanced.Stages.Groups); got != 3 {
+		t.Fatalf("balanced plan %v has %d groups, want the fused default 3", balanced, got)
+	}
+
+	// Flicker blown up 30×: the fused scratch+flicker+swap group would be
+	// the pipeline bottleneck, so the planner must break it apart and leave
+	// the heavy flicker stage alone in its group.
+	pr.Filters[core.StageFlicker] *= 30
+	skewed, err := Compute(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(skewed.Stages.Groups, balanced.Stages.Groups) {
+		t.Fatalf("planner kept %v despite 30× flicker imbalance", skewed)
+	}
+	var flickerAlone bool
+	for _, g := range skewed.Stages.Groups {
+		if len(g) == 1 && g[0] == core.StageFlicker {
+			flickerAlone = true
+		}
+	}
+	if !flickerAlone {
+		t.Fatalf("imbalanced plan %v does not isolate flicker", skewed)
+	}
+}
+
+// TestPlannerPrefersFewPipelinesOnSerialMachine pins the decision the exec
+// benchmark relies on: with one worker and the n-renderer configuration,
+// replication only duplicates per-renderer culling, so the planner must
+// choose k=1.
+func TestPlannerPrefersFewPipelinesOnSerialMachine(t *testing.T) {
+	pr := testProfile(t)
+	p, err := Compute(pr, Config{Renderer: core.NRenderers, Workers: 1, Height: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pipelines != 1 {
+		t.Fatalf("serial machine: planner chose k=%d, want 1 (%v)", p.Pipelines, p)
+	}
+}
+
+func TestEvaluateStaticMatchesSearchArithmetic(t *testing.T) {
+	pr := testProfile(t)
+	cfg := Config{Renderer: core.OneRenderer, Workers: 8, Height: 240}
+	groups := Groupings(false)[0]
+	a := Evaluate(pr, cfg, 4, groups)
+	b := Evaluate(pr, cfg, 4, groups)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Evaluate nondeterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.PeriodS <= 0 || a.LatencyS <= 0 {
+		t.Fatalf("bad static evaluation %+v", a)
+	}
+}
+
+func TestRecorderProfile(t *testing.T) {
+	shape := testProfile(t)
+	rec := NewRecorder()
+	if _, ok := rec.Profile(shape, 1, core.OneRenderer); ok {
+		t.Fatal("empty recorder produced a profile")
+	}
+	// Two frames of synthetic observations.
+	for f := 0; f < 2; f++ {
+		rec.Observe(core.StageRender, 100*time.Millisecond)
+		for _, k := range core.FilterOrder {
+			rec.Observe(k, 10*time.Millisecond)
+		}
+		rec.Observe(core.StageTransfer, 2*time.Millisecond)
+		rec.FrameDone()
+	}
+	pr, ok := rec.Profile(shape, 1, core.OneRenderer)
+	if !ok {
+		t.Fatal("recorder with frames produced no profile")
+	}
+	if pr.Frames != 2 || pr.Source != "observed" {
+		t.Fatalf("profile meta %+v", pr)
+	}
+	if got := pr.Filters[core.StageBlur]; !approxEq(got, 0.010) {
+		t.Fatalf("blur %v, want 0.010", got)
+	}
+	// The render split preserves the observed total and the shape's ratio.
+	if got := pr.RenderFixed + pr.RenderScaled; !approxEq(got, 0.100) {
+		t.Fatalf("render total %v, want 0.100", got)
+	}
+	wantRatio := shape.RenderFixed / (shape.RenderFixed + shape.RenderScaled)
+	if got := pr.RenderFixed / (pr.RenderFixed + pr.RenderScaled); !approxEq(got, wantRatio) {
+		t.Fatalf("fixed ratio %v, want %v", got, wantRatio)
+	}
+
+	// n-renderer observations at k=2: observed = 2·F + S.
+	rec.Reset()
+	for f := 0; f < 2; f++ {
+		rec.Observe(core.StageRender, 100*time.Millisecond)
+		rec.FrameDone()
+	}
+	pr2, ok := rec.Profile(shape, 2, core.NRenderers)
+	if !ok {
+		t.Fatal("no profile")
+	}
+	if got := 2*pr2.RenderFixed + pr2.RenderScaled; !approxEq(got, 0.100) {
+		t.Fatalf("n-renderer decomposition 2F+S = %v, want 0.100", got)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestControllerReplansOnDrift(t *testing.T) {
+	shape := testProfile(t)
+	ctl, err := NewController(shape, Config{Renderer: core.OneRenderer, Workers: 48, Height: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.MinFrames = 4
+	initial := ctl.Current()
+
+	// A window matching the model: no re-plan.
+	feed := func(flickerScale float64) {
+		for f := 0; f < 4; f++ {
+			ctl.Observe(core.StageRender, time.Duration((shape.RenderFixed+shape.RenderScaled)*float64(time.Second)))
+			for _, k := range core.FilterOrder {
+				s := shape.Filters[k]
+				if k == core.StageFlicker {
+					s *= flickerScale
+				}
+				ctl.Observe(k, time.Duration(s*float64(time.Second)))
+			}
+			ctl.Observe(core.StageTransfer, time.Duration(shape.Transfer*float64(time.Second)))
+			ctl.FrameDone()
+		}
+	}
+	feed(1)
+	if _, changed := ctl.MaybeReplan(); changed {
+		t.Fatal("controller re-planned on a window matching the model")
+	}
+	if ctl.Replans() != 0 {
+		t.Fatalf("replans = %d after matching window", ctl.Replans())
+	}
+
+	// A skewed window past the threshold re-plans and changes the mapping.
+	for f := 0; f < 4; f++ {
+		ctl.Observe(core.StageRender, time.Duration((shape.RenderFixed+shape.RenderScaled)*float64(time.Second)))
+		for _, k := range core.FilterOrder {
+			s := shape.Filters[k]
+			if k == core.StageFlicker {
+				s *= 30
+			}
+			ctl.Observe(k, time.Duration(s*float64(time.Second)))
+		}
+		ctl.Observe(core.StageTransfer, time.Duration(shape.Transfer*float64(time.Second)))
+		ctl.FrameDone()
+	}
+	p, changed := ctl.MaybeReplan()
+	if !changed {
+		t.Fatalf("controller ignored a 30× flicker drift (drift=%v)", ctl.LastDrift())
+	}
+	if ctl.Replans() != 1 {
+		t.Fatalf("replans = %d, want 1", ctl.Replans())
+	}
+	if reflect.DeepEqual(p.Stages.Groups, initial.Stages.Groups) {
+		t.Fatalf("re-plan kept the stage grouping %v", p)
+	}
+
+	// The skewed profile is the new baseline: the same skew again is quiet.
+	for f := 0; f < 4; f++ {
+		ctl.Observe(core.StageRender, time.Duration((shape.RenderFixed+shape.RenderScaled)*float64(time.Second)))
+		for _, k := range core.FilterOrder {
+			s := shape.Filters[k]
+			if k == core.StageFlicker {
+				s *= 30
+			}
+			ctl.Observe(k, time.Duration(s*float64(time.Second)))
+		}
+		ctl.Observe(core.StageTransfer, time.Duration(shape.Transfer*float64(time.Second)))
+		ctl.FrameDone()
+	}
+	if _, changed := ctl.MaybeReplan(); changed {
+		t.Fatal("controller re-planned again on an already-answered drift")
+	}
+}
+
+// TestAllGroupingsMatchReference is the acceptance gate: every plan the
+// planner can emit — every grouping, at a replication factor with plan-set
+// band workers — produces pixels byte-identical to the sequential
+// reference.
+func TestAllGroupingsMatchReference(t *testing.T) {
+	spec := core.ExecSpec{Frames: 4, Width: 64, Height: 48, Pipelines: 2, Renderer: core.OneRenderer, Seed: 7}
+	cams := render.Walkthrough(spec.Frames, planScene.Bounds())
+	collect := func(s core.ExecSpec, ref bool) []*frame.Image {
+		out := make([]*frame.Image, s.Frames)
+		sink := func(f int, img *frame.Image) { out[f] = img.Clone() }
+		var err error
+		if ref {
+			err = core.ExecReference(s, planScene, cams, sink)
+		} else {
+			_, err = core.Exec(s, planScene, cams, sink)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := collect(spec, true)
+	for _, g := range Groupings(false) {
+		s := spec
+		p := Plan{Stages: core.StagePlan{Groups: g, RenderWorkers: 2}, Pipelines: s.Pipelines}
+		p.ApplyExec(&s, false)
+		got := collect(s, false)
+		for f := range want {
+			if !got[f].Equal(want[f]) {
+				t.Fatalf("grouping %v frame %d differs from reference", &core.StagePlan{Groups: g}, f)
+			}
+		}
+	}
+}
+
+func TestApplyExecClamps(t *testing.T) {
+	p := Plan{Stages: core.StagePlan{Groups: Groupings(false)[0]}, Pipelines: 7}
+	es := core.ExecSpec{Frames: 1, Width: 16, Height: 3, Pipelines: 2, Renderer: core.NRenderers}
+	p.ApplyExec(&es, true)
+	if es.Pipelines != 3 {
+		t.Fatalf("pipelines %d, want clamped to 3 rows", es.Pipelines)
+	}
+	if es.Plan == nil {
+		t.Fatal("plan not installed")
+	}
+	es2 := core.ExecSpec{Frames: 1, Width: 16, Height: 100, Pipelines: 2, Renderer: core.NRenderers}
+	p.ApplyExec(&es2, false)
+	if es2.Pipelines != 2 {
+		t.Fatalf("pipelines %d, want untouched 2", es2.Pipelines)
+	}
+}

@@ -1,0 +1,199 @@
+// Package plan computes macro-pipeline stage plans from per-stage cost
+// profiles. The paper hand-maps one stage per SCC core and shows that
+// balance, not topology, decides throughput; this package replaces our
+// port's hard-coded version of that guess with a small cost-model
+// scheduler in the spirit of bi-criteria pipeline mapping: given measured
+// or modeled per-stage weights it chooses fusion boundaries (which
+// adjacent point kernels collapse into one memory pass), band-worker
+// counts for the heavy stages, and the pipeline replication factor,
+// minimizing period×latency (or latency×energy). Profiles come from the
+// DES cost model (ModelProfile) or from live ExecObserver busy time
+// (Recorder); Controller re-plans a running server when the observed
+// balance drifts.
+package plan
+
+import (
+	"sync"
+	"time"
+
+	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
+)
+
+// Profile is the per-frame cost decomposition the planner works from. All
+// times are seconds per full frame at one instance of each stage; the
+// planner scales them by strip fraction, replication, and worker counts.
+type Profile struct {
+	// RenderScaled is the render work that divides across pipelines when
+	// each renders only its strip (rasterization fill). RenderFixed is the
+	// per-renderer work paid in full regardless of strip size — octree
+	// culling and triangle setup traverse the whole scene for any strip, so
+	// the n-renderer configuration duplicates it per pipeline. Frustum is
+	// the extra adjustment each renderer pays in that configuration.
+	RenderScaled, RenderFixed, Frustum float64
+	// Filters holds each filter stage's full-frame seconds.
+	Filters map[core.StageKind]float64
+	// Transfer is the assembly stage's per-frame seconds.
+	Transfer float64
+	// Handoff is the seconds one full-frame hand-off spends in the memory
+	// system (sender write + receiver read); per-strip hand-offs scale by
+	// the strip fraction.
+	Handoff float64
+	// Frames counts the observed frames behind the profile; 0 marks a
+	// modeled profile.
+	Frames int
+	// Source labels where the numbers came from: "model" or "observed".
+	Source string
+}
+
+// ModelProfile derives a profile from the DES cost model over a profiled
+// workload — the planner's offline input, and the shape reference used to
+// split live render observations into fixed and scaled parts.
+func ModelProfile(m core.CostModel, wl *core.Workload) Profile {
+	var fixed float64
+	for _, st := range wl.Full {
+		fixed += m.CullPerNode*float64(st.NodesVisited) + m.TriSetup*float64(st.TrisAccepted)
+	}
+	if wl.Frames > 0 {
+		fixed /= float64(wl.Frames)
+	}
+	pixels := wl.W * wl.H
+	p := Profile{
+		RenderFixed:  fixed,
+		RenderScaled: m.FillPerPixel * float64(pixels),
+		Frustum:      m.FrustumAdjust,
+		Filters:      make(map[core.StageKind]float64, len(core.FilterOrder)),
+		Transfer:     m.AssembleCompute * float64(pixels) / m.RefPixels,
+		Handoff:      2 * float64(wl.FrameBytes()) / scc.DefaultConfig().MemBandwidth,
+		Source:       "model",
+	}
+	for _, k := range core.FilterOrder {
+		p.Filters[k] = m.FilterComputeFor(k, pixels)
+	}
+	return p
+}
+
+// total returns the profile's whole-frame work at k=1 (capacity numerator
+// without hand-offs).
+func (p Profile) total() float64 {
+	s := p.RenderFixed + p.RenderScaled + p.Transfer
+	for _, k := range core.FilterOrder {
+		s += p.Filters[k]
+	}
+	return s
+}
+
+// Recorder aggregates live ExecObserver busy time into a profile. It is
+// safe for concurrent use — exec stage goroutines report from many
+// goroutines at once.
+type Recorder struct {
+	mu     sync.Mutex
+	busy   map[core.StageKind]float64
+	frames int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{busy: make(map[core.StageKind]float64)}
+}
+
+// Observe folds one stage busy report into the profile.
+func (r *Recorder) Observe(kind core.StageKind, busy time.Duration) {
+	r.mu.Lock()
+	r.busy[kind] += busy.Seconds()
+	r.mu.Unlock()
+}
+
+// FrameDone counts one completed frame.
+func (r *Recorder) FrameDone() {
+	r.mu.Lock()
+	r.frames++
+	r.mu.Unlock()
+}
+
+// Observer adapts the recorder to the core exec callback interface.
+func (r *Recorder) Observer() core.ExecObserver {
+	return core.ExecObserver{
+		OnFrame:     func(int) { r.FrameDone() },
+		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) { r.Observe(kind, busy) },
+	}
+}
+
+// Frames returns the number of frames observed so far.
+func (r *Recorder) Frames() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frames
+}
+
+// Reset clears the observation window.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.busy = make(map[core.StageKind]float64)
+	r.frames = 0
+	r.mu.Unlock()
+}
+
+func (r *Recorder) snapshot() (map[core.StageKind]float64, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[core.StageKind]float64, len(r.busy))
+	for k, v := range r.busy {
+		out[k] = v
+	}
+	return out, r.frames
+}
+
+// Profile converts the observed busy time into a per-frame profile. The
+// observation alone cannot tell duplicated per-renderer work from work
+// that divides across strips, so shape — a modeled profile of the same
+// scene — supplies the fixed/scaled ratio, and k is the pipeline count the
+// observations ran at. Stages with no observations inherit the shape's
+// value. Returns false when no frames were observed.
+func (r *Recorder) Profile(shape Profile, k int, renderer core.RendererConfig) (Profile, bool) {
+	busy, frames := r.snapshot()
+	if frames == 0 {
+		return Profile{}, false
+	}
+	fr := float64(frames)
+	out := Profile{
+		Frustum: shape.Frustum,
+		Handoff: shape.Handoff,
+		Filters: make(map[core.StageKind]float64, len(core.FilterOrder)),
+		Frames:  frames,
+		Source:  "observed",
+	}
+	for _, kind := range core.FilterOrder {
+		if s := busy[kind]; s > 0 {
+			out.Filters[kind] = s / fr
+		} else {
+			out.Filters[kind] = shape.Filters[kind]
+		}
+	}
+	if s := busy[core.StageTransfer]; s > 0 {
+		out.Transfer = s / fr
+	} else {
+		out.Transfer = shape.Transfer
+	}
+	obs := busy[core.StageRender] / fr
+	f, sc := shape.RenderFixed, shape.RenderScaled
+	switch {
+	case obs <= 0:
+		out.RenderFixed, out.RenderScaled = f, sc
+	case f+sc <= 0:
+		out.RenderScaled = obs
+	case renderer == core.NRenderers:
+		// k renderers each paid the fixed part while the fill divided
+		// across strips: observed = k·F + S, with F/S in the shape's ratio.
+		if k < 1 {
+			k = 1
+		}
+		den := float64(k)*f + sc
+		out.RenderFixed = obs * f / den
+		out.RenderScaled = obs * sc / den
+	default:
+		out.RenderFixed = obs * f / (f + sc)
+		out.RenderScaled = obs * sc / (f + sc)
+	}
+	return out, true
+}

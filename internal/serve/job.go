@@ -48,6 +48,13 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's run time (queue wait included); 0 takes
 	// the server default, and values above the server maximum are clamped.
 	TimeoutMS int `json:"timeout_ms"`
+
+	// pipelinesDefaulted records that the client left Pipelines unset and
+	// Normalize picked the default. The strip count feeds the deterministic
+	// per-strip RNG streams, so a profile-driven planner may only override
+	// it for jobs that did not ask for a specific count — an explicit
+	// Pipelines value is part of the job's output contract.
+	pipelinesDefaulted bool
 }
 
 // Normalize fills defaults in place.
@@ -66,6 +73,7 @@ func (j *JobSpec) Normalize() {
 	}
 	if j.Pipelines == 0 {
 		j.Pipelines = 4
+		j.pipelinesDefaulted = true
 	}
 	if j.Renderer == "" {
 		j.Renderer = "one"

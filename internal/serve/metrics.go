@@ -31,6 +31,12 @@ const (
 	mBreakerState = "sccserve_breaker_state"
 	mBreakerTrips = "sccserve_breaker_trips_total"
 	mRetryBudget  = "sccserve_retry_budget"
+
+	// Planner metrics: populated when Config.Plan is profile or online.
+	mPlanReplans   = "sccserve_plan_replans_total"
+	mPlanPipelines = "sccserve_plan_pipelines"
+	mPlanStages    = "sccserve_plan_stages"
+	mPlanDrift     = "sccserve_plan_drift"
 )
 
 // stageBusyKey builds the labeled key for per-stage busy time. backend is
@@ -65,6 +71,10 @@ var metricFamilies = []struct {
 	{mBreakerState, "gauge", "Circuit breaker state: 0 closed, 1 open, 2 half-open."},
 	{mBreakerTrips, "counter", "Times the circuit breaker tripped open."},
 	{mRetryBudget, "gauge", "Per-job retry budget of the active recovery policy."},
+	{mPlanReplans, "counter", "Drift-triggered re-plans applied by the online planner."},
+	{mPlanPipelines, "gauge", "Pipeline replication factor of the active stage plan."},
+	{mPlanStages, "gauge", "Filter stage count (after fusion) of the active stage plan."},
+	{mPlanDrift, "gauge", "Stage-balance drift measured when the last observation window closed."},
 }
 
 // handleMetrics serves the Prometheus text exposition format (v0.0.4).
@@ -84,6 +94,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.Set(mUptime, time.Since(s.start).Seconds())
 	s.m.Set(mBreakerState, float64(s.brk.State()))
 	s.m.Set(mRetryBudget, float64(s.cfg.Recovery.Normalize().MaxRetries))
+	if s.planCtl != nil {
+		p := s.planCtl.Current()
+		s.m.Set(mPlanPipelines, float64(p.Pipelines))
+		s.m.Set(mPlanStages, float64(len(p.Stages.Groups)))
+		s.m.Set(mPlanDrift, s.planCtl.LastDrift())
+	}
 
 	snap := s.m.Snapshot()
 	keys := make([]string, 0, len(snap))
@@ -101,7 +117,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if len(members) == 0 && fam.kind != "counter" {
-			continue // untouched gauge family (cannot happen; set above)
+			continue // untouched gauge family (plan gauges with the planner off)
 		}
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
 		if len(members) == 0 {

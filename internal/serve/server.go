@@ -37,6 +37,7 @@ import (
 	"sccpipe/internal/core"
 	"sccpipe/internal/faults"
 	"sccpipe/internal/frame"
+	"sccpipe/internal/plan"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scene"
 	"sccpipe/internal/stats"
@@ -80,6 +81,17 @@ type Config struct {
 	// instead of adjacent per-pixel stages sharing one pass over the strip.
 	NoFuse bool
 
+	// Plan selects how render jobs are mapped onto pipeline stages:
+	// PlanStatic (the default) keeps the built-in maximal-fusion layout,
+	// PlanProfile computes a cost-model plan once at startup from the
+	// server's scene, and PlanOnline additionally re-plans while serving
+	// when the observed per-stage busy balance drifts from the profile the
+	// active plan was computed from. See internal/plan.
+	Plan string
+	// ReplanDrift overrides the online mode's re-plan hysteresis threshold
+	// (relative busy-share deviation; default plan.DefaultDriftThreshold).
+	ReplanDrift float64
+
 	// Breaker configures the circuit breaker in front of admission; the
 	// zero value disables it. See BreakerConfig.
 	Breaker BreakerConfig
@@ -96,9 +108,19 @@ type Config struct {
 	Recovery *faults.RecoveryPolicy
 }
 
+// Plan modes (Config.Plan).
+const (
+	PlanStatic  = "static"
+	PlanProfile = "profile"
+	PlanOnline  = "online"
+)
+
 func (c *Config) fillDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = 2
+	}
+	if c.Plan == "" {
+		c.Plan = PlanStatic
 	}
 	if c.QueueDepth < 0 {
 		c.QueueDepth = 0
@@ -138,6 +160,13 @@ type Server struct {
 	// bands is the band-parallel worker pool shared by every render job's
 	// stages, sized by Config.StageWorkers.
 	bands *band.Pool
+
+	// planCtl holds the profile-driven stage plan when Config.Plan is
+	// PlanProfile or PlanOnline; nil serves the static layout. planOnline
+	// additionally feeds job observations back into the controller and
+	// re-plans on drift.
+	planCtl    *plan.Controller
+	planOnline bool
 
 	// room bounds total admitted jobs (running + waiting); slots bounds
 	// running pipeline jobs. Both are counting semaphores.
@@ -189,11 +218,53 @@ func New(cfg Config) *Server {
 		hardStop: make(chan struct{}),
 	}
 	s.brk = newBreaker(cfg.Breaker, func() { s.m.Inc(mBreakerTrips) })
+	s.initPlanner()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// planShape is the workload shape the planner's modeled profile is built
+// from: the default job geometry (a plan is a stage balance, and the
+// balance is dominated by the per-pixel stage ratios, which are
+// shape-stable across job sizes).
+const (
+	planShapeFrames = 8
+	planShapeW      = 320
+	planShapeH      = 240
+)
+
+// initPlanner builds the plan controller for PlanProfile/PlanOnline; any
+// failure (or an unknown mode) logs and falls back to the static layout so
+// a misconfigured planner never takes the server down.
+func (s *Server) initPlanner() {
+	switch s.cfg.Plan {
+	case PlanStatic:
+		return
+	case PlanProfile, PlanOnline:
+	default:
+		s.logf("plan: unknown mode %q, serving static", s.cfg.Plan)
+		return
+	}
+	wl := core.BuildWorkload(s.tree, planShapeFrames, planShapeW, planShapeH)
+	shape := plan.ModelProfile(core.DefaultCostModel(), wl)
+	ctl, err := plan.NewController(shape, plan.Config{
+		Renderer: core.OneRenderer,
+		Height:   planShapeH,
+		Workers:  s.cfg.StageWorkers,
+	})
+	if err != nil {
+		s.logf("plan: %v, serving static", err)
+		return
+	}
+	if s.cfg.ReplanDrift > 0 {
+		ctl.DriftThreshold = s.cfg.ReplanDrift
+	}
+	s.planCtl = ctl
+	s.planOnline = s.cfg.Plan == PlanOnline
+	s.logf("plan: %s mode, initial plan %s", s.cfg.Plan, ctl.Current())
 }
 
 // ServeHTTP dispatches to the service endpoints.
@@ -420,10 +491,28 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 	es.Pool = s.pool
 	es.Bands = s.bands
 	es.NoFuse = s.cfg.NoFuse
+	var planned string
+	if s.planCtl != nil {
+		p := s.planCtl.Current()
+		// The plan is computed for the default (unoriented) filter chain; a
+		// job that turns on oriented scratches may make a fused group
+		// illegal, in which case it runs the static layout instead.
+		if st := p.Stages; st.Validate(es.OrientedScratches) == nil {
+			p.ApplyExec(&es, spec.pipelinesDefaulted)
+			planned = p.String()
+		}
+	}
+	online := s.planOnline
 	es.Observer = core.ExecObserver{
 		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) {
 			s.m.Add(stageBusyKey("exec", kind.String()), busy.Seconds())
+			if online {
+				s.planCtl.Observe(kind, busy)
+			}
 		},
+	}
+	if online {
+		es.Observer.OnFrame = func(int) { s.planCtl.FrameDone() }
 	}
 	if s.cfg.Chaos != nil || s.cfg.Recovery != nil {
 		if s.cfg.Chaos != nil {
@@ -462,6 +551,14 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		s.m.Inc(mFrames)
 	}
 	res, runErr := core.ExecContext(ctx, es, s.tree, cams, sink)
+	if online {
+		// The window just absorbed this job's observations (even a failed
+		// run's); close it if it is full and re-plan on drift.
+		if _, changed := s.planCtl.MaybeReplan(); changed {
+			s.m.Inc(mPlanReplans)
+			s.logf("plan: replanned to %s (drift %.2f)", s.planCtl.Current(), s.planCtl.LastDrift())
+		}
+	}
 	if werr := st.Err(); werr != nil {
 		runErr = fmt.Errorf("serve: %w: %v", errStream, werr)
 	}
@@ -476,6 +573,7 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 	summary := renderSummary{
 		Frames:    res.Frames,
 		ElapsedMS: res.Elapsed.Milliseconds(),
+		Plan:      planned,
 	}
 	if res.Degraded.IsDegraded() {
 		s.m.Inc(mJobsDegraded)
@@ -492,6 +590,10 @@ type renderSummary struct {
 	// Degraded describes a run that recovered from injected faults by
 	// re-partitioning a dead pipeline's work; empty for clean runs.
 	Degraded string `json:"degraded,omitempty"`
+	// Plan is the profile-driven stage plan the job ran under (e.g.
+	// "k=4 [sepia][blur][scratch+flicker+swap]"); empty when the server
+	// serves the static layout.
+	Plan string `json:"plan,omitempty"`
 }
 
 // simResponse is the JSON body of a completed simulate job.
