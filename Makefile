@@ -3,9 +3,9 @@ GO ?= go
 # The hot-path benchmarks snapshotted into BENCH_pipeline.json: kernel
 # pairs (optimized vs reference), the strip split/assemble round trip, the
 # renderer, and the end-to-end pipeline + serve runs.
-BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs)
+BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway)
 
-.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke fuzz chaos-soak check
+.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke fleet-smoke fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,16 @@ serve-smoke:
 plan-smoke:
 	$(GO) run ./cmd/paperrepro -exp plan -frames 64
 
+# End-to-end smoke of the fleet gateway: builds sccgated and sccserved,
+# starts a gateway over two real worker processes, submits a long render
+# through the gateway, SIGKILLs the worker serving it mid-stream, and
+# verifies the relayed stream completes with frame payloads byte-identical
+# to a single-node run — with the death and retry visible in the sccgate
+# metrics. The driver lives behind the fleetsmoke build tag in
+# cmd/sccgated.
+fleet-smoke:
+	$(GO) test -tags fleetsmoke -run TestFleetSmoke -count=1 ./cmd/sccgated
+
 # Chaos soak: a seeded fault-injection barrage against the render service
 # under the race detector — every job must survive injected transients,
 # flaky transfers, and a pipeline death via re-partitioning. The barrage
@@ -90,4 +100,4 @@ fuzz:
 # detector (the pipeline backends are heavily concurrent — this includes
 # the short chaos soak and the fuzz seed corpora as regression tests),
 # then the service smoke sequence against the real binary.
-check: vet race test-framedebug serve-smoke plan-smoke
+check: vet race test-framedebug serve-smoke fleet-smoke plan-smoke

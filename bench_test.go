@@ -17,12 +17,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"sccpipe/internal/codec"
 	"sccpipe/internal/core"
 	"sccpipe/internal/des"
 	"sccpipe/internal/experiments"
 	"sccpipe/internal/filters"
+	"sccpipe/internal/fleet"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/pipe"
 	"sccpipe/internal/plan"
@@ -608,6 +610,96 @@ func BenchmarkServeConcurrentJobs(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(job))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("job status %d", resp.StatusCode)
+			}
+		}
+	})
+}
+
+// benchFleet stands up a gateway over n in-process workers and returns
+// the gateway's test server.
+func benchFleet(b *testing.B, n int) *httptest.Server {
+	b.Helper()
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	city := scene.City(cfg)
+	urls := make([]string, n)
+	for i := range urls {
+		ws := httptest.NewServer(serve.New(serve.Config{
+			Workers:    2,
+			QueueDepth: 1024,
+			Scene:      city,
+		}))
+		b.Cleanup(ws.Close)
+		urls[i] = ws.URL
+	}
+	g, err := fleet.New(fleet.Config{Workers: urls, HealthInterval: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Start()
+	b.Cleanup(g.Close)
+	gs := httptest.NewServer(g)
+	b.Cleanup(gs.Close)
+	return gs
+}
+
+// BenchmarkGatewayRoutedJobs measures end-to-end render throughput through
+// the fleet gateway — routing decision, relay re-framing, and the extra
+// HTTP hop — against BenchmarkServeConcurrentJobs as the single-node
+// baseline.
+func BenchmarkGatewayRoutedJobs(b *testing.B) {
+	gs := benchFleet(b, 2)
+	job, err := json.Marshal(serve.JobSpec{
+		Mode: serve.ModeRender, Frames: 2, Width: 64, Height: 48, Pipelines: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(gs.URL+"/jobs", "application/json", bytes.NewReader(job))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("job status %d", resp.StatusCode)
+			}
+		}
+	})
+}
+
+// BenchmarkGatewaySimulateJobs pushes tiny buffered simulate jobs through
+// the gateway: the job body is small and the worker's compute brief, so
+// the number is dominated by the gateway's own routing and forwarding
+// overhead.
+func BenchmarkGatewaySimulateJobs(b *testing.B) {
+	gs := benchFleet(b, 2)
+	job, err := json.Marshal(serve.JobSpec{
+		Mode: serve.ModeSimulate, Frames: 2, Width: 64, Height: 48, Pipelines: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(gs.URL+"/jobs", "application/json", bytes.NewReader(job))
 			if err != nil {
 				b.Fatal(err)
 			}

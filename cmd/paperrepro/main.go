@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"sccpipe/internal/experiments"
+	"sccpipe/internal/host"
 )
 
 func main() {
@@ -26,8 +27,13 @@ func main() {
 	log.SetPrefix("paperrepro: ")
 	exp := flag.String("exp", "all", "experiment to run (fig8..fig17, table1, energy, ablation, adaptive, pareto, cachestudy, fusion, plan, all)")
 	frames := flag.Int("frames", 400, "walkthrough length in frames")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's data as CSV into this directory")
 	flag.Parse()
+	if *version {
+		fmt.Println(host.BuildLine("paperrepro"))
+		return
+	}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,125 @@
+// Command sccgated runs the fleet gateway: the distributed front end
+// that shards render jobs across a fleet of sccserved worker nodes. It
+// health-checks the configured workers, routes each job to the
+// least-loaded healthy node (rendezvous hashing on the job spec breaks
+// ties, so identical specs stay cache-warm on one worker), fails a job
+// over to another node when a worker dies mid-stream — the client's
+// frame stream stays byte-identical to a single-node run — and
+// aggregates the whole fleet's Prometheus metrics with per-worker
+// labels.
+//
+// Usage:
+//
+//	sccgated -addr :8440 -workers http://node1:8344,http://node2:8344
+//
+// Endpoints:
+//
+//	POST /jobs     submit a job (serve.JobSpec JSON); routed to a worker
+//	GET  /healthz  gateway liveness + fleet state summary
+//	GET  /nodes    per-worker table: state, load, version, job counts
+//	GET  /metrics  gateway metrics + fleet-wide worker metrics
+//
+// A worker that stops answering health checks (or fails a forwarded
+// job) -fail-after times in a row is deregistered; it keeps being probed
+// and rejoins on its first successful check. A worker whose /healthz
+// reports draining stops receiving new jobs but keeps its in-flight
+// ones. On SIGTERM/SIGINT the gateway itself drains: admission closes
+// and in-flight relays finish bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sccpipe/internal/faults"
+	"sccpipe/internal/fleet"
+	"sccpipe/internal/host"
+)
+
+// usageErr prints the problem plus usage and exits non-zero: bad flag
+// values must never be silently accepted.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sccgated: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sccgated: ")
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8440", "listen address (use :0 for a random port)")
+		workers        = flag.String("workers", "", "comma-separated worker base URLs, e.g. http://node1:8344,http://node2:8344 (required)")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "per-worker health check period")
+		healthTimeout  = flag.Duration("health-timeout", time.Second, "deadline for one health check or metrics scrape")
+		failAfter      = flag.Int("fail-after", 3, "consecutive failures that deregister a worker")
+		retries        = flag.Int("retries", 3, "per-job failover budget: worker attempts beyond the first (minimum 1)")
+		backoff        = flag.Duration("retry-backoff", 0, "base failover backoff (0 = supervisor default)")
+		seed           = flag.Int64("seed", 0, "seed for the deterministic failover backoff jitter")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight relays on shutdown")
+		quiet          = flag.Bool("quiet", false, "suppress per-event log lines")
+		version        = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(host.BuildLine("sccgated"))
+		return
+	}
+	if flag.NArg() > 0 {
+		usageErr("unexpected argument %q", flag.Arg(0))
+	}
+	if strings.TrimSpace(*workers) == "" {
+		usageErr("-workers is required")
+	}
+	if *failAfter < 1 {
+		usageErr("-fail-after must be at least 1 (got %d)", *failAfter)
+	}
+	if *retries < 1 {
+		usageErr("-retries must be at least 1 (got %d)", *retries)
+	}
+	if *healthInterval <= 0 || *healthTimeout <= 0 {
+		usageErr("-health-interval and -health-timeout must be positive")
+	}
+	if *backoff < 0 {
+		usageErr("-retry-backoff must not be negative (got %v)", *backoff)
+	}
+
+	gwLog := log.Default()
+	if *quiet {
+		gwLog = nil
+	}
+	pol := &faults.RecoveryPolicy{MaxRetries: *retries, Backoff: *backoff, Seed: *seed}
+	g, err := fleet.New(fleet.Config{
+		Workers:        strings.Split(*workers, ","),
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		FailAfter:      *failAfter,
+		Retry:          pol,
+		DrainTimeout:   *drainTimeout,
+		Log:            gwLog,
+	})
+	if err != nil {
+		// Config errors (bad worker URLs) are usage errors too.
+		usageErr("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	err = g.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		// The smoke harness parses this line to find a randomly bound port.
+		log.Printf("listening on %s (%d workers, version %s)", a,
+			len(strings.Split(*workers, ",")), host.BuildVersion())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, exiting")
+}

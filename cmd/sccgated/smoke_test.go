@@ -1,0 +1,285 @@
+//go:build fleetsmoke
+
+// The fleet smoke test exercises the built binaries end to end: a
+// sccgated gateway over two real sccserved worker processes, a long
+// render job, SIGKILL of the worker serving it mid-stream, and the
+// acceptance check — the relayed stream's frame payloads are
+// byte-identical to a single-node run, with the death and retry visible
+// in the sccgate metrics. `make fleet-smoke` (part of `make check`)
+// runs it behind the fleetsmoke build tag.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon launches a binary and scans its stderr for the
+// "listening on ADDR" line, returning the bound address.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			go io.Copy(io.Discard, stderr)
+			return cmd, addr
+		}
+	}
+	t.Fatalf("%s never reported its address: %v", bin, sc.Err())
+	return nil, ""
+}
+
+// readJobStream parses a multipart job response into frame payloads by
+// index plus the decoded summary. It returns errors rather than failing
+// the test so it is safe to call from a background goroutine.
+func readJobStream(resp *http.Response) (map[int][]byte, map[string]any, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, nil, fmt.Errorf("job status %d: %s", resp.StatusCode, body)
+	}
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("content type: %v", err)
+	}
+	frames := make(map[int][]byte)
+	var summary map[string]any
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("stream: %v", err)
+		}
+		switch part.Header.Get("Content-Type") {
+		case "image/png":
+			idx, err := strconv.Atoi(part.Header.Get("X-Frame-Index"))
+			if err != nil {
+				return nil, nil, fmt.Errorf("frame index: %v", err)
+			}
+			payload, err := io.ReadAll(part)
+			if err != nil {
+				return nil, nil, fmt.Errorf("frame %d: %v", idx, err)
+			}
+			frames[idx] = payload
+		case "application/json":
+			if err := json.NewDecoder(part).Decode(&summary); err != nil {
+				return nil, nil, fmt.Errorf("summary: %v", err)
+			}
+		}
+	}
+	if summary == nil {
+		return nil, nil, fmt.Errorf("stream ended without a summary part")
+	}
+	if errMsg, ok := summary["error"]; ok {
+		return nil, nil, fmt.Errorf("job error: %v", errMsg)
+	}
+	return frames, summary, nil
+}
+
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out
+}
+
+func TestFleetSmoke(t *testing.T) {
+	dir := t.TempDir()
+	served := filepath.Join(dir, "sccserved")
+	gated := filepath.Join(dir, "sccgated")
+	for pkg, bin := range map[string]string{"sccpipe/cmd/sccserved": served, "sccpipe/cmd/sccgated": gated} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", pkg, err)
+		}
+	}
+
+	// Two workers, then the gateway over them.
+	workers := map[string]*exec.Cmd{}
+	var workerURLs []string
+	for i := 0; i < 2; i++ {
+		cmd, addr := startDaemon(t, served, "-addr", "127.0.0.1:0", "-workers", "2", "-quiet")
+		workers[addr] = cmd
+		workerURLs = append(workerURLs, "http://"+addr)
+	}
+	gwCmd, gwAddr := startDaemon(t, gated, "-addr", "127.0.0.1:0",
+		"-workers", strings.Join(workerURLs, ","),
+		"-health-interval", "100ms", "-health-timeout", "500ms", "-fail-after", "1")
+	gwURL := "http://" + gwAddr
+
+	// A long render job through the gateway; read the stream in the
+	// background while we hunt down the worker serving it.
+	spec, _ := json.Marshal(map[string]any{
+		"mode": "render", "frames": 80, "width": 512, "height": 512, "pipelines": 2, "seed": int64(11),
+	})
+	type result struct {
+		frames  map[int][]byte
+		summary map[string]any
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(gwURL+"/jobs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		frames, summary, err := readJobStream(resp)
+		done <- result{frames, summary, err}
+	}()
+
+	// Wait until the job is visibly mid-stream (frames already relayed),
+	// find the worker carrying it, and SIGKILL that process.
+	var victim string
+	deadline := time.Now().Add(30 * time.Second)
+	for victim == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never showed up mid-stream on a worker")
+		}
+		m := scrapeMetrics(t, gwURL)
+		if m["sccgate_frames_relayed_total"] >= 3 {
+			resp, err := http.Get(gwURL + "/nodes")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nodes []struct {
+				Name string `json:"name"`
+				Live int64  `json:"live"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&nodes)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range nodes {
+				if n.Live >= 1 {
+					victim = n.Name
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("killing worker %s mid-job", victim)
+	if err := workers[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream must complete across the failover.
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("relayed stream: %v", res.err)
+	}
+	if len(res.frames) != 80 {
+		t.Fatalf("relayed %d frames, want 80", len(res.frames))
+	}
+	if fo, _ := res.summary["failovers"].(float64); fo < 1 {
+		t.Fatalf("summary failovers = %v, want >= 1", res.summary["failovers"])
+	}
+	if res.summary["worker"] == victim {
+		t.Fatalf("summary credits the killed worker %s", victim)
+	}
+
+	// Golden: byte-identical frame payloads vs a single-node run on the
+	// surviving worker.
+	var survivor string
+	for addr := range workers {
+		if addr != victim {
+			survivor = addr
+		}
+	}
+	resp, err := http.Post("http://"+survivor+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := readJobStream(resp)
+	if err != nil {
+		t.Fatalf("single-node stream: %v", err)
+	}
+	if len(golden) != len(res.frames) {
+		t.Fatalf("single node served %d frames, gateway %d", len(golden), len(res.frames))
+	}
+	for idx, want := range golden {
+		if !bytes.Equal(res.frames[idx], want) {
+			t.Fatalf("frame %d differs from the single-node run", idx)
+		}
+	}
+
+	// The death, the retry, and the per-worker job counts are on the
+	// metrics endpoint.
+	m := scrapeMetrics(t, gwURL)
+	for _, key := range []string{
+		`sccgate_worker_deaths_total{worker="` + victim + `"}`,
+		`sccgate_job_retries_total{worker="` + victim + `"}`,
+		`sccgate_worker_jobs_total{worker="` + victim + `"}`,
+		`sccgate_worker_jobs_total{worker="` + survivor + `"}`,
+	} {
+		if m[key] < 1 {
+			t.Errorf("metric %s = %v, want >= 1", key, m[key])
+		}
+	}
+	// Fleet-wide aggregation still carries the survivor's labeled samples.
+	if m[`sccserve_jobs_accepted_total{worker="`+survivor+`"}`] < 1 {
+		t.Errorf("aggregated worker metrics missing for %s", survivor)
+	}
+
+	// SIGTERM the gateway: clean drain, exit 0.
+	if err := gwCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- gwCmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("gateway did not exit cleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not exit within 10s of SIGTERM")
+	}
+}

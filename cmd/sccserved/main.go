@@ -37,6 +37,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"sccpipe/internal/faults"
+	"sccpipe/internal/host"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scene"
 	"sccpipe/internal/serve"
@@ -75,8 +77,28 @@ func main() {
 		stallTimeout = flag.Duration("stall-timeout", 0, "per-stage deadline for supervised runs (0 disables the stall watchdog)")
 		breakerTrip  = flag.Int("breaker-threshold", 0, "consecutive job failures that trip the circuit breaker (0 disables it)")
 		breakerCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(host.BuildLine("sccserved"))
+		return
+	}
+	// Unknown flag VALUES are rejected up front with usage and a nonzero
+	// exit, never silently coerced to a default behavior.
+	switch *planMode {
+	case serve.PlanStatic, serve.PlanProfile, serve.PlanOnline:
+	default:
+		fmt.Fprintf(os.Stderr, "sccserved: unknown -plan mode %q (want %s, %s, or %s)\n",
+			*planMode, serve.PlanStatic, serve.PlanProfile, serve.PlanOnline)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sccserved: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	// The profiler gets its own mux on its own listener so the debug
 	// endpoints never share a port with the public job API.

@@ -119,6 +119,16 @@ func (p *RecoveryPolicy) backoffFor(pipeline int, stage string, seq, attempt int
 	return d
 }
 
+// RetryBackoff returns the supervised sleep before retry `attempt`
+// (1-based) of the given (pipeline, stage, seq) application — the same
+// exponential schedule with deterministic jitter that Apply imposes
+// between in-pipeline retries. The fleet gateway reuses it to pace job
+// failover across workers, so a remote node death backs off exactly like
+// a local stage failure. The policy must be normalized.
+func (p *RecoveryPolicy) RetryBackoff(pipeline int, stage string, seq, attempt int) time.Duration {
+	return p.backoffFor(pipeline, stage, seq, attempt)
+}
+
 // Verdict is the outcome of one supervised stage application.
 type Verdict int
 

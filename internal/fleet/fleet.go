@@ -1,0 +1,596 @@
+// Package fleet is the distributed render fabric: a gateway that shards
+// render jobs across a fleet of sccserved worker nodes, one level above
+// the paper's on-chip macro pipeline. Each worker is treated as one big
+// "pipeline" that can die — the gateway health-checks the static worker
+// set, routes each job to the least-loaded healthy node (with rendezvous
+// hashing on the job spec as the tie-break, so identical specs stay
+// cache-warm on one worker), fails a job over to another node when a
+// worker dies mid-stream (reusing faults.RecoveryPolicy's retry budget
+// and backoff semantics, and PR 4's rule that client-caused failures
+// never count against a backend), and aggregates the whole fleet's
+// Prometheus metrics with per-worker labels.
+//
+// Because rendering is deterministic, failover is exact: the gateway
+// resubmits the job to a surviving worker and discards the frames it
+// already relayed (each frame part carries its index), so the client's
+// stream carries the same frame payload bytes as a single-node run no
+// matter how many workers died along the way.
+//
+// Endpoints:
+//
+//	POST /jobs     submit a job (serve.JobSpec JSON); routed to a worker
+//	GET  /healthz  gateway liveness + fleet state summary
+//	GET  /nodes    per-worker table: state, load, version, routing counts
+//	GET  /metrics  gateway metrics + fleet-wide worker metrics (labeled)
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"mime"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccpipe/internal/faults"
+	"sccpipe/internal/host"
+	"sccpipe/internal/serve"
+	"sccpipe/internal/stats"
+)
+
+// Config tunes a fleet gateway. Workers is required; every other field
+// defaults as noted.
+type Config struct {
+	// Workers is the static list of worker base URLs (e.g.
+	// "http://10.0.0.2:8344"); a bare host:port implies http. Required.
+	Workers []string
+
+	// HealthInterval is the per-node health-check period (default 2s);
+	// HealthTimeout bounds each check (default 1s). Probes of one node
+	// never overlap — a check that outlives the interval simply delays
+	// the next one — so the timeout may exceed the interval: fast
+	// cadence with a tolerant deadline is a valid combination.
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// FailAfter is how many consecutive health-check or job-forward
+	// failures deregister a worker (default 3). Dead workers keep being
+	// probed and rejoin on the first success.
+	FailAfter int
+
+	// Retry tunes job failover: MaxRetries is the per-job budget of
+	// worker attempts beyond the first, and Backoff/MaxBackoff/Seed drive
+	// the same deterministic backoff schedule the in-pipeline supervisor
+	// uses. Nil takes faults.RecoveryPolicy defaults. OnEvent, when set,
+	// receives an EventRetry per failover (Stage is the failed worker).
+	Retry *faults.RecoveryPolicy
+
+	// DrainTimeout bounds how long ListenAndServe waits for in-flight
+	// jobs after its context is cancelled (default 30s).
+	DrainTimeout time.Duration
+	// Log receives gateway events (worker deaths, failovers); nil
+	// disables logging.
+	Log *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+}
+
+// Gateway shards jobs across registered workers. Create one with New,
+// call Start to launch the health loops (ListenAndServe does both), and
+// Close to stop them. It implements http.Handler.
+type Gateway struct {
+	cfg   Config
+	reg   *registry
+	retry faults.RecoveryPolicy
+	mux   *http.ServeMux
+	m     *stats.Counters
+
+	// jobs is the streaming client used for forwarded jobs (no overall
+	// timeout — streams are long-lived and context-bound); health is the
+	// short-deadline client used by probes and metric scrapes.
+	jobs   *http.Client
+	health *http.Client
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	loops     sync.WaitGroup
+	stop      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+
+	start time.Time
+}
+
+// New builds a Gateway over the configured worker set. The worker list
+// is validated here; health states converge once Start runs the first
+// probes (nodes start healthy, so routing works immediately and the
+// failover path covers any worker that was already down).
+func New(cfg Config) (*Gateway, error) {
+	cfg.fillDefaults()
+	reg, err := newRegistry(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		reg:    reg,
+		retry:  cfg.Retry.Normalize(),
+		m:      stats.NewCounters(),
+		jobs:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+		health: &http.Client{Timeout: cfg.HealthTimeout, Transport: &http.Transport{MaxIdleConnsPerHost: 2}},
+		stop:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/jobs", g.handleJobs)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/nodes", g.handleNodes)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	return g, nil
+}
+
+// Start launches one health loop per worker (idempotent).
+func (g *Gateway) Start() {
+	g.startOnce.Do(func() {
+		for _, n := range g.reg.nodes {
+			g.loops.Add(1)
+			go g.healthLoop(n, g.stop)
+		}
+	})
+}
+
+// Close stops the health loops and releases idle connections
+// (idempotent). In-flight relayed jobs are not interrupted.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.loops.Wait()
+	if t, ok := g.jobs.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+	if t, ok := g.health.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// ServeHTTP dispatches to the gateway endpoints.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// BeginDrain stops job admission: submissions get 503 and /healthz flips
+// to draining. In-flight relays are unaffected.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Drain blocks until every admitted job relay has finished or ctx ends.
+func (g *Gateway) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { g.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains:
+// admission closes, in-flight relays finish bounded by DrainTimeout, the
+// health loops stop, and the listener shuts down. ready, if non-nil, is
+// called with the bound address before serving.
+func (g *Gateway) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.Start()
+	defer g.Close()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	hs := &http.Server{Handler: g}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	g.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), g.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close() // drain window expired: sever what is left mid-stream
+	}
+	<-errc
+	return nil
+}
+
+// logf logs one line if logging is configured.
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Log != nil {
+		g.cfg.Log.Printf(format, args...)
+	}
+}
+
+// reject records a refused submission and writes the error response.
+func (g *Gateway) reject(w http.ResponseWriter, status int, reason, msg string) {
+	g.m.Inc(mRejected + `{reason="` + reason + `"}`)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, msg, status)
+}
+
+// routeKey canonicalizes the content-determining fields of a normalized
+// job spec into the rendezvous key: two submissions that would produce
+// identical output hash identically, so on an idle fleet they land on
+// the same worker and reuse its warm caches.
+func routeKey(spec serve.JobSpec) uint64 {
+	return fnv64a(fmt.Sprintf("%s|%d|%dx%d|%d|%s|%s|%d|%t",
+		spec.Mode, spec.Frames, spec.Width, spec.Height, spec.Pipelines,
+		spec.Renderer, spec.Arrangement, spec.Seed, spec.OrientedScratches))
+}
+
+func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JobSpec to /jobs", http.StatusMethodNotAllowed)
+		return
+	}
+	if g.draining.Load() {
+		g.reject(w, http.StatusServiceUnavailable, "draining", "gateway is draining")
+		return
+	}
+	// The original body bytes are forwarded verbatim (so worker-side
+	// semantics like "the client did not pin a pipeline count" survive
+	// the hop); the decoded copy only feeds validation and the route key.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		g.reject(w, http.StatusBadRequest, "invalid", "bad job body: "+err.Error())
+		return
+	}
+	var spec serve.JobSpec
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &spec); err != nil {
+			g.reject(w, http.StatusBadRequest, "invalid", "bad job spec: "+err.Error())
+			return
+		}
+	}
+	spec.Normalize()
+	g.inflight.Add(1)
+	defer g.inflight.Done()
+	g.m.Inc(mAccepted)
+	if spec.Mode == serve.ModeSimulate {
+		g.relayBuffered(r.Context(), w, body, routeKey(spec))
+		return
+	}
+	g.relayRender(r.Context(), w, body, routeKey(spec))
+}
+
+// relay outcomes: how one forwarding attempt ended.
+const (
+	relayDone       = iota // summary delivered; job complete
+	relayClientGone        // downstream client vanished or its ctx ended
+	relayClientBad         // worker rejected the spec 4xx; relayed, final
+	relayBusy              // worker full/draining; try another, no blame
+	relayWorkerErr         // worker-caused failure; blame + failover
+)
+
+type relayResult struct {
+	kind   int
+	err    error
+	status int // for relayClientBad/relayBusy: the worker's HTTP status
+}
+
+// relayRender forwards a render job with mid-job failover. Frames
+// already relayed are skipped on retry (the worker replays the job from
+// frame zero; payloads are deterministic), so the client's stream is
+// seamless across worker deaths.
+func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body []byte, key uint64) {
+	st := newRelayStream(w)
+	excluded := make(map[string]bool)
+	lastSent := -1
+	retries, sawBusy := 0, false
+	for {
+		n := g.reg.pick(key, excluded)
+		if n == nil {
+			if st.Started() {
+				st.CloseWithError(errors.New("no healthy worker available to finish the job"))
+				g.m.Inc(mFailed)
+				return
+			}
+			if sawBusy {
+				g.reject(w, http.StatusTooManyRequests, "fleet_busy", "every worker is at capacity")
+				return
+			}
+			g.reject(w, http.StatusServiceUnavailable, "no_workers", "no healthy worker available")
+			return
+		}
+		n.live.Add(1)
+		n.jobs.Add(1)
+		g.m.Inc(workerJobsKey(n.name))
+		res := g.streamFrom(ctx, n, body, st, &lastSent, retries)
+		n.live.Add(-1)
+		switch res.kind {
+		case relayDone:
+			g.m.Inc(mCompleted)
+			return
+		case relayClientGone:
+			// PR 4 rule, one level up: the client went away — says nothing
+			// about the worker, so no blame and no retry.
+			g.m.Inc(mClientGone)
+			return
+		case relayClientBad:
+			g.m.Inc(mRejected + `{reason="worker_rejected"}`)
+			return
+		case relayBusy:
+			sawBusy = true
+			excluded[n.name] = true
+		case relayWorkerErr:
+			excluded[n.name] = true
+			g.noteWorkerFailure(n, res.err.Error())
+		}
+		retries++
+		if retries > g.retry.MaxRetries {
+			g.m.Inc(mFailed)
+			err := fmt.Errorf("job failed after %d worker attempts: %v", retries, res.err)
+			g.logf("%v", err)
+			if st.Started() {
+				st.CloseWithError(err)
+			} else {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
+			return
+		}
+		if res.kind == relayWorkerErr {
+			g.m.Inc(retryKey(n.name))
+			g.retry.Notify(faults.Event{Kind: faults.EventRetry, Stage: n.name, Reason: res.err.Error()})
+			g.logf("failover: worker %s failed mid-job (%v), retry %d/%d after %d frames",
+				n.name, res.err, retries, g.retry.MaxRetries, lastSent+1)
+		}
+		if !sleepCtx(ctx, g.retry.RetryBackoff(0, n.name, 0, retries)) {
+			g.m.Inc(mClientGone)
+			return
+		}
+	}
+}
+
+// streamFrom runs one forwarding attempt: POST the job to the node and
+// relay its multipart stream, skipping frames at or below *lastSent.
+// Every frame payload is read fully before being forwarded, so a worker
+// dying mid-frame never emits a torn frame downstream. failovers is the
+// number of prior attempts, folded into the summary for observability.
+func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *relayStream, lastSent *int, failovers int) relayResult {
+	fail := func(err error) relayResult {
+		if ctx.Err() != nil {
+			return relayResult{kind: relayClientGone, err: ctx.Err()}
+		}
+		return relayResult{kind: relayWorkerErr, err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return relayResult{kind: relayWorkerErr, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.jobs.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return relayResult{kind: relayBusy, status: resp.StatusCode,
+			err: fmt.Errorf("worker %s busy (status %d)", n.name, resp.StatusCode)}
+	case resp.StatusCode >= 500:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return relayResult{kind: relayWorkerErr,
+			err: fmt.Errorf("worker %s status %d: %s", n.name, resp.StatusCode, bytes.TrimSpace(msg))}
+	case resp.StatusCode >= 400:
+		// The worker judged the spec invalid. Before any output, relay the
+		// verdict verbatim — it is the client's error, not the worker's.
+		// Mid-stream (a retry after frames went out) it is incoherent:
+		// the spec was accepted once, so treat it as a worker fault.
+		if st.Started() {
+			return relayResult{kind: relayWorkerErr,
+				err: fmt.Errorf("worker %s rejected a previously-accepted spec with %d", n.name, resp.StatusCode)}
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		http.Error(st.w, string(bytes.TrimSpace(msg)), resp.StatusCode)
+		return relayResult{kind: relayClientBad, status: resp.StatusCode}
+	}
+	mediatype, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || !strings.HasPrefix(mediatype, "multipart/") || params["boundary"] == "" {
+		return fail(fmt.Errorf("worker %s sent unexpected content type %q", n.name, resp.Header.Get("Content-Type")))
+	}
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err != nil {
+			// Includes io.EOF: a stream that ends before the summary part
+			// means the worker died mid-job.
+			return fail(fmt.Errorf("worker %s stream truncated: %v", n.name, err))
+		}
+		switch part.Header.Get("Content-Type") {
+		case "image/png":
+			idx, aerr := strconv.Atoi(part.Header.Get("X-Frame-Index"))
+			if aerr != nil {
+				return fail(fmt.Errorf("worker %s sent a frame without an index: %v", n.name, aerr))
+			}
+			payload, rerr := io.ReadAll(part)
+			if rerr != nil {
+				return fail(fmt.Errorf("worker %s frame %d truncated: %v", n.name, idx, rerr))
+			}
+			if idx <= *lastSent {
+				// Replayed during failover; the client already has it.
+				g.m.Inc(mFramesDiscarded)
+				continue
+			}
+			if werr := st.WritePNG(idx, payload); werr != nil {
+				return relayResult{kind: relayClientGone, err: werr}
+			}
+			*lastSent = idx
+			g.m.Inc(mFramesRelayed)
+		case "application/json":
+			raw, rerr := io.ReadAll(part)
+			if rerr != nil {
+				return fail(fmt.Errorf("worker %s summary truncated: %v", n.name, rerr))
+			}
+			var sum map[string]any
+			if jerr := json.Unmarshal(raw, &sum); jerr != nil {
+				return fail(fmt.Errorf("worker %s sent a bad summary: %v", n.name, jerr))
+			}
+			if errMsg, ok := sum["error"]; ok {
+				// The worker's own run failed mid-stream; another worker can
+				// still finish the job.
+				return fail(fmt.Errorf("worker %s job error: %v", n.name, errMsg))
+			}
+			sum["worker"] = n.name
+			if failovers > 0 {
+				sum["failovers"] = failovers
+			}
+			if werr := st.CloseWithSummary(sum); werr != nil {
+				return relayResult{kind: relayClientGone, err: werr}
+			}
+			return relayResult{kind: relayDone}
+		default:
+			io.Copy(io.Discard, part) // unknown part kind: skip
+		}
+	}
+}
+
+// relayBuffered forwards a simulate job: the response is small JSON, so
+// failover is a plain buffered retry with no dedup concerns.
+func (g *Gateway) relayBuffered(ctx context.Context, w http.ResponseWriter, body []byte, key uint64) {
+	excluded := make(map[string]bool)
+	retries, sawBusy := 0, false
+	var lastErr error
+	for {
+		n := g.reg.pick(key, excluded)
+		if n == nil {
+			if sawBusy {
+				g.reject(w, http.StatusTooManyRequests, "fleet_busy", "every worker is at capacity")
+			} else {
+				g.reject(w, http.StatusServiceUnavailable, "no_workers", "no healthy worker available")
+			}
+			return
+		}
+		n.live.Add(1)
+		n.jobs.Add(1)
+		g.m.Inc(workerJobsKey(n.name))
+		kind, err := g.forwardOnce(ctx, n, body, w)
+		n.live.Add(-1)
+		switch kind {
+		case relayDone:
+			g.m.Inc(mCompleted)
+			return
+		case relayClientGone:
+			g.m.Inc(mClientGone)
+			return
+		case relayClientBad:
+			g.m.Inc(mRejected + `{reason="worker_rejected"}`)
+			return
+		case relayBusy:
+			sawBusy = true
+			excluded[n.name] = true
+		case relayWorkerErr:
+			excluded[n.name] = true
+			g.noteWorkerFailure(n, err.Error())
+		}
+		lastErr = err
+		retries++
+		if retries > g.retry.MaxRetries {
+			g.m.Inc(mFailed)
+			http.Error(w, fmt.Sprintf("job failed after %d worker attempts: %v", retries, lastErr),
+				http.StatusBadGateway)
+			return
+		}
+		if kind == relayWorkerErr {
+			g.m.Inc(retryKey(n.name))
+			g.retry.Notify(faults.Event{Kind: faults.EventRetry, Stage: n.name, Reason: err.Error()})
+		}
+		if !sleepCtx(ctx, g.retry.RetryBackoff(0, n.name, 0, retries)) {
+			g.m.Inc(mClientGone)
+			return
+		}
+	}
+}
+
+// forwardOnce runs one buffered forwarding attempt.
+func (g *Gateway) forwardOnce(ctx context.Context, n *node, body []byte, w http.ResponseWriter) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return relayWorkerErr, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.jobs.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return relayClientGone, ctx.Err()
+		}
+		return relayWorkerErr, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return relayClientGone, ctx.Err()
+		}
+		return relayWorkerErr, fmt.Errorf("worker %s reply truncated: %v", n.name, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return relayBusy, fmt.Errorf("worker %s busy (status %d)", n.name, resp.StatusCode)
+	case resp.StatusCode >= 500:
+		return relayWorkerErr, fmt.Errorf("worker %s status %d: %s", n.name, resp.StatusCode, bytes.TrimSpace(payload))
+	case resp.StatusCode >= 400:
+		http.Error(w, string(bytes.TrimSpace(payload)), resp.StatusCode)
+		return relayClientBad, nil
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return relayClientGone, err
+	}
+	return relayDone, nil
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether it completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Version reports the gateway's own build identity (host.BuildVersion).
+func Version() string { return host.BuildVersion() }

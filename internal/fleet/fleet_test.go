@@ -1,0 +1,655 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sccpipe/internal/faults"
+	"sccpipe/internal/scene"
+	"sccpipe/internal/serve"
+)
+
+// killable wraps a worker handler with two failure modes the fleet tests
+// drive: dead=true makes every request abort its connection (the process
+// is "gone"), and killAfterFrames>0 severs a /jobs stream after that many
+// PNG part headers have gone out — a worker dying mid-job.
+type killable struct {
+	h               http.Handler
+	dead            atomic.Bool
+	killAfterFrames atomic.Int64
+}
+
+func (k *killable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if r.URL.Path == "/jobs" && k.killAfterFrames.Load() > 0 {
+		k.h.ServeHTTP(&killWriter{ResponseWriter: w, k: k}, r)
+		return
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+var pngMarker = []byte("Content-Type: image/png")
+
+type killWriter struct {
+	http.ResponseWriter
+	k      *killable
+	frames int64
+}
+
+func (w *killWriter) Write(p []byte) (int, error) {
+	w.frames += int64(bytes.Count(p, pngMarker))
+	if w.k.dead.Load() || w.frames > w.k.killAfterFrames.Load() {
+		// Once the kill fires the whole worker is down: health checks and
+		// retries against it must fail too.
+		w.k.dead.Store(true)
+		return 0, fmt.Errorf("worker killed")
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *killWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok && !w.k.dead.Load() {
+		f.Flush()
+	}
+}
+
+// gate holds a worker's /jobs stream at its first frame write until
+// released — a deterministic way to keep a job in flight.
+type gate struct {
+	h       http.Handler
+	armed   atomic.Bool
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func newGate(h http.Handler) *gate {
+	return &gate{h: h, started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/jobs" && g.armed.Load() {
+		g.h.ServeHTTP(&gateWriter{ResponseWriter: w, g: g}, r)
+		return
+	}
+	g.h.ServeHTTP(w, r)
+}
+
+type gateWriter struct {
+	http.ResponseWriter
+	g *gate
+}
+
+func (w *gateWriter) Write(p []byte) (int, error) {
+	if bytes.Contains(p, pngMarker) {
+		w.g.once.Do(func() { close(w.g.started) })
+		<-w.g.release
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *gateWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// newWorker starts one in-process render worker over a small scene.
+func newWorker(t *testing.T, wrap func(http.Handler) http.Handler) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	s := serve.New(serve.Config{Workers: 2, QueueDepth: 64, Scene: scene.City(cfg)})
+	var h http.Handler = s
+	if wrap != nil {
+		h = wrap(s)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// newTestGateway builds a gateway over the given worker URLs with fast
+// health polling and starts its loops.
+func newTestGateway(t *testing.T, urls []string, mut func(*Config)) (*Gateway, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Workers:        urls,
+		HealthInterval: 20 * time.Millisecond,
+		// Generous probe deadline: on a loaded machine (the full suite
+		// under -race) a busy worker can take a while to answer
+		// /healthz, and with FailAfter 1 a single timed-out probe would
+		// falsely deregister it. Dead-worker detection in these tests
+		// comes from hard connection errors, which fail fast regardless.
+		HealthTimeout: 10 * time.Second,
+		FailAfter:     1,
+		Retry:         &faults.RecoveryPolicy{MaxRetries: 3, Backoff: time.Millisecond},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(g)
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func postJob(t *testing.T, url string, spec map[string]any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readStream consumes a multipart job response: frame payloads by index
+// plus the decoded trailing JSON summary.
+func readStream(t *testing.T, resp *http.Response) (map[int][]byte, map[string]any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("job status %d: %s", resp.StatusCode, body)
+	}
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		t.Fatalf("bad content type %q: %v", resp.Header.Get("Content-Type"), err)
+	}
+	frames := make(map[int][]byte)
+	var summary map[string]any
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		switch part.Header.Get("Content-Type") {
+		case "image/png":
+			idx, err := strconv.Atoi(part.Header.Get("X-Frame-Index"))
+			if err != nil {
+				t.Fatalf("frame index: %v", err)
+			}
+			payload, err := io.ReadAll(part)
+			if err != nil {
+				t.Fatalf("frame %d: %v", idx, err)
+			}
+			if _, dup := frames[idx]; dup {
+				t.Fatalf("frame %d delivered twice", idx)
+			}
+			frames[idx] = payload
+		case "application/json":
+			if err := json.NewDecoder(part).Decode(&summary); err != nil {
+				t.Fatalf("summary: %v", err)
+			}
+		}
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary part")
+	}
+	if errMsg, ok := summary["error"]; ok {
+		t.Fatalf("job error: %v", errMsg)
+	}
+	return frames, summary
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func nodeByName(t *testing.T, g *Gateway, name string) NodeStatus {
+	t.Helper()
+	for _, ns := range g.Nodes() {
+		if ns.Name == name {
+			return ns
+		}
+	}
+	t.Fatalf("node %s not in table", name)
+	return NodeStatus{}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	for _, bad := range [][]string{
+		nil,
+		{},
+		{"  "},
+		{"ftp://h:1"},
+		{"http://"},
+		{"http://h:1", "h:1"}, // duplicate after scheme defaulting
+	} {
+		if _, err := newRegistry(bad); err == nil {
+			t.Errorf("newRegistry(%q) accepted invalid input", bad)
+		}
+	}
+	reg, err := newRegistry([]string{"h1:8344", "http://h2:8344/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.nodes[0].base != "http://h1:8344" || reg.nodes[1].base != "http://h2:8344" {
+		t.Fatalf("bases not normalized: %q, %q", reg.nodes[0].base, reg.nodes[1].base)
+	}
+}
+
+func TestPickLeastLoadedWithRendezvousTieBreak(t *testing.T) {
+	reg, err := newRegistry([]string{"a:1", "b:1", "c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := routeKey(serve.JobSpec{Mode: serve.ModeRender, Frames: 8, Width: 320, Height: 240, Pipelines: 4})
+
+	// Idle fleet: the pick is the rendezvous winner and is stable.
+	first := reg.pick(key, nil)
+	for i := 0; i < 10; i++ {
+		if got := reg.pick(key, nil); got != first {
+			t.Fatalf("idle pick not stable: %s then %s", first.name, got.name)
+		}
+	}
+	// A different key must be able to pick differently (8 distinct keys
+	// all landing on one of three nodes is a ~0.04% event).
+	seen := map[string]bool{first.name: true}
+	for seed := int64(1); seed <= 8; seed++ {
+		k := routeKey(serve.JobSpec{Mode: serve.ModeRender, Frames: 8, Width: 320, Height: 240, Pipelines: 4, Seed: seed})
+		seen[reg.pick(k, nil).name] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("rendezvous hashing routed 9 distinct keys to a single node")
+	}
+
+	// Load beats rendezvous: loading the winner moves the pick.
+	first.live.Add(1)
+	second := reg.pick(key, nil)
+	if second == first {
+		t.Fatalf("pick ignored load on %s", first.name)
+	}
+	// Reported queue depth counts as load too.
+	second.mu.Lock()
+	second.rep.Queue = 3
+	second.mu.Unlock()
+	third := reg.pick(key, nil)
+	if third == first || third == second {
+		t.Fatalf("pick ignored reported queue: got %s", third.name)
+	}
+	first.live.Add(-1)
+
+	// Draining, dead, and excluded nodes are skipped.
+	first.mu.Lock()
+	first.state = StateDraining
+	first.mu.Unlock()
+	if got := reg.pick(key, nil); got == first {
+		t.Fatal("picked a draining node")
+	}
+	if got := reg.pick(key, map[string]bool{"a:1": true, "b:1": true, "c:1": true}); got != nil {
+		t.Fatalf("pick with every node excluded returned %s", got.name)
+	}
+}
+
+func TestRouteKeyCanonical(t *testing.T) {
+	var empty serve.JobSpec
+	empty.Normalize()
+	explicit := serve.JobSpec{Mode: "render", Frames: 8, Width: 320, Height: 240,
+		Pipelines: 4, Renderer: "one", Arrangement: "unordered"}
+	explicit.Normalize()
+	if routeKey(empty) != routeKey(explicit) {
+		t.Fatal("defaulted and explicit-default specs produce different route keys")
+	}
+	other := explicit
+	other.Seed = 1
+	if routeKey(other) == routeKey(explicit) {
+		t.Fatal("distinct seeds share a route key")
+	}
+}
+
+// TestFailoverGolden is the acceptance test: with three workers and the
+// serving one killed mid-job, the gateway's stream carries frame payloads
+// byte-identical to a single-node run, and the sccgate metrics record the
+// death, the retry, and the per-worker job counts.
+func TestFailoverGolden(t *testing.T) {
+	kills := make(map[string]*killable)
+	var urls []string
+	for i := 0; i < 3; i++ {
+		var k *killable
+		_, ts := newWorker(t, func(h http.Handler) http.Handler {
+			k = &killable{h: h}
+			return k
+		})
+		name := strings.TrimPrefix(ts.URL, "http://")
+		kills[name] = k
+		urls = append(urls, ts.URL)
+	}
+	g, gts := newTestGateway(t, urls, nil)
+
+	spec := map[string]any{"mode": "render", "frames": 10, "width": 128, "height": 96, "pipelines": 2, "seed": int64(7)}
+	jspec := serve.JobSpec{Mode: "render", Frames: 10, Width: 128, Height: 96, Pipelines: 2, Seed: 7}
+	jspec.Normalize()
+	victim := g.reg.pick(routeKey(jspec), nil)
+	if victim == nil {
+		t.Fatal("no pick on an idle fleet")
+	}
+	kills[victim.name].killAfterFrames.Store(3)
+
+	frames, summary := readStream(t, postJob(t, gts.URL, spec))
+	if len(frames) != 10 {
+		t.Fatalf("relayed %d frames, want 10", len(frames))
+	}
+	if summary["worker"] == victim.name {
+		t.Fatalf("summary credits the killed worker %s", victim.name)
+	}
+	if fo, _ := summary["failovers"].(float64); fo < 1 {
+		t.Fatalf("summary failovers = %v, want >= 1", summary["failovers"])
+	}
+
+	// Golden: byte-identical to a single-node run of the same spec.
+	_, single := newWorker(t, nil)
+	golden, _ := readStream(t, postJob(t, single.URL, spec))
+	if len(golden) != len(frames) {
+		t.Fatalf("single node served %d frames, gateway %d", len(golden), len(frames))
+	}
+	for idx, want := range golden {
+		if !bytes.Equal(frames[idx], want) {
+			t.Fatalf("frame %d differs from the single-node run (%d vs %d bytes)",
+				idx, len(frames[idx]), len(want))
+		}
+	}
+
+	// Metrics record the death, the retry, and per-worker job counts.
+	if v := g.Metric(deathKey(victim.name)); v < 1 {
+		t.Fatalf("worker death not recorded: %s = %v", deathKey(victim.name), v)
+	}
+	if v := g.Metric(retryKey(victim.name)); v < 1 {
+		t.Fatalf("failover retry not recorded: %s = %v", retryKey(victim.name), v)
+	}
+	if v := g.Metric(workerJobsKey(victim.name)); v < 1 {
+		t.Fatalf("routed-jobs count missing for %s", victim.name)
+	}
+	var total float64
+	for name := range kills {
+		total += g.Metric(workerJobsKey(name))
+	}
+	if total < 2 {
+		t.Fatalf("per-worker job counts sum to %v, want >= 2 (original + failover)", total)
+	}
+	if v := g.Metric(mFramesDiscarded); v < 1 {
+		t.Fatalf("failover replay discarded %v frames, want >= 1", v)
+	}
+	if v := g.Metric(mCompleted); v != 1 {
+		t.Fatalf("completed = %v, want 1", v)
+	}
+
+	// The dead worker is deregistered in the node table.
+	waitFor(t, "victim marked dead", func() bool {
+		return nodeByName(t, g, victim.name).State == "dead"
+	})
+}
+
+// TestDrainingWorker: a worker that begins draining stops receiving new
+// jobs once the health check flips, but its in-flight job streams to
+// completion through the gateway.
+func TestDrainingWorker(t *testing.T) {
+	type worker struct {
+		srv  *serve.Server
+		gate *gate
+		name string
+	}
+	var workers []*worker
+	var urls []string
+	for i := 0; i < 3; i++ {
+		w := &worker{}
+		srv, ts := newWorker(t, func(h http.Handler) http.Handler {
+			w.gate = newGate(h)
+			return w.gate
+		})
+		w.srv = srv
+		w.name = strings.TrimPrefix(ts.URL, "http://")
+		workers = append(workers, w)
+		urls = append(urls, ts.URL)
+	}
+	g, gts := newTestGateway(t, urls, nil)
+
+	spec := map[string]any{"mode": "render", "frames": 4, "width": 64, "height": 48, "pipelines": 2, "seed": int64(3)}
+	jspec := serve.JobSpec{Mode: "render", Frames: 4, Width: 64, Height: 48, Pipelines: 2, Seed: 3}
+	jspec.Normalize()
+	picked := g.reg.pick(routeKey(jspec), nil)
+	var held *worker
+	for _, w := range workers {
+		if w.name == picked.name {
+			held = w
+		}
+	}
+	if held == nil {
+		t.Fatalf("picked worker %s not found", picked.name)
+	}
+	held.gate.armed.Store(true)
+	release := func() {
+		held.gate.armed.Store(false)
+		select {
+		case <-held.gate.release:
+		default:
+			close(held.gate.release)
+		}
+	}
+	defer release()
+
+	// Hold a job in flight on the picked worker.
+	type streamResult struct {
+		frames  map[int][]byte
+		summary map[string]any
+	}
+	done := make(chan streamResult, 1)
+	go func() {
+		frames, summary := readStream(t, postJob(t, gts.URL, spec))
+		done <- streamResult{frames, summary}
+	}()
+	<-held.gate.started
+
+	// The worker begins draining; the gateway notices on its next poll.
+	held.srv.BeginDrain()
+	waitFor(t, "gateway to see the drain", func() bool {
+		return nodeByName(t, g, held.name).State == "draining"
+	})
+
+	// New jobs (including the same spec that rendezvous-prefers the
+	// draining worker) all route elsewhere.
+	for seed := int64(10); seed < 14; seed++ {
+		s := map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 2, "seed": seed}
+		if _, sum := readStream(t, postJob(t, gts.URL, s)); sum["worker"] == held.name {
+			t.Fatalf("draining worker %s received a new job", held.name)
+		}
+	}
+	if _, sum := readStream(t, postJob(t, gts.URL, spec)); sum["worker"] == held.name {
+		t.Fatalf("draining worker %s received its rendezvous-preferred spec", held.name)
+	}
+	if jobs := nodeByName(t, g, held.name).Jobs; jobs != 1 {
+		t.Fatalf("draining worker routed-jobs count %d, want 1 (the held job)", jobs)
+	}
+
+	// The in-flight job finishes cleanly through the gateway.
+	release()
+	res := <-done
+	if len(res.frames) != 4 {
+		t.Fatalf("held job relayed %d frames, want 4", len(res.frames))
+	}
+	if res.summary["worker"] != held.name {
+		t.Fatalf("held job finished on %v, want %s", res.summary["worker"], held.name)
+	}
+	if _, failedOver := res.summary["failovers"]; failedOver {
+		t.Fatal("held job should not have failed over")
+	}
+}
+
+// TestDeadWorkerRejoin: a dead worker keeps being probed and rejoins the
+// rotation on the first successful health check.
+func TestDeadWorkerRejoin(t *testing.T) {
+	var k *killable
+	_, ts := newWorker(t, func(h http.Handler) http.Handler {
+		k = &killable{h: h}
+		return k
+	})
+	name := strings.TrimPrefix(ts.URL, "http://")
+	g, gts := newTestGateway(t, []string{ts.URL}, func(c *Config) { c.FailAfter = 2 })
+
+	waitFor(t, "initial healthy state", func() bool {
+		return nodeByName(t, g, name).State == "healthy"
+	})
+	k.dead.Store(true)
+	waitFor(t, "death after consecutive probe failures", func() bool {
+		return nodeByName(t, g, name).State == "dead"
+	})
+	if v := g.Metric(deathKey(name)); v != 1 {
+		t.Fatalf("death metric %v, want 1", v)
+	}
+	resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("job against a dead fleet got %d, want 503", resp.StatusCode)
+	}
+
+	k.dead.Store(false)
+	waitFor(t, "rejoin", func() bool {
+		return nodeByName(t, g, name).State == "healthy"
+	})
+	frames, sum := readStream(t, postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1}))
+	if len(frames) != 1 || sum["worker"] != name {
+		t.Fatalf("rejoined worker did not serve: frames %d, worker %v", len(frames), sum["worker"])
+	}
+}
+
+// TestSimulateThroughGateway: simulate jobs are forwarded buffered.
+func TestSimulateThroughGateway(t *testing.T) {
+	_, ts := newWorker(t, nil)
+	_, gts := newTestGateway(t, []string{ts.URL}, nil)
+	resp := postJob(t, gts.URL, map[string]any{"mode": "simulate", "frames": 4, "width": 64, "height": 64, "pipelines": 2})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", resp.StatusCode, body)
+	}
+	var sim struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := json.Unmarshal(body, &sim); err != nil || sim.Seconds <= 0 {
+		t.Fatalf("bad simulate reply %s (err %v)", body, err)
+	}
+}
+
+// TestInvalidSpecRelayed: a worker's 4xx verdict is relayed verbatim and
+// never counts against the worker or the retry budget.
+func TestInvalidSpecRelayed(t *testing.T) {
+	_, ts := newWorker(t, nil)
+	name := strings.TrimPrefix(ts.URL, "http://")
+	g, gts := newTestGateway(t, []string{ts.URL}, nil)
+	resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": -1})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec got %d: %s", resp.StatusCode, body)
+	}
+	if v := g.Metric(retryKey(name)); v != 0 {
+		t.Fatalf("invalid spec consumed %v retries", v)
+	}
+	waitFor(t, "worker stays healthy", func() bool {
+		return nodeByName(t, g, name).State == "healthy"
+	})
+}
+
+// TestFleetMetricsAggregation: the gateway's /metrics carries its own
+// sccgate_* families plus every worker's samples re-labeled, with
+// HELP/TYPE lines deduplicated across workers.
+func TestFleetMetricsAggregation(t *testing.T) {
+	var urls, names []string
+	for i := 0; i < 2; i++ {
+		_, ts := newWorker(t, nil)
+		urls = append(urls, ts.URL)
+		names = append(names, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	_, gts := newTestGateway(t, urls, nil)
+	readStream(t, postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1}))
+
+	resp, err := http.Get(gts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE sccgate_jobs_accepted_total counter",
+		"sccgate_jobs_accepted_total 1",
+		"sccgate_frames_relayed_total 1",
+		`sccgate_worker_jobs_total{worker="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("gateway metrics missing %q", want)
+		}
+	}
+	for _, name := range names {
+		if !strings.Contains(text, `sccserve_uptime_seconds{worker="`+name+`"}`) {
+			t.Errorf("aggregation missing worker %s sample\n%s", name, text)
+		}
+	}
+	if n := strings.Count(text, "# HELP sccserve_uptime_seconds "); n != 1 {
+		t.Errorf("HELP for sccserve_uptime_seconds appears %d times, want 1", n)
+	}
+	// The worker that served the job shows per-worker labeled busy time.
+	if !strings.Contains(text, `sccserve_job_busy_seconds_total{worker="`) {
+		t.Errorf("aggregation missing per-worker job busy time\n%s", text)
+	}
+}
+
+// TestGatewayDrain: a draining gateway rejects new jobs with 503.
+func TestGatewayDrain(t *testing.T) {
+	_, ts := newWorker(t, nil)
+	g, gts := newTestGateway(t, []string{ts.URL}, nil)
+	g.BeginDrain()
+	resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining gateway admitted a job: %d", resp.StatusCode)
+	}
+	hz, err := http.Get(gts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(hz.Body).Decode(&h)
+	hz.Body.Close()
+	if err != nil || h.Status != "draining" {
+		t.Fatalf("healthz status %q (err %v), want draining", h.Status, err)
+	}
+}

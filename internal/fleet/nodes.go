@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sccpipe/internal/serve"
+)
+
+// State is a worker node's position in the gateway's lifecycle.
+type State int32
+
+const (
+	// StateHealthy: the node answers health checks and accepts jobs.
+	StateHealthy State = iota
+	// StateDraining: the node is alive but shutting down — it answers
+	// health checks with a draining status, finishes its in-flight jobs,
+	// and must not receive new ones.
+	StateDraining
+	// StateDead: the node failed Config.FailAfter consecutive health
+	// checks or job forwards. It receives no jobs but keeps being probed
+	// and rejoins the rotation on the first successful check.
+	StateDead
+)
+
+var stateNames = [...]string{"healthy", "draining", "dead"}
+
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// node is one registered worker. The gateway's live routing counters are
+// atomics (bumped on the job path); the health-report fields are guarded
+// by mu (written by the health loop, read at pick and scrape time).
+type node struct {
+	name string // host:port — display name, metric label, rendezvous identity
+	base string // base URL, no trailing slash
+	hash uint64 // fnv64a(name), precomputed for rendezvous tie-breaks
+
+	// live counts jobs this gateway currently has routed to the node —
+	// fresher than any health poll; jobs counts every job ever routed.
+	live atomic.Int64
+	jobs atomic.Int64
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive health/forward failures
+	rep      serve.LoadReport
+	busyRate float64 // d(busy_s)/dt between the last two health polls
+	busyAt   time.Time
+	busyS    float64
+	lastSeen time.Time
+	lastErr  string
+}
+
+// markAlive records a successful health report and returns the node to
+// rotation (healthy or draining per the report).
+func (n *node) markAlive(rep serve.LoadReport, now time.Time) (revived bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	revived = n.state == StateDead
+	if rep.Status == "draining" {
+		n.state = StateDraining
+	} else {
+		n.state = StateHealthy
+	}
+	n.fails = 0
+	n.lastErr = ""
+	n.lastSeen = now
+	// Difference cumulative busy seconds into a recent busy rate; the
+	// very first sample (or a worker restart, where the counter resets)
+	// yields rate 0 until the next poll.
+	if !n.busyAt.IsZero() && rep.BusyS >= n.busyS {
+		if dt := now.Sub(n.busyAt).Seconds(); dt > 0 {
+			n.busyRate = (rep.BusyS - n.busyS) / dt
+		}
+	} else {
+		n.busyRate = 0
+	}
+	n.busyS = rep.BusyS
+	n.busyAt = now
+	n.rep = rep
+	return revived
+}
+
+// markFailure records one failed health check or worker-caused job
+// forward failure; after failAfter consecutive failures the node is
+// declared dead (deregistered from routing). Reports whether this call
+// performed the healthy→dead transition.
+func (n *node) markFailure(reason string, failAfter int) (died bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails++
+	n.lastErr = reason
+	if n.state != StateDead && n.fails >= failAfter {
+		n.state = StateDead
+		return true
+	}
+	return false
+}
+
+// snapshot returns the mu-guarded fields consistently.
+func (n *node) snapshot() (State, serve.LoadReport, float64, int, time.Time, string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state, n.rep, n.busyRate, n.fails, n.lastSeen, n.lastErr
+}
+
+// load is the routing score: the gateway's own live count of jobs routed
+// to the node (real-time) plus the backlog the node reported on its last
+// health poll (covers load from other clients and other gateways).
+func (n *node) load() int64 {
+	n.mu.Lock()
+	queued := int64(n.rep.Queue)
+	n.mu.Unlock()
+	return n.live.Load() + queued
+}
+
+// registry is the fixed worker set built from the static -workers list.
+type registry struct {
+	nodes []*node
+}
+
+// newRegistry validates and normalizes the worker URL list.
+func newRegistry(workers []string) (*registry, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	reg := &registry{}
+	seen := make(map[string]bool, len(workers))
+	for _, raw := range workers {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		if !strings.Contains(raw, "://") {
+			raw = "http://" + raw
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad worker URL %q: %v", raw, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("fleet: worker %q: scheme %q not supported (want http or https)", raw, u.Scheme)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("fleet: worker %q has no host", raw)
+		}
+		if seen[u.Host] {
+			return nil, fmt.Errorf("fleet: worker %q listed twice", u.Host)
+		}
+		seen[u.Host] = true
+		reg.nodes = append(reg.nodes, &node{
+			name: u.Host,
+			base: strings.TrimSuffix(u.String(), "/"),
+			hash: fnv64a(u.Host),
+		})
+	}
+	if len(reg.nodes) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	return reg, nil
+}
+
+// pick selects the routing target for a job key: the least-loaded healthy
+// node, with ties broken by rendezvous hashing on (key, node) so that on
+// an idle fleet identical job specs always land on the same worker and
+// stay cache-warm there. Draining, dead, and excluded nodes are skipped;
+// nil means no node is currently eligible.
+func (r *registry) pick(key uint64, excluded map[string]bool) *node {
+	var best *node
+	var bestLoad int64
+	var bestRank uint64
+	for _, n := range r.nodes {
+		if excluded[n.name] {
+			continue
+		}
+		n.mu.Lock()
+		ok := n.state == StateHealthy
+		n.mu.Unlock()
+		if !ok {
+			continue
+		}
+		load := n.load()
+		rank := mix64(key ^ n.hash)
+		if best == nil || load < bestLoad || (load == bestLoad && rank > bestRank) {
+			best, bestLoad, bestRank = n, load, rank
+		}
+	}
+	return best
+}
+
+// countStates tallies nodes per state for /healthz and the state gauge.
+func (r *registry) countStates() map[State]int {
+	out := make(map[State]int, 3)
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		out[n.state]++
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// healthLoop probes one node every HealthInterval until stop closes. The
+// first probe fires immediately so a gateway converges on real states
+// right after start instead of waiting out a full interval.
+func (g *Gateway) healthLoop(n *node, stop <-chan struct{}) {
+	defer g.loops.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		g.probe(n)
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// probe runs one health check against a node and applies the transition.
+func (g *Gateway) probe(n *node) {
+	req, err := http.NewRequest(http.MethodGet, n.base+"/healthz", nil)
+	if err != nil {
+		g.noteProbeFailure(n, err.Error())
+		return
+	}
+	resp, err := g.health.Do(req)
+	if err != nil {
+		g.noteProbeFailure(n, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var rep serve.LoadReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		g.noteProbeFailure(n, "bad health body: "+err.Error())
+		return
+	}
+	// A 503 with a draining status is an alive worker shutting down; any
+	// other non-200 (or a 503 without the marker) counts as a failure.
+	if resp.StatusCode != http.StatusOK && rep.Status != "draining" {
+		g.noteProbeFailure(n, fmt.Sprintf("health status %d", resp.StatusCode))
+		return
+	}
+	g.m.Inc(healthKey("ok"))
+	if n.markAlive(rep, time.Now()) {
+		g.logf("worker %s rejoined (version %s)", n.name, rep.Version)
+	}
+}
+
+// noteProbeFailure records a failed health check.
+func (g *Gateway) noteProbeFailure(n *node, reason string) {
+	g.m.Inc(healthKey("fail"))
+	g.noteWorkerFailure(n, reason)
+}
+
+// noteWorkerFailure charges one failure against a node — a failed probe
+// or a worker-caused job failure (never a client-caused one; see
+// relayRender) — and records the death if it crosses the threshold.
+func (g *Gateway) noteWorkerFailure(n *node, reason string) {
+	if n.markFailure(reason, g.cfg.FailAfter) {
+		g.m.Inc(deathKey(n.name))
+		g.logf("worker %s declared dead: %s", n.name, reason)
+	}
+}
+
+// fnv64a is the FNV-1a hash of s.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 finalizes a combined key (splitmix64 finalizer) so that
+// single-bit differences between job keys decorrelate node ranks.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

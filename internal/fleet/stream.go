@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"encoding/json"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+)
+
+// relayStream writes the gateway's response to a render job: a multipart
+// stream with the same part shape the workers produce (one image/png part
+// per frame carrying X-Frame-Index, then one application/json summary
+// part), re-framed under the gateway's own boundary. Because frame
+// payloads are relayed byte for byte and deduplicated by index across
+// failover attempts, the part sequence a client sees through the gateway
+// is byte-identical to a single-node run even when the serving worker
+// dies mid-job.
+//
+// Like serve's frameStream, the response is committed lazily at the first
+// frame so a job that fails before producing anything still gets a plain
+// HTTP error status. Not safe for concurrent use.
+type relayStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	mw      *multipart.Writer
+	err     error
+}
+
+func newRelayStream(w http.ResponseWriter) *relayStream {
+	st := &relayStream{w: w}
+	st.flusher, _ = w.(http.Flusher)
+	return st
+}
+
+// Started reports whether the response has been committed.
+func (st *relayStream) Started() bool { return st.mw != nil }
+
+// Err returns the first downstream write failure, if any.
+func (st *relayStream) Err() error { return st.err }
+
+func (st *relayStream) start() {
+	st.mw = multipart.NewWriter(st.w)
+	st.w.Header().Set("Content-Type", "multipart/x-mixed-replace; boundary="+st.mw.Boundary())
+	st.w.WriteHeader(http.StatusOK)
+}
+
+// WritePNG relays one already-encoded frame payload to the client.
+func (st *relayStream) WritePNG(idx int, payload []byte) error {
+	if st.err != nil {
+		return st.err
+	}
+	if st.mw == nil {
+		st.start()
+	}
+	part, err := st.mw.CreatePart(textproto.MIMEHeader{
+		"Content-Type":  {"image/png"},
+		"X-Frame-Index": {strconv.Itoa(idx)},
+	})
+	if err == nil {
+		_, err = part.Write(payload)
+	}
+	if err != nil {
+		st.err = err
+		return err
+	}
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	return nil
+}
+
+// closeWith appends the trailing JSON part and the closing boundary.
+func (st *relayStream) closeWith(v any) error {
+	if st.err != nil {
+		return st.err
+	}
+	if st.mw == nil { // zero-frame success: still a valid (empty) stream
+		st.start()
+	}
+	part, err := st.mw.CreatePart(textproto.MIMEHeader{
+		"Content-Type": {"application/json"},
+	})
+	if err == nil {
+		err = json.NewEncoder(part).Encode(v)
+	}
+	if err == nil {
+		err = st.mw.Close()
+	}
+	if err != nil {
+		st.err = err
+		return err
+	}
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	return nil
+}
+
+// CloseWithSummary ends a successful relay with the (augmented) worker
+// summary.
+func (st *relayStream) CloseWithSummary(sum map[string]any) error { return st.closeWith(sum) }
+
+// CloseWithError ends an already-started stream with an error part — the
+// only failure signal left once the 200 header is on the wire.
+func (st *relayStream) CloseWithError(jobErr error) {
+	_ = st.closeWith(map[string]string{"error": jobErr.Error()})
+}

@@ -1,0 +1,62 @@
+package host
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version identifies the build. It is empty by default and meant to be
+// stamped at link time:
+//
+//	go build -ldflags "-X sccpipe/internal/host.Version=v1.4.0"
+//
+// When unset, BuildVersion falls back to the module version or VCS
+// revision recorded by the Go toolchain.
+var Version string
+
+// BuildVersion returns the best available identity of this binary's
+// build: the link-time Version when stamped, else the main module
+// version, else the VCS revision (suffixed "-dirty" for modified trees),
+// else "devel". Every serving binary reports it behind a -version flag,
+// and sccserved exposes it in its health/load report so the fleet
+// gateway can surface version skew across mixed workers.
+func BuildVersion() string {
+	if Version != "" {
+		return Version
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		return rev
+	}
+	return "devel"
+}
+
+// BuildLine is the one-line -version output: program name, build
+// identity, and toolchain.
+func BuildLine(program string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", program, BuildVersion(),
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

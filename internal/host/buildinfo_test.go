@@ -1,0 +1,33 @@
+package host
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildVersionNonEmpty(t *testing.T) {
+	if BuildVersion() == "" {
+		t.Fatal("BuildVersion returned an empty string")
+	}
+}
+
+func TestBuildVersionStamped(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "v9.9.9-test"
+	if got := BuildVersion(); got != "v9.9.9-test" {
+		t.Fatalf("stamped BuildVersion = %q, want v9.9.9-test", got)
+	}
+}
+
+func TestBuildLine(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "v1.2.3"
+	line := BuildLine("sccgated")
+	for _, want := range []string{"sccgated", "v1.2.3", "go"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("BuildLine %q missing %q", line, want)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"sccpipe/internal/host"
 )
 
 // Metric names. Labeled counters append a `{label="value"}` suffix to the
@@ -22,6 +24,7 @@ const (
 	mInflight  = "sccserve_inflight_runs"
 	mUptime    = "sccserve_uptime_seconds"
 	mStageBusy = "sccserve_stage_busy_seconds_total"
+	mJobBusy   = "sccserve_job_busy_seconds_total"
 
 	// Robustness metrics: populated by chaos-mode supervision and the
 	// circuit breaker.
@@ -65,6 +68,7 @@ var metricFamilies = []struct {
 	{mInflight, "gauge", "Pipeline runs currently executing."},
 	{mUptime, "gauge", "Seconds since the server started."},
 	{mStageBusy, "counter", "Per-stage busy time by backend (exec wall time, sim model time)."},
+	{mJobBusy, "counter", "Wall time spent running jobs (queue wait excluded)."},
 	{mRetries, "counter", "Supervised stage/transfer retries, by stage."},
 	{mPipeDeaths, "counter", "Pipelines declared dead and re-partitioned."},
 	{mJobsDegraded, "counter", "Jobs that completed degraded (survived dead pipelines)."},
@@ -146,21 +150,65 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// LoadReport is the machine-readable /healthz body. Beyond liveness it
+// carries the load signals the fleet gateway routes by (queue depth,
+// in-flight runs, cumulative job busy time — successive polls difference
+// into a recent busy rate) and the worker's build version, so a mixed
+// fleet's skew is visible in the gateway's node table.
+type LoadReport struct {
+	// Status is "ok" or "draining". A draining worker is alive (it still
+	// answers health checks and finishes in-flight jobs) but must not
+	// receive new work.
+	Status string `json:"status"`
+	// Inflight counts pipeline runs currently executing; Queue counts
+	// admitted jobs still waiting for a run slot; Admitted is their sum.
+	Inflight int `json:"inflight"`
+	Queue    int `json:"queue"`
+	Admitted int `json:"admitted"`
+	// Capacity is the concurrent-run limit (Config.Workers).
+	Capacity int `json:"capacity"`
+	// BusyS is cumulative wall-clock seconds spent running jobs since
+	// start (queue wait excluded). Pollers derive a recent busy rate from
+	// the delta between samples.
+	BusyS   float64 `json:"busy_s"`
+	UptimeS int64   `json:"uptime_s"`
+	// Version identifies the worker's build (host.BuildVersion).
+	Version string `json:"version"`
+}
+
 // handleHealthz reports liveness and drain state: 200 while serving, 503
 // once draining (load balancers stop routing, in-flight work continues).
+// The body is a LoadReport either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
 	code := http.StatusOK
-	if s.draining.Load() {
-		status = "draining"
+	rep := s.Load()
+	if rep.Status != "ok" {
 		code = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
-		"status":   status,
-		"inflight": len(s.slots),
-		"admitted": len(s.room),
-		"uptime_s": int64(time.Since(s.start).Seconds()),
-	})
+	json.NewEncoder(w).Encode(rep)
+}
+
+// Load snapshots the worker's current load report (the /healthz body).
+func (s *Server) Load() LoadReport {
+	admitted, inflight := len(s.room), len(s.slots)
+	queue := admitted - inflight
+	if queue < 0 {
+		queue = 0
+	}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return LoadReport{
+		Status:   status,
+		Inflight: inflight,
+		Queue:    queue,
+		Admitted: admitted,
+		Capacity: s.cfg.Workers,
+		BusyS:    s.m.Get(mJobBusy),
+		UptimeS:  int64(time.Since(s.start).Seconds()),
+		Version:  host.BuildVersion(),
+	}
 }

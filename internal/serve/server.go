@@ -461,6 +461,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	default:
 		err = s.runRender(ctx, w, spec)
 	}
+	// Cumulative run time feeds the /healthz load report: the fleet
+	// gateway differences successive polls into a recent busy rate.
+	s.m.Add(mJobBusy, time.Since(start).Seconds())
 	switch {
 	case err == nil:
 		s.brk.Record(true)

@@ -1,0 +1,28 @@
+package stats
+
+import "strings"
+
+// InjectLabel returns the metric key with label=value inserted as the
+// first label, preserving any labels the key already carries:
+//
+//	InjectLabel(`jobs_total`, "worker", "a:1")              → `jobs_total{worker="a:1"}`
+//	InjectLabel(`rej_total{reason="full"}`, "worker", "a")  → `rej_total{worker="a",reason="full"}`
+//
+// Counters treats keys as opaque strings, so this is the whole mechanism
+// behind fleet-wide metric aggregation: the gateway re-keys every sample
+// scraped from a worker with a worker label before re-exposing it.
+// Quotes and backslashes in value are escaped per the Prometheus text
+// format.
+func InjectLabel(key, label, value string) string {
+	value = labelEscaper.Replace(value)
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		rest := key[i+1:]
+		if rest == "}" { // empty label set: name{}
+			return key[:i] + "{" + label + `="` + value + `"}`
+		}
+		return key[:i] + "{" + label + `="` + value + `",` + rest
+	}
+	return key + "{" + label + `="` + value + `"}`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)

@@ -1,0 +1,21 @@
+package stats
+
+import "testing"
+
+func TestInjectLabel(t *testing.T) {
+	cases := []struct {
+		key, label, value, want string
+	}{
+		{"jobs_total", "worker", "a:1", `jobs_total{worker="a:1"}`},
+		{`rej_total{reason="full"}`, "worker", "a", `rej_total{worker="a",reason="full"}`},
+		{`busy{backend="exec",stage="blur"}`, "worker", "w2",
+			`busy{worker="w2",backend="exec",stage="blur"}`},
+		{"m{}", "worker", "a", `m{worker="a"}`},
+		{"m", "worker", `q"u\o`, `m{worker="q\"u\\o"}`},
+	}
+	for _, c := range cases {
+		if got := InjectLabel(c.key, c.label, c.value); got != c.want {
+			t.Errorf("InjectLabel(%q, %q, %q) = %q, want %q", c.key, c.label, c.value, got, c.want)
+		}
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"sccpipe/internal/core"
 	"sccpipe/internal/experiments"
 	"sccpipe/internal/faults"
+	"sccpipe/internal/fleet"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/host"
 	"sccpipe/internal/pipe"
@@ -426,6 +427,44 @@ func NewServer(cfg ServerConfig) *RenderServer { return serve.New(cfg) }
 // the listener closes. It returns nil after a clean drain.
 func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
 	return serve.New(cfg).ListenAndServe(ctx, addr, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Fleet gateway
+
+// Fleet types: the distributed front end that shards jobs across render
+// servers with health checks, least-loaded + rendezvous routing, mid-job
+// failover, and fleet-wide metrics aggregation. cmd/sccgated is the
+// ready-made binary.
+type (
+	// Gateway is the fleet gateway; it implements http.Handler with the
+	// /jobs, /healthz, /nodes and /metrics endpoints.
+	Gateway = fleet.Gateway
+	// GatewayConfig tunes a gateway (worker URLs, health cadence,
+	// deregistration threshold, failover policy, drain timeout).
+	GatewayConfig = fleet.Config
+	// NodeStatus is one row of the gateway's /nodes worker table.
+	NodeStatus = fleet.NodeStatus
+	// WorkerLoad is the machine-readable load report a render server
+	// publishes on /healthz and the gateway routes by.
+	WorkerLoad = serve.LoadReport
+)
+
+// NewGateway builds a fleet gateway over the given worker base URLs.
+// Call Start (or ServeGateway / Gateway.ListenAndServe, which do it for
+// you) to begin health checking.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return fleet.New(cfg) }
+
+// ServeGateway runs a fleet gateway on addr until ctx is cancelled, then
+// drains gracefully: admission stops, in-flight relays stream to
+// completion, and the listener closes. It returns nil after a clean
+// drain.
+func ServeGateway(ctx context.Context, addr string, cfg GatewayConfig) error {
+	g, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	return g.ListenAndServe(ctx, addr, nil)
 }
 
 // ---------------------------------------------------------------------------
