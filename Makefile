@@ -3,9 +3,9 @@ GO ?= go
 # The hot-path benchmarks snapshotted into BENCH_pipeline.json: kernel
 # pairs (optimized vs reference), the strip split/assemble round trip, the
 # renderer, and the end-to-end pipeline + serve runs.
-BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway)
+BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkRenderStrip|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway)
 
-.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke fleet-smoke fuzz chaos-soak check
+.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke raster-smoke fleet-smoke fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ serve-smoke:
 plan-smoke:
 	$(GO) run ./cmd/paperrepro -exp plan -frames 64
 
+# Rasterizer ablation smoke: real walkthrough renders on the serial,
+# replay-banded, and tiled-binned paths — every frame is byte-compared
+# against the serial oracle inside the experiment, so a raster divergence
+# fails the run, and the printed table records the measured vs DES-predicted
+# speedup and the tiled path's work counters.
+raster-smoke:
+	$(GO) run ./cmd/paperrepro -exp raster -frames 16
+
 # End-to-end smoke of the fleet gateway: builds sccgated and sccserved,
 # starts a gateway over two real worker processes, submits a long render
 # through the gateway, SIGKILLs the worker serving it mid-stream, and
@@ -100,4 +108,4 @@ fuzz:
 # detector (the pipeline backends are heavily concurrent — this includes
 # the short chaos soak and the fuzz seed corpora as regression tests),
 # then the service smoke sequence against the real binary.
-check: vet race test-framedebug serve-smoke fleet-smoke plan-smoke
+check: vet race test-framedebug serve-smoke fleet-smoke plan-smoke raster-smoke

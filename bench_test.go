@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"sccpipe/internal/band"
 	"sccpipe/internal/codec"
 	"sccpipe/internal/core"
 	"sccpipe/internal/des"
@@ -393,6 +394,64 @@ func BenchmarkRenderFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.RenderFrame(cams[i%len(cams)], img)
+	}
+}
+
+// BenchmarkRenderFrameTiled is BenchmarkRenderFrame on the tiled, binned
+// raster path with the default band pool — the committed pair records what
+// tiling buys on a whole frame.
+func BenchmarkRenderFrameTiled(b *testing.B) {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	cams := render.Walkthrough(16, tree.Bounds())
+	r := render.NewRenderer(tree)
+	r.Mode = render.RasterTiled
+	r.Bands = band.Default()
+	img := frame.New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RenderFrame(cams[i%len(cams)], img)
+	}
+}
+
+// BenchmarkRenderStrip compares the raster paths on one strip of the
+// n-renderer configuration (the shape the pipeline actually renders):
+// serial, the old per-band replay, and the tiled binned path, each over a
+// sparse and a dense city. Replay and tiled run on a 4-lane pool so the
+// numbers isolate scheduling and setup overhead, not machine parallelism.
+func BenchmarkRenderStrip(b *testing.B) {
+	scenes := []struct {
+		name string
+		cfg  scene.Config
+	}{
+		{"small", scene.Config{Seed: 1, BlocksX: 8, BlocksZ: 8, BlockSize: 10, MaxHeight: 40, Landmarks: 4}},
+		{"large", scene.DefaultConfig()},
+	}
+	modes := []struct {
+		name string
+		mode render.RasterMode
+	}{
+		{"serial", render.RasterSerial},
+		{"replay", render.RasterReplay},
+		{"tiled", render.RasterTiled},
+	}
+	for _, sc := range scenes {
+		tree := render.BuildOctree(scene.City(sc.cfg))
+		cams := render.Walkthrough(16, tree.Bounds())
+		for _, m := range modes {
+			b.Run(sc.name+"/"+m.name, func(b *testing.B) {
+				r := render.NewRenderer(tree)
+				r.Mode = m.mode
+				if m.mode != render.RasterSerial {
+					r.Bands = band.New(4)
+				}
+				const fullW, fullH, y0 = 512, 512, 128
+				img := frame.New(fullW, 128)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.RenderStrip(cams[i%len(cams)], img, fullW, fullH, y0)
+				}
+			})
+		}
 	}
 }
 

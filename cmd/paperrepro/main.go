@@ -5,7 +5,7 @@
 // Usage:
 //
 //	paperrepro [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table1|energy
-//	                |ablation|adaptive|pareto|cachestudy|fusion|plan]
+//	                |ablation|adaptive|pareto|cachestudy|fusion|plan|raster]
 //	           [-frames N] [-csv DIR]
 package main
 
@@ -25,7 +25,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperrepro: ")
-	exp := flag.String("exp", "all", "experiment to run (fig8..fig17, table1, energy, ablation, adaptive, pareto, cachestudy, fusion, plan, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig8..fig17, table1, energy, ablation, adaptive, pareto, cachestudy, fusion, plan, raster, all)")
 	frames := flag.Int("frames", 400, "walkthrough length in frames")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's data as CSV into this directory")
@@ -83,6 +83,9 @@ func main() {
 		}},
 		{"plan", func(s experiments.Setup) error {
 			return show("Plan — profile-driven mapping vs static", experiments.RunPlan, s)
+		}},
+		{"raster", func(s experiments.Setup) error {
+			return show("Raster — serial vs replay-banded vs tiled-binned", experiments.RunRaster, s)
 		}},
 	}
 

@@ -38,6 +38,7 @@ func main() {
 		objPath   = flag.String("obj", "", "render a Wavefront OBJ model instead of the procedural city")
 		mtlPath   = flag.String("mtl", "", "material library for -obj (Kd colors)")
 		oriented  = flag.Bool("oriented-scratches", false, "use arbitrary-orientation scratches")
+		tileRows  = flag.Int("tile-rows", 0, "row height of the tiled rasterizer's binning tiles (0 = auto; pixels identical for any value)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
@@ -110,6 +111,7 @@ func main() {
 		Renderer:          core.NRenderers,
 		Seed:              *seed,
 		OrientedScratches: *oriented,
+		TileRows:          *tileRows,
 	}
 	// Ctrl-C cancels the pipeline cleanly: ExecContext unwinds every stage
 	// goroutine and returns context.Canceled instead of leaving a partial

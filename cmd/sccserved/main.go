@@ -63,6 +63,7 @@ func main() {
 		queue        = flag.Int("queue", 8, "waiting room beyond running jobs (negative disables queuing)")
 		stageWorkers = flag.Int("stage-workers", 0, "band-parallel workers per pipeline stage (0 = GOMAXPROCS default pool, 1 = serial stages)")
 		noFuse       = flag.Bool("no-fuse", false, "disable stage fusion; run each filter as its own pipeline stage")
+		tileRows     = flag.Int("tile-rows", 0, "row height of the tiled rasterizer's binning tiles (0 = auto; pixels identical for any value)")
 		planMode     = flag.String("plan", "static", "stage-mapping mode: static (built-in layout), profile (cost-model plan at startup), online (re-plan on observed drift)")
 		replanDrift  = flag.Float64("replan-drift", 0, "online re-plan threshold: relative stage busy-share drift (0 = planner default)")
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "deadline for jobs that do not set one")
@@ -157,6 +158,7 @@ func main() {
 		QueueDepth:     *queue,
 		StageWorkers:   *stageWorkers,
 		NoFuse:         *noFuse,
+		TileRows:       *tileRows,
 		Plan:           *planMode,
 		ReplanDrift:    *replanDrift,
 		DefaultTimeout: *defTimeout,

@@ -21,6 +21,9 @@ type CostModel struct {
 	CullPerNode  float64
 	TriSetup     float64
 	FillPerPixel float64
+	// BinPerTri is the tiled rasterizer's per-bin-insertion cost (one
+	// append per tile a set-up triangle overlaps).
+	BinPerTri float64
 	// FrustumAdjust is the extra per-frame computation each renderer pays
 	// in the n-renderer configuration (§V: "additional computation is
 	// necessary to adjust the viewing frustum").
@@ -45,6 +48,7 @@ func DefaultCostModel() CostModel {
 		CullPerNode:        18e-6, // recursive octree traversal, cache hostile
 		TriSetup:           2e-6,  // per-triangle transform/setup
 		FillPerPixel:       0.82e-6,
+		BinPerTri:          0.05e-6, // one slice append per overlapped tile
 		FrustumAdjust:      0.100,
 		AssembleCompute:    0.002,
 		ConnectCompute:     0.002,
@@ -64,6 +68,40 @@ func (m CostModel) RenderCompute(st render.CullStats, pixels int) float64 {
 	return m.CullPerNode*float64(st.NodesVisited) +
 		m.TriSetup*float64(st.TrisAccepted) +
 		m.FillPerPixel*float64(pixels)
+}
+
+// RenderComputeTiled prices a render pass from the tiled rasterizer's
+// measured counters: setup happens once per surviving screen triangle
+// (TrisSetup, after clipping — not once per band as the replay path paid),
+// plus the binning pass, plus the per-pixel fill.
+func (m CostModel) RenderComputeTiled(st render.Stats, pixels int) float64 {
+	return m.CullPerNode*float64(st.NodesVisited) +
+		m.TriSetup*float64(st.TrisSetup) +
+		m.BinPerTri*float64(st.TrisBinned) +
+		m.FillPerPixel*float64(pixels)
+}
+
+// RenderFixedWork weighs the serial, once-per-strip part of a render —
+// cull traversal, triangle setup, binning — in model seconds. The planner
+// splits observed render busy time between this and RenderScaledWork to
+// decompose a measurement into its non-parallelizable and band-parallel
+// parts.
+func (m CostModel) RenderFixedWork(st render.Stats) float64 {
+	tris := st.TrisSetup
+	if tris == 0 {
+		// Serial/replay path: setup is paid per accepted triangle.
+		tris = st.TrisAccepted
+	}
+	return m.CullPerNode*float64(st.NodesVisited) +
+		m.TriSetup*float64(tris) +
+		m.BinPerTri*float64(st.TrisBinned)
+}
+
+// RenderScaledWork weighs the per-pixel part of a render that distributes
+// across band workers; Candidates counts the pixels the span loops
+// actually visited.
+func (m CostModel) RenderScaledWork(st render.Stats) float64 {
+	return m.FillPerPixel * float64(st.Candidates)
 }
 
 // FilterComputeFor returns the reference compute seconds of a filter stage

@@ -78,6 +78,11 @@ type ExecSpec struct {
 	// sized from GOMAXPROCS (band.Default); band.Serial forces the
 	// single-goroutine path. Output is identical for every pool.
 	Bands *band.Pool
+	// TileRows fixes the row height of the tiled rasterizer's binning
+	// tiles; 0 lets the renderer size tiles from the strip height and band
+	// parallelism. Pixels are identical for every value — tiling only
+	// changes scheduling granularity.
+	TileRows int
 }
 
 // ExecObserver carries optional progress callbacks for a real run. Either
@@ -97,6 +102,20 @@ type ExecObserver struct {
 	// exactly to the wall time — never under StageFused, so per-stage
 	// profiles compare directly between fused and NoFuse runs.
 	OnStageBusy func(kind StageKind, pipeline int, busy time.Duration)
+	// OnRenderStats reports the work counters of one render call (one strip
+	// for NRenderers, one full frame for OneRenderer, pipeline as in
+	// OnStageBusy). The planner's profile recorder uses the counters to
+	// decompose observed render busy time into its fixed (cull + setup +
+	// bin) and per-pixel parts, so replanning prices the tiled rasterizer
+	// honestly.
+	OnRenderStats func(pipeline int, st render.Stats)
+}
+
+// renderStats fires the render-counter callback when set.
+func (o ExecObserver) renderStats(pipeline int, st render.Stats) {
+	if o.OnRenderStats != nil {
+		o.OnRenderStats(pipeline, st)
+	}
 }
 
 // stageBusy wraps a stage's compute step with the busy-time callback.
@@ -436,11 +455,12 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			spawn(fmt.Sprintf("renderer %d", i), func() error {
 				r := render.NewRenderer(tree)
 				r.Bands = renderBands
+				r.TileRows = spec.TileRows
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
 					img := pool.Get(spec.Width, y1-y0)
 					_ = spec.Observer.stageBusy(StageRender, i, func() error {
-						r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0)
+						spec.Observer.renderStats(i, r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0))
 						return nil
 					})
 					m := execMsg{frame: f, strip: &frame.Strip{Index: i, Y0: y0, Img: img}}
@@ -456,10 +476,11 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 		spawn("renderer", func() error {
 			r := render.NewRenderer(tree)
 			r.Bands = renderBands
+			r.TileRows = spec.TileRows
 			for f := 0; f < spec.Frames; f++ {
 				img := pool.Get(spec.Width, spec.Height)
 				_ = spec.Observer.stageBusy(StageRender, -1, func() error {
-					r.RenderFrame(cams[f], img)
+					spec.Observer.renderStats(-1, r.RenderFrame(cams[f], img))
 					return nil
 				})
 				// Zero-copy hand-off: the strips are row-range views of
@@ -618,6 +639,7 @@ func ExecReference(spec ExecSpec, tree *render.Octree, cams []render.Camera, sin
 		}
 	}()
 	r := render.NewRenderer(tree)
+	r.Mode = render.RasterSerial // the oracle stays single-goroutine by construction
 	rng := newStageRNG()
 	k := spec.Pipelines
 	for f := 0; f < spec.Frames; f++ {

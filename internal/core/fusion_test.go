@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -113,10 +114,14 @@ func TestExecSupervisedChaosOnFusedStages(t *testing.T) {
 		{Kind: faults.KindDelay, Pipeline: 2, Stage: "swap", Seq: 0, Delay: time.Millisecond},
 	}})
 	spec.Recovery = quickRecovery()
+	var retriedMu sync.Mutex
 	retried := map[string]int{}
 	spec.Recovery.OnEvent = func(e faults.Event) {
+		// Supervisor callbacks fire from every stage goroutine concurrently.
 		if e.Kind == faults.EventRetry {
-			retried[e.Stage]++ // supervisor callbacks may race; counts checked loosely below
+			retriedMu.Lock()
+			retried[e.Stage]++
+			retriedMu.Unlock()
 		}
 	}
 	got, res := collectSupervised(t, spec)

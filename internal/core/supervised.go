@@ -47,6 +47,7 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 	renderers := sync.Pool{New: func() any {
 		r := render.NewRenderer(tree)
 		r.Bands = bands
+		r.TileRows = spec.TileRows
 		return r
 	}}
 	rngs := sync.Pool{New: func() any { return newStageRNG() }}
@@ -69,7 +70,7 @@ func execSupervised(ctx context.Context, spec ExecSpec, tree *render.Octree, cam
 			img := frame.New(spec.Width, y1-y0)
 			r := renderers.Get().(*render.Renderer)
 			_ = spec.Observer.stageBusy(StageRender, w.strip, func() error {
-				r.RenderStrip(cams[w.f], img, spec.Width, spec.Height, y0)
+				spec.Observer.renderStats(w.strip, r.RenderStrip(cams[w.f], img, spec.Width, spec.Height, y0))
 				return nil
 			})
 			renderers.Put(r)

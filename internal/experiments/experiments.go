@@ -76,6 +76,18 @@ func Workload(s Setup) *core.Workload {
 	return wl
 }
 
+// Tree returns the (cached) shared octree for a setup's scene — the input
+// for experiments that execute real renders instead of simulating them.
+func Tree(s Setup) *render.Octree {
+	l := labFor(s)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tree == nil {
+		l.tree = render.BuildOctree(scene.City(l.cfg))
+	}
+	return l.tree
+}
+
 // Series is a labelled sequence of (x, seconds) points, one figure curve.
 type Series struct {
 	Label string

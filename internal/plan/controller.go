@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sccpipe/internal/core"
+	"sccpipe/internal/render"
 )
 
 // Default hysteresis parameters for the online controller.
@@ -86,6 +87,10 @@ func (c *Controller) Observe(kind core.StageKind, busy time.Duration) {
 
 // FrameDone counts one completed frame in the current window.
 func (c *Controller) FrameDone() { c.rec.FrameDone() }
+
+// ObserveRender folds one render call's work counters into the current
+// window, sharpening the fixed/scaled decomposition at the next re-plan.
+func (c *Controller) ObserveRender(st render.Stats) { c.rec.ObserveRender(st) }
 
 // MaybeReplan closes the observation window if it has reached MinFrames,
 // compares the observed balance against the active plan's baseline, and

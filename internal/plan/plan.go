@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"sccpipe/internal/core"
+	"sccpipe/internal/scc"
 )
 
 // Objective selects what the planner minimizes.
@@ -67,6 +68,9 @@ type Plan struct {
 	PeriodS, LatencyS, EnergyS float64
 	// Score is the minimized objective value.
 	Score float64
+	// Cores counts the SCC cores the mapping occupies — stage and render
+	// goroutines, band workers, per-pipeline feed slots, and the sink.
+	Cores int
 	// Source labels the profile the plan came from: "model", "observed", or
 	// "static".
 	Source string
@@ -201,6 +205,12 @@ func Compute(pr Profile, cfg Config) (Plan, error) {
 	for k := 1; k <= maxK; k++ {
 		for _, g := range groupings {
 			cand := Evaluate(pr, cfg, k, g)
+			if cand.Cores > scc.NumCores {
+				// The worker budget is soft (goroutines oversubscribe),
+				// but the chip layout is not: a mapping that wants more
+				// cores than the SCC has cannot be placed.
+				continue
+			}
 			if cand.Score < best.Score {
 				best = cand
 			}
@@ -243,17 +253,26 @@ func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Per-instance stage seconds per frame, before band workers.
+	// Per-instance stage seconds per frame, before band workers. The fixed
+	// part (cull, setup, binning — serial per renderer even on the tiled
+	// path) never divides by band workers; only the scaled fill share does.
+	// In the n-renderer configuration each strip renderer culls only its
+	// own sub-frustum, so the whole-frame fixed work splits across the k
+	// instances too; what replication duplicates is the Frustum overhead —
+	// sub-frustum adjustment, boundary triangles, the shared upper octree
+	// levels — paid serially by every instance past the first.
 	renderInstances := 1
-	renderCost := pr.RenderFixed + pr.RenderScaled
-	renderTotal := renderCost
+	renderFixed := pr.RenderFixed
+	renderScaled := pr.RenderScaled
+	renderTotal := pr.RenderFixed + pr.RenderScaled
 	if cfg.Renderer == core.NRenderers {
 		renderInstances = k
-		renderCost = pr.RenderFixed + pr.RenderScaled/float64(k)
+		renderFixed = pr.RenderFixed / float64(k)
+		renderScaled = pr.RenderScaled / float64(k)
 		if k > 1 {
-			renderCost += pr.Frustum
+			renderFixed += pr.Frustum
 		}
-		renderTotal = renderCost * float64(k)
+		renderTotal = float64(k) * (renderFixed + renderScaled)
 	}
 	handoffStrip := pr.Handoff / float64(k)
 	groupCost := make([]float64, len(groups))
@@ -280,9 +299,14 @@ func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
 	}
 	rw := 1
 	cores := renderInstances + k*len(groups) + 1
+	if cfg.Renderer == core.NRenderers {
+		// Each replicated pipeline also occupies a feed slot (camera and
+		// strip hand-in), exactly as the chain layout places it on-chip.
+		cores += k
+	}
 
 	renderTerm := func() float64 {
-		t := renderCost / float64(rw)
+		t := renderFixed + renderScaled/float64(rw)
 		if cfg.Renderer == core.NRenderers {
 			return t + handoffStrip
 		}
@@ -306,9 +330,16 @@ func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
 		_ = bt
 		leftover := workers - cores
 		if bi == -1 && leftover >= renderInstances {
-			rw++
-			cores += renderInstances
-			continue
+			// One more render worker only shrinks the scaled share, by
+			// S/rw − S/(rw+1). Once the fixed part floors the term, that
+			// gain collapses; stop below 1% so the fixed floor cannot soak
+			// the whole worker budget for nothing.
+			gain := renderScaled/float64(rw) - renderScaled/float64(rw+1)
+			if gain > 0.01*renderTerm() {
+				rw++
+				cores += renderInstances
+				continue
+			}
 		}
 		if bi >= 0 && bandable[bi] && leftover >= k {
 			gw[bi]++
@@ -329,8 +360,11 @@ func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
 		}
 	}
 	// Throughput can never beat the machine's aggregate capacity: total
-	// per-frame work (hand-offs included) spread over every worker.
-	total := renderTotal + filterTotal + pr.Transfer + float64(len(groups)+1)*pr.Handoff
+	// per-frame work spread over every worker. A frame crosses the memory
+	// system groups+2 times — the feed hand-in to the renderers plus one
+	// hop into each downstream stage — matching the per-stage hand-off the
+	// pipelined terms above charge.
+	total := renderTotal + filterTotal + pr.Transfer + float64(len(groups)+2)*pr.Handoff
 	if bound := total / float64(workers); bound > period {
 		period = bound
 	}
@@ -338,6 +372,13 @@ func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
 	latency := renderTerm() + transferTerm
 	for i := range groups {
 		latency += groupTerm(i)
+	}
+	// The pipelined traversal assumes every stage has its own core. On a
+	// worker-starved machine the stages time-slice, so one frame's wall
+	// latency cannot beat its whole work spread over the workers — the
+	// same capacity argument the period bound makes.
+	if lb := total / float64(workers); lb > latency {
+		latency = lb
 	}
 	energy := period * float64(cores)
 
@@ -363,5 +404,6 @@ func Evaluate(pr Profile, cfg Config, k int, groups [][]core.StageKind) Plan {
 		LatencyS:  latency,
 		EnergyS:   energy,
 		Score:     score,
+		Cores:     cores,
 	}
 }

@@ -211,7 +211,9 @@ func TestRecorderProfile(t *testing.T) {
 		t.Fatalf("fixed ratio %v, want %v", got, wantRatio)
 	}
 
-	// n-renderer observations at k=2: observed = 2·F + S.
+	// n-renderer observations at k=2: the two sub-frustum renderers paid
+	// the whole-frame fixed work once plus two duplication overheads, so
+	// observed = F + 2·c + S.
 	rec.Reset()
 	for f := 0; f < 2; f++ {
 		rec.Observe(core.StageRender, 100*time.Millisecond)
@@ -221,8 +223,8 @@ func TestRecorderProfile(t *testing.T) {
 	if !ok {
 		t.Fatal("no profile")
 	}
-	if got := 2*pr2.RenderFixed + pr2.RenderScaled; !approxEq(got, 0.100) {
-		t.Fatalf("n-renderer decomposition 2F+S = %v, want 0.100", got)
+	if got := pr2.RenderFixed + 2*pr2.Frustum + pr2.RenderScaled; !approxEq(got, 0.100) {
+		t.Fatalf("n-renderer decomposition F+2c+S = %v, want 0.100", got)
 	}
 }
 

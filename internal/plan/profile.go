@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sccpipe/internal/core"
+	"sccpipe/internal/render"
 	"sccpipe/internal/scc"
 )
 
@@ -26,10 +27,11 @@ import (
 type Profile struct {
 	// RenderScaled is the render work that divides across pipelines when
 	// each renders only its strip (rasterization fill). RenderFixed is the
-	// per-renderer work paid in full regardless of strip size — octree
-	// culling and triangle setup traverse the whole scene for any strip, so
-	// the n-renderer configuration duplicates it per pipeline. Frustum is
-	// the extra adjustment each renderer pays in that configuration.
+	// whole-frame cull/setup/binning work: each strip renderer culls only
+	// its own sub-frustum, so this too splits across the n-renderer
+	// configuration. Frustum is the per-renderer duplication that split
+	// cannot shed — sub-frustum adjustment, boundary triangles, and the
+	// shared upper octree levels every strip re-traverses (§V).
 	RenderScaled, RenderFixed, Frustum float64
 	// Filters holds each filter stage's full-frame seconds.
 	Filters map[core.StageKind]float64
@@ -61,7 +63,7 @@ func ModelProfile(m core.CostModel, wl *core.Workload) Profile {
 	p := Profile{
 		RenderFixed:  fixed,
 		RenderScaled: m.FillPerPixel * float64(pixels),
-		Frustum:      m.FrustumAdjust,
+		Frustum:      frustumOverlap(m, wl, fixed),
 		Filters:      make(map[core.StageKind]float64, len(core.FilterOrder)),
 		Transfer:     m.AssembleCompute * float64(pixels) / m.RefPixels,
 		Handoff:      2 * float64(wl.FrameBytes()) / scc.DefaultConfig().MemBandwidth,
@@ -71,6 +73,31 @@ func ModelProfile(m core.CostModel, wl *core.Workload) Profile {
 		p.Filters[k] = m.FilterComputeFor(k, pixels)
 	}
 	return p
+}
+
+// frustumOverlap derives the per-renderer duplication cost of the
+// n-renderer configuration from the workload's own strip statistics: the
+// mean per-strip cull+setup work beyond an even 1/k share of the
+// whole-frame fixed work. The DES keeps the paper's flat FrustumAdjust
+// calibration for reproducing §V; the planner instead prices the tiled
+// renderer it actually schedules, where the overlap is what the strips
+// measurably re-traverse.
+func frustumOverlap(m core.CostModel, wl *core.Workload, fullFixed float64) float64 {
+	const refK = 4
+	if wl.Frames == 0 || wl.H < refK {
+		return 0
+	}
+	var tot float64
+	for _, strips := range wl.StripStats(refK) {
+		for _, st := range strips {
+			tot += m.CullPerNode*float64(st.NodesVisited) + m.TriSetup*float64(st.TrisAccepted)
+		}
+	}
+	perStrip := tot / float64(wl.Frames) / refK
+	if c := perStrip - fullFixed/refK; c > 0 {
+		return c
+	}
+	return 0
 }
 
 // total returns the profile's whole-frame work at k=1 (capacity numerator
@@ -90,6 +117,12 @@ type Recorder struct {
 	mu     sync.Mutex
 	busy   map[core.StageKind]float64
 	frames int
+	// rstats sums the render work counters across observed render calls;
+	// when present they replace the modeled shape ratio in the fixed/scaled
+	// decomposition (the counters know how much cull/setup/bin versus fill
+	// work the measured busy time actually covered).
+	rstats  render.Stats
+	renders int
 }
 
 // NewRecorder returns an empty recorder.
@@ -104,6 +137,14 @@ func (r *Recorder) Observe(kind core.StageKind, busy time.Duration) {
 	r.mu.Unlock()
 }
 
+// ObserveRender folds one render call's work counters into the profile.
+func (r *Recorder) ObserveRender(st render.Stats) {
+	r.mu.Lock()
+	r.rstats.Add(st)
+	r.renders++
+	r.mu.Unlock()
+}
+
 // FrameDone counts one completed frame.
 func (r *Recorder) FrameDone() {
 	r.mu.Lock()
@@ -114,8 +155,9 @@ func (r *Recorder) FrameDone() {
 // Observer adapts the recorder to the core exec callback interface.
 func (r *Recorder) Observer() core.ExecObserver {
 	return core.ExecObserver{
-		OnFrame:     func(int) { r.FrameDone() },
-		OnStageBusy: func(kind core.StageKind, _ int, busy time.Duration) { r.Observe(kind, busy) },
+		OnFrame:       func(int) { r.FrameDone() },
+		OnStageBusy:   func(kind core.StageKind, _ int, busy time.Duration) { r.Observe(kind, busy) },
+		OnRenderStats: func(_ int, st render.Stats) { r.ObserveRender(st) },
 	}
 }
 
@@ -131,17 +173,19 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.busy = make(map[core.StageKind]float64)
 	r.frames = 0
+	r.rstats = render.Stats{}
+	r.renders = 0
 	r.mu.Unlock()
 }
 
-func (r *Recorder) snapshot() (map[core.StageKind]float64, int) {
+func (r *Recorder) snapshot() (map[core.StageKind]float64, int, render.Stats, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[core.StageKind]float64, len(r.busy))
 	for k, v := range r.busy {
 		out[k] = v
 	}
-	return out, r.frames
+	return out, r.frames, r.rstats, r.renders
 }
 
 // Profile converts the observed busy time into a per-frame profile. The
@@ -151,7 +195,7 @@ func (r *Recorder) snapshot() (map[core.StageKind]float64, int) {
 // observations ran at. Stages with no observations inherit the shape's
 // value. Returns false when no frames were observed.
 func (r *Recorder) Profile(shape Profile, k int, renderer core.RendererConfig) (Profile, bool) {
-	busy, frames := r.snapshot()
+	busy, frames, rstats, renders := r.snapshot()
 	if frames == 0 {
 		return Profile{}, false
 	}
@@ -176,24 +220,48 @@ func (r *Recorder) Profile(shape Profile, k int, renderer core.RendererConfig) (
 		out.Transfer = shape.Transfer
 	}
 	obs := busy[core.StageRender] / fr
+	if k < 1 {
+		k = 1
+	}
+	// Weights of the fixed and scaled parts *within the observed busy
+	// time*. The shape ratio is the fallback: at k sub-frustum renderers
+	// the observation carries the whole-frame fixed work once plus k
+	// duplication overheads. When render work counters were observed they
+	// replace the modeled ratio — the summed counters already include any
+	// per-renderer duplication, and they price the tiled path's actual
+	// setup and binning work instead of a pre-tiling guess.
 	f, sc := shape.RenderFixed, shape.RenderScaled
+	fixW, scW := f, sc
+	if renderer == core.NRenderers && k > 1 {
+		fixW = f + float64(k)*shape.Frustum
+	}
+	if renders > 0 {
+		m := core.DefaultCostModel()
+		if fw, sw := m.RenderFixedWork(rstats), m.RenderScaledWork(rstats); fw+sw > 0 {
+			fixW, scW = fw, sw
+		}
+	}
 	switch {
 	case obs <= 0:
 		out.RenderFixed, out.RenderScaled = f, sc
-	case f+sc <= 0:
+	case fixW+scW <= 0:
 		out.RenderScaled = obs
-	case renderer == core.NRenderers:
-		// k renderers each paid the fixed part while the fill divided
-		// across strips: observed = k·F + S, with F/S in the shape's ratio.
-		if k < 1 {
-			k = 1
+	case renderer == core.NRenderers && k > 1:
+		// The k sub-frustum renderers together paid F + k·c fixed seconds
+		// per frame (whole-frame fixed split between them plus each one's
+		// duplication overhead); the shape's proportions split the observed
+		// fixed share back into the two parts.
+		obsFixed := obs * fixW / (fixW + scW)
+		if denom := f + float64(k)*shape.Frustum; denom > 0 {
+			out.RenderFixed = obsFixed * f / denom
+			out.Frustum = obsFixed * shape.Frustum / denom
+		} else {
+			out.RenderFixed = obsFixed
 		}
-		den := float64(k)*f + sc
-		out.RenderFixed = obs * f / den
-		out.RenderScaled = obs * sc / den
+		out.RenderScaled = obs * scW / (fixW + scW)
 	default:
-		out.RenderFixed = obs * f / (f + sc)
-		out.RenderScaled = obs * sc / (f + sc)
+		out.RenderFixed = obs * fixW / (fixW + scW)
+		out.RenderScaled = obs * scW / (fixW + scW)
 	}
 	return out, true
 }

@@ -137,15 +137,87 @@ type CullStats struct {
 // Cull appends the indices of all triangles in leaves whose bounds
 // intersect the frustum, returning the (possibly reallocated) slice and
 // traversal statistics. The test is conservative: no visible triangle is
-// ever dropped.
+// ever dropped. TrisAccepted counts only the triangles appended by this
+// call, not entries already present in out.
 func (o *Octree) Cull(f Frustum, out []int32) ([]int32, CullStats) {
 	var st CullStats
 	if o.root == nil {
 		return out, st
 	}
+	base := len(out)
 	out = o.cull(o.root, f, out, &st)
-	st.TrisAccepted = len(out)
+	st.TrisAccepted = len(out) - base
 	return out, st
+}
+
+// CullFrontToBack is Cull with a near-first emission order: at every
+// interior node the surviving children are visited in order of increasing
+// distance from eye to their bounds, so triangles near the viewpoint come
+// out of the traversal first. The emitted set and the stats are identical
+// to Cull; only the order differs. The renderer draws in this order so
+// occluders land in the depth buffer early, which is what makes the tiled
+// rasterizer's coarse per-tile z rejection effective. The order is fully
+// deterministic (distance, then octant index), so renders are reproducible.
+func (o *Octree) CullFrontToBack(f Frustum, eye Vec3, out []int32) ([]int32, CullStats) {
+	var st CullStats
+	if o.root == nil {
+		return out, st
+	}
+	base := len(out)
+	out = o.cullFTB(o.root, f, eye, out, &st)
+	st.TrisAccepted = len(out) - base
+	return out, st
+}
+
+func (o *Octree) cullFTB(n *octNode, f Frustum, eye Vec3, out []int32, st *CullStats) []int32 {
+	st.NodesVisited++
+	if !f.IntersectsAABB(n.bounds) {
+		return out
+	}
+	if n.leaf {
+		return append(out, n.tris...)
+	}
+	// Order the (at most eight) children near-first with an insertion sort
+	// over fixed arrays: stable on distance ties, allocation-free.
+	var order [8]int8
+	var dist [8]float64
+	cnt := 0
+	for ci, ch := range n.children {
+		if ch == nil {
+			continue
+		}
+		d := distSqToAABB(eye, ch.bounds)
+		j := cnt
+		for j > 0 && dist[j-1] > d {
+			order[j], dist[j] = order[j-1], dist[j-1]
+			j--
+		}
+		order[j], dist[j] = int8(ci), d
+		cnt++
+	}
+	for i := 0; i < cnt; i++ {
+		out = o.cullFTB(n.children[order[i]], f, eye, out, st)
+	}
+	return out
+}
+
+// distSqToAABB returns the squared distance from p to the closest point of
+// the box (0 when p is inside).
+func distSqToAABB(p Vec3, b AABB) float64 {
+	var s float64
+	for _, c := range [3][3]float64{
+		{p.X, b.Min.X, b.Max.X},
+		{p.Y, b.Min.Y, b.Max.Y},
+		{p.Z, b.Min.Z, b.Max.Z},
+	} {
+		v, lo, hi := c[0], c[1], c[2]
+		if v < lo {
+			s += (lo - v) * (lo - v)
+		} else if v > hi {
+			s += (v - hi) * (v - hi)
+		}
+	}
+	return s
 }
 
 func (o *Octree) cull(n *octNode, f Frustum, out []int32, st *CullStats) []int32 {

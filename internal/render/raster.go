@@ -127,55 +127,22 @@ func edge(a, b, c screenVert) float64 {
 	return (b.x-a.x)*(c.y-a.y) - (b.y-a.y)*(c.x-a.x)
 }
 
-// fill rasterizes one clip-space triangle with flat color.
+// fill rasterizes one clip-space triangle with flat color, through the same
+// setup + span loop the tiled path uses: setupTri precomputes the edge
+// coefficients once, drawSetupRows walks the (conservatively tightened)
+// pixel spans. Output bytes and both counters are bit-identical to the
+// historical full-bbox per-pixel loop — drawSetupRows evaluates the same
+// edge expressions with the same operand order, and span tightening only
+// skips pixels whose edge sign test fails.
 func (r *Rasterizer) fill(c0, c1, c2 Vec4, cr, cg, cb uint8) {
 	v0, v1, v2 := r.toScreen(c0), r.toScreen(c1), r.toScreen(c2)
-	area := edge(v0, v1, v2)
-	if area == 0 {
+	s, ok := setupTri(v0, v1, v2, cr, cg, cb, r.FullW, r.Y0, r.Y0+r.img.H)
+	if !ok {
 		return
 	}
-	if area < 0 { // ensure counter-clockwise so barycentrics are positive
-		v1, v2 = v2, v1
-		area = -area
-	}
-	minX := int(math.Floor(min3(v0.x, v1.x, v2.x)))
-	maxX := int(math.Ceil(max3(v0.x, v1.x, v2.x)))
-	minY := int(math.Floor(min3(v0.y, v1.y, v2.y)))
-	maxY := int(math.Ceil(max3(v0.y, v1.y, v2.y)))
-	if minX < 0 {
-		minX = 0
-	}
-	if maxX > r.FullW-1 {
-		maxX = r.FullW - 1
-	}
-	if minY < r.Y0 {
-		minY = r.Y0
-	}
-	if maxY > r.Y0+r.img.H-1 {
-		maxY = r.Y0 + r.img.H - 1
-	}
-	invArea := 1 / area
-	for y := minY; y <= maxY; y++ {
-		rowZ := r.zbuf[(y-r.Y0)*r.img.W:]
-		for x := minX; x <= maxX; x++ {
-			p := screenVert{x: float64(x) + 0.5, y: float64(y) + 0.5}
-			w0 := edge(v1, v2, p)
-			w1 := edge(v2, v0, p)
-			w2 := edge(v0, v1, p)
-			if w0 < 0 || w1 < 0 || w2 < 0 {
-				continue
-			}
-			r.Candidates++
-			z := (w0*v0.z + w1*v1.z + w2*v2.z) * invArea
-			zf := float32(z)
-			if zf >= rowZ[x] {
-				continue
-			}
-			rowZ[x] = zf
-			r.img.Set(x, y-r.Y0, cr, cg, cb, 0xff)
-			r.Filled++
-		}
-	}
+	filled, cand := drawSetupRows(&s, r.img, r.zbuf, r.Y0, r.Y0, r.Y0+r.img.H)
+	r.Filled += filled
+	r.Candidates += cand
 }
 
 func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }

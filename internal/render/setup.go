@@ -1,0 +1,218 @@
+package render
+
+import (
+	"math"
+
+	"sccpipe/internal/frame"
+)
+
+// triSetup is one screen-space triangle after transform, near-clip and
+// fan-triangulation: everything the inner rasterization loop needs, computed
+// once per strip instead of once per band. The fields mirror the arithmetic
+// of the per-pixel evaluation exactly — for edge i with endpoints a→b,
+// w_i(p) = (b.x−a.x)·(p.y−a.y) − (b.y−a.y)·(p.x−a.x) is evaluated as
+// fm_i − ey_i·(p.x−ax_i) with fm_i = ex_i·(p.y−ay_i) hoisted per row. Both
+// factors use the identical operands and operation order as the original
+// edge() call, so the results are bit-identical.
+type triSetup struct {
+	ax, ay, ex, ey [3]float64 // edge origins and deltas (a, b−a), post-CCW-swap
+	iey            [3]float64 // 1/ey_i: span tightening; ±Inf when ey_i == 0
+	z0, z1, z2     float64    // NDC depth at the verts, in w0/w1/w2 pairing order
+	invArea        float64
+	// zminSafe lower-bounds every interpolated depth the triangle can
+	// produce, including float rounding slack; the coarse per-tile z test
+	// compares it against the tile's depth-buffer maximum.
+	zminSafe               float64
+	minX, maxX, minY, maxY int32 // inclusive pixel bbox, clamped to the strip
+	cr, cg, cb             uint8
+}
+
+// setupTri builds the setup record for one clipped screen-space triangle.
+// The bbox is clamped to columns [0, fullW) and absolute rows [y0, y1);
+// ok is false when the triangle is degenerate or misses that window
+// entirely (exactly the cases where the original fill loop did no work).
+func setupTri(v0, v1, v2 screenVert, cr, cg, cb uint8, fullW, y0, y1 int) (s triSetup, ok bool) {
+	area := edge(v0, v1, v2)
+	if area == 0 {
+		return s, false
+	}
+	if area < 0 { // ensure counter-clockwise so barycentrics are positive
+		v1, v2 = v2, v1
+		area = -area
+	}
+	minX := int(math.Floor(min3(v0.x, v1.x, v2.x)))
+	maxX := int(math.Ceil(max3(v0.x, v1.x, v2.x)))
+	minY := int(math.Floor(min3(v0.y, v1.y, v2.y)))
+	maxY := int(math.Ceil(max3(v0.y, v1.y, v2.y)))
+	if minX < 0 {
+		minX = 0
+	}
+	if maxX > fullW-1 {
+		maxX = fullW - 1
+	}
+	if minY < y0 {
+		minY = y0
+	}
+	if maxY > y1-1 {
+		maxY = y1 - 1
+	}
+	if minX > maxX || minY > maxY {
+		return s, false
+	}
+	// Edge i's endpoints follow the original w0/w1/w2 evaluation:
+	// w0 = edge(v1, v2, p), w1 = edge(v2, v0, p), w2 = edge(v0, v1, p).
+	for i, e := range [3][2]screenVert{{v1, v2}, {v2, v0}, {v0, v1}} {
+		a, b := e[0], e[1]
+		s.ax[i], s.ay[i] = a.x, a.y
+		s.ex[i], s.ey[i] = b.x-a.x, b.y-a.y
+		s.iey[i] = 1 / s.ey[i]
+	}
+	s.z0, s.z1, s.z2 = v0.z, v1.z, v2.z
+	s.invArea = 1 / area
+	zmin := min3(s.z0, s.z1, s.z2)
+	// Interpolated z is a convex combination of the vertex depths up to
+	// rounding, so pad the bound by a relative error term many orders above
+	// the true ulp accumulation; the coarse-z test stays conservative.
+	zerr := 1e-6*(math.Abs(s.z0)+math.Abs(s.z1)+math.Abs(s.z2)) + 1e-12
+	s.zminSafe = zmin - zerr
+	s.minX, s.maxX = int32(minX), int32(maxX)
+	s.minY, s.maxY = int32(minY), int32(maxY)
+	s.cr, s.cg, s.cb = cr, cg, cb
+	return s, true
+}
+
+// appendTriSetups transforms, near-clips and fan-triangulates one scene
+// triangle, appending a setup record per resulting screen triangle. poly is
+// the caller's clip scratch (≥ 4 capacity). The screen mapping matches
+// Rasterizer.toScreen operation for operation.
+func appendTriSetups(dst []triSetup, vp Mat4, t Triangle, poly []Vec4, fullW, fullH, y0, y1 int) []triSetup {
+	clip := [3]Vec4{
+		vp.TransformPoint(t.V[0]),
+		vp.TransformPoint(t.V[1]),
+		vp.TransformPoint(t.V[2]),
+	}
+	out := clipNear(clip[:], poly[:0])
+	if len(out) < 3 {
+		return dst
+	}
+	v0 := toScreenVert(out[0], fullW, fullH)
+	for i := 1; i+1 < len(out); i++ {
+		v1 := toScreenVert(out[i], fullW, fullH)
+		v2 := toScreenVert(out[i+1], fullW, fullH)
+		if s, ok := setupTri(v0, v1, v2, t.R, t.G, t.B, fullW, y0, y1); ok {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// toScreenVert is the perspective divide + viewport transform, identical to
+// Rasterizer.toScreen but free of the receiver so the setup pass can use it.
+func toScreenVert(v Vec4, fullW, fullH int) screenVert {
+	inv := 1 / v.W
+	nx, ny, nz := v.X*inv, v.Y*inv, v.Z*inv
+	return screenVert{
+		x: (nx + 1) * 0.5 * float64(fullW),
+		y: (1 - (ny+1)*0.5) * float64(fullH),
+		z: nz,
+	}
+}
+
+// tightenSpan narrows the pixel span [lo, hi] of one row to the part where
+// edge function w(px) = fm − ey·(px−ax) can still be ≥ 0, given the row
+// constant fm. It only ever *excludes* pixels whose evaluated w is strictly
+// negative — pixels the fill loop rejects anyway — so the rasterized output
+// and both fill counters are unchanged; the loop just walks fewer misses.
+//
+// Conservativeness: for ey > 0 the evaluated w decreases with px, crossing
+// zero near xc = ax + fm/ey. A pixel the full loop would accept satisfies
+// fm − ey·(px−ax) ≥ −ε with ε bounded by a few ulps of |fm| + |ey|·|px−ax|,
+// i.e. px ≤ xc + ε/ey. The margin below over-covers that by many orders of
+// magnitude (1e-12 relative on every contributing magnitude, plus one whole
+// pixel), so no accepted pixel is ever cut. ey < 0 mirrors. Non-finite
+// intermediates (overflowing coordinates) disable tightening for the edge.
+func tightenSpan(lo, hi *int, fm, ey, iey, ax float64, maxX int) (rowLive bool) {
+	if ey == 0 {
+		// w = fm − (±0)·(px−ax): equal to fm for the sign test on every
+		// pixel of the row (a zero product never flips fm across zero).
+		return !(fm < 0)
+	}
+	xc := ax + fm*iey
+	m := 1e-12*(math.Abs(xc)+math.Abs(ax)+float64(maxX)+1) + 1
+	if !(m < 1e17) || xc != xc { // Inf/NaN guard: keep the full span
+		return true
+	}
+	if ey > 0 {
+		v := xc + m - 0.5 // accepted pixels have float64(x) ≤ v
+		if v < float64(*hi) {
+			if v < float64(*lo) {
+				return false
+			}
+			*hi = int(math.Floor(v))
+		}
+	} else {
+		v := xc - m - 0.5 // accepted pixels have float64(x) ≥ v
+		if v > float64(*lo) {
+			if v > float64(*hi) {
+				return false
+			}
+			*lo = int(math.Ceil(v))
+		}
+	}
+	return true
+}
+
+// drawSetupRows rasterizes a set-up triangle into absolute screen rows
+// [ry0, ry1) of img, whose row 0 is absolute row imgY0 and whose depth
+// buffer is zbuf (img.W floats per row, same origin). The per-pixel
+// arithmetic — edge signs, barycentric depth, depth test, pixel write — is
+// operation-for-operation the original fill loop, so output bytes and the
+// Filled/Candidates counts over any row partition match the serial
+// rasterizer exactly.
+func drawSetupRows(s *triSetup, img *frame.Image, zbuf []float32, imgY0, ry0, ry1 int) (filled, cand int64) {
+	yA := int(s.minY)
+	if yA < ry0 {
+		yA = ry0
+	}
+	yB := int(s.maxY)
+	if yB > ry1-1 {
+		yB = ry1 - 1
+	}
+	minX, maxX := int(s.minX), int(s.maxX)
+	ax0, ay0, ex0, ey0 := s.ax[0], s.ay[0], s.ex[0], s.ey[0]
+	ax1, ay1, ex1, ey1 := s.ax[1], s.ay[1], s.ex[1], s.ey[1]
+	ax2, ay2, ex2, ey2 := s.ax[2], s.ay[2], s.ex[2], s.ey[2]
+	for y := yA; y <= yB; y++ {
+		py := float64(y) + 0.5
+		fm0 := ex0 * (py - ay0)
+		fm1 := ex1 * (py - ay1)
+		fm2 := ex2 * (py - ay2)
+		lo, hi := minX, maxX
+		if !tightenSpan(&lo, &hi, fm0, ey0, s.iey[0], ax0, maxX) ||
+			!tightenSpan(&lo, &hi, fm1, ey1, s.iey[1], ax1, maxX) ||
+			!tightenSpan(&lo, &hi, fm2, ey2, s.iey[2], ax2, maxX) ||
+			lo > hi {
+			continue
+		}
+		rowZ := zbuf[(y-imgY0)*img.W:]
+		for x := lo; x <= hi; x++ {
+			px := float64(x) + 0.5
+			w0 := fm0 - ey0*(px-ax0)
+			w1 := fm1 - ey1*(px-ax1)
+			w2 := fm2 - ey2*(px-ax2)
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			cand++
+			z := (w0*s.z0 + w1*s.z1 + w2*s.z2) * s.invArea
+			zf := float32(z)
+			if zf >= rowZ[x] {
+				continue
+			}
+			rowZ[x] = zf
+			img.Set(x, y-imgY0, s.cr, s.cg, s.cb, 0xff)
+			filled++
+		}
+	}
+	return filled, cand
+}

@@ -1,0 +1,197 @@
+package render
+
+import (
+	"math"
+	"sync/atomic"
+
+	"sccpipe/internal/band"
+	"sccpipe/internal/frame"
+)
+
+// tileState is one row-tile of the strip being rendered: its absolute row
+// range, the bin of setup-buffer indices overlapping it, the cached coarse-z
+// value, and per-tile counters (summed serially after the parallel run, so
+// workers never share counter cache lines).
+type tileState struct {
+	y0, y1 int     // absolute screen rows [y0, y1)
+	bin    []int32 // indices into the setup buffer, in draw order
+	// zmax caches the maximum of the tile's depth-buffer rows as of the
+	// last refresh. Depth values only ever decrease, so the cache is always
+	// an upper bound on the live buffer: a triangle whose conservative
+	// minimum depth exceeds it cannot pass the depth test anywhere in the
+	// tile. While any pixel is still at +Inf the maximum is +Inf and the
+	// reject test can never fire — uncovered tiles are naturally safe.
+	zmax      float32
+	sinceScan int
+	filled    int64
+	cand      int64
+	rejected  int64
+}
+
+// Coarse-z refresh policy: rescanning the tile's depth rows costs
+// rows×width float reads — on a 128-row tile that is more traffic than an
+// average triangle's whole fill — so refreshes are spaced in proportion to
+// the tile's pixel count and the whole mechanism is skipped for bins too
+// short to amortize even one rescan.
+const (
+	zScanEvery        = 32 // minimum triangles drawn between refreshes
+	zScanPixelsPerTri = 64 // refresh every tilePixels/this triangles
+	zScanMinBin       = 48 // skip coarse-z entirely for shorter bins
+)
+
+// tiledRaster is the reusable state of the tiled, binned rasterization
+// path: the per-strip setup buffer, a strip-wide depth buffer, the tile
+// array with bins, and the work-stealing dispatch state. All of it is
+// reused across frames, so a steady-state walkthrough render allocates
+// nothing.
+//
+// Ownership and determinism rules: the setup buffer and bins are written
+// single-threaded (setup pass, then binning) before workers start, and are
+// read-only during the parallel phase. Each tile owns a disjoint row range
+// of the shared image and depth buffer — no two workers ever touch the same
+// row — and bins preserve the front-to-back draw order, so every pixel sees
+// the same triangle sequence as the serial rasterizer and the output is
+// byte-identical no matter how tiles are scheduled across workers.
+type tiledRaster struct {
+	setups []triSetup
+	poly   [4]Vec4 // near-clip scratch for the setup pass
+	zbuf   []float32
+	tiles  []tileState
+	next   atomic.Int64 // work-stealing tile cursor
+	fn     func(int)    // cached dispatch closure (one bound worker fn)
+
+	// per-run targets, set before Run and read-only during it
+	img      *frame.Image
+	y0       int // absolute screen row of img row 0
+	coarseZ  bool
+	nTiles   int
+	rejected int64 // summed after the run
+}
+
+// prepare sizes the strip-wide depth buffer and the tile array for a strip
+// of img.H rows starting at absolute row y0, split into tiles of tileRows
+// rows (the last tile takes the remainder). Bins are reset but keep their
+// storage.
+func (tr *tiledRaster) prepare(img *frame.Image, y0, tileRows int) {
+	tr.img, tr.y0 = img, y0
+	need := img.W * img.H
+	if cap(tr.zbuf) < need {
+		tr.zbuf = make([]float32, need)
+	}
+	tr.zbuf = tr.zbuf[:need]
+	tr.nTiles = (img.H + tileRows - 1) / tileRows
+	for len(tr.tiles) < tr.nTiles {
+		tr.tiles = append(tr.tiles, tileState{})
+	}
+	for i := 0; i < tr.nTiles; i++ {
+		t := &tr.tiles[i]
+		t.y0 = y0 + i*tileRows
+		t.y1 = t.y0 + tileRows
+		if t.y1 > y0+img.H {
+			t.y1 = y0 + img.H
+		}
+		t.bin = t.bin[:0]
+		t.zmax = float32(math.Inf(1))
+		t.sinceScan = 0
+		t.filled, t.cand, t.rejected = 0, 0, 0
+	}
+	tr.rejected = 0
+}
+
+// bin distributes the setup buffer into the row-tiles. Each record lands in
+// every tile its clamped bbox overlaps, in setup order, so per-tile draw
+// order equals the serial draw order restricted to that tile's rows.
+// Returns the number of bin insertions and the count of non-empty tiles.
+func (tr *tiledRaster) bin(tileRows int) (binned int64, touched int) {
+	for si := range tr.setups {
+		s := &tr.setups[si]
+		t0 := (int(s.minY) - tr.y0) / tileRows
+		t1 := (int(s.maxY) - tr.y0) / tileRows
+		for t := t0; t <= t1; t++ {
+			tr.tiles[t].bin = append(tr.tiles[t].bin, int32(si))
+		}
+		binned += int64(t1 - t0 + 1)
+	}
+	for i := 0; i < tr.nTiles; i++ {
+		if len(tr.tiles[i].bin) > 0 {
+			touched++
+		}
+	}
+	return binned, touched
+}
+
+// run rasterizes all tiles on up to workers band-pool lanes. Tiles are
+// claimed with an atomic cursor (work stealing): dense tiles with long bins
+// and empty tiles cost wildly different amounts, and stealing keeps lanes
+// busy without any static assignment.
+func (tr *tiledRaster) run(pool *band.Pool, workers int) {
+	if workers > tr.nTiles {
+		workers = tr.nTiles
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tr.next.Store(0)
+	if tr.fn == nil {
+		tr.fn = func(int) {
+			for {
+				t := int(tr.next.Add(1)) - 1
+				if t >= tr.nTiles {
+					return
+				}
+				tr.runTile(&tr.tiles[t])
+			}
+		}
+	}
+	pool.Run(workers, tr.fn)
+	for i := 0; i < tr.nTiles; i++ {
+		tr.rejected += tr.tiles[i].rejected
+	}
+}
+
+// runTile clears the tile's rows (color and depth) and draws its bin. The
+// serial rasterizer clears the whole strip up front; doing it per tile
+// parallelizes the clear and keeps the rows hot in the drawing worker's
+// cache.
+func (t *tileState) runTileInto(img *frame.Image, zbuf []float32, imgY0 int, setups []triSetup, coarseZ bool) {
+	rows := frame.Image{W: img.W, H: t.y1 - t.y0, Pix: img.Pix[(t.y0-imgY0)*img.W*4 : (t.y1-imgY0)*img.W*4]}
+	rows.Fill(0, 0, 0, 0xff)
+	z0, z1 := (t.y0-imgY0)*img.W, (t.y1-imgY0)*img.W
+	inf := float32(math.Inf(1))
+	for i := z0; i < z1; i++ {
+		zbuf[i] = inf
+	}
+	useZ := coarseZ && len(t.bin) >= zScanMinBin
+	scanEvery := (z1 - z0) / zScanPixelsPerTri
+	if scanEvery < zScanEvery {
+		scanEvery = zScanEvery
+	}
+	t.zmax = inf
+	t.sinceScan = 0
+	for _, si := range t.bin {
+		s := &setups[si]
+		if useZ {
+			if s.zminSafe > float64(t.zmax) {
+				t.rejected++
+				continue
+			}
+			if t.sinceScan++; t.sinceScan >= scanEvery {
+				t.sinceScan = 0
+				m := zbuf[z0]
+				for i := z0 + 1; i < z1; i++ {
+					if zbuf[i] > m {
+						m = zbuf[i]
+					}
+				}
+				t.zmax = m
+			}
+		}
+		f, c := drawSetupRows(s, img, zbuf, imgY0, t.y0, t.y1)
+		t.filled += f
+		t.cand += c
+	}
+}
+
+func (tr *tiledRaster) runTile(t *tileState) {
+	t.runTileInto(tr.img, tr.zbuf, tr.y0, tr.setups, tr.coarseZ)
+}

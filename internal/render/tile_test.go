@@ -1,0 +1,264 @@
+package render
+
+import (
+	"math/rand"
+	"testing"
+
+	"sccpipe/internal/band"
+	"sccpipe/internal/frame"
+)
+
+// renderPair renders the same strip serially and tiled and returns both
+// images plus the tiled stats; the serial image is the golden.
+func renderPair(t *testing.T, tree *Octree, cam Camera, fullW, fullH, y0, y1, tileRows int, pool *band.Pool) (*frame.Image, *frame.Image, Stats, Stats) {
+	t.Helper()
+	want := frame.New(fullW, y1-y0)
+	got := frame.New(fullW, y1-y0)
+	serial := NewRenderer(tree)
+	serial.Mode = RasterSerial
+	wantSt := serial.RenderStrip(cam, want, fullW, fullH, y0)
+	tiled := NewRenderer(tree)
+	tiled.Bands = pool
+	tiled.Mode = RasterTiled
+	tiled.TileRows = tileRows
+	gotSt := tiled.RenderStrip(cam, got, fullW, fullH, y0)
+	return want, got, wantSt, gotSt
+}
+
+// assertTiledMatch is the seam golden: byte-identical pixels, identical
+// Filled, Candidates no larger than serial (coarse-z only ever removes
+// provably occluded work).
+func assertTiledMatch(t *testing.T, label string, want, got *frame.Image, wantSt, gotSt Stats) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Fatalf("%s: tiled pixels differ from serial", label)
+	}
+	if gotSt.Filled != wantSt.Filled {
+		t.Fatalf("%s: tiled Filled=%d serial=%d", label, gotSt.Filled, wantSt.Filled)
+	}
+	if gotSt.Candidates > wantSt.Candidates {
+		t.Fatalf("%s: tiled Candidates=%d exceeds serial %d", label, gotSt.Candidates, wantSt.Candidates)
+	}
+}
+
+// Adversarial tile geometries: strip heights not divisible by the tile
+// height, 1-row tiles, strips starting at y0 > 0, and tile heights larger
+// than the strip. Every combination must reproduce the serial bytes.
+func TestTiledAdversarialGeometries(t *testing.T) {
+	tree := BuildOctree(randTris(rand.New(rand.NewSource(41)), 300))
+	cams := Walkthrough(2, tree.Bounds())
+	pool := band.New(4)
+	const fullW, fullH = 80, 101 // odd height: uneven everything
+	for _, tileRows := range []int{1, 3, 7, 16, 500} {
+		for _, strip := range [][2]int{{0, fullH}, {0, 37}, {29, 92}, {fullH - 19, fullH}} {
+			for fi, cam := range cams {
+				label := fmtLabel(tileRows, strip[0], strip[1], fi)
+				want, got, wantSt, gotSt := renderPair(t, tree, cam, fullW, fullH, strip[0], strip[1], tileRows, pool)
+				assertTiledMatch(t, label, want, got, wantSt, gotSt)
+			}
+		}
+	}
+}
+
+func fmtLabel(tileRows, y0, y1, frame int) string {
+	return "tileRows=" + itoa(tileRows) + " strip[" + itoa(y0) + "," + itoa(y1) + ") frame " + itoa(frame)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Triangles spanning many tile boundaries: a few huge triangles covering
+// the whole screen must land in every tile's bin and still produce serial
+// bytes with 1-row tiles.
+func TestTiledBoundarySpanningTriangles(t *testing.T) {
+	tris := []Triangle{
+		{V: [3]Vec3{{-8, -8, 0}, {8, -8, 0}, {0, 10, 0}}, R: 200, G: 10, B: 10},
+		{V: [3]Vec3{{-8, 8, 1}, {8, 8, 1}, {0, -10, 1}}, G: 200},
+		{V: [3]Vec3{{-8, -8, -1}, {8, -8, -1}, {0, 10, -1}}, B: 200},
+	}
+	tree := BuildOctree(tris)
+	cam := testCamera()
+	want, got, wantSt, gotSt := renderPair(t, tree, cam, 64, 64, 0, 64, 1, band.New(3))
+	assertTiledMatch(t, "spanning", want, got, wantSt, gotSt)
+	if gotSt.TrisBinned <= int64(gotSt.TrisSetup) {
+		t.Fatalf("screen-covering triangles binned once each: binned=%d setup=%d",
+			gotSt.TrisBinned, gotSt.TrisSetup)
+	}
+	if gotSt.TilesTouched != 64 {
+		t.Fatalf("expected every 1-row tile touched, got %d", gotSt.TilesTouched)
+	}
+}
+
+// Empty tiles (no overlapping triangles) must still be cleared to the
+// background, exactly as the serial whole-strip clear does.
+func TestTiledEmptyTilesCleared(t *testing.T) {
+	// One small triangle near the top of the screen; bottom tiles get
+	// empty bins.
+	tree := BuildOctree([]Triangle{{
+		V: [3]Vec3{{-0.5, 1.5, 0}, {0.5, 1.5, 0}, {0, 2.2, 0}}, R: 99,
+	}})
+	cam := testCamera()
+	want, got, wantSt, gotSt := renderPair(t, tree, cam, 48, 96, 0, 96, 8, band.New(4))
+	assertTiledMatch(t, "empty-tiles", want, got, wantSt, gotSt)
+	if gotSt.Filled == 0 {
+		t.Fatal("triangle not drawn at all")
+	}
+	if gotSt.TilesTouched >= 12 {
+		t.Fatalf("expected mostly-empty tiles, but %d of 12 touched", gotSt.TilesTouched)
+	}
+	// The bottom-most row must be background (cleared by an empty tile).
+	r, g, b, a := got.At(0, 95)
+	if r != 0 || g != 0 || b != 0 || a != 0xff {
+		t.Fatalf("empty tile not cleared: %d,%d,%d,%d", r, g, b, a)
+	}
+}
+
+// Coarse-z must reject occluded bins on a depth-heavy scene without
+// changing a single pixel or the Filled count.
+func TestTiledCoarseZRejectsOccludedBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	// A wall of big near triangles in front of hundreds of small far ones:
+	// front-to-back order draws the wall first, after which whole far bins
+	// are provably occluded.
+	var tris []Triangle
+	tris = append(tris,
+		Triangle{V: [3]Vec3{{-20, -20, 3}, {20, -20, 3}, {0, 25, 3}}, R: 240},
+		Triangle{V: [3]Vec3{{-20, 20, 3.1}, {20, 20, 3.1}, {0, -25, 3.1}}, G: 240},
+	)
+	for i := 0; i < 400; i++ {
+		base := Vec3{rng.Float64()*6 - 3, rng.Float64()*6 - 3, -5 - rng.Float64()*3}
+		tris = append(tris, Triangle{
+			V: [3]Vec3{
+				base,
+				base.Add(Vec3{0.4, 0, 0}),
+				base.Add(Vec3{0, 0.4, 0}),
+			},
+			B: uint8(rng.Intn(256)),
+		})
+	}
+	tree := BuildOctree(tris)
+	cam := testCamera()
+	want, got, wantSt, gotSt := renderPair(t, tree, cam, 96, 96, 0, 96, 8, band.New(4))
+	assertTiledMatch(t, "coarse-z", want, got, wantSt, gotSt)
+	if gotSt.BinsRejected == 0 {
+		t.Fatal("occlusion-heavy scene rejected no bins")
+	}
+	if gotSt.Candidates >= wantSt.Candidates {
+		t.Fatalf("rejections should shrink Candidates: tiled=%d serial=%d (rejected %d)",
+			gotSt.Candidates, wantSt.Candidates, gotSt.BinsRejected)
+	}
+
+	// The NoCoarseZ ablation must reproduce serial Candidates exactly.
+	plain := NewRenderer(tree)
+	plain.Bands = band.New(4)
+	plain.Mode = RasterTiled
+	plain.TileRows = 8
+	plain.NoCoarseZ = true
+	img := frame.New(96, 96)
+	plainSt := plain.RenderStrip(cam, img, 96, 96, 0)
+	if !img.Equal(want) {
+		t.Fatal("NoCoarseZ tiled pixels differ from serial")
+	}
+	if plainSt.Filled != wantSt.Filled || plainSt.Candidates != wantSt.Candidates {
+		t.Fatalf("NoCoarseZ stats %+v != serial %+v", plainSt, wantSt)
+	}
+	if plainSt.BinsRejected != 0 {
+		t.Fatalf("NoCoarseZ still rejected %d bins", plainSt.BinsRejected)
+	}
+}
+
+// The front-to-back traversal must emit exactly the same triangle set and
+// stats as the plain traversal, only reordered.
+func TestCullFrontToBackSameSet(t *testing.T) {
+	tree := BuildOctree(randTris(rand.New(rand.NewSource(59)), 600))
+	cams := Walkthrough(3, tree.Bounds())
+	for fi, cam := range cams {
+		f := cam.Frustum(64, 64)
+		plain, plainSt := tree.Cull(f, nil)
+		ftb, ftbSt := tree.CullFrontToBack(f, cam.Eye, nil)
+		if plainSt != ftbSt {
+			t.Fatalf("frame %d: stats %+v != %+v", fi, ftbSt, plainSt)
+		}
+		if len(plain) != len(ftb) {
+			t.Fatalf("frame %d: %d vs %d triangles", fi, len(ftb), len(plain))
+		}
+		seen := make(map[int32]int)
+		for _, i := range plain {
+			seen[i]++
+		}
+		for _, i := range ftb {
+			seen[i]--
+		}
+		for id, n := range seen {
+			if n != 0 {
+				t.Fatalf("frame %d: triangle %d multiplicity differs by %d", fi, id, n)
+			}
+		}
+	}
+}
+
+// Regression: Cull and CullFrontToBack must count only the triangles they
+// append, not entries already present in the caller's slice.
+func TestCullStatsIgnorePrepopulatedSlice(t *testing.T) {
+	tree := BuildOctree(randTris(rand.New(rand.NewSource(61)), 200))
+	cam := Walkthrough(1, tree.Bounds())[0]
+	f := cam.Frustum(64, 64)
+	fresh, freshSt := tree.Cull(f, nil)
+	pre := make([]int32, 7, 7+len(fresh))
+	out, preSt := tree.Cull(f, pre)
+	if preSt.TrisAccepted != freshSt.TrisAccepted {
+		t.Fatalf("pre-populated slice inflated TrisAccepted: %d vs %d",
+			preSt.TrisAccepted, freshSt.TrisAccepted)
+	}
+	if len(out) != 7+len(fresh) {
+		t.Fatalf("appended %d, want %d", len(out)-7, len(fresh))
+	}
+	_, ftbSt := tree.CullFrontToBack(f, cam.Eye, make([]int32, 5))
+	if ftbSt.TrisAccepted != freshSt.TrisAccepted {
+		t.Fatalf("front-to-back pre-populated TrisAccepted: %d vs %d",
+			ftbSt.TrisAccepted, freshSt.TrisAccepted)
+	}
+}
+
+// Auto mode must pick the tiled path on a parallel pool and the serial
+// path on a serial pool, with identical bytes either way.
+func TestRasterAutoDispatch(t *testing.T) {
+	tree := BuildOctree(randTris(rand.New(rand.NewSource(67)), 200))
+	cam := Walkthrough(1, tree.Bounds())[0]
+	serial := NewRenderer(tree)
+	want := frame.New(64, 64)
+	serial.RenderFrame(cam, want)
+
+	auto := NewRenderer(tree)
+	auto.Bands = band.New(4)
+	got := frame.New(64, 64)
+	st := auto.RenderFrame(cam, got)
+	if st.TrisSetup == 0 && st.TrisDrawn > 0 {
+		t.Fatalf("auto on a parallel pool did not take the tiled path: %+v", st)
+	}
+	if !got.Equal(want) {
+		t.Fatal("auto tiled render differs from serial")
+	}
+
+	autoSerial := NewRenderer(tree)
+	autoSerial.Bands = band.Serial
+	got2 := frame.New(64, 64)
+	st2 := autoSerial.RenderFrame(cam, got2)
+	if st2.TrisSetup != 0 || st2.TrisBinned != 0 {
+		t.Fatalf("auto on a serial pool engaged tiling: %+v", st2)
+	}
+	if !got2.Equal(want) {
+		t.Fatal("auto serial render differs from serial")
+	}
+}

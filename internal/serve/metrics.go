@@ -40,6 +40,13 @@ const (
 	mPlanPipelines = "sccserve_plan_pipelines"
 	mPlanStages    = "sccserve_plan_stages"
 	mPlanDrift     = "sccserve_plan_drift"
+
+	// Tiled-rasterizer metrics: the renderer's work counters, summed over
+	// every render call of every job (see render.Stats).
+	mRenderTrisSetup    = "sccserve_render_tris_setup_total"
+	mRenderTrisBinned   = "sccserve_render_tris_binned_total"
+	mRenderTilesTouched = "sccserve_render_tiles_touched_total"
+	mRenderBinsRejected = "sccserve_render_bins_rejected_total"
 )
 
 // stageBusyKey builds the labeled key for per-stage busy time. backend is
@@ -79,6 +86,10 @@ var metricFamilies = []struct {
 	{mPlanPipelines, "gauge", "Pipeline replication factor of the active stage plan."},
 	{mPlanStages, "gauge", "Filter stage count (after fusion) of the active stage plan."},
 	{mPlanDrift, "gauge", "Stage-balance drift measured when the last observation window closed."},
+	{mRenderTrisSetup, "counter", "Screen triangles set up by the rasterizer (post clip/fan, tiled path)."},
+	{mRenderTrisBinned, "counter", "Triangle-to-tile bin insertions performed by the tiled rasterizer."},
+	{mRenderTilesTouched, "counter", "Row-tiles with at least one binned triangle."},
+	{mRenderBinsRejected, "counter", "Bin entries skipped by the coarse per-tile depth test."},
 }
 
 // handleMetrics serves the Prometheus text exposition format (v0.0.4).

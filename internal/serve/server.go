@@ -76,6 +76,10 @@ type Config struct {
 	// workers), 1 forces serial stages, and n > 1 builds a dedicated pool of
 	// n workers shared by every job.
 	StageWorkers int
+	// TileRows fixes the row height of the tiled rasterizer's binning tiles
+	// for render jobs; 0 lets each renderer size tiles from its strip
+	// height and the band pool. Output pixels are identical for any value.
+	TileRows int
 	// NoFuse disables stage fusion for render jobs: each of the five
 	// filters runs as its own pipeline stage (the paper-faithful layout)
 	// instead of adjacent per-pixel stages sharing one pass over the strip.
@@ -494,6 +498,7 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 	es.Pool = s.pool
 	es.Bands = s.bands
 	es.NoFuse = s.cfg.NoFuse
+	es.TileRows = s.cfg.TileRows
 	var planned string
 	if s.planCtl != nil {
 		p := s.planCtl.Current()
@@ -511,6 +516,15 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 			s.m.Add(stageBusyKey("exec", kind.String()), busy.Seconds())
 			if online {
 				s.planCtl.Observe(kind, busy)
+			}
+		},
+		OnRenderStats: func(_ int, rst render.Stats) {
+			s.m.Add(mRenderTrisSetup, float64(rst.TrisSetup))
+			s.m.Add(mRenderTrisBinned, float64(rst.TrisBinned))
+			s.m.Add(mRenderTilesTouched, float64(rst.TilesTouched))
+			s.m.Add(mRenderBinsRejected, float64(rst.BinsRejected))
+			if online {
+				s.planCtl.ObserveRender(rst)
 			}
 		},
 	}
