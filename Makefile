@@ -2,10 +2,11 @@ GO ?= go
 
 # The hot-path benchmarks snapshotted into BENCH_pipeline.json: kernel
 # pairs (optimized vs reference), the strip split/assemble round trip, the
-# renderer, and the end-to-end pipeline + serve runs.
-BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkRenderStrip|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway)
+# renderer, the end-to-end pipeline + serve runs, and the fleet control
+# paths (registration heartbeats, chaos-transport overhead).
+BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkRenderStrip|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway|BenchmarkNetfaults)
 
-.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke raster-smoke fleet-smoke fuzz chaos-soak check
+.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke raster-smoke fleet-smoke fleet-chaos fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -80,6 +81,18 @@ raster-smoke:
 fleet-smoke:
 	$(GO) test -tags fleetsmoke -run TestFleetSmoke -count=1 ./cmd/sccgated
 
+# Fleet chaos gate: real gateway + worker processes under a seeded
+# network-fault plan (-chaos) covering lag, drops, mid-stream resets,
+# slow-loris trickle, corrupt/truncated frames, and an epoch-gated
+# partition. Asserts frame payloads byte-identical to a clean single-node
+# run, exactly-once delivery via the relay counters, lease-expiry
+# eviction of a killed dynamic worker, and a runtime-registered worker
+# absorbing the partitioned worker's load — all deterministic for the
+# fixed seed. The driver lives behind the fleetchaos build tag in
+# cmd/sccgated.
+fleet-chaos:
+	$(GO) test -tags fleetchaos -run TestFleetChaos -count=1 ./cmd/sccgated
+
 # Chaos soak: a seeded fault-injection barrage against the render service
 # under the race detector — every job must survive injected transients,
 # flaky transfers, and a pipeline death via re-partitioning. The barrage
@@ -103,9 +116,12 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/codec || exit 1; done
 	@for t in FuzzReadPNG FuzzPNGRoundtrip FuzzSplitAssemble FuzzAssembleMalformed; do \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/frame || exit 1; done
+	@$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/netfaults || exit 1
+	@for t in FuzzParseRegister FuzzLoadReport; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/fleet || exit 1; done
 
 # The pre-merge gate: static checks plus the full suite under the race
 # detector (the pipeline backends are heavily concurrent — this includes
 # the short chaos soak and the fuzz seed corpora as regression tests),
 # then the service smoke sequence against the real binary.
-check: vet race test-framedebug serve-smoke fleet-smoke plan-smoke raster-smoke
+check: vet race test-framedebug serve-smoke fleet-smoke fleet-chaos plan-smoke raster-smoke

@@ -27,6 +27,7 @@ import (
 	"sccpipe/internal/filters"
 	"sccpipe/internal/fleet"
 	"sccpipe/internal/frame"
+	"sccpipe/internal/netfaults"
 	"sccpipe/internal/pipe"
 	"sccpipe/internal/plan"
 	"sccpipe/internal/rcce"
@@ -740,6 +741,81 @@ func BenchmarkGatewayRoutedJobs(b *testing.B) {
 			}
 		}
 	})
+}
+
+// rtFunc adapts a function to http.RoundTripper for the netfaults bench.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// BenchmarkNetfaultsRoundTrip prices the chaos transport itself: per-rule
+// hash consultation, sequence bookkeeping, and the body-wrapping fault
+// readers over a canned 4KB response. This is pure overhead the gateway
+// pays per forwarded request in `-chaos` mode, so it must stay cheap
+// enough to leave chaos-run timings representative.
+func BenchmarkNetfaultsRoundTrip(b *testing.B) {
+	plan, err := netfaults.ParsePlan(
+		"seed=5,lag=0.1:1ns,drop=0.1,reset=0.15,corrupt=0.1,truncate=0.1,loris=0.02:1ns")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xab}, 4096)
+	tr, err := netfaults.New(*plan, rtFunc(func(*http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: http.StatusOK,
+			Body: io.NopCloser(bytes.NewReader(payload))}, nil
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://worker:8344/jobs", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			continue // injected drop/partition: still a measured decision
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkGatewayRegister measures the dynamic-membership hot path: a
+// worker's heartbeat POST /register against a live gateway, which after
+// the first call is always a lease renewal. Heartbeats arrive from every
+// dynamic worker at its renew cadence, so this path must stay far off
+// the job-relay critical path's cost scale.
+func BenchmarkGatewayRegister(b *testing.B) {
+	ws := httptest.NewServer(serve.New(serve.Config{Workers: 1, Scene: nil}))
+	b.Cleanup(ws.Close)
+	g, err := fleet.New(fleet.Config{HealthInterval: time.Hour, LeaseTTL: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Start()
+	b.Cleanup(g.Close)
+	gs := httptest.NewServer(g)
+	b.Cleanup(gs.Close)
+	body, err := json.Marshal(serve.RegisterRequest{URL: ws.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(gs.URL+"/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("register status %d", resp.StatusCode)
+		}
+	}
 }
 
 // BenchmarkGatewaySimulateJobs pushes tiny buffered simulate jobs through

@@ -25,6 +25,26 @@
 // reports draining stops receiving new jobs but keeps its in-flight
 // ones. On SIGTERM/SIGINT the gateway itself drains: admission closes
 // and in-flight relays finish bounded by -drain-timeout.
+//
+// Membership can also be dynamic: workers POST /register (sccserved
+// -register) and hold a lease of -lease-ttl, renewed by heartbeats or
+// successful probes; a lapsed lease evicts the worker through the same
+// dead/rejoin path, and -forget-after later it is removed from the
+// registry entirely. With dynamic registration on, -workers may be
+// empty and the fleet populates itself at runtime.
+//
+// When every worker is at capacity, submissions wait in a bounded
+// admission queue (-queue) instead of bouncing; queued jobs whose
+// declared deadline can no longer be met are shed early with an honest
+// Retry-After computed from observed service times.
+//
+// Chaos mode (-chaos "seed=7,lag=0.2:10ms,drop=0.05,partition=node2:8344@40")
+// injects a seeded, deterministic network-fault plan into all
+// gateway→worker traffic: added latency, dropped connections, mid-stream
+// resets, slow-loris trickle, corrupted or truncated frames, and full
+// partitions of a named worker from a given job epoch on. The fleet's
+// recovery machinery — failover, dedup, adaptive stall detection — must
+// hide all of it from clients; `make fleet-chaos` asserts exactly that.
 package main
 
 import (
@@ -42,6 +62,7 @@ import (
 	"sccpipe/internal/faults"
 	"sccpipe/internal/fleet"
 	"sccpipe/internal/host"
+	"sccpipe/internal/netfaults"
 )
 
 // usageErr prints the problem plus usage and exits non-zero: bad flag
@@ -65,6 +86,12 @@ func main() {
 		backoff        = flag.Duration("retry-backoff", 0, "base failover backoff (0 = supervisor default)")
 		seed           = flag.Int64("seed", 0, "seed for the deterministic failover backoff jitter")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight relays on shutdown")
+		queueDepth     = flag.Int("queue", 16, "admission queue depth while every worker is at capacity (negative disables queueing)")
+		leaseTTL       = flag.Duration("lease-ttl", 15*time.Second, "registration lease granted to dynamic workers (negative disables POST /register)")
+		forgetAfter    = flag.Duration("forget-after", 0, "how long a dead dynamic worker stays listed past lease expiry (0 = 10x the lease)")
+		streamMin      = flag.Duration("stream-timeout-min", time.Second, "lower clamp of the adaptive per-worker stream stall timeout")
+		streamMax      = flag.Duration("stream-timeout-max", 30*time.Second, "upper clamp of the adaptive stream stall timeout (negative disables the watchdog)")
+		chaos          = flag.String("chaos", "", `inject seeded network faults into gateway-to-worker traffic, e.g. "seed=7,lag=0.2:10ms,drop=0.05,partition=node2:8344@40" (see netfaults.ParsePlan); empty disables`)
 		quiet          = flag.Bool("quiet", false, "suppress per-event log lines")
 		version        = flag.Bool("version", false, "print build version and exit")
 	)
@@ -76,8 +103,8 @@ func main() {
 	if flag.NArg() > 0 {
 		usageErr("unexpected argument %q", flag.Arg(0))
 	}
-	if strings.TrimSpace(*workers) == "" {
-		usageErr("-workers is required")
+	if strings.TrimSpace(*workers) == "" && *leaseTTL < 0 {
+		usageErr("-workers is required when dynamic registration is disabled (-lease-ttl < 0)")
 	}
 	if *failAfter < 1 {
 		usageErr("-fail-after must be at least 1 (got %d)", *failAfter)
@@ -96,16 +123,34 @@ func main() {
 	if *quiet {
 		gwLog = nil
 	}
+	var workerList []string
+	if strings.TrimSpace(*workers) != "" {
+		workerList = strings.Split(*workers, ",")
+	}
 	pol := &faults.RecoveryPolicy{MaxRetries: *retries, Backoff: *backoff, Seed: *seed}
-	g, err := fleet.New(fleet.Config{
-		Workers:        strings.Split(*workers, ","),
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
-		FailAfter:      *failAfter,
-		Retry:          pol,
-		DrainTimeout:   *drainTimeout,
-		Log:            gwLog,
-	})
+	cfg := fleet.Config{
+		Workers:          workerList,
+		HealthInterval:   *healthInterval,
+		HealthTimeout:    *healthTimeout,
+		FailAfter:        *failAfter,
+		Retry:            pol,
+		DrainTimeout:     *drainTimeout,
+		QueueDepth:       *queueDepth,
+		LeaseTTL:         *leaseTTL,
+		ForgetAfter:      *forgetAfter,
+		StreamTimeoutMin: *streamMin,
+		StreamTimeoutMax: *streamMax,
+		Log:              gwLog,
+	}
+	if *chaos != "" {
+		plan, err := netfaults.ParsePlan(*chaos)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		cfg.NetFaults = plan
+		log.Printf("chaos mode: %d network fault rule(s), seed %d", len(plan.Rules), plan.Seed)
+	}
+	g, err := fleet.New(cfg)
 	if err != nil {
 		// Config errors (bad worker URLs) are usage errors too.
 		usageErr("%v", err)
@@ -116,7 +161,7 @@ func main() {
 	err = g.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		// The smoke harness parses this line to find a randomly bound port.
 		log.Printf("listening on %s (%d workers, version %s)", a,
-			len(strings.Split(*workers, ",")), host.BuildVersion())
+			len(workerList), host.BuildVersion())
 	})
 	if err != nil {
 		log.Fatal(err)

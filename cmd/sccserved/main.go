@@ -32,6 +32,11 @@
 // startup, "online" additionally watches the per-stage busy balance and
 // re-plans when it drifts (threshold set by -replan-drift). Jobs that pin
 // their pipeline count keep byte-identical pixels under every plan.
+//
+// With -register the worker joins a sccgated fleet dynamically: it
+// POSTs /register to the gateway once the listener is live, advertises
+// -advertise (or its bound address), and heartbeats at the cadence the
+// gateway grants so its lease never lapses while the process runs.
 package main
 
 import (
@@ -78,6 +83,9 @@ func main() {
 		stallTimeout = flag.Duration("stall-timeout", 0, "per-stage deadline for supervised runs (0 disables the stall watchdog)")
 		breakerTrip  = flag.Int("breaker-threshold", 0, "consecutive job failures that trip the circuit breaker (0 disables it)")
 		breakerCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+		register     = flag.String("register", "", "fleet gateway URL to register with at startup and heartbeat against (e.g. http://gateway:8440); empty disables")
+		advertise    = flag.String("advertise", "", "base URL the gateway should reach this worker at (default: the bound listen address)")
+		registerTTL  = flag.Duration("register-ttl", 0, "registration lease to request (0 = the gateway's default)")
 		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -187,6 +195,26 @@ func main() {
 	err := s.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		// The smoke harness parses this line to find a randomly bound port.
 		log.Printf("listening on %s (%d workers, queue %d)", a, *workers, *queue)
+		if *register != "" {
+			// Join the fleet once the listener is live: the registrar
+			// heartbeats until shutdown, so the gateway-side lease stays
+			// renewed for exactly as long as this process serves.
+			self := *advertise
+			if self == "" {
+				self = "http://" + a.String()
+			}
+			go func() {
+				err := serve.RunRegistrar(ctx, serve.RegistrarConfig{
+					Gateway: *register,
+					Self:    self,
+					TTL:     *registerTTL,
+					Log:     log.Default(),
+				})
+				if err != nil {
+					log.Printf("registrar: %v", err)
+				}
+			}()
+		}
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -44,15 +44,19 @@ import (
 
 	"sccpipe/internal/faults"
 	"sccpipe/internal/host"
+	"sccpipe/internal/netfaults"
 	"sccpipe/internal/serve"
 	"sccpipe/internal/stats"
 )
 
-// Config tunes a fleet gateway. Workers is required; every other field
-// defaults as noted.
+// Config tunes a fleet gateway. At least one of a static worker list or
+// enabled dynamic registration is required; every field defaults as
+// noted.
 type Config struct {
 	// Workers is the static list of worker base URLs (e.g.
-	// "http://10.0.0.2:8344"); a bare host:port implies http. Required.
+	// "http://10.0.0.2:8344"); a bare host:port implies http. It may be
+	// empty when dynamic registration (LeaseTTL) is enabled — the fleet
+	// then populates itself through POST /register.
 	Workers []string
 
 	// HealthInterval is the per-node health-check period (default 2s);
@@ -77,6 +81,39 @@ type Config struct {
 	// DrainTimeout bounds how long ListenAndServe waits for in-flight
 	// jobs after its context is cancelled (default 30s).
 	DrainTimeout time.Duration
+
+	// LeaseTTL enables dynamic membership: workers may POST /register
+	// and hold a lease of this length, renewed by heartbeats or
+	// successful health probes (default 15s; negative disables
+	// /register). A dynamic worker whose lease lapses is evicted through
+	// the same dead/rejoin path probe failures use.
+	LeaseTTL time.Duration
+	// ForgetAfter is how long past lease expiry a dead dynamic worker
+	// stays in the registry (still probed, visible in /nodes) before
+	// being removed entirely (default 10×LeaseTTL).
+	ForgetAfter time.Duration
+
+	// QueueDepth bounds the gateway-side admission queue used when every
+	// healthy worker is at capacity (default 16; negative disables
+	// queueing, restoring the instant-429 behavior). Queued jobs whose
+	// client deadline can no longer be met are shed early.
+	QueueDepth int
+
+	// StreamTimeoutMin/Max clamp the adaptive per-worker stream timeout:
+	// a worker whose next frame takes longer than ~4× its observed p95
+	// frame inter-arrival time (bounded by these) is treated as failed
+	// and the job fails over — a trickling worker is dropped as
+	// decisively as a dead one. Defaults 1s and 30s; StreamTimeoutMax < 0
+	// disables the watchdog.
+	StreamTimeoutMin time.Duration
+	StreamTimeoutMax time.Duration
+
+	// NetFaults, when set, injects this seeded deterministic network
+	// fault plan into all gateway→worker traffic (the sccgated -chaos
+	// flag). Probabilistic rules touch only forwarded jobs; partitions
+	// sever probes too. The fault epoch advances once per accepted job.
+	NetFaults *netfaults.Plan
+
 	// Log receives gateway events (worker deaths, failovers); nil
 	// disables logging.
 	Log *log.Logger
@@ -95,6 +132,21 @@ func (c *Config) fillDefaults() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.ForgetAfter <= 0 {
+		c.ForgetAfter = 10 * c.LeaseTTL
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.StreamTimeoutMin <= 0 {
+		c.StreamTimeoutMin = time.Second
+	}
+	if c.StreamTimeoutMax == 0 {
+		c.StreamTimeoutMax = 30 * time.Second
+	}
 }
 
 // Gateway shards jobs across registered workers. Create one with New,
@@ -109,17 +161,30 @@ type Gateway struct {
 
 	// jobs is the streaming client used for forwarded jobs (no overall
 	// timeout — streams are long-lived and context-bound); health is the
-	// short-deadline client used by probes and metric scrapes.
+	// short-deadline client used by probes and metric scrapes. chaos,
+	// when chaos mode is on, is the netfaults transport both share.
 	jobs   *http.Client
 	health *http.Client
+	chaos  *netfaults.Transport
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
 	loops     sync.WaitGroup
+	loopMu    sync.Mutex
+	running   bool
 	stop      chan struct{}
 	startOnce sync.Once
 	stopOnce  sync.Once
+
+	// Admission queue state (queue.go): qdepth jobs are parked waiting
+	// for fleet capacity; wake is closed-and-swapped on capacity changes;
+	// svcTimes windows observed job service times for honest Retry-After
+	// and deadline shedding.
+	qmu      sync.Mutex
+	qdepth   int
+	wake     chan struct{}
+	svcTimes *stats.Window
 
 	start time.Time
 }
@@ -135,30 +200,54 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	g := &Gateway{
-		cfg:    cfg,
-		reg:    reg,
-		retry:  cfg.Retry.Normalize(),
-		m:      stats.NewCounters(),
-		jobs:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
-		health: &http.Client{Timeout: cfg.HealthTimeout, Transport: &http.Transport{MaxIdleConnsPerHost: 2}},
-		stop:   make(chan struct{}),
-		start:  time.Now(),
+		cfg:      cfg,
+		reg:      reg,
+		retry:    cfg.Retry.Normalize(),
+		m:        stats.NewCounters(),
+		jobs:     &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+		health:   &http.Client{Timeout: cfg.HealthTimeout, Transport: &http.Transport{MaxIdleConnsPerHost: 2}},
+		stop:     make(chan struct{}),
+		wake:     make(chan struct{}),
+		svcTimes: stats.NewWindow(64),
+		start:    time.Now(),
+	}
+	if !g.registrationEnabled() && len(reg.snapshot()) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured and dynamic registration is disabled")
+	}
+	if cfg.NetFaults != nil {
+		// One shared transport: partitions sever probes and forwards
+		// alike, and the per-host request sequence stays one stream.
+		g.chaos, err = netfaults.New(*cfg.NetFaults, g.jobs.Transport)
+		if err != nil {
+			return nil, err
+		}
+		g.jobs.Transport = g.chaos
+		g.health = &http.Client{Timeout: cfg.HealthTimeout, Transport: g.chaos}
 	}
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("/jobs", g.handleJobs)
+	g.mux.HandleFunc("/register", g.handleRegister)
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/nodes", g.handleNodes)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	return g, nil
 }
 
-// Start launches one health loop per worker (idempotent).
+// Start launches one health loop per worker plus the lease sweeper
+// (idempotent). Workers registered later get their loops from
+// handleRegister.
 func (g *Gateway) Start() {
 	g.startOnce.Do(func() {
-		for _, n := range g.reg.nodes {
-			g.loops.Add(1)
-			go g.healthLoop(n, g.stop)
+		g.loopMu.Lock()
+		g.running = true
+		for _, n := range g.reg.snapshot() {
+			g.startLoopLocked(n)
 		}
+		if g.registrationEnabled() {
+			g.loops.Add(1)
+			go g.leaseLoop(g.stop)
+		}
+		g.loopMu.Unlock()
 	})
 }
 
@@ -281,11 +370,22 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	g.inflight.Add(1)
 	defer g.inflight.Done()
 	g.m.Inc(mAccepted)
+	if g.chaos != nil {
+		// The fault epoch ticks per accepted job, so partition=HOST@E
+		// rules activate at a deterministic point in the job sequence.
+		g.chaos.Advance()
+	}
+	// The client's declared deadline drives queue shedding: a queued job
+	// that can no longer finish in time is evicted, not served late.
+	var deadline time.Time
+	if spec.TimeoutMS > 0 {
+		deadline = time.Now().Add(time.Duration(spec.TimeoutMS) * time.Millisecond)
+	}
 	if spec.Mode == serve.ModeSimulate {
-		g.relayBuffered(r.Context(), w, body, routeKey(spec))
+		g.relayBuffered(r.Context(), w, body, routeKey(spec), deadline)
 		return
 	}
-	g.relayRender(r.Context(), w, body, routeKey(spec))
+	g.relayRender(r.Context(), w, body, routeKey(spec), deadline)
 }
 
 // relay outcomes: how one forwarding attempt ended.
@@ -303,38 +403,97 @@ type relayResult struct {
 	status int // for relayClientBad/relayBusy: the worker's HTTP status
 }
 
+// merged unions two exclusion maps for pick.
+func merged(a, b map[string]bool) map[string]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
 // relayRender forwards a render job with mid-job failover. Frames
 // already relayed are skipped on retry (the worker replays the job from
 // frame zero; payloads are deterministic), so the client's stream is
-// seamless across worker deaths.
-func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body []byte, key uint64) {
+// seamless across worker deaths. When the whole fleet is busy the job
+// waits in the gateway's bounded admission queue instead of bouncing;
+// when every healthy worker has already failed this job once, the
+// exclusion set wraps around (a transient network fault is no reason to
+// give up while the retry budget lasts).
+func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body []byte, key uint64, deadline time.Time) {
 	st := newRelayStream(w)
-	excluded := make(map[string]bool)
+	failed := make(map[string]bool) // workers that faulted during this job
+	busy := make(map[string]bool)   // workers that answered 429/503 this cycle
 	lastSent := -1
-	retries, sawBusy := 0, false
+	retries, sawBusy, queued := 0, false, false
+	var started time.Time
+	leaveQueue := func(reason string) {
+		if queued {
+			g.queueExit(reason)
+			queued = false
+		}
+	}
+	defer leaveQueue("")
 	for {
-		n := g.reg.pick(key, excluded)
+		n := g.reg.pick(key, merged(failed, busy))
 		if n == nil {
+			if len(failed) > 0 && retries <= g.retry.MaxRetries && g.reg.pick(key, busy) != nil {
+				// Every healthy non-busy worker already failed this job once;
+				// wrap around and re-attempt them rather than failing the job.
+				failed = make(map[string]bool)
+				continue
+			}
 			if st.Started() {
 				st.CloseWithError(errors.New("no healthy worker available to finish the job"))
 				g.m.Inc(mFailed)
 				return
 			}
-			if sawBusy {
-				g.reject(w, http.StatusTooManyRequests, "fleet_busy", "every worker is at capacity")
+			if !sawBusy {
+				g.reject(w, http.StatusServiceUnavailable, "no_workers", "no healthy worker available")
 				return
 			}
-			g.reject(w, http.StatusServiceUnavailable, "no_workers", "no healthy worker available")
-			return
+			if !queued {
+				if !g.queueEnter() {
+					g.rejectBusy(w, "queue_full", "every worker is at capacity and the gateway queue is full")
+					return
+				}
+				queued = true
+			}
+			switch g.queueWait(ctx, deadline) {
+			case waitClientGone:
+				leaveQueue("client_gone")
+				g.m.Inc(mClientGone)
+				return
+			case waitDeadline:
+				leaveQueue("deadline")
+				g.rejectBusy(w, "deadline", "the job's deadline cannot be met at current fleet load")
+				return
+			}
+			// Capacity plausibly changed: busy verdicts are stale now.
+			busy = make(map[string]bool)
+			sawBusy = false
+			continue
+		}
+		leaveQueue("")
+		if started.IsZero() {
+			started = time.Now()
 		}
 		n.live.Add(1)
 		n.jobs.Add(1)
 		g.m.Inc(workerJobsKey(n.name))
 		res := g.streamFrom(ctx, n, body, st, &lastSent, retries)
 		n.live.Add(-1)
+		g.capacityChanged()
 		switch res.kind {
 		case relayDone:
 			g.m.Inc(mCompleted)
+			g.svcTimes.Add(time.Since(started).Seconds())
 			return
 		case relayClientGone:
 			// PR 4 rule, one level up: the client went away — says nothing
@@ -346,10 +505,15 @@ func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body [
 			return
 		case relayBusy:
 			sawBusy = true
-			excluded[n.name] = true
+			busy[n.name] = true
 		case relayWorkerErr:
-			excluded[n.name] = true
+			failed[n.name] = true
 			g.noteWorkerFailure(n, res.err.Error())
+		}
+		if res.kind == relayBusy {
+			// Not an attempt against the retry budget: the worker refused
+			// cleanly before doing any work.
+			continue
 		}
 		retries++
 		if retries > g.retry.MaxRetries {
@@ -363,12 +527,10 @@ func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body [
 			}
 			return
 		}
-		if res.kind == relayWorkerErr {
-			g.m.Inc(retryKey(n.name))
-			g.retry.Notify(faults.Event{Kind: faults.EventRetry, Stage: n.name, Reason: res.err.Error()})
-			g.logf("failover: worker %s failed mid-job (%v), retry %d/%d after %d frames",
-				n.name, res.err, retries, g.retry.MaxRetries, lastSent+1)
-		}
+		g.m.Inc(retryKey(n.name))
+		g.retry.Notify(faults.Event{Kind: faults.EventRetry, Stage: n.name, Reason: res.err.Error()})
+		g.logf("failover: worker %s failed mid-job (%v), retry %d/%d after %d frames",
+			n.name, res.err, retries, g.retry.MaxRetries, lastSent+1)
 		if !sleepCtx(ctx, g.retry.RetryBackoff(0, n.name, 0, retries)) {
 			g.m.Inc(mClientGone)
 			return
@@ -376,19 +538,82 @@ func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body [
 	}
 }
 
+// streamTimeout is the adaptive per-attempt stall budget for a worker:
+// 4× its observed p95 frame inter-arrival time, clamped into
+// [StreamTimeoutMin, StreamTimeoutMax]. Until enough arrivals have been
+// observed the full Max applies (generous, not absent), and a negative
+// Max disables the watchdog entirely.
+func (g *Gateway) streamTimeout(n *node) time.Duration {
+	if g.cfg.StreamTimeoutMax < 0 {
+		return 0
+	}
+	q := n.arrivals.Quantile(0.95, 8, -1)
+	if q <= 0 {
+		return g.cfg.StreamTimeoutMax
+	}
+	d := time.Duration(4 * q * float64(time.Second))
+	if d < g.cfg.StreamTimeoutMin {
+		d = g.cfg.StreamTimeoutMin
+	}
+	if d > g.cfg.StreamTimeoutMax {
+		d = g.cfg.StreamTimeoutMax
+	}
+	return d
+}
+
 // streamFrom runs one forwarding attempt: POST the job to the node and
 // relay its multipart stream, skipping frames at or below *lastSent.
 // Every frame payload is read fully before being forwarded, so a worker
-// dying mid-frame never emits a torn frame downstream. failovers is the
-// number of prior attempts, folded into the summary for observability.
+// dying mid-frame never emits a torn frame downstream; each payload is
+// checked against its X-Frame-Digest, and per-attempt frame indices must
+// be dense from zero — a wrong-indexed or corrupted frame is a worker
+// fault, not something to pass downstream. A watchdog goroutine cancels
+// the attempt when no progress lands within the node's adaptive stream
+// timeout, so a slow-loris worker is dropped as decisively as a dead
+// one. failovers is the number of prior attempts, folded into the
+// summary for observability.
 func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *relayStream, lastSent *int, failovers int) relayResult {
+	attemptCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var stalled atomic.Bool
+	var lastProgress atomic.Int64
+	lastProgress.Store(time.Now().UnixNano())
+	progress := func() { lastProgress.Store(time.Now().UnixNano()) }
+	if timeout := g.streamTimeout(n); timeout > 0 {
+		tick := timeout / 4
+		if tick < 5*time.Millisecond {
+			tick = 5 * time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-attemptCtx.Done():
+					return
+				case <-t.C:
+					if time.Since(time.Unix(0, lastProgress.Load())) > timeout {
+						stalled.Store(true)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
 	fail := func(err error) relayResult {
 		if ctx.Err() != nil {
+			// The outer (client) context ended: no worker blame.
 			return relayResult{kind: relayClientGone, err: ctx.Err()}
+		}
+		if stalled.Load() {
+			g.m.Inc(stallKey(n.name))
+			return relayResult{kind: relayWorkerErr,
+				err: fmt.Errorf("worker %s stream stalled: no progress within the adaptive timeout", n.name)}
 		}
 		return relayResult{kind: relayWorkerErr, err: err}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/jobs", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, n.base+"/jobs", bytes.NewReader(body))
 	if err != nil {
 		return relayResult{kind: relayWorkerErr, err: err}
 	}
@@ -424,7 +649,10 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 	if err != nil || !strings.HasPrefix(mediatype, "multipart/") || params["boundary"] == "" {
 		return fail(fmt.Errorf("worker %s sent unexpected content type %q", n.name, resp.Header.Get("Content-Type")))
 	}
+	progress()
 	mr := multipart.NewReader(resp.Body, params["boundary"])
+	attemptPrev := -1 // the worker must stream indices dense from zero
+	lastFrameAt := time.Now()
 	for {
 		part, err := mr.NextPart()
 		if err != nil {
@@ -438,10 +666,28 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 			if aerr != nil {
 				return fail(fmt.Errorf("worker %s sent a frame without an index: %v", n.name, aerr))
 			}
+			if idx != attemptPrev+1 {
+				// Backwards or skipped indices mean the worker's stream is
+				// corrupt; failing over is the only safe answer (the dedup
+				// bookkeeping below relies on dense replay).
+				return fail(fmt.Errorf("worker %s sent frame index %d after %d (want %d)",
+					n.name, idx, attemptPrev, attemptPrev+1))
+			}
+			attemptPrev = idx
 			payload, rerr := io.ReadAll(part)
 			if rerr != nil {
 				return fail(fmt.Errorf("worker %s frame %d truncated: %v", n.name, idx, rerr))
 			}
+			if want := part.Header.Get("X-Frame-Digest"); want != "" {
+				if got := serve.FrameDigest(payload); got != want {
+					return fail(fmt.Errorf("worker %s frame %d corrupt: digest %s, header says %s",
+						n.name, idx, got, want))
+				}
+			}
+			progress()
+			now := time.Now()
+			n.arrivals.Add(now.Sub(lastFrameAt).Seconds())
+			lastFrameAt = now
 			if idx <= *lastSent {
 				// Replayed during failover; the client already has it.
 				g.m.Inc(mFramesDiscarded)
@@ -453,6 +699,7 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 			*lastSent = idx
 			g.m.Inc(mFramesRelayed)
 		case "application/json":
+			progress()
 			raw, rerr := io.ReadAll(part)
 			if rerr != nil {
 				return fail(fmt.Errorf("worker %s summary truncated: %v", n.name, rerr))
@@ -481,29 +728,67 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 }
 
 // relayBuffered forwards a simulate job: the response is small JSON, so
-// failover is a plain buffered retry with no dedup concerns.
-func (g *Gateway) relayBuffered(ctx context.Context, w http.ResponseWriter, body []byte, key uint64) {
-	excluded := make(map[string]bool)
-	retries, sawBusy := 0, false
+// failover is a plain buffered retry with no dedup concerns. Busy fleets
+// queue and wrap-around retry work the same as for render jobs.
+func (g *Gateway) relayBuffered(ctx context.Context, w http.ResponseWriter, body []byte, key uint64, deadline time.Time) {
+	failed := make(map[string]bool)
+	busy := make(map[string]bool)
+	retries, sawBusy, queued := 0, false, false
+	var started time.Time
 	var lastErr error
+	leaveQueue := func(reason string) {
+		if queued {
+			g.queueExit(reason)
+			queued = false
+		}
+	}
+	defer leaveQueue("")
 	for {
-		n := g.reg.pick(key, excluded)
+		n := g.reg.pick(key, merged(failed, busy))
 		if n == nil {
-			if sawBusy {
-				g.reject(w, http.StatusTooManyRequests, "fleet_busy", "every worker is at capacity")
-			} else {
-				g.reject(w, http.StatusServiceUnavailable, "no_workers", "no healthy worker available")
+			if len(failed) > 0 && retries <= g.retry.MaxRetries && g.reg.pick(key, busy) != nil {
+				failed = make(map[string]bool)
+				continue
 			}
-			return
+			if !sawBusy {
+				g.reject(w, http.StatusServiceUnavailable, "no_workers", "no healthy worker available")
+				return
+			}
+			if !queued {
+				if !g.queueEnter() {
+					g.rejectBusy(w, "queue_full", "every worker is at capacity and the gateway queue is full")
+					return
+				}
+				queued = true
+			}
+			switch g.queueWait(ctx, deadline) {
+			case waitClientGone:
+				leaveQueue("client_gone")
+				g.m.Inc(mClientGone)
+				return
+			case waitDeadline:
+				leaveQueue("deadline")
+				g.rejectBusy(w, "deadline", "the job's deadline cannot be met at current fleet load")
+				return
+			}
+			busy = make(map[string]bool)
+			sawBusy = false
+			continue
+		}
+		leaveQueue("")
+		if started.IsZero() {
+			started = time.Now()
 		}
 		n.live.Add(1)
 		n.jobs.Add(1)
 		g.m.Inc(workerJobsKey(n.name))
 		kind, err := g.forwardOnce(ctx, n, body, w)
 		n.live.Add(-1)
+		g.capacityChanged()
 		switch kind {
 		case relayDone:
 			g.m.Inc(mCompleted)
+			g.svcTimes.Add(time.Since(started).Seconds())
 			return
 		case relayClientGone:
 			g.m.Inc(mClientGone)
@@ -513,9 +798,10 @@ func (g *Gateway) relayBuffered(ctx context.Context, w http.ResponseWriter, body
 			return
 		case relayBusy:
 			sawBusy = true
-			excluded[n.name] = true
+			busy[n.name] = true
+			continue
 		case relayWorkerErr:
-			excluded[n.name] = true
+			failed[n.name] = true
 			g.noteWorkerFailure(n, err.Error())
 		}
 		lastErr = err
@@ -526,10 +812,8 @@ func (g *Gateway) relayBuffered(ctx context.Context, w http.ResponseWriter, body
 				http.StatusBadGateway)
 			return
 		}
-		if kind == relayWorkerErr {
-			g.m.Inc(retryKey(n.name))
-			g.retry.Notify(faults.Event{Kind: faults.EventRetry, Stage: n.name, Reason: err.Error()})
-		}
+		g.m.Inc(retryKey(n.name))
+		g.retry.Notify(faults.Event{Kind: faults.EventRetry, Stage: n.name, Reason: err.Error()})
 		if !sleepCtx(ctx, g.retry.RetryBackoff(0, n.name, 0, retries)) {
 			g.m.Inc(mClientGone)
 			return

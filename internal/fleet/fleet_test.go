@@ -243,9 +243,6 @@ func nodeByName(t *testing.T, g *Gateway, name string) NodeStatus {
 
 func TestRegistryValidation(t *testing.T) {
 	for _, bad := range [][]string{
-		nil,
-		{},
-		{"  "},
 		{"ftp://h:1"},
 		{"http://"},
 		{"http://h:1", "h:1"}, // duplicate after scheme defaulting
@@ -253,6 +250,22 @@ func TestRegistryValidation(t *testing.T) {
 		if _, err := newRegistry(bad); err == nil {
 			t.Errorf("newRegistry(%q) accepted invalid input", bad)
 		}
+	}
+	// An empty list (blank entries skipped) is valid at the registry
+	// level: dynamic registration may populate the fleet later. The
+	// zero-workers policy lives in New, keyed on whether /register is on.
+	for _, empty := range [][]string{nil, {}, {"  "}} {
+		if _, err := newRegistry(empty); err != nil {
+			t.Errorf("newRegistry(%q) rejected an empty fleet: %v", empty, err)
+		}
+	}
+	if _, err := New(Config{LeaseTTL: -1}); err == nil {
+		t.Error("New accepted zero workers with registration disabled")
+	}
+	if g, err := New(Config{}); err != nil {
+		t.Errorf("New rejected an empty fleet with registration enabled: %v", err)
+	} else {
+		g.Close()
 	}
 	reg, err := newRegistry([]string{"h1:8344", "http://h2:8344/"})
 	if err != nil {

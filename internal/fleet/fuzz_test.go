@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseRegister hammers the /register body parser: any byte soup
+// must yield either a clean error or a node identity with a TTL inside
+// the lease bounds — never a panic, never an unbounded allocation (the
+// parser rejects oversized bodies and URLs before touching them).
+func FuzzParseRegister(f *testing.F) {
+	f.Add([]byte(`{"url":"http://10.0.0.2:8344","ttl_s":30}`))
+	f.Add([]byte(`{"url":"10.0.0.2:8344"}`))
+	f.Add([]byte(`{"url":"","ttl_s":-5}`))
+	f.Add([]byte(`{"url":"https://worker.example:443/","ttl_s":999999}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"url":"http://` + strings.Repeat("a", 600) + `:1"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 8<<10 {
+			t.Skip("register bodies are capped upstream at 4KB")
+		}
+		name, base, ttl, err := parseRegister(body, 15*time.Second)
+		if err != nil {
+			return
+		}
+		if name == "" || base == "" {
+			t.Fatalf("accepted register with empty identity: name=%q base=%q", name, base)
+		}
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			t.Fatalf("accepted base %q without an http scheme", base)
+		}
+		if ttl < minLeaseTTL || ttl > maxLeaseTTL {
+			t.Fatalf("granted TTL %v outside [%v, %v]", ttl, minLeaseTTL, maxLeaseTTL)
+		}
+	})
+}
+
+// FuzzLoadReport hammers the health-body decoder: hostile JSON must
+// never panic, and every accepted report must come back with its counts
+// clamped into routing-safe ranges and its strings bounded.
+func FuzzLoadReport(f *testing.F) {
+	f.Add([]byte(`{"status":"ok","inflight":1,"queue":0,"capacity":4,"busy_s":1.5}`))
+	f.Add([]byte(`{"inflight":-3,"queue":2147483647,"capacity":-1}`))
+	f.Add([]byte(`{"busy_s":1e308,"uptime_s":-10}`))
+	f.Add([]byte(`{"status":"` + strings.Repeat("x", 100) + `"}`))
+	f.Add([]byte(`{"busy_s":"NaN"}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 128<<10 {
+			t.Skip("the decoder reads at most 64KB anyway")
+		}
+		rep, err := decodeLoadReport(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		for _, v := range []int{rep.Inflight, rep.Queue, rep.Admitted, rep.Capacity} {
+			if v < 0 || v > 1<<20 {
+				t.Fatalf("count %d escaped the clamp", v)
+			}
+		}
+		if rep.BusyS < 0 || rep.UptimeS < 0 {
+			t.Fatalf("negative load figures survived: busy=%v uptime=%v", rep.BusyS, rep.UptimeS)
+		}
+		if len(rep.Status) > 32 || len(rep.Version) > 128 {
+			t.Fatalf("unbounded strings survived: status=%d version=%d bytes", len(rep.Status), len(rep.Version))
+		}
+	})
+}

@@ -30,12 +30,22 @@ const (
 	mHealthChecks    = "sccgate_health_checks_total"
 	mWorkers         = "sccgate_workers"
 	mUptime          = "sccgate_uptime_seconds"
+	mQueued          = "sccgate_jobs_queued_total"
+	mQueueDepth      = "sccgate_queue_depth"
+	mQueueEvict      = "sccgate_queue_evicted_total"
+	mRegistered      = "sccgate_worker_registrations_total"
+	mLeaseExpired    = "sccgate_worker_leases_expired_total"
+	mForgotten       = "sccgate_workers_forgotten_total"
+	mStreamStalls    = "sccgate_stream_stalls_total"
 )
 
 func workerJobsKey(worker string) string { return stats.InjectLabel(mWorkerJobs, "worker", worker) }
 func retryKey(worker string) string      { return stats.InjectLabel(mRetries, "worker", worker) }
 func deathKey(worker string) string      { return stats.InjectLabel(mWorkerDeaths, "worker", worker) }
 func healthKey(result string) string     { return stats.InjectLabel(mHealthChecks, "result", result) }
+func evictKey(reason string) string      { return stats.InjectLabel(mQueueEvict, "reason", reason) }
+func registerKey(kind string) string     { return stats.InjectLabel(mRegistered, "kind", kind) }
+func stallKey(worker string) string      { return stats.InjectLabel(mStreamStalls, "worker", worker) }
 
 // gateFamilies fixes the gateway section's exposition order and metadata.
 var gateFamilies = []struct {
@@ -54,6 +64,13 @@ var gateFamilies = []struct {
 	{mHealthChecks, "counter", "Health probes, by result."},
 	{mWorkers, "gauge", "Registered workers, by state."},
 	{mUptime, "gauge", "Seconds since the gateway started."},
+	{mQueued, "counter", "Jobs that waited in the gateway admission queue."},
+	{mQueueDepth, "gauge", "Jobs currently parked in the admission queue."},
+	{mQueueEvict, "counter", "Queued jobs shed before reaching a worker, by reason."},
+	{mRegistered, "counter", "Dynamic worker registrations, by kind (new, renew)."},
+	{mLeaseExpired, "counter", "Dynamic workers evicted because their lease lapsed."},
+	{mForgotten, "counter", "Dead dynamic workers removed from the registry entirely."},
+	{mStreamStalls, "counter", "Stream attempts cancelled by the adaptive stall watchdog, by worker."},
 }
 
 // NodeStatus is one row of the /nodes table.
@@ -77,12 +94,17 @@ type NodeStatus struct {
 	Fails    int    `json:"fails,omitempty"`
 	LastSeen string `json:"last_seen,omitempty"`
 	LastErr  string `json:"last_err,omitempty"`
+	// Dynamic marks a worker that joined via /register; LeaseUntil is
+	// when its registration lease lapses unless renewed.
+	Dynamic    bool   `json:"dynamic,omitempty"`
+	LeaseUntil string `json:"lease_until,omitempty"`
 }
 
 // Nodes snapshots the per-worker table.
 func (g *Gateway) Nodes() []NodeStatus {
-	out := make([]NodeStatus, 0, len(g.reg.nodes))
-	for _, n := range g.reg.nodes {
+	nodes := g.reg.snapshot()
+	out := make([]NodeStatus, 0, len(nodes))
+	for _, n := range nodes {
 		state, rep, busyRate, fails, lastSeen, lastErr := n.snapshot()
 		ns := NodeStatus{
 			Name:     n.name,
@@ -97,9 +119,13 @@ func (g *Gateway) Nodes() []NodeStatus {
 			Version:  rep.Version,
 			Fails:    fails,
 			LastErr:  lastErr,
+			Dynamic:  n.dynamic,
 		}
 		if !lastSeen.IsZero() {
 			ns.LastSeen = lastSeen.UTC().Format(time.RFC3339)
+		}
+		if lease := n.leaseSnapshot(); !lease.IsZero() {
+			ns.LeaseUntil = lease.UTC().Format(time.RFC3339)
 		}
 		out = append(out, ns)
 	}
@@ -133,7 +159,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":           status,
-		"workers":          len(g.reg.nodes),
+		"workers":          len(g.reg.snapshot()),
 		"workers_healthy":  states[StateHealthy],
 		"workers_draining": states[StateDraining],
 		"workers_dead":     states[StateDead],
@@ -176,7 +202,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			// Plain families expose explicit zeros from the first scrape;
 			// labeled families stay empty until their first sample.
 			switch fam.name {
-			case mRejected, mWorkerJobs, mRetries, mWorkerDeaths, mHealthChecks, mWorkers:
+			case mRejected, mWorkerJobs, mRetries, mWorkerDeaths, mHealthChecks, mWorkers,
+				mQueueEvict, mRegistered, mStreamStalls:
 			default:
 				fmt.Fprintf(w, "%s 0\n", fam.name)
 			}
@@ -204,9 +231,10 @@ func (g *Gateway) writeFleetMetrics(w io.Writer) {
 		node *node
 		body []byte
 	}
-	results := make([]scrape, len(g.reg.nodes))
+	nodes := g.reg.snapshot()
+	results := make([]scrape, len(nodes))
 	var wg sync.WaitGroup
-	for i, n := range g.reg.nodes {
+	for i, n := range nodes {
 		state, _, _, _, _, _ := n.snapshot()
 		if state == StateDead {
 			continue

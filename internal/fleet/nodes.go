@@ -3,6 +3,8 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"sccpipe/internal/serve"
+	"sccpipe/internal/stats"
 )
 
 // State is a worker node's position in the gateway's lifecycle.
@@ -24,8 +27,10 @@ const (
 	// and must not receive new ones.
 	StateDraining
 	// StateDead: the node failed Config.FailAfter consecutive health
-	// checks or job forwards. It receives no jobs but keeps being probed
-	// and rejoins the rotation on the first successful check.
+	// checks or job forwards, or let its registration lease lapse. It
+	// receives no jobs but keeps being probed and rejoins the rotation on
+	// the first successful check (dynamic nodes are removed entirely once
+	// dead past the forget window).
 	StateDead
 )
 
@@ -46,6 +51,19 @@ type node struct {
 	base string // base URL, no trailing slash
 	hash uint64 // fnv64a(name), precomputed for rendezvous tie-breaks
 
+	// dynamic marks a worker that joined via POST /register rather than
+	// the static -workers list; only dynamic workers hold leases and can
+	// be forgotten. stopProbe ends this node's health loop on removal;
+	// probing (guarded by Gateway.loopMu) records that the loop exists so
+	// Start and a concurrent registration never double-start it.
+	dynamic   bool
+	stopProbe chan struct{}
+	probing   bool
+
+	// arrivals is the window of observed frame inter-arrival times
+	// (seconds) feeding the adaptive stream timeout for this worker.
+	arrivals *stats.Window
+
 	// live counts jobs this gateway currently has routed to the node —
 	// fresher than any health poll; jobs counts every job ever routed.
 	live atomic.Int64
@@ -54,6 +72,8 @@ type node struct {
 	mu       sync.Mutex
 	state    State
 	fails    int // consecutive health/forward failures
+	lease    time.Time
+	ttl      time.Duration
 	rep      serve.LoadReport
 	busyRate float64 // d(busy_s)/dt between the last two health polls
 	busyAt   time.Time
@@ -62,8 +82,21 @@ type node struct {
 	lastErr  string
 }
 
+func newNode(name, base string, dynamic bool) *node {
+	return &node{
+		name:      name,
+		base:      base,
+		hash:      fnv64a(name),
+		dynamic:   dynamic,
+		stopProbe: make(chan struct{}),
+		arrivals:  stats.NewWindow(64),
+	}
+}
+
 // markAlive records a successful health report and returns the node to
-// rotation (healthy or draining per the report).
+// rotation (healthy or draining per the report). A live answer is as
+// good as a heartbeat, so a dynamic node's lease is extended too —
+// leases exist to shed workers the gateway can no longer see at all.
 func (n *node) markAlive(rep serve.LoadReport, now time.Time) (revived bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -76,6 +109,9 @@ func (n *node) markAlive(rep serve.LoadReport, now time.Time) (revived bool) {
 	n.fails = 0
 	n.lastErr = ""
 	n.lastSeen = now
+	if n.dynamic && n.ttl > 0 {
+		n.lease = now.Add(n.ttl)
+	}
 	// Difference cumulative busy seconds into a recent busy rate; the
 	// very first sample (or a worker restart, where the counter resets)
 	// yields rate 0 until the next poll.
@@ -108,11 +144,59 @@ func (n *node) markFailure(reason string, failAfter int) (died bool) {
 	return false
 }
 
+// renewLease extends a dynamic node's lease (no-op for static nodes).
+// ttl <= 0 keeps the node's current TTL.
+func (n *node) renewLease(now time.Time, ttl time.Duration) {
+	if !n.dynamic {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ttl > 0 {
+		n.ttl = ttl
+	}
+	if n.ttl > 0 {
+		n.lease = now.Add(n.ttl)
+	}
+}
+
+// expireLease declares a dynamic node dead if its lease has lapsed.
+// Reports whether this call performed the transition.
+func (n *node) expireLease(now time.Time) (expired bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.dynamic || n.lease.IsZero() || now.Before(n.lease) {
+		return false
+	}
+	if n.state == StateDead {
+		return false
+	}
+	n.state = StateDead
+	n.lastErr = "registration lease expired"
+	return true
+}
+
+// forgettable reports whether a dynamic node has been dead past the
+// forget window and should be removed from the registry entirely.
+func (n *node) forgettable(now time.Time, forgetAfter time.Duration) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dynamic && n.state == StateDead && !n.lease.IsZero() &&
+		now.After(n.lease.Add(forgetAfter))
+}
+
 // snapshot returns the mu-guarded fields consistently.
 func (n *node) snapshot() (State, serve.LoadReport, float64, int, time.Time, string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.state, n.rep, n.busyRate, n.fails, n.lastSeen, n.lastErr
+}
+
+// leaseSnapshot returns the lease expiry (zero for static nodes).
+func (n *node) leaseSnapshot() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lease
 }
 
 // load is the routing score: the gateway's own live count of jobs routed
@@ -125,50 +209,102 @@ func (n *node) load() int64 {
 	return n.live.Load() + queued
 }
 
-// registry is the fixed worker set built from the static -workers list.
+// registry is the worker set: seeded from the static -workers list and
+// mutable at runtime through /register and the lease sweeper.
 type registry struct {
-	nodes []*node
+	mu     sync.RWMutex
+	nodes  []*node // insertion order, for stable /nodes and metrics
+	byName map[string]*node
 }
 
-// newRegistry validates and normalizes the worker URL list.
-func newRegistry(workers []string) (*registry, error) {
-	if len(workers) == 0 {
-		return nil, fmt.Errorf("fleet: no workers configured")
+// parseWorkerURL normalizes one worker URL into its node name (host:port,
+// the registry key) and base URL. A bare host:port implies http.
+func parseWorkerURL(raw string) (name, base string, err error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", "", fmt.Errorf("fleet: empty worker URL")
 	}
-	reg := &registry{}
-	seen := make(map[string]bool, len(workers))
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", "", fmt.Errorf("fleet: bad worker URL %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", "", fmt.Errorf("fleet: worker %q: scheme %q not supported (want http or https)", raw, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", "", fmt.Errorf("fleet: worker %q has no host", raw)
+	}
+	return u.Host, strings.TrimSuffix(u.String(), "/"), nil
+}
+
+// newRegistry validates and normalizes the static worker URL list (which
+// may be empty when dynamic registration will populate the fleet).
+func newRegistry(workers []string) (*registry, error) {
+	reg := &registry{byName: make(map[string]*node)}
 	for _, raw := range workers {
-		raw = strings.TrimSpace(raw)
-		if raw == "" {
+		if strings.TrimSpace(raw) == "" {
 			continue
 		}
-		if !strings.Contains(raw, "://") {
-			raw = "http://" + raw
-		}
-		u, err := url.Parse(raw)
+		name, base, err := parseWorkerURL(raw)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: bad worker URL %q: %v", raw, err)
+			return nil, err
 		}
-		if u.Scheme != "http" && u.Scheme != "https" {
-			return nil, fmt.Errorf("fleet: worker %q: scheme %q not supported (want http or https)", raw, u.Scheme)
+		if reg.byName[name] != nil {
+			return nil, fmt.Errorf("fleet: worker %q listed twice", name)
 		}
-		if u.Host == "" {
-			return nil, fmt.Errorf("fleet: worker %q has no host", raw)
-		}
-		if seen[u.Host] {
-			return nil, fmt.Errorf("fleet: worker %q listed twice", u.Host)
-		}
-		seen[u.Host] = true
-		reg.nodes = append(reg.nodes, &node{
-			name: u.Host,
-			base: strings.TrimSuffix(u.String(), "/"),
-			hash: fnv64a(u.Host),
-		})
-	}
-	if len(reg.nodes) == 0 {
-		return nil, fmt.Errorf("fleet: no workers configured")
+		n := newNode(name, base, false)
+		reg.nodes = append(reg.nodes, n)
+		reg.byName[name] = n
 	}
 	return reg, nil
+}
+
+// snapshot returns the current node list (the slice is a copy; the nodes
+// are shared).
+func (r *registry) snapshot() []*node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*node(nil), r.nodes...)
+}
+
+// get looks a node up by name.
+func (r *registry) get(name string) *node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
+
+// add inserts a new node; it fails if the name is already registered.
+func (r *registry) add(n *node) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[n.name] != nil {
+		return fmt.Errorf("fleet: worker %q already registered", n.name)
+	}
+	r.nodes = append(r.nodes, n)
+	r.byName[n.name] = n
+	return nil
+}
+
+// remove deletes a node by name and returns it (nil if absent).
+func (r *registry) remove(name string) *node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.byName[name]
+	if n == nil {
+		return nil
+	}
+	delete(r.byName, name)
+	for i, cand := range r.nodes {
+		if cand == n {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	return n
 }
 
 // pick selects the routing target for a job key: the least-loaded healthy
@@ -180,7 +316,7 @@ func (r *registry) pick(key uint64, excluded map[string]bool) *node {
 	var best *node
 	var bestLoad int64
 	var bestRank uint64
-	for _, n := range r.nodes {
+	for _, n := range r.snapshot() {
 		if excluded[n.name] {
 			continue
 		}
@@ -202,7 +338,7 @@ func (r *registry) pick(key uint64, excluded map[string]bool) *node {
 // countStates tallies nodes per state for /healthz and the state gauge.
 func (r *registry) countStates() map[State]int {
 	out := make(map[State]int, 3)
-	for _, n := range r.nodes {
+	for _, n := range r.snapshot() {
 		n.mu.Lock()
 		out[n.state]++
 		n.mu.Unlock()
@@ -210,21 +346,108 @@ func (r *registry) countStates() map[State]int {
 	return out
 }
 
-// healthLoop probes one node every HealthInterval until stop closes. The
-// first probe fires immediately so a gateway converges on real states
-// right after start instead of waiting out a full interval.
+// healthyCapacity sums the reported concurrent-run capacity of healthy
+// nodes (at least 1 per node, so a worker that has not reported yet
+// still counts).
+func (r *registry) healthyCapacity() int {
+	total := 0
+	for _, n := range r.snapshot() {
+		n.mu.Lock()
+		if n.state == StateHealthy {
+			if n.rep.Capacity > 1 {
+				total += n.rep.Capacity
+			} else {
+				total++
+			}
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// startLoop launches a node's health loop if the gateway is running
+// (pre-Start nodes are picked up by Start itself).
+func (g *Gateway) startLoop(n *node) {
+	g.loopMu.Lock()
+	defer g.loopMu.Unlock()
+	if !g.running {
+		return
+	}
+	g.startLoopLocked(n)
+}
+
+// startLoopLocked starts the loop exactly once per node; loopMu held.
+func (g *Gateway) startLoopLocked(n *node) {
+	if n.probing {
+		return
+	}
+	n.probing = true
+	g.loops.Add(1)
+	go g.healthLoop(n, g.stop)
+}
+
+// healthLoop probes one node until stop closes or the node is removed.
+// The first probe fires immediately so a gateway converges on real
+// states right after start instead of waiting out a full interval;
+// subsequent probes run every HealthInterval ± a deterministic per-node
+// jitter of up to ±12.5%, so a large fleet's probes spread out instead
+// of thundering every worker's /healthz on the same tick.
 func (g *Gateway) healthLoop(n *node, stop <-chan struct{}) {
 	defer g.loops.Done()
-	t := time.NewTicker(g.cfg.HealthInterval)
-	defer t.Stop()
-	for {
-		g.probe(n)
+	g.probe(n)
+	for tick := uint64(0); ; tick++ {
+		d := g.cfg.HealthInterval
+		if span := uint64(d / 4); span > 0 {
+			d += time.Duration(mix64(n.hash^(tick+0x9e37))%span) - time.Duration(span/2)
+		}
+		t := time.NewTimer(d)
 		select {
 		case <-t.C:
 		case <-stop:
+			t.Stop()
+			return
+		case <-n.stopProbe:
+			t.Stop()
 			return
 		}
+		g.probe(n)
 	}
+}
+
+// decodeLoadReport decodes a worker's /healthz body defensively: the
+// read is size-capped and hostile count fields are clamped so a
+// misbehaving (or impersonated) worker cannot poison routing math or
+// bloat the node table.
+func decodeLoadReport(r io.Reader) (serve.LoadReport, error) {
+	var rep serve.LoadReport
+	if err := json.NewDecoder(io.LimitReader(r, 64<<10)).Decode(&rep); err != nil {
+		return rep, err
+	}
+	clampInt := func(v *int) {
+		if *v < 0 {
+			*v = 0
+		}
+		if *v > 1<<20 {
+			*v = 1 << 20
+		}
+	}
+	clampInt(&rep.Inflight)
+	clampInt(&rep.Queue)
+	clampInt(&rep.Admitted)
+	clampInt(&rep.Capacity)
+	if rep.BusyS < 0 || math.IsNaN(rep.BusyS) || math.IsInf(rep.BusyS, 0) {
+		rep.BusyS = 0
+	}
+	if rep.UptimeS < 0 {
+		rep.UptimeS = 0
+	}
+	if len(rep.Status) > 32 {
+		rep.Status = rep.Status[:32]
+	}
+	if len(rep.Version) > 128 {
+		rep.Version = rep.Version[:128]
+	}
+	return rep, nil
 }
 
 // probe runs one health check against a node and applies the transition.
@@ -240,8 +463,8 @@ func (g *Gateway) probe(n *node) {
 		return
 	}
 	defer resp.Body.Close()
-	var rep serve.LoadReport
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+	rep, err := decodeLoadReport(resp.Body)
+	if err != nil {
 		g.noteProbeFailure(n, "bad health body: "+err.Error())
 		return
 	}
@@ -255,6 +478,8 @@ func (g *Gateway) probe(n *node) {
 	if n.markAlive(rep, time.Now()) {
 		g.logf("worker %s rejoined (version %s)", n.name, rep.Version)
 	}
+	// A fresh report may reveal freed capacity — wake queued jobs.
+	g.capacityChanged()
 }
 
 // noteProbeFailure records a failed health check.

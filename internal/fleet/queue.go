@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+)
+
+// The gateway-side admission queue: when every healthy worker is at
+// capacity, render and simulate submissions wait here (bounded by
+// Config.QueueDepth) instead of bouncing off an instant 429. Waiters are
+// woken when capacity plausibly changed — a relay finished, a health
+// report arrived, a worker registered — and re-run the full pick loop.
+// Shedding is deadline-aware: a queued job whose client deadline can no
+// longer be met (per observed service times) is evicted immediately with
+// an honest Retry-After, as is one whose client disconnected.
+
+// queueWait outcomes.
+const (
+	waitReady      = iota // capacity may be available; retry the pick
+	waitClientGone        // the client's context ended while queued
+	waitDeadline          // the client deadline can no longer be met
+)
+
+// queueEnter claims a queue slot; false means the queue is full (or
+// queueing is disabled) and the submission should be shed.
+func (g *Gateway) queueEnter() bool {
+	if g.cfg.QueueDepth <= 0 {
+		return false
+	}
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	if g.qdepth >= g.cfg.QueueDepth {
+		return false
+	}
+	g.qdepth++
+	g.m.Inc(mQueued)
+	g.m.Set(mQueueDepth, float64(g.qdepth))
+	return true
+}
+
+// queueExit releases a queue slot. A non-empty reason records an
+// eviction (deadline, client_gone); empty means the job proceeded to a
+// worker.
+func (g *Gateway) queueExit(reason string) {
+	g.qmu.Lock()
+	g.qdepth--
+	g.m.Set(mQueueDepth, float64(g.qdepth))
+	g.qmu.Unlock()
+	if reason != "" {
+		g.m.Inc(evictKey(reason))
+	}
+}
+
+// wakeCh returns the channel closed at the next capacity change.
+func (g *Gateway) wakeCh() <-chan struct{} {
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	return g.wake
+}
+
+// capacityChanged wakes every queued job: close-and-swap the wake
+// channel. Called whenever worker capacity may have freed up (a relay
+// attempt finished, a health report arrived, a worker registered).
+func (g *Gateway) capacityChanged() {
+	g.qmu.Lock()
+	close(g.wake)
+	g.wake = make(chan struct{})
+	g.qmu.Unlock()
+}
+
+// estServiceTime is the observed p50 job service time (0 until enough
+// samples have accumulated).
+func (g *Gateway) estServiceTime() time.Duration {
+	sec := g.svcTimes.Quantile(0.5, 4, 0)
+	if sec <= 0 || math.IsNaN(sec) {
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// retryAfterSeconds is the honest Retry-After estimate for a shed
+// submission: the observed p50 service time, times the queue population
+// ahead of the newcomer, divided across the fleet's healthy capacity.
+// At least 1 (the header must be a positive integer), even when no
+// service times have been observed yet.
+func (g *Gateway) retryAfterSeconds() int {
+	est := g.estServiceTime()
+	if est <= 0 {
+		return 1
+	}
+	g.qmu.Lock()
+	depth := g.qdepth
+	g.qmu.Unlock()
+	capacity := g.reg.healthyCapacity()
+	if capacity < 1 {
+		capacity = 1
+	}
+	sec := int(math.Ceil(est.Seconds() * float64(depth+1) / float64(capacity)))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// rejectBusy sheds a submission with 429 and the honest Retry-After.
+func (g *Gateway) rejectBusy(w http.ResponseWriter, reason, msg string) {
+	g.m.Inc(mRejected + `{reason="` + reason + `"}`)
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", g.retryAfterSeconds()))
+	http.Error(w, msg, http.StatusTooManyRequests)
+}
+
+// queueWait parks one queued job until capacity plausibly changes, its
+// deadline becomes unmeetable, or its client disconnects. A periodic
+// re-probe tick bounds the wait even if no wake arrives (a worker may
+// have freed capacity without the gateway noticing).
+func (g *Gateway) queueWait(ctx context.Context, deadline time.Time) int {
+	tick := g.cfg.HealthInterval / 2
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	t := time.NewTimer(tick)
+	defer t.Stop()
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 || remaining < g.estServiceTime() {
+			return waitDeadline
+		}
+	}
+	select {
+	case <-ctx.Done():
+		return waitClientGone
+	case <-g.wakeCh():
+		return waitReady
+	case <-t.C:
+		return waitReady
+	}
+}

@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sccpipe/internal/serve"
+)
+
+// Lease bounds: a registration may ask for any TTL inside this range;
+// requests outside it are clamped, not rejected, so an over-eager worker
+// still joins with sane lease math.
+const (
+	minLeaseTTL = time.Second
+	maxLeaseTTL = 10 * time.Minute
+)
+
+// registrationEnabled reports whether dynamic membership is on
+// (Config.LeaseTTL >= 0; fillDefaults turns 0 into the default TTL).
+func (g *Gateway) registrationEnabled() bool { return g.cfg.LeaseTTL > 0 }
+
+// parseRegister validates a /register body into a node name, base URL
+// and granted TTL. It is deliberately a pure function over bytes so the
+// fuzz target can hammer it: inputs are size-capped, URL length is
+// bounded, and the TTL is clamped into [minLeaseTTL, maxLeaseTTL].
+func parseRegister(body []byte, defTTL time.Duration) (name, base string, ttl time.Duration, err error) {
+	if len(body) > 4<<10 {
+		return "", "", 0, fmt.Errorf("fleet: register body too large (%d bytes)", len(body))
+	}
+	var req serve.RegisterRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", "", 0, fmt.Errorf("fleet: bad register body: %v", err)
+	}
+	if len(req.URL) > 512 {
+		return "", "", 0, fmt.Errorf("fleet: register URL too long (%d bytes)", len(req.URL))
+	}
+	name, base, err = parseWorkerURL(req.URL)
+	if err != nil {
+		return "", "", 0, err
+	}
+	ttl = defTTL
+	if req.TTLs > 0 {
+		ttl = time.Duration(req.TTLs) * time.Second
+	}
+	if ttl < minLeaseTTL {
+		ttl = minLeaseTTL
+	}
+	if ttl > maxLeaseTTL {
+		ttl = maxLeaseTTL
+	}
+	return name, base, ttl, nil
+}
+
+// handleRegister admits or renews a dynamic worker: POST /register with
+// a serve.RegisterRequest body grants (or extends) a TTL lease. A new
+// worker joins the rotation immediately — its health loop starts with an
+// instant probe — and an existing one, static or dynamic, just has its
+// lease refreshed. The response tells the worker the cadence to renew at.
+func (g *Gateway) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a register request to /register", http.StatusMethodNotAllowed)
+		return
+	}
+	if !g.registrationEnabled() {
+		http.Error(w, "dynamic registration is disabled on this gateway", http.StatusForbidden)
+		return
+	}
+	if g.draining.Load() {
+		http.Error(w, "gateway is draining", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<10))
+	if err != nil {
+		http.Error(w, "bad register body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	name, base, ttl, err := parseRegister(body, g.cfg.LeaseTTL)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	if n := g.reg.get(name); n != nil {
+		n.renewLease(now, ttl)
+		g.m.Inc(registerKey("renew"))
+	} else {
+		n := newNode(name, base, true)
+		n.ttl = ttl
+		n.lease = now.Add(ttl)
+		if err := g.reg.add(n); err != nil {
+			// Lost a race with a concurrent registration of the same name;
+			// treat it as that node's renewal.
+			if existing := g.reg.get(name); existing != nil {
+				existing.renewLease(now, ttl)
+			}
+		} else {
+			g.m.Inc(registerKey("new"))
+			g.logf("worker %s registered (lease %v)", name, ttl)
+			g.startLoop(n)
+			g.capacityChanged()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(serve.RegisterResponse{
+		Name:   name,
+		TTLs:   int(ttl / time.Second),
+		RenewS: renewCadence(ttl),
+	})
+}
+
+// renewCadence is the heartbeat interval granted with a lease: a third
+// of the TTL, so two renewals can be lost before the lease lapses.
+func renewCadence(ttl time.Duration) int {
+	s := int(ttl / (3 * time.Second))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// leaseLoop is the lease sweeper: it expires dynamic workers whose lease
+// lapsed (through the same dead/deregister path consecutive probe
+// failures use, so rejoin works identically) and, once a dead dynamic
+// worker has been gone past ForgetAfter, removes it from the registry
+// entirely — topology change as a normal event, not a restart.
+func (g *Gateway) leaseLoop(stop <-chan struct{}) {
+	defer g.loops.Done()
+	interval := g.cfg.LeaseTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+		now := time.Now()
+		for _, n := range g.reg.snapshot() {
+			if n.expireLease(now) {
+				g.m.Inc(mLeaseExpired)
+				g.m.Inc(deathKey(n.name))
+				g.logf("worker %s evicted: registration lease expired", n.name)
+				continue
+			}
+			if n.forgettable(now, g.cfg.ForgetAfter) {
+				if g.reg.remove(n.name) != nil {
+					close(n.stopProbe)
+					g.m.Inc(mForgotten)
+					g.logf("worker %s forgotten (dead past the forget window)", n.name)
+				}
+			}
+		}
+	}
+}

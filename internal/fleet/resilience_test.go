@@ -1,0 +1,503 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sccpipe/internal/faults"
+	"sccpipe/internal/netfaults"
+	"sccpipe/internal/scene"
+	"sccpipe/internal/serve"
+)
+
+// registerWorker POSTs a /register request the way sccserved's registrar
+// does and returns the granted response.
+func registerWorker(t *testing.T, gatewayURL, selfURL string, ttlS int) serve.RegisterResponse {
+	t.Helper()
+	body, _ := json.Marshal(serve.RegisterRequest{URL: selfURL, TTLs: ttlS})
+	resp, err := http.Post(gatewayURL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("register status %d: %s", resp.StatusCode, msg)
+	}
+	var rr serve.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+// TestRegisterJoinsFleetAndServes: a gateway with zero static workers
+// populates itself entirely through POST /register.
+func TestRegisterJoinsFleetAndServes(t *testing.T) {
+	_, wts := newWorker(t, nil)
+	g, gts := newTestGateway(t, nil, func(c *Config) {
+		c.LeaseTTL = 2 * time.Second
+	})
+
+	// Before any worker registers, submissions bounce with no_workers.
+	resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-fleet status %d, want 503", resp.StatusCode)
+	}
+
+	rr := registerWorker(t, gts.URL, wts.URL, 0)
+	if rr.TTLs != 2 || rr.RenewS < 1 {
+		t.Fatalf("granted lease %+v, want ttl 2s and a sane renew cadence", rr)
+	}
+	waitFor(t, "registered worker healthy", func() bool {
+		for _, ns := range g.Nodes() {
+			if ns.URL == wts.URL && ns.State == "healthy" {
+				return true
+			}
+		}
+		return false
+	})
+	frames, _ := readStream(t, postJob(t, gts.URL,
+		map[string]any{"mode": "render", "frames": 2, "width": 64, "height": 48, "pipelines": 1}))
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames through the runtime-registered worker, want 2", len(frames))
+	}
+	// The node table marks the worker dynamic with a live lease.
+	var ns NodeStatus
+	for _, row := range g.Nodes() {
+		if row.URL == wts.URL {
+			ns = row
+		}
+	}
+	if !ns.Dynamic || ns.LeaseUntil == "" {
+		t.Fatalf("node row %+v, want dynamic with a lease", ns)
+	}
+	// A re-register is a renewal, not a second node.
+	registerWorker(t, gts.URL, wts.URL, 0)
+	if n := len(g.Nodes()); n != 1 {
+		t.Fatalf("%d nodes after re-register, want 1", n)
+	}
+	if v := g.Metric(registerKey("renew")); v != 1 {
+		t.Fatalf("renew metric %v, want 1", v)
+	}
+}
+
+// TestLeaseExpiryEvictsAndForgets: a dynamic worker that stops renewing
+// (and stops answering probes) is evicted when its lease lapses — even
+// before consecutive probe failures would have condemned it — and is
+// removed from the registry entirely once ForgetAfter passes.
+func TestLeaseExpiryEvictsAndForgets(t *testing.T) {
+	_, wts := newWorker(t, nil)
+	g, gts := newTestGateway(t, nil, func(c *Config) {
+		c.LeaseTTL = 250 * time.Millisecond
+		c.ForgetAfter = 250 * time.Millisecond
+		// Probes alone must not get there first: lease expiry is under test.
+		c.FailAfter = 1 << 20
+	})
+	registerWorker(t, gts.URL, wts.URL, 0)
+	waitFor(t, "registered worker healthy", func() bool {
+		rows := g.Nodes()
+		return len(rows) == 1 && rows[0].State == "healthy"
+	})
+
+	wts.Close() // the worker vanishes: no heartbeats, no probe renewals
+	waitFor(t, "lease expiry eviction", func() bool {
+		return g.Metric(mLeaseExpired) >= 1
+	})
+	// The worker stays in the table (dead, still probed) until the
+	// forget window elapses. LastErr is whatever failed most recently —
+	// the lease verdict or a later probe — so only the state is asserted.
+	if rows := g.Nodes(); len(rows) != 1 || rows[0].State != "dead" {
+		t.Fatalf("node table after lease expiry: %+v", rows)
+	}
+	waitFor(t, "dead worker forgotten", func() bool {
+		return len(g.Nodes()) == 0
+	})
+	if v := g.Metric(mForgotten); v != 1 {
+		t.Fatalf("forgotten metric %v, want 1", v)
+	}
+}
+
+// TestRegistrarKeepsLeaseAlive wires serve.RunRegistrar against a real
+// gateway: heartbeats renew the lease, so the worker outlives many TTLs.
+func TestRegistrarKeepsLeaseAlive(t *testing.T) {
+	_, wts := newWorker(t, nil)
+	g, gts := newTestGateway(t, nil, func(c *Config) {
+		c.LeaseTTL = 300 * time.Millisecond
+		c.FailAfter = 1 << 20
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serve.RunRegistrar(ctx, serve.RegistrarConfig{Gateway: gts.URL, Self: wts.URL})
+	}()
+	waitFor(t, "worker registered", func() bool { return len(g.Nodes()) == 1 })
+	time.Sleep(time.Second) // > 3 TTLs: only renewals keep it alive
+	if rows := g.Nodes(); len(rows) != 1 || rows[0].State != "healthy" {
+		t.Fatalf("node table after 3+ TTLs of heartbeats: %+v", rows)
+	}
+	if v := g.Metric(mLeaseExpired); v != 0 {
+		t.Fatalf("lease expired %v times despite heartbeats", v)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("registrar: %v", err)
+	}
+}
+
+// TestRegisterValidation covers the /register rejection paths.
+func TestRegisterValidation(t *testing.T) {
+	g, gts := newTestGateway(t, nil, nil)
+	post := func(body string) *http.Response {
+		resp, err := http.Post(gts.URL+"/register", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		io.Copy(io.Discard, resp.Body)
+		return resp
+	}
+	if resp := post(`{"url":"ftp://h:1"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad scheme: status %d", resp.StatusCode)
+	}
+	if resp := post(`not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d", resp.StatusCode)
+	}
+	if resp, err := http.Get(gts.URL + "/register"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /register: status %d", resp.StatusCode)
+		}
+	}
+	g.BeginDrain()
+	if resp := post(`{"url":"http://h:1"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining register: status %d", resp.StatusCode)
+	}
+}
+
+// TestRegisterDisabled: LeaseTTL < 0 turns /register off entirely.
+func TestRegisterDisabled(t *testing.T) {
+	_, wts := newWorker(t, nil)
+	_, gts := newTestGateway(t, []string{wts.URL}, func(c *Config) { c.LeaseTTL = -1 })
+	body, _ := json.Marshal(serve.RegisterRequest{URL: "http://h:1"})
+	resp, err := http.Post(gts.URL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("register with registration disabled: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// wrongIndexWorker speaks the worker multipart protocol but mislabels
+// its frame stream: indices per the indices slice, then a summary.
+func wrongIndexWorker(t *testing.T, indices []int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			json.NewEncoder(w).Encode(serve.LoadReport{Status: "ok", Capacity: 2})
+		case "/jobs":
+			mw := multipart.NewWriter(w)
+			w.Header().Set("Content-Type", "multipart/x-mixed-replace; boundary="+mw.Boundary())
+			payload := []byte("not-a-png-but-the-gateway-checks-indices-first")
+			for _, idx := range indices {
+				h := make(map[string][]string)
+				h["Content-Type"] = []string{"image/png"}
+				h["X-Frame-Index"] = []string{fmt.Sprint(idx)}
+				h["X-Frame-Digest"] = []string{serve.FrameDigest(payload)}
+				pw, err := mw.CreatePart(h)
+				if err != nil {
+					return
+				}
+				pw.Write(payload)
+			}
+			sum, _ := mw.CreatePart(map[string][]string{"Content-Type": {"application/json"}})
+			json.NewEncoder(sum).Encode(map[string]any{"frames": len(indices)})
+			mw.Close()
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWrongIndexedFrameIsWorkerFault (regression): a worker whose frame
+// indices go backwards — or skip — is a worker fault that triggers
+// failover blame, never a stream relayed as-is.
+func TestWrongIndexedFrameIsWorkerFault(t *testing.T) {
+	for name, indices := range map[string][]int{
+		"backwards":     {0, 1, 0},
+		"skips":         {0, 2},
+		"starts_at_one": {1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			wts := wrongIndexWorker(t, indices)
+			g, gts := newTestGateway(t, []string{wts.URL}, func(c *Config) {
+				c.Retry = &faults.RecoveryPolicy{MaxRetries: 1, Backoff: time.Millisecond}
+				// Keep the node alive across the attempts so the retry
+				// budget (not worker death) ends the job.
+				c.FailAfter = 10
+			})
+			resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 3, "width": 64, "height": 48, "pipelines": 1})
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			// Depending on whether frame 0 went out before the bad index,
+			// the verdict is a 502 or an in-stream error summary — but it
+			// is always a *failure*, attributed to the worker.
+			if resp.StatusCode == http.StatusOK && !bytes.Contains(body, []byte("error")) {
+				t.Fatalf("mis-indexed stream relayed as success: %s", body)
+			}
+			if v := g.Metric(mFailed); v != 1 {
+				t.Fatalf("failed metric %v, want 1", v)
+			}
+			if v := g.Metric(mClientGone); v != 0 {
+				t.Fatalf("client blamed (%v) for a worker-side index fault", v)
+			}
+			name := strings.TrimPrefix(wts.URL, "http://")
+			if v := g.Metric(retryKey(name)); v < 1 {
+				t.Fatalf("no failover retry charged to the faulty worker")
+			}
+		})
+	}
+}
+
+// TestQueueHoldsJobUntilCapacityFrees: with every worker at capacity the
+// gateway parks the submission in its admission queue and completes it
+// once the fleet frees up — the client sees one clean 200 stream.
+func TestQueueHoldsJobUntilCapacityFrees(t *testing.T) {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	s := serve.New(serve.Config{Workers: 1, QueueDepth: -1, Scene: scene.City(cfg)})
+	gt := newGate(s)
+	wts := httptest.NewServer(gt)
+	t.Cleanup(wts.Close)
+	g, gts := newTestGateway(t, []string{wts.URL}, nil)
+
+	gt.armed.Store(true)
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	<-gt.started // worker's only slot is now occupied
+	gt.armed.Store(false)
+
+	type result struct {
+		frames map[int][]byte
+		status int
+	}
+	queuedDone := make(chan result, 1)
+	go func() {
+		resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 2, "width": 64, "height": 48, "pipelines": 1, "seed": 7})
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			queuedDone <- result{status: resp.StatusCode}
+			return
+		}
+		frames, _ := readStream(t, resp)
+		queuedDone <- result{frames: frames, status: http.StatusOK}
+	}()
+	waitFor(t, "job queued", func() bool { return g.Metric(mQueued) >= 1 })
+	if v := g.Metric(mQueueDepth); v != 1 {
+		t.Fatalf("queue depth %v with one parked job, want 1", v)
+	}
+	close(gt.release)
+	<-holdDone
+	res := <-queuedDone
+	if res.status != http.StatusOK || len(res.frames) != 2 {
+		t.Fatalf("queued job finished with status %d, %d frames; want 200 with 2", res.status, len(res.frames))
+	}
+	if v := g.Metric(mQueueDepth); v != 0 {
+		t.Fatalf("queue depth %v after completion, want 0", v)
+	}
+}
+
+// TestQueueReleasesSlotOnClientDisconnect (regression): a client that
+// vanishes while its job is parked in the admission queue releases the
+// slot, drives the depth gauge back to zero, records a client_gone
+// eviction — and never charges a worker with the failure.
+func TestQueueReleasesSlotOnClientDisconnect(t *testing.T) {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	s := serve.New(serve.Config{Workers: 1, QueueDepth: -1, Scene: scene.City(cfg)})
+	gt := newGate(s)
+	wts := httptest.NewServer(gt)
+	t.Cleanup(wts.Close)
+	g, gts := newTestGateway(t, []string{wts.URL}, nil)
+
+	gt.armed.Store(true)
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	<-gt.started
+	gt.armed.Store(false)
+	defer func() {
+		close(gt.release)
+		<-holdDone
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1, "seed": 3})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, gts.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitFor(t, "job queued", func() bool { return g.Metric(mQueued) >= 1 })
+	cancel() // the queued client walks away
+	<-errc
+	waitFor(t, "queue slot released", func() bool { return g.Metric(mQueueDepth) == 0 })
+	if v := g.Metric(evictKey("client_gone")); v != 1 {
+		t.Fatalf("client_gone evictions %v, want 1", v)
+	}
+	name := strings.TrimPrefix(wts.URL, "http://")
+	if v := g.Metric(deathKey(name)); v != 0 {
+		t.Fatalf("worker blamed (%v deaths) for a client disconnect", v)
+	}
+	if v := g.Metric(retryKey(name)); v != 0 {
+		t.Fatalf("worker charged %v retries for a client disconnect", v)
+	}
+}
+
+// TestQueueFullSheds: with the queue bounded at 0 the old instant-429
+// behavior returns, and the 429 carries a Retry-After header.
+func TestQueueFullSheds(t *testing.T) {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	s := serve.New(serve.Config{Workers: 1, QueueDepth: -1, Scene: scene.City(cfg)})
+	gt := newGate(s)
+	wts := httptest.NewServer(gt)
+	t.Cleanup(wts.Close)
+	g, gts := newTestGateway(t, []string{wts.URL}, func(c *Config) { c.QueueDepth = -1 })
+
+	gt.armed.Store(true)
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	<-gt.started
+	gt.armed.Store(false)
+	defer func() {
+		close(gt.release)
+		<-holdDone
+	}()
+
+	resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1, "seed": 9})
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d with queueing disabled and fleet busy, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if v := g.Metric(mRejected + `{reason="queue_full"}`); v != 1 {
+		t.Fatalf("queue_full rejections %v, want 1", v)
+	}
+}
+
+// TestAdaptiveWatchdogDropsStalledWorker: a worker that accepts the job
+// and then trickles nothing is cancelled by the stall watchdog and
+// blamed — the stall counter ticks and the job fails over (to nothing,
+// here, so the client gets an honest failure rather than a hang).
+func TestAdaptiveWatchdogDropsStalledWorker(t *testing.T) {
+	cfg := scene.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksZ = 4, 4
+	s := serve.New(serve.Config{Workers: 1, QueueDepth: 0, Scene: scene.City(cfg)})
+	gt := newGate(s)
+	wts := httptest.NewServer(gt)
+	t.Cleanup(wts.Close)
+	g, gts := newTestGateway(t, []string{wts.URL}, func(c *Config) {
+		c.StreamTimeoutMin = 50 * time.Millisecond
+		c.StreamTimeoutMax = 250 * time.Millisecond
+		c.Retry = &faults.RecoveryPolicy{MaxRetries: 1, Backoff: time.Millisecond}
+	})
+	gt.armed.Store(true)
+	t.Cleanup(func() { close(gt.release) })
+
+	start := time.Now()
+	resp := postJob(t, gts.URL, map[string]any{"mode": "render", "frames": 1, "width": 64, "height": 48, "pipelines": 1})
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	elapsed := time.Since(start)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("stalled stream reported success")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to drop a stalled worker", elapsed)
+	}
+	name := strings.TrimPrefix(wts.URL, "http://")
+	waitFor(t, "stall blamed on the worker", func() bool {
+		return g.Metric(stallKey(name)) >= 1
+	})
+	if v := g.Metric(mClientGone); v != 0 {
+		t.Fatalf("client blamed (%v) for a worker stall", v)
+	}
+}
+
+// TestChaosPartitionFailsOver: a seeded partition of one worker severs
+// its probes and forwards; the fleet serves every job from the survivor
+// and the partitioned node is declared dead — all deterministically.
+func TestChaosPartitionFailsOver(t *testing.T) {
+	_, a := newWorker(t, nil)
+	_, b := newWorker(t, nil)
+	aHost := strings.TrimPrefix(a.URL, "http://")
+	plan, err := netfaults.ParsePlan("seed=7,partition=" + aHost + "@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, gts := newTestGateway(t, []string{a.URL, b.URL}, func(c *Config) {
+		c.NetFaults = plan
+		c.FailAfter = 2
+	})
+	for seed := int64(0); seed < 3; seed++ {
+		frames, sum := readStream(t, postJob(t, gts.URL,
+			map[string]any{"mode": "render", "frames": 2, "width": 64, "height": 48, "pipelines": 1, "seed": seed}))
+		if len(frames) != 2 {
+			t.Fatalf("job %d: %d frames, want 2", seed, len(frames))
+		}
+		if sum["worker"] == aHost {
+			t.Fatalf("job %d served by the partitioned worker", seed)
+		}
+	}
+	waitFor(t, "partitioned worker declared dead", func() bool {
+		return nodeByName(t, g, aHost).State == "dead"
+	})
+}

@@ -1,0 +1,36 @@
+package netfaults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan hardens the -chaos flag parser: arbitrary spec strings
+// must either produce a plan that validates or a parse error — never a
+// panic, and never an invalid plan slipping through.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed=7,lag=0.2:10ms,drop=0.1")
+	f.Add("reset=0.05,corrupt=0.03,truncate=0.02")
+	f.Add("loris=0.01:250ms,partition=10.0.0.2:8344@20")
+	f.Add("partition=h")
+	f.Add("seed=-1,drop=1")
+	f.Add("lag=:,loris=@,partition=@@")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 4096 {
+			return
+		}
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) returned an invalid plan: %v", spec, verr)
+		}
+		if strings.TrimSpace(spec) == "" {
+			t.Fatalf("ParsePlan accepted blank spec %q", spec)
+		}
+		if _, nerr := New(*p, nil); nerr != nil {
+			t.Fatalf("New rejected a parsed plan for %q: %v", spec, nerr)
+		}
+	})
+}

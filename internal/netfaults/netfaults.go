@@ -1,0 +1,440 @@
+// Package netfaults is the network sibling of internal/faults: a seeded,
+// deterministic fault layer for the gateway↔worker HTTP path. Where
+// faults injects failures inside one process's pipeline, netfaults
+// injects them into the fabric between processes — added latency,
+// connections dropped before dispatch, mid-stream resets, slow-loris
+// byte trickle, corrupted or truncated multipart frames, and the full
+// partition of a named worker — so the fleet's failover, dedup, lease,
+// and adaptive-timeout machinery can be exercised end to end with real
+// processes and reproducible fault schedules.
+//
+// A Plan compiles into a Transport that wraps any http.RoundTripper
+// (New). Every decision is a pure hash of (seed, rule, host, request
+// sequence), mirroring faults.Injector, so a seeded chaos run makes
+// identical choices regardless of goroutine scheduling. Probabilistic
+// rules consult only POST /jobs traffic — health probes stay clean so a
+// worker is only ever evicted for faults the plan aimed at it — while a
+// partition cuts every path to its host once the fault epoch (advanced
+// by the embedder, typically once per accepted job) reaches the rule's
+// threshold.
+package netfaults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an injected network fault.
+type Kind int
+
+const (
+	// KindLag delays the request by Delay before forwarding it.
+	KindLag Kind = iota
+	// KindDrop fails the request before dispatch, as a refused/reset
+	// connection would.
+	KindDrop
+	// KindReset errors the response body mid-stream after a
+	// deterministic byte offset — a connection reset while frames are in
+	// flight.
+	KindReset
+	// KindLoris trickles the response body: reads are capped to small
+	// chunks with Delay imposed per chunk, so the stream crawls without
+	// ever failing — the fault adaptive stream timeouts exist for.
+	KindLoris
+	// KindCorrupt flips one response byte at a deterministic offset,
+	// corrupting a multipart frame (or its framing) in transit.
+	KindCorrupt
+	// KindTruncate ends the response body cleanly at a deterministic
+	// offset, truncating the multipart stream without any error signal.
+	KindTruncate
+	// KindPartition makes a named worker unreachable on every path from
+	// fault epoch After onward.
+	KindPartition
+)
+
+var kindNames = [...]string{"lag", "drop", "reset", "loris", "corrupt", "truncate", "partition"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Rule describes one network fault to inject.
+type Rule struct {
+	Kind Kind
+	// Host targets one worker by host:port; "" targets any host.
+	// Required (and exact) for KindPartition.
+	Host string
+	// Prob is the per-request firing probability for probabilistic
+	// kinds; ignored for KindPartition, which is epoch-gated instead.
+	Prob float64
+	// Delay is the injected latency for KindLag, or the per-chunk stall
+	// for KindLoris.
+	Delay time.Duration
+	// After is the fault epoch (Transport.Advance calls) at which a
+	// KindPartition begins; 0 partitions from the start.
+	After int
+}
+
+// Plan is a seeded set of network fault rules. Compile it with New.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Validate reports the first malformed rule.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		if r.Kind < KindLag || r.Kind > KindPartition {
+			return fmt.Errorf("netfaults: rule %d has unknown kind %d", i, int(r.Kind))
+		}
+		if r.Kind == KindPartition {
+			if r.Host == "" {
+				return fmt.Errorf("netfaults: rule %d: partition requires a host", i)
+			}
+			if r.After < 0 {
+				return fmt.Errorf("netfaults: rule %d: negative partition epoch %d", i, r.After)
+			}
+			continue
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("netfaults: rule %d probability %g out of [0,1]", i, r.Prob)
+		}
+		if r.Prob == 0 {
+			return fmt.Errorf("netfaults: rule %d can never fire (prob=0)", i)
+		}
+		if r.Delay < 0 {
+			return fmt.Errorf("netfaults: rule %d negative delay %v", i, r.Delay)
+		}
+		if (r.Kind == KindLag || r.Kind == KindLoris) && r.Delay == 0 {
+			return fmt.Errorf("netfaults: rule %d is a %v with zero delay", i, r.Kind)
+		}
+	}
+	return nil
+}
+
+// ParsePlan builds a Plan from a compact spec string, the format of the
+// sccgated -chaos flag — the same comma-separated key=value grammar as
+// faults.ParsePlan:
+//
+//	seed=N            hash seed (default 1)
+//	lag=P:DUR         added request latency of DUR with probability P
+//	drop=P            connections dropped before dispatch
+//	reset=P           mid-stream connection resets
+//	loris=P:DUR       slow-loris trickle, DUR stall per chunk
+//	corrupt=P         one response byte flipped in transit
+//	truncate=P        response body cleanly truncated
+//	partition=HOST@E  full partition of HOST from fault epoch E on
+//	partition=HOST    ... from the start
+//
+// Example: "seed=7,lag=0.2:10ms,drop=0.1,reset=0.1,partition=10.0.0.2:8344@20".
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("netfaults: empty chaos spec")
+	}
+	for _, clause := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return nil, fmt.Errorf("netfaults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netfaults: bad seed %q: %v", val, err)
+			}
+			p.Seed = n
+		case "lag":
+			r, err := parseProbDelay(KindLag, val)
+			if err != nil {
+				return nil, err
+			}
+			p.Rules = append(p.Rules, r)
+		case "drop", "reset", "corrupt", "truncate":
+			kind := map[string]Kind{"drop": KindDrop, "reset": KindReset,
+				"corrupt": KindCorrupt, "truncate": KindTruncate}[key]
+			prob, err := parseProb(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Rules = append(p.Rules, Rule{Kind: kind, Prob: prob})
+		case "loris":
+			r, err := parseProbDelay(KindLoris, val)
+			if err != nil {
+				return nil, err
+			}
+			p.Rules = append(p.Rules, r)
+		case "partition":
+			host, epoch, hasEpoch := strings.Cut(val, "@")
+			r := Rule{Kind: KindPartition, Host: strings.TrimSpace(host)}
+			if hasEpoch {
+				e, err := strconv.Atoi(epoch)
+				if err != nil || e < 0 {
+					return nil, fmt.Errorf("netfaults: bad partition epoch %q (want HOST@N)", val)
+				}
+				r.After = e
+			}
+			p.Rules = append(p.Rules, r)
+		default:
+			return nil, fmt.Errorf("netfaults: unknown chaos key %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseProb(val string) (float64, error) {
+	prob, err := strconv.ParseFloat(val, 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return 0, fmt.Errorf("netfaults: bad probability %q", val)
+	}
+	return prob, nil
+}
+
+func parseProbDelay(kind Kind, val string) (Rule, error) {
+	ps, ds, ok := strings.Cut(val, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("netfaults: %v wants P:DURATION, got %q", kind, val)
+	}
+	prob, err := parseProb(ps)
+	if err != nil {
+		return Rule{}, err
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil || d <= 0 {
+		return Rule{}, fmt.Errorf("netfaults: bad duration %q", ds)
+	}
+	return Rule{Kind: kind, Prob: prob, Delay: d}, nil
+}
+
+// Transport injects a Plan's faults into every request it round-trips.
+// It is safe for concurrent use and may back multiple http.Clients (the
+// gateway shares one across its job and health clients so partitions cut
+// probes and forwards alike).
+type Transport struct {
+	plan  Plan
+	next  http.RoundTripper
+	epoch atomic.Int64
+
+	mu  sync.Mutex
+	seq map[string]int // per-host /jobs request counter
+}
+
+// New compiles a validated plan over the next round tripper (nil means
+// http.DefaultTransport).
+func New(plan Plan, next http.RoundTripper) (*Transport, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{plan: plan, next: next, seq: make(map[string]int)}, nil
+}
+
+// Advance bumps the fault epoch, the clock KindPartition rules are gated
+// on. The gateway advances it once per accepted job, so "partition=A@20"
+// means "A becomes unreachable once 20 jobs have been accepted" —
+// deterministic under sequential submission.
+func (t *Transport) Advance() { t.epoch.Add(1) }
+
+// Epoch returns the current fault epoch.
+func (t *Transport) Epoch() int { return int(t.epoch.Load()) }
+
+// ErrInjected marks transport-injected failures; errors.Is(err,
+// ErrInjected) identifies them in logs and tests.
+var ErrInjected = errors.New("netfaults: injected fault")
+
+type injectedErr struct{ msg string }
+
+func (e *injectedErr) Error() string        { return e.msg }
+func (e *injectedErr) Is(target error) bool { return target == ErrInjected }
+
+func injected(format string, args ...any) error {
+	return &injectedErr{msg: "netfaults: " + fmt.Sprintf(format, args...)}
+}
+
+// RoundTrip applies the plan to one request: partitions first (every
+// path), then — for POST /jobs only — lag, then the first firing
+// drop/reset/loris/corrupt/truncate rule, at most one per request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	epoch := int(t.epoch.Load())
+	for _, r := range t.plan.Rules {
+		if r.Kind == KindPartition && r.Host == host && epoch >= r.After {
+			return nil, injected("host %s partitioned (epoch %d)", host, epoch)
+		}
+	}
+	if req.URL.Path != "/jobs" {
+		return t.next.RoundTrip(req)
+	}
+	seq := t.nextSeq(host)
+	for i, r := range t.plan.Rules {
+		if r.Kind != KindLag || !t.fires(i, r, host, seq) {
+			continue
+		}
+		select {
+		case <-time.After(r.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	for i, r := range t.plan.Rules {
+		switch r.Kind {
+		case KindLag, KindPartition:
+			continue
+		}
+		if !t.fires(i, r, host, seq) {
+			continue
+		}
+		if r.Kind == KindDrop {
+			return nil, injected("connection to %s dropped (seq %d)", host, seq)
+		}
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		offset := 1 + int(t.hash(i, r, host, seq, 0x0ff5)%16384)
+		switch r.Kind {
+		case KindReset:
+			resp.Body = &faultBody{rc: resp.Body, offset: offset,
+				err: injected("connection to %s reset after %d bytes (seq %d)", host, offset, seq)}
+		case KindLoris:
+			resp.Body = &lorisBody{rc: resp.Body, chunk: 512, delay: r.Delay, ctx: req.Context()}
+		case KindCorrupt:
+			resp.Body = &corruptBody{rc: resp.Body, offset: offset}
+		case KindTruncate:
+			resp.Body = &faultBody{rc: resp.Body, offset: offset, err: io.EOF}
+		}
+		return resp, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// nextSeq hands out the per-host request sequence number.
+func (t *Transport) nextSeq(host string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.seq[host]
+	t.seq[host] = s + 1
+	return s
+}
+
+// hash folds a consultation point into a uint64, mirroring
+// faults.planInjector: identical (seed, rule, host, seq) always yields
+// the identical value. salt decorrelates multiple draws per point.
+func (t *Transport) hash(ruleIdx int, r Rule, host string, seq int, salt uint64) uint64 {
+	x := hashMix(uint64(t.plan.Seed), uint64(ruleIdx)+0x51ed)
+	x = hashMix(x, uint64(r.Kind))
+	x = hashStr(x, host)
+	x = hashMix(x, uint64(int64(seq)))
+	return hashMix(x, salt)
+}
+
+// fires evaluates one probabilistic gate deterministically.
+func (t *Transport) fires(ruleIdx int, r Rule, host string, seq int) bool {
+	if r.Host != "" && r.Host != host {
+		return false
+	}
+	x := t.hash(ruleIdx, r, host, seq, 0)
+	return float64(x>>11)/(1<<53) < r.Prob
+}
+
+// faultBody passes bytes through until offset, then returns err on every
+// subsequent read (io.EOF makes it a clean truncation, anything else a
+// reset).
+type faultBody struct {
+	rc     io.ReadCloser
+	offset int
+	read   int
+	err    error
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	if b.read >= b.offset {
+		return 0, b.err
+	}
+	if rem := b.offset - b.read; len(p) > rem {
+		p = p[:rem]
+	}
+	n, err := b.rc.Read(p)
+	b.read += n
+	return n, err
+}
+
+func (b *faultBody) Close() error { return b.rc.Close() }
+
+// corruptBody flips one byte at offset and passes everything else
+// through untouched.
+type corruptBody struct {
+	rc     io.ReadCloser
+	offset int
+	read   int
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 && b.offset >= b.read && b.offset < b.read+n {
+		p[b.offset-b.read] ^= 0xff
+	}
+	b.read += n
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.rc.Close() }
+
+// lorisBody trickles the stream: every read is capped to chunk bytes and
+// preceded by delay, so the connection stays alive while making almost
+// no progress.
+type lorisBody struct {
+	rc    io.ReadCloser
+	chunk int
+	delay time.Duration
+	ctx   context.Context
+}
+
+func (b *lorisBody) Read(p []byte) (int, error) {
+	select {
+	case <-time.After(b.delay):
+	case <-b.ctx.Done():
+		return 0, b.ctx.Err()
+	}
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.rc.Read(p)
+}
+
+func (b *lorisBody) Close() error { return b.rc.Close() }
+
+// hashMix and hashStr are the same splitmix64-style combiners
+// faults.Injector uses, duplicated here so the two fault planes stay
+// dependency-free of each other.
+func hashMix(x, v uint64) uint64 {
+	x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashStr(x uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		x = hashMix(x, uint64(s[i]))
+	}
+	return hashMix(x, uint64(len(s)))
+}

@@ -1,0 +1,292 @@
+package netfaults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubRT answers every request with a fixed body and counts dispatches.
+type stubRT struct {
+	body  []byte
+	calls int
+}
+
+func (s *stubRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{},
+		Body:       io.NopCloser(bytes.NewReader(s.body)),
+		Request:    req,
+	}, nil
+}
+
+func jobsReq(t *testing.T, host string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(),
+		http.MethodPost, "http://"+host+"/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestParsePlanGrammar(t *testing.T) {
+	p, err := ParsePlan("seed=7,lag=0.2:10ms,drop=0.1,reset=0.05,corrupt=0.03,truncate=0.02,loris=0.01:250ms,partition=10.0.0.2:8344@20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", p.Seed)
+	}
+	if len(p.Rules) != 7 {
+		t.Fatalf("rules = %d, want 7", len(p.Rules))
+	}
+	part := p.Rules[6]
+	if part.Kind != KindPartition || part.Host != "10.0.0.2:8344" || part.After != 20 {
+		t.Fatalf("partition rule = %+v", part)
+	}
+	if p.Rules[0].Delay != 10*time.Millisecond {
+		t.Fatalf("lag delay = %v", p.Rules[0].Delay)
+	}
+
+	for _, bad := range []string{
+		"", "lag=0.2", "drop=2", "drop=0", "reset=x", "loris=0.1",
+		"partition=@3", "partition=h@-1", "bogus=1", "seed=zzz", "drop",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	plan, err := ParsePlan("seed=3,drop=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		tr, err := New(*plan, &stubRT{body: []byte("ok")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := tr.RoundTrip(jobsReq(t, "w1:1"))
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+		if a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("dropped %d/%d requests; want a mix at prob 0.5", dropped, len(a))
+	}
+
+	// A different seed must produce a different schedule.
+	plan2 := *plan
+	plan2.Seed = 4
+	tr2, _ := New(plan2, &stubRT{body: []byte("ok")})
+	differs := false
+	for i := 0; i < 64; i++ {
+		_, err := tr2.RoundTrip(jobsReq(t, "w1:1"))
+		if (err != nil) != a[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seed change did not alter the fault schedule")
+	}
+}
+
+func TestDropReturnsInjectedError(t *testing.T) {
+	tr, err := New(Plan{Seed: 1, Rules: []Rule{{Kind: KindDrop, Prob: 1}}}, &stubRT{body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := tr.RoundTrip(jobsReq(t, "w:1"))
+	if rerr == nil || !errors.Is(rerr, ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", rerr)
+	}
+}
+
+func TestNonJobsPathsUntouched(t *testing.T) {
+	rt := &stubRT{body: []byte("healthy")}
+	tr, err := New(Plan{Seed: 1, Rules: []Rule{{Kind: KindDrop, Prob: 1}}}, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, "http://w:1/healthz", nil)
+	resp, rerr := tr.RoundTrip(req)
+	if rerr != nil {
+		t.Fatalf("probe dropped: %v", rerr)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "healthy" {
+		t.Fatalf("probe body = %q", body)
+	}
+}
+
+func TestResetCutsBodyAtOffset(t *testing.T) {
+	payload := bytes.Repeat([]byte("a"), 64<<10)
+	tr, err := New(Plan{Seed: 9, Rules: []Rule{{Kind: KindReset, Prob: 1}}}, &stubRT{body: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, rerr := tr.RoundTrip(jobsReq(t, "w:1"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr == nil || !errors.Is(rerr, ErrInjected) {
+		t.Fatalf("read err = %v, want injected reset", rerr)
+	}
+	if len(got) == 0 || len(got) >= len(payload) {
+		t.Fatalf("read %d bytes before reset, want a mid-stream cut", len(got))
+	}
+}
+
+func TestTruncateEndsBodyCleanly(t *testing.T) {
+	payload := bytes.Repeat([]byte("b"), 64<<10)
+	tr, err := New(Plan{Seed: 9, Rules: []Rule{{Kind: KindTruncate, Prob: 1}}}, &stubRT{body: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := tr.RoundTrip(jobsReq(t, "w:1"))
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatalf("truncation must look like clean EOF, got %v", rerr)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("read %d bytes, want a truncated body", len(got))
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	payload := bytes.Repeat([]byte("c"), 64<<10)
+	tr, err := New(Plan{Seed: 9, Rules: []Rule{{Kind: KindCorrupt, Prob: 1}}}, &stubRT{body: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := tr.RoundTrip(jobsReq(t, "w:1"))
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("corrupt changed length: %d != %d", len(got), len(payload))
+	}
+	flipped := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("flipped %d bytes, want exactly 1", flipped)
+	}
+}
+
+func TestLorisTrickles(t *testing.T) {
+	payload := bytes.Repeat([]byte("d"), 2048)
+	tr, err := New(Plan{Seed: 9, Rules: []Rule{{Kind: KindLoris, Prob: 1, Delay: 10 * time.Millisecond}}},
+		&stubRT{body: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := tr.RoundTrip(jobsReq(t, "w:1"))
+	start := time.Now()
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("loris altered the payload")
+	}
+	// 2048 bytes at ≤512/chunk with 10ms per chunk: at least 4 chunks + EOF read.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("full read took %v, want the trickle to slow it down", elapsed)
+	}
+}
+
+func TestPartitionGatesOnEpoch(t *testing.T) {
+	rt := &stubRT{body: []byte("x")}
+	tr, err := New(Plan{Seed: 1, Rules: []Rule{{Kind: KindPartition, Host: "w1:1", After: 2}}}, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := tr.RoundTrip(jobsReq(t, "w1:1")); rerr != nil {
+		t.Fatalf("epoch 0 < 2: %v", rerr)
+	}
+	tr.Advance()
+	tr.Advance()
+	_, rerr := tr.RoundTrip(jobsReq(t, "w1:1"))
+	if rerr == nil || !errors.Is(rerr, ErrInjected) || !strings.Contains(rerr.Error(), "partition") {
+		t.Fatalf("epoch 2: err = %v, want partition", rerr)
+	}
+	// Partition severs every path for that host, probes included …
+	probeReq, _ := http.NewRequest(http.MethodGet, "http://w1:1/healthz", nil)
+	if _, rerr := tr.RoundTrip(probeReq); rerr == nil {
+		t.Fatal("probe crossed an active partition")
+	}
+	// … but other hosts stay reachable.
+	if _, rerr := tr.RoundTrip(jobsReq(t, "w2:1")); rerr != nil {
+		t.Fatalf("other host partitioned too: %v", rerr)
+	}
+}
+
+func TestLagDelaysRequest(t *testing.T) {
+	tr, err := New(Plan{Seed: 1, Rules: []Rule{{Kind: KindLag, Prob: 1, Delay: 30 * time.Millisecond}}},
+		&stubRT{body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, rerr := tr.RoundTrip(jobsReq(t, "w:1")); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("request returned after %v, want the injected lag", elapsed)
+	}
+	// A cancelled context cuts the lag short with the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, "http://w:1/jobs", nil)
+	if _, rerr := tr.RoundTrip(req); !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", rerr)
+	}
+}
+
+func TestValidateRejectsBadRules(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Kind: Kind(99), Prob: 1}}},
+		{Rules: []Rule{{Kind: KindPartition}}},
+		{Rules: []Rule{{Kind: KindPartition, Host: "h", After: -1}}},
+		{Rules: []Rule{{Kind: KindDrop, Prob: 1.5}}},
+		{Rules: []Rule{{Kind: KindDrop}}},
+		{Rules: []Rule{{Kind: KindLag, Prob: 1}}},
+		{Rules: []Rule{{Kind: KindLoris, Prob: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated", i)
+		}
+		if _, err := New(p, nil); err == nil {
+			t.Errorf("New accepted plan %d", i)
+		}
+	}
+}

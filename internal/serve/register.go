@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RegisterRequest is the body a worker POSTs to a gateway's /register
+// endpoint: the base URL it can be reached at and the lease TTL it asks
+// for (0 takes the gateway's default).
+type RegisterRequest struct {
+	URL  string `json:"url"`
+	TTLs int    `json:"ttl_s"`
+}
+
+// RegisterResponse is the gateway's acceptance: the node name it
+// registered the worker under, the granted lease TTL, and the renewal
+// cadence the worker should heartbeat at (comfortably inside the TTL).
+type RegisterResponse struct {
+	Name   string `json:"name"`
+	TTLs   int    `json:"ttl_s"`
+	RenewS int    `json:"renew_s"`
+}
+
+// RegistrarConfig tunes RunRegistrar.
+type RegistrarConfig struct {
+	// Gateway is the gateway base URL (e.g. "http://gw:8440"). Required.
+	Gateway string
+	// Self is the base URL this worker advertises (e.g.
+	// "http://10.0.0.2:8344"). Required; sccserved derives it from the
+	// bound listen address when -advertise is not given.
+	Self string
+	// TTL is the lease TTL to request (0 = gateway default).
+	TTL time.Duration
+	// Retry is how long to wait before retrying after a failed
+	// registration or renewal (default 1s, backing off to 10s).
+	Retry time.Duration
+	// Timeout bounds each registration request (default 5s).
+	Timeout time.Duration
+	// Log receives registration transitions; nil disables logging.
+	Log *log.Logger
+}
+
+// RunRegistrar keeps this worker registered with a fleet gateway: it
+// POSTs /register immediately, then renews the lease at the cadence the
+// gateway granted (with a deterministic ±10% jitter so a fleet of
+// workers started together doesn't renew in lockstep), retrying with
+// backoff while the gateway is unreachable, until ctx ends. Lapses are
+// survivable by design: the gateway re-admits an expired worker on its
+// next successful /register or health probe.
+func RunRegistrar(ctx context.Context, cfg RegistrarConfig) error {
+	if strings.TrimSpace(cfg.Gateway) == "" || strings.TrimSpace(cfg.Self) == "" {
+		return fmt.Errorf("serve: registrar needs both a gateway and a self URL")
+	}
+	if cfg.Retry <= 0 {
+		cfg.Retry = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	gateway := strings.TrimSuffix(strings.TrimSpace(cfg.Gateway), "/")
+	if !strings.Contains(gateway, "://") {
+		gateway = "http://" + gateway
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			cfg.Log.Printf(format, args...)
+		}
+	}
+
+	body, err := json.Marshal(RegisterRequest{
+		URL:  strings.TrimSpace(cfg.Self),
+		TTLs: int(cfg.TTL / time.Second),
+	})
+	if err != nil {
+		return err
+	}
+
+	registered := false
+	backoff := cfg.Retry
+	for attempt := 0; ; attempt++ {
+		rr, err := registerOnce(ctx, client, gateway, body)
+		var wait time.Duration
+		switch {
+		case err == nil:
+			if !registered {
+				logf("registered with %s as %s (lease %ds, renew every %ds)",
+					gateway, rr.Name, rr.TTLs, rr.RenewS)
+			}
+			registered = true
+			backoff = cfg.Retry
+			wait = renewInterval(rr, cfg.Self, attempt)
+		case ctx.Err() != nil:
+			return nil
+		default:
+			if registered {
+				logf("lease renewal with %s failed: %v (retrying)", gateway, err)
+			}
+			registered = false
+			wait = backoff
+			if backoff *= 2; backoff > 10*time.Second {
+				backoff = 10 * time.Second
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(wait):
+		}
+	}
+}
+
+// registerOnce performs one /register round trip.
+func registerOnce(ctx context.Context, client *http.Client, gateway string, body []byte) (RegisterResponse, error) {
+	var rr RegisterResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, gateway+"/register", bytes.NewReader(body))
+	if err != nil {
+		return rr, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return rr, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if err != nil {
+		return rr, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rr, fmt.Errorf("gateway status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	if err := json.Unmarshal(payload, &rr); err != nil {
+		return rr, fmt.Errorf("bad register response: %v", err)
+	}
+	if rr.RenewS < 1 {
+		rr.RenewS = 1
+	}
+	return rr, nil
+}
+
+// renewInterval jitters the gateway's renewal cadence by ±10%,
+// deterministically per (worker, attempt), so co-started workers spread
+// their heartbeats instead of thundering the gateway together.
+func renewInterval(rr RegisterResponse, self string, attempt int) time.Duration {
+	base := time.Duration(rr.RenewS) * time.Second
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(self); i++ {
+		h ^= uint64(self[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt) + 0x9e3779b97f4a7c15
+	h *= 1099511628211
+	span := int64(base / 5) // full jitter range: 20% of base
+	if span <= 0 {
+		return base
+	}
+	return base - base/10 + time.Duration(int64(h%uint64(span)))
+}

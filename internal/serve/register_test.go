@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFrameDigestHeader(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJob(t, ts.URL, smallRender(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	frames := 0
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.Header.Get("Content-Type") != "image/png" {
+			io.Copy(io.Discard, part)
+			continue
+		}
+		payload, err := io.ReadAll(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := part.Header.Get("X-Frame-Digest")
+		if want == "" {
+			t.Fatal("frame part missing X-Frame-Digest")
+		}
+		if got := FrameDigest(payload); got != want {
+			t.Fatalf("frame %d digest %s, header says %s", frames, got, want)
+		}
+		frames++
+	}
+	if frames != 3 {
+		t.Fatalf("read %d frames, want 3", frames)
+	}
+}
+
+func TestFrameDigestStability(t *testing.T) {
+	if got := FrameDigest(nil); got != FrameDigest([]byte{}) {
+		t.Fatal("nil and empty payloads digest differently")
+	}
+	a, b := FrameDigest([]byte("abc")), FrameDigest([]byte("abd"))
+	if a == b {
+		t.Fatal("distinct payloads collided")
+	}
+	if len(a) != 16 {
+		t.Fatalf("digest %q not 16 hex chars", a)
+	}
+}
+
+func TestRunRegistrarRegistersAndRenews(t *testing.T) {
+	var calls atomic.Int64
+	var mu sync.Mutex
+	var lastReq RegisterRequest
+	gw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/register" || r.Method != http.MethodPost {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		var rr RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		lastReq = rr
+		mu.Unlock()
+		calls.Add(1)
+		json.NewEncoder(w).Encode(RegisterResponse{Name: "w1", TTLs: 1, RenewS: 1})
+	}))
+	defer gw.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RunRegistrar(ctx, RegistrarConfig{
+			Gateway: gw.URL,
+			Self:    "http://127.0.0.1:9999",
+			TTL:     2 * time.Second,
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("registrar returned %v", err)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("register called %d times, want initial + at least one renewal", calls.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if lastReq.URL != "http://127.0.0.1:9999" || lastReq.TTLs != 2 {
+		t.Fatalf("register request = %+v", lastReq)
+	}
+}
+
+func TestRunRegistrarRetriesWhileGatewayDown(t *testing.T) {
+	// A gateway that refuses the first two attempts: the registrar must
+	// keep retrying and eventually land the registration.
+	var calls atomic.Int64
+	gw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(RegisterResponse{Name: "w1", TTLs: 1, RenewS: 1})
+	}))
+	defer gw.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunRegistrar(ctx, RegistrarConfig{
+			Gateway: gw.URL, Self: "http://127.0.0.1:9999", Retry: 10 * time.Millisecond,
+		})
+	}()
+	deadline := time.Now().Add(4 * time.Second)
+	for calls.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if calls.Load() < 3 {
+		t.Fatalf("register attempted %d times, want retries past the refusals", calls.Load())
+	}
+}
+
+func TestRunRegistrarValidatesConfig(t *testing.T) {
+	if err := RunRegistrar(context.Background(), RegistrarConfig{Gateway: "http://gw"}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if err := RunRegistrar(context.Background(), RegistrarConfig{Self: "http://self"}); err == nil {
+		t.Fatal("missing Gateway accepted")
+	}
+}

@@ -1,14 +1,35 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"mime/multipart"
 	"net/http"
 	"net/textproto"
 	"strconv"
+	"sync"
 
 	"sccpipe/internal/frame"
 )
+
+// FrameDigest is the checksum each frame part carries in its
+// X-Frame-Digest header: FNV-1a/64 of the PNG payload bytes, hex
+// encoded. It is cheap enough to compute inline on the streaming path
+// and lets relays (the fleet gateway) detect frames corrupted or
+// truncated in transit instead of forwarding damaged bytes downstream.
+func FrameDigest(payload []byte) string {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(payload); i++ {
+		h ^= uint64(payload[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// pngBufPool recycles the scratch buffers frames are encoded into before
+// the part is written (the digest needs the full payload up front).
+var pngBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // frameStream writes a render job's frames as a chunked multipart response
 // (MJPEG-style, but PNG parts): one image/png part per frame, then one
@@ -48,12 +69,23 @@ func (st *frameStream) WriteFrame(f int, img *frame.Image) error {
 		st.w.Header().Set("Content-Type", "multipart/x-mixed-replace; boundary="+st.mw.Boundary())
 		st.w.WriteHeader(http.StatusOK)
 	}
+	// Encode into a pooled buffer first: the digest header must precede
+	// the payload, and a full buffer also means a frame is never torn by
+	// an encode error after the part header went out.
+	buf := pngBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer pngBufPool.Put(buf)
+	if err := img.WritePNG(buf); err != nil {
+		st.err = err
+		return err
+	}
 	part, err := st.mw.CreatePart(textproto.MIMEHeader{
-		"Content-Type":  {"image/png"},
-		"X-Frame-Index": {strconv.Itoa(f)},
+		"Content-Type":   {"image/png"},
+		"X-Frame-Index":  {strconv.Itoa(f)},
+		"X-Frame-Digest": {FrameDigest(buf.Bytes())},
 	})
 	if err == nil {
-		err = img.WritePNG(part)
+		_, err = part.Write(buf.Bytes())
 	}
 	if err != nil {
 		st.err = err

@@ -1,0 +1,66 @@
+package stats
+
+import "sync"
+
+// Window is a fixed-capacity sliding window of float64 observations,
+// safe for concurrent use. Once full, each Add evicts the oldest sample,
+// so quantiles computed over it track recent behavior rather than the
+// whole history. The fleet gateway uses Windows for observed job service
+// times (honest Retry-After estimates) and per-worker frame inter-arrival
+// times (adaptive stream timeouts).
+type Window struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int
+	full    bool
+}
+
+// NewWindow returns a window holding at most capacity samples
+// (capacity < 1 is treated as 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{samples: make([]float64, 0, capacity)}
+}
+
+// Add records one observation, evicting the oldest if the window is full.
+func (w *Window) Add(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		w.samples[w.next] = v
+		w.next = (w.next + 1) % cap(w.samples)
+		return
+	}
+	w.samples = append(w.samples, v)
+	if len(w.samples) == cap(w.samples) {
+		w.full = true
+	}
+}
+
+// Len reports how many samples the window currently holds.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.samples)
+}
+
+// Values returns a copy of the current samples (order unspecified).
+func (w *Window) Values() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]float64(nil), w.samples...)
+}
+
+// Quantile computes the q-quantile over the current samples (type-7, as
+// Quantile). It returns fallback when the window holds fewer than min
+// samples, so callers can keep a conservative default until the estimate
+// is grounded in enough data.
+func (w *Window) Quantile(q float64, min int, fallback float64) float64 {
+	vals := w.Values()
+	if len(vals) < min || len(vals) == 0 {
+		return fallback
+	}
+	return Quantile(vals, q)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3} {
+		w.Add(v)
+	}
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// Two more evict 1 and 2; the window now holds {3, 4, 5}.
+	w.Add(4)
+	w.Add(5)
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len after overflow = %d, want 3", got)
+	}
+	if got := w.Quantile(0, 1, -1); got != 3 {
+		t.Fatalf("min of window = %g, want 3 (oldest samples not evicted)", got)
+	}
+	if got := w.Quantile(1, 1, -1); got != 5 {
+		t.Fatalf("max of window = %g, want 5", got)
+	}
+}
+
+func TestWindowQuantileFallback(t *testing.T) {
+	w := NewWindow(8)
+	if got := w.Quantile(0.5, 1, 42); got != 42 {
+		t.Fatalf("empty window quantile = %g, want fallback 42", got)
+	}
+	w.Add(7)
+	if got := w.Quantile(0.5, 4, 42); got != 42 {
+		t.Fatalf("underfilled window quantile = %g, want fallback 42", got)
+	}
+	if got := w.Quantile(0.5, 1, 42); got != 7 {
+		t.Fatalf("quantile = %g, want 7", got)
+	}
+}
+
+func TestWindowTinyCapacity(t *testing.T) {
+	w := NewWindow(0) // clamped to 1
+	w.Add(1)
+	w.Add(2)
+	if got := w.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if got := w.Quantile(0.5, 1, -1); got != 2 {
+		t.Fatalf("quantile = %g, want the latest sample 2", got)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				w.Add(float64(base*100 + j))
+				_ = w.Quantile(0.9, 8, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := w.Len(); got != 64 {
+		t.Fatalf("Len = %d, want 64", got)
+	}
+}

@@ -63,6 +63,7 @@ import (
 	"sccpipe/internal/fleet"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/host"
+	"sccpipe/internal/netfaults"
 	"sccpipe/internal/pipe"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scc"
@@ -448,7 +449,28 @@ type (
 	// WorkerLoad is the machine-readable load report a render server
 	// publishes on /healthz and the gateway routes by.
 	WorkerLoad = serve.LoadReport
+	// NetFaultPlan is a seeded deterministic network fault plan injected
+	// into gateway→worker traffic (GatewayConfig.NetFaults, sccgated
+	// -chaos): latency, drops, resets, slow-loris trickle, corrupt or
+	// truncated frames, and per-worker partitions.
+	NetFaultPlan = netfaults.Plan
+	// NetFaultRule is one rule of a NetFaultPlan.
+	NetFaultRule = netfaults.Rule
+	// RegistrarConfig tunes RunRegistrar, the worker-side loop that joins
+	// a gateway fleet dynamically and heartbeats its lease.
+	RegistrarConfig = serve.RegistrarConfig
 )
+
+// ParseNetFaultPlan parses the compact network chaos spec used by
+// sccgated -chaos, e.g.
+// "seed=7,lag=0.2:10ms,drop=0.05,loris=0.01:250ms,partition=node2:8344@40".
+func ParseNetFaultPlan(s string) (*NetFaultPlan, error) { return netfaults.ParsePlan(s) }
+
+// RunRegistrar registers a worker with a fleet gateway and heartbeats
+// until ctx ends, keeping its lease alive (sccserved -register).
+func RunRegistrar(ctx context.Context, cfg RegistrarConfig) error {
+	return serve.RunRegistrar(ctx, cfg)
+}
 
 // NewGateway builds a fleet gateway over the given worker base URLs.
 // Call Start (or ServeGateway / Gateway.ListenAndServe, which do it for
