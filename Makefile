@@ -2,11 +2,12 @@ GO ?= go
 
 # The hot-path benchmarks snapshotted into BENCH_pipeline.json: kernel
 # pairs (optimized vs reference), the strip split/assemble round trip, the
-# renderer, the end-to-end pipeline + serve runs, and the fleet control
-# paths (registration heartbeats, chaos-transport overhead).
-BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkRenderStrip|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway|BenchmarkNetfaults)
+# renderer, the end-to-end pipeline + serve runs (cold and cache-hit), the
+# stream codecs (Huffman round trip, temporal delta), and the fleet
+# control paths (registration heartbeats, chaos-transport overhead).
+BENCH ?= ^(BenchmarkFilter|BenchmarkFrameSplitAssemble|BenchmarkRenderFrame|BenchmarkRenderStrip|BenchmarkExecPipelineReal|BenchmarkExecPipelinePlan|BenchmarkPlanCompute|BenchmarkServeConcurrentJobs|BenchmarkGateway|BenchmarkNetfaults|BenchmarkCodecHuffmanRoundTrip|BenchmarkDeltaResidual)
 
-.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke raster-smoke fleet-smoke fleet-chaos fuzz chaos-soak check
+.PHONY: build test vet race test-framedebug bench bench-all bench-compare serve-smoke plan-smoke raster-smoke fleet-smoke fleet-chaos cache-smoke fuzz chaos-soak check
 
 build:
 	$(GO) build ./...
@@ -93,6 +94,15 @@ fleet-smoke:
 fleet-chaos:
 	$(GO) test -tags fleetchaos -run TestFleetChaos -count=1 ./cmd/sccgated
 
+# Render-cache + delta-stream smoke against the built binaries: a gateway
+# over two real workers, the same dwell-walkthrough spec submitted twice
+# (byte-identical frames, sccserve_cache_hits_total > 0 on the affine
+# worker), then the spec streamed delta-encoded — decoded pixels must
+# match the PNG run exactly while spending strictly fewer payload bytes.
+# The driver lives behind the cachesmoke build tag in cmd/sccgated.
+cache-smoke:
+	$(GO) test -tags cachesmoke -run TestCacheSmoke -count=1 -v ./cmd/sccgated
+
 # Chaos soak: a seeded fault-injection barrage against the render service
 # under the race detector — every job must survive injected transients,
 # flaky transfers, and a pipeline death via re-partitioning. The barrage
@@ -112,7 +122,7 @@ chaos-soak:
 # strip assembly). FUZZTIME bounds each target; raise it for deep runs.
 FUZZTIME ?= 10s
 fuzz:
-	@for t in FuzzHuffmanDecode FuzzHuffmanRoundtrip FuzzRLEDecode FuzzDeltaRoundtrip; do \
+	@for t in FuzzHuffmanDecode FuzzHuffmanRoundtrip FuzzRLEDecode FuzzDeltaRoundtrip FuzzDeltaFrameDecode; do \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/codec || exit 1; done
 	@for t in FuzzReadPNG FuzzPNGRoundtrip FuzzSplitAssemble FuzzAssembleMalformed; do \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/frame || exit 1; done
@@ -124,4 +134,4 @@ fuzz:
 # detector (the pipeline backends are heavily concurrent — this includes
 # the short chaos soak and the fuzz seed corpora as regression tests),
 # then the service smoke sequence against the real binary.
-check: vet race test-framedebug serve-smoke fleet-smoke fleet-chaos plan-smoke raster-smoke
+check: vet race test-framedebug serve-smoke fleet-smoke fleet-chaos cache-smoke plan-smoke raster-smoke

@@ -30,6 +30,7 @@ import (
 	"sccpipe/internal/netfaults"
 	"sccpipe/internal/pipe"
 	"sccpipe/internal/plan"
+	"sccpipe/internal/rcache"
 	"sccpipe/internal/rcce"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scc"
@@ -549,7 +550,7 @@ func BenchmarkOctreeCull(b *testing.B) {
 	}
 }
 
-func BenchmarkCodecHuffman(b *testing.B) {
+func BenchmarkCodecHuffmanRoundTrip(b *testing.B) {
 	data := make([]byte, 64*1024)
 	rng := rand.New(rand.NewSource(1))
 	v := byte(0)
@@ -564,6 +565,63 @@ func BenchmarkCodecHuffman(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		enc := codec.HuffmanEncode(data)
 		if _, err := codec.HuffmanDecode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaResidual measures the adaptive temporal delta codec on a
+// pair of rendered frames — the per-frame encode+decode cost a worker and
+// the gateway each pay on the delta stream path. "motion" is two
+// consecutive orbit poses (keyframe-heavy regime); "hold" repeats one
+// pose (pure-residual regime, the dwell camera's common case).
+func BenchmarkDeltaResidual(b *testing.B) {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	cams := render.Walkthrough(16, tree.Bounds())
+	r := render.NewRenderer(tree)
+	const w, h = 320, 240
+	pairs := []struct {
+		name       string
+		prev, next render.Camera
+	}{
+		{"motion", cams[0], cams[1]},
+		{"hold", cams[0], cams[0]},
+	}
+	for _, p := range pairs {
+		b.Run(p.name, func(b *testing.B) {
+			prev, cur := frame.New(w, h), frame.New(w, h)
+			r.RenderFrame(p.prev, prev)
+			r.RenderFrame(p.next, cur)
+			b.SetBytes(int64(len(cur.Pix)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				payload, err := codec.FrameDeltaEncode(prev.Pix, cur.Pix, w, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := codec.FrameDeltaDecode(prev.Pix, payload, w, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecPipelineRealCacheHit is BenchmarkExecPipelineReal with a
+// pre-warmed render cache: every strip render is served from cached
+// pixels, so the gap between the two records what the cache saves on a
+// repeated spec end to end.
+func BenchmarkExecPipelineRealCacheHit(b *testing.B) {
+	tree := render.BuildOctree(scene.City(scene.DefaultConfig()))
+	spec := core.ExecSpec{Frames: 8, Width: 320, Height: 240, Pipelines: 4,
+		Renderer: core.NRenderers, Seed: 1, FrameCache: rcache.New(256 << 20)}
+	cams := render.Walkthrough(spec.Frames, tree.Bounds())
+	if _, err := core.Exec(spec, tree, cams, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Exec(spec, tree, cams, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,233 @@
+//go:build cachesmoke
+
+// The cache smoke test exercises the render cache and the delta stream
+// path end to end against the built binaries: a sccgated gateway over two
+// real sccserved workers, the same job submitted twice (byte-identical
+// frames, cache hits visible on the worker's /metrics), then the same
+// spec streamed delta-encoded — the decoded pixels must match the PNG
+// run exactly while spending strictly fewer payload bytes on the wire.
+// `make cache-smoke` (part of `make check`) runs it behind the
+// cachesmoke build tag.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sccpipe/internal/codec"
+	"sccpipe/internal/frame"
+	"sccpipe/internal/serve"
+)
+
+// startProc launches a binary and scans its stderr for the
+// "listening on ADDR" line, returning the bound address.
+func startProc(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			go io.Copy(io.Discard, stderr)
+			return cmd, addr
+		}
+	}
+	t.Fatalf("%s never reported its address: %v", bin, sc.Err())
+	return nil, ""
+}
+
+// submitJob posts a job spec with the given frame encoding ("" = server
+// default) and returns each frame part's payload and headers by index.
+func submitJob(t *testing.T, url string, spec []byte, encoding string) (map[int][]byte, map[int]map[string]string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/jobs", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if encoding != "" {
+		req.Header.Set(serve.FrameEncodingHeader, encoding)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("job status %d: %s", resp.StatusCode, body)
+	}
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[int][]byte{}
+	headers := map[int]map[string]string{}
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return payloads, headers
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if part.Header.Get("Content-Type") == "application/json" {
+			var sum map[string]any
+			if err := json.NewDecoder(part).Decode(&sum); err != nil {
+				t.Fatalf("summary: %v", err)
+			}
+			if msg, ok := sum["error"]; ok {
+				t.Fatalf("job error: %v", msg)
+			}
+			continue
+		}
+		idx, err := strconv.Atoi(part.Header.Get("X-Frame-Index"))
+		if err != nil {
+			t.Fatalf("frame index: %v", err)
+		}
+		payload, err := io.ReadAll(part)
+		if err != nil {
+			t.Fatalf("frame %d: %v", idx, err)
+		}
+		payloads[idx] = payload
+		h := map[string]string{}
+		for k := range part.Header {
+			h[k] = part.Header.Get(k)
+		}
+		headers[idx] = h
+	}
+}
+
+func scrapeCounters(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out
+}
+
+func TestCacheSmoke(t *testing.T) {
+	dir := t.TempDir()
+	served := filepath.Join(dir, "sccserved")
+	gated := filepath.Join(dir, "sccgated")
+	for pkg, bin := range map[string]string{"sccpipe/cmd/sccserved": served, "sccpipe/cmd/sccgated": gated} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("build %s: %v", pkg, err)
+		}
+	}
+
+	var workerURLs []string
+	for i := 0; i < 2; i++ {
+		_, addr := startProc(t, served, "-addr", "127.0.0.1:0", "-workers", "2", "-quiet")
+		workerURLs = append(workerURLs, "http://"+addr)
+	}
+	_, gwAddr := startProc(t, gated, "-addr", "127.0.0.1:0",
+		"-workers", strings.Join(workerURLs, ","),
+		"-health-interval", "100ms", "-health-timeout", "500ms")
+	gwURL := "http://" + gwAddr
+
+	const frames, w, h = 16, 160, 120
+	spec, _ := json.Marshal(map[string]any{
+		"mode": "render", "camera": "dwell", "frames": frames,
+		"width": w, "height": h, "pipelines": 2, "seed": int64(9),
+	})
+
+	// Same spec twice through the gateway: spec-affinity routing must put
+	// the repeat on the cache-warm worker, and the frames must byte-match.
+	first, _ := submitJob(t, gwURL, spec, "")
+	second, _ := submitJob(t, gwURL, spec, "")
+	if len(first) != frames || len(second) != frames {
+		t.Fatalf("frame counts %d/%d, want %d", len(first), len(second), frames)
+	}
+	var rawBytes int
+	for f := 0; f < frames; f++ {
+		if !bytes.Equal(first[f], second[f]) {
+			t.Fatalf("frame %d differs between the two identical jobs", f)
+		}
+		rawBytes += len(first[f])
+	}
+	var hits float64
+	for _, wu := range workerURLs {
+		hits += scrapeCounters(t, wu)["sccserve_cache_hits_total"]
+	}
+	if hits < 1 {
+		t.Fatalf("sccserve_cache_hits_total = %v after a repeated spec, want > 0", hits)
+	}
+	t.Logf("render cache hits across the fleet: %.0f", hits)
+
+	// The same spec delta-encoded: strictly fewer payload bytes on the
+	// wire, decoding byte-identical to the PNG run's pixels.
+	payloads, headers := submitJob(t, gwURL, spec, serve.FrameEncodingDelta)
+	if len(payloads) != frames {
+		t.Fatalf("delta job relayed %d frames, want %d", len(payloads), frames)
+	}
+	var deltaBytes int
+	prev := make([]byte, w*h*4)
+	for f := 0; f < frames; f++ {
+		hd := headers[f]
+		if ct := hd["Content-Type"]; ct != serve.DeltaContentType {
+			t.Fatalf("frame %d content type %q, want %q", f, ct, serve.DeltaContentType)
+		}
+		raw, err := codec.FrameDeltaDecode(prev, payloads[f], w, h)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if got, want := serve.FrameDigest(raw), hd["X-Frame-Digest"]; want == "" || got != want {
+			t.Fatalf("frame %d decoded digest %s, relayed header says %q", f, got, want)
+		}
+		img, err := frame.ReadPNG(bytes.NewReader(first[f]))
+		if err != nil {
+			t.Fatalf("png frame %d: %v", f, err)
+		}
+		if !bytes.Equal(img.Pix, raw) {
+			t.Fatalf("frame %d: delta decode differs from the PNG run's pixels", f)
+		}
+		prev = raw
+		deltaBytes += len(payloads[f])
+	}
+	if deltaBytes >= rawBytes {
+		t.Fatalf("delta stream not smaller: %d vs %d raw payload bytes", deltaBytes, rawBytes)
+	}
+	fmt.Printf("cache-smoke: raw %d bytes, delta %d bytes (%.1f%% of raw), %d cache hits\n",
+		rawBytes, deltaBytes, 100*float64(deltaBytes)/float64(rawBytes), int(hits))
+}

@@ -87,6 +87,7 @@ func main() {
 		seed           = flag.Int64("seed", 0, "seed for the deterministic failover backoff jitter")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight relays on shutdown")
 		queueDepth     = flag.Int("queue", 16, "admission queue depth while every worker is at capacity (negative disables queueing)")
+		affinitySlack  = flag.Int("affinity-slack", 0, "extra in-flight jobs tolerated on the cache-affine worker before load wins (0 = default 1, negative disables affinity)")
 		leaseTTL       = flag.Duration("lease-ttl", 15*time.Second, "registration lease granted to dynamic workers (negative disables POST /register)")
 		forgetAfter    = flag.Duration("forget-after", 0, "how long a dead dynamic worker stays listed past lease expiry (0 = 10x the lease)")
 		streamMin      = flag.Duration("stream-timeout-min", time.Second, "lower clamp of the adaptive per-worker stream stall timeout")
@@ -136,6 +137,7 @@ func main() {
 		Retry:            pol,
 		DrainTimeout:     *drainTimeout,
 		QueueDepth:       *queueDepth,
+		AffinitySlack:    *affinitySlack,
 		LeaseTTL:         *leaseTTL,
 		ForgetAfter:      *forgetAfter,
 		StreamTimeoutMin: *streamMin,

@@ -75,6 +75,7 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
 		maxFrames    = flag.Int("max-frames", 2000, "per-job frame limit")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "render cache budget in bytes (0 = 256 MiB default, negative disables the cache)")
 		objPath      = flag.String("obj", "", "serve a Wavefront OBJ model instead of the procedural city")
 		mtlPath      = flag.String("mtl", "", "material library for -obj (Kd colors)")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
@@ -173,6 +174,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drainTimeout,
 		Limits:         serve.Limits{MaxFrames: *maxFrames},
+		CacheBytes:     *cacheBytes,
 		Scene:          tris,
 		Log:            jobLog,
 		Breaker:        serve.BreakerConfig{Threshold: *breakerTrip, Cooldown: *breakerCool},

@@ -187,13 +187,6 @@ func buildLengths(freq *[256]int) (lengths [256]uint8, symbols int) {
 	return
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // canonicalCodes assigns canonical code values from lengths.
 func canonicalCodes(lengths *[256]uint8) [256]huffCode {
 	type symLen struct {

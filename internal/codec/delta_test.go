@@ -1,0 +1,225 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// synthFrame builds a flat-shaded RGBA frame: vertical color bands with
+// opaque alpha, the shape of the renderer's output.
+func synthFrame(w, h int, rng *rand.Rand) []byte {
+	out := make([]byte, w*h*4)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			band := x / 16
+			i := (y*w + x) * 4
+			out[i+0] = byte(37 * band)
+			out[i+1] = byte(91 * band)
+			out[i+2] = byte(13 * band)
+			out[i+3] = 0xff
+		}
+	}
+	// A few random changed pixels, like a moving camera edge.
+	for i := 0; i < w*h/50; i++ {
+		p := rng.Intn(w*h) * 4
+		out[p], out[p+1], out[p+2] = byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+	}
+	return out
+}
+
+func TestFrameDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w, h := 80, 60
+	prev := make([]byte, w*h*4) // zero bootstrap frame
+	for f := 0; f < 5; f++ {
+		cur := synthFrame(w, h, rng)
+		payload, err := FrameDeltaEncode(prev, cur, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FrameDeltaDecode(prev, payload, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("frame %d: decode differs from original", f)
+		}
+		prev = cur
+	}
+}
+
+// TestFrameDeltaSchemesRoundTrip forces each of the three payload schemes
+// and checks the decoder inverts all of them exactly.
+func TestFrameDeltaSchemesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w, h := 64, 48
+	n := w * h * 4
+	base := synthFrame(w, h, rng)
+
+	cases := []struct {
+		name   string
+		scheme byte
+		w, h   int
+		prev   func() []byte
+		cur    func() []byte
+	}{
+		// Identical frames: the residual is all zeros; whichever coder wins
+		// (scheme 0 = don't care), the payload must collapse to almost
+		// nothing.
+		{"identical", 0, 8, 8,
+			func() []byte { return make([]byte, 8*8*4) },
+			func() []byte { return make([]byte, 8*8*4) }},
+		// A global brightness drift over structured content: the residual is
+		// dense but smooth, where the PNG residual coder wins.
+		{"drift", deltaSchemePNG, w, h,
+			func() []byte { return append([]byte(nil), base...) },
+			func() []byte {
+				cur := append([]byte(nil), base...)
+				for i := 0; i < n; i += 4 {
+					cur[i] += byte(3 + (i/4/w)%5)
+					cur[i+1] += 2
+				}
+				return cur
+			}},
+		// Noise against noise: the residual carries more entropy than the
+		// frame, so the encoder must fall back to a keyframe.
+		{"noise", deltaSchemeKey, w, h,
+			func() []byte {
+				prev := make([]byte, n)
+				rng.Read(prev)
+				return prev
+			},
+			func() []byte { return append([]byte(nil), base...) }},
+	}
+	for _, tc := range cases {
+		prev, cur := tc.prev(), tc.cur()
+		payload, err := FrameDeltaEncode(prev, cur, tc.w, tc.h)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.scheme != 0 && payload[0] != tc.scheme {
+			t.Errorf("%s: scheme 0x%02x, want 0x%02x", tc.name, payload[0], tc.scheme)
+		}
+		if tc.name == "identical" && len(payload) > 256 {
+			t.Errorf("identical frames cost %d payload bytes", len(payload))
+		}
+		got, err := FrameDeltaDecode(prev, payload, tc.w, tc.h)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("%s: decode differs from original", tc.name)
+		}
+	}
+}
+
+func TestFrameDeltaResidualCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w, h := 160, 120
+	a := synthFrame(w, h, rng)
+	b := append([]byte(nil), a...)
+	// Perturb a small band of pixels, like one walkthrough step.
+	for i := 0; i < w*h/40; i++ {
+		p := rng.Intn(w*h) * 4
+		b[p] ^= 0x55
+	}
+	payload, err := FrameDeltaEncode(a, b, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) >= len(b)/4 {
+		t.Fatalf("sparse residual barely compressed: %d bytes for a %d-byte frame", len(payload), len(b))
+	}
+}
+
+func TestFrameDeltaEncodeRejectsBadInput(t *testing.T) {
+	if _, err := FrameDeltaEncode(make([]byte, 2*1*4), make([]byte, 3*1*4), 3, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FrameDeltaEncode(make([]byte, 6), make([]byte, 6), 1, 1); err == nil {
+		t.Fatal("non-RGBA length accepted")
+	}
+	if _, err := FrameDeltaEncode(make([]byte, 16), make([]byte, 16), -2, -2); err == nil {
+		t.Fatal("negative geometry accepted")
+	}
+}
+
+func TestFrameDeltaDecodeRejectsCorrupt(t *testing.T) {
+	w, h := 16, 16
+	prev := make([]byte, w*h*4)
+	cur := make([]byte, len(prev))
+	for i := range cur {
+		cur[i] = byte(i)
+	}
+	payload, err := FrameDeltaEncode(prev, cur, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations must error, never panic. (A strict prefix of any scheme
+	// body — Huffman stream or PNG — cannot still decode to a full frame.)
+	for cut := 0; cut < len(payload); cut += 37 {
+		if _, err := FrameDeltaDecode(prev, payload[:cut], w, h); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// An unknown scheme byte must be rejected.
+	bad := append([]byte{0x7e}, payload[1:]...)
+	if _, err := FrameDeltaDecode(prev, bad, w, h); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	// A valid payload decoded against the wrong geometry must error.
+	if _, err := FrameDeltaDecode(make([]byte, 8*8*4), payload, 8, 8); err == nil {
+		t.Fatal("wrong frame size accepted")
+	}
+	if _, err := FrameDeltaDecode(prev, payload, w, h+1); err == nil {
+		t.Fatal("geometry disagreeing with prev accepted")
+	}
+}
+
+// FuzzDeltaFrameDecode drives the delta residual decode path with
+// arbitrary payloads across all schemes. The decoder must never panic and
+// never allocate beyond its documented bounds regardless of input;
+// payloads produced by the encoder must roundtrip exactly.
+func FuzzDeltaFrameDecode(f *testing.F) {
+	const w, h = 16, 16
+	prev := make([]byte, w*h*4)
+	cur := make([]byte, len(prev))
+	for i := range cur {
+		cur[i] = byte(i * 7)
+	}
+	if seed, err := FrameDeltaEncode(prev, cur, w, h); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{deltaSchemePNG, 0x89, 'P', 'N', 'G'})
+	f.Add([]byte{deltaSchemeKey})
+	// A Huffman header demanding a huge RLE stream: must be rejected by
+	// the bound checks, not allocated.
+	huge := make([]byte, 4+256+64)
+	huge[0] = deltaSchemeRLEHuff
+	huge[1], huge[2], huge[3], huge[4] = 0x7f, 0xff, 0xff, 0xff
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 1<<16 {
+			return
+		}
+		base := make([]byte, w*h*4)
+		out, err := FrameDeltaDecode(base, payload, w, h)
+		if err != nil {
+			return
+		}
+		if len(out) != len(base) {
+			t.Fatalf("decoded %d bytes for a %d-byte frame", len(out), len(base))
+		}
+		// Whatever decoded must re-encode and decode back identically.
+		re, err := FrameDeltaEncode(base, out, w, h)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := FrameDeltaDecode(base, re, w, h)
+		if err != nil || !bytes.Equal(back, out) {
+			t.Fatalf("re-encode broke roundtrip: %v", err)
+		}
+	})
+}

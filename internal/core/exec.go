@@ -12,6 +12,7 @@ import (
 	"sccpipe/internal/faults"
 	"sccpipe/internal/filters"
 	"sccpipe/internal/frame"
+	"sccpipe/internal/rcache"
 	"sccpipe/internal/render"
 )
 
@@ -83,6 +84,21 @@ type ExecSpec struct {
 	// parallelism. Pixels are identical for every value — tiling only
 	// changes scheduling granularity.
 	TileRows int
+
+	// FrameCache, when non-nil, serves rendered (pre-filter) frames from a
+	// content-addressed cache instead of rasterizing: on a hit the
+	// renderer stage memcpys the cached pixels into the pooled buffer and
+	// the filter chain runs on the copy, byte-identical to a cold render
+	// because the renderer is deterministic in the keyed inputs. Racing
+	// identical jobs single-flight through the cache (one renders, the
+	// rest copy). Only the unsupervised fast path consults the cache; the
+	// supervised path (Faults/Recovery) re-renders everything so recovery
+	// semantics stay self-contained.
+	FrameCache *rcache.Cache
+	// SceneKey identifies the scene geometry inside FrameCache keys (see
+	// rcache.SceneKey). Callers sharing one cache across scenes must set
+	// it; with a single fixed scene zero is fine.
+	SceneKey uint64
 }
 
 // ExecObserver carries optional progress callbacks for a real run. Either
@@ -459,10 +475,21 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 				y0, y1 := frame.StripBounds(spec.Height, k, i)
 				for f := 0; f < spec.Frames; f++ {
 					img := pool.Get(spec.Width, y1-y0)
-					_ = spec.Observer.stageBusy(StageRender, i, func() error {
-						spec.Observer.renderStats(i, r.RenderStrip(cams[f], img, spec.Width, spec.Height, y0))
-						return nil
+					err := spec.Observer.stageBusy(StageRender, i, func() error {
+						render := func(dst *frame.Image) error {
+							spec.Observer.renderStats(i, r.RenderStrip(cams[f], dst, spec.Width, spec.Height, y0))
+							return nil
+						}
+						if spec.FrameCache == nil {
+							return render(img)
+						}
+						key := rcache.FrameKey(spec.SceneKey, cams[f], spec.Width, spec.Height, f, y0, y1-y0)
+						_, err := spec.FrameCache.Do(key, img, render)
+						return err
 					})
+					if err != nil {
+						return err
+					}
 					m := execMsg{frame: f, strip: &frame.Strip{Index: i, Y0: y0, Img: img}}
 					if err := send(heads[i], m); err != nil {
 						return err
@@ -479,10 +506,21 @@ func ExecContext(ctx context.Context, spec ExecSpec, tree *render.Octree, cams [
 			r.TileRows = spec.TileRows
 			for f := 0; f < spec.Frames; f++ {
 				img := pool.Get(spec.Width, spec.Height)
-				_ = spec.Observer.stageBusy(StageRender, -1, func() error {
-					spec.Observer.renderStats(-1, r.RenderFrame(cams[f], img))
-					return nil
+				err := spec.Observer.stageBusy(StageRender, -1, func() error {
+					render := func(dst *frame.Image) error {
+						spec.Observer.renderStats(-1, r.RenderFrame(cams[f], dst))
+						return nil
+					}
+					if spec.FrameCache == nil {
+						return render(img)
+					}
+					key := rcache.FrameKey(spec.SceneKey, cams[f], spec.Width, spec.Height, f, 0, spec.Height)
+					_, err := spec.FrameCache.Do(key, img, render)
+					return err
 				})
+				if err != nil {
+					return err
+				}
 				// Zero-copy hand-off: the strips are row-range views of
 				// img, mutated in place by the filter chains. The views are
 				// disjoint byte ranges, so the k pipelines never touch the

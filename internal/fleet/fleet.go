@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sccpipe/internal/codec"
 	"sccpipe/internal/faults"
 	"sccpipe/internal/host"
 	"sccpipe/internal/netfaults"
@@ -108,6 +109,14 @@ type Config struct {
 	StreamTimeoutMin time.Duration
 	StreamTimeoutMax time.Duration
 
+	// AffinitySlack tunes spec-affinity routing: the rendezvous winner for
+	// a job's affinity key (the worker whose render cache is warm for that
+	// content) is preferred as long as it carries at most this many more
+	// jobs than the least-loaded healthy worker. 0 takes the default of 1;
+	// negative disables the preference (pure least-loaded routing with
+	// rendezvous tie-break, the pre-affinity behavior).
+	AffinitySlack int
+
 	// NetFaults, when set, injects this seeded deterministic network
 	// fault plan into all gateway→worker traffic (the sccgated -chaos
 	// flag). Probabilistic rules touch only forwarded jobs; partitions
@@ -140,6 +149,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 16
+	}
+	if c.AffinitySlack == 0 {
+		c.AffinitySlack = 1
 	}
 	if c.StreamTimeoutMin <= 0 {
 		c.StreamTimeoutMin = time.Second
@@ -331,14 +343,39 @@ func (g *Gateway) reject(w http.ResponseWriter, status int, reason, msg string) 
 	http.Error(w, msg, status)
 }
 
-// routeKey canonicalizes the content-determining fields of a normalized
-// job spec into the rendezvous key: two submissions that would produce
-// identical output hash identically, so on an idle fleet they land on
-// the same worker and reuse its warm caches.
-func routeKey(spec serve.JobSpec) uint64 {
-	return fnv64a(fmt.Sprintf("%s|%d|%dx%d|%d|%s|%s|%d|%t",
+// affinityKey canonicalizes the fields of a normalized job spec that
+// determine its RENDERED content — the frames a worker's content-addressed
+// render cache would hold for it — into the rendezvous key. Seed and the
+// scratch options are deliberately excluded: they only drive the
+// post-render filter stages, so seed-varied repeats of a walkthrough still
+// share every cached pre-filter frame and belong on the same cache-warm
+// worker. The camera path, geometry, frame count, and strip decomposition
+// (pipelines × renderer scenario) all change which frames get rendered,
+// so they are all part of the key.
+func affinityKey(spec serve.JobSpec) uint64 {
+	return fnv64a(fmt.Sprintf("%s|%d|%dx%d|%d|%s|%s|%s",
 		spec.Mode, spec.Frames, spec.Width, spec.Height, spec.Pipelines,
-		spec.Renderer, spec.Arrangement, spec.Seed, spec.OrientedScratches))
+		spec.Renderer, spec.Arrangement, spec.Camera))
+}
+
+// pick routes one job placement decision through the registry and records
+// the affinity verdict in the gate metrics.
+func (g *Gateway) pick(key uint64, excluded map[string]bool) *node {
+	n, verdict := g.reg.pick(key, excluded, int64(g.cfg.AffinitySlack))
+	switch verdict {
+	case pickAffine:
+		g.m.Inc(mAffinityRouted)
+	case pickOverridden:
+		g.m.Inc(mAffinityOverridden)
+	}
+	return n
+}
+
+// hasEligible reports whether any node is currently routable for the key
+// (an eligibility probe only — no routing metrics recorded).
+func (g *Gateway) hasEligible(key uint64, excluded map[string]bool) bool {
+	n, _ := g.reg.pick(key, excluded, int64(g.cfg.AffinitySlack))
+	return n != nil
 }
 
 func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -367,6 +404,17 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	spec.Normalize()
+	// Stream-encoding negotiation is validated here (the gateway must be
+	// able to decode every part it verifies) and forwarded to workers.
+	encoding := r.Header.Get(serve.FrameEncodingHeader)
+	switch encoding {
+	case "", serve.FrameEncodingRaw, serve.FrameEncodingDelta:
+	default:
+		g.reject(w, http.StatusBadRequest, "invalid",
+			fmt.Sprintf("unknown %s %q (want %s or %s)", serve.FrameEncodingHeader,
+				encoding, serve.FrameEncodingRaw, serve.FrameEncodingDelta))
+		return
+	}
 	g.inflight.Add(1)
 	defer g.inflight.Done()
 	g.m.Inc(mAccepted)
@@ -382,10 +430,10 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		deadline = time.Now().Add(time.Duration(spec.TimeoutMS) * time.Millisecond)
 	}
 	if spec.Mode == serve.ModeSimulate {
-		g.relayBuffered(r.Context(), w, body, routeKey(spec), deadline)
+		g.relayBuffered(r.Context(), w, body, affinityKey(spec), deadline)
 		return
 	}
-	g.relayRender(r.Context(), w, body, routeKey(spec), deadline)
+	g.relayRender(r.Context(), w, body, spec, encoding, deadline)
 }
 
 // relay outcomes: how one forwarding attempt ended.
@@ -421,12 +469,16 @@ func merged(a, b map[string]bool) map[string]bool {
 // relayRender forwards a render job with mid-job failover. Frames
 // already relayed are skipped on retry (the worker replays the job from
 // frame zero; payloads are deterministic), so the client's stream is
-// seamless across worker deaths. When the whole fleet is busy the job
-// waits in the gateway's bounded admission queue instead of bouncing;
-// when every healthy worker has already failed this job once, the
-// exclusion set wraps around (a transient network fault is no reason to
-// give up while the retry budget lasts).
-func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body []byte, key uint64, deadline time.Time) {
+// seamless across worker deaths — including delta-encoded streams: a
+// failover replacement's replayed delta chain reproduces the exact
+// payload bytes of the dead worker's, so the client's decode chain never
+// notices the splice. When the whole fleet is busy the job waits in the
+// gateway's bounded admission queue instead of bouncing; when every
+// healthy worker has already failed this job once, the exclusion set
+// wraps around (a transient network fault is no reason to give up while
+// the retry budget lasts).
+func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body []byte, spec serve.JobSpec, encoding string, deadline time.Time) {
+	key := affinityKey(spec)
 	st := newRelayStream(w)
 	failed := make(map[string]bool) // workers that faulted during this job
 	busy := make(map[string]bool)   // workers that answered 429/503 this cycle
@@ -441,9 +493,9 @@ func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body [
 	}
 	defer leaveQueue("")
 	for {
-		n := g.reg.pick(key, merged(failed, busy))
+		n := g.pick(key, merged(failed, busy))
 		if n == nil {
-			if len(failed) > 0 && retries <= g.retry.MaxRetries && g.reg.pick(key, busy) != nil {
+			if len(failed) > 0 && retries <= g.retry.MaxRetries && g.hasEligible(key, busy) {
 				// Every healthy non-busy worker already failed this job once;
 				// wrap around and re-attempt them rather than failing the job.
 				failed = make(map[string]bool)
@@ -487,7 +539,7 @@ func (g *Gateway) relayRender(ctx context.Context, w http.ResponseWriter, body [
 		n.live.Add(1)
 		n.jobs.Add(1)
 		g.m.Inc(workerJobsKey(n.name))
-		res := g.streamFrom(ctx, n, body, st, &lastSent, retries)
+		res := g.streamFrom(ctx, n, body, spec, encoding, st, &lastSent, retries)
 		n.live.Add(-1)
 		g.capacityChanged()
 		switch res.kind {
@@ -572,7 +624,14 @@ func (g *Gateway) streamTimeout(n *node) time.Duration {
 // timeout, so a slow-loris worker is dropped as decisively as a dead
 // one. failovers is the number of prior attempts, folded into the
 // summary for observability.
-func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *relayStream, lastSent *int, failovers int) relayResult {
+//
+// Delta streams add one invariant: each part's digest covers the DECODED
+// raw pixels, so the gateway keeps its own decode chain for the attempt
+// and must decode EVERY delta part — including replayed ones the dedup
+// logic discards — both to advance the chain and to verify that the bytes
+// it relays reconstruct the right frame downstream. Payload bytes are
+// still relayed verbatim; the decode is verification, not re-encoding.
+func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, spec serve.JobSpec, encoding string, st *relayStream, lastSent *int, failovers int) relayResult {
 	attemptCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var stalled atomic.Bool
@@ -618,6 +677,9 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 		return relayResult{kind: relayWorkerErr, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if encoding != "" {
+		req.Header.Set(serve.FrameEncodingHeader, encoding)
+	}
 	resp, err := g.jobs.Do(req)
 	if err != nil {
 		return fail(err)
@@ -652,6 +714,7 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 	progress()
 	mr := multipart.NewReader(resp.Body, params["boundary"])
 	attemptPrev := -1 // the worker must stream indices dense from zero
+	var chain []byte  // this attempt's decoded delta chain state
 	lastFrameAt := time.Now()
 	for {
 		part, err := mr.NextPart()
@@ -660,8 +723,8 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 			// means the worker died mid-job.
 			return fail(fmt.Errorf("worker %s stream truncated: %v", n.name, err))
 		}
-		switch part.Header.Get("Content-Type") {
-		case "image/png":
+		switch ct := part.Header.Get("Content-Type"); ct {
+		case "image/png", serve.DeltaContentType:
 			idx, aerr := strconv.Atoi(part.Header.Get("X-Frame-Index"))
 			if aerr != nil {
 				return fail(fmt.Errorf("worker %s sent a frame without an index: %v", n.name, aerr))
@@ -669,7 +732,8 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 			if idx != attemptPrev+1 {
 				// Backwards or skipped indices mean the worker's stream is
 				// corrupt; failing over is the only safe answer (the dedup
-				// bookkeeping below relies on dense replay).
+				// bookkeeping below relies on dense replay, and a delta
+				// chain with a hole cannot be decoded at all).
 				return fail(fmt.Errorf("worker %s sent frame index %d after %d (want %d)",
 					n.name, idx, attemptPrev, attemptPrev+1))
 			}
@@ -678,7 +742,30 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 			if rerr != nil {
 				return fail(fmt.Errorf("worker %s frame %d truncated: %v", n.name, idx, rerr))
 			}
-			if want := part.Header.Get("X-Frame-Digest"); want != "" {
+			if ct == serve.DeltaContentType {
+				// The geometry headers must agree with the spec the gateway
+				// admitted — they bound the decode allocation.
+				pw, _ := strconv.Atoi(part.Header.Get(serve.FrameWidthHeader))
+				ph, _ := strconv.Atoi(part.Header.Get(serve.FrameHeightHeader))
+				if pw != spec.Width || ph != spec.Height {
+					return fail(fmt.Errorf("worker %s frame %d geometry %dx%d disagrees with the spec's %dx%d",
+						n.name, idx, pw, ph, spec.Width, spec.Height))
+				}
+				if chain == nil {
+					chain = make([]byte, spec.Width*spec.Height*4)
+				}
+				raw, derr := codec.FrameDeltaDecode(chain, payload, pw, ph)
+				if derr != nil {
+					return fail(fmt.Errorf("worker %s frame %d delta undecodable: %v", n.name, idx, derr))
+				}
+				if want := part.Header.Get("X-Frame-Digest"); want != "" {
+					if got := serve.FrameDigest(raw); got != want {
+						return fail(fmt.Errorf("worker %s frame %d corrupt: decoded digest %s, header says %s",
+							n.name, idx, got, want))
+					}
+				}
+				chain = raw
+			} else if want := part.Header.Get("X-Frame-Digest"); want != "" {
 				if got := serve.FrameDigest(payload); got != want {
 					return fail(fmt.Errorf("worker %s frame %d corrupt: digest %s, header says %s",
 						n.name, idx, got, want))
@@ -689,11 +776,12 @@ func (g *Gateway) streamFrom(ctx context.Context, n *node, body []byte, st *rela
 			n.arrivals.Add(now.Sub(lastFrameAt).Seconds())
 			lastFrameAt = now
 			if idx <= *lastSent {
-				// Replayed during failover; the client already has it.
+				// Replayed during failover; the client already has it (and
+				// for delta parts the chain above has already absorbed it).
 				g.m.Inc(mFramesDiscarded)
 				continue
 			}
-			if werr := st.WritePNG(idx, payload); werr != nil {
+			if werr := st.WriteFrame(idx, ct, part.Header, payload); werr != nil {
 				return relayResult{kind: relayClientGone, err: werr}
 			}
 			*lastSent = idx
@@ -744,9 +832,9 @@ func (g *Gateway) relayBuffered(ctx context.Context, w http.ResponseWriter, body
 	}
 	defer leaveQueue("")
 	for {
-		n := g.reg.pick(key, merged(failed, busy))
+		n := g.pick(key, merged(failed, busy))
 		if n == nil {
-			if len(failed) > 0 && retries <= g.retry.MaxRetries && g.reg.pick(key, busy) != nil {
+			if len(failed) > 0 && retries <= g.retry.MaxRetries && g.hasEligible(key, busy) {
 				failed = make(map[string]bool)
 				continue
 			}

@@ -16,7 +16,9 @@ import (
 	"testing"
 	"time"
 
+	"sccpipe/internal/codec"
 	"sccpipe/internal/faults"
+	"sccpipe/internal/frame"
 	"sccpipe/internal/scene"
 	"sccpipe/internal/serve"
 )
@@ -42,7 +44,9 @@ func (k *killable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	k.h.ServeHTTP(w, r)
 }
 
-var pngMarker = []byte("Content-Type: image/png")
+// frameMarker appears exactly once in every frame part's headers — PNG
+// and delta parts alike — so counting it counts frames on the wire.
+var frameMarker = []byte("X-Frame-Index:")
 
 type killWriter struct {
 	http.ResponseWriter
@@ -51,7 +55,7 @@ type killWriter struct {
 }
 
 func (w *killWriter) Write(p []byte) (int, error) {
-	w.frames += int64(bytes.Count(p, pngMarker))
+	w.frames += int64(bytes.Count(p, frameMarker))
 	if w.k.dead.Load() || w.frames > w.k.killAfterFrames.Load() {
 		// Once the kill fires the whole worker is down: health checks and
 		// retries against it must fail too.
@@ -95,7 +99,7 @@ type gateWriter struct {
 }
 
 func (w *gateWriter) Write(p []byte) (int, error) {
-	if bytes.Contains(p, pngMarker) {
+	if bytes.Contains(p, frameMarker) {
 		w.g.once.Do(func() { close(w.g.started) })
 		<-w.g.release
 	}
@@ -219,6 +223,84 @@ func readStream(t *testing.T, resp *http.Response) (map[int][]byte, map[string]a
 	return frames, summary
 }
 
+// postJobDelta submits a job with delta frame encoding negotiated.
+func postJobDelta(t *testing.T, url string, spec map[string]any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.FrameEncodingHeader, serve.FrameEncodingDelta)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readDeltaStream consumes a delta-encoded multipart job response:
+// payloads and part headers by frame index, plus the JSON summary.
+func readDeltaStream(t *testing.T, resp *http.Response) (map[int][]byte, map[int]map[string]string, map[string]any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("job status %d: %s", resp.StatusCode, body)
+	}
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		t.Fatalf("bad content type %q: %v", resp.Header.Get("Content-Type"), err)
+	}
+	payloads := make(map[int][]byte)
+	headers := make(map[int]map[string]string)
+	var summary map[string]any
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if part.Header.Get("Content-Type") == "application/json" {
+			if err := json.NewDecoder(part).Decode(&summary); err != nil {
+				t.Fatalf("summary: %v", err)
+			}
+			continue
+		}
+		idx, err := strconv.Atoi(part.Header.Get("X-Frame-Index"))
+		if err != nil {
+			t.Fatalf("frame index: %v", err)
+		}
+		payload, err := io.ReadAll(part)
+		if err != nil {
+			t.Fatalf("frame %d: %v", idx, err)
+		}
+		if _, dup := payloads[idx]; dup {
+			t.Fatalf("frame %d delivered twice", idx)
+		}
+		payloads[idx] = payload
+		h := map[string]string{}
+		for k := range part.Header {
+			h[k] = part.Header.Get(k)
+		}
+		headers[idx] = h
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary part")
+	}
+	if errMsg, ok := summary["error"]; ok {
+		t.Fatalf("job error: %v", errMsg)
+	}
+	return payloads, headers, summary
+}
+
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
@@ -276,72 +358,91 @@ func TestRegistryValidation(t *testing.T) {
 	}
 }
 
-func TestPickLeastLoadedWithRendezvousTieBreak(t *testing.T) {
+func TestPickAffinityWithLoadSlack(t *testing.T) {
 	reg, err := newRegistry([]string{"a:1", "b:1", "c:1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := routeKey(serve.JobSpec{Mode: serve.ModeRender, Frames: 8, Width: 320, Height: 240, Pipelines: 4})
+	key := affinityKey(serve.JobSpec{Mode: serve.ModeRender, Frames: 8, Width: 320, Height: 240, Pipelines: 4})
 
 	// Idle fleet: the pick is the rendezvous winner and is stable.
-	first := reg.pick(key, nil)
+	first, _ := reg.pick(key, nil, 1)
 	for i := 0; i < 10; i++ {
-		if got := reg.pick(key, nil); got != first {
+		if got, _ := reg.pick(key, nil, 1); got != first {
 			t.Fatalf("idle pick not stable: %s then %s", first.name, got.name)
 		}
 	}
 	// A different key must be able to pick differently (8 distinct keys
 	// all landing on one of three nodes is a ~0.04% event).
 	seen := map[string]bool{first.name: true}
-	for seed := int64(1); seed <= 8; seed++ {
-		k := routeKey(serve.JobSpec{Mode: serve.ModeRender, Frames: 8, Width: 320, Height: 240, Pipelines: 4, Seed: seed})
-		seen[reg.pick(k, nil).name] = true
+	for f := 1; f <= 8; f++ {
+		k := affinityKey(serve.JobSpec{Mode: serve.ModeRender, Frames: 8 + f, Width: 320, Height: 240, Pipelines: 4})
+		n, _ := reg.pick(k, nil, 1)
+		seen[n.name] = true
 	}
 	if len(seen) < 2 {
 		t.Fatalf("rendezvous hashing routed 9 distinct keys to a single node")
 	}
 
-	// Load beats rendezvous: loading the winner moves the pick.
+	// One in-flight job is within the default slack: affinity holds, so
+	// a repeat of the same spec still lands on the cache-warm worker.
 	first.live.Add(1)
-	second := reg.pick(key, nil)
-	if second == first {
-		t.Fatalf("pick ignored load on %s", first.name)
+	if got, v := reg.pick(key, nil, 1); got != first || v != pickAffine {
+		t.Fatalf("slack 1 did not hold affinity: got %s (verdict %d)", got.name, v)
+	}
+	// Negative slack disables affinity: pure least-loaded takes over.
+	if got, _ := reg.pick(key, nil, -1); got == first {
+		t.Fatalf("disabled affinity still picked the loaded winner %s", first.name)
+	}
+	// Beyond the slack, load wins and the override is reported.
+	first.live.Add(2)
+	second, v := reg.pick(key, nil, 1)
+	if second == first || v != pickOverridden {
+		t.Fatalf("pick ignored load on %s (got %s, verdict %d)", first.name, second.name, v)
 	}
 	// Reported queue depth counts as load too.
 	second.mu.Lock()
-	second.rep.Queue = 3
+	second.rep.Queue = 5
 	second.mu.Unlock()
-	third := reg.pick(key, nil)
+	third, _ := reg.pick(key, nil, 1)
 	if third == first || third == second {
 		t.Fatalf("pick ignored reported queue: got %s", third.name)
 	}
-	first.live.Add(-1)
+	first.live.Add(-3)
 
 	// Draining, dead, and excluded nodes are skipped.
 	first.mu.Lock()
 	first.state = StateDraining
 	first.mu.Unlock()
-	if got := reg.pick(key, nil); got == first {
+	if got, _ := reg.pick(key, nil, 1); got == first {
 		t.Fatal("picked a draining node")
 	}
-	if got := reg.pick(key, map[string]bool{"a:1": true, "b:1": true, "c:1": true}); got != nil {
+	if got, _ := reg.pick(key, map[string]bool{"a:1": true, "b:1": true, "c:1": true}, 1); got != nil {
 		t.Fatalf("pick with every node excluded returned %s", got.name)
 	}
 }
 
-func TestRouteKeyCanonical(t *testing.T) {
+func TestAffinityKeyCanonical(t *testing.T) {
 	var empty serve.JobSpec
 	empty.Normalize()
 	explicit := serve.JobSpec{Mode: "render", Frames: 8, Width: 320, Height: 240,
-		Pipelines: 4, Renderer: "one", Arrangement: "unordered"}
+		Pipelines: 4, Renderer: "one", Arrangement: "unordered", Camera: serve.CameraOrbit}
 	explicit.Normalize()
-	if routeKey(empty) != routeKey(explicit) {
-		t.Fatal("defaulted and explicit-default specs produce different route keys")
+	if affinityKey(empty) != affinityKey(explicit) {
+		t.Fatal("defaulted and explicit-default specs produce different affinity keys")
 	}
+	// The seed only drives post-render filters, never the cached render,
+	// so seed-varied repeats of one scene share a key by design.
 	other := explicit
 	other.Seed = 1
-	if routeKey(other) == routeKey(explicit) {
-		t.Fatal("distinct seeds share a route key")
+	if affinityKey(other) != affinityKey(explicit) {
+		t.Fatal("seed leaked into the affinity key")
+	}
+	// The camera path changes every rendered frame, so it must not.
+	dwell := explicit
+	dwell.Camera = serve.CameraDwell
+	if affinityKey(dwell) == affinityKey(explicit) {
+		t.Fatal("distinct camera paths share an affinity key")
 	}
 }
 
@@ -367,7 +468,7 @@ func TestFailoverGolden(t *testing.T) {
 	spec := map[string]any{"mode": "render", "frames": 10, "width": 128, "height": 96, "pipelines": 2, "seed": int64(7)}
 	jspec := serve.JobSpec{Mode: "render", Frames: 10, Width: 128, Height: 96, Pipelines: 2, Seed: 7}
 	jspec.Normalize()
-	victim := g.reg.pick(routeKey(jspec), nil)
+	victim, _ := g.reg.pick(affinityKey(jspec), nil, int64(g.cfg.AffinitySlack))
 	if victim == nil {
 		t.Fatal("no pick on an idle fleet")
 	}
@@ -427,6 +528,91 @@ func TestFailoverGolden(t *testing.T) {
 	})
 }
 
+// TestDeltaFailoverGolden: a delta-encoded stream survives its worker
+// dying mid-chain. Rendering is deterministic, so the replacement
+// worker's replayed chain reproduces the dead worker's payload bytes
+// exactly; the gateway decodes every part — including the replays its
+// dedup discards — to keep its verification chain aligned, and the
+// client's decode of the spliced stream is byte-identical to a
+// single-node raw run.
+func TestDeltaFailoverGolden(t *testing.T) {
+	kills := make(map[string]*killable)
+	var urls []string
+	for i := 0; i < 3; i++ {
+		var k *killable
+		_, ts := newWorker(t, func(h http.Handler) http.Handler {
+			k = &killable{h: h}
+			return k
+		})
+		name := strings.TrimPrefix(ts.URL, "http://")
+		kills[name] = k
+		urls = append(urls, ts.URL)
+	}
+	g, gts := newTestGateway(t, urls, nil)
+
+	const frames, w, h = 10, 64, 48
+	spec := map[string]any{"mode": "render", "camera": "dwell", "frames": frames,
+		"width": w, "height": h, "pipelines": 2, "seed": int64(7)}
+	jspec := serve.JobSpec{Mode: "render", Camera: serve.CameraDwell, Frames: frames,
+		Width: w, Height: h, Pipelines: 2, Seed: 7}
+	jspec.Normalize()
+	victim, _ := g.reg.pick(affinityKey(jspec), nil, int64(g.cfg.AffinitySlack))
+	if victim == nil {
+		t.Fatal("no pick on an idle fleet")
+	}
+	kills[victim.name].killAfterFrames.Store(4)
+
+	payloads, headers, summary := readDeltaStream(t, postJobDelta(t, gts.URL, spec))
+	if len(payloads) != frames {
+		t.Fatalf("relayed %d frames, want %d", len(payloads), frames)
+	}
+	if summary["worker"] == victim.name {
+		t.Fatalf("summary credits the killed worker %s", victim.name)
+	}
+	if fo, _ := summary["failovers"].(float64); fo < 1 {
+		t.Fatalf("summary failovers = %v, want >= 1", summary["failovers"])
+	}
+
+	// Decode the client-side chain; the relayed digest headers must match
+	// the decoded pixels even across the failover splice.
+	decoded := make([][]byte, frames)
+	prev := make([]byte, w*h*4)
+	for f := 0; f < frames; f++ {
+		hd := headers[f]
+		if ct := hd["Content-Type"]; ct != serve.DeltaContentType {
+			t.Fatalf("frame %d content type %q, want %q", f, ct, serve.DeltaContentType)
+		}
+		raw, err := codec.FrameDeltaDecode(prev, payloads[f], w, h)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if got, want := serve.FrameDigest(raw), hd["X-Frame-Digest"]; want == "" || got != want {
+			t.Fatalf("frame %d decoded digest %s, relayed header says %q", f, got, want)
+		}
+		decoded[f] = raw
+		prev = raw
+	}
+
+	// Golden: pixels identical to a single-node raw run of the same spec.
+	_, single := newWorker(t, nil)
+	golden, _ := readStream(t, postJob(t, single.URL, spec))
+	if len(golden) != frames {
+		t.Fatalf("single node served %d frames, want %d", len(golden), frames)
+	}
+	for f := 0; f < frames; f++ {
+		img, err := frame.ReadPNG(bytes.NewReader(golden[f]))
+		if err != nil {
+			t.Fatalf("golden frame %d: %v", f, err)
+		}
+		if !bytes.Equal(img.Pix, decoded[f]) {
+			t.Fatalf("frame %d: decoded delta differs from single-node raw pixels", f)
+		}
+	}
+	if v := g.Metric(mFramesDiscarded); v < 1 {
+		t.Fatalf("failover replay discarded %v frames, want >= 1", v)
+	}
+}
+
 // TestDrainingWorker: a worker that begins draining stops receiving new
 // jobs once the health check flips, but its in-flight job streams to
 // completion through the gateway.
@@ -454,7 +640,7 @@ func TestDrainingWorker(t *testing.T) {
 	spec := map[string]any{"mode": "render", "frames": 4, "width": 64, "height": 48, "pipelines": 2, "seed": int64(3)}
 	jspec := serve.JobSpec{Mode: "render", Frames: 4, Width: 64, Height: 48, Pipelines: 2, Seed: 3}
 	jspec.Normalize()
-	picked := g.reg.pick(routeKey(jspec), nil)
+	picked, _ := g.reg.pick(affinityKey(jspec), nil, int64(g.cfg.AffinitySlack))
 	var held *worker
 	for _, w := range workers {
 		if w.name == picked.name {

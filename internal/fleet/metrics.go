@@ -37,6 +37,11 @@ const (
 	mLeaseExpired    = "sccgate_worker_leases_expired_total"
 	mForgotten       = "sccgate_workers_forgotten_total"
 	mStreamStalls    = "sccgate_stream_stalls_total"
+
+	// Spec-affinity routing: how often the rendezvous-preferred (cache
+	// warm) worker actually won, versus being overridden by load.
+	mAffinityRouted     = "sccgate_affinity_routed_total"
+	mAffinityOverridden = "sccgate_affinity_overridden_total"
 )
 
 func workerJobsKey(worker string) string { return stats.InjectLabel(mWorkerJobs, "worker", worker) }
@@ -71,6 +76,8 @@ var gateFamilies = []struct {
 	{mLeaseExpired, "counter", "Dynamic workers evicted because their lease lapsed."},
 	{mForgotten, "counter", "Dead dynamic workers removed from the registry entirely."},
 	{mStreamStalls, "counter", "Stream attempts cancelled by the adaptive stall watchdog, by worker."},
+	{mAffinityRouted, "counter", "Jobs routed to the rendezvous-preferred worker for cache affinity."},
+	{mAffinityOverridden, "counter", "Jobs steered away from the affine worker because its load exceeded the slack."},
 }
 
 // NodeStatus is one row of the /nodes table.

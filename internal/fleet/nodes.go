@@ -307,15 +307,36 @@ func (r *registry) remove(name string) *node {
 	return n
 }
 
-// pick selects the routing target for a job key: the least-loaded healthy
-// node, with ties broken by rendezvous hashing on (key, node) so that on
-// an idle fleet identical job specs always land on the same worker and
-// stay cache-warm there. Draining, dead, and excluded nodes are skipped;
-// nil means no node is currently eligible.
-func (r *registry) pick(key uint64, excluded map[string]bool) *node {
-	var best *node
-	var bestLoad int64
-	var bestRank uint64
+// pickVerdict records how pick chose its node, for the routing metrics.
+type pickVerdict int
+
+const (
+	// pickPlain: the least-loaded node happened to also be the rendezvous
+	// winner (or affinity is disabled) — no preference was exercised.
+	pickPlain pickVerdict = iota
+	// pickAffine: the rendezvous winner was preferred over a strictly
+	// less-loaded node because its extra load fit within the slack.
+	pickAffine
+	// pickOverridden: the rendezvous winner was too loaded and the job
+	// went to the least-loaded node instead (a deliberate cold render:
+	// latency beat cache warmth).
+	pickOverridden
+)
+
+// pick selects the routing target for a job's affinity key. The rendezvous
+// winner on (key, node) is the node whose render cache is warm for this
+// content — identical and seed-varied repeats of a spec all rank it first
+// — so it is preferred as long as its load is within slack jobs of the
+// least-loaded eligible node. Beyond the slack, load wins: a cache hit is
+// not worth queueing behind a busy worker, and the spill keeps the fleet
+// balanced under skewed (hot-spec) traffic. slack < 0 disables the
+// preference entirely (pure least-loaded with rendezvous tie-break).
+// Draining, dead, and excluded nodes are skipped; nil means no node is
+// currently eligible.
+func (r *registry) pick(key uint64, excluded map[string]bool, slack int64) (*node, pickVerdict) {
+	var best, top *node     // least-loaded vs rendezvous winner
+	var bestLoad, topLoad int64
+	var bestRank, topRank uint64
 	for _, n := range r.snapshot() {
 		if excluded[n.name] {
 			continue
@@ -331,8 +352,17 @@ func (r *registry) pick(key uint64, excluded map[string]bool) *node {
 		if best == nil || load < bestLoad || (load == bestLoad && rank > bestRank) {
 			best, bestLoad, bestRank = n, load, rank
 		}
+		if top == nil || rank > topRank {
+			top, topLoad, topRank = n, load, rank
+		}
 	}
-	return best
+	if best == nil || top == nil || top == best {
+		return best, pickPlain
+	}
+	if slack >= 0 && topLoad <= bestLoad+slack {
+		return top, pickAffine
+	}
+	return best, pickOverridden
 }
 
 // countStates tallies nodes per state for /healthz and the state gauge.

@@ -9,13 +9,14 @@ import (
 )
 
 // relayStream writes the gateway's response to a render job: a multipart
-// stream with the same part shape the workers produce (one image/png part
-// per frame carrying X-Frame-Index, then one application/json summary
-// part), re-framed under the gateway's own boundary. Because frame
-// payloads are relayed byte for byte and deduplicated by index across
-// failover attempts, the part sequence a client sees through the gateway
-// is byte-identical to a single-node run even when the serving worker
-// dies mid-job.
+// stream with the same part shape the workers produce (one frame part —
+// image/png or application/x-scc-delta — per frame carrying
+// X-Frame-Index and its digest/geometry headers, then one
+// application/json summary part), re-framed under the gateway's own
+// boundary. Because frame payloads are relayed byte for byte and
+// deduplicated by index across failover attempts, the part sequence a
+// client sees through the gateway is byte-identical to a single-node run
+// even when the serving worker dies mid-job.
 //
 // Like serve's frameStream, the response is committed lazily at the first
 // frame so a job that fails before producing anything still gets a plain
@@ -45,18 +46,31 @@ func (st *relayStream) start() {
 	st.w.WriteHeader(http.StatusOK)
 }
 
-// WritePNG relays one already-encoded frame payload to the client.
-func (st *relayStream) WritePNG(idx int, payload []byte) error {
+// relayedHeaders are the per-part headers the gateway forwards verbatim
+// from the worker's frame part; clients decoding a delta stream need the
+// geometry and the decoded-bytes digest just as they would talking to a
+// worker directly.
+var relayedHeaders = []string{"X-Frame-Digest", "X-Frame-Width", "X-Frame-Height"}
+
+// WriteFrame relays one already-encoded frame payload to the client,
+// preserving its content type and verification headers.
+func (st *relayStream) WriteFrame(idx int, contentType string, src textproto.MIMEHeader, payload []byte) error {
 	if st.err != nil {
 		return st.err
 	}
 	if st.mw == nil {
 		st.start()
 	}
-	part, err := st.mw.CreatePart(textproto.MIMEHeader{
-		"Content-Type":  {"image/png"},
+	hdr := textproto.MIMEHeader{
+		"Content-Type":  {contentType},
 		"X-Frame-Index": {strconv.Itoa(idx)},
-	})
+	}
+	for _, k := range relayedHeaders {
+		if v := src.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	part, err := st.mw.CreatePart(hdr)
 	if err == nil {
 		_, err = part.Write(payload)
 	}

@@ -1,0 +1,284 @@
+// Package rcache is a bounded, content-addressed cache of rendered
+// (pre-filter) frames. The renderer is deterministic — a frame depends
+// only on (scene geometry, camera pose, output size, strip bounds) — so
+// frames are addressed by a canonical hash of exactly those inputs and
+// never invalidated: a stale entry is impossible by construction, and the
+// only way an entry leaves the cache is LRU eviction under byte pressure.
+//
+// The cache is sharded (key-hashed shards, each with its own lock, LRU
+// list, and slice of the byte budget) so concurrent jobs don't serialize
+// on one mutex, and single-flighted: when identical jobs race, one
+// renders while the rest wait and copy, so the fleet does the raster work
+// once. A hit replaces a full rasterizer traversal with a memcpy, which
+// is the paper's macro-pipelining argument applied across jobs instead of
+// across cores.
+package rcache
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sccpipe/internal/frame"
+	"sccpipe/internal/render"
+)
+
+// numShards is the fixed shard count. 16 is far above the worker counts
+// the serve layer runs with, so shard-lock collisions are rare, while the
+// per-shard budget (MaxBytes/16) stays large next to one 4-byte-per-pixel
+// frame.
+const numShards = 16
+
+// Key is a 128-bit content address of one rendered frame or strip. Two
+// independent 64-bit FNV-1a hashes over the same canonical input words
+// make accidental collisions astronomically unlikely even at fleet scale.
+type Key struct{ Hi, Lo uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	// altOffset seeds the second, independent hash (splitmix64 of the FNV
+	// offset basis).
+	altOffset = 0x8e1f764a7c9de3b5
+)
+
+// hashWords folds a word sequence into a 64-bit FNV-1a hash, byte by
+// byte, starting from seed.
+func hashWords(seed uint64, words []uint64) uint64 {
+	h := seed
+	for _, w := range words {
+		for i := 0; i < 64; i += 8 {
+			h ^= (w >> i) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// FrameKey derives the content address of one rendered strip: the scene
+// identity, the exact camera pose (float bit patterns — any pose change,
+// however small, is a different frame), the full-frame geometry, the
+// frame index, and the strip bounds (y0, rows). A full-frame render uses
+// y0=0, rows=height. Job fields that only drive post-render filter
+// stages — the job seed, pipeline count, filter arrangement — are
+// deliberately absent: jobs differing only in those share rendered
+// pixels.
+func FrameKey(scene uint64, cam render.Camera, width, height, frameIdx, y0, rows int) Key {
+	words := [...]uint64{
+		scene,
+		math.Float64bits(cam.Eye.X), math.Float64bits(cam.Eye.Y), math.Float64bits(cam.Eye.Z),
+		math.Float64bits(cam.Target.X), math.Float64bits(cam.Target.Y), math.Float64bits(cam.Target.Z),
+		math.Float64bits(cam.Up.X), math.Float64bits(cam.Up.Y), math.Float64bits(cam.Up.Z),
+		math.Float64bits(cam.FovY), math.Float64bits(cam.Near), math.Float64bits(cam.Far),
+		uint64(width), uint64(height), uint64(frameIdx), uint64(y0), uint64(rows),
+	}
+	return Key{Hi: hashWords(fnvOffset, words[:]), Lo: hashWords(altOffset, words[:])}
+}
+
+// SceneKey hashes scene geometry (triangle vertices and colors) into the
+// scene identity folded into every FrameKey. Computed once at server
+// startup; different procedural scenes can never alias each other's
+// frames.
+func SceneKey(tris []render.Triangle) uint64 {
+	h := uint64(fnvOffset)
+	word := func(w uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= (w >> i) & 0xff
+			h *= fnvPrime
+		}
+	}
+	word(uint64(len(tris)))
+	for _, t := range tris {
+		for _, v := range t.V {
+			word(math.Float64bits(v.X))
+			word(math.Float64bits(v.Y))
+			word(math.Float64bits(v.Z))
+		}
+		word(uint64(t.R)<<16 | uint64(t.G)<<8 | uint64(t.B))
+	}
+	return h
+}
+
+// entry is one cached frame. The image is immutable after insertion and
+// is never handed out — readers copy under no lock — so an entry evicted
+// while a reader copies stays valid until the GC collects it.
+type entry struct {
+	key Key
+	img *frame.Image
+}
+
+// flight is an in-progress render other callers of the same key wait on.
+// img and err are written by the leader before done is closed.
+type flight struct {
+	done chan struct{}
+	img  *frame.Image
+	err  error
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	flights map[Key]*flight
+	bytes   int64
+}
+
+// Cache is the sharded, byte-bounded, single-flight frame cache. The
+// zero value is not usable; construct with New. A nil *Cache is valid
+// and behaves as an always-miss cache with no single-flighting, so call
+// sites don't branch.
+type Cache struct {
+	shardBudget int64
+	maxBytes    int64
+	shards      [numShards]shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	dedups    atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+// New builds a cache bounded by maxBytes of pixel data (accounting is by
+// stored pixel bytes; per-entry bookkeeping overhead is not charged).
+// maxBytes must be positive.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	budget := maxBytes / numShards
+	if budget < 1 {
+		budget = 1
+	}
+	c := &Cache{shardBudget: budget, maxBytes: maxBytes}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].flights = make(map[Key]*flight)
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of cache activity. Hits, Misses,
+// Evictions, and Dedups are monotonic; Bytes and Entries are gauges.
+// Dedups counts single-flight waits — hits that never existed as entries
+// because a racing leader's render was shared in flight.
+type Stats struct {
+	Hits, Misses, Evictions, Dedups int64
+	Bytes, MaxBytes                 int64
+	Entries                         int64
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Dedups:    c.dedups.Load(),
+		Bytes:     c.bytes.Load(),
+		MaxBytes:  c.maxBytes,
+		Entries:   c.entries.Load(),
+	}
+}
+
+// copyInto copies src's pixels into dst when the geometry matches.
+func copyInto(dst, src *frame.Image) bool {
+	if src == nil || dst.W != src.W || dst.H != src.H || len(dst.Pix) != len(src.Pix) {
+		return false
+	}
+	copy(dst.Pix, src.Pix)
+	return true
+}
+
+// Do serves key into dst: from the cache (memcpy), from another caller's
+// in-flight render of the same key (wait + memcpy), or by invoking
+// render(dst) and publishing a copy of the result. It returns whether dst
+// was served without calling render. dst must already have the geometry
+// the key describes. If the leader's render fails (or, vanishingly, a
+// 128-bit key collision stores mismatched geometry), waiters fall back to
+// rendering locally — correctness never depends on the cache.
+func (c *Cache) Do(key Key, dst *frame.Image, render func(dst *frame.Image) error) (bool, error) {
+	if c == nil {
+		return false, render(dst)
+	}
+	s := &c.shards[key.Lo%numShards]
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		img := el.Value.(*entry).img
+		s.mu.Unlock()
+		if copyInto(dst, img) {
+			c.hits.Add(1)
+			return true, nil
+		}
+		c.misses.Add(1)
+		return false, render(dst)
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err == nil && copyInto(dst, f.img) {
+			c.hits.Add(1)
+			c.dedups.Add(1)
+			return true, nil
+		}
+		c.misses.Add(1)
+		return false, render(dst)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	err := render(dst)
+	if err == nil {
+		f.img = dst.Clone()
+	}
+	f.err = err
+	s.mu.Lock()
+	delete(s.flights, key)
+	if err == nil {
+		c.insertLocked(s, key, f.img)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return false, err
+}
+
+// insertLocked publishes img under key and evicts from the LRU tail until
+// the shard is back under its budget slice. An image larger than a whole
+// shard's budget is served to in-flight waiters but never stored.
+func (c *Cache) insertLocked(s *shard, key Key, img *frame.Image) {
+	sz := int64(len(img.Pix))
+	if sz > c.shardBudget {
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, img: img})
+	s.bytes += sz
+	c.bytes.Add(sz)
+	c.entries.Add(1)
+	for s.bytes > c.shardBudget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		n := int64(len(e.img.Pix))
+		s.bytes -= n
+		c.bytes.Add(-n)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+}

@@ -75,6 +75,25 @@ func Walkthrough(frames int, b AABB) []Camera {
 	return cams
 }
 
+// DwellHold is the frames-per-vantage-point of DwellWalkthrough.
+const DwellHold = 6
+
+// DwellWalkthrough generates an inspection-style flight: the camera visits
+// the same vantage points as Walkthrough but holds each one for DwellHold
+// frames — move, stop, look — the temporal profile of a human-driven
+// inspection rather than a continuous fly-by. Consecutive held frames
+// render identical geometry (only the seeded post-filters animate), which
+// is the content regime where the serve layer's temporal delta encoding
+// pays off.
+func DwellWalkthrough(frames int, b AABB) []Camera {
+	poses := Walkthrough((frames+DwellHold-1)/DwellHold, b)
+	cams := make([]Camera, frames)
+	for i := range cams {
+		cams[i] = poses[i/DwellHold]
+	}
+	return cams
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

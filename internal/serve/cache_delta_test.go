@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"sccpipe/internal/codec"
+	"sccpipe/internal/frame"
+)
+
+// postJobEncoded submits a job with an explicit X-Frame-Encoding header.
+func postJobEncoded(t *testing.T, url string, spec JobSpec, encoding string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if encoding != "" {
+		req.Header.Set(FrameEncodingHeader, encoding)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readParts collects every frame part's payload bytes by index, plus each
+// part's headers, without interpreting the payload.
+func readParts(t *testing.T, resp *http.Response) (payloads map[int][]byte, headers map[int]map[string]string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	payloads = map[int][]byte{}
+	headers = map[int]map[string]string{}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return payloads, headers
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.Header.Get("Content-Type") == "application/json" {
+			io.Copy(io.Discard, part)
+			continue
+		}
+		idx, err := strconv.Atoi(part.Header.Get("X-Frame-Index"))
+		if err != nil {
+			t.Fatalf("bad X-Frame-Index: %v", err)
+		}
+		data, err := io.ReadAll(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[idx] = data
+		h := map[string]string{}
+		for k := range part.Header {
+			h[k] = part.Header.Get(k)
+		}
+		headers[idx] = h
+	}
+}
+
+// TestCacheHitAcrossJobs: the second identical job must be served from
+// the render cache with byte-identical frames, visible in /metrics.
+func TestCacheHitAcrossJobs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	spec := smallRender(4)
+	first, _ := readParts(t, postJob(t, ts.URL, spec))
+	m := scrapeMetrics(t, ts.URL)
+	if m["sccserve_cache_misses_total"] == 0 {
+		t.Fatalf("cold job recorded no cache misses: %v", m["sccserve_cache_misses_total"])
+	}
+	if m["sccserve_cache_bytes"] == 0 || m["sccserve_cache_entries"] == 0 {
+		t.Fatal("cache holds nothing after a cold job")
+	}
+	second, _ := readParts(t, postJob(t, ts.URL, spec))
+	m = scrapeMetrics(t, ts.URL)
+	if m["sccserve_cache_hits_total"] == 0 {
+		t.Fatal("repeat job recorded no cache hits")
+	}
+	if len(first) != spec.Frames || len(second) != spec.Frames {
+		t.Fatalf("frame counts %d/%d, want %d", len(first), len(second), spec.Frames)
+	}
+	for f := 0; f < spec.Frames; f++ {
+		if !bytes.Equal(first[f], second[f]) {
+			t.Fatalf("frame %d differs between cold and cache-hit job", f)
+		}
+	}
+}
+
+// TestCacheDisabled: a negative budget turns the cache off entirely.
+func TestCacheDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, CacheBytes: -1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	readParts(t, postJob(t, ts.URL, smallRender(2)))
+	readParts(t, postJob(t, ts.URL, smallRender(2)))
+	m := scrapeMetrics(t, ts.URL)
+	if m["sccserve_cache_hits_total"] != 0 || m["sccserve_cache_misses_total"] != 0 {
+		t.Fatalf("disabled cache recorded activity: hits=%v misses=%v",
+			m["sccserve_cache_hits_total"], m["sccserve_cache_misses_total"])
+	}
+}
+
+// decodeDeltaStream reconstructs raw RGBA frames from a delta stream.
+func decodeDeltaStream(t *testing.T, payloads map[int][]byte, headers map[int]map[string]string, frames int) [][]byte {
+	t.Helper()
+	out := make([][]byte, frames)
+	var prev []byte
+	for f := 0; f < frames; f++ {
+		h := headers[f]
+		if ct := h["Content-Type"]; ct != DeltaContentType {
+			t.Fatalf("frame %d content type %q, want %q", f, ct, DeltaContentType)
+		}
+		w, _ := strconv.Atoi(h[FrameWidthHeader])
+		hh, _ := strconv.Atoi(h[FrameHeightHeader])
+		if w <= 0 || hh <= 0 {
+			t.Fatalf("frame %d missing geometry headers: %v", f, h)
+		}
+		if prev == nil {
+			prev = make([]byte, w*hh*4)
+		}
+		raw, err := codec.FrameDeltaDecode(prev, payloads[f], w, hh)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if got, want := FrameDigest(raw), h["X-Frame-Digest"]; got != want {
+			t.Fatalf("frame %d digest %s, header says %s", f, got, want)
+		}
+		out[f] = raw
+		prev = raw
+	}
+	return out
+}
+
+// TestDeltaStreamMatchesRawAndShrinks: a delta-encoded stream must decode
+// to pixels byte-identical to the PNG stream of the same job, and — on a
+// dwell walkthrough, the temporally redundant content delta coding is for
+// — spend at least 30% fewer payload bytes on the wire.
+func TestDeltaStreamMatchesRawAndShrinks(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	spec := JobSpec{Mode: ModeRender, Camera: CameraDwell, Frames: 24, Width: 128, Height: 96, Pipelines: 2, Seed: 5}
+	rawParts, _ := readParts(t, postJobEncoded(t, ts.URL, spec, FrameEncodingRaw))
+	deltaParts, deltaHeaders := readParts(t, postJobEncoded(t, ts.URL, spec, FrameEncodingDelta))
+	if len(rawParts) != spec.Frames || len(deltaParts) != spec.Frames {
+		t.Fatalf("frame counts raw=%d delta=%d, want %d", len(rawParts), len(deltaParts), spec.Frames)
+	}
+
+	decoded := decodeDeltaStream(t, deltaParts, deltaHeaders, spec.Frames)
+	var rawBytes, deltaBytes int
+	for f := 0; f < spec.Frames; f++ {
+		img, err := frame.ReadPNG(bytes.NewReader(rawParts[f]))
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if !bytes.Equal(img.Pix, decoded[f]) {
+			t.Fatalf("frame %d: delta decode differs from PNG pixels", f)
+		}
+		rawBytes += len(rawParts[f])
+		deltaBytes += len(deltaParts[f])
+	}
+	if float64(deltaBytes) > 0.7*float64(rawBytes) {
+		t.Fatalf("delta stream not ≥30%% smaller: %d vs %d raw bytes", deltaBytes, rawBytes)
+	}
+	t.Logf("wire payload: raw %d bytes, delta %d bytes (%.1f%% of raw)",
+		rawBytes, deltaBytes, 100*float64(deltaBytes)/float64(rawBytes))
+
+	m := scrapeMetrics(t, ts.URL)
+	if m["sccserve_stream_png_bytes_total"] != float64(rawBytes) {
+		t.Fatalf("png byte counter %v, measured %d", m["sccserve_stream_png_bytes_total"], rawBytes)
+	}
+	if m["sccserve_stream_delta_bytes_total"] != float64(deltaBytes) {
+		t.Fatalf("delta byte counter %v, measured %d", m["sccserve_stream_delta_bytes_total"], deltaBytes)
+	}
+}
+
+func TestUnknownFrameEncodingRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp := postJobEncoded(t, ts.URL, smallRender(2), "gzip")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sccpipe/internal/core"
+	"sccpipe/internal/render"
 )
 
 // Job modes.
@@ -32,6 +33,11 @@ type JobSpec struct {
 	// Renderer is one of "one", "n", "host" (the paper's three scenarios);
 	// default "one".
 	Renderer string `json:"renderer"`
+	// Camera selects the walkthrough flight path (render only): "orbit"
+	// (default, the continuous fly-by) or "dwell" (inspection-style: the
+	// camera holds each vantage point for several frames — the temporally
+	// redundant content a delta-encoded stream compresses well).
+	Camera string `json:"camera"`
 	// Arrangement is one of "unordered", "ordered", "flipped" (simulate
 	// only); default "unordered".
 	Arrangement string `json:"arrangement"`
@@ -78,9 +84,29 @@ func (j *JobSpec) Normalize() {
 	if j.Renderer == "" {
 		j.Renderer = "one"
 	}
+	if j.Camera == "" {
+		j.Camera = CameraOrbit
+	}
 	if j.Arrangement == "" {
 		j.Arrangement = "unordered"
 	}
+}
+
+// Camera path names.
+const (
+	CameraOrbit = "orbit"
+	CameraDwell = "dwell"
+)
+
+// cameras builds the job's camera flight over the scene bounds.
+func (j *JobSpec) cameras(b render.AABB) ([]render.Camera, error) {
+	switch j.Camera {
+	case CameraOrbit:
+		return render.Walkthrough(j.Frames, b), nil
+	case CameraDwell:
+		return render.DwellWalkthrough(j.Frames, b), nil
+	}
+	return nil, fmt.Errorf("unknown camera %q (want %s or %s)", j.Camera, CameraOrbit, CameraDwell)
 }
 
 // rendererConfig maps the wire name onto the paper's scenario constant.
@@ -130,6 +156,11 @@ func (j *JobSpec) Validate(limits Limits) error {
 	}
 	if _, err := j.arrangement(); err != nil {
 		return err
+	}
+	switch j.Camera {
+	case CameraOrbit, CameraDwell:
+	default:
+		return fmt.Errorf("unknown camera %q (want %s or %s)", j.Camera, CameraOrbit, CameraDwell)
 	}
 	if j.Pipelines < 1 || j.Pipelines > core.MaxPipelines(rc) {
 		return fmt.Errorf("pipelines %d out of range [1, %d] for renderer %q",

@@ -41,6 +41,23 @@ const (
 	mPlanStages    = "sccserve_plan_stages"
 	mPlanDrift     = "sccserve_plan_drift"
 
+	// Render-cache metrics (internal/rcache): snapshotted from the cache
+	// at scrape time. Hits/misses count render calls served from / missed
+	// by the cache; dedup counts single-flight waits (a racing identical
+	// render shared in flight, never stored as the waiter's own miss).
+	mCacheHits      = "sccserve_cache_hits_total"
+	mCacheMisses    = "sccserve_cache_misses_total"
+	mCacheEvictions = "sccserve_cache_evictions_total"
+	mCacheDedup     = "sccserve_cache_dedup_total"
+	mCacheBytes     = "sccserve_cache_bytes"
+	mCacheEntries   = "sccserve_cache_entries"
+
+	// Stream bandwidth: frame payload bytes put on the wire, split by
+	// encoding, so a delta-vs-raw bandwidth cut is directly readable from
+	// two counters.
+	mStreamPNGBytes   = "sccserve_stream_png_bytes_total"
+	mStreamDeltaBytes = "sccserve_stream_delta_bytes_total"
+
 	// Tiled-rasterizer metrics: the renderer's work counters, summed over
 	// every render call of every job (see render.Stats).
 	mRenderTrisSetup    = "sccserve_render_tris_setup_total"
@@ -86,6 +103,14 @@ var metricFamilies = []struct {
 	{mPlanPipelines, "gauge", "Pipeline replication factor of the active stage plan."},
 	{mPlanStages, "gauge", "Filter stage count (after fusion) of the active stage plan."},
 	{mPlanDrift, "gauge", "Stage-balance drift measured when the last observation window closed."},
+	{mCacheHits, "counter", "Render calls served from the content-addressed frame cache."},
+	{mCacheMisses, "counter", "Render calls that rasterized (and populated the cache)."},
+	{mCacheEvictions, "counter", "Cached frames evicted under the byte budget."},
+	{mCacheDedup, "counter", "Render calls de-duplicated onto a racing identical render in flight."},
+	{mCacheBytes, "gauge", "Pixel bytes currently held by the frame cache."},
+	{mCacheEntries, "gauge", "Frames currently held by the frame cache."},
+	{mStreamPNGBytes, "counter", "Frame payload bytes streamed as PNG parts."},
+	{mStreamDeltaBytes, "counter", "Frame payload bytes streamed as temporal-delta parts."},
 	{mRenderTrisSetup, "counter", "Screen triangles set up by the rasterizer (post clip/fan, tiled path)."},
 	{mRenderTrisBinned, "counter", "Triangle-to-tile bin insertions performed by the tiled rasterizer."},
 	{mRenderTilesTouched, "counter", "Row-tiles with at least one binned triangle."},
@@ -108,6 +133,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.Set(mInflight, float64(len(s.slots)))
 	s.m.Set(mUptime, time.Since(s.start).Seconds())
 	s.m.Set(mBreakerState, float64(s.brk.State()))
+	cst := s.cache.Stats() // nil-safe: a disabled cache reports zeros
+	s.m.Set(mCacheHits, float64(cst.Hits))
+	s.m.Set(mCacheMisses, float64(cst.Misses))
+	s.m.Set(mCacheEvictions, float64(cst.Evictions))
+	s.m.Set(mCacheDedup, float64(cst.Dedups))
+	s.m.Set(mCacheBytes, float64(cst.Bytes))
+	s.m.Set(mCacheEntries, float64(cst.Entries))
 	s.m.Set(mRetryBudget, float64(s.cfg.Recovery.Normalize().MaxRetries))
 	if s.planCtl != nil {
 		p := s.planCtl.Current()

@@ -38,6 +38,7 @@ import (
 	"sccpipe/internal/faults"
 	"sccpipe/internal/frame"
 	"sccpipe/internal/plan"
+	"sccpipe/internal/rcache"
 	"sccpipe/internal/render"
 	"sccpipe/internal/scene"
 	"sccpipe/internal/stats"
@@ -69,6 +70,14 @@ type Config struct {
 	Scene []render.Triangle
 	// Log receives one line per job outcome; nil disables logging.
 	Log *log.Logger
+
+	// CacheBytes bounds the content-addressed cache of rendered
+	// (pre-filter) frames shared by every render job: on a hit the
+	// renderer stage is replaced by a memcpy of the cached pixels and the
+	// filter chain runs on the copy, byte-identical to a cold render. 0
+	// selects the 256 MiB default; negative disables caching. See
+	// internal/rcache.
+	CacheBytes int64
 
 	// StageWorkers sizes the shared band-parallel worker pool each render
 	// job's stages (blur, the fused point pass, the rasterizer) split their
@@ -140,6 +149,9 @@ func (c *Config) fillDefaults() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
 	if c.Limits.MaxFrames <= 0 {
 		c.Limits.MaxFrames = 2000
 	}
@@ -164,6 +176,13 @@ type Server struct {
 	// bands is the band-parallel worker pool shared by every render job's
 	// stages, sized by Config.StageWorkers.
 	bands *band.Pool
+
+	// cache holds rendered pre-filter frames shared across jobs (nil when
+	// Config.CacheBytes is negative); sceneKey folds the scene geometry
+	// into every cache key so swapping Config.Scene can never serve
+	// another scene's pixels.
+	cache    *rcache.Cache
+	sceneKey uint64
 
 	// planCtl holds the profile-driven stage plan when Config.Plan is
 	// PlanProfile or PlanOnline; nil serves the static layout. planOnline
@@ -213,6 +232,8 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		tree:     render.BuildOctree(tris),
 		m:        stats.NewCounters(),
+		cache:    rcache.New(cfg.CacheBytes),
+		sceneKey: rcache.SceneKey(tris),
 		pool:     frame.NewPool(),
 		bands:    core.BandPool(cfg.StageWorkers),
 		room:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -405,6 +426,17 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "invalid", "bad job spec: "+err.Error())
 		return
 	}
+	// Stream-encoding negotiation: clients opting into temporal delta
+	// frames declare it up front via request header (the parts are typed,
+	// so a client that asked knows how to decode what it gets back).
+	encoding := r.Header.Get(FrameEncodingHeader)
+	switch encoding {
+	case "", FrameEncodingRaw, FrameEncodingDelta:
+	default:
+		s.reject(w, http.StatusBadRequest, "invalid",
+			fmt.Sprintf("unknown %s %q (want %q or %q)", FrameEncodingHeader, encoding, FrameEncodingRaw, FrameEncodingDelta))
+		return
+	}
 	admit, probe := s.brk.Allow()
 	if !admit {
 		s.reject(w, http.StatusServiceUnavailable, "breaker_open",
@@ -463,7 +495,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case ModeSimulate:
 		err = s.runSimulate(ctx, w, spec)
 	default:
-		err = s.runRender(ctx, w, spec)
+		err = s.runRender(ctx, w, spec, encoding == FrameEncodingDelta)
 	}
 	// Cumulative run time feeds the /healthz load report: the fleet
 	// gateway differences successive polls into a recent busy rate.
@@ -489,7 +521,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 // runRender executes a render job, streaming frames as the transfer stage
 // emits them. The response is committed lazily at the first frame, so
 // failures before any output still produce a proper HTTP status.
-func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobSpec) error {
+func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobSpec, delta bool) error {
 	es, err := spec.execSpec()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -499,6 +531,8 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 	es.Bands = s.bands
 	es.NoFuse = s.cfg.NoFuse
 	es.TileRows = s.cfg.TileRows
+	es.FrameCache = s.cache
+	es.SceneKey = s.sceneKey
 	var planned string
 	if s.planCtl != nil {
 		p := s.planCtl.Current()
@@ -551,12 +585,16 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		}
 		es.Recovery = &pol
 	}
-	cams := render.Walkthrough(spec.Frames, s.tree.Bounds())
+	cams, err := spec.cameras(s.tree.Bounds())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return err
+	}
 
 	// A stream write failure cancels the run: there is no reader left.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	st := newFrameStream(w)
+	st := newFrameStream(w, delta)
 	sink := func(f int, img *frame.Image) {
 		if st.Err() != nil {
 			return
@@ -568,6 +606,11 @@ func (s *Server) runRender(ctx context.Context, w http.ResponseWriter, spec JobS
 		s.m.Inc(mFrames)
 	}
 	res, runErr := core.ExecContext(ctx, es, s.tree, cams, sink)
+	if delta {
+		s.m.Add(mStreamDeltaBytes, float64(st.PayloadBytes()))
+	} else {
+		s.m.Add(mStreamPNGBytes, float64(st.PayloadBytes()))
+	}
 	if online {
 		// The window just absorbed this job's observations (even a failed
 		// run's); close it if it is full and re-plan on drift.

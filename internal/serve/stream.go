@@ -10,7 +10,26 @@ import (
 	"strconv"
 	"sync"
 
+	"sccpipe/internal/codec"
 	"sccpipe/internal/frame"
+)
+
+// Stream-encoding negotiation and part typing for the delta path. A
+// client sends `X-Frame-Encoding: delta` on the job request; each frame
+// part then carries the temporal delta payload (codec.FrameDeltaEncode
+// against the previously delivered frame, all-zeros before the first)
+// typed as application/x-scc-delta, with the frame geometry in headers
+// and X-Frame-Digest computed over the DECODED raw RGBA bytes — so every
+// relay hop verifies the pixels a client will reconstruct, not the
+// compressed representation.
+const (
+	FrameEncodingHeader = "X-Frame-Encoding"
+	FrameEncodingRaw    = "raw" // explicit default: one PNG part per frame
+	FrameEncodingDelta  = "delta"
+
+	DeltaContentType  = "application/x-scc-delta"
+	FrameWidthHeader  = "X-Frame-Width"
+	FrameHeightHeader = "X-Frame-Height"
 )
 
 // FrameDigest is the checksum each frame part carries in its
@@ -45,13 +64,25 @@ type frameStream struct {
 	flusher http.Flusher
 	mw      *multipart.Writer
 	err     error
+
+	// delta switches the per-frame parts from PNG payloads to temporal
+	// deltas; prev holds the raw RGBA bytes of the last delivered frame
+	// (the decoder's chain state mirror). bytes sums payload bytes put on
+	// the wire, for the bandwidth metrics.
+	delta bool
+	prev  []byte
+	bytes int64
 }
 
-func newFrameStream(w http.ResponseWriter) *frameStream {
-	st := &frameStream{w: w}
+func newFrameStream(w http.ResponseWriter, delta bool) *frameStream {
+	st := &frameStream{w: w, delta: delta}
 	st.flusher, _ = w.(http.Flusher)
 	return st
 }
+
+// PayloadBytes reports the total frame payload bytes written so far
+// (part headers and multipart boundaries excluded).
+func (st *frameStream) PayloadBytes() int64 { return st.bytes }
 
 // Started reports whether the response has been committed.
 func (st *frameStream) Started() bool { return st.mw != nil }
@@ -59,7 +90,8 @@ func (st *frameStream) Started() bool { return st.mw != nil }
 // Err returns the first write failure, if any.
 func (st *frameStream) Err() error { return st.err }
 
-// WriteFrame encodes one frame as a PNG part and flushes it to the client.
+// WriteFrame encodes one frame as a PNG (or temporal-delta) part and
+// flushes it to the client.
 func (st *frameStream) WriteFrame(f int, img *frame.Image) error {
 	if st.err != nil {
 		return st.err
@@ -68,6 +100,9 @@ func (st *frameStream) WriteFrame(f int, img *frame.Image) error {
 		st.mw = multipart.NewWriter(st.w)
 		st.w.Header().Set("Content-Type", "multipart/x-mixed-replace; boundary="+st.mw.Boundary())
 		st.w.WriteHeader(http.StatusOK)
+	}
+	if st.delta {
+		return st.writeDeltaFrame(f, img)
 	}
 	// Encode into a pooled buffer first: the digest header must precede
 	// the payload, and a full buffer also means a frame is never torn by
@@ -91,6 +126,44 @@ func (st *frameStream) WriteFrame(f int, img *frame.Image) error {
 		st.err = err
 		return err
 	}
+	st.bytes += int64(buf.Len())
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	return nil
+}
+
+// writeDeltaFrame ships one frame delta-coded against the previous
+// delivered frame (codec.FrameDeltaEncode picks the cheapest scheme per
+// frame, falling back to a keyframe under heavy motion). The digest covers
+// the decoded raw bytes, and the part carries the frame geometry so relays
+// can decode and verify statelessly per stream.
+func (st *frameStream) writeDeltaFrame(f int, img *frame.Image) error {
+	raw := img.Pix
+	if st.prev == nil {
+		st.prev = make([]byte, len(raw)) // all-zero bootstrap frame
+	}
+	payload, err := codec.FrameDeltaEncode(st.prev, raw, img.W, img.H)
+	if err != nil {
+		st.err = err
+		return err
+	}
+	part, err := st.mw.CreatePart(textproto.MIMEHeader{
+		"Content-Type":    {DeltaContentType},
+		"X-Frame-Index":   {strconv.Itoa(f)},
+		FrameWidthHeader:  {strconv.Itoa(img.W)},
+		FrameHeightHeader: {strconv.Itoa(img.H)},
+		"X-Frame-Digest":  {FrameDigest(raw)},
+	})
+	if err == nil {
+		_, err = part.Write(payload)
+	}
+	if err != nil {
+		st.err = err
+		return err
+	}
+	copy(st.prev, raw)
+	st.bytes += int64(len(payload))
 	if st.flusher != nil {
 		st.flusher.Flush()
 	}

@@ -57,6 +57,7 @@ import (
 	"io"
 
 	"sccpipe/internal/band"
+	"sccpipe/internal/codec"
 	"sccpipe/internal/core"
 	"sccpipe/internal/experiments"
 	"sccpipe/internal/faults"
@@ -281,6 +282,26 @@ func BuildOctree(tris []Triangle) *Octree { return render.BuildOctree(tris) }
 // Walkthrough generates the camera flight used by the experiments.
 func Walkthrough(frames int, b render.AABB) []Camera { return render.Walkthrough(frames, b) }
 
+// DwellWalkthrough generates the inspection-style camera path: the orbit
+// poses of Walkthrough, each held for render.DwellHold frames. Its
+// temporal redundancy is what the delta stream encoding is for.
+func DwellWalkthrough(frames int, b render.AABB) []Camera { return render.DwellWalkthrough(frames, b) }
+
+// FrameDeltaEncode delta-codes a raw RGBA frame against the previously
+// delivered one (all zeros before the first), picking the cheapest of a
+// residual RLE+Huffman part, a residual PNG part, or a keyframe per
+// frame. FrameDeltaDecode inverts it given the same previous frame.
+// These are the payload codecs behind the `X-Frame-Encoding: delta`
+// stream negotiation (see ServeConfig and the gateway relay).
+func FrameDeltaEncode(prev, cur []byte, w, h int) ([]byte, error) {
+	return codec.FrameDeltaEncode(prev, cur, w, h)
+}
+
+// FrameDeltaDecode reconstructs a raw RGBA frame from a delta payload.
+func FrameDeltaDecode(prev, payload []byte, w, h int) ([]byte, error) {
+	return codec.FrameDeltaDecode(prev, payload, w, h)
+}
+
 // City generates the procedural city scene.
 func City(cfg SceneConfig) []Triangle { return scene.City(cfg) }
 
@@ -417,6 +438,24 @@ type (
 	ServerLimits = serve.Limits
 	// JobSpec is the JSON wire format of one job submission.
 	JobSpec = serve.JobSpec
+)
+
+// Camera paths a JobSpec can request: the default continuous orbit, or
+// the dwell path that holds each vantage (where delta streaming pays).
+const (
+	CameraOrbit = serve.CameraOrbit
+	CameraDwell = serve.CameraDwell
+)
+
+// Frame-stream encoding negotiation: send FrameEncodingHeader with
+// FrameEncodingDelta on a job request to switch the response's frame
+// parts from PNG payloads to temporal deltas (DeltaContentType parts;
+// decode with FrameDeltaDecode chained from an all-zeros frame).
+const (
+	FrameEncodingHeader = serve.FrameEncodingHeader
+	FrameEncodingRaw    = serve.FrameEncodingRaw
+	FrameEncodingDelta  = serve.FrameEncodingDelta
+	DeltaContentType    = serve.DeltaContentType
 )
 
 // NewServer builds a render server; the zero config serves with defaults
